@@ -1,0 +1,239 @@
+// Command figures regenerates the paper's figures and examples as text:
+//
+//	figures -fig 2   the encyclopedia structure (Figure 2)
+//	figures -fig 4   Example 1's dependency inheritance (Figure 4)
+//	figures -fig 5   the oo-transaction tree of Example 2 (Figure 5)
+//	figures -fig 6   the virtual-object extension of Example 3 (Figure 6)
+//	figures -fig 7   Example 4's transactions and dependencies (Figure 7)
+//	figures -fig 8   the per-object dependency table (Figure 8)
+//	figures -fig 0   everything
+//
+// Notation (the paper's Figure 3 legend, adapted to text): actions are
+// written id=Object.method(params); solid tree edges are the call
+// relationship; "a -> b" in dependency listings means b depends on a.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/paperex"
+	"repro/internal/sched"
+	"repro/internal/txn"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to print (1,2,4,5,6,7,8); 0 = all")
+	flag.Parse()
+
+	printers := map[int]func(){
+		1: fig1, 2: fig2, 4: fig4, 5: fig5, 6: fig6, 7: fig7, 8: fig8,
+	}
+	if *fig == 0 {
+		for _, n := range []int{1, 2, 4, 5, 6, 7, 8} {
+			printers[n]()
+			fmt.Println()
+		}
+		return
+	}
+	p, ok := printers[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "figures: no printer for figure %d\n", *fig)
+		os.Exit(2)
+	}
+	p()
+}
+
+func header(title string) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", 72))
+}
+
+// fig1 prints the workload-contrast table of Figure 1.
+func fig1() {
+	header("Figure 1: conventional transactions vs object-oriented operations")
+	fmt.Print(`
+  conventional transactions        | object-oriented operations
+  ---------------------------------+------------------------------------------
+  access to small objects          | access to large, complex structured
+  (an account)                     | objects (a document)
+  short duration (ms ... s)        | long duration (seconds ... months)
+  simple actions                   | complex structured actions (layout →
+  (writing an account)             | contents → chapters → ... → pages)
+
+  Quantified by BenchmarkFig1ConventionalVsOO: semantic concurrency
+  control helps the short/small class ~2x and the long/complex class
+  >15x — exactly where the paper says conventional locking breaks down.
+`)
+}
+
+// fig2 prints the encyclopedia structure of Figure 2.
+func fig2() {
+	header("Figure 2: the encyclopedia Enc (items indexed by a B+ tree)")
+	fmt.Print(`
+  Enc ──────────────┬──────────────────────────────┐
+                    │                              │
+              LinkedList                        BpTree
+                    │                              │
+          Page0610 (spine)                 Node ... Node
+            │        │                         │
+         Item7     Item8                    Leaf11 ... Leaf
+            │        │                         │
+        Page0816  Page0815                 Page4712
+
+  Items are reachable on TWO paths: sequentially through the linked
+  list and associatively through the B+ tree — the situation that
+  makes the added action dependency relation (Definition 15) necessary.
+`)
+}
+
+// printTree renders a transaction tree with call edges.
+func printTree(a *txn.Action, indent string) {
+	fmt.Printf("%s%s", indent, a.String())
+	if a.IsVirtual {
+		fmt.Print("   [virtual]")
+	}
+	fmt.Println()
+	for _, c := range a.Children {
+		printTree(c, indent+"    ")
+	}
+}
+
+func analyze(sys *txn.System, order []string) *sched.Analysis {
+	a, err := sched.Analyze(sys, paperex.Registry(), order)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	return a
+}
+
+// fig4 prints Example 1 / Figure 4: dependency inheritance.
+func fig4() {
+	header("Figure 4 / Example 1: dependency inheritance")
+	sys, order := paperex.Example1()
+	for _, t := range sys.Top {
+		printTree(t, "")
+	}
+	fmt.Println("\nprimitive execution order:", strings.Join(order, ", "))
+	a := analyze(sys, order)
+
+	fmt.Println("\naction dependencies on Page4712 (Axiom 1):")
+	for _, e := range a.ActDep[paperex.Page4712].Edges() {
+		fmt.Printf("  %s -> %s\n", e[0], e[1])
+	}
+	fmt.Println("\ntransaction dependencies at Page4712 (Definition 10):")
+	for _, e := range a.TranDep[paperex.Page4712].Edges() {
+		fmt.Printf("  %s -> %s\n", describe(a, e[0]), describe(a, e[1]))
+	}
+	fmt.Println("\ninherited action dependencies at Leaf11 (Definition 11):")
+	for _, e := range a.ActDep[paperex.Leaf11].Edges() {
+		conflict := "commute -> inheritance STOPS here"
+		if a.Conflict(paperex.Leaf11, e[0], e[1]) {
+			conflict = "conflict -> inherited further"
+		}
+		fmt.Printf("  %s -> %s   (%s)\n", describe(a, e[0]), describe(a, e[1]), conflict)
+	}
+	fmt.Println("\ntop-level transaction dependencies (system object):")
+	for _, e := range a.TranDep[txn.SystemObject].Edges() {
+		fmt.Printf("  %s -> %s\n", e[0], e[1])
+	}
+	fmt.Println("\n  T1/T2 conflict on the page but their leaf inserts commute:")
+	fmt.Println("  the dependency is absorbed at Leaf11 and T2 stays unordered.")
+	rep := a.Check()
+	fmt.Printf("\noo-serializable: %v\n", rep.SystemOOSerializable)
+}
+
+// fig5 prints the Example 2 transaction tree.
+func fig5() {
+	header("Figure 5 / Example 2: an oo-transaction tree")
+	b := txn.NewTransaction("t1")
+	o := func(n string) txn.OID { return txn.OID{Type: "obj", Name: n} }
+	a11 := b.Call(nil, o("O1"), "a11")
+	a12 := b.Call(nil, o("O2"), "a12")
+	b.Call(a11, o("P1"), "a111")
+	b.Call(a11, o("P2"), "a112")
+	b.Call(a11, o("P3"), "a113")
+	b.Call(a12, o("P4"), "a121")
+	b.Call(a12, o("P5"), "a122")
+	printTree(b.Build(), "")
+	fmt.Println("\nleaves are primitive actions; left-to-right order is the")
+	fmt.Println("precedence relation of each action set (Definition 2).")
+}
+
+// fig6 prints the Example 3 virtual-object extension.
+func fig6() {
+	header("Figure 6 / Example 3: breaking call cycles with virtual objects")
+	b1 := txn.NewTransaction("t1")
+	o := func(n string) txn.OID { return txn.OID{Type: "obj", Name: n} }
+	a11 := b1.Call(nil, o("O1"), "a11")
+	b1.Call(a11, o("P1"), "a111")
+	b1.Call(a11, o("O1"), "a112")
+	b2 := txn.NewTransaction("t2")
+	b2.Call(nil, o("O1"), "b22")
+	sys := txn.NewSystem(b1.Build(), b2.Build())
+
+	fmt.Println("before the extension (a11 ->+ a112, both on O1):")
+	for _, t := range sys.Top {
+		printTree(t, "  ")
+	}
+	created := sys.Extend()
+	fmt.Printf("\nExtend() created virtual objects: %v\n\n", created)
+	fmt.Println("after the extension (Definition 5):")
+	for _, t := range sys.Top {
+		printTree(t, "  ")
+	}
+	fmt.Println("\na112 moved to O1'; every other action on O1 gained a virtual")
+	fmt.Println("duplicate on O1' so no dependency is lost; dependencies on O1'")
+	fmt.Println("are inherited to O1 along the duplicate's call edge.")
+}
+
+// fig7 prints Example 4's transactions with dependencies.
+func fig7() {
+	header("Figure 7 / Example 4: four transactions on the encyclopedia")
+	sys, order := paperex.Example4()
+	for _, t := range sys.Top {
+		printTree(t, "")
+	}
+	fmt.Println("\nprimitive execution order:", strings.Join(order, ", "))
+	a := analyze(sys, order)
+	fmt.Println("\ndependencies on Page4712 (the paper's long dashed arcs):")
+	for _, e := range a.ActDep[paperex.Page4712].Edges() {
+		fmt.Printf("  %s -> %s\n", e[0], e[1])
+	}
+	fmt.Println("\ndependencies on Item8 (the paper's short dashed arcs):")
+	for _, e := range a.TranDep[paperex.Item8].Edges() {
+		fmt.Printf("  %s -> %s\n", describe(a, e[0]), describe(a, e[1]))
+	}
+	rep := a.Check()
+	fmt.Printf("\noo-serializable: %v (witness serial order exists per object)\n",
+		rep.SystemOOSerializable)
+}
+
+// fig8 prints the Figure 8 dependency table.
+func fig8() {
+	header("Figure 8: schedule dependencies per object (Example 4)")
+	sys, order := paperex.Example4()
+	a := analyze(sys, order)
+	fmt.Print(a.DependencyTable())
+	fmt.Println("\nadded action dependencies (Definition 15, recorded redundantly):")
+	for _, o := range a.Objects() {
+		for _, e := range a.Added[o].Edges() {
+			fmt.Printf("  at %-12s %s -> %s\n", o.Name+":", describe(a, e[0]), describe(a, e[1]))
+		}
+	}
+}
+
+func describe(a *sched.Analysis, id string) string {
+	act := a.Action(id)
+	if act == nil {
+		return id
+	}
+	if act.Parent == nil {
+		return act.ID
+	}
+	return act.Msg.String()
+}

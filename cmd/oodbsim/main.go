@@ -1,0 +1,132 @@
+// Command oodbsim runs the reproduction's workloads under a chosen
+// concurrency-control protocol and prints the metrics the paper argues
+// about: blocked acquires (the rate of conflicting accesses), wait time,
+// deadlocks, and throughput — optionally validating the produced schedule
+// against Definitions 13/16.
+//
+// Usage examples:
+//
+//	oodbsim -workload encyclopedia -protocol all -workers 8 -txns 100
+//	oodbsim -workload coedit -protocol 2pl-object -authors 6
+//	oodbsim -workload banking -protocol open-nested -validate
+//
+// -protocol all sweeps every protocol and prints a comparison table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+var protocols = map[string]core.ProtocolKind{
+	"open-nested":   core.ProtocolOpenNested,
+	"2pl-page":      core.Protocol2PLPage,
+	"2pl-object":    core.Protocol2PLObject,
+	"closed-nested": core.ProtocolClosedNested,
+	"none":          core.ProtocolNone,
+}
+
+func main() {
+	var (
+		wl       = flag.String("workload", "encyclopedia", "workload: encyclopedia | coedit | banking")
+		protocol = flag.String("protocol", "all", "protocol: open-nested | 2pl-page | 2pl-object | closed-nested | none | all")
+		workers  = flag.Int("workers", 8, "concurrent workers / authors")
+		txns     = flag.Int("txns", 100, "transactions (edits) per worker")
+		ops      = flag.Int("ops", 4, "operations per transaction (encyclopedia)")
+		keys     = flag.Int("keys", 500, "key space size (encyclopedia)")
+		zipf     = flag.Float64("zipf", 0, "zipf skew s (>1 enables skew)")
+		fanout   = flag.Int("fanout", 100, "B+ tree node capacity (keys per page)")
+		sections = flag.Int("sections", 16, "document sections (coedit)")
+		accounts = flag.Int("accounts", 16, "accounts (banking)")
+		hot      = flag.Int("hot", 20, "percent of banking transfers hitting account 0")
+		seed     = flag.Int64("seed", 1, "random seed")
+		ioDelay  = flag.Duration("io", 20*time.Microsecond, "simulated page I/O latency")
+		validate = flag.Bool("validate", false, "validate the trace against Definitions 13/16")
+		traceOut = flag.String("trace", "", "write the encyclopedia workload's trace JSON to this file (single protocol only)")
+	)
+	flag.Parse()
+
+	var kinds []core.ProtocolKind
+	var names []string
+	if *protocol == "all" {
+		names = []string{"open-nested", "closed-nested", "2pl-page", "2pl-object"}
+		for _, n := range names {
+			kinds = append(kinds, protocols[n])
+		}
+	} else {
+		k, ok := protocols[*protocol]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "oodbsim: unknown protocol %q\n", *protocol)
+			os.Exit(2)
+		}
+		kinds = append(kinds, k)
+		names = append(names, *protocol)
+	}
+
+	var results []workload.Result
+	for i, kind := range kinds {
+		var res workload.Result
+		var err error
+		switch *wl {
+		case "encyclopedia":
+			res, err = workload.RunEncyclopedia(workload.Config{
+				Protocol:      kind,
+				Workers:       *workers,
+				TxnsPerWorker: *txns,
+				OpsPerTxn:     *ops,
+				Keys:          *keys,
+				ZipfS:         *zipf,
+				TreeFanout:    *fanout,
+				Preload:       *keys / 2,
+				Seed:          *seed,
+				Validate:      *validate,
+				PageIODelay:   *ioDelay,
+				TraceFile:     *traceOut,
+			})
+		case "coedit":
+			res, err = workload.RunCoEdit(workload.CoEditConfig{
+				Protocol:       kind,
+				Authors:        *workers,
+				EditsPerAuthor: *txns,
+				Sections:       *sections,
+				EditWork:       200 * time.Microsecond,
+				Seed:           *seed,
+				Validate:       *validate,
+				PageIODelay:    *ioDelay,
+			})
+		case "banking":
+			res, err = workload.RunBanking(workload.BankingConfig{
+				Protocol:      kind,
+				Workers:       *workers,
+				TxnsPerWorker: *txns,
+				Accounts:      *accounts,
+				HotPct:        *hot,
+				Seed:          *seed,
+				Validate:      *validate,
+				PageIODelay:   *ioDelay,
+			})
+		default:
+			fmt.Fprintf(os.Stderr, "oodbsim: unknown workload %q\n", *wl)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oodbsim: %s under %s: %v\n", *wl, names[i], err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+	}
+
+	fmt.Print(workload.Table(results))
+	if *validate {
+		fmt.Println()
+		for i, r := range results {
+			fmt.Printf("%-13s oo-serializable=%v conventional=%v semanticConflicts=%d conventionalConflicts=%d\n",
+				names[i], r.OOSerializable, r.ConvSerializable, r.SemanticConflicts, r.ConventionalConflicts)
+		}
+	}
+}

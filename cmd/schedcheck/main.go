@@ -1,0 +1,161 @@
+// Command schedcheck validates a recorded execution trace against the
+// paper's definitions: it reconstructs the transaction system, applies the
+// Definition 5 extension, computes the dependency relations (Definitions
+// 10, 11, 15) and reports the oo-serializability verdicts (Definitions 13
+// and 16) plus the conventional baseline.
+//
+// Usage:
+//
+//	schedcheck [-deps] [-demo] [trace.json]
+//
+// The trace is read from the named file or stdin; -deps additionally
+// prints the Figure 8 style dependency table; -demo ignores the input and
+// checks the built-in Example 4 trace instead.
+//
+// Object types in the trace are matched against the runtime commutativity
+// specifications of every built-in type (page, btreenode, btree,
+// linkedlist, item, encyclopedia, document, account); unknown types
+// conservatively conflict on everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/btree"
+	"repro/internal/commut"
+	"repro/internal/core"
+	"repro/internal/enc"
+	"repro/internal/list"
+	"repro/internal/paperex"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// runtimeRegistry assembles the commutativity specifications of all
+// built-in object types — the same ones a live engine registers.
+func runtimeRegistry() *commut.Registry {
+	reg := commut.NewRegistry()
+	reg.Register(core.PageType, core.PageSpec())
+	reg.Register(btree.TreeType, btree.TreeSpec())
+	reg.Register(btree.NodeType, btree.NodeSpec())
+	reg.Register(list.Type, list.Spec())
+	reg.Register(enc.Type, enc.Spec())
+	reg.Register(enc.ItemType, enc.ItemSpec())
+	reg.Register(workload.DocumentType, workload.DocSpec())
+	reg.Register(workload.AccountType, workload.AccountSpec())
+	return reg
+}
+
+func main() {
+	deps := flag.Bool("deps", false, "print the per-object dependency table")
+	demo := flag.Bool("demo", false, "check the built-in Example 4 instead of reading a trace")
+	online := flag.Bool("online", false, "additionally run the incremental certifier and report when the first violation closed")
+	flag.Parse()
+
+	var a *sched.Analysis
+	var err error
+	if *demo {
+		sys, order := paperex.Example4()
+		a, err = sched.Analyze(sys, paperex.Registry(), order)
+	} else {
+		var data []byte
+		if flag.NArg() > 0 {
+			data, err = os.ReadFile(flag.Arg(0))
+		} else {
+			data, err = io.ReadAll(os.Stdin)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		tr, err2 := trace.Unmarshal(data)
+		if err2 != nil {
+			fatal(err2)
+		}
+		onlineTrace = &tr
+		sys, order, err2 := tr.ToSystem()
+		if err2 != nil {
+			fatal(err2)
+		}
+		sys.Extend()
+		a, err = sched.Analyze(sys, runtimeRegistry(), order)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *online && !*demo {
+		runOnline()
+	}
+	rep := a.Check()
+	conv := a.Conventional()
+
+	fmt.Printf("%-28s %v\n", "oo-serializable (Def. 16):", rep.SystemOOSerializable)
+	fmt.Printf("%-28s %v\n", "globally acyclic:", rep.GlobalAcyclic)
+	fmt.Printf("%-28s %v\n", "conventionally serializable:", conv.Serializable)
+	fmt.Printf("%-28s %d\n", "conventional conflicts:", conv.Conflicts)
+	fmt.Printf("%-28s %d\n", "semantic conflicts:", a.SemanticConflicts())
+	fmt.Println()
+
+	fmt.Printf("%-14s %-8s %-8s %-8s %s\n", "object", "tranDep", "actDep", "added", "verdict")
+	for _, o := range a.Objects() {
+		v := a.ObjectVerdict(o)
+		verdict := "oo-serializable"
+		if !v.OOSerializable {
+			verdict = fmt.Sprintf("VIOLATION (cycle: %v)", v.Cycle)
+		} else if !v.AddedAcyclic {
+			verdict = fmt.Sprintf("ADDED-VIOLATION (cycle: %v)", v.Cycle)
+		}
+		fmt.Printf("%-14s %-8d %-8d %-8d %s\n",
+			o.Name, a.TranDep[o].NumEdges(), a.ActDep[o].NumEdges(), a.Added[o].NumEdges(), verdict)
+	}
+
+	if !rep.GlobalAcyclic {
+		fmt.Printf("\nglobal cycle witness: %v\n", rep.GlobalCycle)
+	}
+	if !conv.Serializable {
+		fmt.Printf("conventional cycle witness: %v\n", conv.Cycle)
+	}
+	if *deps {
+		fmt.Println()
+		fmt.Print(a.DependencyTable())
+	}
+	if !rep.SystemOOSerializable {
+		os.Exit(1)
+	}
+}
+
+// runOnline replays the already-loaded trace through the incremental
+// certifier, reporting the event index at which the stream stopped being
+// oo-serializable (engine-style traces only: call cycles are rejected).
+func runOnline() {
+	if onlineTrace == nil {
+		return
+	}
+	on := sched.NewOnline(runtimeRegistry())
+	for i, ev := range onlineTrace.Events {
+		if err := on.Add(sched.StreamEvent{
+			ID: ev.ID, Parent: ev.Parent, ObjType: ev.ObjType, ObjName: ev.ObjName,
+			Method: ev.Method, Params: ev.Params, Parallel: ev.Parallel, Aborted: ev.Aborted,
+		}); err != nil {
+			fmt.Printf("online certifier: stream unsupported at event %d: %v\n\n", i, err)
+			return
+		}
+		if !on.OK() {
+			fmt.Printf("online certifier: violation closed at event %d/%d: %v\n\n",
+				i, len(onlineTrace.Events), on.Violation())
+			return
+		}
+	}
+	fmt.Printf("online certifier: %d events, no violation\n\n", len(onlineTrace.Events))
+}
+
+var onlineTrace *trace.Trace
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "schedcheck: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,140 @@
+// Encyclopedia: the paper's running example (Figure 2, Examples 1 and 4)
+// executed live on the engine. Four concurrent transactions — two inserts
+// of different keys, a search, and a sequential read — run under open
+// nesting; the program then prints the dependency structure the schedule
+// produced and shows it matches the paper's Figure 8, and contrasts the
+// conflict behaviour with page-level 2PL.
+//
+//	go run ./examples/encyclopedia
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/enc"
+	"repro/internal/list"
+	"repro/internal/txn"
+)
+
+func build(p core.ProtocolKind) (*core.DB, *enc.Encyclopedia) {
+	db := core.Open(core.Options{Protocol: p, LockTimeout: 5 * time.Second})
+	trees, err := btree.Install(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lists, err := list.Install(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	encs, err := enc.Install(db, trees, lists)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := encs.New("Enc", 4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return db, e
+}
+
+func main() {
+	db, e := build(core.ProtocolOpenNested)
+
+	// Seed the "world knowledge" base.
+	seed := db.Begin()
+	for _, it := range [][2]string{
+		{"IR", "information retrieval"},
+		{"KR", "knowledge representation"},
+	} {
+		if _, err := seed.Exec(e.OID(), "insert", it[0], it[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := seed.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Example 4's four transactions, concurrently:
+	//   T1 inserts DBS, T2 inserts DBMS, T3 searches DBS, T4 reads
+	//   sequentially.
+	ops := [][]string{
+		{"insert", "DBS", "database system"},
+		{"insert", "DBMS", "database management system"},
+		{"search", "DBS"},
+		{"readSeq"},
+	}
+	var wg sync.WaitGroup
+	results := make([]string, len(ops))
+	txIDs := make([]string, len(ops))
+	for i, op := range ops {
+		wg.Add(1)
+		go func(i int, op []string) {
+			defer wg.Done()
+			for attempt := 0; attempt < 10; attempt++ {
+				tx := db.Begin()
+				res, err := tx.Exec(e.OID(), op[0], op[1:]...)
+				if err == nil {
+					if err := tx.Commit(); err == nil {
+						results[i] = res
+						txIDs[i] = tx.ID()
+						return
+					}
+				}
+				_ = tx.Abort()
+			}
+			log.Fatalf("transaction %d never committed", i+1)
+		}(i, op)
+	}
+	wg.Wait()
+
+	fmt.Println("T1 insert(DBS):  ", results[0])
+	fmt.Println("T2 insert(DBMS): ", results[1])
+	fmt.Println("T3 search(DBS):  ", orEmpty(results[2]))
+	fmt.Println("T4 readSeq:      ", results[3])
+
+	// T2's second half: change the previously inserted item (Example 4).
+	tx := db.Begin()
+	if _, err := tx.Exec(e.OID(), "update", "DBMS", "changed by T2"); err != nil {
+		log.Fatal(err)
+	}
+	_ = tx.Commit()
+
+	// Validate and print the dependency structure — the live Figure 8.
+	a, rep, err := db.Validate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noo-serializable: %v\n\n", rep.SystemOOSerializable)
+	fmt.Println("dependency table (live Figure 8):")
+	fmt.Print(a.DependencyTable())
+
+	// The paper's point, quantified on this tiny run: count how many
+	// conflicting pairs the conventional definition sees vs. the semantic
+	// one that actually had to be ordered above the page level.
+	conv := a.Conventional()
+	fmt.Printf("\nconventional page-level conflicting pairs: %d\n", conv.Conflicts)
+	fmt.Printf("semantic conflicting pairs (all levels):    %d\n", a.SemanticConflicts())
+
+	// Commuting inserts leave the two insert transactions unordered at the
+	// top level.
+	sysObj := txn.SystemObject
+	ins1, ins2 := txIDs[0], txIDs[1]
+	if a.TranDep[sysObj].HasEdge(ins1, ins2) || a.TranDep[sysObj].HasEdge(ins2, ins1) {
+		fmt.Println("\nunexpected: the commuting inserts got ordered")
+	} else {
+		fmt.Printf("\nthe two inserts %s/%s (different keys, same leaf) stayed unordered:\n", ins1, ins2)
+		fmt.Println("their page conflict was absorbed by commuting leaf inserts (Example 1).")
+	}
+}
+
+func orEmpty(s string) string {
+	if s == "" {
+		return "(not found)"
+	}
+	return s
+}

@@ -1,0 +1,105 @@
+// Quickstart: open a database, register an object type with a
+// commutativity specification, run two concurrent transactions whose
+// operations commute, and validate the produced schedule against the
+// paper's definitions.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/commut"
+	"repro/internal/core"
+	"repro/internal/txn"
+)
+
+func main() {
+	// An open-nested database (the paper's model is the default).
+	db := core.Open(core.Options{})
+
+	// A "counterSet" object type: named counters stored on one page each.
+	// Increments of DIFFERENT counters commute; increments of the same
+	// counter conflict (they could be made escrow-commuting too — see the
+	// banking example).
+	pages := map[string]txn.OID{}
+	for _, name := range []string{"clicks", "views"} {
+		pages[name] = db.AllocPage()
+	}
+	spec := commut.NewParamSpec(nil).
+		Rule("incr", "incr", commut.DistinctFirstParam).
+		Rule("get", "incr", commut.DistinctFirstParam).
+		Rule("get", "get", func(a, b commut.Invocation) bool { return true })
+
+	err := db.RegisterType(&core.ObjectType{
+		Name:     "counterSet",
+		Spec:     spec,
+		ReadOnly: map[string]bool{"get": true},
+		Methods: map[string]core.MethodFunc{
+			"incr": func(c *core.Ctx, self txn.OID, params []string) (string, error) {
+				pg := pages[params[0]]
+				old, err := c.Call(pg, "readx")
+				if err != nil {
+					return "", err
+				}
+				n := 0
+				fmt.Sscanf(old, "%d", &n)
+				return "", second(c.Call(pg, "write", fmt.Sprintf("%d", n+1)))
+			},
+			"get": func(c *core.Ctx, self txn.OID, params []string) (string, error) {
+				return c.Call(pages[params[0]], "read")
+			},
+		},
+		Compensate: map[string]core.CompensateFunc{
+			// incr(name) is undone by... nothing here: quickstart keeps it
+			// simple and never aborts; see examples/banking for real
+			// compensations.
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	counters := txn.OID{Type: "counterSet", Name: "stats"}
+
+	// Two concurrent transactions incrementing DIFFERENT counters: their
+	// semantic locks commute, so neither blocks the other.
+	var wg sync.WaitGroup
+	for _, name := range []string{"clicks", "views"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			tx := db.Begin()
+			for i := 0; i < 5; i++ {
+				if _, err := tx.Exec(counters, "incr", name); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				log.Fatal(err)
+			}
+		}(name)
+	}
+	wg.Wait()
+
+	// Read the results.
+	tx := db.Begin()
+	clicks, _ := tx.Exec(counters, "get", "clicks")
+	views, _ := tx.Exec(counters, "get", "views")
+	_ = tx.Commit()
+	fmt.Printf("clicks=%s views=%s\n", clicks, views)
+
+	// The engine recorded every dispatch; validate the schedule against
+	// Definitions 13/16 (object-oriented serializability).
+	_, rep, err := db.Validate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oo-serializable: %v\n", rep.SystemOOSerializable)
+	st := db.LockStats()
+	fmt.Printf("lock acquires: %d, blocked: %d (commuting increments never wait)\n",
+		st.Acquires, st.Blocked)
+}
+
+func second(_ string, err error) error { return err }

@@ -1,0 +1,511 @@
+package btree
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Node encodings. A leaf page is
+//
+//	L|next=<pid>|high=<key>|kv=k1:v1;k2:v2
+//
+// and an inner page is
+//
+//	I|next=<pid>|high=<key>|ch=p0,k1,p1,k2,p2
+//
+// next/high implement B-links: when a node splits, the left half keeps a
+// pointer to the right half and remembers the separator as its high key, so
+// a concurrent descent that lands left of moved keys follows the link
+// instead of failing ("B-linking", Section 2 of the paper).
+
+type leaf struct {
+	next storage.PageID
+	high string
+	keys []string
+	vals []string
+}
+
+type inner struct {
+	next     storage.PageID
+	high     string
+	keys     []string
+	children []storage.PageID // len(keys)+1
+}
+
+func encodeLeaf(l leaf) string {
+	var kv strings.Builder
+	for i, k := range l.keys {
+		if i > 0 {
+			kv.WriteByte(';')
+		}
+		kv.WriteString(k)
+		kv.WriteByte(':')
+		kv.WriteString(l.vals[i])
+	}
+	return fmt.Sprintf("L|next=%d|high=%s|kv=%s", l.next, l.high, kv.String())
+}
+
+func encodeInner(n inner) string {
+	var ch strings.Builder
+	for i, c := range n.children {
+		if i > 0 {
+			ch.WriteByte(',')
+			ch.WriteString(n.keys[i-1])
+			ch.WriteByte(',')
+		}
+		ch.WriteString(strconv.FormatUint(uint64(c), 10))
+	}
+	return fmt.Sprintf("I|next=%d|high=%s|ch=%s", n.next, n.high, ch.String())
+}
+
+// decodePage parses a node page. Exactly one of the results is non-nil.
+func decodePage(data string) (*leaf, *inner, error) {
+	parts := strings.SplitN(data, "|", 4)
+	if len(parts) != 4 ||
+		!strings.HasPrefix(parts[1], "next=") ||
+		!strings.HasPrefix(parts[2], "high=") {
+		return nil, nil, fmt.Errorf("%w: %q", ErrCorruptEntry, truncate(data))
+	}
+	next, err := strconv.ParseUint(strings.TrimPrefix(parts[1], "next="), 10, 64)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: bad next in %q", ErrCorruptEntry, truncate(data))
+	}
+	high := strings.TrimPrefix(parts[2], "high=")
+
+	switch parts[0] {
+	case "L":
+		body, ok := strings.CutPrefix(parts[3], "kv=")
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: leaf body in %q", ErrCorruptEntry, truncate(data))
+		}
+		l := &leaf{next: storage.PageID(next), high: high}
+		if body != "" {
+			for _, pair := range strings.Split(body, ";") {
+				k, v, found := strings.Cut(pair, ":")
+				if !found {
+					return nil, nil, fmt.Errorf("%w: pair %q", ErrCorruptEntry, pair)
+				}
+				l.keys = append(l.keys, k)
+				l.vals = append(l.vals, v)
+			}
+		}
+		return l, nil, nil
+	case "I":
+		body, ok := strings.CutPrefix(parts[3], "ch=")
+		if !ok || body == "" {
+			return nil, nil, fmt.Errorf("%w: inner body in %q", ErrCorruptEntry, truncate(data))
+		}
+		fields := strings.Split(body, ",")
+		if len(fields)%2 != 1 {
+			return nil, nil, fmt.Errorf("%w: inner arity in %q", ErrCorruptEntry, truncate(data))
+		}
+		n := &inner{next: storage.PageID(next), high: high}
+		for i, f := range fields {
+			if i%2 == 0 {
+				pid, err := strconv.ParseUint(f, 10, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("%w: child pid %q", ErrCorruptEntry, f)
+				}
+				n.children = append(n.children, storage.PageID(pid))
+			} else {
+				n.keys = append(n.keys, f)
+			}
+		}
+		return nil, n, nil
+	}
+	return nil, nil, fmt.Errorf("%w: kind %q", ErrCorruptEntry, parts[0])
+}
+
+func truncate(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}
+
+// childFor returns the child pid routing key k.
+func (n *inner) childFor(k string) storage.PageID {
+	i := sort.SearchStrings(n.keys, k)
+	// keys[i-1] <= k < keys[i] routes to children[i]; equal keys route
+	// right (separator is the first key of the right sibling).
+	if i < len(n.keys) && n.keys[i] == k {
+		i++
+	}
+	return n.children[i]
+}
+
+// movedPast reports whether key k now lives right of this node.
+func movedPast(high string, next storage.PageID, k string) bool {
+	return high != "" && k >= high && next != storage.InvalidPage
+}
+
+// --- node object methods ---------------------------------------------------
+
+// nodeRoute routes a key one level down: "leaf" when the node is a leaf,
+// "child|<pid>" for the subtree to descend into, "moved|<pid>" when the key
+// range moved right via a B-link.
+func (m *Module) nodeRoute(c *core.Ctx, self txn.OID, params []string) (string, error) {
+	if len(params) != 1 {
+		return "", fmt.Errorf("btree: route needs a key")
+	}
+	k := params[0]
+	data, err := m.readNode(c, self, "read")
+	if err != nil {
+		return "", err
+	}
+	l, n, err := decodePage(data)
+	if err != nil {
+		return "", err
+	}
+	if l != nil {
+		return "leaf", nil
+	}
+	if movedPast(n.high, n.next, k) {
+		return "moved|" + pidStr(n.next), nil
+	}
+	return "child|" + pidStr(n.childFor(k)), nil
+}
+
+// nodeInsert inserts k=v into a leaf node:
+//
+//	"ok|<old>"                 — inserted (old = previous value, may be empty)
+//	"moved|<pid>"              — key range moved right, retry there
+//	"split|<sep>|<new>|<old>"  — leaf split; sep/new must be posted to the parent
+//
+// params: key, value, maxKeys.
+func (m *Module) nodeInsert(c *core.Ctx, self txn.OID, params []string) (string, error) {
+	if len(params) != 3 {
+		return "", fmt.Errorf("btree: node insert needs key, value, maxKeys")
+	}
+	k, v := params[0], params[1]
+	maxKeys, err := strconv.Atoi(params[2])
+	if err != nil {
+		return "", fmt.Errorf("btree: bad maxKeys %q", params[2])
+	}
+	data, err := m.readNode(c, self, "readx")
+	if err != nil {
+		return "", err
+	}
+	l, _, err := decodePage(data)
+	if err != nil {
+		return "", err
+	}
+	if l == nil {
+		return "", fmt.Errorf("%w: insert into inner node %s", ErrCorruptEntry, self.Name)
+	}
+	if movedPast(l.high, l.next, k) {
+		return "moved|" + pidStr(l.next), nil
+	}
+
+	old := ""
+	i := sort.SearchStrings(l.keys, k)
+	if i < len(l.keys) && l.keys[i] == k {
+		old = l.vals[i]
+		l.vals[i] = v
+	} else {
+		l.keys = append(l.keys, "")
+		copy(l.keys[i+1:], l.keys[i:])
+		l.keys[i] = k
+		l.vals = append(l.vals, "")
+		copy(l.vals[i+1:], l.vals[i:])
+		l.vals[i] = v
+	}
+
+	if len(l.keys) <= maxKeys {
+		if _, err := c.Call(self2page(self), "write", encodeLeaf(*l)); err != nil {
+			return "", err
+		}
+		return "ok|" + old, nil
+	}
+
+	// Split: right half moves to a fresh page; B-link left → right.
+	mid := len(l.keys) / 2
+	right := leaf{
+		next: l.next,
+		high: l.high,
+		keys: append([]string{}, l.keys[mid:]...),
+		vals: append([]string{}, l.vals[mid:]...),
+	}
+	sep := right.keys[0]
+	newOID := c.DB().AllocPage()
+	newPID, err := core.PageID(newOID)
+	if err != nil {
+		return "", err
+	}
+	left := leaf{next: newPID, high: sep, keys: l.keys[:mid], vals: l.vals[:mid]}
+	// Write the right half first: a concurrent descent that still reaches
+	// the left page sees a consistent B-link chain either way.
+	if _, err := c.Call(newOID, "write", encodeLeaf(right)); err != nil {
+		return "", err
+	}
+	if _, err := c.Call(self2page(self), "write", encodeLeaf(left)); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("split|%s|%s|%s", sep, pidStr(newPID), old), nil
+}
+
+// nodeSearch looks k up in a leaf: "val|<v>", "miss", or "moved|<pid>".
+func (m *Module) nodeSearch(c *core.Ctx, self txn.OID, params []string) (string, error) {
+	if len(params) != 1 {
+		return "", fmt.Errorf("btree: node search needs a key")
+	}
+	k := params[0]
+	data, err := m.readNode(c, self, "read")
+	if err != nil {
+		return "", err
+	}
+	l, _, err := decodePage(data)
+	if err != nil {
+		return "", err
+	}
+	if l == nil {
+		return "", fmt.Errorf("%w: search in inner node %s", ErrCorruptEntry, self.Name)
+	}
+	if movedPast(l.high, l.next, k) {
+		return "moved|" + pidStr(l.next), nil
+	}
+	i := sort.SearchStrings(l.keys, k)
+	if i < len(l.keys) && l.keys[i] == k {
+		return "val|" + l.vals[i], nil
+	}
+	return "miss", nil
+}
+
+// nodeDelete removes k from a leaf: "val|<old>", "miss", or "moved|<pid>".
+// No rebalancing (documented simplification). params: key, maxKeys (the
+// capacity is only needed by the compensating re-insert).
+func (m *Module) nodeDelete(c *core.Ctx, self txn.OID, params []string) (string, error) {
+	if len(params) != 2 {
+		return "", fmt.Errorf("btree: node delete needs key and maxKeys")
+	}
+	k := params[0]
+	data, err := m.readNode(c, self, "readx")
+	if err != nil {
+		return "", err
+	}
+	l, _, err := decodePage(data)
+	if err != nil {
+		return "", err
+	}
+	if l == nil {
+		return "", fmt.Errorf("%w: delete in inner node %s", ErrCorruptEntry, self.Name)
+	}
+	if movedPast(l.high, l.next, k) {
+		return "moved|" + pidStr(l.next), nil
+	}
+	i := sort.SearchStrings(l.keys, k)
+	if i >= len(l.keys) || l.keys[i] != k {
+		return "miss", nil
+	}
+	old := l.vals[i]
+	l.keys = append(l.keys[:i], l.keys[i+1:]...)
+	l.vals = append(l.vals[:i], l.vals[i+1:]...)
+	if _, err := c.Call(self2page(self), "write", encodeLeaf(*l)); err != nil {
+		return "", err
+	}
+	return "val|" + old, nil
+}
+
+// nodeInsertChild posts a separator and new-child pid into an inner node:
+// "ok", "moved|<pid>", or "split|<sep>|<new>". params: sep, newpid, maxKeys.
+func (m *Module) nodeInsertChild(c *core.Ctx, self txn.OID, params []string) (string, error) {
+	if len(params) != 3 {
+		return "", fmt.Errorf("btree: insertChild needs sep, pid, maxKeys")
+	}
+	sep := params[0]
+	newPID, err := strconv.ParseUint(params[1], 10, 64)
+	if err != nil {
+		return "", fmt.Errorf("btree: bad child pid %q", params[1])
+	}
+	maxKeys, err := strconv.Atoi(params[2])
+	if err != nil {
+		return "", fmt.Errorf("btree: bad maxKeys %q", params[2])
+	}
+	data, err := m.readNode(c, self, "readx")
+	if err != nil {
+		return "", err
+	}
+	_, n, err := decodePage(data)
+	if err != nil {
+		return "", err
+	}
+	if n == nil {
+		return "", fmt.Errorf("%w: insertChild into leaf %s", ErrCorruptEntry, self.Name)
+	}
+	if movedPast(n.high, n.next, sep) {
+		return "moved|" + pidStr(n.next), nil
+	}
+
+	i := sort.SearchStrings(n.keys, sep)
+	n.keys = append(n.keys, "")
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, 0)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = storage.PageID(newPID)
+
+	if len(n.keys) <= maxKeys {
+		if _, err := c.Call(self2page(self), "write", encodeInner(*n)); err != nil {
+			return "", err
+		}
+		return "ok", nil
+	}
+
+	// Inner split: the middle key is promoted, not copied.
+	mid := len(n.keys) / 2
+	promoted := n.keys[mid]
+	right := inner{
+		next:     n.next,
+		high:     n.high,
+		keys:     append([]string{}, n.keys[mid+1:]...),
+		children: append([]storage.PageID{}, n.children[mid+1:]...),
+	}
+	newOID := c.DB().AllocPage()
+	rightPID, err := core.PageID(newOID)
+	if err != nil {
+		return "", err
+	}
+	left := inner{
+		next:     rightPID,
+		high:     promoted,
+		keys:     n.keys[:mid],
+		children: n.children[:mid+1],
+	}
+	if _, err := c.Call(newOID, "write", encodeInner(right)); err != nil {
+		return "", err
+	}
+	if _, err := c.Call(self2page(self), "write", encodeInner(left)); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("split|%s|%s", promoted, pidStr(rightPID)), nil
+}
+
+// nodeMakeRoot initializes self as a fresh root with two children.
+// params: leftpid, sep, rightpid.
+func (m *Module) nodeMakeRoot(c *core.Ctx, self txn.OID, params []string) (string, error) {
+	if len(params) != 3 {
+		return "", fmt.Errorf("btree: makeRoot needs left, sep, right")
+	}
+	left, err1 := strconv.ParseUint(params[0], 10, 64)
+	right, err2 := strconv.ParseUint(params[2], 10, 64)
+	if err1 != nil || err2 != nil {
+		return "", fmt.Errorf("btree: bad root child pids %v", params)
+	}
+	n := inner{
+		keys:     []string{params[1]},
+		children: []storage.PageID{storage.PageID(left), storage.PageID(right)},
+	}
+	return c.Call(self2page(self), "write", encodeInner(n))
+}
+
+// nodeCompDelete is the compensation counterpart of a leaf insert: it
+// deletes k, FOLLOWING B-link moved-chains itself — a plain node delete
+// returns moved|<pid> and relies on the tree method to chase it, but a
+// compensation must be self-contained (it may run during rollback or crash
+// recovery long after the insert, when splits have moved the key).
+// params: key, maxKeys.
+func (m *Module) nodeCompDelete(c *core.Ctx, self txn.OID, params []string) (string, error) {
+	if len(params) != 2 {
+		return "", fmt.Errorf("btree: compDelete needs key and maxKeys")
+	}
+	res, err := m.nodeDelete(c, self, params)
+	if err != nil {
+		return "", err
+	}
+	if next, ok := strings.CutPrefix(res, "moved|"); ok {
+		pid, err := parsePID(next)
+		if err != nil {
+			return "", err
+		}
+		return c.Call(nodeOID(pid), "compDelete", params...)
+	}
+	return res, nil
+}
+
+// nodeCompInsert is the compensation counterpart of a leaf delete: it
+// re-inserts k=v, following moved-chains, and NEVER splits — the node may
+// go temporarily overfull (it heals on the next regular insert), because a
+// compensation must not start structure modifications of its own.
+// params: key, value, maxKeys.
+func (m *Module) nodeCompInsert(c *core.Ctx, self txn.OID, params []string) (string, error) {
+	if len(params) != 3 {
+		return "", fmt.Errorf("btree: compInsert needs key, value, maxKeys")
+	}
+	k, v := params[0], params[1]
+	data, err := m.readNode(c, self, "readx")
+	if err != nil {
+		return "", err
+	}
+	l, _, err := decodePage(data)
+	if err != nil {
+		return "", err
+	}
+	if l == nil {
+		return "", fmt.Errorf("%w: compInsert into inner node %s", ErrCorruptEntry, self.Name)
+	}
+	if movedPast(l.high, l.next, k) {
+		return c.Call(nodeOID(l.next), "compInsert", params...)
+	}
+	i := sort.SearchStrings(l.keys, k)
+	old := ""
+	if i < len(l.keys) && l.keys[i] == k {
+		old = l.vals[i]
+		l.vals[i] = v
+	} else {
+		l.keys = append(l.keys, "")
+		copy(l.keys[i+1:], l.keys[i:])
+		l.keys[i] = k
+		l.vals = append(l.vals, "")
+		copy(l.vals[i+1:], l.vals[i:])
+		l.vals[i] = v
+	}
+	if _, err := c.Call(self2page(self), "write", encodeLeaf(*l)); err != nil {
+		return "", err
+	}
+	return "ok|" + old, nil
+}
+
+// nodeScanLeaf returns a leaf's pairs and successor: "<next>|k1:v1;k2:v2".
+func (m *Module) nodeScanLeaf(c *core.Ctx, self txn.OID, params []string) (string, error) {
+	data, err := m.readNode(c, self, "read")
+	if err != nil {
+		return "", err
+	}
+	l, _, err := decodePage(data)
+	if err != nil {
+		return "", err
+	}
+	if l == nil {
+		return "", fmt.Errorf("%w: scanLeaf on inner node %s", ErrCorruptEntry, self.Name)
+	}
+	var kv strings.Builder
+	for i, k := range l.keys {
+		if i > 0 {
+			kv.WriteByte(';')
+		}
+		kv.WriteString(k)
+		kv.WriteByte(':')
+		kv.WriteString(l.vals[i])
+	}
+	return pidStr(l.next) + "|" + kv.String(), nil
+}
+
+// readNode reads the page behind a node object with the given page method
+// ("read" or "readx").
+func (m *Module) readNode(c *core.Ctx, self txn.OID, how string) (string, error) {
+	return c.Call(self2page(self), how)
+}
+
+func self2page(self txn.OID) txn.OID {
+	return txn.OID{Type: core.PageType, Name: "Page" + strings.TrimPrefix(self.Name, "Node")}
+}
+
+func pidStr(p storage.PageID) string {
+	return strconv.FormatUint(uint64(p), 10)
+}

@@ -1,0 +1,130 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestInstallAndRoundTrip(t *testing.T) {
+	db := core.Open(core.Options{})
+	cat, err := Install(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.PageID() != 1 {
+		t.Fatalf("catalog page = %d, want the first page", cat.PageID())
+	}
+
+	if err := cat.Put(TreeEntry("idx", 64, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Put(ListEntry("lst", 50, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Put(EncEntry("Enc", 64, 50)); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := cat.Get(KindTree, "idx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxKeys, root, err := TreeFields(e)
+	if err != nil || maxKeys != 64 || root != 7 {
+		t.Fatalf("tree fields = %d %d %v", maxKeys, root, err)
+	}
+	le, err := cat.Get(KindList, "lst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity, head, err := ListFields(le)
+	if err != nil || capacity != 50 || head != 8 {
+		t.Fatalf("list fields = %d %d %v", capacity, head, err)
+	}
+	ee, err := cat.Get(KindEnc, "Enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanout, spine, err := EncFields(ee)
+	if err != nil || fanout != 64 || spine != 50 {
+		t.Fatalf("enc fields = %d %d %v", fanout, spine, err)
+	}
+
+	entries, err := cat.Entries()
+	if err != nil || len(entries) != 3 {
+		t.Fatalf("entries = %v, %v", entries, err)
+	}
+	if _, err := cat.Get(KindTree, "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing entry: %v", err)
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	db := core.Open(core.Options{})
+	cat, _ := Install(db)
+	_ = cat.Put(TreeEntry("idx", 64, 7))
+	if err := cat.Put(TreeEntry("idx", 64, 99)); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := cat.Get(KindTree, "idx")
+	_, root, _ := TreeFields(e)
+	if root != 99 {
+		t.Fatalf("root = %d after replace", root)
+	}
+	entries, _ := cat.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(entries))
+	}
+}
+
+func TestBadNames(t *testing.T) {
+	db := core.Open(core.Options{})
+	cat, _ := Install(db)
+	if err := cat.Put(Entry{Kind: KindTree, Name: "a|b"}); !errors.Is(err, ErrBadName) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := cat.Put(Entry{Kind: KindTree, Name: "x", Fields: []string{"a;b"}}); !errors.Is(err, ErrBadName) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAttachSeesExisting(t *testing.T) {
+	db := core.Open(core.Options{})
+	cat, _ := Install(db)
+	_ = cat.Put(TreeEntry("idx", 8, 3))
+
+	cat2 := Attach(db, cat.PageID())
+	e, err := cat2.Get(KindTree, "idx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, root, _ := TreeFields(e); root != 3 {
+		t.Fatal("attach lost data")
+	}
+}
+
+func TestFieldParsersRejectWrongKinds(t *testing.T) {
+	if _, _, err := TreeFields(Entry{Kind: KindList}); err == nil {
+		t.Fatal("TreeFields must reject list entries")
+	}
+	if _, _, err := ListFields(Entry{Kind: KindTree}); err == nil {
+		t.Fatal("ListFields must reject tree entries")
+	}
+	if _, _, err := EncFields(Entry{Kind: KindTree}); err == nil {
+		t.Fatal("EncFields must reject tree entries")
+	}
+	if _, _, err := TreeFields(Entry{Kind: KindTree, Fields: []string{"x", "1"}}); err == nil {
+		t.Fatal("TreeFields must reject non-numeric fields")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	if _, err := decodeEntries("nonsense-without-separator"); err == nil {
+		t.Fatal("corrupt row must fail")
+	}
+	if es, err := decodeEntries(""); err != nil || es != nil {
+		t.Fatal("empty catalog decodes to nothing")
+	}
+}

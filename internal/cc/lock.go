@@ -1,0 +1,672 @@
+// Package cc provides the lock-based concurrency-control runtime the
+// transaction engine (internal/core) builds its protocols on:
+//
+//   - lock modes: classical shared/exclusive and semantic modes whose
+//     compatibility is an object type's commutativity specification
+//     (Definition 9) — two invocations may hold locks on the same object
+//     simultaneously iff they commute;
+//   - a blocking lock manager with owner hierarchies (owners are
+//     hierarchical action ids, so ancestor bypass for closed nested
+//     transactions is a prefix test), lock transfer to parents, waits-for
+//     deadlock detection with youngest-victim abort, and an optional wait
+//     timeout as a backstop;
+//   - counters for the paper's evaluation: acquisitions, blocked acquires
+//     (the "rate of conflicting accesses"), deadlocks and wait time.
+package cc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/commut"
+	"repro/internal/txn"
+)
+
+// Sentinel errors returned by Acquire.
+var (
+	// ErrDeadlock is returned to the victim of a waits-for cycle.
+	ErrDeadlock = errors.New("cc: deadlock victim")
+	// ErrTimeout is returned when a lock wait exceeds the configured bound.
+	ErrTimeout = errors.New("cc: lock wait timeout")
+	// ErrDoomed is returned when the owner's transaction was already chosen
+	// as a deadlock victim and must abort before acquiring anything else.
+	ErrDoomed = errors.New("cc: transaction doomed by deadlock detection")
+)
+
+// Mode is a lock mode. Compatibility must be symmetric.
+type Mode interface {
+	CompatibleWith(other Mode) bool
+	String() string
+}
+
+// RW is the classical two-mode lattice.
+type RW int
+
+// The two classical modes.
+const (
+	S RW = iota // shared
+	X           // exclusive
+)
+
+// CompatibleWith implements Mode: only S/S is compatible.
+func (m RW) CompatibleWith(other Mode) bool {
+	o, ok := other.(RW)
+	if !ok {
+		return false // mixing mode families is always a conflict
+	}
+	return m == S && o == S
+}
+
+func (m RW) String() string {
+	if m == S {
+		return "S"
+	}
+	return "X"
+}
+
+// Semantic is a commutativity-based lock mode: holding Semantic{inv} on an
+// object means the owner has an uncommitted invocation inv outstanding;
+// another invocation may run concurrently iff the object type's
+// specification says the two commute.
+type Semantic struct {
+	Inv  commut.Invocation
+	Spec commut.Spec
+}
+
+// CompatibleWith implements Mode.
+func (m Semantic) CompatibleWith(other Mode) bool {
+	o, ok := other.(Semantic)
+	if !ok {
+		return false
+	}
+	return m.Spec.Commutes(m.Inv, o.Inv)
+}
+
+func (m Semantic) String() string { return "sem:" + m.Inv.String() }
+
+// Resource identifies a lockable resource: a database object.
+type Resource = txn.OID
+
+// Stats are the lock manager's counters; read a consistent snapshot with
+// Snapshot.
+type Stats struct {
+	// Acquires counts Acquire calls that eventually succeeded.
+	Acquires int64
+	// Blocked counts Acquire calls that had to wait at least once — the
+	// runtime measure of "conflicting accesses".
+	Blocked int64
+	// Deadlocks counts aborted victims.
+	Deadlocks int64
+	// Timeouts counts waits that exceeded the bound.
+	Timeouts int64
+	// WaitTime is the total time spent blocked.
+	WaitTime time.Duration
+}
+
+type grant struct {
+	owner string
+	mode  Mode
+	count int // re-entrant acquisitions by the same owner+mode
+}
+
+// waiter is one blocked Acquire in FIFO position (fairness mode).
+type waiter struct {
+	owner string
+	mode  Mode
+	seq   uint64
+}
+
+type lockState struct {
+	granted []grant
+	// waiting holds blocked requests in arrival order; only consulted when
+	// fairness is enabled.
+	waiting []*waiter
+}
+
+// LockManager is a blocking lock manager. Owners are hierarchical action
+// ids (e.g. "T3", "T3.1.2"); the root prefix up to the first dot names the
+// top-level transaction, which is the deadlock-detection granule.
+type LockManager struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	locks map[Resource]*lockState
+	// waitsFor counts, per waiting root, how many of its blocked acquires
+	// wait for each blocking root.
+	waitsFor map[string]map[string]int
+	// doomed roots must abort; their acquires fail fast.
+	doomed map[string]bool
+	// ages overrides the age derived from the transaction id. A restarted
+	// transaction keeps its original age (SetAge), so the youngest-victim
+	// policy cannot starve it forever.
+	ages map[string]int64
+
+	// ancestorBypass, when true, lets a requester ignore conflicting locks
+	// held by its proper ancestors (Moss's closed nested locking rule).
+	ancestorBypass bool
+	// fair, when true, prevents barging: a request also waits behind
+	// EARLIER incompatible waiters, so a stream of compatible requests
+	// (e.g. readers) cannot starve a conflicting one (a writer).
+	fair    bool
+	waitSeq uint64
+	// waitTimeout bounds each blocked acquire; 0 means no bound.
+	waitTimeout time.Duration
+	// debugDump, when set, receives a full lock-table dump on each timeout.
+	debugDump func(string)
+
+	stats Stats
+}
+
+// Option configures a LockManager.
+type Option func(*LockManager)
+
+// WithAncestorBypass enables the closed-nested rule: locks held by proper
+// ancestors of the requester do not block it.
+func WithAncestorBypass() Option {
+	return func(lm *LockManager) { lm.ancestorBypass = true }
+}
+
+// WithWaitTimeout bounds every lock wait.
+func WithWaitTimeout(d time.Duration) Option {
+	return func(lm *LockManager) { lm.waitTimeout = d }
+}
+
+// WithFairness enables FIFO ordering of conflicting waiters: later
+// requests do not barge past earlier incompatible ones, so continuous
+// compatible traffic (readers, commuting operations) cannot starve a
+// conflicting request.
+func WithFairness() Option {
+	return func(lm *LockManager) { lm.fair = true }
+}
+
+// NewLockManager returns a lock manager with the given options.
+func NewLockManager(opts ...Option) *LockManager {
+	lm := &LockManager{
+		locks:    make(map[Resource]*lockState),
+		waitsFor: make(map[string]map[string]int),
+		doomed:   make(map[string]bool),
+		ages:     make(map[string]int64),
+	}
+	lm.cond = sync.NewCond(&lm.mu)
+	for _, o := range opts {
+		o(lm)
+	}
+	return lm
+}
+
+// RootOf returns the top-level transaction id of an owner id.
+func RootOf(owner string) string {
+	if i := strings.IndexByte(owner, '.'); i >= 0 {
+		return owner[:i]
+	}
+	return owner
+}
+
+// isAncestor reports whether holder is a proper ancestor of requester in
+// the hierarchical id scheme.
+func isAncestor(holder, requester string) bool {
+	return len(requester) > len(holder)+1 && strings.HasPrefix(requester, holder+".")
+}
+
+// blockRef names one conflicting holder or (in fairness mode) earlier
+// waiter.
+type blockRef struct {
+	owner string
+	mode  Mode
+}
+
+// skippable reports whether a conflicting entry never blocks this owner:
+// itself, its own transaction's other subtransactions, or (closed nesting)
+// a proper ancestor. Caller holds lm.mu.
+func (lm *LockManager) skippable(owner, other string) bool {
+	if other == owner {
+		return true // re-entrant: an owner never conflicts with itself
+	}
+	if RootOf(other) == RootOf(owner) {
+		// Same top-level transaction: sibling subtransactions are the
+		// application's own (intra-transaction) parallelism; the paper
+		// handles their ordering via precedence (Definition 9: actions
+		// of the same process are never in conflict), not isolation.
+		return true
+	}
+	return lm.ancestorBypass && isAncestor(other, owner)
+}
+
+// blockers returns the entries incompatible with the request: conflicting
+// granted locks, plus — in fairness mode — conflicting waiters queued
+// before mySeq (use ^uint64(0) for a request not yet queued: everyone
+// already waiting counts as earlier). Caller holds lm.mu.
+func (lm *LockManager) blockers(owner string, st *lockState, mode Mode, mySeq uint64) []blockRef {
+	var out []blockRef
+	for _, g := range st.granted {
+		if lm.skippable(owner, g.owner) {
+			continue
+		}
+		if !mode.CompatibleWith(g.mode) {
+			out = append(out, blockRef{owner: g.owner, mode: g.mode})
+		}
+	}
+	if lm.fair {
+		for _, w := range st.waiting {
+			if w.seq >= mySeq || lm.skippable(owner, w.owner) {
+				continue
+			}
+			if !mode.CompatibleWith(w.mode) {
+				out = append(out, blockRef{owner: w.owner, mode: w.mode})
+			}
+		}
+	}
+	return out
+}
+
+// Acquire blocks until the owner holds res in the given mode, or returns
+// ErrDeadlock / ErrDoomed / ErrTimeout. Re-acquisition by the same owner
+// and mode is re-entrant.
+func (lm *LockManager) Acquire(owner string, res Resource, mode Mode) error {
+	root := RootOf(owner)
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+
+	if lm.doomed[root] {
+		return ErrDoomed
+	}
+	st := lm.locks[res]
+	if st == nil {
+		st = &lockState{}
+		lm.locks[res] = st
+	}
+
+	blocked := false
+	var start time.Time
+	var timedOut bool
+	var timer *time.Timer
+	var token *waiter             // our FIFO position once blocked (fairness mode)
+	waitingOn := map[string]int{} // roots this call currently charges in waitsFor
+
+	removeToken := func() {
+		if token == nil {
+			return
+		}
+		kept := st.waiting[:0]
+		for _, w := range st.waiting {
+			if w != token {
+				kept = append(kept, w)
+			}
+		}
+		st.waiting = kept
+		token = nil
+		lm.cond.Broadcast() // later waiters may now be first in line
+	}
+
+	clearWaits := func() {
+		for r, n := range waitingOn {
+			m := lm.waitsFor[root]
+			if m != nil {
+				m[r] -= n
+				if m[r] <= 0 {
+					delete(m, r)
+				}
+				if len(m) == 0 {
+					delete(lm.waitsFor, root)
+				}
+			}
+		}
+		waitingOn = map[string]int{}
+	}
+	defer func() {
+		removeToken()
+		clearWaits()
+		if timer != nil {
+			timer.Stop()
+		}
+		if blocked {
+			lm.stats.WaitTime += time.Since(start)
+		}
+	}()
+
+	for {
+		if lm.doomed[root] {
+			lm.stats.Deadlocks++
+			return ErrDeadlock
+		}
+		mySeq := ^uint64(0)
+		if token != nil {
+			mySeq = token.seq
+		}
+		bl := lm.blockers(owner, st, mode, mySeq)
+		if len(bl) == 0 {
+			lm.grantLocked(st, owner, mode)
+			lm.stats.Acquires++
+			return nil
+		}
+		if !blocked {
+			blocked = true
+			start = time.Now()
+			lm.stats.Blocked++
+			if lm.fair {
+				lm.waitSeq++
+				token = &waiter{owner: owner, mode: mode, seq: lm.waitSeq}
+				st.waiting = append(st.waiting, token)
+			}
+			if lm.waitTimeout > 0 {
+				timer = time.AfterFunc(lm.waitTimeout, func() {
+					lm.mu.Lock()
+					timedOut = true
+					lm.cond.Broadcast()
+					lm.mu.Unlock()
+				})
+			}
+		}
+		if timedOut {
+			lm.stats.Timeouts++
+			holders := make([]string, 0, len(st.granted))
+			for _, g := range st.granted {
+				holders = append(holders, g.owner+"/"+g.mode.String())
+			}
+			if lm.debugDump != nil {
+				lm.debugDump(lm.dumpLocked(owner, mode, res))
+			}
+			return fmt.Errorf("%w: %s wants %s on %s held by %s",
+				ErrTimeout, owner, mode, res.Name, strings.Join(holders, ", "))
+		}
+
+		// Charge fresh waits-for edges.
+		clearWaits()
+		wf := lm.waitsFor[root]
+		if wf == nil {
+			wf = map[string]int{}
+			lm.waitsFor[root] = wf
+		}
+		for _, g := range bl {
+			br := RootOf(g.owner)
+			if br == root {
+				continue
+			}
+			wf[br]++
+			waitingOn[br]++
+		}
+
+		// Deadlock detection: is root on a waits-for cycle?
+		if cycle := lm.findCycleFrom(root); cycle != nil {
+			victim := lm.youngestLocked(cycle)
+			if victim == root {
+				lm.stats.Deadlocks++
+				return ErrDeadlock
+			}
+			lm.doomed[victim] = true
+			lm.cond.Broadcast()
+		}
+		lm.cond.Wait()
+	}
+}
+
+// grantLocked records the grant. Caller holds lm.mu.
+func (lm *LockManager) grantLocked(st *lockState, owner string, mode Mode) {
+	for i := range st.granted {
+		if st.granted[i].owner == owner && st.granted[i].mode.String() == mode.String() {
+			st.granted[i].count++
+			return
+		}
+	}
+	st.granted = append(st.granted, grant{owner: owner, mode: mode, count: 1})
+}
+
+// findCycleFrom returns the roots of a waits-for cycle through start, or
+// nil. Caller holds lm.mu.
+func (lm *LockManager) findCycleFrom(start string) []string {
+	var path []string
+	onPath := map[string]bool{}
+	visited := map[string]bool{}
+	var dfs func(n string) []string
+	dfs = func(n string) []string {
+		path = append(path, n)
+		onPath[n] = true
+		visited[n] = true
+		for m := range lm.waitsFor[n] {
+			if m == start && len(path) > 0 {
+				return append([]string{}, path...)
+			}
+			if onPath[m] || visited[m] {
+				continue
+			}
+			if c := dfs(m); c != nil {
+				return c
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[n] = false
+		return nil
+	}
+	return dfs(start)
+}
+
+// SetAge overrides the age of a transaction: a restarted transaction that
+// keeps its original (older) age stops being the default deadlock victim,
+// preventing restart starvation. Cleared by ReleaseTree.
+func (lm *LockManager) SetAge(root string, age int64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.ages[root] = age
+}
+
+// ageLocked returns the effective age of a root. Caller holds lm.mu.
+func (lm *LockManager) ageLocked(root string) int64 {
+	if a, ok := lm.ages[root]; ok {
+		return a
+	}
+	return int64(txnSeq(root))
+}
+
+// youngestLocked picks the deadlock victim: the transaction with the
+// highest effective age (most recently started), falling back to
+// lexicographic order. Caller holds lm.mu.
+func (lm *LockManager) youngestLocked(roots []string) string {
+	best := roots[0]
+	bestSeq := lm.ageLocked(best)
+	for _, r := range roots[1:] {
+		if s := lm.ageLocked(r); s > bestSeq || (s == bestSeq && r > best) {
+			best, bestSeq = r, s
+		}
+	}
+	return best
+}
+
+// txnSeq extracts the trailing integer of a transaction id, or -1.
+func txnSeq(root string) int {
+	i := len(root)
+	for i > 0 && root[i-1] >= '0' && root[i-1] <= '9' {
+		i--
+	}
+	if i == len(root) {
+		return -1
+	}
+	n := 0
+	for _, c := range root[i:] {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// Release drops every mode the owner holds on res.
+func (lm *LockManager) Release(owner string, res Resource) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	st := lm.locks[res]
+	if st == nil {
+		return
+	}
+	lm.removeOwnerLocked(st, func(o string) bool { return o == owner })
+	lm.cond.Broadcast()
+}
+
+// ReleaseOwner drops every lock the exact owner holds.
+func (lm *LockManager) ReleaseOwner(owner string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, st := range lm.locks {
+		lm.removeOwnerLocked(st, func(o string) bool { return o == owner })
+	}
+	lm.cond.Broadcast()
+}
+
+// ReleaseTree drops every lock held by root or any of its descendants and
+// clears the root's doomed flag. The engine calls this at top-level commit
+// and after abort cleanup.
+func (lm *LockManager) ReleaseTree(root string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, st := range lm.locks {
+		lm.removeOwnerLocked(st, func(o string) bool {
+			return o == root || strings.HasPrefix(o, root+".")
+		})
+	}
+	delete(lm.doomed, root)
+	delete(lm.ages, root)
+	lm.cond.Broadcast()
+}
+
+func (lm *LockManager) removeOwnerLocked(st *lockState, match func(string) bool) {
+	kept := st.granted[:0]
+	for _, g := range st.granted {
+		if !match(g.owner) {
+			kept = append(kept, g)
+		}
+	}
+	st.granted = kept
+}
+
+// TransferToParent reassigns every lock of child to parent (closed nested
+// commit: the parent inherits the child's locks).
+func (lm *LockManager) TransferToParent(child, parent string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, st := range lm.locks {
+		for i := range st.granted {
+			if st.granted[i].owner == child {
+				st.granted[i].owner = parent
+			}
+		}
+	}
+	lm.cond.Broadcast()
+}
+
+// HoldsAny reports whether owner holds any lock.
+func (lm *LockManager) HoldsAny(owner string) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, st := range lm.locks {
+		for _, g := range st.granted {
+			if g.owner == owner {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Holders returns the owners currently granted on res, sorted.
+func (lm *LockManager) Holders(res Resource) []string {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	st := lm.locks[res]
+	if st == nil {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, g := range st.granted {
+		set[g.owner] = true
+	}
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// SetDebugDump installs a hook receiving a lock-table dump on timeouts.
+func (lm *LockManager) SetDebugDump(fn func(string)) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.debugDump = fn
+}
+
+// dumpLocked renders requester, waits-for graph and non-empty lock states.
+// Caller holds lm.mu.
+func (lm *LockManager) dumpLocked(owner string, mode Mode, res Resource) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TIMEOUT %s wants %s on %s\nwaitsFor:\n", owner, mode, res.Name)
+	for from, tos := range lm.waitsFor {
+		for to, n := range tos {
+			fmt.Fprintf(&b, "  %s -> %s (%d)\n", from, to, n)
+		}
+	}
+	b.WriteString("locks:\n")
+	for r, st := range lm.locks {
+		if len(st.granted) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s:", r.Name)
+		for _, g := range st.granted {
+			fmt.Fprintf(&b, " %s/%s", g.owner, g.mode)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ClearDoomed removes a root's deadlock-victim mark and gives it the
+// highest priority (age 0). A victim that has started rolling back calls
+// this so its compensating operations can acquire locks — an aborting
+// transaction must be able to undo itself, and must not be chosen as a
+// victim again while doing so.
+func (lm *LockManager) ClearDoomed(root string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	delete(lm.doomed, root)
+	lm.ages[root] = 0
+	lm.cond.Broadcast()
+}
+
+// Doomed reports whether the root was chosen as a deadlock victim.
+func (lm *LockManager) Doomed(root string) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.doomed[root]
+}
+
+// Snapshot returns a copy of the counters.
+func (lm *LockManager) Snapshot() Stats {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.stats
+}
+
+// String renders the lock table for debugging.
+func (lm *LockManager) String() string {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	var b strings.Builder
+	for res, st := range lm.locks {
+		if len(st.granted) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:", res.Name)
+		for _, g := range st.granted {
+			fmt.Fprintf(&b, " %s/%s", g.owner, g.mode)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

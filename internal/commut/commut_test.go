@@ -1,0 +1,358 @@
+package commut
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func inv(method string, params ...string) Invocation {
+	return Invocation{Method: method, Params: params}
+}
+
+func TestInvocationString(t *testing.T) {
+	if got := inv("insert", "DBS").String(); got != "insert(DBS)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := inv("readSeq").String(); got != "readSeq()" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := inv("transfer", "a", "b", "10").String(); got != "transfer(a,b,10)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestInvocationParam(t *testing.T) {
+	iv := inv("m", "x", "y")
+	if iv.Param(0) != "x" || iv.Param(1) != "y" {
+		t.Fatal("param lookup wrong")
+	}
+	if iv.Param(2) != "" || iv.Param(-1) != "" {
+		t.Fatal("out-of-range params must be empty")
+	}
+}
+
+func TestConservative(t *testing.T) {
+	var c Conservative
+	if c.Commutes(inv("read"), inv("read")) {
+		t.Fatal("conservative spec must conflict everything")
+	}
+	if c.Methods() != nil {
+		t.Fatal("conservative spec has no methods")
+	}
+}
+
+func TestMatrixBasic(t *testing.T) {
+	m := ReadWriteMatrix()
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"read", "read", true},
+		{"read", "write", false},
+		{"write", "read", false},
+		{"write", "write", false},
+	}
+	for _, c := range cases {
+		if got := m.Commutes(inv(c.a), inv(c.b)); got != c.want {
+			t.Errorf("Commutes(%s,%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if got := m.Methods(); !reflect.DeepEqual(got, []string{"read", "write"}) {
+		t.Fatalf("Methods = %v", got)
+	}
+}
+
+func TestMatrixUndeclaredDefaults(t *testing.T) {
+	m := NewMatrix().SetCommutes("a", "a")
+	if m.Commutes(inv("a"), inv("zzz")) {
+		t.Fatal("undeclared pair must conflict by default")
+	}
+	m.DefaultCommute()
+	if !m.Commutes(inv("a"), inv("zzz")) {
+		t.Fatal("DefaultCommute not honoured")
+	}
+}
+
+func TestMatrixSymmetry(t *testing.T) {
+	m := NewMatrix().SetConflicts("insert", "search").SetCommutes("search", "count")
+	if m.Commutes(inv("insert"), inv("search")) || m.Commutes(inv("search"), inv("insert")) {
+		t.Fatal("conflict must be symmetric")
+	}
+	if !m.Commutes(inv("count"), inv("search")) {
+		t.Fatal("commute must be symmetric")
+	}
+}
+
+func TestParamSpecDistinctKeys(t *testing.T) {
+	// The paper's leaf rule: inserts of different keys commute.
+	spec := NewParamSpec(nil).Rule("insert", "insert", DistinctFirstParam)
+	if !spec.Commutes(inv("insert", "DBS"), inv("insert", "DBMS")) {
+		t.Fatal("insert(DBS)/insert(DBMS) must commute (Example 1)")
+	}
+	if spec.Commutes(inv("insert", "DBS"), inv("insert", "DBS")) {
+		t.Fatal("insert(DBS)/insert(DBS) must conflict")
+	}
+	// Undeclared pairs fall back to the conflicting base matrix.
+	if spec.Commutes(inv("insert", "DBS"), inv("drop")) {
+		t.Fatal("undeclared pair must conflict")
+	}
+}
+
+func TestParamSpecOrientation(t *testing.T) {
+	// A deliberately asymmetric-looking rule that depends on which
+	// invocation is the search: search(k) vs insert(k') commute iff k != k'.
+	spec := NewParamSpec(nil).Rule("search", "insert", func(search, insert Invocation) bool {
+		if search.Method != "search" {
+			panic("rule called with wrong orientation")
+		}
+		return search.Param(0) != insert.Param(0)
+	})
+	if !spec.Commutes(inv("insert", "A"), inv("search", "B")) {
+		t.Fatal("distinct keys must commute regardless of argument order")
+	}
+	if spec.Commutes(inv("search", "DBS"), inv("insert", "DBS")) {
+		t.Fatal("same key search/insert must conflict (Example 1, T3/T4)")
+	}
+}
+
+func TestKeyedSpec(t *testing.T) {
+	spec := KeyedSpec([]string{"search"}, []string{"insert", "delete"})
+	cases := []struct {
+		a, b Invocation
+		want bool
+	}{
+		{inv("insert", "k1"), inv("insert", "k2"), true},
+		{inv("insert", "k1"), inv("insert", "k1"), false},
+		{inv("search", "k1"), inv("search", "k1"), true},
+		{inv("search", "k1"), inv("insert", "k1"), false},
+		{inv("search", "k1"), inv("insert", "k2"), true},
+		{inv("delete", "k1"), inv("search", "k1"), false},
+		{inv("delete", "k1"), inv("delete", "k2"), true},
+	}
+	for _, c := range cases {
+		if got := spec.Commutes(c.a, c.b); got != c.want {
+			t.Errorf("Commutes(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := spec.Commutes(c.b, c.a); got != c.want {
+			t.Errorf("Commutes(%v,%v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestEscrowReserveCommit(t *testing.T) {
+	e := NewEscrow(100, 0, 1000)
+	if !e.Reserve(-60) {
+		t.Fatal("first debit must succeed")
+	}
+	if e.Reserve(-60) {
+		t.Fatal("second debit would breach lower bound in worst case")
+	}
+	e.Commit(-60)
+	if got := e.Value(); got != 40 {
+		t.Fatalf("value = %d, want 40", got)
+	}
+	if !e.Reserve(-40) {
+		t.Fatal("debit of remaining balance must succeed")
+	}
+	e.Cancel(-40)
+	if got := e.Value(); got != 40 {
+		t.Fatalf("value after cancel = %d, want 40", got)
+	}
+}
+
+func TestEscrowUpperBound(t *testing.T) {
+	e := NewEscrow(990, 0, 1000)
+	if !e.Reserve(10) {
+		t.Fatal("increment to exactly the bound must succeed")
+	}
+	if e.Reserve(1) {
+		t.Fatal("increment past the bound must fail")
+	}
+	e.Commit(10)
+	if got := e.Value(); got != 1000 {
+		t.Fatalf("value = %d, want 1000", got)
+	}
+}
+
+func TestEscrowCommutes(t *testing.T) {
+	e := NewEscrow(500, 0, 1000)
+	// Two small debits commute on a rich account...
+	if !e.Commutes(inv("decr", "100"), inv("decr", "100")) {
+		t.Fatal("small debits on rich account must commute")
+	}
+	// ...but conflict when they could together breach the bound.
+	if e.Commutes(inv("decr", "300"), inv("decr", "300")) {
+		t.Fatal("large debits must conflict near the bound")
+	}
+	if !e.Commutes(inv("incr", "100"), inv("decr", "100")) {
+		t.Fatal("mixed small updates must commute")
+	}
+	if !e.Commutes(inv("read"), inv("read")) {
+		t.Fatal("read/read must commute")
+	}
+	if e.Commutes(inv("read"), inv("incr", "1")) {
+		t.Fatal("read/update must conflict")
+	}
+	if e.Commutes(inv("incr", "junk"), inv("incr", "1")) {
+		t.Fatal("malformed invocation must conflict conservatively")
+	}
+}
+
+func TestEscrowCommutesRespectsOutstanding(t *testing.T) {
+	e := NewEscrow(500, 0, 1000)
+	if !e.Reserve(-400) {
+		t.Fatal("reserve failed")
+	}
+	// With 400 reserved, two further 60-debits could breach 0: 500-400-120 < 0.
+	if e.Commutes(inv("decr", "60"), inv("decr", "60")) {
+		t.Fatal("outstanding reservations must be accounted for")
+	}
+	e.Cancel(-400)
+	if !e.Commutes(inv("decr", "60"), inv("decr", "60")) {
+		t.Fatal("after cancel the debits must commute again")
+	}
+}
+
+func TestEscrowInitPanics(t *testing.T) {
+	for _, c := range []struct{ v, lo, hi int64 }{{5, 10, 20}, {25, 10, 20}, {0, 1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEscrow(%d,%d,%d) did not panic", c.v, c.lo, c.hi)
+				}
+			}()
+			NewEscrow(c.v, c.lo, c.hi)
+		}()
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Lookup("page").(Conservative); !ok {
+		t.Fatal("unregistered type must fall back to Conservative")
+	}
+	r.Register("page", ReadWriteMatrix())
+	if !r.Lookup("page").Commutes(inv("read"), inv("read")) {
+		t.Fatal("registered spec not used")
+	}
+	r.Register("node", KeyedSpec([]string{"search"}, []string{"insert"}))
+	if got := r.Types(); !reflect.DeepEqual(got, []string{"node", "page"}) {
+		t.Fatalf("Types = %v", got)
+	}
+	// Re-registration replaces.
+	r.Register("page", Conservative{})
+	if r.Lookup("page").Commutes(inv("read"), inv("read")) {
+		t.Fatal("re-registration did not replace spec")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			r.Register(fmt.Sprintf("t%d", i%7), ReadWriteMatrix())
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		r.Lookup(fmt.Sprintf("t%d", i%7))
+		r.Types()
+	}
+	<-done
+}
+
+// Property: every provided Spec is symmetric.
+func TestPropertySpecSymmetry(t *testing.T) {
+	specs := map[string]Spec{
+		"conservative": Conservative{},
+		"rwmatrix":     ReadWriteMatrix(),
+		"keyed":        KeyedSpec([]string{"search", "count"}, []string{"insert", "delete", "update"}),
+		"escrow":       NewEscrow(50, 0, 100),
+	}
+	methods := []string{"read", "write", "search", "count", "insert", "delete", "update", "incr", "decr"}
+	params := []string{"", "1", "2", "60", "DBS", "DBMS"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Invocation{Method: methods[r.Intn(len(methods))], Params: []string{params[r.Intn(len(params))]}}
+		b := Invocation{Method: methods[r.Intn(len(methods))], Params: []string{params[r.Intn(len(params))]}}
+		for name, s := range specs {
+			if s.Commutes(a, b) != s.Commutes(b, a) {
+				t.Logf("spec %s asymmetric on %v / %v", name, a, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: escrow value never escapes its bounds under random
+// reserve/commit/cancel sequences.
+func TestPropertyEscrowBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lo, hi := int64(0), int64(100)
+		e := NewEscrow(50, lo, hi)
+		type res struct{ delta int64 }
+		var pending []res
+		for i := 0; i < 200; i++ {
+			switch r.Intn(3) {
+			case 0:
+				d := int64(r.Intn(41) - 20)
+				if e.Reserve(d) {
+					pending = append(pending, res{d})
+				}
+			case 1:
+				if len(pending) > 0 {
+					k := r.Intn(len(pending))
+					e.Commit(pending[k].delta)
+					pending = append(pending[:k], pending[k+1:]...)
+				}
+			case 2:
+				if len(pending) > 0 {
+					k := r.Intn(len(pending))
+					e.Cancel(pending[k].delta)
+					pending = append(pending[:k], pending[k+1:]...)
+				}
+			}
+			if v := e.Value(); v < lo || v > hi {
+				return false
+			}
+		}
+		// Draining all pending commits must also stay in bounds.
+		for _, p := range pending {
+			e.Commit(p.delta)
+			if v := e.Value(); v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatrixLookup(b *testing.B) {
+	m := ReadWriteMatrix()
+	a1, a2 := inv("read"), inv("write")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Commutes(a1, a2)
+	}
+}
+
+func BenchmarkKeyedSpecLookup(b *testing.B) {
+	s := KeyedSpec([]string{"search"}, []string{"insert", "delete"})
+	a1, a2 := inv("insert", "k1"), inv("search", "k2")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Commutes(a1, a2)
+	}
+}

@@ -1,0 +1,37 @@
+package commut_test
+
+import (
+	"fmt"
+
+	"repro/internal/commut"
+)
+
+// The paper's Example 1 leaf semantics: inserts of distinct keys commute
+// even though they rewrite the same page; same-key operations conflict.
+func ExampleKeyedSpec() {
+	leaf := commut.KeyedSpec([]string{"search"}, []string{"insert", "delete"})
+
+	insDBS := commut.Invocation{Method: "insert", Params: []string{"DBS"}}
+	insDBMS := commut.Invocation{Method: "insert", Params: []string{"DBMS"}}
+	searchDBS := commut.Invocation{Method: "search", Params: []string{"DBS"}}
+
+	fmt.Println("insert(DBS) vs insert(DBMS):", leaf.Commutes(insDBS, insDBMS))
+	fmt.Println("insert(DBS) vs search(DBS): ", leaf.Commutes(insDBS, searchDBS))
+	// Output:
+	// insert(DBS) vs insert(DBMS): true
+	// insert(DBS) vs search(DBS):  false
+}
+
+// Escrow commutativity (the paper's refs [9,14,17]): whether two debits
+// commute depends on the current balance and outstanding reservations.
+func ExampleEscrow() {
+	acct := commut.NewEscrow(100, 0, 1000)
+	small := commut.Invocation{Method: "decr", Params: []string{"30"}}
+	large := commut.Invocation{Method: "decr", Params: []string{"60"}}
+
+	fmt.Println("decr(30) vs decr(30):", acct.Commutes(small, small))
+	fmt.Println("decr(60) vs decr(60):", acct.Commutes(large, large))
+	// Output:
+	// decr(30) vs decr(30): true
+	// decr(60) vs decr(60): false
+}

@@ -1,0 +1,352 @@
+// Package core is the transaction engine of the reproduction: a VODAK-style
+// object-oriented database kernel in which every database access is a
+// method invocation on an encapsulated object, every invocation runs as a
+// subtransaction of its caller (open nesting), and isolation is enforced by
+// a pluggable protocol:
+//
+//   - ProtocolNone        — no isolation; used to demonstrate that the
+//     offline checker (internal/sched) catches the resulting anomalies.
+//   - Protocol2PLPage     — conventional strict two-phase locking at page
+//     granularity, owned by the top-level transaction (the baseline the
+//     paper compares against).
+//   - Protocol2PLObject   — strict 2PL on every touched object, the
+//     "lock the whole document" strawman of the paper's introduction.
+//   - ProtocolClosedNested — Moss-style closed nesting: page locks owned by
+//     subtransactions with ancestor bypass, inherited upward on subcommit,
+//     all held to top-level commit.
+//   - ProtocolOpenNested  — the paper's model: semantic locks per object
+//     (compatibility = commutativity, Definition 9) owned by the calling
+//     action and released when the caller completes; sub-locks released at
+//     subtransaction commit where a compensation is available, transferred
+//     upward (closed behaviour) where not; aborts run compensations in
+//     reverse.
+//
+// Every dispatch is recorded by internal/trace, so any run can be validated
+// offline against the paper's Definitions 6-16 via (*DB).Validate.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/commut"
+	"repro/internal/sched"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/txn"
+)
+
+// PageType is the object type name of the built-in page objects — the
+// paper's zero layer.
+const PageType = "page"
+
+// Engine errors.
+var (
+	ErrUnknownType    = errors.New("core: unknown object type")
+	ErrUnknownMethod  = errors.New("core: unknown method")
+	ErrTxnFinished    = errors.New("core: transaction already finished")
+	ErrAborted        = errors.New("core: transaction aborted")
+	ErrNoCompensation = errors.New("core: abort impossible, effects lack compensation")
+)
+
+// ProtocolKind selects the concurrency-control protocol.
+type ProtocolKind int
+
+// The protocols. ProtocolOpenNested is the zero value: an Options struct
+// that does not name a protocol gets the paper's model.
+const (
+	ProtocolOpenNested ProtocolKind = iota
+	Protocol2PLPage
+	Protocol2PLObject
+	ProtocolClosedNested
+	ProtocolNone
+)
+
+func (p ProtocolKind) String() string {
+	switch p {
+	case ProtocolNone:
+		return "none"
+	case Protocol2PLPage:
+		return "2pl-page"
+	case Protocol2PLObject:
+		return "2pl-object"
+	case ProtocolClosedNested:
+		return "closed-nested"
+	case ProtocolOpenNested:
+		return "open-nested"
+	}
+	return fmt.Sprintf("protocol(%d)", int(p))
+}
+
+// MethodFunc implements one method of an object type. It may call further
+// methods through the context; the engine wraps every such call in a
+// subtransaction.
+type MethodFunc func(c *Ctx, self txn.OID, params []string) (string, error)
+
+// CompensateFunc produces the inverse operation for a committed invocation
+// (open nesting): given the forward parameters and result, it returns the
+// compensating method and parameters, or ok=false when no compensation is
+// required (the invocation had no effects).
+type CompensateFunc func(params []string, result string) (method string, cparams []string, ok bool)
+
+// ObjectType describes a registered object type: its commutativity
+// specification (Definition 9), method implementations, which methods are
+// read-only (lock mode S under 2PL-object), and per-method compensations.
+type ObjectType struct {
+	Name       string
+	Spec       commut.Spec
+	Methods    map[string]MethodFunc
+	ReadOnly   map[string]bool
+	Compensate map[string]CompensateFunc
+}
+
+// Stats are engine-level counters.
+type Stats struct {
+	TxnsStarted   int64
+	TxnsCommitted int64
+	TxnsAborted   int64
+	Actions       int64
+	PageReads     int64
+	PageWrites    int64
+	Compensations int64
+}
+
+// DB is the database engine.
+type DB struct {
+	protocol ProtocolKind
+
+	types    map[string]*ObjectType
+	registry *commut.Registry
+
+	lm    *cc.LockManager
+	store *storage.MemStore
+	pool  *storage.BufferPool
+	wal   *storage.WAL
+	rec   *trace.Recorder
+
+	tracing bool
+	ioDelay time.Duration
+	txnSeq  atomic.Int64
+
+	stats struct {
+		txnsStarted, txnsCommitted, txnsAborted atomic.Int64
+		actions, pageReads, pageWrites          atomic.Int64
+		compensations                           atomic.Int64
+	}
+}
+
+// Options configure Open.
+type Options struct {
+	// Protocol selects the concurrency control protocol (default
+	// ProtocolOpenNested).
+	Protocol ProtocolKind
+	// PageSize bounds page payloads (default storage.DefaultPageSize).
+	PageSize int
+	// PoolCapacity is the buffer pool size in frames (default 1024).
+	PoolCapacity int
+	// LockTimeout bounds lock waits as a backstop; 0 means the cc default
+	// of no bound. Deadlocks are detected regardless.
+	LockTimeout time.Duration
+	// DisableTrace turns off trace recording (benchmarks that do not
+	// validate can avoid the overhead).
+	DisableTrace bool
+	// PageIODelay simulates page I/O latency: every page access sleeps this
+	// long before touching the frame. Besides making throughput numbers
+	// reflect lock-hold times rather than in-memory speed, the sleep forces
+	// goroutine interleaving on machines with few CPUs, so concurrent
+	// workloads actually overlap.
+	PageIODelay time.Duration
+	// FairLocks enables FIFO lock fairness: conflicting requests are
+	// served in arrival order, so streams of commuting operations cannot
+	// starve a conflicting one.
+	FairLocks bool
+	// Store and WAL, when non-nil, attach the engine to an existing disk
+	// image and log instead of fresh ones — the restart path of crash
+	// recovery (internal/recovery).
+	Store *storage.MemStore
+	WAL   *storage.WAL
+}
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	if opts.PoolCapacity == 0 {
+		opts.PoolCapacity = 1024
+	}
+	var lmOpts []cc.Option
+	if opts.LockTimeout > 0 {
+		lmOpts = append(lmOpts, cc.WithWaitTimeout(opts.LockTimeout))
+	}
+	if opts.Protocol == ProtocolClosedNested {
+		lmOpts = append(lmOpts, cc.WithAncestorBypass())
+	}
+	if opts.FairLocks {
+		lmOpts = append(lmOpts, cc.WithFairness())
+	}
+	store := opts.Store
+	if store == nil {
+		store = storage.NewMemStore(opts.PageSize)
+	}
+	wal := opts.WAL
+	if wal == nil {
+		wal = storage.NewWAL()
+	}
+	db := &DB{
+		protocol: opts.Protocol,
+		types:    make(map[string]*ObjectType),
+		registry: commut.NewRegistry(),
+		lm:       cc.NewLockManager(lmOpts...),
+		store:    store,
+		pool:     storage.NewBufferPool(store, opts.PoolCapacity),
+		wal:      wal,
+		rec:      trace.NewRecorder(),
+		tracing:  !opts.DisableTrace,
+		ioDelay:  opts.PageIODelay,
+	}
+	// The built-in page type. Besides the classical read/write pair it
+	// offers readx, a read with write intent (SELECT FOR UPDATE): it locks
+	// exclusively so a read-modify-write subtransaction never needs the
+	// deadlock-prone S→X upgrade.
+	db.types[PageType] = &ObjectType{
+		Name:     PageType,
+		Spec:     PageSpec(),
+		ReadOnly: map[string]bool{"read": true},
+	}
+	db.registry.Register(PageType, PageSpec())
+	return db
+}
+
+// PageSpec is the commutativity specification of the built-in page type:
+// read/read commutes, everything involving write or readx conflicts.
+func PageSpec() *commut.Matrix {
+	return commut.NewMatrix().
+		SetCommutes("read", "read").
+		SetConflicts("read", "write").
+		SetConflicts("write", "write").
+		SetConflicts("readx", "read").
+		SetConflicts("readx", "readx").
+		SetConflicts("readx", "write")
+}
+
+// Protocol returns the configured protocol.
+func (db *DB) Protocol() ProtocolKind { return db.protocol }
+
+// RegisterType installs an object type. Registering PageType or an already
+// registered name fails.
+func (db *DB) RegisterType(t *ObjectType) error {
+	if t.Name == "" {
+		return fmt.Errorf("core: object type needs a name")
+	}
+	if _, dup := db.types[t.Name]; dup {
+		return fmt.Errorf("core: object type %q already registered", t.Name)
+	}
+	if t.Spec == nil {
+		t.Spec = commut.Conservative{}
+	}
+	db.types[t.Name] = t
+	db.registry.Register(t.Name, t.Spec)
+	return nil
+}
+
+// Registry returns the commutativity registry assembled from the
+// registered types — the one the offline checker needs.
+func (db *DB) Registry() *commut.Registry { return db.registry }
+
+// LockStats returns the lock manager counters.
+func (db *DB) LockStats() cc.Stats { return db.lm.Snapshot() }
+
+// Stats returns the engine counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		TxnsStarted:   db.stats.txnsStarted.Load(),
+		TxnsCommitted: db.stats.txnsCommitted.Load(),
+		TxnsAborted:   db.stats.txnsAborted.Load(),
+		Actions:       db.stats.actions.Load(),
+		PageReads:     db.stats.pageReads.Load(),
+		PageWrites:    db.stats.pageWrites.Load(),
+		Compensations: db.stats.compensations.Load(),
+	}
+}
+
+// WAL returns the write-ahead log (for inspection and tests).
+func (db *DB) WAL() *storage.WAL { return db.wal }
+
+// AllocPage allocates a fresh page and returns its object id.
+func (db *DB) AllocPage() txn.OID {
+	id := db.store.Allocate()
+	return PageOID(id)
+}
+
+// PageOID renders a page id as an object id.
+func PageOID(id storage.PageID) txn.OID {
+	return txn.OID{Type: PageType, Name: "Page" + strconv.FormatUint(uint64(id), 10)}
+}
+
+// PageID parses a page object id.
+func PageID(o txn.OID) (storage.PageID, error) {
+	if o.Type != PageType || !strings.HasPrefix(o.Name, "Page") {
+		return storage.InvalidPage, fmt.Errorf("core: %v is not a page object", o)
+	}
+	n, err := strconv.ParseUint(strings.TrimPrefix(o.Name, "Page"), 10, 64)
+	if err != nil {
+		return storage.InvalidPage, fmt.Errorf("core: bad page object %v: %w", o, err)
+	}
+	return storage.PageID(n), nil
+}
+
+// Trace returns a snapshot of the recorded trace.
+func (db *DB) Trace() trace.Trace { return db.rec.Snapshot() }
+
+// Validate reconstructs the formal system from the committed trace and
+// runs the full Definition 16 check plus the conventional baseline. It is
+// the engine's self-check: every protocol except ProtocolNone must always
+// produce an oo-serializable trace.
+func (db *DB) Validate() (*sched.Analysis, sched.Report, error) {
+	sys, prim, err := db.Trace().ToSystem()
+	if err != nil {
+		return nil, sched.Report{}, err
+	}
+	sys.Extend()
+	a, err := sched.Analyze(sys, db.registry, prim)
+	if err != nil {
+		return nil, sched.Report{}, err
+	}
+	return a, a.Check(), nil
+}
+
+// DebugLockDump installs a hook that receives a full lock-table dump
+// whenever a lock wait times out. Diagnostic use only.
+func (db *DB) DebugLockDump(fn func(string)) { db.lm.SetDebugDump(fn) }
+
+// CrashImage simulates pulling the plug: it returns a copy of the disk
+// (the backing store WITHOUT the buffer pool's unflushed dirty frames) and
+// of the write-ahead log. Hand both to internal/recovery together with the
+// application's object types to bring the database back.
+func (db *DB) CrashImage() (*storage.MemStore, *storage.WAL) {
+	return db.store.Clone(), db.wal.Clone()
+}
+
+// FlushAll forces every dirty buffered page to the backing store (a clean
+// shutdown / checkpoint).
+func (db *DB) FlushAll() error { return db.pool.FlushAll() }
+
+// RestorePage overwrites a page with a before-image during recovery undo.
+// The write bypasses transactional locking (recovery is single-threaded by
+// contract) and is logged as a redo-only CLR.
+func (db *DB) RestorePage(pid storage.PageID, img, loser string) error {
+	frame, err := db.pool.FetchPage(pid)
+	if err != nil {
+		return err
+	}
+	frame.Latch()
+	after := frame.Data()
+	frame.SetData(img)
+	frame.Unlatch()
+	db.pool.Unpin(frame)
+	db.wal.LogCLRUpdate(loser+":recovery", pid, after, img)
+	return nil
+}

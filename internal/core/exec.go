@@ -1,0 +1,689 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/commut"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/txn"
+)
+
+// undoEntry is one step of rollback, either physical (restore a page
+// before-image; only sound while the page lock is still held) or logical
+// (execute a compensating invocation as a fresh subtransaction).
+type undoEntry struct {
+	physical bool
+	page     storage.PageID
+	before   string
+
+	obj    txn.OID
+	method string
+	params []string
+
+	// lsn is the WAL record that registered this entry (the RecUpdate for
+	// physical entries, the RecIntent for logical ones); recovery replays
+	// entries that were registered but never discarded.
+	lsn uint64
+}
+
+func entryLSNs(entries []undoEntry) []uint64 {
+	out := make([]uint64, 0, len(entries))
+	for _, e := range entries {
+		if e.lsn != 0 {
+			out = append(out, e.lsn)
+		}
+	}
+	return out
+}
+
+// runtimeAction is one executing action (subtransaction).
+type runtimeAction struct {
+	id     string
+	parent *runtimeAction
+	obj    txn.OID
+	inv    commut.Invocation
+
+	mu        sync.Mutex
+	nchildren int
+	undo      []undoEntry
+	hasWrites bool
+}
+
+func (a *runtimeAction) appendUndo(entries ...undoEntry) {
+	a.mu.Lock()
+	a.undo = append(a.undo, entries...)
+	a.hasWrites = true
+	a.mu.Unlock()
+}
+
+func (a *runtimeAction) takeUndo() []undoEntry {
+	a.mu.Lock()
+	u := a.undo
+	a.undo = nil
+	a.mu.Unlock()
+	return u
+}
+
+func (a *runtimeAction) nextChildID() string {
+	a.mu.Lock()
+	a.nchildren++
+	n := a.nchildren
+	a.mu.Unlock()
+	return fmt.Sprintf("%s.%d", a.id, n)
+}
+
+// Txn is a top-level transaction.
+type Txn struct {
+	db   *DB
+	id   string
+	seq  int64
+	root *runtimeAction
+
+	mu       sync.Mutex
+	finished bool
+	// compensated records that logical compensations executed during this
+	// transaction's rollback; such a transaction stays in the trace (its
+	// history is expanded with the inverse operations).
+	compensated bool
+	// aborting marks the rollback phase: compensation registrations are
+	// suppressed (a compensation's own inverse must not be queued — it
+	// would undo the undo) and entry discards are logged instead.
+	aborting bool
+	// pendingEntryLSN is the undo entry currently being compensated; the
+	// compensating action's completion folds it into its discard record so
+	// "compensation durable" and "entry consumed" are one WAL append.
+	pendingEntryLSN uint64
+}
+
+func (t *Txn) isAborting() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.aborting
+}
+
+func (t *Txn) setAborting(v bool) {
+	t.mu.Lock()
+	t.aborting = v
+	t.mu.Unlock()
+}
+
+func (t *Txn) setPendingEntry(lsn uint64) {
+	t.mu.Lock()
+	t.pendingEntryLSN = lsn
+	t.mu.Unlock()
+}
+
+// takePendingEntry consumes the pending-entry LSN (at most once).
+func (t *Txn) takePendingEntry() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := t.pendingEntryLSN
+	t.pendingEntryLSN = 0
+	return l
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn {
+	n := db.txnSeq.Add(1)
+	id := fmt.Sprintf("T%d", n)
+	t := &Txn{
+		db:  db,
+		id:  id,
+		seq: n,
+		root: &runtimeAction{
+			id:  id,
+			obj: txn.SystemObject,
+			inv: commut.Invocation{Method: id},
+		},
+	}
+	db.stats.txnsStarted.Add(1)
+	if db.tracing {
+		db.rec.Record(trace.Event{
+			ID:      id,
+			ObjType: txn.SystemObjectType,
+			ObjName: txn.SystemObject.Name,
+			Method:  id,
+		})
+	}
+	return t
+}
+
+// ID returns the transaction id ("T<n>").
+func (t *Txn) ID() string { return t.id }
+
+// Seq returns the transaction's start sequence number — its age for
+// deadlock-victim selection.
+func (t *Txn) Seq() int64 { return t.seq }
+
+// SetPriority overrides the transaction's age: a retry loop that restarts
+// an aborted transaction should pass the original attempt's Seq so the
+// youngest-victim deadlock policy cannot starve it.
+func (t *Txn) SetPriority(age int64) { t.db.lm.SetAge(t.id, age) }
+
+// Ctx is the execution context passed to method implementations.
+type Ctx struct {
+	db     *DB
+	txn    *Txn
+	action *runtimeAction
+}
+
+// DB returns the engine (for page allocation inside methods).
+func (c *Ctx) DB() *DB { return c.db }
+
+// TxnID returns the enclosing top-level transaction id.
+func (c *Ctx) TxnID() string { return c.txn.id }
+
+// ActionID returns the current action's hierarchical id.
+func (c *Ctx) ActionID() string { return c.action.id }
+
+// Call invokes a method on an object as a sequential subtransaction of the
+// current action.
+func (c *Ctx) Call(obj txn.OID, method string, params ...string) (string, error) {
+	return c.db.invoke(c.txn, c.action, obj, method, params, false)
+}
+
+// ParCall describes one branch of a Parallel invocation.
+type ParCall struct {
+	Obj    txn.OID
+	Method string
+	Params []string
+}
+
+// Parallel runs the calls concurrently, each as a parallel subtransaction
+// (its own process in the sense of Definition 9). It returns the results in
+// order; the first error (if any) is returned after all branches finish.
+func (c *Ctx) Parallel(calls []ParCall) ([]string, error) {
+	results := make([]string, len(calls))
+	errs := make([]error, len(calls))
+	var wg sync.WaitGroup
+	for i, call := range calls {
+		wg.Add(1)
+		go func(i int, call ParCall) {
+			defer wg.Done()
+			results[i], errs[i] = c.db.invoke(c.txn, c.action, call.Obj, call.Method, call.Params, true)
+		}(i, call)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Exec invokes a method as a direct (sequential) action of the top-level
+// transaction.
+func (t *Txn) Exec(obj txn.OID, method string, params ...string) (string, error) {
+	return t.db.invoke(t, t.root, obj, method, params, false)
+}
+
+// ExecParallel runs top-level calls concurrently (intra-transaction
+// parallelism: each call is its own process).
+func (t *Txn) ExecParallel(calls []ParCall) ([]string, error) {
+	c := &Ctx{db: t.db, txn: t, action: t.root}
+	return c.Parallel(calls)
+}
+
+// invoke runs one method invocation as a subtransaction of parent.
+func (db *DB) invoke(t *Txn, parent *runtimeAction, obj txn.OID, method string, params []string, parallel bool) (string, error) {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return "", ErrTxnFinished
+	}
+	t.mu.Unlock()
+
+	ot, ok := db.types[obj.Type]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownType, obj.Type)
+	}
+	inv := commut.Invocation{Method: method, Params: params}
+	a := &runtimeAction{
+		id:     parent.nextChildID(),
+		parent: parent,
+		obj:    obj,
+		inv:    inv,
+	}
+	db.stats.actions.Add(1)
+
+	if err := db.acquireFor(t, a, ot); err != nil {
+		return "", err
+	}
+
+	if db.tracing && obj.Type != PageType {
+		db.rec.Record(trace.Event{
+			ID:       a.id,
+			Parent:   parent.id,
+			ObjType:  obj.Type,
+			ObjName:  obj.Name,
+			Method:   method,
+			Params:   params,
+			Parallel: parallel,
+		})
+	}
+
+	var result string
+	var err error
+	if obj.Type == PageType {
+		result, err = db.pageOp(t, a, parallel)
+	} else {
+		fn := ot.Methods[method]
+		if fn == nil {
+			err = fmt.Errorf("%w: %s.%s", ErrUnknownMethod, obj.Type, method)
+		} else {
+			result, err = fn(&Ctx{db: db, txn: t, action: a}, obj, params)
+		}
+	}
+	if err != nil {
+		db.abortSubtree(t, a)
+		return "", err
+	}
+	db.completeAction(t, a, ot, result)
+	return result, nil
+}
+
+// acquireFor takes the lock(s) the protocol prescribes before executing a.
+func (db *DB) acquireFor(t *Txn, a *runtimeAction, ot *ObjectType) error {
+	switch db.protocol {
+	case ProtocolNone:
+		return nil
+	case Protocol2PLPage:
+		if a.obj.Type != PageType {
+			return nil
+		}
+		return db.lm.Acquire(t.id, a.obj, rwModeFor(ot, a.inv.Method))
+	case Protocol2PLObject:
+		return db.lm.Acquire(t.id, a.obj, rwModeFor(ot, a.inv.Method))
+	case ProtocolClosedNested:
+		if a.obj.Type != PageType {
+			return nil
+		}
+		// Moss: the accessing subtransaction owns the lock; ancestors'
+		// locks do not block (ancestor bypass is enabled on the manager).
+		return db.lm.Acquire(a.id, a.obj, rwModeFor(ot, a.inv.Method))
+	case ProtocolOpenNested:
+		// The semantic lock on the object is owned by the CALLER — the
+		// transaction on this object in the paper's sense — and lives until
+		// the caller completes.
+		mode := cc.Semantic{Inv: a.inv, Spec: ot.Spec}
+		return db.lm.Acquire(a.parent.id, a.obj, mode)
+	}
+	return nil
+}
+
+func rwModeFor(ot *ObjectType, method string) cc.Mode {
+	if ot.ReadOnly[method] {
+		return cc.S
+	}
+	return cc.X
+}
+
+// pageOp executes a built-in page method ("read" or "write") under the
+// frame latch, recording the trace event inside the latch so the recorded
+// order is the real access order (the knowledge Axiom 1 postulates).
+func (db *DB) pageOp(t *Txn, a *runtimeAction, parallel bool) (string, error) {
+	pid, err := PageID(a.obj)
+	if err != nil {
+		return "", err
+	}
+	if db.ioDelay > 0 {
+		time.Sleep(db.ioDelay)
+	}
+	frame, err := db.pool.FetchPage(pid)
+	if err != nil {
+		return "", err
+	}
+	defer db.pool.Unpin(frame)
+
+	record := func() {
+		if db.tracing {
+			db.rec.Record(trace.Event{
+				ID:       a.id,
+				Parent:   a.parent.id,
+				ObjType:  PageType,
+				ObjName:  a.obj.Name,
+				Method:   a.inv.Method,
+				Params:   a.inv.Params,
+				Parallel: parallel,
+			})
+		}
+	}
+
+	switch a.inv.Method {
+	case "read", "readx":
+		frame.RLatch()
+		data := frame.Data()
+		record()
+		frame.RUnlatch()
+		db.stats.pageReads.Add(1)
+		return data, nil
+	case "write":
+		if len(a.inv.Params) != 1 {
+			return "", fmt.Errorf("core: page write needs exactly one parameter")
+		}
+		data := a.inv.Params[0]
+		if len(data) > db.store.PageSize() {
+			return "", storage.ErrPageTooLarge
+		}
+		frame.Latch()
+		before := frame.Data()
+		frame.SetData(data)
+		record()
+		frame.Unlatch()
+		lsn := db.wal.LogUpdate(a.id, pid, before, data)
+		a.parent.appendUndo(undoEntry{physical: true, page: pid, before: before, lsn: lsn})
+		db.stats.pageWrites.Add(1)
+		return "", nil
+	default:
+		return "", fmt.Errorf("%w: page.%s", ErrUnknownMethod, a.inv.Method)
+	}
+}
+
+// completeAction performs the protocol's subtransaction-commit bookkeeping.
+func (db *DB) completeAction(t *Txn, a *runtimeAction, ot *ObjectType, result string) {
+	if a.obj.Type == PageType {
+		// Page accesses are primitive; their undo entries were already
+		// pushed to the parent and their locks (2PL/closed: held by t.id or
+		// a.id; open: held by a.parent.id) follow the general rules below.
+		return
+	}
+	parent := a.parent
+	switch db.protocol {
+	case ProtocolClosedNested:
+		// The parent inherits the child's locks (and, transitively, those
+		// of the child's completed descendants).
+		db.lm.TransferToParent(a.id, parent.id)
+		parent.appendUndoIfAny(a)
+	case ProtocolOpenNested:
+		comp := ot.Compensate[a.inv.Method]
+		if comp != nil {
+			covered := entryLSNs(a.takeUndo())
+			if m, cp, need := comp(a.inv.Params, result); need {
+				// The committed subtransaction is now undone logically; the
+				// locks it acquired underneath can be released early — the
+				// invocation lock on a.obj (owner parent.id) continues to
+				// protect it.
+				root := cc.RootOf(a.id)
+				if t.isAborting() {
+					// No inverse-of-inverse: just consume the children and
+					// (if this action IS the running compensation) the undo
+					// entry it executes, in one atomic WAL append.
+					if pl := t.takePendingEntry(); pl != 0 {
+						covered = append(covered, pl)
+					}
+					db.wal.LogDiscard(root, covered)
+				} else {
+					lsn := db.wal.LogIntent(root, compensationNote(a.obj, m, cp), covered)
+					parent.appendUndo(undoEntry{obj: a.obj, method: m, params: cp, lsn: lsn})
+				}
+				db.lm.ReleaseOwner(a.id)
+				return
+			}
+			// Compensation declared "nothing to undo": a read-only call.
+			db.wal.LogDiscard(cc.RootOf(a.id), covered)
+			db.lm.ReleaseOwner(a.id)
+			return
+		}
+		a.mu.Lock()
+		writes := a.hasWrites
+		a.mu.Unlock()
+		if !writes {
+			// Read-only subtree: nothing to undo, release early.
+			db.lm.ReleaseOwner(a.id)
+			return
+		}
+		// No compensation available: behave closed — keep the locks (move
+		// them to the parent) and bubble the physical undo entries so a
+		// later ancestor with a compensation (or the top-level abort while
+		// locks are still held) can roll back soundly.
+		db.lm.TransferToParent(a.id, parent.id)
+		parent.appendUndoIfAny(a)
+	default:
+		// Flat 2PL variants: locks are owned by the root and released at
+		// commit; undo entries bubble.
+		parent.appendUndoIfAny(a)
+	}
+}
+
+// appendUndoIfAny moves the child's undo entries to the parent.
+func (p *runtimeAction) appendUndoIfAny(child *runtimeAction) {
+	entries := child.takeUndo()
+	if len(entries) > 0 {
+		p.appendUndo(entries...)
+	}
+}
+
+// abortSubtree rolls back a failed action: logical compensations and
+// physical before-images run in reverse order, then the subtree's locks
+// are released. A purely physical rollback is erased from the trace; a
+// rollback that executed compensations stays (the history is expanded with
+// the inverse operations, as open-nesting theory prescribes).
+func (db *DB) abortSubtree(t *Txn, a *runtimeAction) {
+	compensated := db.rollback(t, a, a.takeUndo())
+	db.lm.ReleaseTree(a.id)
+	if db.tracing && !compensated {
+		db.rec.MarkAborted(a.id)
+	}
+}
+
+// rollback executes undo entries in reverse and reports whether any
+// logical compensation ran. Logical entries run as fresh subtransactions
+// of `under`; physical entries restore before-images directly (their page
+// locks are still held by construction).
+//
+// Before compensating, the transaction's deadlock-victim mark is cleared
+// and its priority raised: an aborting transaction must be able to acquire
+// the locks its inverse operations need, and must not be re-victimized
+// while undoing itself. Compensations that still fail transiently
+// (deadlock with another compensator, timeout) are retried; open-nesting
+// theory assumes compensations are total, so a persistent failure is
+// logged as unrecoverable.
+func (db *DB) rollback(t *Txn, under *runtimeAction, entries []undoEntry) bool {
+	wasAborting := t.isAborting()
+	t.setAborting(true)
+	defer t.setAborting(wasAborting)
+
+	compensated := false
+	cleared := false
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if e.physical {
+			db.undoPage(t, under, e)
+			continue
+		}
+		if !cleared {
+			db.lm.ClearDoomed(cc.RootOf(under.id))
+			cleared = true
+		}
+		compensated = true
+		db.stats.compensations.Add(1)
+		t.mu.Lock()
+		t.compensated = true
+		t.mu.Unlock()
+		db.wal.LogCompensation(under.id, fmt.Sprintf("%s.%s(%s)", e.obj.Name, e.method, joinParams(e.params)))
+		var err error
+		for attempt := 0; attempt < 20; attempt++ {
+			// The compensating action's completion consumes this entry's
+			// intent record in its own discard (one atomic WAL append).
+			t.setPendingEntry(e.lsn)
+			if _, err = db.invoke(t, under, e.obj, e.method, e.params, false); err == nil {
+				break
+			}
+			db.lm.ClearDoomed(cc.RootOf(under.id))
+			time.Sleep(time.Duration(attempt+1) * 200 * time.Microsecond)
+		}
+		if pl := t.takePendingEntry(); pl != 0 && err == nil {
+			// The compensation's top action had no Compensate entry of its
+			// own, so nothing consumed the intent — discard it now.
+			db.wal.LogDiscard(cc.RootOf(under.id), []uint64{pl})
+		}
+		if err != nil {
+			db.wal.LogAbort(under.id + ":compensation-failed:" + err.Error())
+		}
+	}
+	return compensated
+}
+
+func joinParams(ps []string) string {
+	out := ""
+	for i, p := range ps {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}
+
+// compensationNote encodes a pending inverse operation for the WAL so
+// recovery can replay it: "type\x1fname\x1fmethod\x1fp1\x1fp2...".
+func compensationNote(obj txn.OID, method string, params []string) string {
+	parts := append([]string{obj.Type, obj.Name, method}, params...)
+	return joinUnitSep(parts)
+}
+
+// DecodeCompensationNote parses a RecIntent note back into an invocation.
+func DecodeCompensationNote(note string) (obj txn.OID, method string, params []string, err error) {
+	parts := splitUnitSep(note)
+	if len(parts) < 3 {
+		return txn.OID{}, "", nil, fmt.Errorf("core: bad intent note %q", note)
+	}
+	return txn.OID{Type: parts[0], Name: parts[1]}, parts[2], parts[3:], nil
+}
+
+const unitSep = "\x1f"
+
+func joinUnitSep(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += unitSep
+		}
+		out += p
+	}
+	return out
+}
+
+func splitUnitSep(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x1f {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// undoPage restores a page before-image; the restoring write is a CLR
+// (redo-only) and it consumes the original update's undo entry.
+func (db *DB) undoPage(t *Txn, under *runtimeAction, e undoEntry) {
+	frame, err := db.pool.FetchPage(e.page)
+	if err != nil {
+		db.wal.LogAbort(under.id + ":undo-fetch-failed")
+		return
+	}
+	frame.Latch()
+	after := frame.Data()
+	frame.SetData(e.before)
+	frame.Unlatch()
+	db.pool.Unpin(frame)
+	db.wal.LogCLRUpdate(under.id+":undo", e.page, after, e.before)
+	if e.lsn != 0 {
+		db.wal.LogDiscard(cc.RootOf(under.id), []uint64{e.lsn})
+	}
+}
+
+// Savepoint marks a point in the transaction that RollbackTo can return
+// to. Savepoints cover work performed through Exec on the transaction's
+// main line; they do not span still-running parallel branches.
+type Savepoint struct {
+	txn  *Txn
+	mark int
+}
+
+// Savepoint records the current rollback position.
+func (t *Txn) Savepoint() Savepoint {
+	t.root.mu.Lock()
+	defer t.root.mu.Unlock()
+	return Savepoint{txn: t, mark: len(t.root.undo)}
+}
+
+// RollbackTo undoes everything after the savepoint — physical restores and
+// logical compensations in reverse order — and truncates the undo log to
+// the mark. Locks acquired since the savepoint are retained (the standard
+// savepoint semantics: isolation never shrinks mid-transaction). Later
+// savepoints become invalid.
+func (t *Txn) RollbackTo(sp Savepoint) error {
+	if sp.txn != t {
+		return fmt.Errorf("core: savepoint belongs to another transaction")
+	}
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return ErrTxnFinished
+	}
+	t.mu.Unlock()
+
+	t.root.mu.Lock()
+	if sp.mark > len(t.root.undo) {
+		t.root.mu.Unlock()
+		return fmt.Errorf("core: savepoint invalidated by an earlier rollback")
+	}
+	tail := append([]undoEntry{}, t.root.undo[sp.mark:]...)
+	t.root.undo = t.root.undo[:sp.mark]
+	t.root.mu.Unlock()
+
+	t.db.rollback(t, t.root, tail)
+	return nil
+}
+
+// Commit finishes the transaction, releasing every lock of its tree.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return ErrTxnFinished
+	}
+	t.finished = true
+	t.mu.Unlock()
+	t.db.wal.LogCommit(t.id)
+	t.db.lm.ReleaseTree(t.id)
+	t.db.stats.txnsCommitted.Add(1)
+	return nil
+}
+
+// Abort rolls the transaction back: compensations and before-images run in
+// reverse, then all locks are released. A transaction whose rollback needed
+// logical compensation stays in the trace (expanded history); a purely
+// physical rollback is erased from it.
+func (t *Txn) Abort() error {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return ErrTxnFinished
+	}
+	t.mu.Unlock()
+
+	entries := t.root.takeUndo()
+	t.db.rollback(t, t.root, entries)
+
+	t.mu.Lock()
+	t.finished = true
+	compensated := t.compensated
+	t.mu.Unlock()
+
+	t.db.wal.LogAbort(t.id)
+	t.db.lm.ReleaseTree(t.id)
+	t.db.stats.txnsAborted.Add(1)
+	if t.db.tracing && !compensated {
+		t.db.rec.MarkAborted(t.id)
+	}
+	return nil
+}

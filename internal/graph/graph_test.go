@@ -1,0 +1,468 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndQuery(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddNode("d")
+
+	if !g.HasNode("a") || !g.HasNode("d") {
+		t.Fatal("expected nodes a and d")
+	}
+	if g.HasNode("z") {
+		t.Fatal("unexpected node z")
+	}
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "a") {
+		t.Fatal("edge direction wrong")
+	}
+	if got := g.NumNodes(); got != 4 {
+		t.Fatalf("NumNodes = %d, want 4", got)
+	}
+	if got := g.NumEdges(); got != 2 {
+		t.Fatalf("NumEdges = %d, want 2", got)
+	}
+	if got := g.Successors("a"); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("Successors(a) = %v", got)
+	}
+	if got := g.Predecessors("c"); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("Predecessors(c) = %v", got)
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "b")
+	if got := g.NumEdges(); got != 1 {
+		t.Fatalf("NumEdges = %d, want 1", got)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.RemoveEdge("a", "b")
+	if g.HasEdge("a", "b") {
+		t.Fatal("edge survived removal")
+	}
+	if !g.HasNode("a") || !g.HasNode("b") {
+		t.Fatal("nodes should survive edge removal")
+	}
+	// Removing a non-existent edge must not panic.
+	g.RemoveEdge("x", "y")
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "b")
+	g.RemoveNode("b")
+	if g.HasNode("b") {
+		t.Fatal("node b survived removal")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("dangling edges remain: %v", g.Edges())
+	}
+	if g.HasEdge("a", "b") || g.HasEdge("c", "b") {
+		t.Fatal("incident edges survived node removal")
+	}
+}
+
+func TestTopoSortLinear(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatalf("TopoSort: %v", err)
+	}
+	if !reflect.DeepEqual(order, []string{"a", "b", "c"}) {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTopoSortDeterministicTieBreak(t *testing.T) {
+	g := New()
+	g.AddNode("c")
+	g.AddNode("a")
+	g.AddNode("b")
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatalf("TopoSort: %v", err)
+	}
+	if !reflect.DeepEqual(order, []string{"a", "b", "c"}) {
+		t.Fatalf("order = %v, want lexicographic", order)
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a")
+	_, err := g.TopoSort()
+	ce, ok := err.(*CycleError)
+	if !ok {
+		t.Fatalf("err = %v, want *CycleError", err)
+	}
+	if len(ce.Cycle) != 3 {
+		t.Fatalf("cycle = %v, want 3 nodes", ce.Cycle)
+	}
+	// The witness must actually be a cycle in g.
+	for i, n := range ce.Cycle {
+		next := ce.Cycle[(i+1)%len(ce.Cycle)]
+		if !g.HasEdge(n, next) {
+			t.Fatalf("witness edge %s -> %s not in graph", n, next)
+		}
+	}
+	if ce.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestSelfLoopIsCycle(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "a")
+	if !g.HasCycle() {
+		t.Fatal("self-loop should be a cycle")
+	}
+	cyc := g.FindCycle()
+	if len(cyc) != 1 || cyc[0] != "a" {
+		t.Fatalf("cycle = %v", cyc)
+	}
+}
+
+func TestFindCycleNilOnDAG(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "c")
+	g.AddEdge("b", "d")
+	g.AddEdge("c", "d")
+	if cyc := g.FindCycle(); cyc != nil {
+		t.Fatalf("FindCycle on DAG = %v", cyc)
+	}
+	if g.HasCycle() {
+		t.Fatal("DAG reported cyclic")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddNode("d")
+	if !g.Reachable("a", "c") {
+		t.Fatal("a should reach c")
+	}
+	if g.Reachable("c", "a") {
+		t.Fatal("c should not reach a")
+	}
+	if g.Reachable("a", "d") {
+		t.Fatal("a should not reach d")
+	}
+	// Reachability is via non-empty paths: a node does not trivially reach
+	// itself without a cycle.
+	if g.Reachable("a", "a") {
+		t.Fatal("a should not reach itself without a cycle")
+	}
+	g.AddEdge("c", "a")
+	if !g.Reachable("a", "a") {
+		t.Fatal("a should reach itself through the cycle")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	c := g.TransitiveClosure()
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"a", "c"}} {
+		if !c.HasEdge(e[0], e[1]) {
+			t.Fatalf("closure missing %v", e)
+		}
+	}
+	if c.HasEdge("c", "a") {
+		t.Fatal("closure has spurious edge")
+	}
+	if c.NumEdges() != 3 {
+		t.Fatalf("closure edges = %d, want 3", c.NumEdges())
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	g := New()
+	// Component {a,b,c}, component {d}, component {e,f}.
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a")
+	g.AddEdge("c", "d")
+	g.AddEdge("d", "e")
+	g.AddEdge("e", "f")
+	g.AddEdge("f", "e")
+	comps := g.SCCs()
+	want := [][]string{{"a", "b", "c"}, {"d"}, {"e", "f"}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("SCCs = %v, want %v", comps, want)
+	}
+}
+
+func TestSCCsDeepChain(t *testing.T) {
+	// A long chain must not blow the stack (iterative Tarjan).
+	g := New()
+	const n = 50000
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(nodeName(i), nodeName(i+1))
+	}
+	comps := g.SCCs()
+	if len(comps) != n {
+		t.Fatalf("got %d components, want %d", len(comps), n)
+	}
+}
+
+func nodeName(i int) string { return "n" + strconv.Itoa(i) }
+
+func TestUnion(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	h := New()
+	h.AddEdge("b", "c")
+	h.AddNode("z")
+	u := g.Union(h)
+	if !u.HasEdge("a", "b") || !u.HasEdge("b", "c") || !u.HasNode("z") {
+		t.Fatal("union incomplete")
+	}
+	// Union must not mutate its operands.
+	if g.HasEdge("b", "c") || h.HasEdge("a", "b") {
+		t.Fatal("union mutated operand")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	h := New()
+	h.AddEdge("a", "b")
+	if !g.Equal(h) {
+		t.Fatal("identical graphs not equal")
+	}
+	h.AddNode("c")
+	if g.Equal(h) {
+		t.Fatal("graphs with different node sets equal")
+	}
+	g.AddNode("c")
+	g.AddEdge("b", "a")
+	if g.Equal(h) {
+		t.Fatal("graphs with different edge sets equal")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a")
+	s := g.Subgraph([]string{"a", "b", "zz"})
+	if s.HasNode("c") || s.HasNode("zz") {
+		t.Fatal("subgraph node set wrong")
+	}
+	if !s.HasEdge("a", "b") || s.HasEdge("b", "c") {
+		t.Fatal("subgraph edge set wrong")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	c := g.Clone()
+	c.AddEdge("b", "c")
+	if g.HasEdge("b", "c") {
+		t.Fatal("clone shares state with original")
+	}
+	if !c.HasEdge("a", "b") {
+		t.Fatal("clone missing original edge")
+	}
+}
+
+func TestString(t *testing.T) {
+	g := New()
+	g.AddEdge("b", "a")
+	g.AddNode("c")
+	want := "a -> \nb -> a\nc -> \n"
+	if got := g.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// randomDAG builds a DAG by only adding edges from lower to higher indices.
+func randomDAG(r *rand.Rand, n, m int) *Digraph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(nodeName(i))
+	}
+	for k := 0; k < m; k++ {
+		i := r.Intn(n)
+		j := r.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		g.AddEdge(nodeName(i), nodeName(j))
+	}
+	return g
+}
+
+func TestPropertyTopoSortRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(40), r.Intn(120))
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := make(map[string]int, len(order))
+		for i, n := range order {
+			pos[n] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e[0]] >= pos[e[1]] {
+				return false
+			}
+		}
+		return len(order) == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyClosureMatchesReachable(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(15)
+		g := New()
+		for i := 0; i < n; i++ {
+			g.AddNode(nodeName(i))
+		}
+		for k := 0; k < r.Intn(40); k++ {
+			g.AddEdge(nodeName(r.Intn(n)), nodeName(r.Intn(n)))
+		}
+		c := g.TransitiveClosure()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if c.HasEdge(nodeName(i), nodeName(j)) != g.Reachable(nodeName(i), nodeName(j)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySCCPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		g := New()
+		for i := 0; i < n; i++ {
+			g.AddNode(nodeName(i))
+		}
+		for k := 0; k < r.Intn(60); k++ {
+			g.AddEdge(nodeName(r.Intn(n)), nodeName(r.Intn(n)))
+		}
+		comps := g.SCCs()
+		seen := make(map[string]bool)
+		total := 0
+		for _, comp := range comps {
+			total += len(comp)
+			for _, node := range comp {
+				if seen[node] {
+					return false // node in two components
+				}
+				seen[node] = true
+			}
+			// Mutual reachability within a component of size > 1.
+			if len(comp) > 1 {
+				for _, a := range comp {
+					for _, b := range comp {
+						if a != b && !g.Reachable(a, b) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return total == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCycleWitnessValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		g := New()
+		for i := 0; i < n; i++ {
+			g.AddNode(nodeName(i))
+		}
+		for k := 0; k < r.Intn(30); k++ {
+			g.AddEdge(nodeName(r.Intn(n)), nodeName(r.Intn(n)))
+		}
+		cyc := g.FindCycle()
+		if cyc == nil {
+			return !g.HasCycle()
+		}
+		for i, node := range cyc {
+			if !g.HasEdge(node, cyc[(i+1)%len(cyc)]) {
+				return false
+			}
+		}
+		return g.HasCycle()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTopoSort(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	g := randomDAG(r, 1000, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopoSort(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSCCs(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	g := New()
+	for i := 0; i < 1000; i++ {
+		g.AddNode(nodeName(i))
+	}
+	for k := 0; k < 5000; k++ {
+		g.AddEdge(nodeName(r.Intn(1000)), nodeName(r.Intn(1000)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SCCs()
+	}
+}

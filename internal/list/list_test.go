@@ -1,0 +1,224 @@
+package list
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/txn"
+)
+
+func newDB(t testing.TB, p core.ProtocolKind) (*core.DB, *Module) {
+	t.Helper()
+	db := core.Open(core.Options{Protocol: p, LockTimeout: 5 * time.Second})
+	m, err := Install(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, m
+}
+
+func runOne(t testing.TB, db *core.DB, obj txn.OID, method string, params ...string) string {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		tx := db.Begin()
+		res, err := tx.Exec(obj, method, params...)
+		if err == nil {
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		_ = tx.Abort()
+		if attempt == 19 {
+			t.Fatalf("%s.%s%v failed: %v", obj.Name, method, params, err)
+		}
+	}
+}
+
+func TestNewListValidation(t *testing.T) {
+	_, m := newDB(t, core.ProtocolOpenNested)
+	if _, err := m.NewList("x", 0); err == nil {
+		t.Fatal("capacity 0 must fail")
+	}
+	if _, err := m.NewList("a|b", 4); !errors.Is(err, ErrBadKey) {
+		t.Fatal("reserved name must fail")
+	}
+	if _, err := m.NewList("L", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NewList("L", 4); err == nil {
+		t.Fatal("duplicate must fail")
+	}
+	if _, ok := m.Get("L"); !ok {
+		t.Fatal("Get failed")
+	}
+}
+
+func TestAppendReadSeq(t *testing.T) {
+	db, m := newDB(t, core.ProtocolOpenNested)
+	l, _ := m.NewList("L", 3)
+	for i := 0; i < 10; i++ {
+		if res := runOne(t, db, l.OID(), "append", fmt.Sprintf("k%d", i), fmt.Sprintf("r%d", i)); res != "ok" {
+			t.Fatalf("append = %q", res)
+		}
+	}
+	seq := runOne(t, db, l.OID(), "readSeq")
+	parts := strings.Split(seq, ";")
+	if len(parts) != 10 {
+		t.Fatalf("readSeq has %d entries: %q", len(parts), seq)
+	}
+	// Append order preserved.
+	for i, p := range parts {
+		if p != fmt.Sprintf("k%d:r%d", i, i) {
+			t.Fatalf("entry %d = %q", i, p)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	db, m := newDB(t, core.ProtocolOpenNested)
+	l, _ := m.NewList("L", 2)
+	for i := 0; i < 6; i++ {
+		runOne(t, db, l.OID(), "append", fmt.Sprintf("k%d", i), "r")
+	}
+	if got := runOne(t, db, l.OID(), "remove", "k3"); got != "r" {
+		t.Fatalf("remove = %q", got)
+	}
+	if got := runOne(t, db, l.OID(), "remove", "k3"); got != "" {
+		t.Fatalf("double remove = %q", got)
+	}
+	seq := runOne(t, db, l.OID(), "readSeq")
+	if strings.Contains(seq, "k3") {
+		t.Fatalf("k3 survived: %q", seq)
+	}
+	if got := len(strings.Split(seq, ";")); got != 5 {
+		t.Fatalf("entries = %d", got)
+	}
+}
+
+func TestAppendCompensation(t *testing.T) {
+	db, m := newDB(t, core.ProtocolOpenNested)
+	l, _ := m.NewList("L", 4)
+	runOne(t, db, l.OID(), "append", "keep", "r")
+
+	tx := db.Begin()
+	if _, err := tx.Exec(l.OID(), "append", "doomed", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(l.OID(), "remove", "keep"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	seq := runOne(t, db, l.OID(), "readSeq")
+	if strings.Contains(seq, "doomed") {
+		t.Fatalf("aborted append visible: %q", seq)
+	}
+	if !strings.Contains(seq, "keep") {
+		t.Fatalf("aborted remove not compensated: %q", seq)
+	}
+	_, rep, err := db.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SystemOOSerializable {
+		t.Fatalf("trace must validate: %+v", rep)
+	}
+}
+
+func TestConcurrentAppendsDistinctKeys(t *testing.T) {
+	for _, p := range []core.ProtocolKind{core.ProtocolOpenNested, core.Protocol2PLPage} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			db, m := newDB(t, p)
+			l, _ := m.NewList("L", 3)
+			var wg sync.WaitGroup
+			for g := 0; g < 6; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 15; i++ {
+						runOne(t, db, l.OID(), "append", fmt.Sprintf("g%d-%02d", g, i), "r")
+					}
+				}(g)
+			}
+			wg.Wait()
+			seq := runOne(t, db, l.OID(), "readSeq")
+			entries := strings.Split(seq, ";")
+			if len(entries) != 90 {
+				t.Fatalf("entries = %d, want 90", len(entries))
+			}
+			keys := make([]string, len(entries))
+			for i, e := range entries {
+				keys[i], _, _ = strings.Cut(e, ":")
+			}
+			sort.Strings(keys)
+			for i := 1; i < len(keys); i++ {
+				if keys[i] == keys[i-1] {
+					t.Fatalf("duplicate key %q", keys[i])
+				}
+			}
+			_, rep, err := db.Validate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.SystemOOSerializable {
+				t.Fatalf("trace must validate: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	db, m := newDB(t, core.ProtocolOpenNested)
+	l, _ := m.NewList("L", 4)
+	tx := db.Begin()
+	defer tx.Abort()
+	if _, err := tx.Exec(l.OID(), "append", "a;b", "r"); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := tx.Exec(l.OID(), "append", "k"); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("missing ref: %v", err)
+	}
+	if _, err := tx.Exec(l.OID(), "remove", ""); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("empty key: %v", err)
+	}
+}
+
+func TestSpineEncoding(t *testing.T) {
+	s := spine{next: 9, keys: []string{"a", "b"}, refs: []string{"1", "2"}}
+	got, err := decodeSpine(encodeSpine(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.next != 9 || len(got.keys) != 2 || got.refs[1] != "2" {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for _, bad := range []string{"", "nope", "next=x|", "next=0|brokenpair"} {
+		if _, err := decodeSpine(bad); err == nil {
+			t.Errorf("decodeSpine(%q) should fail", bad)
+		}
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	db := core.Open(core.Options{Protocol: core.ProtocolOpenNested, DisableTrace: true})
+	m, _ := Install(db)
+	l, _ := m.NewList("L", 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := db.Begin()
+		if _, err := tx.Exec(l.OID(), "append", fmt.Sprintf("k%09d", i), "r"); err != nil {
+			b.Fatal(err)
+		}
+		_ = tx.Commit()
+	}
+}

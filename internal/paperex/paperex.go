@@ -1,0 +1,219 @@
+// Package paperex builds the paper's running examples — the encyclopedia of
+// Figure 2 with the transactions of Examples 1 and 4 (Figures 4, 7, 8) —
+// as formal transaction systems, so that the serializability theory in
+// internal/sched can be exercised against the exact scenarios the paper
+// draws.
+//
+// The ICDE 1990 scan is partly garbled around the example subscripts; the
+// reconstruction here follows the prose: T1 and T2 insert the different
+// keys DBS and DBMS (conflicting on the shared Page4712, commuting on
+// Leaf11), T3 searches DBS (conflicting with T1 all the way up), T2
+// additionally changes the previously inserted item (Item8), and T4 reads
+// the items sequentially through the linked list. EXPERIMENTS.md records
+// the reconstruction decisions.
+package paperex
+
+import (
+	"repro/internal/commut"
+	"repro/internal/txn"
+)
+
+// Object type names used by the encyclopedia model.
+const (
+	TypePage  = "page"
+	TypeLeaf  = "btreenode"
+	TypeTree  = "btree"
+	TypeList  = "linkedlist"
+	TypeItem  = "item"
+	TypeEnc   = "encyclopedia"
+	TypeDoc   = "document"
+	TypeSect  = "section"
+	TypeAcct  = "account"
+	TypeTable = "table"
+)
+
+// The objects of Figure 2 that the examples touch.
+var (
+	Enc        = txn.OID{Type: TypeEnc, Name: "Enc"}
+	BpTree     = txn.OID{Type: TypeTree, Name: "BpTree"}
+	Leaf11     = txn.OID{Type: TypeLeaf, Name: "Leaf11"}
+	LinkedList = txn.OID{Type: TypeList, Name: "LinkedList"}
+	Item7      = txn.OID{Type: TypeItem, Name: "Item7"}
+	Item8      = txn.OID{Type: TypeItem, Name: "Item8"}
+	Page4712   = txn.OID{Type: TypePage, Name: "Page4712"}
+	Page0610   = txn.OID{Type: TypePage, Name: "Page0610"} // linked-list spine page
+	Page0815   = txn.OID{Type: TypePage, Name: "Page0815"} // Item8's page
+	Page0816   = txn.OID{Type: TypePage, Name: "Page0816"} // Item7's page
+)
+
+// Registry returns the commutativity registry for the encyclopedia model:
+//
+//   - pages: classical read/write conflicts (the zero layer, Axiom 1);
+//   - B+ tree nodes and the tree: key-based — operations on distinct keys
+//     commute, search/search commutes, anything else on the same key
+//     conflicts (Example 1's leaf semantics);
+//   - linked list: appends conflict with readSeq (a sequential read
+//     observes membership), appends of distinct keys commute;
+//   - items: read/update semantics;
+//   - encyclopedia: key-based for insert/search/update, readSeq conflicts
+//     with every mutator.
+func Registry() *commut.Registry {
+	reg := commut.NewRegistry()
+	reg.Register(TypePage, commut.ReadWriteMatrix())
+	reg.Register(TypeLeaf, commut.KeyedSpec([]string{"search"}, []string{"insert", "delete"}))
+	reg.Register(TypeTree, commut.KeyedSpec([]string{"search"}, []string{"insert", "delete"}))
+	reg.Register(TypeItem, commut.NewMatrix().
+		SetCommutes("read", "read").
+		SetConflicts("read", "update").
+		SetConflicts("update", "update"))
+
+	list := commut.NewParamSpec(commut.NewMatrix().
+		SetCommutes("readSeq", "readSeq").
+		SetConflicts("readSeq", "append"))
+	list.Rule("append", "append", commut.DistinctFirstParam)
+	reg.Register(TypeList, list)
+
+	enc := commut.NewParamSpec(commut.NewMatrix().
+		SetCommutes("readSeq", "readSeq").
+		SetConflicts("readSeq", "insert").
+		SetConflicts("readSeq", "update").
+		SetCommutes("readSeq", "search"))
+	sameKeyConflicts := func(a, b commut.Invocation) bool { return a.Param(0) != b.Param(0) }
+	for _, m1 := range []string{"insert", "update"} {
+		for _, m2 := range []string{"insert", "update", "search"} {
+			enc.Rule(m1, m2, sameKeyConflicts)
+		}
+	}
+	enc.Rule("search", "search", func(a, b commut.Invocation) bool { return true })
+	reg.Register(TypeEnc, enc)
+	return reg
+}
+
+// Example1 builds the three transactions of Example 1 / Figure 4 plus the
+// interleaved primitive execution order the example assumes:
+//
+//	T1 = Enc.insert(DBS)  → BpTree.insert(DBS) → Leaf11.insert(DBS) → Page4712.read, Page4712.write
+//	T2 = Enc.insert(DBMS) → BpTree.insert(DBMS) → Leaf11.insert(DBMS) → Page4712.read, Page4712.write
+//	T3 = Enc.search(DBS)  → BpTree.search(DBS)  → Leaf11.search(DBS)  → Page4712.read
+//
+// executed T1's page accesses, then T2's, then T3's read — so at the page
+// every conflicting pair is ordered T1 before T2 before T3.
+func Example1() (*txn.System, []string) {
+	t1 := txn.NewTransaction("T1")
+	e1 := t1.Call(nil, Enc, "insert", "DBS")
+	b1 := t1.Call(e1, BpTree, "insert", "DBS")
+	l1 := t1.Call(b1, Leaf11, "insert", "DBS")
+	r1 := t1.Call(l1, Page4712, "read")
+	w1 := t1.Call(l1, Page4712, "write")
+
+	t2 := txn.NewTransaction("T2")
+	e2 := t2.Call(nil, Enc, "insert", "DBMS")
+	b2 := t2.Call(e2, BpTree, "insert", "DBMS")
+	l2 := t2.Call(b2, Leaf11, "insert", "DBMS")
+	r2 := t2.Call(l2, Page4712, "read")
+	w2 := t2.Call(l2, Page4712, "write")
+
+	t3 := txn.NewTransaction("T3")
+	e3 := t3.Call(nil, Enc, "search", "DBS")
+	b3 := t3.Call(e3, BpTree, "search", "DBS")
+	l3 := t3.Call(b3, Leaf11, "search", "DBS")
+	r3 := t3.Call(l3, Page4712, "read")
+
+	sys := txn.NewSystem(t1.Build(), t2.Build(), t3.Build())
+	order := []string{r1.ID, w1.ID, r2.ID, w2.ID, r3.ID}
+	return sys, order
+}
+
+// Example4 builds the four transactions of Example 4 / Figures 7-8 plus the
+// interleaved primitive execution order:
+//
+//	T1 = Enc.insert(DBS)   (as in Example 1)
+//	T2 = Enc.insert(DBMS); Enc.update(DBMS)
+//	       insert: BpTree path onto Page4712, and LinkedList.append(DBMS)
+//	       onto the spine Page0610
+//	       update: Item8.update onto Page0815
+//	T3 = Enc.search(DBS)   (BpTree path; also reads Item7 via Page0816)
+//	T4 = Enc.readSeq()     (LinkedList.readSeq reading the spine, Item7 and Item8)
+//
+// The order interleaves T1/T2/T3 on Page4712 as in Example 1 and runs T4's
+// sequential read after T2's update, so every dependency points forward:
+// the schedule is oo-serializable with witness T1, T2, T3, T4.
+func Example4() (*txn.System, []string) {
+	t1 := txn.NewTransaction("T1")
+	e1 := t1.Call(nil, Enc, "insert", "DBS")
+	b1 := t1.Call(e1, BpTree, "insert", "DBS")
+	l1 := t1.Call(b1, Leaf11, "insert", "DBS")
+	r1 := t1.Call(l1, Page4712, "read")
+	w1 := t1.Call(l1, Page4712, "write")
+
+	t2 := txn.NewTransaction("T2")
+	e2 := t2.Call(nil, Enc, "insert", "DBMS")
+	b2 := t2.Call(e2, BpTree, "insert", "DBMS")
+	l2 := t2.Call(b2, Leaf11, "insert", "DBMS")
+	r2 := t2.Call(l2, Page4712, "read")
+	w2 := t2.Call(l2, Page4712, "write")
+	ap2 := t2.Call(e2, LinkedList, "append", "DBMS")
+	aw2 := t2.Call(ap2, Page0610, "write")
+	u2 := t2.Call(nil, Enc, "update", "DBMS")
+	iu2 := t2.Call(u2, Item8, "update")
+	ir2 := t2.Call(iu2, Page0815, "read")
+	iw2 := t2.Call(iu2, Page0815, "write")
+
+	t3 := txn.NewTransaction("T3")
+	e3 := t3.Call(nil, Enc, "search", "DBS")
+	b3 := t3.Call(e3, BpTree, "search", "DBS")
+	l3 := t3.Call(b3, Leaf11, "search", "DBS")
+	r3 := t3.Call(l3, Page4712, "read")
+	i3 := t3.Call(e3, Item7, "read")
+	ir3 := t3.Call(i3, Page0816, "read")
+
+	t4 := txn.NewTransaction("T4")
+	e4 := t4.Call(nil, Enc, "readSeq")
+	ls4 := t4.Call(e4, LinkedList, "readSeq")
+	sp4 := t4.Call(ls4, Page0610, "read")
+	i7 := t4.Call(ls4, Item7, "read")
+	i7r := t4.Call(i7, Page0816, "read")
+	i8 := t4.Call(ls4, Item8, "read")
+	i8r := t4.Call(i8, Page0815, "read")
+
+	sys := txn.NewSystem(t1.Build(), t2.Build(), t3.Build(), t4.Build())
+	order := []string{
+		r1.ID, w1.ID, // T1 on Page4712
+		r2.ID, w2.ID, // T2 on Page4712
+		r3.ID,          // T3 reads Page4712 after both inserts
+		aw2.ID,         // T2 appends to the list spine
+		ir2.ID, iw2.ID, // T2 updates Item8
+		sp4.ID, // T4 reads the spine after the append
+		i7r.ID, // T4 reads Item7
+		i8r.ID, // T4 reads Item8 after T2's update
+		ir3.ID, // T3 reads Item7
+	}
+	return sys, order
+}
+
+// BLink builds the Section 2 B-link scenario: a leaf split whose rearrange
+// subtransaction re-enters the ancestor node, requiring the Definition 5
+// extension; a concurrent search on the node supplies the conflicting
+// reader. It returns the system (unextended) and the primitive order in
+// which the split's node write precedes the search's node read.
+func BLink() (*txn.System, []string) {
+	node6 := txn.OID{Type: TypeLeaf, Name: "Node6"}
+	leaf11 := txn.OID{Type: TypeLeaf, Name: "Leaf11b"}
+	pageL := txn.OID{Type: TypePage, Name: "PageLeaf"}
+	pageN := txn.OID{Type: TypePage, Name: "PageNode"}
+
+	t1 := txn.NewTransaction("T1")
+	n1 := t1.Call(nil, node6, "insert", "K")
+	l1 := t1.Call(n1, leaf11, "insert", "K")
+	lw := t1.Call(l1, pageL, "write")
+	re := t1.Call(l1, node6, "rearrange", "K")
+	nw := t1.Call(re, pageN, "write")
+
+	t2 := txn.NewTransaction("T2")
+	s2 := t2.Call(nil, node6, "search", "K")
+	nr := t2.Call(s2, pageN, "read")
+
+	sys := txn.NewSystem(t1.Build(), t2.Build())
+	order := []string{lw.ID, nw.ID, nr.ID}
+	return sys, order
+}

@@ -1,0 +1,212 @@
+// Package recovery implements restart recovery for the engine — the
+// "reliably, as if there were no failures" half of the paper's §1
+// transaction contract — in the ARIES style, adapted to open nested
+// transactions:
+//
+//  1. Analysis scans the log for transaction outcomes: roots with a commit
+//     record are winners, roots with a completed abort are already undone,
+//     everything else in flight at the crash is a loser.
+//  2. Redo repeats history: every page update (including rollback CLRs) is
+//     reapplied in log order, reconstructing the exact pre-crash page
+//     state regardless of which buffered frames had been flushed.
+//  3. Undo rolls the losers back, newest first. Each loser's surviving
+//     undo entries — physical before-images (RecUpdate, non-CLR) and
+//     logical compensation intents (RecIntent), minus everything a
+//     RecDiscard or an intent's supersede-list invalidated — are executed
+//     in reverse LSN order: physical entries restore before-images (logged
+//     as CLRs), logical entries re-run the compensating operation through
+//     a fresh engine, which requires the application's object types to be
+//     registered again (code cannot be logged).
+//
+// Granularity caveat (documented in DESIGN.md §4b): a crash inside a
+// single compensating operation recovers to that compensation's boundary —
+// its completed sub-operations are permanent (nested top actions), and the
+// re-run relies on the compensation's miss-tolerance. All built-in
+// compensations (btree, list, enc, banking) are miss-tolerant.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Report summarizes a recovery pass.
+type Report struct {
+	// Winners are committed transactions whose effects were redone.
+	Winners []string
+	// Losers are in-flight transactions that were rolled back.
+	Losers []string
+	// Redone counts reapplied page updates.
+	Redone int
+	// PhysicalUndos and LogicalUndos count executed undo entries.
+	PhysicalUndos int
+	LogicalUndos  int
+}
+
+// RegisterTypes re-registers the application's object types on the
+// recovered engine; logical undo needs the method implementations.
+type RegisterTypes func(db *core.DB) error
+
+// Recover brings a crashed database back: disk and wal come from
+// core.(*DB).CrashImage (or a real restart), opts configure the new engine
+// (Protocol etc. — Store/WAL are set by Recover), and registerTypes
+// reinstalls the application's object model. It returns the recovered,
+// ready-to-use engine.
+func Recover(disk *storage.MemStore, wal *storage.WAL, opts core.Options, registerTypes RegisterTypes) (*core.DB, Report, error) {
+	var rep Report
+	records := wal.Records()
+
+	// --- Analysis ---------------------------------------------------------
+	committed := map[string]bool{}
+	aborted := map[string]bool{}
+	active := map[string]bool{}
+	for _, r := range records {
+		root := rootOf(r.Owner)
+		switch r.Kind {
+		case storage.RecCommit:
+			committed[root] = true
+			delete(active, root)
+		case storage.RecAbort:
+			if !strings.Contains(r.Owner, ":") { // skip diagnostic abort notes
+				aborted[root] = true
+				delete(active, root)
+			}
+		case storage.RecUpdate, storage.RecIntent:
+			if !committed[root] && !aborted[root] {
+				active[root] = true
+			}
+		}
+	}
+
+	// --- Redo: repeat history --------------------------------------------
+	for _, r := range records {
+		if r.Kind != storage.RecUpdate {
+			continue
+		}
+		if err := writeThrough(disk, r.Page, r.After); err != nil {
+			return nil, rep, fmt.Errorf("recovery: redo lsn %d: %w", r.LSN, err)
+		}
+		rep.Redone++
+	}
+
+	// --- Open the engine on the recovered image ----------------------------
+	opts.Store = disk
+	opts.WAL = storage.NewWALFromRecords(records)
+	db := core.Open(opts)
+	if registerTypes != nil {
+		if err := registerTypes(db); err != nil {
+			return nil, rep, fmt.Errorf("recovery: re-registering types: %w", err)
+		}
+	}
+
+	// --- Undo the losers ----------------------------------------------------
+	discarded := map[uint64]bool{}
+	for _, r := range records {
+		switch r.Kind {
+		case storage.RecDiscard:
+			for _, l := range r.Refs {
+				discarded[l] = true
+			}
+		case storage.RecIntent:
+			for _, l := range r.Refs {
+				discarded[l] = true
+			}
+		}
+	}
+
+	type pending struct {
+		lsn     uint64
+		rec     storage.Record
+		logical bool
+	}
+	pendingByRoot := map[string][]pending{}
+	for _, r := range records {
+		root := rootOf(r.Owner)
+		if !active[root] || discarded[r.LSN] {
+			continue
+		}
+		switch r.Kind {
+		case storage.RecUpdate:
+			if !r.CLR {
+				pendingByRoot[root] = append(pendingByRoot[root], pending{lsn: r.LSN, rec: r})
+			}
+		case storage.RecIntent:
+			pendingByRoot[root] = append(pendingByRoot[root], pending{lsn: r.LSN, rec: r, logical: true})
+		}
+	}
+
+	losers := make([]string, 0, len(active))
+	for root := range active {
+		losers = append(losers, root)
+	}
+	// Newest first, matching the usual undo order across transactions.
+	sort.Sort(sort.Reverse(sort.StringSlice(losers)))
+	rep.Losers = losers
+
+	for _, root := range losers {
+		entries := pendingByRoot[root]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].lsn > entries[j].lsn })
+
+		tx := db.Begin() // the recovery transaction executing the undo
+		for _, e := range entries {
+			if !e.logical {
+				if err := db.RestorePage(e.rec.Page, e.rec.Before, root); err != nil {
+					_ = tx.Abort()
+					return nil, rep, fmt.Errorf("recovery: physical undo of %s lsn %d: %w", root, e.lsn, err)
+				}
+				rep.PhysicalUndos++
+				continue
+			}
+			obj, method, params, err := core.DecodeCompensationNote(e.rec.Note)
+			if err != nil {
+				_ = tx.Abort()
+				return nil, rep, fmt.Errorf("recovery: %s lsn %d: %w", root, e.lsn, err)
+			}
+			if _, err := tx.Exec(obj, method, params...); err != nil {
+				_ = tx.Abort()
+				return nil, rep, fmt.Errorf("recovery: compensation %s.%s for %s: %w", obj.Name, method, root, err)
+			}
+			rep.LogicalUndos++
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, rep, err
+		}
+		db.WAL().LogAbort(root) // the loser's abort is now complete
+	}
+
+	for root := range committed {
+		rep.Winners = append(rep.Winners, root)
+	}
+	sort.Strings(rep.Winners)
+	return db, rep, nil
+}
+
+// writeThrough writes a page image, allocating ids the snapshot may not
+// have materialized yet (allocation is not logged; ids are monotone, so
+// allocating forward until pid exists is faithful).
+func writeThrough(disk *storage.MemStore, pid storage.PageID, data string) error {
+	err := disk.Write(pid, data)
+	if err == nil {
+		return nil
+	}
+	for i := 0; i < 1<<20; i++ {
+		id := disk.Allocate()
+		if id >= pid {
+			return disk.Write(pid, data)
+		}
+	}
+	return err
+}
+
+func rootOf(owner string) string {
+	// Strip diagnostic suffixes like "T3.1:undo" before taking the root.
+	if i := strings.IndexByte(owner, ':'); i >= 0 {
+		owner = owner[:i]
+	}
+	return cc.RootOf(owner)
+}

@@ -1,0 +1,26 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"repro/internal/paperex"
+	"repro/internal/sched"
+	"repro/internal/txn"
+)
+
+// Analyzing the paper's Example 1: the page-level T1/T2 conflict is
+// absorbed by commuting leaf inserts, while the same-key T1/T3 conflict is
+// inherited to the top level.
+func ExampleAnalyze() {
+	sys, order := paperex.Example1()
+	a, err := sched.Analyze(sys, paperex.Registry(), order)
+	if err != nil {
+		panic(err)
+	}
+	rep := a.Check()
+	fmt.Println("oo-serializable:", rep.SystemOOSerializable)
+	fmt.Println("top-level deps: ", a.TranDep[txn.SystemObject].Edges())
+	// Output:
+	// oo-serializable: true
+	// top-level deps:  [[T1 T3]]
+}

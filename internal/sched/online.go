@@ -1,0 +1,245 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/commut"
+	"repro/internal/graph"
+	"repro/internal/txn"
+)
+
+// StreamEvent is one dispatch in a live stream — the same shape as
+// trace.Event, duplicated here so the trace package's tests can depend on
+// sched without an import cycle.
+type StreamEvent struct {
+	ID       string
+	Parent   string
+	ObjType  string
+	ObjName  string
+	Method   string
+	Params   []string
+	Parallel bool
+	Aborted  bool
+}
+
+// Online is the incremental counterpart of Analyze: it consumes trace
+// events one at a time (a certifier tailing a live system) and maintains
+// the same dependency relations, reporting the first oo-serializability
+// violation as soon as the closing edge arrives instead of after the fact.
+//
+// Scope: Online expects engine-style traces where the primitive actions
+// are the operations on the configured primitive object types (by default
+// just "page", the engine's zero layer) and where no action calls into an
+// object an ancestor already accessed — the Definition 5 extension cannot
+// be applied retroactively to a stream. Add returns an error if it sees
+// such a cycle. The batch Analyze remains the reference; Online is
+// validated differentially against it.
+type Online struct {
+	reg       *commut.Registry
+	primitive map[string]bool
+
+	actions map[string]*txn.Action
+	onObj   map[txn.OID][]*txn.Action
+	primSeq int
+
+	actDep  map[txn.OID]*graph.Digraph
+	tranDep map[txn.OID]*graph.Digraph
+	added   map[txn.OID]*graph.Digraph
+	cross   *graph.Digraph
+	global  *graph.Digraph
+
+	primPos map[string]int
+
+	violation []string
+}
+
+// NewOnline returns an empty certifier. primitiveTypes lists the object
+// types whose actions are primitives (nil means {"page"}).
+func NewOnline(reg *commut.Registry, primitiveTypes ...string) *Online {
+	if len(primitiveTypes) == 0 {
+		primitiveTypes = []string{"page"}
+	}
+	prim := make(map[string]bool, len(primitiveTypes))
+	for _, t := range primitiveTypes {
+		prim[t] = true
+	}
+	return &Online{
+		reg:       reg,
+		primitive: prim,
+		actions:   make(map[string]*txn.Action),
+		onObj:     make(map[txn.OID][]*txn.Action),
+		actDep:    make(map[txn.OID]*graph.Digraph),
+		tranDep:   make(map[txn.OID]*graph.Digraph),
+		added:     make(map[txn.OID]*graph.Digraph),
+		cross:     graph.New(),
+		global:    graph.New(),
+		primPos:   make(map[string]int),
+	}
+}
+
+func (o *Online) graphFor(m map[txn.OID]*graph.Digraph, obj txn.OID) *graph.Digraph {
+	g, ok := m[obj]
+	if !ok {
+		g = graph.New()
+		m[obj] = g
+	}
+	return g
+}
+
+// Violation returns a witness cycle once the stream stopped being
+// oo-serializable, or nil.
+func (o *Online) Violation() []string { return o.violation }
+
+// OK reports whether the stream so far is oo-serializable.
+func (o *Online) OK() bool { return o.violation == nil }
+
+// Add ingests one event. It returns an error for malformed streams
+// (unknown parents, duplicate ids, call cycles); a serializability
+// violation is NOT an error — check OK/Violation.
+func (o *Online) Add(ev StreamEvent) error {
+	if ev.Aborted {
+		return nil
+	}
+	if _, dup := o.actions[ev.ID]; dup {
+		return fmt.Errorf("sched: online: duplicate action id %q", ev.ID)
+	}
+	a := &txn.Action{
+		ID: ev.ID,
+		Msg: txn.Message{
+			Object: txn.OID{Type: ev.ObjType, Name: ev.ObjName},
+			Inv:    commut.Invocation{Method: ev.Method, Params: ev.Params},
+		},
+	}
+	if ev.Parent == "" {
+		a.Process = ev.ID
+	} else {
+		p, ok := o.actions[ev.Parent]
+		if !ok {
+			return fmt.Errorf("sched: online: action %q before its parent %q", ev.ID, ev.Parent)
+		}
+		a.Parent = p
+		if ev.Parallel {
+			a.Process = ev.ID
+		} else {
+			a.Process = p.Process
+		}
+		p.Children = append(p.Children, a)
+		for q := p; q != nil; q = q.Parent {
+			if q.Msg.Object == a.Msg.Object && a.Msg.Object != txn.SystemObject {
+				return fmt.Errorf("sched: online: call cycle on %s (action %s under %s); use the batch checker with Extend",
+					a.Msg.Object.Name, a.ID, q.ID)
+			}
+		}
+	}
+	o.actions[ev.ID] = a
+
+	obj := a.Msg.Object
+	if !o.primitive[obj.Type] {
+		o.onObj[obj] = append(o.onObj[obj], a)
+		return nil
+	}
+
+	// A primitive arrived: Axiom 1 orders it against every earlier
+	// conflicting primitive on the object; each new edge propagates.
+	o.primPos[a.ID] = o.primSeq
+	o.primSeq++
+	peers := o.onObj[obj]
+	o.onObj[obj] = append(peers, a)
+	for _, b := range peers {
+		if o.conflict(obj, b, a) {
+			o.addActDep(obj, b, a)
+		}
+	}
+	return nil
+}
+
+func (o *Online) conflict(obj txn.OID, x, y *txn.Action) bool {
+	if x == y || x.Process == y.Process {
+		return false
+	}
+	return !o.reg.Lookup(obj.Type).Commutes(x.Msg.Inv, y.Msg.Inv)
+}
+
+// addActDep inserts x ⊲ y at obj and propagates (Definition 10).
+func (o *Online) addActDep(obj txn.OID, x, y *txn.Action) {
+	g := o.graphFor(o.actDep, obj)
+	if g.HasEdge(x.ID, y.ID) {
+		return
+	}
+	g.AddEdge(x.ID, y.ID)
+	o.addGlobal(x.ID, y.ID)
+	if g.HasEdge(y.ID, x.ID) && o.violation == nil {
+		o.violation = []string{x.ID, y.ID}
+	}
+	if !o.conflict(obj, x, y) {
+		return // commuting callers absorb the dependency
+	}
+	t, u := txn.CallerOn(x), txn.CallerOn(y)
+	if t == u {
+		return
+	}
+	o.addTranDep(obj, t, u)
+}
+
+// addTranDep inserts t → u in obj's transaction dependencies and injects
+// it per Definitions 11/15.
+func (o *Online) addTranDep(obj txn.OID, t, u *txn.Action) {
+	g := o.graphFor(o.tranDep, obj)
+	if g.HasEdge(t.ID, u.ID) {
+		return
+	}
+	g.AddEdge(t.ID, u.ID)
+	o.addGlobal(t.ID, u.ID)
+	if t.Msg.Object == u.Msg.Object {
+		o.addActDep(t.Msg.Object, t, u)
+		return
+	}
+	o.graphFor(o.added, t.Msg.Object).AddEdge(t.ID, u.ID)
+	o.graphFor(o.added, u.Msg.Object).AddEdge(t.ID, u.ID)
+	o.addCross(t, u)
+}
+
+// addCross lifts a cross-object pair along the caller chain (the
+// conservative strengthening of Definition 15, matching Analyze).
+func (o *Online) addCross(t, u *txn.Action) {
+	if o.cross.HasEdge(t.ID, u.ID) {
+		return
+	}
+	o.cross.AddEdge(t.ID, u.ID)
+	o.addGlobal(t.ID, u.ID)
+	tc, uc := txn.CallerOn(t), txn.CallerOn(u)
+	if tc == uc {
+		return
+	}
+	if tc.Msg.Object == uc.Msg.Object {
+		o.addActDep(tc.Msg.Object, tc, uc)
+		return
+	}
+	o.graphFor(o.added, tc.Msg.Object).AddEdge(tc.ID, uc.ID)
+	o.graphFor(o.added, uc.Msg.Object).AddEdge(tc.ID, uc.ID)
+	o.addCross(tc, uc)
+}
+
+// addGlobal tracks every dependency in one graph and detects the first
+// cycle as it closes.
+func (o *Online) addGlobal(from, to string) {
+	if o.global.HasEdge(from, to) {
+		return
+	}
+	// Reachability test BEFORE inserting: a to→from path means this edge
+	// closes a cycle.
+	if o.violation == nil && (to == from || o.global.Reachable(to, from)) {
+		o.global.AddEdge(from, to)
+		cyc := o.global.FindCycle()
+		o.violation = cyc
+		return
+	}
+	o.global.AddEdge(from, to)
+}
+
+// TranDeps exposes an object's transaction dependency relation (nil if the
+// object has none yet).
+func (o *Online) TranDeps(obj txn.OID) *graph.Digraph { return o.tranDep[obj] }
+
+// ActDeps exposes an object's action dependency relation.
+func (o *Online) ActDeps(obj txn.OID) *graph.Digraph { return o.actDep[obj] }

@@ -1,0 +1,242 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/paperex"
+	"repro/internal/txn"
+)
+
+// feed converts a formal system + primitive order into the event stream an
+// engine would emit: tree actions in pre-order per transaction, primitives
+// at their execution positions.
+func feed(sys *txn.System, order []string) []StreamEvent {
+	pos := map[string]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	var evs []StreamEvent
+	var walk func(a *txn.Action)
+	walk = func(a *txn.Action) {
+		parent := ""
+		if a.Parent != nil {
+			parent = a.Parent.ID
+		}
+		if !a.Primitive() || a.Msg.Object == txn.SystemObject {
+			evs = append(evs, StreamEvent{
+				ID: a.ID, Parent: parent,
+				ObjType: a.Msg.Object.Type, ObjName: a.Msg.Object.Name,
+				Method: a.Msg.Inv.Method, Params: a.Msg.Inv.Params,
+				Parallel: a.Parent != nil && a.Process == a.ID,
+			})
+		}
+		for _, c := range a.Children {
+			walk(c)
+		}
+	}
+	for _, t := range sys.Top {
+		walk(t)
+	}
+	// Primitives arrive in execution order, interleaved after their
+	// ancestors (which the pre-order pass already emitted).
+	for _, id := range order {
+		a := findAction(sys, id)
+		evs = append(evs, StreamEvent{
+			ID: a.ID, Parent: a.Parent.ID,
+			ObjType: a.Msg.Object.Type, ObjName: a.Msg.Object.Name,
+			Method: a.Msg.Inv.Method, Params: a.Msg.Inv.Params,
+		})
+	}
+	_ = pos
+	return evs
+}
+
+func findAction(sys *txn.System, id string) *txn.Action {
+	a := sys.Find(id)
+	if a == nil {
+		panic("unknown action " + id)
+	}
+	return a
+}
+
+func TestOnlineMatchesBatchOnExamples(t *testing.T) {
+	for name, build := range map[string]func() (*txn.System, []string){
+		"example1": paperex.Example1,
+		"example4": paperex.Example4,
+	} {
+		t.Run(name, func(t *testing.T) {
+			sys, order := build()
+			batch := mustAnalyze(t, sys, paperex.Registry(), order)
+			batchOK := batch.Check().SystemOOSerializable
+
+			sys2, order2 := build()
+			on := NewOnline(paperex.Registry())
+			for _, ev := range feed(sys2, order2) {
+				if err := on.Add(ev); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if on.OK() != batchOK {
+				t.Fatalf("online=%v batch=%v", on.OK(), batchOK)
+			}
+			// The per-object transaction dependencies agree.
+			for _, o := range batch.Objects() {
+				og := on.TranDeps(o)
+				for _, e := range batch.TranDep[o].Edges() {
+					if og == nil || !og.HasEdge(e[0], e[1]) {
+						t.Errorf("%s: online missing tranDep %v", o.Name, e)
+					}
+				}
+				if og != nil {
+					for _, e := range og.Edges() {
+						if !batch.TranDep[o].HasEdge(e[0], e[1]) {
+							t.Errorf("%s: online has extra tranDep %v", o.Name, e)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestOnlineDetectsViolationEarly(t *testing.T) {
+	leafA := txn.OID{Type: paperex.TypeLeaf, Name: "LeafA"}
+	leafB := txn.OID{Type: paperex.TypeLeaf, Name: "LeafB"}
+	pageA := txn.OID{Type: paperex.TypePage, Name: "PageA"}
+	pageB := txn.OID{Type: paperex.TypePage, Name: "PageB"}
+
+	t1 := txn.NewTransaction("T1")
+	ia1 := t1.Call(nil, leafA, "insert", "kA")
+	wa1 := t1.Call(ia1, pageA, "write")
+	sb1 := t1.Call(nil, leafB, "search", "kB")
+	rb1 := t1.Call(sb1, pageB, "read")
+
+	t2 := txn.NewTransaction("T2")
+	ib2 := t2.Call(nil, leafB, "insert", "kB")
+	wb2 := t2.Call(ib2, pageB, "write")
+	sa2 := t2.Call(nil, leafA, "search", "kA")
+	ra2 := t2.Call(sa2, pageA, "read")
+
+	sys := txn.NewSystem(t1.Build(), t2.Build())
+	order := []string{wa1.ID, wb2.ID, rb1.ID, ra2.ID}
+
+	on := NewOnline(paperex.Registry())
+	evs := feed(sys, order)
+	var violatedAt int = -1
+	for i, ev := range evs {
+		if err := on.Add(ev); err != nil {
+			t.Fatal(err)
+		}
+		if !on.OK() && violatedAt < 0 {
+			violatedAt = i
+		}
+	}
+	if violatedAt < 0 {
+		t.Fatal("online certifier missed the same-key cycle")
+	}
+	// The violation fires at the closing primitive, not at the end.
+	if violatedAt != len(evs)-1 {
+		t.Logf("violation detected at event %d of %d", violatedAt, len(evs))
+	}
+	if len(on.Violation()) == 0 {
+		t.Fatal("no witness")
+	}
+}
+
+func TestOnlineStreamValidation(t *testing.T) {
+	on := NewOnline(paperex.Registry())
+	if err := on.Add(StreamEvent{ID: "T1.1", Parent: "T1", ObjType: "page", ObjName: "P", Method: "read"}); err == nil {
+		t.Fatal("orphan must fail")
+	}
+	if err := on.Add(StreamEvent{ID: "T1", ObjType: "system", ObjName: "S", Method: "T1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := on.Add(StreamEvent{ID: "T1", ObjType: "system", ObjName: "S", Method: "T1"}); err == nil {
+		t.Fatal("duplicate must fail")
+	}
+	// Call cycle (ancestor object revisited) is rejected with a pointer to
+	// the batch checker.
+	if err := on.Add(StreamEvent{ID: "T1.1", Parent: "T1", ObjType: "node", ObjName: "N", Method: "insert"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := on.Add(StreamEvent{ID: "T1.1.1", Parent: "T1.1", ObjType: "node", ObjName: "N", Method: "rearrange"}); err == nil {
+		t.Fatal("call cycle must be rejected")
+	}
+	// Aborted events are skipped silently.
+	if err := on.Add(StreamEvent{ID: "T9", ObjType: "system", ObjName: "S", Method: "T9", Aborted: true}); err != nil {
+		t.Fatal(err)
+	}
+	if on.ActDeps(txn.OID{Type: "page", Name: "P"}) != nil {
+		t.Fatal("no deps expected yet")
+	}
+}
+
+// Property: on random extension-free systems, the online verdict matches
+// the batch verdict.
+func TestPropertyOnlineMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tops []*txn.Action
+		var prim []*txn.Action
+		n := 2 + r.Intn(4)
+		for i := 0; i < n; i++ {
+			b := txn.NewTransaction(fmt.Sprintf("T%d", i+1))
+			for j := 0; j < 1+r.Intn(3); j++ {
+				k := fmt.Sprintf("k%d", r.Intn(3))
+				method := []string{"insert", "search"}[r.Intn(2)]
+				e := b.Call(nil, paperex.Enc, method, k)
+				l := b.Call(e, paperex.Leaf11, method, k)
+				pg := txn.OID{Type: paperex.TypePage, Name: fmt.Sprintf("P%d", r.Intn(2))}
+				how := "write"
+				if method == "search" {
+					how = "read"
+				}
+				prim = append(prim, b.Call(l, pg, how))
+			}
+			tops = append(tops, b.Build())
+		}
+		// Random interleaving of the primitives.
+		r.Shuffle(len(prim), func(i, j int) { prim[i], prim[j] = prim[j], prim[i] })
+		order := make([]string, len(prim))
+		for i, p := range prim {
+			order[i] = p.ID
+		}
+		sys := txn.NewSystem(tops...)
+
+		batch, err := Analyze(sys, paperex.Registry(), order)
+		if err != nil {
+			return false
+		}
+		batchOK := batch.Check().SystemOOSerializable
+
+		on := NewOnline(paperex.Registry())
+		for _, ev := range feed(sys, order) {
+			if err := on.Add(ev); err != nil {
+				return false
+			}
+		}
+		return on.OK() == batchOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOnlineAdd(b *testing.B) {
+	reg := paperex.Registry()
+	sys, order := paperex.Example4()
+	evs := feed(sys, order)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		on := NewOnline(reg)
+		for _, ev := range evs {
+			if err := on.Add(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/commut"
+	"repro/internal/paperex"
+	"repro/internal/txn"
+)
+
+// TestFourLevelInheritanceChain verifies dependency inheritance through a
+// deeper hierarchy than the paper draws: Enc → BpTree → Node → Leaf →
+// Page, with same-key conflicts at every level, must order the top-level
+// transactions; with the keys differing at the node level, inheritance
+// stops exactly there.
+func TestFourLevelInheritanceChain(t *testing.T) {
+	nodeA := txn.OID{Type: paperex.TypeLeaf, Name: "NodeA"}
+	leaf := txn.OID{Type: paperex.TypeLeaf, Name: "LeafX"}
+	page := txn.OID{Type: paperex.TypePage, Name: "PageX"}
+
+	build := func(k1, k2 string) (*txn.System, []string) {
+		t1 := txn.NewTransaction("T1")
+		e1 := t1.Call(nil, paperex.Enc, "insert", k1)
+		b1 := t1.Call(e1, paperex.BpTree, "insert", k1)
+		n1 := t1.Call(b1, nodeA, "insert", k1)
+		l1 := t1.Call(n1, leaf, "insert", k1)
+		w1 := t1.Call(l1, page, "write")
+
+		t2 := txn.NewTransaction("T2")
+		e2 := t2.Call(nil, paperex.Enc, "search", k2)
+		b2 := t2.Call(e2, paperex.BpTree, "search", k2)
+		n2 := t2.Call(b2, nodeA, "search", k2)
+		l2 := t2.Call(n2, leaf, "search", k2)
+		r2 := t2.Call(l2, page, "read")
+
+		sys := txn.NewSystem(t1.Build(), t2.Build())
+		return sys, []string{w1.ID, r2.ID}
+	}
+
+	// Same key: the dependency climbs all four levels.
+	sys, order := build("K", "K")
+	a := mustAnalyze(t, sys, paperex.Registry(), order)
+	if !a.TranDep[txn.SystemObject].HasEdge("T1", "T2") {
+		t.Fatal("same-key conflict must inherit to the top through four levels")
+	}
+	for _, o := range []txn.OID{page, leaf, nodeA, paperex.BpTree, paperex.Enc} {
+		if a.TranDep[o].NumEdges() == 0 {
+			t.Fatalf("level %s must carry a transaction dependency", o.Name)
+		}
+	}
+
+	// Different keys: the page conflict is absorbed at the leaf.
+	sys2, order2 := build("K1", "K2")
+	b := mustAnalyze(t, sys2, paperex.Registry(), order2)
+	if b.TranDep[txn.SystemObject].NumEdges() != 0 {
+		t.Fatalf("distinct keys must not order the top level:\n%s",
+			b.TranDep[txn.SystemObject].String())
+	}
+	if b.TranDep[page].NumEdges() == 0 {
+		t.Fatal("the page-level dependency must still exist")
+	}
+	if b.TranDep[leaf].NumEdges() != 0 {
+		t.Fatal("the leaf absorbs the dependency (commuting keys)")
+	}
+}
+
+// TestAddedRelationViolation builds the Definition 16(ii) failure case the
+// paper's "divide et impera" bookkeeping exists for: two items are each
+// reachable through TWO objects, and the cross-object transaction
+// dependencies contradict — every object schedule alone is fine, but the
+// added relations expose the cycle.
+func TestAddedRelationViolation(t *testing.T) {
+	itemA := txn.OID{Type: paperex.TypeItem, Name: "ItemA"}
+	itemB := txn.OID{Type: paperex.TypeItem, Name: "ItemB"}
+	pageA := txn.OID{Type: paperex.TypePage, Name: "PageA"}
+	pageB := txn.OID{Type: paperex.TypePage, Name: "PageB"}
+	encO := txn.OID{Type: paperex.TypeEnc, Name: "EncX"}
+	listO := txn.OID{Type: paperex.TypeList, Name: "ListX"}
+
+	// T1 updates ItemA via EncX and reads ItemB via ListX.
+	t1 := txn.NewTransaction("T1")
+	e1 := t1.Call(nil, encO, "update", "a")
+	u1 := t1.Call(e1, itemA, "update")
+	wa1 := t1.Call(u1, pageA, "write")
+	l1 := t1.Call(nil, listO, "readSeq")
+	r1b := t1.Call(l1, itemB, "read")
+	rb1 := t1.Call(r1b, pageB, "read")
+
+	// T2 updates ItemB via EncX and reads ItemA via ListX.
+	t2 := txn.NewTransaction("T2")
+	e2 := t2.Call(nil, encO, "update", "b")
+	u2 := t2.Call(e2, itemB, "update")
+	wb2 := t2.Call(u2, pageB, "write")
+	l2 := t2.Call(nil, listO, "readSeq")
+	r2a := t2.Call(l2, itemA, "read")
+	ra2 := t2.Call(r2a, pageA, "read")
+
+	sys := txn.NewSystem(t1.Build(), t2.Build())
+	// ItemA: T1's write before T2's read (T1 -> T2).
+	// ItemB: T2's write before T1's read (T2 -> T1).
+	order := []string{wa1.ID, wb2.ID, ra2.ID, rb1.ID}
+	a := mustAnalyze(t, sys, paperex.Registry(), order)
+
+	// The transaction dependencies at the items relate an Enc action and a
+	// List action — different objects, so they land in the ADDED relations.
+	if a.TranDep[itemA].NumEdges() == 0 || a.TranDep[itemB].NumEdges() == 0 {
+		t.Fatal("item-level transaction dependencies missing")
+	}
+	if a.Added[encO].NumEdges() == 0 || a.Added[listO].NumEdges() == 0 {
+		t.Fatal("added relations must record the cross-object dependencies")
+	}
+
+	rep := a.Check()
+	// The per-object Definition 16 check must reject: at EncX (and ListX)
+	// the added relation contains both directions between the two
+	// transactions' actions.
+	if rep.SystemOOSerializable {
+		t.Fatalf("contradicting cross-object dependencies must be rejected: %+v", rep)
+	}
+	if rep.GlobalAcyclic {
+		t.Fatal("the global graph must be cyclic")
+	}
+	// And conventionally the schedule is equally non-serializable.
+	if a.Conventional().Serializable {
+		t.Fatal("baseline must reject too")
+	}
+}
+
+// TestDependencyAbsorptionIsNotLoss: a dependency absorbed by commuting
+// callers (no transaction dependency) still constrains the action
+// dependency relation — reversing the SAME pair at another page makes the
+// action relation cyclic even though the callers commute.
+func TestDependencyAbsorptionIsNotLoss(t *testing.T) {
+	leaf := txn.OID{Type: paperex.TypeLeaf, Name: "L"}
+	pageA := txn.OID{Type: paperex.TypePage, Name: "PA"}
+	pageB := txn.OID{Type: paperex.TypePage, Name: "PB"}
+
+	t1 := txn.NewTransaction("T1")
+	l1 := t1.Call(nil, leaf, "insert", "k1")
+	a1 := t1.Call(l1, pageA, "write")
+	b1 := t1.Call(l1, pageB, "write")
+
+	t2 := txn.NewTransaction("T2")
+	l2 := t2.Call(nil, leaf, "insert", "k2")
+	a2 := t2.Call(l2, pageA, "write")
+	b2 := t2.Call(l2, pageB, "write")
+
+	// Consistent order: T1 before T2 on both pages — fine.
+	sys := txn.NewSystem(t1.Build(), t2.Build())
+	a := mustAnalyze(t, sys, paperex.Registry(), []string{a1.ID, b1.ID, a2.ID, b2.ID})
+	if !a.Check().SystemOOSerializable {
+		t.Fatal("consistent orders must validate")
+	}
+	if a.TranDep[leaf].NumEdges() != 0 {
+		t.Fatal("commuting inserts: no leaf transaction dependency")
+	}
+	if a.ActDep[leaf].NumEdges() == 0 {
+		t.Fatal("the absorbed dependency must still be recorded as an action dependency")
+	}
+}
+
+// TestSerialScheduleAlwaysValidates: any serial execution of any random
+// encyclopedia-shaped system is oo-serializable (a sanity property of the
+// whole pipeline).
+func TestPropertySerialSchedulesValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tops []*txn.Action
+		var order []string
+		n := 2 + r.Intn(5)
+		for i := 0; i < n; i++ {
+			b := txn.NewTransaction(fmt.Sprintf("T%d", i+1))
+			ops := 1 + r.Intn(3)
+			for j := 0; j < ops; j++ {
+				k := fmt.Sprintf("k%d", r.Intn(4))
+				method := []string{"insert", "search", "update"}[r.Intn(3)]
+				e := b.Call(nil, paperex.Enc, method, k)
+				l := b.Call(e, paperex.Leaf11, method, k)
+				pg := txn.OID{Type: paperex.TypePage, Name: fmt.Sprintf("P%d", r.Intn(3))}
+				var prim *txn.Action
+				if method == "search" {
+					prim = b.Call(l, pg, "read")
+				} else {
+					prim = b.Call(l, pg, "write")
+				}
+				order = append(order, prim.ID) // serial: transaction order
+			}
+			tops = append(tops, b.Build())
+		}
+		sys := txn.NewSystem(tops...)
+		a, err := Analyze(sys, paperex.Registry(), order)
+		if err != nil {
+			return false
+		}
+		rep := a.Check()
+		return rep.SystemOOSerializable && rep.GlobalAcyclic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommutRegistryFallback: an object type missing from the registry
+// conflicts conservatively, degrading to conventional behaviour (paper §6).
+func TestCommutRegistryFallback(t *testing.T) {
+	mystery := txn.OID{Type: "mystery", Name: "M"}
+	page := txn.OID{Type: paperex.TypePage, Name: "P"}
+
+	t1 := txn.NewTransaction("T1")
+	m1 := t1.Call(nil, mystery, "frobnicate", "x")
+	w1 := t1.Call(m1, page, "write")
+	t2 := txn.NewTransaction("T2")
+	m2 := t2.Call(nil, mystery, "frobnicate", "y")
+	w2 := t2.Call(m2, page, "write")
+
+	sys := txn.NewSystem(t1.Build(), t2.Build())
+	a := mustAnalyze(t, sys, paperex.Registry(), []string{w1.ID, w2.ID})
+	// Even though the parameters differ, the conservative spec conflicts:
+	// the dependency reaches the top level.
+	if !a.TranDep[txn.SystemObject].HasEdge("T1", "T2") {
+		t.Fatal("unregistered types must serialize conservatively")
+	}
+}
+
+// TestEquivalentDifferentObjects: Equivalent on an object absent from one
+// analysis compares nil graphs safely.
+func TestEquivalentDifferentObjects(t *testing.T) {
+	sysA, orderA := paperex.Example1()
+	a := mustAnalyze(t, sysA, paperex.Registry(), orderA)
+	ghost := txn.OID{Type: "ghost", Name: "G"}
+	if Equivalent(a, a, ghost) != true {
+		t.Fatal("nil == nil must be equivalent")
+	}
+	if Equivalent(a, a, paperex.Page4712) != true {
+		t.Fatal("an analysis must be equivalent to itself")
+	}
+}
+
+func TestCommutSpecSanity(t *testing.T) {
+	// Guard against accidental registry edits breaking Example 1's
+	// semantics: the fixtures rely on these exact verdicts.
+	reg := paperex.Registry()
+	leafSpec := reg.Lookup(paperex.TypeLeaf)
+	if !leafSpec.Commutes(
+		commut.Invocation{Method: "insert", Params: []string{"DBS"}},
+		commut.Invocation{Method: "insert", Params: []string{"DBMS"}}) {
+		t.Fatal("distinct-key leaf inserts must commute")
+	}
+	if leafSpec.Commutes(
+		commut.Invocation{Method: "insert", Params: []string{"DBS"}},
+		commut.Invocation{Method: "search", Params: []string{"DBS"}}) {
+		t.Fatal("same-key insert/search must conflict")
+	}
+}

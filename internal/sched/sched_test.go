@@ -1,0 +1,620 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/commut"
+	"repro/internal/paperex"
+	"repro/internal/txn"
+)
+
+func mustAnalyze(t *testing.T, sys *txn.System, reg *commut.Registry, order []string) *Analysis {
+	t.Helper()
+	a, err := Analyze(sys, reg, order)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return a
+}
+
+// TestExample1DependencyInheritance reproduces Example 1 / Figure 4:
+// the page-level T1/T2 conflict is inherited to the leaf-insert
+// subtransactions, absorbed there because inserts of distinct keys commute,
+// and never reaches BpTree or the top level; the T1/T3 same-key conflict is
+// inherited all the way up.
+func TestExample1DependencyInheritance(t *testing.T) {
+	sys, order := paperex.Example1()
+	a := mustAnalyze(t, sys, paperex.Registry(), order)
+
+	// Page4712 action dependencies: every conflicting page pair ordered by
+	// execution (reads/writes of T1 before T2 before T3's read).
+	pg := a.ActDep[paperex.Page4712]
+	wantPageEdges := [][2]string{
+		{"T1.1.1.1.1", "T2.1.1.1.2"}, // T1.read -> T2.write
+		{"T1.1.1.1.2", "T2.1.1.1.1"}, // T1.write -> T2.read
+		{"T1.1.1.1.2", "T2.1.1.1.2"}, // T1.write -> T2.write
+		{"T1.1.1.1.2", "T3.1.1.1.1"}, // T1.write -> T3.read
+		{"T2.1.1.1.2", "T3.1.1.1.1"}, // T2.write -> T3.read
+	}
+	for _, e := range wantPageEdges {
+		if !pg.HasEdge(e[0], e[1]) {
+			t.Errorf("Page4712 missing action dep %v", e)
+		}
+	}
+	if got := pg.NumEdges(); got != len(wantPageEdges) {
+		t.Errorf("Page4712 has %d action deps, want %d:\n%s", got, len(wantPageEdges), pg.String())
+	}
+
+	// Transaction dependencies at the page: the three leaf-insert/search
+	// subtransactions, ordered T1 -> T2 -> T3.
+	pgT := a.TranDep[paperex.Page4712]
+	for _, e := range [][2]string{
+		{"T1.1.1.1", "T2.1.1.1"},
+		{"T1.1.1.1", "T3.1.1.1"},
+		{"T2.1.1.1", "T3.1.1.1"},
+	} {
+		if !pgT.HasEdge(e[0], e[1]) {
+			t.Errorf("Page4712 missing transaction dep %v", e)
+		}
+	}
+
+	// At Leaf11 the T1/T2 dependency is present as an ACTION dependency
+	// (lost updates on the page are prevented)...
+	lf := a.ActDep[paperex.Leaf11]
+	if !lf.HasEdge("T1.1.1.1", "T2.1.1.1") {
+		t.Error("Leaf11 must record the inherited T1/T2 action dependency")
+	}
+	// ...but NOT as a transaction dependency: insert(DBS) and insert(DBMS)
+	// commute, so inheritance stops (the paper's core point).
+	lfT := a.TranDep[paperex.Leaf11]
+	if lfT.HasEdge("T1.1.1", "T2.1.1") || lfT.HasEdge("T2.1.1", "T1.1.1") {
+		t.Error("commuting leaf inserts must absorb the T1/T2 dependency")
+	}
+	// The T1/T3 same-key conflict is inherited: Leaf11 -> BpTree -> Enc -> S.
+	if !lfT.HasEdge("T1.1.1", "T3.1.1") {
+		t.Error("Leaf11 must inherit the T1/T3 dependency to the BpTree actions")
+	}
+	if !a.TranDep[paperex.BpTree].HasEdge("T1.1", "T3.1") {
+		t.Error("BpTree must inherit the T1/T3 dependency to the Enc actions")
+	}
+	if !a.TranDep[paperex.Enc].HasEdge("T1", "T3") {
+		t.Error("Enc must inherit the T1/T3 dependency to the top level")
+	}
+	// T2 is unrelated to T1 and T3 at the top level.
+	encT := a.TranDep[paperex.Enc]
+	for _, pair := range [][2]string{{"T1", "T2"}, {"T2", "T1"}, {"T2", "T3"}, {"T3", "T2"}} {
+		if encT.HasEdge(pair[0], pair[1]) {
+			t.Errorf("unexpected top-level dependency %v", pair)
+		}
+	}
+
+	rep := a.Check()
+	if !rep.SystemOOSerializable {
+		t.Fatal("Example 1 schedule must be oo-serializable")
+	}
+	if !rep.GlobalAcyclic {
+		t.Fatal("Example 1 global graph must be acyclic")
+	}
+	conv := a.Conventional()
+	if !conv.Serializable {
+		t.Fatal("this particular Example 1 interleaving is also conventionally serializable")
+	}
+	// The quantitative separation: conventional counts every page-level
+	// conflicting pair across transactions; the semantic relation is
+	// strictly smaller at the levels that matter.
+	if conv.Conflicts <= a.SemanticConflicts()-3 {
+		t.Logf("conventional=%d semantic=%d", conv.Conflicts, a.SemanticConflicts())
+	}
+}
+
+// TestExample1SerialWitness: the equivalent serial schedule at the system
+// object orders T1 before T3 and leaves T2 free.
+func TestExample1SerialWitness(t *testing.T) {
+	sys, order := paperex.Example1()
+	a := mustAnalyze(t, sys, paperex.Registry(), order)
+	v := a.ObjectVerdict(txn.SystemObject)
+	if !v.OOSerializable {
+		t.Fatalf("system object verdict: %+v", v)
+	}
+	pos := map[string]int{}
+	for i, id := range v.SerialOrder {
+		pos[id] = i
+	}
+	if pos["T1"] >= pos["T3"] {
+		t.Fatalf("serial witness must order T1 before T3, got %v", v.SerialOrder)
+	}
+}
+
+// TestExample4Dependencies reproduces Example 4 / Figures 7-8 edge-for-edge.
+func TestExample4Dependencies(t *testing.T) {
+	sys, order := paperex.Example4()
+	a := mustAnalyze(t, sys, paperex.Registry(), order)
+
+	// Figure 8, row Leaf11: only the commuting-insert action dependency.
+	if !a.ActDep[paperex.Leaf11].HasEdge("T1.1.1.1", "T2.1.1.1") {
+		t.Error("Leaf11 row: insert(DBS) / insert(DBMS) dependency missing")
+	}
+	if a.TranDep[paperex.Leaf11].HasEdge("T1.1.1", "T2.1.1") {
+		t.Error("Leaf11 row: commuting inserts must not create a transaction dependency")
+	}
+	// Figure 8, row BpTree: insert(DBS) -> search(DBS).
+	if !a.TranDep[paperex.BpTree].HasEdge("T1.1", "T3.1") {
+		t.Error("BpTree row: insert(DBS) -> search(DBS) missing")
+	}
+	// Figure 8, row LinkedList: T2's append -> T4's readSeq.
+	if !a.TranDep[paperex.LinkedList].HasEdge("T2.1", "T4.1") {
+		t.Error("LinkedList row: append -> readSeq dependency missing")
+	}
+	// Figure 8, row Item8 (the "short dashed arcs"): T2's update precedes
+	// T4's read; the callers live on DIFFERENT objects (Enc and
+	// LinkedList), which exercises the Definition 15 added relation.
+	if !a.TranDep[paperex.Item8].HasEdge("T2.2", "T4.1.1") {
+		t.Error("Item8 row: update -> read dependency missing")
+	}
+	if !a.Added[paperex.Enc].HasEdge("T2.2", "T4.1.1") {
+		t.Error("added relation at Enc must record the Item8 dependency")
+	}
+	if !a.Added[paperex.LinkedList].HasEdge("T2.2", "T4.1.1") {
+		t.Error("added relation at LinkedList must record the Item8 dependency")
+	}
+	// Figure 8, row Enc: T1 -> T3 (insert/search DBS) and T2 -> T4
+	// (insert+update vs readSeq).
+	if !a.TranDep[paperex.Enc].HasEdge("T1", "T3") {
+		t.Error("Enc row: T1 -> T3 missing")
+	}
+	if !a.TranDep[paperex.Enc].HasEdge("T2", "T4") {
+		t.Error("Enc row: T2 -> T4 missing")
+	}
+
+	rep := a.Check()
+	if !rep.SystemOOSerializable || !rep.GlobalAcyclic {
+		t.Fatalf("Example 4 must be oo-serializable: %+v", rep)
+	}
+	// Serial witness consistent with T1,T2,T3,T4.
+	v := a.ObjectVerdict(txn.SystemObject)
+	pos := map[string]int{}
+	for i, id := range v.SerialOrder {
+		pos[id] = i
+	}
+	if pos["T1"] >= pos["T3"] || pos["T2"] >= pos["T4"] {
+		t.Fatalf("serial witness %v violates dependencies", v.SerialOrder)
+	}
+}
+
+func TestFig8DependencyTable(t *testing.T) {
+	sys, order := paperex.Example4()
+	a := mustAnalyze(t, sys, paperex.Registry(), order)
+	tab := a.DependencyTable()
+	for _, want := range []string{
+		"Leaf11",
+		"BpTree",
+		"Item8",
+		"LinkedList",
+		"Enc",
+		"Page4712",
+		"readSeq()",                          // T4's Enc action appears as dependency target
+		"Enc.search(DBS) <- Enc.insert(DBS)", // BpTree row in paper notation
+	} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("dependency table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+// TestOOBeatsConventional is the headline claim as a formal separation: a
+// schedule that conventional serializability rejects (page-level cycle) but
+// oo-serializability accepts, because the only conflicting accesses sit on
+// pages whose calling leaf inserts commute.
+func TestOOBeatsConventional(t *testing.T) {
+	leafA := txn.OID{Type: paperex.TypeLeaf, Name: "LeafA"}
+	leafB := txn.OID{Type: paperex.TypeLeaf, Name: "LeafB"}
+	pageA := txn.OID{Type: paperex.TypePage, Name: "PageA"}
+	pageB := txn.OID{Type: paperex.TypePage, Name: "PageB"}
+
+	// T1 inserts k1 into LeafA and k3 into LeafB; T2 inserts k2 into LeafA
+	// and k4 into LeafB. All four keys are distinct, so every leaf-level
+	// pair commutes; but on PageA T1 writes first while on PageB T2 writes
+	// first — a conventional wr/ww cycle.
+	t1 := txn.NewTransaction("T1")
+	la1 := t1.Call(nil, leafA, "insert", "k1")
+	wa1 := t1.Call(la1, pageA, "write")
+	lb1 := t1.Call(nil, leafB, "insert", "k3")
+	wb1 := t1.Call(lb1, pageB, "write")
+
+	t2 := txn.NewTransaction("T2")
+	la2 := t2.Call(nil, leafA, "insert", "k2")
+	wa2 := t2.Call(la2, pageA, "write")
+	lb2 := t2.Call(nil, leafB, "insert", "k4")
+	wb2 := t2.Call(lb2, pageB, "write")
+
+	sys := txn.NewSystem(t1.Build(), t2.Build())
+	order := []string{wa1.ID, wb2.ID, wa2.ID, wb1.ID} // PageA: T1<T2, PageB: T2<T1
+
+	a := mustAnalyze(t, sys, paperex.Registry(), order)
+	conv := a.Conventional()
+	if conv.Serializable {
+		t.Fatal("the schedule must NOT be conventionally serializable")
+	}
+	if conv.Cycle == nil {
+		t.Fatal("conventional check must produce a cycle witness")
+	}
+	rep := a.Check()
+	if !rep.SystemOOSerializable {
+		t.Fatalf("the schedule must be oo-serializable: %+v", rep)
+	}
+	if !rep.GlobalAcyclic {
+		t.Fatal("global graph must be acyclic — the leaf inserts commute")
+	}
+}
+
+// TestOORejectsSameKeyCycle: when the conflicts are semantic (same keys),
+// oo-serializability must reject the cycle exactly like the conventional
+// criterion does.
+func TestOORejectsSameKeyCycle(t *testing.T) {
+	leafA := txn.OID{Type: paperex.TypeLeaf, Name: "LeafA"}
+	leafB := txn.OID{Type: paperex.TypeLeaf, Name: "LeafB"}
+	pageA := txn.OID{Type: paperex.TypePage, Name: "PageA"}
+	pageB := txn.OID{Type: paperex.TypePage, Name: "PageB"}
+
+	// T1 inserts kA into LeafA then searches kB in LeafB; T2 inserts kB
+	// into LeafB then searches kA in LeafA. Executed so each search sees
+	// the other's insert: T1 -> T2 via kA, T2 -> T1 via kB.
+	t1 := txn.NewTransaction("T1")
+	ia1 := t1.Call(nil, leafA, "insert", "kA")
+	wa1 := t1.Call(ia1, pageA, "write")
+	sb1 := t1.Call(nil, leafB, "search", "kB")
+	rb1 := t1.Call(sb1, pageB, "read")
+
+	t2 := txn.NewTransaction("T2")
+	ib2 := t2.Call(nil, leafB, "insert", "kB")
+	wb2 := t2.Call(ib2, pageB, "write")
+	sa2 := t2.Call(nil, leafA, "search", "kA")
+	ra2 := t2.Call(sa2, pageA, "read")
+
+	sys := txn.NewSystem(t1.Build(), t2.Build())
+	order := []string{wa1.ID, wb2.ID, rb1.ID, ra2.ID}
+
+	a := mustAnalyze(t, sys, paperex.Registry(), order)
+	rep := a.Check()
+	if rep.SystemOOSerializable {
+		t.Fatal("same-key cycle must not be oo-serializable")
+	}
+	if rep.GlobalAcyclic {
+		t.Fatal("global graph must be cyclic")
+	}
+	if a.Conventional().Serializable {
+		t.Fatal("baseline must also reject")
+	}
+	// The cycle shows up at the system object: T1 <-> T2.
+	v := a.ObjectVerdict(txn.SystemObject)
+	if v.TranDepAcyclic {
+		t.Fatal("top-level transaction dependencies must be cyclic")
+	}
+	if len(v.Cycle) == 0 {
+		t.Fatal("verdict must carry a cycle witness")
+	}
+}
+
+// TestContradictingActionDeps exercises Definition 13(ii): two commuting
+// leaf inserts whose page-level dependencies point in opposite directions
+// on two different pages have "accessed an inconsistent state" — the object
+// schedule of the leaf is not oo-serializable even though its transaction
+// dependency relation is empty.
+func TestContradictingActionDeps(t *testing.T) {
+	leaf := txn.OID{Type: paperex.TypeLeaf, Name: "Leaf"}
+	pageA := txn.OID{Type: paperex.TypePage, Name: "PageA"}
+	pageB := txn.OID{Type: paperex.TypePage, Name: "PageB"}
+
+	// Each insert touches both pages (e.g. an overflow chain).
+	t1 := txn.NewTransaction("T1")
+	l1 := t1.Call(nil, leaf, "insert", "k1")
+	wa1 := t1.Call(l1, pageA, "write")
+	wb1 := t1.Call(l1, pageB, "write")
+
+	t2 := txn.NewTransaction("T2")
+	l2 := t2.Call(nil, leaf, "insert", "k2")
+	wa2 := t2.Call(l2, pageA, "write")
+	wb2 := t2.Call(l2, pageB, "write")
+
+	sys := txn.NewSystem(t1.Build(), t2.Build())
+	order := []string{wa1.ID, wb2.ID, wa2.ID, wb1.ID} // PageA: T1<T2, PageB: T2<T1
+
+	a := mustAnalyze(t, sys, paperex.Registry(), order)
+	v := a.ObjectVerdict(leaf)
+	if v.ActDepAcyclic {
+		t.Fatal("leaf action dependencies must contradict (cycle)")
+	}
+	if !v.TranDepAcyclic {
+		t.Fatal("leaf transaction dependencies must stay empty (inserts commute)")
+	}
+	if v.OOSerializable {
+		t.Fatal("Definition 13(ii) must reject the leaf schedule")
+	}
+	rep := a.Check()
+	if rep.SystemOOSerializable {
+		t.Fatal("system schedule must be rejected")
+	}
+}
+
+// TestBLinkVirtualObjects runs the Section 2 B-link scenario through the
+// Definition 5 extension and the analysis.
+func TestBLinkVirtualObjects(t *testing.T) {
+	sys, order := paperex.BLink()
+	created := sys.Extend()
+	if len(created) != 1 || created[0].Name != "Node6'" {
+		t.Fatalf("extension created %v, want [Node6']", created)
+	}
+	a := mustAnalyze(t, sys, paperex.Registry(), order)
+
+	node6 := txn.OID{Type: paperex.TypeLeaf, Name: "Node6"}
+	node6v := txn.OID{Type: paperex.TypeLeaf, Name: "Node6'"}
+
+	// On the virtual object the rearrange conflicts with the duplicated
+	// search; span order puts the rearrange first.
+	ad := a.ActDep[node6v]
+	if ad.NumEdges() == 0 {
+		t.Fatalf("virtual object must carry action dependencies:\n%s", ad.String())
+	}
+	if !ad.HasEdge("T1.1.1.2", "T2.1'") {
+		t.Errorf("want rearrange -> search' on Node6', have:\n%s", ad.String())
+	}
+	// The dependency is inherited along the duplicate's call edge: it lands
+	// in the added relation of Node6 (the callers live on Leaf11b / Node6).
+	if a.Added[node6].NumEdges() == 0 {
+		t.Error("Node6 must receive added dependencies from the virtual object")
+	}
+	rep := a.Check()
+	if !rep.SystemOOSerializable || !rep.GlobalAcyclic {
+		t.Fatalf("B-link schedule must be oo-serializable: %+v", rep)
+	}
+}
+
+// TestBLinkOverlappingSpans: when the conflicting accesses interleave so
+// that neither action's span precedes the other, the analysis records both
+// directions and rejects.
+func TestBLinkOverlappingSpans(t *testing.T) {
+	sys, order := paperex.BLink()
+	pageN := txn.OID{Type: paperex.TypePage, Name: "PageNode"}
+	// Give the search a second node-page read so its execution span can
+	// straddle the rearrange's write (single-primitive spans can never
+	// overlap).
+	s2 := sys.Find("T2.1")
+	if s2 == nil {
+		t.Fatal("fixture changed")
+	}
+	extra := &txn.Action{
+		ID:      "T2.1.2",
+		Msg:     txn.Message{Object: pageN, Inv: commut.Invocation{Method: "read"}},
+		Process: s2.Process,
+		Parent:  s2,
+	}
+	s2.Children = append(s2.Children, extra)
+
+	// Order: search.read1, rearrange.write, search.read2 — spans overlap.
+	order = []string{sys.Find("T1.1.1.1").ID, order[2], order[1], extra.ID}
+	a := mustAnalyze(t, sys, paperex.Registry(), order)
+	v := a.ObjectVerdict(txn.OID{Type: paperex.TypeLeaf, Name: "Node6'"})
+	if v.ActDepAcyclic {
+		t.Fatal("overlapping conflicting spans must contradict")
+	}
+	rep := a.Check()
+	if rep.SystemOOSerializable {
+		t.Fatal("overlapping schedule must be rejected")
+	}
+}
+
+func TestIsSerial(t *testing.T) {
+	sys, _ := paperex.Example1()
+	// Serial order: all of T1, then T2, then T3.
+	serial := []string{"T1.1.1.1.1", "T1.1.1.1.2", "T2.1.1.1.1", "T2.1.1.1.2", "T3.1.1.1.1"}
+	a := mustAnalyze(t, sys, paperex.Registry(), serial)
+	if !a.IsSerial(paperex.Page4712) {
+		t.Fatal("serial execution must be detected as serial")
+	}
+
+	sys2, order := paperex.Example1()
+	interleaved := []string{order[0], order[2], order[1], order[3], order[4]}
+	b := mustAnalyze(t, sys2, paperex.Registry(), interleaved)
+	if b.IsSerial(paperex.Page4712) {
+		t.Fatal("interleaved execution must not be serial")
+	}
+}
+
+// TestEquivalence (Definition 12): the interleaved Example 1 execution is
+// equivalent to its serial witness execution — same transaction
+// dependencies at every object.
+func TestEquivalence(t *testing.T) {
+	sysI, orderI := paperex.Example1()
+	ai := mustAnalyze(t, sysI, paperex.Registry(), orderI)
+
+	sysS, _ := paperex.Example1()
+	serial := []string{"T1.1.1.1.1", "T1.1.1.1.2", "T2.1.1.1.1", "T2.1.1.1.2", "T3.1.1.1.1"}
+	as := mustAnalyze(t, sysS, paperex.Registry(), serial)
+
+	for _, o := range []txn.OID{paperex.Page4712, paperex.Leaf11, paperex.BpTree, paperex.Enc, txn.SystemObject} {
+		if !Equivalent(ai, as, o) {
+			t.Errorf("schedules not equivalent at %s:\ninterleaved:\n%s\nserial:\n%s",
+				o.Name, ai.TranDep[o].String(), as.TranDep[o].String())
+		}
+	}
+	if !ai.IsSerial(paperex.Leaf11) == as.IsSerial(paperex.Leaf11) {
+		t.Log("seriality differs, as expected for distinct executions")
+	}
+}
+
+// TestConformViolations: two parallel sibling processes with an explicit
+// precedence executed in reverse order.
+func TestConformViolations(t *testing.T) {
+	objA := txn.OID{Type: paperex.TypeItem, Name: "A"}
+	objB := txn.OID{Type: paperex.TypeItem, Name: "B"}
+	page := txn.OID{Type: paperex.TypePage, Name: "P"}
+
+	b := txn.NewTransaction("T1")
+	x := b.CallPar(nil, objA, "update")
+	y := b.CallPar(nil, objB, "update")
+	b.Precede(x, y) // x must run before y
+	wx := b.Call(x, page, "write")
+	wy := b.Call(y, page, "write")
+
+	sys := txn.NewSystem(b.Build())
+	// Executed in REVERSE: y's write first.
+	a := mustAnalyze(t, sys, paperex.Registry(), []string{wy.ID, wx.ID})
+	viol := a.ConformViolations(page)
+	if len(viol) != 1 {
+		t.Fatalf("violations = %v, want exactly one", viol)
+	}
+	if viol[0] != [2]string{wx.ID, wy.ID} {
+		t.Fatalf("violation = %v", viol[0])
+	}
+
+	// Executed in the right order: conform.
+	sys2 := txn.NewSystem(rebuildConform().Build())
+	a2 := mustAnalyze(t, sys2, paperex.Registry(), []string{"T1.1.1", "T1.2.1"})
+	if v := a2.ConformViolations(page); len(v) != 0 {
+		t.Fatalf("unexpected violations %v", v)
+	}
+}
+
+func rebuildConform() *txn.Builder {
+	objA := txn.OID{Type: paperex.TypeItem, Name: "A"}
+	objB := txn.OID{Type: paperex.TypeItem, Name: "B"}
+	page := txn.OID{Type: paperex.TypePage, Name: "P"}
+	b := txn.NewTransaction("T1")
+	x := b.CallPar(nil, objA, "update")
+	y := b.CallPar(nil, objB, "update")
+	b.Precede(x, y)
+	b.Call(x, page, "write")
+	b.Call(y, page, "write")
+	return b
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	sys, order := paperex.Example1()
+	reg := paperex.Registry()
+
+	if _, err := Analyze(sys, reg, append(order, "nope")); err == nil {
+		t.Error("unknown action must fail")
+	}
+	if _, err := Analyze(sys, reg, append(order, "T1.1")); err == nil {
+		t.Error("non-primitive action must fail")
+	}
+	if _, err := Analyze(sys, reg, append(order, order[0])); err == nil {
+		t.Error("duplicate action must fail")
+	}
+	if _, err := Analyze(sys, reg, order[:len(order)-1]); err == nil {
+		t.Error("missing primitive must fail")
+	}
+	if _, err := Analyze(sys, reg, order); err != nil {
+		t.Errorf("valid order must pass: %v", err)
+	}
+}
+
+func TestAnalyzeRejectsVirtualInOrder(t *testing.T) {
+	sys, order := paperex.BLink()
+	sys.Extend()
+	var dupID string
+	for _, a := range sys.AllActions() {
+		if a.IsVirtual {
+			dupID = a.ID
+		}
+	}
+	if dupID == "" {
+		t.Fatal("no virtual action found")
+	}
+	if _, err := Analyze(sys, paperex.Registry(), append(order, dupID)); err == nil {
+		t.Error("virtual action in order must fail")
+	}
+}
+
+// TestSameProcessNeverConflicts (Definition 9): a transaction's own
+// sequential read and write on one page produce no dependency.
+func TestSameProcessNeverConflicts(t *testing.T) {
+	page := txn.OID{Type: paperex.TypePage, Name: "P"}
+	b := txn.NewTransaction("T1")
+	l := b.Call(nil, txn.OID{Type: paperex.TypeLeaf, Name: "L"}, "insert", "k")
+	r := b.Call(l, page, "read")
+	w := b.Call(l, page, "write")
+	sys := txn.NewSystem(b.Build())
+	a := mustAnalyze(t, sys, paperex.Registry(), []string{r.ID, w.ID})
+	if a.ActDep[page].NumEdges() != 0 {
+		t.Fatalf("same-process accesses must not depend: %s", a.ActDep[page].String())
+	}
+}
+
+// TestParallelProcessesWithinOneTransaction: intra-transaction parallelism
+// does create dependencies between different processes.
+func TestParallelProcessesWithinOneTransaction(t *testing.T) {
+	page := txn.OID{Type: paperex.TypePage, Name: "P"}
+	leaf := txn.OID{Type: paperex.TypeLeaf, Name: "L"}
+	b := txn.NewTransaction("T1")
+	x := b.CallPar(nil, leaf, "insert", "k1")
+	y := b.CallPar(nil, leaf, "insert", "k2")
+	wx := b.Call(x, page, "write")
+	wy := b.Call(y, page, "write")
+	sys := txn.NewSystem(b.Build())
+	a := mustAnalyze(t, sys, paperex.Registry(), []string{wx.ID, wy.ID})
+	if !a.ActDep[page].HasEdge(wx.ID, wy.ID) {
+		t.Fatal("parallel processes of one transaction must be ordered at the page")
+	}
+	// The callers commute (distinct keys): no dependency above.
+	if a.TranDep[leaf].NumEdges() != 0 {
+		t.Fatalf("commuting parallel siblings must absorb the dependency: %s", a.TranDep[leaf].String())
+	}
+}
+
+func TestConventionalConflictCount(t *testing.T) {
+	sys, order := paperex.Example1()
+	a := mustAnalyze(t, sys, paperex.Registry(), order)
+	conv := a.Conventional()
+	// Pairs across roots with at least one write on Page4712:
+	// (r1,w2),(w1,r2),(w1,w2),(w1,r3),(w2,r3) = 5.
+	if conv.Conflicts != 5 {
+		t.Fatalf("conventional conflicts = %d, want 5", conv.Conflicts)
+	}
+}
+
+func TestSemanticConflicts(t *testing.T) {
+	sys, order := paperex.Example1()
+	a := mustAnalyze(t, sys, paperex.Registry(), order)
+	// Semantic conflicting pairs that had to be recorded: the 5 page pairs
+	// plus the same-key pairs climbing the T1/T3 path (leaf, tree, enc, S).
+	got := a.SemanticConflicts()
+	if got < 5 {
+		t.Fatalf("semantic conflicts = %d, want >= 5", got)
+	}
+	// Crucially, the T1/T2 dependency contributes NO conflicting pair above
+	// the page: the count at Leaf11 for T1/T2 is zero.
+	for _, e := range a.ActDep[paperex.Leaf11].Edges() {
+		if a.Conflict(paperex.Leaf11, e[0], e[1]) {
+			x, y := a.Action(e[0]), a.Action(e[1])
+			if (x.Root().ID == "T1" && y.Root().ID == "T2") || (x.Root().ID == "T2" && y.Root().ID == "T1") {
+				t.Fatalf("T1/T2 must not conflict at Leaf11: %v", e)
+			}
+		}
+	}
+}
+
+func BenchmarkAnalyzeExample4(b *testing.B) {
+	reg := paperex.Registry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, order := paperex.Example4()
+		if _, err := Analyze(sys, reg, order); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckExample4(b *testing.B) {
+	sys, order := paperex.Example4()
+	a, err := Analyze(sys, paperex.Registry(), order)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Check()
+	}
+}

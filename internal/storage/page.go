@@ -1,0 +1,120 @@
+// Package storage provides the page substrate — the paper's "zero layer".
+// Every call hierarchy in the encyclopedia model bottoms out in read/write
+// actions on pages ("in database systems exists a common object type which
+// methods call no other actions: the page", Section 2).
+//
+// The substrate is an in-memory page store with a pinning buffer pool (LRU
+// eviction to the backing store), per-page latches for physical
+// consistency, and a write-ahead log carrying before-images so the
+// transaction engine can undo uncommitted page writes.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageID identifies a page in a store.
+type PageID uint64
+
+// InvalidPage is the zero PageID; valid pages start at 1.
+const InvalidPage PageID = 0
+
+// DefaultPageSize bounds page payloads. Node encodings larger than the
+// page size indicate a fanout bug, so writes that exceed it fail loudly.
+const DefaultPageSize = 4096
+
+// ErrPageNotFound is returned when a page id was never allocated.
+var ErrPageNotFound = errors.New("storage: page not found")
+
+// ErrPageTooLarge is returned when a write exceeds the page size.
+var ErrPageTooLarge = errors.New("storage: payload exceeds page size")
+
+// Store is the backing page container. Implementations must be safe for
+// concurrent use.
+type Store interface {
+	// Allocate reserves a fresh, empty page and returns its id.
+	Allocate() PageID
+	// Read returns the page payload.
+	Read(id PageID) (string, error)
+	// Write replaces the page payload.
+	Write(id PageID, data string) error
+	// NumPages returns the number of allocated pages.
+	NumPages() int
+}
+
+// MemStore is an in-memory Store.
+type MemStore struct {
+	mu       sync.RWMutex
+	pages    map[PageID]string
+	next     PageID
+	pageSize int
+}
+
+// NewMemStore returns an empty in-memory store with the given page size
+// (DefaultPageSize when 0).
+func NewMemStore(pageSize int) *MemStore {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &MemStore{pages: make(map[PageID]string), next: 1, pageSize: pageSize}
+}
+
+// Allocate implements Store.
+func (s *MemStore) Allocate() PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.next
+	s.next++
+	s.pages[id] = ""
+	return id
+}
+
+// Read implements Store.
+func (s *MemStore) Read(id PageID) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.pages[id]
+	if !ok {
+		return "", fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	return data, nil
+}
+
+// Write implements Store.
+func (s *MemStore) Write(id PageID, data string) error {
+	if len(data) > s.pageSize {
+		return fmt.Errorf("%w: %d > %d", ErrPageTooLarge, len(data), s.pageSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pages[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	s.pages[id] = data
+	return nil
+}
+
+// NumPages implements Store.
+func (s *MemStore) NumPages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
+
+// Clone returns a deep copy of the store — the "disk image" a crash
+// simulation hands to recovery (dirty buffer-pool frames that were never
+// flushed are naturally absent from it).
+func (s *MemStore) Clone() *MemStore {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := &MemStore{pages: make(map[PageID]string, len(s.pages)), next: s.next, pageSize: s.pageSize}
+	for id, data := range s.pages {
+		c.pages[id] = data
+	}
+	return c
+}
+
+// PageSize returns the store's page size bound.
+func (s *MemStore) PageSize() int { return s.pageSize }

@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Frame is one buffered page. Callers pin a frame with FetchPage, operate
+// on it under its latch, and release it with Unpin. The latch protects
+// physical consistency of a single page access; transactional isolation is
+// the lock manager's job (internal/cc), not the pool's.
+type Frame struct {
+	ID PageID
+
+	mu    sync.RWMutex
+	data  string
+	dirty bool
+
+	// pool bookkeeping, guarded by the pool's mutex.
+	pins    int
+	lruElem *list.Element
+}
+
+// RLatch acquires the frame's shared latch.
+func (f *Frame) RLatch() { f.mu.RLock() }
+
+// RUnlatch releases the shared latch.
+func (f *Frame) RUnlatch() { f.mu.RUnlock() }
+
+// Latch acquires the frame's exclusive latch.
+func (f *Frame) Latch() { f.mu.Lock() }
+
+// Unlatch releases the exclusive latch.
+func (f *Frame) Unlatch() { f.mu.Unlock() }
+
+// Data returns the payload. Hold at least the shared latch.
+func (f *Frame) Data() string { return f.data }
+
+// SetData replaces the payload and marks the frame dirty. Hold the
+// exclusive latch.
+func (f *Frame) SetData(data string) {
+	f.data = data
+	f.dirty = true
+}
+
+// BufferPool caches pages of a Store with pin counting and LRU eviction of
+// unpinned frames. It is safe for concurrent use.
+type BufferPool struct {
+	store    Store
+	capacity int
+
+	mu     sync.Mutex
+	frames map[PageID]*Frame
+	// lru holds evictable (unpinned) frames, least recently used in front.
+	lru *list.List
+
+	hits, misses, evictions int64
+}
+
+// NewBufferPool wraps store with a pool holding at most capacity frames
+// (minimum 1).
+func NewBufferPool(store Store, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*Frame),
+		lru:      list.New(),
+	}
+}
+
+// Store returns the backing store.
+func (bp *BufferPool) Store() Store { return bp.store }
+
+// FetchPage pins the page's frame, loading it from the store on a miss.
+// Every successful fetch must be paired with an Unpin.
+func (bp *BufferPool) FetchPage(id PageID) (*Frame, error) {
+	bp.mu.Lock()
+	if f, ok := bp.frames[id]; ok {
+		bp.hits++
+		f.pins++
+		if f.lruElem != nil {
+			bp.lru.Remove(f.lruElem)
+			f.lruElem = nil
+		}
+		bp.mu.Unlock()
+		return f, nil
+	}
+	bp.misses++
+	if err := bp.evictLocked(); err != nil {
+		bp.mu.Unlock()
+		return nil, err
+	}
+	// Reserve the slot before dropping the pool lock for I/O so concurrent
+	// fetchers of the same page share one frame.
+	f := &Frame{ID: id, pins: 1}
+	f.mu.Lock() // hold the frame latch across the load
+	bp.frames[id] = f
+	bp.mu.Unlock()
+
+	data, err := bp.store.Read(id)
+	if err != nil {
+		f.mu.Unlock()
+		bp.mu.Lock()
+		delete(bp.frames, id)
+		bp.mu.Unlock()
+		return nil, err
+	}
+	f.data = data
+	f.mu.Unlock()
+	return f, nil
+}
+
+// evictLocked makes room for one more frame. Caller holds bp.mu.
+func (bp *BufferPool) evictLocked() error {
+	for len(bp.frames) >= bp.capacity {
+		elem := bp.lru.Front()
+		if elem == nil {
+			return fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", len(bp.frames))
+		}
+		victim := elem.Value.(*Frame)
+		bp.lru.Remove(elem)
+		victim.lruElem = nil
+		delete(bp.frames, victim.ID)
+		bp.evictions++
+		if victim.dirty {
+			// The victim is unpinned, so no latch holder exists; writing
+			// without the latch is safe under bp.mu.
+			if err := bp.store.Write(victim.ID, victim.data); err != nil {
+				return err
+			}
+			victim.dirty = false
+		}
+	}
+	return nil
+}
+
+// Unpin releases one pin. When the pin count reaches zero the frame becomes
+// evictable.
+func (bp *BufferPool) Unpin(f *Frame) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", f.ID))
+	}
+	f.pins--
+	if f.pins == 0 && f.lruElem == nil {
+		f.lruElem = bp.lru.PushBack(f)
+	}
+}
+
+// FlushAll writes every dirty frame back to the store. Pinned frames are
+// flushed under their latch.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	frames := make([]*Frame, 0, len(bp.frames))
+	for _, f := range bp.frames {
+		frames = append(frames, f)
+	}
+	bp.mu.Unlock()
+	for _, f := range frames {
+		f.mu.Lock()
+		if f.dirty {
+			if err := bp.store.Write(f.ID, f.data); err != nil {
+				f.mu.Unlock()
+				return err
+			}
+			f.dirty = false
+		}
+		f.mu.Unlock()
+	}
+	return nil
+}
+
+// Stats returns (hits, misses, evictions).
+func (bp *BufferPool) Stats() (hits, misses, evictions int64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses, bp.evictions
+}

@@ -1,0 +1,175 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RecordKind tags write-ahead log records.
+type RecordKind uint8
+
+const (
+	// RecUpdate is a page update carrying before- and after-images.
+	RecUpdate RecordKind = iota
+	// RecCommit marks an owner (transaction or subtransaction) committed.
+	RecCommit
+	// RecAbort marks an owner aborted.
+	RecAbort
+	// RecCompensation marks a logical compensation execution (open
+	// nesting): undo of a committed subtransaction by an inverse operation.
+	RecCompensation
+	// RecIntent registers a pending compensation (logical undo entry) for
+	// a transaction: if the transaction neither commits nor finishes its
+	// abort before a crash, recovery replays surviving intents in reverse.
+	RecIntent
+	// RecDiscard invalidates earlier undo entries (intents or updates) by
+	// LSN: they were superseded by a higher-level compensation, already
+	// executed during rollback, or declared effect-free.
+	RecDiscard
+)
+
+func (k RecordKind) String() string {
+	switch k {
+	case RecUpdate:
+		return "update"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	case RecCompensation:
+		return "compensate"
+	case RecIntent:
+		return "intent"
+	case RecDiscard:
+		return "discard"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one WAL entry.
+type Record struct {
+	LSN    uint64
+	Kind   RecordKind
+	Owner  string // transaction or subtransaction id
+	Page   PageID // RecUpdate only
+	Before string // RecUpdate only
+	After  string // RecUpdate only
+	Note   string // RecCompensation/RecIntent: the (inverse) operation
+	// CLR marks updates performed while rolling back (compensation log
+	// records in the ARIES sense): they are redone but never undone.
+	CLR bool
+	// Refs lists the LSNs a RecDiscard invalidates, and for RecIntent the
+	// LSNs of child entries this intent supersedes.
+	Refs []uint64
+}
+
+// WAL is an in-memory write-ahead log. Before-images recorded here are the
+// basis for physical undo of uncommitted page writes; compensation records
+// document the logical undo of open nested subtransactions.
+type WAL struct {
+	mu      sync.Mutex
+	records []Record
+	nextLSN uint64
+}
+
+// NewWAL returns an empty log.
+func NewWAL() *WAL {
+	return &WAL{nextLSN: 1}
+}
+
+// NewWALFromRecords reconstructs a log from persisted records (recovery).
+func NewWALFromRecords(recs []Record) *WAL {
+	w := &WAL{nextLSN: 1, records: append([]Record{}, recs...)}
+	for _, r := range recs {
+		if r.LSN >= w.nextLSN {
+			w.nextLSN = r.LSN + 1
+		}
+	}
+	return w
+}
+
+// Clone returns a deep copy of the log.
+func (w *WAL) Clone() *WAL {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return NewWALFromRecords(w.records)
+}
+
+// Append adds a record and returns its LSN.
+func (w *WAL) Append(rec Record) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec.LSN = w.nextLSN
+	w.nextLSN++
+	w.records = append(w.records, rec)
+	return rec.LSN
+}
+
+// LogUpdate appends an update record.
+func (w *WAL) LogUpdate(owner string, page PageID, before, after string) uint64 {
+	return w.Append(Record{Kind: RecUpdate, Owner: owner, Page: page, Before: before, After: after})
+}
+
+// LogCLRUpdate appends a redo-only update (written during rollback).
+func (w *WAL) LogCLRUpdate(owner string, page PageID, before, after string) uint64 {
+	return w.Append(Record{Kind: RecUpdate, Owner: owner, Page: page, Before: before, After: after, CLR: true})
+}
+
+// LogIntent registers a pending logical compensation for the owner's
+// transaction; note encodes the inverse operation and refs lists the child
+// undo entries it supersedes.
+func (w *WAL) LogIntent(owner, note string, refs []uint64) uint64 {
+	return w.Append(Record{Kind: RecIntent, Owner: owner, Note: note, Refs: refs})
+}
+
+// LogDiscard invalidates the given undo-entry LSNs for the owner.
+func (w *WAL) LogDiscard(owner string, refs []uint64) uint64 {
+	if len(refs) == 0 {
+		return 0
+	}
+	return w.Append(Record{Kind: RecDiscard, Owner: owner, Refs: refs})
+}
+
+// LogCommit appends a commit record.
+func (w *WAL) LogCommit(owner string) uint64 {
+	return w.Append(Record{Kind: RecCommit, Owner: owner})
+}
+
+// LogAbort appends an abort record.
+func (w *WAL) LogAbort(owner string) uint64 {
+	return w.Append(Record{Kind: RecAbort, Owner: owner})
+}
+
+// LogCompensation appends a compensation record.
+func (w *WAL) LogCompensation(owner, note string) uint64 {
+	return w.Append(Record{Kind: RecCompensation, Owner: owner, Note: note})
+}
+
+// UpdatesBy returns the update records of an owner in log order.
+func (w *WAL) UpdatesBy(owner string) []Record {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []Record
+	for _, r := range w.records {
+		if r.Kind == RecUpdate && r.Owner == owner {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Len returns the number of records.
+func (w *WAL) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.records)
+}
+
+// Records returns a copy of all records in log order.
+func (w *WAL) Records() []Record {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Record, len(w.records))
+	copy(out, w.records)
+	return out
+}

@@ -1,0 +1,179 @@
+// Package trace captures the action tree and primitive execution order of
+// a live run so it can be validated offline against the paper's
+// definitions: the engine (internal/core) records every method dispatch as
+// an event; ToSystem reconstructs the formal transaction system
+// (internal/txn) and the Axiom 1 primitive order that internal/sched
+// analyzes. Traces marshal to JSON for cmd/schedcheck.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/commut"
+	"repro/internal/txn"
+)
+
+// Event is one recorded method dispatch.
+type Event struct {
+	// ID is the hierarchical runtime action id ("T3.1.2").
+	ID string `json:"id"`
+	// Parent is the calling action's id; empty for top-level transactions.
+	Parent string `json:"parent,omitempty"`
+	// ObjType and ObjName identify the accessed object.
+	ObjType string `json:"objType"`
+	ObjName string `json:"objName"`
+	// Method and Params are the invocation.
+	Method string   `json:"method"`
+	Params []string `json:"params,omitempty"`
+	// Parallel marks the action as starting its own process (Definition 9).
+	Parallel bool `json:"parallel,omitempty"`
+	// Seq is the global dispatch sequence number; for primitive actions it
+	// induces the Axiom 1 execution order.
+	Seq int `json:"seq"`
+	// Aborted marks actions whose effects were rolled back; they are
+	// excluded from the reconstructed system (an aborted transaction has no
+	// place in the committed schedule).
+	Aborted bool `json:"aborted,omitempty"`
+}
+
+// Recorder collects events concurrently.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	seq    int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{}
+}
+
+// Record appends an event, assigning its sequence number, and returns it.
+func (r *Recorder) Record(ev Event) Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev.Seq = r.seq
+	r.seq++
+	r.events = append(r.events, ev)
+	return ev
+}
+
+// MarkAborted flags the action with the given id and all recorded
+// descendants as aborted.
+func (r *Recorder) MarkAborted(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.events {
+		if r.events[i].ID == id || isDescendantID(r.events[i].ID, id) {
+			r.events[i].Aborted = true
+		}
+	}
+}
+
+func isDescendantID(id, ancestor string) bool {
+	return len(id) > len(ancestor)+1 && id[:len(ancestor)] == ancestor && id[len(ancestor)] == '.'
+}
+
+// Events returns a copy of the recorded events in sequence order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Trace is a serializable batch of events.
+type Trace struct {
+	Events []Event `json:"events"`
+}
+
+// Snapshot returns the trace collected so far.
+func (r *Recorder) Snapshot() Trace {
+	return Trace{Events: r.Events()}
+}
+
+// MarshalJSON renders the trace; UnmarshalJSON is provided by the struct
+// tags. These round-trip through cmd/schedcheck.
+func (t Trace) Marshal() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// Unmarshal parses a trace.
+func Unmarshal(data []byte) (Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return Trace{}, fmt.Errorf("trace: %w", err)
+	}
+	return t, nil
+}
+
+// ToSystem reconstructs the formal transaction system and the primitive
+// execution order from the committed events. Aborted actions are dropped:
+// the schedule the checker validates is the committed schedule (open
+// nested aborts are compensated, so their remaining effects appear as the
+// compensating actions the engine also records).
+func (t Trace) ToSystem() (*txn.System, []string, error) {
+	events := make([]Event, 0, len(t.Events))
+	for _, ev := range t.Events {
+		if !ev.Aborted {
+			events = append(events, ev)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+
+	actions := make(map[string]*txn.Action, len(events))
+	var tops []*txn.Action
+	for _, ev := range events {
+		if _, dup := actions[ev.ID]; dup {
+			return nil, nil, fmt.Errorf("trace: duplicate action id %q", ev.ID)
+		}
+		a := &txn.Action{
+			ID: ev.ID,
+			Msg: txn.Message{
+				Object: txn.OID{Type: ev.ObjType, Name: ev.ObjName},
+				Inv:    commut.Invocation{Method: ev.Method, Params: ev.Params},
+			},
+		}
+		if ev.Parent == "" {
+			a.Process = ev.ID
+			tops = append(tops, a)
+			actions[ev.ID] = a
+			continue
+		}
+		p, ok := actions[ev.Parent]
+		if !ok {
+			return nil, nil, fmt.Errorf("trace: action %q recorded before its parent %q", ev.ID, ev.Parent)
+		}
+		a.Parent = p
+		if ev.Parallel {
+			a.Process = ev.ID
+		} else {
+			a.Process = p.Process
+			// Sequential children follow all previously recorded siblings.
+			a.PrecBefore = append(a.PrecBefore, p.Children...)
+		}
+		p.Children = append(p.Children, a)
+		actions[ev.ID] = a
+	}
+
+	sys := txn.NewSystem(tops...)
+	var prim []string
+	for _, ev := range events {
+		a := actions[ev.ID]
+		if a.Primitive() && a.Msg.Object != txn.SystemObject {
+			prim = append(prim, ev.ID)
+		}
+	}
+	return sys, prim, nil
+}

@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/sched"
+	"repro/internal/txn"
+)
+
+func TestRecorderSequencing(t *testing.T) {
+	r := NewRecorder()
+	e1 := r.Record(Event{ID: "T1", ObjType: "system", ObjName: "S", Method: "T1"})
+	e2 := r.Record(Event{ID: "T1.1", Parent: "T1", ObjType: "page", ObjName: "P", Method: "read"})
+	if e1.Seq != 0 || e2.Seq != 1 {
+		t.Fatalf("seqs = %d %d", e1.Seq, e2.Seq)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	evs := r.Events()
+	evs[0].ID = "mutated"
+	if r.Events()[0].ID != "T1" {
+		t.Fatal("Events must return a copy")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{ID: fmt.Sprintf("T%d.%d", g, i), ObjType: "o", ObjName: "O", Method: "m"})
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := r.Events()
+	if len(evs) != 800 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	seen := map[int]bool{}
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestMarkAborted(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{ID: "T1", ObjType: "system", ObjName: "S", Method: "T1"})
+	r.Record(Event{ID: "T1.1", Parent: "T1", ObjType: "page", ObjName: "P", Method: "write"})
+	r.Record(Event{ID: "T1.10", Parent: "T1", ObjType: "page", ObjName: "P", Method: "write"})
+	r.Record(Event{ID: "T10", ObjType: "system", ObjName: "S", Method: "T10"})
+	r.MarkAborted("T1")
+	evs := r.Events()
+	if !evs[0].Aborted || !evs[1].Aborted || !evs[2].Aborted {
+		t.Fatal("T1 subtree must be aborted")
+	}
+	if evs[3].Aborted {
+		t.Fatal("T10 must not be aborted (prefix is not ancestry)")
+	}
+}
+
+func TestMarkAbortedSubtreeOnly(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{ID: "T1", ObjType: "system", ObjName: "S", Method: "T1"})
+	r.Record(Event{ID: "T1.2", Parent: "T1", ObjType: "leaf", ObjName: "L", Method: "insert"})
+	r.Record(Event{ID: "T1.2.1", Parent: "T1.2", ObjType: "page", ObjName: "P", Method: "write"})
+	r.Record(Event{ID: "T1.3", Parent: "T1", ObjType: "page", ObjName: "P", Method: "read"})
+	r.MarkAborted("T1.2")
+	evs := r.Events()
+	if evs[0].Aborted || evs[3].Aborted {
+		t.Fatal("siblings and root must survive a subtransaction abort")
+	}
+	if !evs[1].Aborted || !evs[2].Aborted {
+		t.Fatal("aborted subtree not marked")
+	}
+}
+
+func TestToSystemRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{ID: "T1", ObjType: "system", ObjName: "S", Method: "T1"})
+	r.Record(Event{ID: "T1.1", Parent: "T1", ObjType: paperex.TypeLeaf, ObjName: "L", Method: "insert", Params: []string{"k"}})
+	r.Record(Event{ID: "T1.1.1", Parent: "T1.1", ObjType: paperex.TypePage, ObjName: "P", Method: "read"})
+	r.Record(Event{ID: "T2", ObjType: "system", ObjName: "S", Method: "T2"})
+	r.Record(Event{ID: "T1.1.2", Parent: "T1.1", ObjType: paperex.TypePage, ObjName: "P", Method: "write"})
+	r.Record(Event{ID: "T2.1", Parent: "T2", ObjType: paperex.TypePage, ObjName: "P", Method: "write"})
+
+	sys, prim, err := r.Snapshot().ToSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Top) != 2 {
+		t.Fatalf("tops = %d", len(sys.Top))
+	}
+	// Primitive order follows the recording sequence. (T2's write lands
+	// after the leaf insert's read-write pair; interleaving it between the
+	// two would be a lost update, which the checker rejects.)
+	want := []string{"T1.1.1", "T1.1.2", "T2.1"}
+	if len(prim) != len(want) {
+		t.Fatalf("prim = %v", prim)
+	}
+	for i := range want {
+		if prim[i] != want[i] {
+			t.Fatalf("prim = %v, want %v", prim, want)
+		}
+	}
+	// The reconstruction feeds the checker.
+	a, err := sched.Analyze(sys, paperex.Registry(), prim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := a.Check()
+	if !rep.SystemOOSerializable {
+		t.Fatalf("simple trace must validate: %+v", rep)
+	}
+	// The leaf insert's own page accesses are one process; T2's write
+	// conflicts with both.
+	pg := txn.OID{Type: paperex.TypePage, Name: "P"}
+	if a.ActDep[pg].NumEdges() != 2 {
+		t.Fatalf("page deps:\n%s", a.ActDep[pg].String())
+	}
+}
+
+func TestToSystemDropsAborted(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{ID: "T1", ObjType: "system", ObjName: "S", Method: "T1"})
+	r.Record(Event{ID: "T1.1", Parent: "T1", ObjType: paperex.TypePage, ObjName: "P", Method: "write"})
+	r.Record(Event{ID: "T2", ObjType: "system", ObjName: "S", Method: "T2"})
+	r.Record(Event{ID: "T2.1", Parent: "T2", ObjType: paperex.TypePage, ObjName: "P", Method: "write"})
+	r.MarkAborted("T2")
+
+	sys, prim, err := r.Snapshot().ToSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Top) != 1 || sys.Top[0].ID != "T1" {
+		t.Fatalf("tops = %v", sys.Top)
+	}
+	if len(prim) != 1 {
+		t.Fatalf("prim = %v", prim)
+	}
+}
+
+func TestToSystemParallelProcesses(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{ID: "T1", ObjType: "system", ObjName: "S", Method: "T1"})
+	r.Record(Event{ID: "T1.1", Parent: "T1", ObjType: "doc", ObjName: "D", Method: "edit", Parallel: true})
+	r.Record(Event{ID: "T1.2", Parent: "T1", ObjType: "doc", ObjName: "D", Method: "edit", Parallel: true})
+	r.Record(Event{ID: "T1.1.1", Parent: "T1.1", ObjType: paperex.TypePage, ObjName: "P", Method: "write"})
+	r.Record(Event{ID: "T1.2.1", Parent: "T1.2", ObjType: paperex.TypePage, ObjName: "P", Method: "write"})
+
+	sys, _, err := r.Snapshot().ToSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := sys.Find("T1.1")
+	a2 := sys.Find("T1.2")
+	if a1.Process == a2.Process {
+		t.Fatal("parallel events must start distinct processes")
+	}
+	if txn.Precedes(a1, a2) || txn.Precedes(a2, a1) {
+		t.Fatal("parallel events must be unordered")
+	}
+	// Their page writes (different processes) conflict.
+	p1, p2 := sys.Find("T1.1.1"), sys.Find("T1.2.1")
+	if p1.Process == p2.Process {
+		t.Fatal("children must inherit distinct processes")
+	}
+}
+
+func TestToSystemSequentialPrecedence(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{ID: "T1", ObjType: "system", ObjName: "S", Method: "T1"})
+	r.Record(Event{ID: "T1.1", Parent: "T1", ObjType: paperex.TypePage, ObjName: "P", Method: "read"})
+	r.Record(Event{ID: "T1.2", Parent: "T1", ObjType: paperex.TypePage, ObjName: "P", Method: "write"})
+	sys, _, err := r.Snapshot().ToSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !txn.Precedes(sys.Find("T1.1"), sys.Find("T1.2")) {
+		t.Fatal("sequential recording order must become precedence")
+	}
+}
+
+func TestToSystemErrors(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{ID: "T1.1", Parent: "T1", ObjType: "page", ObjName: "P", Method: "read"})
+	if _, _, err := r.Snapshot().ToSystem(); err == nil {
+		t.Fatal("orphan child must fail")
+	}
+
+	r2 := NewRecorder()
+	r2.Record(Event{ID: "T1", ObjType: "system", ObjName: "S", Method: "T1"})
+	r2.Record(Event{ID: "T1", ObjType: "system", ObjName: "S", Method: "T1"})
+	if _, _, err := r2.Snapshot().ToSystem(); err == nil {
+		t.Fatal("duplicate id must fail")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{ID: "T1", ObjType: "system", ObjName: "S", Method: "T1"})
+	r.Record(Event{ID: "T1.1", Parent: "T1", ObjType: "page", ObjName: "P", Method: "write", Params: []string{"x"}, Parallel: true})
+	data, err := r.Snapshot().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 2 || tr.Events[1].Params[0] != "x" || !tr.Events[1].Parallel {
+		t.Fatalf("round trip lost data: %+v", tr.Events)
+	}
+	if _, err := Unmarshal([]byte("{broken")); err == nil {
+		t.Fatal("broken JSON must fail")
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	r := NewRecorder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(Event{ID: "T1.1", Parent: "T1", ObjType: "page", ObjName: "P", Method: "read"})
+	}
+}
+
+func BenchmarkToSystem(b *testing.B) {
+	r := NewRecorder()
+	r.Record(Event{ID: "T1", ObjType: "system", ObjName: "S", Method: "T1"})
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("T1.%d", i+1)
+		r.Record(Event{ID: id, Parent: "T1", ObjType: "leaf", ObjName: "L", Method: "insert", Params: []string{fmt.Sprintf("k%d", i)}})
+		r.Record(Event{ID: id + ".1", Parent: id, ObjType: "page", ObjName: "P", Method: "write"})
+	}
+	tr := r.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.ToSystem(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

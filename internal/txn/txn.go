@@ -1,0 +1,494 @@
+// Package txn implements the paper's object-oriented transaction model
+// (Definitions 1-5): messages on objects, actions, nested call trees with
+// precedence relations, transaction systems, and the system extension that
+// breaks call-path cycles with virtual objects.
+//
+// An object-oriented transaction (Definition 2) is a tree: the root is the
+// originating action, inner nodes are actions that call other actions, and
+// leaves are primitive actions (Definition 3). Top-level transactions are
+// actions on the distinguished system object (Definition 4). When a
+// transaction calls — directly or indirectly — an action on an object it
+// itself accesses, Definition 5 splits that object into the original and a
+// virtual object, duplicating the other actions so no dependency is lost;
+// Extend implements that construction.
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/commut"
+)
+
+// SystemObjectType is the object type of the distinguished system object S.
+const SystemObjectType = "system"
+
+// SystemObject is the distinguished object all top-level transactions are
+// sent to (Definition 4).
+var SystemObject = OID{Type: SystemObjectType, Name: "S"}
+
+// OID identifies a database object: a type (which selects the
+// commutativity specification) and a unique name.
+type OID struct {
+	Type string
+	Name string
+}
+
+// String returns the object name; the type is implicit in examples and
+// figures, matching the paper's notation (Page4712, Leaf11, BpTree, ...).
+func (o OID) String() string { return o.Name }
+
+// Virtual reports whether o is a virtual object introduced by Extend.
+func (o OID) Virtual() bool { return strings.HasSuffix(o.Name, "'") }
+
+// VirtualOf returns the virtual counterpart of o at the given split level.
+// Level 1 is O', level 2 is O”, and so on.
+func (o OID) virtualAt(level int) OID {
+	return OID{Type: o.Type, Name: o.Name + strings.Repeat("'", level)}
+}
+
+// Original strips virtual markers, returning the object o was split from
+// (or o itself if it is not virtual).
+func (o OID) Original() OID {
+	return OID{Type: o.Type, Name: strings.TrimRight(o.Name, "'")}
+}
+
+// Message is a parameterized method sent to an object (Definition 1),
+// written O.m(parameters) in the paper.
+type Message struct {
+	Object OID
+	Inv    commut.Invocation
+}
+
+// String renders the message in the paper's O.m(params) notation.
+func (m Message) String() string {
+	return fmt.Sprintf("%s.%s", m.Object.Name, m.Inv.String())
+}
+
+// Action is one node of an oo-transaction tree: a hierarchically numbered
+// message (Definition 2). Children are the action set called directly by
+// this action; PrecBefore lists siblings that must precede this action (the
+// per-action-set partial order of Definition 2).
+type Action struct {
+	// ID is the hierarchical number, e.g. "T1.2.1". Unique within a system.
+	ID string
+	// Msg is the parameterized method this action executes.
+	Msg Message
+	// Process identifies the sequential process this action belongs to;
+	// actions of the same process are never in conflict (Definition 9).
+	Process string
+	// Parent is the calling action; nil for a top-level transaction root.
+	Parent *Action
+	// Children are the directly called actions, in creation order.
+	Children []*Action
+	// PrecBefore are siblings that must precede this action.
+	PrecBefore []*Action
+	// IsVirtual marks duplicates introduced by the Definition 5 extension.
+	IsVirtual bool
+	// VirtualOf points from a virtual duplicate back to its original.
+	VirtualOf *Action
+}
+
+// Primitive reports whether the action calls no other action (Definition 3).
+func (a *Action) Primitive() bool { return len(a.Children) == 0 }
+
+// Root returns the top-level transaction this action belongs to.
+func (a *Action) Root() *Action {
+	for a.Parent != nil {
+		a = a.Parent
+	}
+	return a
+}
+
+// IsAncestorOf reports whether a is a proper ancestor of b (a →+ b along
+// the call relationship).
+func (a *Action) IsAncestorOf(b *Action) bool {
+	for p := b.Parent; p != nil; p = p.Parent {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Depth returns the call depth: 0 for a top-level transaction root.
+func (a *Action) Depth() int {
+	d := 0
+	for p := a.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// Walk visits a and every descendant in depth-first, creation order.
+func (a *Action) Walk(visit func(*Action)) {
+	visit(a)
+	for _, c := range a.Children {
+		c.Walk(visit)
+	}
+}
+
+// Subtree returns a and all descendants in depth-first order.
+func (a *Action) Subtree() []*Action {
+	var out []*Action
+	a.Walk(func(x *Action) { out = append(out, x) })
+	return out
+}
+
+// String renders the action as ID=O.m(params).
+func (a *Action) String() string {
+	return fmt.Sprintf("%s=%s", a.ID, a.Msg.String())
+}
+
+// Builder constructs one oo-transaction tree with hierarchical numbering
+// and precedence wiring. Sequential calls (Call) are ordered after every
+// earlier sibling; parallel calls (CallPar) start a new process with no
+// precedence against their siblings.
+type Builder struct {
+	root *Action
+	seq  map[*Action]int // children of this parent added sequentially so far
+}
+
+// NewTransaction starts building a top-level transaction with the given ID
+// (e.g. "T1"). Per Definition 4 the root is an action on the system object.
+func NewTransaction(id string) *Builder {
+	root := &Action{
+		ID:      id,
+		Msg:     Message{Object: SystemObject, Inv: commut.Invocation{Method: id}},
+		Process: id,
+	}
+	return &Builder{root: root, seq: make(map[*Action]int)}
+}
+
+// Root returns the transaction's root action.
+func (b *Builder) Root() *Action { return b.root }
+
+// Build returns the completed root action.
+func (b *Builder) Build() *Action { return b.root }
+
+func (b *Builder) newChild(parent *Action, obj OID, method string, params []string) *Action {
+	if parent == nil {
+		parent = b.root
+	}
+	c := &Action{
+		ID:     fmt.Sprintf("%s.%d", parent.ID, len(parent.Children)+1),
+		Msg:    Message{Object: obj, Inv: commut.Invocation{Method: method, Params: params}},
+		Parent: parent,
+	}
+	parent.Children = append(parent.Children, c)
+	return c
+}
+
+// Call adds a sequential child action: it is preceded by every sibling
+// added before it (sequential or parallel), and it runs in the parent's
+// process.
+func (b *Builder) Call(parent *Action, obj OID, method string, params ...string) *Action {
+	if parent == nil {
+		parent = b.root
+	}
+	c := b.newChild(parent, obj, method, params)
+	c.Process = parent.Process
+	// A sequential call follows all previously added siblings.
+	for _, sib := range parent.Children[:len(parent.Children)-1] {
+		c.PrecBefore = append(c.PrecBefore, sib)
+	}
+	return c
+}
+
+// CallPar adds a parallel child action: no precedence against siblings, and
+// it starts a fresh process named after its own ID (Definition 9: actions
+// of different processes may conflict; of the same process never).
+func (b *Builder) CallPar(parent *Action, obj OID, method string, params ...string) *Action {
+	c := b.newChild(parent, obj, method, params)
+	c.Process = c.ID
+	return c
+}
+
+// Precede adds the explicit precedence before ≺ after between two siblings.
+// It panics if the actions are not siblings, because the precedence relation
+// of Definition 2 is defined per action set.
+func (b *Builder) Precede(before, after *Action) {
+	if before.Parent != after.Parent {
+		panic(fmt.Sprintf("txn: Precede(%s, %s): not siblings", before.ID, after.ID))
+	}
+	after.PrecBefore = append(after.PrecBefore, before)
+}
+
+// System is an object-oriented transaction system (Definition 4): a set of
+// objects (derived from the transactions) plus the top-level transactions.
+type System struct {
+	// Top holds the top-level transactions in the order given.
+	Top []*Action
+	// virtualized maps virtual object IDs to their originals after Extend.
+	virtualized map[OID]OID
+}
+
+// NewSystem assembles a transaction system from top-level transactions.
+// Action IDs must be unique across the system; NewSystem panics otherwise,
+// since duplicate IDs are a construction bug that would corrupt every
+// dependency relation built later.
+func NewSystem(top ...*Action) *System {
+	seen := make(map[string]bool)
+	for _, t := range top {
+		t.Walk(func(a *Action) {
+			if seen[a.ID] {
+				panic(fmt.Sprintf("txn: duplicate action ID %q", a.ID))
+			}
+			seen[a.ID] = true
+		})
+	}
+	return &System{Top: top, virtualized: make(map[OID]OID)}
+}
+
+// Objects returns every object accessed by some action, sorted by name,
+// excluding the system object.
+func (s *System) Objects() []OID {
+	set := make(map[OID]bool)
+	for _, t := range s.Top {
+		t.Walk(func(a *Action) {
+			if a.Msg.Object != SystemObject {
+				set[a.Msg.Object] = true
+			}
+		})
+	}
+	out := make([]OID, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AllActions returns every action of every top-level transaction in
+// depth-first order.
+func (s *System) AllActions() []*Action {
+	var out []*Action
+	for _, t := range s.Top {
+		out = append(out, t.Subtree()...)
+	}
+	return out
+}
+
+// ActionsOn returns ACT_O: every action accessing object o, in depth-first
+// system order.
+func (s *System) ActionsOn(o OID) []*Action {
+	var out []*Action
+	for _, t := range s.Top {
+		t.Walk(func(a *Action) {
+			if a.Msg.Object == o {
+				out = append(out, a)
+			}
+		})
+	}
+	return out
+}
+
+// TransactionsOn returns TRA_O (Definition 6): the actions that directly
+// call an action on o — from o's point of view these are the transactions.
+// Each caller appears once even if it calls several actions on o. Roots of
+// top-level transactions have no caller; if a root itself accesses o the
+// root is its own transaction on o (it cannot be serialized against at any
+// higher level).
+func (s *System) TransactionsOn(o OID) []*Action {
+	seen := make(map[*Action]bool)
+	var out []*Action
+	for _, a := range s.ActionsOn(o) {
+		t := a.Parent
+		if t == nil {
+			t = a // a top-level root accessing o stands for itself
+		}
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// CallerOn returns the transaction on o that action a (an action on o)
+// belongs to, i.e. a's direct caller, or a itself for a root.
+func CallerOn(a *Action) *Action {
+	if a.Parent != nil {
+		return a.Parent
+	}
+	return a
+}
+
+// VirtualOriginal returns the original object of a virtual object created
+// by Extend, and whether o is such a virtual object.
+func (s *System) VirtualOriginal(o OID) (OID, bool) {
+	orig, ok := s.virtualized[o]
+	return orig, ok
+}
+
+// Find returns the action with the given ID, or nil.
+func (s *System) Find(id string) *Action {
+	var found *Action
+	for _, t := range s.Top {
+		t.Walk(func(a *Action) {
+			if a.ID == id {
+				found = a
+			}
+		})
+	}
+	return found
+}
+
+// Extend applies Definition 5 in place: whenever an action a has a proper
+// ancestor t accessing the same object O, the call-path cycle is broken by
+// moving a to a virtual object O' (deeper repetitions yield O”, ...), and
+// every other action on O is virtually duplicated onto O' with a call edge
+// from the original to the duplicate, so dependencies detected at O' are
+// inherited back to O along the call relationship (as Definition 10
+// prescribes). Extend returns the list of virtual objects created.
+//
+// The construction iterates until no cycle remains (a chain t →+ a →+ b all
+// on O needs two splits). Extend is idempotent: a second call returns nil.
+func (s *System) Extend() []OID {
+	var created []OID
+	for {
+		moved := s.extendOnce()
+		if len(moved) == 0 {
+			return created
+		}
+		created = append(created, moved...)
+	}
+}
+
+// extendOnce performs one round of Definition 5 splits and returns the
+// virtual objects created in this round.
+func (s *System) extendOnce() []OID {
+	// Collect, per object, the actions that must move: those with a proper
+	// ancestor on the same object. Skip virtual duplicates — they are leaves
+	// created by earlier rounds and never have same-object ancestors by
+	// construction.
+	toMove := make(map[OID][]*Action)
+	for _, t := range s.Top {
+		t.Walk(func(a *Action) {
+			if a.IsVirtual || a.Msg.Object == SystemObject {
+				return
+			}
+			o := a.Msg.Object
+			for p := a.Parent; p != nil; p = p.Parent {
+				if p.Msg.Object == o {
+					toMove[o] = append(toMove[o], a)
+					return
+				}
+			}
+		})
+	}
+	if len(toMove) == 0 {
+		return nil
+	}
+
+	var created []OID
+	objs := make([]OID, 0, len(toMove))
+	for o := range toMove {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Name < objs[j].Name })
+
+	for _, o := range objs {
+		movers := toMove[o]
+		virt := o.Original().virtualAt(levelOf(o) + 1)
+		s.virtualized[virt] = o
+		created = append(created, virt)
+
+		moving := make(map[*Action]bool, len(movers))
+		for _, a := range movers {
+			moving[a] = true
+		}
+		// Remaining actions on o (after the movers leave) get virtual
+		// duplicates on the virtual object — except ancestors of a mover:
+		// duplicating the very ancestor that closes the cycle would recreate
+		// an (intra-transaction) cycle the split exists to remove.
+		var toDuplicate []*Action
+		for _, b := range s.ActionsOn(o) {
+			if moving[b] {
+				continue
+			}
+			isAncestorOfMover := false
+			for _, a := range movers {
+				if b.IsAncestorOf(a) {
+					isAncestorOfMover = true
+					break
+				}
+			}
+			if !isAncestorOfMover {
+				toDuplicate = append(toDuplicate, b)
+			}
+		}
+		for _, a := range movers {
+			a.Msg.Object = virt
+		}
+		for _, b := range toDuplicate {
+			dup := &Action{
+				ID:        b.ID + "'",
+				Msg:       Message{Object: virt, Inv: b.Msg.Inv},
+				Process:   b.Process,
+				Parent:    b,
+				IsVirtual: true,
+				VirtualOf: b,
+			}
+			b.Children = append(b.Children, dup)
+		}
+	}
+	return created
+}
+
+// levelOf returns how many times o has already been split (number of
+// trailing quote marks).
+func levelOf(o OID) int {
+	return len(o.Name) - len(strings.TrimRight(o.Name, "'"))
+}
+
+// Precedes reports whether a must precede b by the transitive combination
+// of the per-action-set precedence relations (the object precedence n₃ of
+// Definition 7 is derived from this). It holds when some ancestor-or-self
+// of a and some ancestor-or-self of b are siblings ordered by PrecBefore.
+func Precedes(a, b *Action) bool {
+	if a == b {
+		return false
+	}
+	// Gather ancestor chains (self included).
+	chainA := ancestorChain(a)
+	chainB := ancestorChain(b)
+	for _, x := range chainA {
+		for _, y := range chainB {
+			if x.Parent != nil && x.Parent == y.Parent && siblingPrecedes(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func ancestorChain(a *Action) []*Action {
+	var out []*Action
+	for x := a; x != nil; x = x.Parent {
+		out = append(out, x)
+	}
+	return out
+}
+
+// siblingPrecedes reports whether x ≺ y in the (transitive) sibling
+// precedence of their shared action set.
+func siblingPrecedes(x, y *Action) bool {
+	seen := make(map[*Action]bool)
+	var stack []*Action
+	stack = append(stack, y.PrecBefore...)
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if p == x {
+			return true
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		stack = append(stack, p.PrecBefore...)
+	}
+	return false
+}

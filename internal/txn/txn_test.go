@@ -1,0 +1,497 @@
+package txn
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func oid(typ, name string) OID { return OID{Type: typ, Name: name} }
+
+// buildExample2 constructs the transaction t1 of Example 2 / Figure 5:
+// root t1 calls a11 (on O1) and a12 (on O2); a11 calls a111, a112, a113;
+// a12 calls a121, a122. Left-to-right arc order is precedence.
+func buildExample2() (*Builder, map[string]*Action) {
+	b := NewTransaction("t1")
+	m := map[string]*Action{}
+	m["a11"] = b.Call(nil, oid("obj", "O1"), "a11")
+	m["a12"] = b.Call(nil, oid("obj", "O2"), "a12")
+	m["a111"] = b.Call(m["a11"], oid("obj", "P1"), "a111")
+	m["a112"] = b.Call(m["a11"], oid("obj", "P2"), "a112")
+	m["a113"] = b.Call(m["a11"], oid("obj", "P3"), "a113")
+	m["a121"] = b.Call(m["a12"], oid("obj", "P4"), "a121")
+	m["a122"] = b.Call(m["a12"], oid("obj", "P5"), "a122")
+	return b, m
+}
+
+func TestExample2TransactionTree(t *testing.T) {
+	b, m := buildExample2()
+	root := b.Build()
+
+	if root.Primitive() {
+		t.Fatal("root must not be primitive")
+	}
+	if got := len(root.Children); got != 2 {
+		t.Fatalf("root has %d children, want 2", got)
+	}
+	// Leaves of Figure 5 are primitive.
+	for _, leaf := range []string{"a111", "a112", "a113", "a121", "a122"} {
+		if !m[leaf].Primitive() {
+			t.Errorf("%s should be primitive", leaf)
+		}
+	}
+	if m["a11"].Primitive() {
+		t.Fatal("a11 calls actions, not primitive")
+	}
+	// Hierarchical numbering.
+	if m["a111"].ID != "t1.1.1" || m["a122"].ID != "t1.2.2" {
+		t.Fatalf("IDs wrong: %s %s", m["a111"].ID, m["a122"].ID)
+	}
+	// Precedence: left-to-right order of arcs (a111 ≺ a112 ≺ a113).
+	if !Precedes(m["a111"], m["a112"]) || !Precedes(m["a112"], m["a113"]) {
+		t.Fatal("sequential siblings must be ordered")
+	}
+	if !Precedes(m["a111"], m["a113"]) {
+		t.Fatal("precedence must be transitive")
+	}
+	if Precedes(m["a112"], m["a111"]) {
+		t.Fatal("precedence must be antisymmetric")
+	}
+	// Inherited precedence: a11 ≺ a12 implies all of a11's subtree precedes
+	// all of a12's subtree (Definition 7 flavour).
+	if !Precedes(m["a113"], m["a121"]) {
+		t.Fatal("precedence must be inherited from calling actions")
+	}
+	// Root is transaction on system object.
+	if root.Msg.Object != SystemObject {
+		t.Fatal("top-level transaction must access the system object")
+	}
+	// Depths.
+	if root.Depth() != 0 || m["a11"].Depth() != 1 || m["a111"].Depth() != 2 {
+		t.Fatal("depths wrong")
+	}
+	// Root / ancestry.
+	if m["a122"].Root() != root {
+		t.Fatal("Root() wrong")
+	}
+	if !root.IsAncestorOf(m["a122"]) || m["a11"].IsAncestorOf(m["a121"]) {
+		t.Fatal("ancestry wrong")
+	}
+	if m["a11"].IsAncestorOf(m["a11"]) {
+		t.Fatal("IsAncestorOf must be proper")
+	}
+}
+
+func TestCallParProcesses(t *testing.T) {
+	b := NewTransaction("T1")
+	s1 := b.Call(nil, oid("doc", "D"), "editIntro")
+	p1 := b.CallPar(nil, oid("doc", "D"), "editBody")
+	p2 := b.CallPar(nil, oid("doc", "D"), "editAppendix")
+
+	if s1.Process != "T1" {
+		t.Fatalf("sequential child process = %q, want parent's", s1.Process)
+	}
+	if p1.Process == p2.Process || p1.Process == s1.Process {
+		t.Fatal("parallel children must get fresh processes")
+	}
+	if Precedes(s1, p1) || Precedes(p1, p2) || Precedes(p2, p1) {
+		t.Fatal("parallel children must be unordered")
+	}
+	// Children of a parallel child inherit its process.
+	c := b.Call(p1, oid("sec", "S1"), "write")
+	if c.Process != p1.Process {
+		t.Fatal("child must inherit parallel parent's process")
+	}
+}
+
+func TestPrecedeExplicit(t *testing.T) {
+	b := NewTransaction("T1")
+	x := b.CallPar(nil, oid("o", "A"), "x")
+	y := b.CallPar(nil, oid("o", "B"), "y")
+	if Precedes(x, y) {
+		t.Fatal("no order before Precede")
+	}
+	b.Precede(x, y)
+	if !Precedes(x, y) || Precedes(y, x) {
+		t.Fatal("explicit precedence not honoured")
+	}
+}
+
+func TestPrecedeNonSiblingsPanics(t *testing.T) {
+	b := NewTransaction("T1")
+	x := b.Call(nil, oid("o", "A"), "x")
+	y := b.Call(x, oid("o", "B"), "y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Precede on non-siblings must panic")
+		}
+	}()
+	b.Precede(x, y)
+}
+
+func TestSystemObjectsAndActions(t *testing.T) {
+	b1 := NewTransaction("T1")
+	b1.Call(nil, oid("tree", "BpTree"), "insert", "DBS")
+	l := b1.Call(nil, oid("leaf", "Leaf11"), "insert", "DBS")
+	b1.Call(l, oid("page", "Page4712"), "write")
+
+	b2 := NewTransaction("T2")
+	b2.Call(nil, oid("page", "Page4712"), "read")
+
+	s := NewSystem(b1.Build(), b2.Build())
+
+	objs := s.Objects()
+	names := make([]string, len(objs))
+	for i, o := range objs {
+		names[i] = o.Name
+	}
+	if !reflect.DeepEqual(names, []string{"BpTree", "Leaf11", "Page4712"}) {
+		t.Fatalf("Objects = %v", names)
+	}
+
+	acts := s.ActionsOn(oid("page", "Page4712"))
+	if len(acts) != 2 {
+		t.Fatalf("ActionsOn(Page4712) = %d actions, want 2", len(acts))
+	}
+
+	// TRA_Page4712: the leaf insert (caller of write) and T2's root (caller
+	// of read is the root T2).
+	tras := s.TransactionsOn(oid("page", "Page4712"))
+	if len(tras) != 2 {
+		t.Fatalf("TransactionsOn = %d, want 2", len(tras))
+	}
+	if tras[0] != l {
+		t.Fatalf("first transaction on page should be the leaf insert, got %s", tras[0].ID)
+	}
+	if tras[1].ID != "T2" {
+		t.Fatalf("second transaction on page should be T2, got %s", tras[1].ID)
+	}
+
+	if s.Find("T1.2.1") == nil || s.Find("nope") != nil {
+		t.Fatal("Find wrong")
+	}
+	if len(s.AllActions()) != 6 {
+		t.Fatalf("AllActions = %d, want 6", len(s.AllActions()))
+	}
+}
+
+func TestTransactionsOnDedup(t *testing.T) {
+	// One caller invoking two actions on the same object is ONE transaction
+	// on that object.
+	b := NewTransaction("T1")
+	n := b.Call(nil, oid("node", "N"), "split")
+	b.Call(n, oid("page", "P"), "read")
+	b.Call(n, oid("page", "P"), "write")
+	s := NewSystem(b.Build())
+	if got := len(s.TransactionsOn(oid("page", "P"))); got != 1 {
+		t.Fatalf("TransactionsOn dedup failed: %d", got)
+	}
+}
+
+func TestNewSystemDuplicateIDsPanics(t *testing.T) {
+	b1 := NewTransaction("T1")
+	b2 := NewTransaction("T1")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate IDs must panic")
+		}
+	}()
+	NewSystem(b1.Build(), b2.Build())
+}
+
+// TestExample3VirtualObjects reproduces Example 3 / Figure 6: in t1 the
+// action a11 (on O1) indirectly calls a112 which accesses O1 again; the
+// extension moves a112 to the virtual O1' and duplicates other actions on
+// O1 (here b22 of a second transaction) onto O1'.
+func TestExample3VirtualObjects(t *testing.T) {
+	b1 := NewTransaction("t1")
+	a11 := b1.Call(nil, oid("obj", "O1"), "a11")
+	b1.Call(a11, oid("obj", "P1"), "a111")
+	a112 := b1.Call(a11, oid("obj", "O1"), "a112") // cycle: a11 →+ a112, both on O1
+
+	b2 := NewTransaction("t2")
+	b22 := b2.Call(nil, oid("obj", "O1"), "b22")
+
+	s := NewSystem(b1.Build(), b2.Build())
+	created := s.Extend()
+
+	if len(created) != 1 || created[0].Name != "O1'" {
+		t.Fatalf("created = %v, want [O1']", created)
+	}
+	if orig, ok := s.VirtualOriginal(created[0]); !ok || orig.Name != "O1" {
+		t.Fatalf("VirtualOriginal wrong: %v %v", orig, ok)
+	}
+	// a112 moved to O1'.
+	if a112.Msg.Object.Name != "O1'" {
+		t.Fatalf("a112 on %s, want O1'", a112.Msg.Object.Name)
+	}
+	if !a112.Msg.Object.Virtual() {
+		t.Fatal("O1' must report Virtual()")
+	}
+	if a112.Msg.Object.Original().Name != "O1" {
+		t.Fatal("Original() wrong")
+	}
+	// b22 duplicated: b22 now calls a virtual b22' on O1'.
+	if len(b22.Children) != 1 {
+		t.Fatalf("b22 children = %d, want 1 virtual duplicate", len(b22.Children))
+	}
+	dup := b22.Children[0]
+	if !dup.IsVirtual || dup.VirtualOf != b22 || dup.Msg.Object.Name != "O1'" {
+		t.Fatalf("virtual duplicate wrong: %+v", dup)
+	}
+	if dup.ID != b22.ID+"'" {
+		t.Fatalf("duplicate ID = %s", dup.ID)
+	}
+	// a11 (ancestor closing the cycle) must NOT be duplicated.
+	for _, c := range a11.Children {
+		if c.IsVirtual {
+			t.Fatal("cycle-closing ancestor must not be duplicated")
+		}
+	}
+	// Original object keeps a11 and b22 only.
+	onO1 := s.ActionsOn(oid("obj", "O1"))
+	if len(onO1) != 2 {
+		t.Fatalf("actions on O1 after extension = %d, want 2", len(onO1))
+	}
+	// Idempotence.
+	if again := s.Extend(); again != nil {
+		t.Fatalf("second Extend created %v", again)
+	}
+}
+
+// TestExtendBLink reproduces the B-link scenario of Section 2: an insert on
+// Node6 causes a leaf split whose rearrange call accesses Node6 again.
+func TestExtendBLink(t *testing.T) {
+	b := NewTransaction("T1")
+	n6 := b.Call(nil, oid("node", "Node6"), "insert")
+	l11 := b.Call(n6, oid("leaf", "Leaf11"), "insert")
+	b.Call(l11, oid("leaf", "Leaf12"), "insert")
+	rearr := b.Call(l11, oid("node", "Node6"), "rearrange")
+
+	s := NewSystem(b.Build())
+	created := s.Extend()
+	if len(created) != 1 || created[0].Name != "Node6'" {
+		t.Fatalf("created = %v", created)
+	}
+	if rearr.Msg.Object.Name != "Node6'" {
+		t.Fatalf("rearrange on %s, want Node6'", rearr.Msg.Object.Name)
+	}
+	if n6.Msg.Object.Name != "Node6" {
+		t.Fatal("the calling insert must stay on Node6")
+	}
+}
+
+// TestExtendChainNeedsTwoLevels: t on O calls a on O calls d on O; breaking
+// requires O' and O”.
+func TestExtendChainNeedsTwoLevels(t *testing.T) {
+	b := NewTransaction("T1")
+	x := b.Call(nil, oid("o", "O"), "x")
+	y := b.Call(x, oid("o", "O"), "y")
+	z := b.Call(y, oid("o", "O"), "z")
+	s := NewSystem(b.Build())
+	created := s.Extend()
+	names := make([]string, len(created))
+	for i, o := range created {
+		names[i] = o.Name
+	}
+	if !reflect.DeepEqual(names, []string{"O'", "O''"}) {
+		t.Fatalf("created = %v, want [O' O'']", names)
+	}
+	if x.Msg.Object.Name != "O" || y.Msg.Object.Name != "O'" || z.Msg.Object.Name != "O''" {
+		t.Fatalf("placement: x=%s y=%s z=%s", x.Msg.Object.Name, y.Msg.Object.Name, z.Msg.Object.Name)
+	}
+}
+
+func TestExtendNoCyclesNoop(t *testing.T) {
+	b := NewTransaction("T1")
+	n := b.Call(nil, oid("tree", "B"), "insert")
+	b.Call(n, oid("page", "P"), "write")
+	s := NewSystem(b.Build())
+	if created := s.Extend(); created != nil {
+		t.Fatalf("Extend on acyclic system created %v", created)
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	b := NewTransaction("T1")
+	a := b.Call(nil, oid("leaf", "Leaf11"), "insert", "DBS")
+	if got := a.Msg.String(); got != "Leaf11.insert(DBS)" {
+		t.Fatalf("Msg.String = %q", got)
+	}
+	if got := a.String(); got != "T1.1=Leaf11.insert(DBS)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestOIDVirtualHelpers(t *testing.T) {
+	o := oid("node", "N")
+	if o.Virtual() {
+		t.Fatal("plain OID is not virtual")
+	}
+	v := o.virtualAt(2)
+	if v.Name != "N''" || !v.Virtual() {
+		t.Fatalf("virtualAt wrong: %v", v)
+	}
+	if v.Original() != o {
+		t.Fatal("Original round-trip failed")
+	}
+	if levelOf(v) != 2 || levelOf(o) != 0 {
+		t.Fatal("levelOf wrong")
+	}
+}
+
+// randomTree builds a random transaction tree and returns all actions.
+func randomTree(r *rand.Rand, id string) (*Builder, []*Action) {
+	b := NewTransaction(id)
+	actions := []*Action{b.Root()}
+	n := 2 + r.Intn(20)
+	for i := 0; i < n; i++ {
+		parent := actions[r.Intn(len(actions))]
+		o := oid("o", string(rune('A'+r.Intn(6))))
+		var a *Action
+		if r.Intn(3) == 0 {
+			a = b.CallPar(parent, o, "m")
+		} else {
+			a = b.Call(parent, o, "m")
+		}
+		actions = append(actions, a)
+	}
+	return b, actions
+}
+
+// Property: Precedes is a strict partial order (irreflexive, antisymmetric,
+// transitive) on every randomly built tree.
+func TestPropertyPrecedesStrictPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		_, actions := randomTree(r, "T")
+		for _, a := range actions {
+			if Precedes(a, a) {
+				return false
+			}
+			for _, b := range actions {
+				if Precedes(a, b) && Precedes(b, a) {
+					return false
+				}
+				for _, c := range actions {
+					if Precedes(a, b) && Precedes(b, c) && !Precedes(a, c) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after Extend, no action (virtual or not) has a proper ancestor
+// on the same object — the call-path cycles Definition 5 removes are gone.
+// Every virtual duplicate hangs off its original, and a virtual duplicate's
+// children (duplicates created by deeper split rounds) are themselves
+// virtual.
+func TestPropertyExtendRemovesCycles(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b1, _ := randomTree(r, "T1")
+		b2, _ := randomTree(r, "T2")
+		s := NewSystem(b1.Build(), b2.Build())
+		s.Extend()
+		ok := true
+		for _, a := range s.AllActions() {
+			if a.IsVirtual {
+				if a.VirtualOf == nil || a.Parent != a.VirtualOf {
+					ok = false
+				}
+				for _, c := range a.Children {
+					if !c.IsVirtual {
+						ok = false
+					}
+				}
+			}
+			for p := a.Parent; p != nil; p = p.Parent {
+				if p.Msg.Object == a.Msg.Object && a.Msg.Object != SystemObject {
+					ok = false
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Extend preserves the set of non-virtual actions and their
+// invocation payloads (only object placement changes).
+func TestPropertyExtendPreservesActions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b1, _ := randomTree(r, "T1")
+		s := NewSystem(b1.Build())
+		before := make(map[string]string)
+		for _, a := range s.AllActions() {
+			before[a.ID] = a.Msg.Inv.String()
+		}
+		s.Extend()
+		after := make(map[string]string)
+		for _, a := range s.AllActions() {
+			if !a.IsVirtual {
+				after[a.ID] = a.Msg.Inv.String()
+			}
+		}
+		return reflect.DeepEqual(before, after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hierarchical IDs encode ancestry — a.ID is a prefix of every
+// descendant's ID.
+func TestPropertyHierarchicalIDs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		_, actions := randomTree(r, "T")
+		for _, a := range actions {
+			for _, b := range actions {
+				if a.IsAncestorOf(b) && !strings.HasPrefix(b.ID, a.ID+".") {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildTree(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bd := NewTransaction("T")
+		n := bd.Call(nil, oid("tree", "B"), "insert", "k")
+		l := bd.Call(n, oid("leaf", "L"), "insert", "k")
+		bd.Call(l, oid("page", "P"), "read")
+		bd.Call(l, oid("page", "P"), "write")
+	}
+}
+
+func BenchmarkExtend(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bd := NewTransaction("T1")
+		x := bd.Call(nil, oid("o", "O"), "x")
+		y := bd.Call(x, oid("l", "L"), "y")
+		bd.Call(y, oid("o", "O"), "z")
+		s := NewSystem(bd.Build())
+		b.StartTimer()
+		s.Extend()
+	}
+}

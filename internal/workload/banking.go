@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/commut"
+	"repro/internal/core"
+	"repro/internal/txn"
+)
+
+// The banking workload covers Figure 1's "conventional transactions"
+// column — short transactions on small objects — and demonstrates escrow
+// commutativity (the paper's references [9,14,17]): credits and debits on
+// the same account commute as long as balances cannot go negative, so
+// semantic locking admits concurrent updates that page-level 2PL
+// serializes.
+
+// AccountType is the object type of bank accounts.
+const AccountType = "account"
+
+// AccountSpec: credits always commute; debits commute with credits and
+// debits (the runtime check inside the method enforces non-negativity, the
+// escrow argument for why this is safe); balance reads conflict with
+// updates.
+func AccountSpec() commut.Spec {
+	return commut.NewMatrix().
+		SetCommutes("credit", "credit").
+		SetCommutes("credit", "debit").
+		SetCommutes("debit", "debit").
+		SetConflicts("balance", "credit").
+		SetConflicts("balance", "debit").
+		SetCommutes("balance", "balance")
+}
+
+// BankingConfig drives the banking workload.
+type BankingConfig struct {
+	Protocol      core.ProtocolKind
+	Workers       int
+	TxnsPerWorker int
+	Accounts      int
+	// InitialBalance per account.
+	InitialBalance int64
+	// HotPct routes this percentage of updates to account 0 (a hot spot,
+	// e.g. a branch cash account).
+	HotPct      int
+	Seed        int64
+	Validate    bool
+	LockTimeout time.Duration
+	MaxRetries  int
+	// PageIODelay is the simulated page I/O latency (see core.Options).
+	PageIODelay time.Duration
+}
+
+// installAccounts registers the account type; each account lives on its
+// own page as a decimal balance.
+func installAccounts(db *core.DB, n int, initial int64) ([]txn.OID, error) {
+	pages := make([]txn.OID, n)
+	for i := range pages {
+		pages[i] = db.AllocPage()
+	}
+	pageFor := func(self txn.OID) (txn.OID, error) {
+		var idx int
+		if _, err := fmt.Sscanf(self.Name, "Acct%d", &idx); err != nil || idx < 0 || idx >= n {
+			return txn.OID{}, fmt.Errorf("banking: bad account %q", self.Name)
+		}
+		return pages[idx], nil
+	}
+	readBalance := func(c *core.Ctx, pg txn.OID, how string) (int64, error) {
+		s, err := c.Call(pg, how)
+		if err != nil {
+			return 0, err
+		}
+		if s == "" {
+			return 0, nil
+		}
+		return strconv.ParseInt(s, 10, 64)
+	}
+	typ := &core.ObjectType{
+		Name: AccountType,
+		Spec: AccountSpec(),
+		ReadOnly: map[string]bool{
+			"balance": true,
+		},
+		Methods: map[string]core.MethodFunc{
+			"credit": func(c *core.Ctx, self txn.OID, params []string) (string, error) {
+				pg, err := pageFor(self)
+				if err != nil {
+					return "", err
+				}
+				amt, err := strconv.ParseInt(params[0], 10, 64)
+				if err != nil || amt < 0 {
+					return "", fmt.Errorf("banking: bad amount %q", params[0])
+				}
+				bal, err := readBalance(c, pg, "readx")
+				if err != nil {
+					return "", err
+				}
+				_, err = c.Call(pg, "write", strconv.FormatInt(bal+amt, 10))
+				return "", err
+			},
+			"debit": func(c *core.Ctx, self txn.OID, params []string) (string, error) {
+				pg, err := pageFor(self)
+				if err != nil {
+					return "", err
+				}
+				amt, err := strconv.ParseInt(params[0], 10, 64)
+				if err != nil || amt < 0 {
+					return "", fmt.Errorf("banking: bad amount %q", params[0])
+				}
+				bal, err := readBalance(c, pg, "readx")
+				if err != nil {
+					return "", err
+				}
+				if bal < amt {
+					return "", fmt.Errorf("banking: insufficient funds on %s: %d < %d", self.Name, bal, amt)
+				}
+				_, err = c.Call(pg, "write", strconv.FormatInt(bal-amt, 10))
+				return "", err
+			},
+			"balance": func(c *core.Ctx, self txn.OID, params []string) (string, error) {
+				pg, err := pageFor(self)
+				if err != nil {
+					return "", err
+				}
+				bal, err := readBalance(c, pg, "read")
+				if err != nil {
+					return "", err
+				}
+				return strconv.FormatInt(bal, 10), nil
+			},
+		},
+		Compensate: map[string]core.CompensateFunc{
+			"credit": func(params []string, result string) (string, []string, bool) {
+				return "debit", []string{params[0]}, true
+			},
+			"debit": func(params []string, result string) (string, []string, bool) {
+				return "credit", []string{params[0]}, true
+			},
+		},
+	}
+	if err := db.RegisterType(typ); err != nil {
+		return nil, err
+	}
+	// Fund the accounts.
+	accts := make([]txn.OID, n)
+	for i := range accts {
+		accts[i] = txn.OID{Type: AccountType, Name: fmt.Sprintf("Acct%d", i)}
+		tx := db.Begin()
+		if _, err := tx.Exec(accts[i], "credit", strconv.FormatInt(initial, 10)); err != nil {
+			_ = tx.Abort()
+			return nil, err
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return accts, nil
+}
+
+// RunBanking executes transfer transactions (debit one account, credit
+// another) and reports metrics. TotalBalance invariance is checked at the
+// end; a violation is returned as an error.
+func RunBanking(cfg BankingConfig) (Result, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.TxnsPerWorker <= 0 {
+		cfg.TxnsPerWorker = 100
+	}
+	if cfg.Accounts <= 1 {
+		cfg.Accounts = 16
+	}
+	if cfg.InitialBalance <= 0 {
+		cfg.InitialBalance = 1_000_000
+	}
+	if cfg.LockTimeout <= 0 {
+		cfg.LockTimeout = 10 * time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 50
+	}
+	db := core.Open(core.Options{
+		Protocol:     cfg.Protocol,
+		LockTimeout:  cfg.LockTimeout,
+		DisableTrace: !cfg.Validate,
+		PageIODelay:  cfg.PageIODelay,
+	})
+	accts, err := installAccounts(db, cfg.Accounts, cfg.InitialBalance)
+	if err != nil {
+		return Result{}, err
+	}
+	preLock := db.LockStats()
+	preEng := db.Stats()
+
+	var retries int64
+	var retryMu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(cfg.Seed + int64(w)*6151))
+			local := int64(0)
+			for i := 0; i < cfg.TxnsPerWorker; i++ {
+				from := rr.Intn(cfg.Accounts)
+				to := rr.Intn(cfg.Accounts)
+				if rr.Intn(100) < cfg.HotPct {
+					to = 0
+				}
+				if from == to {
+					to = (to + 1) % cfg.Accounts
+				}
+				amt := strconv.Itoa(1 + rr.Intn(100))
+				if err := transferRetry(db, accts[from], accts[to], amt, cfg.MaxRetries, &local); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			retryMu.Lock()
+			retries += local
+			retryMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+	res, err := finishResult(db, "banking", cfg.Protocol, cfg.Workers, cfg.Validate, elapsed, retries, preLock, preEng)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Invariant: total money is conserved (checked after the measurement
+	// window so the balance reads do not pollute the counters).
+	var total int64
+	for _, a := range accts {
+		tx := db.Begin()
+		s, err := tx.Exec(a, "balance")
+		if err != nil {
+			_ = tx.Abort()
+			return Result{}, err
+		}
+		_ = tx.Commit()
+		bal, _ := strconv.ParseInt(s, 10, 64)
+		total += bal
+	}
+	if want := cfg.InitialBalance * int64(cfg.Accounts); total != want {
+		return Result{}, fmt.Errorf("banking: money not conserved: %d != %d", total, want)
+	}
+	return res, nil
+}
+
+// transferRetry runs one transfer transaction with retries.
+func transferRetry(db *core.DB, from, to txn.OID, amt string, maxRetries int, retries *int64) error {
+	var lastErr error
+	age := int64(-1)
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if attempt > 0 {
+			backoff := time.Duration(attempt) * 300 * time.Microsecond
+			if backoff > 10*time.Millisecond {
+				backoff = 10 * time.Millisecond
+			}
+			time.Sleep(backoff)
+		}
+		tx := db.Begin()
+		if age < 0 {
+			age = tx.Seq()
+		} else {
+			tx.SetPriority(age)
+		}
+		_, err := tx.Exec(from, "debit", amt)
+		if err == nil {
+			_, err = tx.Exec(to, "credit", amt)
+		}
+		if err == nil {
+			return tx.Commit()
+		}
+		_ = tx.Abort()
+		lastErr = err
+		*retries++
+	}
+	return fmt.Errorf("workload: transfer gave up: %w", lastErr)
+}

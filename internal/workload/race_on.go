@@ -1,0 +1,8 @@
+//go:build race
+
+package workload
+
+// raceEnabled reports that the race detector is active; performance-shape
+// tests skip themselves, since instrumentation distorts the timing
+// behaviour they assert.
+const raceEnabled = true

@@ -1,0 +1,444 @@
+// Package workload provides the experiment harness for the reproduction's
+// quantitative claims: synthetic workloads (the encyclopedia of Figure 2, a
+// cooperative-editing scenario from the paper's introduction, and an
+// escrow-style banking mix), a multi-worker runner with retry-on-abort, and
+// a metrics report comparing protocols on the paper's terms — rate of
+// conflicting accesses, wait time, deadlocks, throughput — plus the offline
+// oo-serializability verdict for the produced trace.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/enc"
+	"repro/internal/list"
+	"repro/internal/txn"
+)
+
+// Mix is an operation mix in percent; the fields must sum to 100.
+type Mix struct {
+	InsertPct, SearchPct, UpdatePct, DeletePct, ReadSeqPct int
+}
+
+// DefaultMix is a read-mostly encyclopedia mix.
+var DefaultMix = Mix{InsertPct: 20, SearchPct: 60, UpdatePct: 15, DeletePct: 5, ReadSeqPct: 0}
+
+func (m Mix) total() int {
+	return m.InsertPct + m.SearchPct + m.UpdatePct + m.DeletePct + m.ReadSeqPct
+}
+
+// pick returns an operation name for a roll in [0,100).
+func (m Mix) pick(roll int) string {
+	if roll -= m.InsertPct; roll < 0 {
+		return "insert"
+	}
+	if roll -= m.SearchPct; roll < 0 {
+		return "search"
+	}
+	if roll -= m.UpdatePct; roll < 0 {
+		return "update"
+	}
+	if roll -= m.DeletePct; roll < 0 {
+		return "delete"
+	}
+	return "readSeq"
+}
+
+// Config drives the encyclopedia workload.
+type Config struct {
+	Protocol      core.ProtocolKind
+	Workers       int
+	TxnsPerWorker int
+	Seed          int64
+	// Keys is the key-space size; keys are drawn zipf-skewed when ZipfS > 1
+	// and uniformly otherwise.
+	Keys  int
+	ZipfS float64
+	Mix   Mix
+	// OpsPerTxn is the number of encyclopedia operations per transaction
+	// (default 1). Figure 1's "complex structured actions" column — longer
+	// transactions hold locks longer, which is where the protocols
+	// separate.
+	OpsPerTxn int
+	// TreeFanout is keys per B+ tree node — the paper's "rough up to 500
+	// keys" page-capacity knob (experiment H2).
+	TreeFanout int
+	SpineCap   int
+	// Preload inserts this many keys before measuring.
+	Preload int
+	// Validate runs the Definition 16 checker on the produced trace
+	// (requires tracing, which it implies).
+	Validate    bool
+	LockTimeout time.Duration
+	MaxRetries  int
+	// PageIODelay is the simulated page I/O latency (see core.Options).
+	PageIODelay time.Duration
+	// FairLocks enables FIFO lock fairness (see core.Options).
+	FairLocks bool
+	// TraceFile, when non-empty, writes the recorded trace as JSON for
+	// cmd/schedcheck (implies Validate-style tracing).
+	TraceFile string
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.TxnsPerWorker <= 0 {
+		c.TxnsPerWorker = 100
+	}
+	if c.Keys <= 0 {
+		c.Keys = 1000
+	}
+	if c.Mix == (Mix{}) {
+		c.Mix = DefaultMix
+	}
+	if c.Mix.total() != 100 {
+		return fmt.Errorf("workload: mix sums to %d, want 100", c.Mix.total())
+	}
+	if c.OpsPerTxn <= 0 {
+		c.OpsPerTxn = 1
+	}
+	if c.TreeFanout <= 0 {
+		c.TreeFanout = 50
+	}
+	if c.SpineCap <= 0 {
+		c.SpineCap = 50
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 10 * time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 50
+	}
+	return nil
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	Name     string
+	Protocol string
+	Workers  int
+
+	Committed int64
+	Aborted   int64
+	Retries   int64
+
+	// Lock manager counters.
+	Acquires  int64
+	Blocked   int64
+	Deadlocks int64
+	Timeouts  int64
+	WaitTime  time.Duration
+
+	Elapsed    time.Duration
+	Throughput float64 // committed transactions per second
+
+	// Per-transaction commit latencies (including retries): median, tail
+	// and worst case. Starvation shows up in P99/Max long before it moves
+	// totals.
+	LatencyP50 time.Duration
+	LatencyP99 time.Duration
+	LatencyMax time.Duration
+
+	// ConflictRate is Blocked/Acquires — the runtime measure of the
+	// paper's "rate of conflicting accesses".
+	ConflictRate float64
+
+	// Offline verdicts (only when Config.Validate).
+	Validated             bool
+	OOSerializable        bool
+	ConvSerializable      bool
+	SemanticConflicts     int
+	ConventionalConflicts int
+}
+
+// Header returns the table header matching Row.
+func Header() string {
+	return fmt.Sprintf("%-14s %-13s %7s %9s %8s %8s %9s %9s %10s %12s %8s",
+		"workload", "protocol", "workers", "committed", "aborted", "retries",
+		"blocked", "deadlock", "wait", "txn/s", "confl%")
+}
+
+// Row renders the result as one table row.
+func (r Result) Row() string {
+	return fmt.Sprintf("%-14s %-13s %7d %9d %8d %8d %9d %9d %10s %12.1f %7.2f%%",
+		r.Name, r.Protocol, r.Workers, r.Committed, r.Aborted, r.Retries,
+		r.Blocked, r.Deadlocks, r.WaitTime.Round(time.Millisecond), r.Throughput,
+		100*r.ConflictRate)
+}
+
+// keyFor draws a key index for worker-local generator rr.
+func keyFor(rr *rand.Rand, zipf *rand.Zipf, keys int) string {
+	var i uint64
+	if zipf != nil {
+		i = zipf.Uint64()
+	} else {
+		i = uint64(rr.Intn(keys))
+	}
+	return fmt.Sprintf("k%06d", i)
+}
+
+// RunEncyclopedia executes the encyclopedia workload and reports metrics.
+func RunEncyclopedia(cfg Config) (Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return Result{}, err
+	}
+	db := core.Open(core.Options{
+		Protocol:     cfg.Protocol,
+		LockTimeout:  cfg.LockTimeout,
+		DisableTrace: !cfg.Validate && cfg.TraceFile == "",
+		PoolCapacity: 1 << 16,
+		PageIODelay:  cfg.PageIODelay,
+		FairLocks:    cfg.FairLocks,
+	})
+	trees, err := btree.Install(db)
+	if err != nil {
+		return Result{}, err
+	}
+	lists, err := list.Install(db)
+	if err != nil {
+		return Result{}, err
+	}
+	encs, err := enc.Install(db, trees, lists)
+	if err != nil {
+		return Result{}, err
+	}
+	e, err := encs.New("Enc", cfg.TreeFanout, cfg.SpineCap)
+	if err != nil {
+		return Result{}, err
+	}
+
+	pre := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Preload; i++ {
+		k := fmt.Sprintf("k%06d", pre.Intn(cfg.Keys))
+		if err := execRetry(db, e.OID(), cfg.MaxRetries, nil, "insert", k, "text0"); err != nil {
+			return Result{}, fmt.Errorf("preload: %w", err)
+		}
+	}
+	preStats := db.LockStats()
+	preEng := db.Stats()
+
+	var retries int64
+	var retryMu sync.Mutex
+	lat := &latencies{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			var zipf *rand.Zipf
+			if cfg.ZipfS > 1 {
+				zipf = rand.NewZipf(rr, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+			}
+			local := int64(0)
+			for i := 0; i < cfg.TxnsPerWorker; i++ {
+				ops := make([]opCall, cfg.OpsPerTxn)
+				for j := range ops {
+					op := cfg.Mix.pick(rr.Intn(100))
+					var params []string
+					switch op {
+					case "insert", "update":
+						params = []string{keyFor(rr, zipf, cfg.Keys), fmt.Sprintf("text%d-%d", i, j)}
+					case "search", "delete":
+						params = []string{keyFor(rr, zipf, cfg.Keys)}
+					case "readSeq":
+						params = nil
+					}
+					ops[j] = opCall{method: op, params: params}
+				}
+				if err := execOpsRetryLat(db, e.OID(), cfg.MaxRetries, &local, lat, ops); err != nil {
+					errCh <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+			}
+			retryMu.Lock()
+			retries += local
+			retryMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+
+	res, err := finishResult(db, "encyclopedia", cfg.Protocol, cfg.Workers, cfg.Validate,
+		elapsed, retries, preStats, preEng)
+	lat.fill(&res)
+	if err == nil && cfg.TraceFile != "" {
+		err = writeTrace(db, cfg.TraceFile)
+	}
+	return res, err
+}
+
+// writeTrace dumps the DB's trace as JSON.
+func writeTrace(db *core.DB, path string) error {
+	data, err := db.Trace().Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// opCall is one operation of a multi-op transaction.
+type opCall struct {
+	method string
+	params []string
+}
+
+// latencies collects per-transaction commit latencies concurrently.
+type latencies struct {
+	mu sync.Mutex
+	ds []time.Duration
+}
+
+func (l *latencies) add(d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.ds = append(l.ds, d)
+	l.mu.Unlock()
+}
+
+// fill computes the percentile fields of r.
+func (l *latencies) fill(r *Result) {
+	if l == nil || len(l.ds) == 0 {
+		return
+	}
+	l.mu.Lock()
+	ds := append([]time.Duration{}, l.ds...)
+	l.mu.Unlock()
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	r.LatencyP50 = ds[len(ds)/2]
+	r.LatencyP99 = ds[len(ds)*99/100]
+	r.LatencyMax = ds[len(ds)-1]
+}
+
+// execRetry runs a one-op transaction, retrying aborts (deadlock victims,
+// timeouts) up to maxRetries times.
+func execRetry(db *core.DB, obj txn.OID, maxRetries int, retries *int64, method string, params ...string) error {
+	return execOpsRetryLat(db, obj, maxRetries, retries, nil, []opCall{{method: method, params: params}})
+}
+
+// execOpsRetry runs a multi-op transaction with retries. Retries back off
+// linearly: a restarted transaction receives a fresh (youngest) id, so the
+// youngest-victim policy would re-victimize an eager retrier forever.
+func execOpsRetry(db *core.DB, obj txn.OID, maxRetries int, retries *int64, ops []opCall) error {
+	return execOpsRetryLat(db, obj, maxRetries, retries, nil, ops)
+}
+
+// execOpsRetryLat additionally records the transaction's total latency
+// (first attempt to successful commit) in lat.
+func execOpsRetryLat(db *core.DB, obj txn.OID, maxRetries int, retries *int64, lat *latencies, ops []opCall) error {
+	start := time.Now()
+	var lastErr error
+	age := int64(-1)
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if attempt > 0 {
+			backoff := time.Duration(attempt) * 300 * time.Microsecond
+			if backoff > 10*time.Millisecond {
+				backoff = 10 * time.Millisecond
+			}
+			time.Sleep(backoff)
+		}
+		tx := db.Begin()
+		if age < 0 {
+			age = tx.Seq()
+		} else {
+			tx.SetPriority(age) // keep the original age across restarts
+		}
+		var err error
+		for _, op := range ops {
+			if _, err = tx.Exec(obj, op.method, op.params...); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			lat.add(time.Since(start))
+			return nil
+		}
+		_ = tx.Abort()
+		lastErr = err
+		if retries != nil {
+			*retries++
+		}
+	}
+	return fmt.Errorf("workload: %s txn gave up after %d retries: %w", obj.Name, maxRetries, lastErr)
+}
+
+// finishResult assembles a Result from the counters accumulated since the
+// pre-measurement snapshots, optionally validating the trace.
+func finishResult(db *core.DB, name string, protocol core.ProtocolKind, workers int,
+	validate bool, elapsed time.Duration, retries int64,
+	preLock cc.Stats, preEng core.Stats,
+) (Result, error) {
+	lock := db.LockStats()
+	eng := db.Stats()
+	r := Result{
+		Name:      name,
+		Protocol:  protocol.String(),
+		Workers:   workers,
+		Committed: eng.TxnsCommitted - preEng.TxnsCommitted,
+		Aborted:   eng.TxnsAborted - preEng.TxnsAborted,
+		Retries:   retries,
+		Acquires:  lock.Acquires - preLock.Acquires,
+		Blocked:   lock.Blocked - preLock.Blocked,
+		Deadlocks: lock.Deadlocks - preLock.Deadlocks,
+		Timeouts:  lock.Timeouts - preLock.Timeouts,
+		WaitTime:  lock.WaitTime - preLock.WaitTime,
+		Elapsed:   elapsed,
+	}
+	if elapsed > 0 {
+		r.Throughput = float64(r.Committed) / elapsed.Seconds()
+	}
+	if r.Acquires > 0 {
+		r.ConflictRate = float64(r.Blocked) / float64(r.Acquires)
+	}
+	if validate {
+		a, rep, err := db.Validate()
+		if err != nil {
+			return r, fmt.Errorf("workload: validation failed: %w", err)
+		}
+		conv := a.Conventional()
+		r.Validated = true
+		r.OOSerializable = rep.SystemOOSerializable
+		r.ConvSerializable = conv.Serializable
+		r.SemanticConflicts = a.SemanticConflicts()
+		r.ConventionalConflicts = conv.Conflicts
+	}
+	return r, nil
+}
+
+// Table renders results under a shared header.
+func Table(results []Result) string {
+	var b strings.Builder
+	b.WriteString(Header())
+	b.WriteByte('\n')
+	for _, r := range results {
+		b.WriteString(r.Row())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ErrUnknownWorkload is returned by name-based dispatch in cmd/oodbsim.
+var ErrUnknownWorkload = errors.New("workload: unknown workload")
