@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: check build vet test bench
+
+# The full gate: everything must build, vet clean, and pass under the race
+# detector. CI and pre-commit both run this.
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+# The experiment suite (EXPERIMENTS.md); slow.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -12,6 +12,14 @@
 //     timeout as a backstop;
 //   - counters for the paper's evaluation: acquisitions, blocked acquires
 //     (the "rate of conflicting accesses"), deadlocks and wait time.
+//
+// The lock table is sharded (resources hash to independently-locked
+// shards, each lockState has its own condition variable) so the manager's
+// own synchronization does not throttle the concurrency that
+// commutativity-based modes admit: a release wakes only the released
+// resource's waiters, and disjoint resources never contend on one mutex.
+// Deadlock detection spans shards through a dedicated detector component
+// (detector.go) whose cycle search runs outside every shard lock.
 package cc
 
 import (
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/commut"
@@ -90,8 +99,8 @@ func (m Semantic) String() string { return "sem:" + m.Inv.String() }
 // Resource identifies a lockable resource: a database object.
 type Resource = txn.OID
 
-// Stats are the lock manager's counters; read a consistent snapshot with
-// Snapshot.
+// Stats are the lock manager's counters; Snapshot reads them without
+// touching any lock-table mutex (the counters are atomics).
 type Stats struct {
 	// Acquires counts Acquire calls that eventually succeeded.
 	Acquires int64
@@ -104,6 +113,15 @@ type Stats struct {
 	Timeouts int64
 	// WaitTime is the total time spent blocked.
 	WaitTime time.Duration
+}
+
+// statCounters are the live atomic counters behind Stats.
+type statCounters struct {
+	acquires  atomic.Int64
+	blocked   atomic.Int64
+	deadlocks atomic.Int64
+	timeouts  atomic.Int64
+	waitNanos atomic.Int64
 }
 
 type grant struct {
@@ -119,30 +137,14 @@ type waiter struct {
 	seq   uint64
 }
 
-type lockState struct {
-	granted []grant
-	// waiting holds blocked requests in arrival order; only consulted when
-	// fairness is enabled.
-	waiting []*waiter
-}
-
 // LockManager is a blocking lock manager. Owners are hierarchical action
 // ids (e.g. "T3", "T3.1.2"); the root prefix up to the first dot names the
 // top-level transaction, which is the deadlock-detection granule.
 type LockManager struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	shards    []*lockShard
+	shardMask uint64
 
-	locks map[Resource]*lockState
-	// waitsFor counts, per waiting root, how many of its blocked acquires
-	// wait for each blocking root.
-	waitsFor map[string]map[string]int
-	// doomed roots must abort; their acquires fail fast.
-	doomed map[string]bool
-	// ages overrides the age derived from the transaction id. A restarted
-	// transaction keeps its original age (SetAge), so the youngest-victim
-	// policy cannot starve it forever.
-	ages map[string]int64
+	det *detector
 
 	// ancestorBypass, when true, lets a requester ignore conflicting locks
 	// held by its proper ancestors (Moss's closed nested locking rule).
@@ -151,13 +153,16 @@ type LockManager struct {
 	// EARLIER incompatible waiters, so a stream of compatible requests
 	// (e.g. readers) cannot starve a conflicting one (a writer).
 	fair    bool
-	waitSeq uint64
+	waitSeq atomic.Uint64
 	// waitTimeout bounds each blocked acquire; 0 means no bound.
 	waitTimeout time.Duration
+	nshards     int
+
 	// debugDump, when set, receives a full lock-table dump on each timeout.
+	debugMu   sync.Mutex
 	debugDump func(string)
 
-	stats Stats
+	stats statCounters
 }
 
 // Option configures a LockManager.
@@ -182,20 +187,32 @@ func WithFairness() Option {
 	return func(lm *LockManager) { lm.fair = true }
 }
 
+// WithShards fixes the lock-table shard count (rounded up to a power of
+// two, clamped to [1, 256]). The default is the next power of two at or
+// above GOMAXPROCS; 1 reproduces the single-mutex table.
+func WithShards(n int) Option {
+	return func(lm *LockManager) { lm.nshards = normalizeShardCount(n) }
+}
+
 // NewLockManager returns a lock manager with the given options.
 func NewLockManager(opts ...Option) *LockManager {
 	lm := &LockManager{
-		locks:    make(map[Resource]*lockState),
-		waitsFor: make(map[string]map[string]int),
-		doomed:   make(map[string]bool),
-		ages:     make(map[string]int64),
+		det:     newDetector(),
+		nshards: defaultShardCount(),
 	}
-	lm.cond = sync.NewCond(&lm.mu)
 	for _, o := range opts {
 		o(lm)
 	}
+	lm.shards = make([]*lockShard, lm.nshards)
+	for i := range lm.shards {
+		lm.shards[i] = &lockShard{locks: make(map[Resource]*lockState)}
+	}
+	lm.shardMask = uint64(lm.nshards - 1)
 	return lm
 }
+
+// ShardCount returns the number of lock-table shards.
+func (lm *LockManager) ShardCount() int { return len(lm.shards) }
 
 // RootOf returns the top-level transaction id of an owner id.
 func RootOf(owner string) string {
@@ -220,7 +237,7 @@ type blockRef struct {
 
 // skippable reports whether a conflicting entry never blocks this owner:
 // itself, its own transaction's other subtransactions, or (closed nesting)
-// a proper ancestor. Caller holds lm.mu.
+// a proper ancestor.
 func (lm *LockManager) skippable(owner, other string) bool {
 	if other == owner {
 		return true // re-entrant: an owner never conflicts with itself
@@ -238,7 +255,7 @@ func (lm *LockManager) skippable(owner, other string) bool {
 // blockers returns the entries incompatible with the request: conflicting
 // granted locks, plus — in fairness mode — conflicting waiters queued
 // before mySeq (use ^uint64(0) for a request not yet queued: everyone
-// already waiting counts as earlier). Caller holds lm.mu.
+// already waiting counts as earlier). Caller holds the shard mutex.
 func (lm *LockManager) blockers(owner string, st *lockState, mode Mode, mySeq uint64) []blockRef {
 	var out []blockRef
 	for _, g := range st.granted {
@@ -266,71 +283,67 @@ func (lm *LockManager) blockers(owner string, st *lockState, mode Mode, mySeq ui
 // ErrDeadlock / ErrDoomed / ErrTimeout. Re-acquisition by the same owner
 // and mode is re-entrant.
 func (lm *LockManager) Acquire(owner string, res Resource, mode Mode) error {
-	root := RootOf(owner)
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
+	err := lm.acquire(owner, res, mode)
+	if err != nil && errors.Is(err, ErrTimeout) {
+		if fn := lm.debugHook(); fn != nil {
+			fn(lm.dump(owner, mode, res))
+		}
+	}
+	return err
+}
 
-	if lm.doomed[root] {
+func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
+	root := RootOf(owner)
+	if lm.det.isDoomed(root) {
 		return ErrDoomed
 	}
-	st := lm.locks[res]
-	if st == nil {
-		st = &lockState{}
-		lm.locks[res] = st
-	}
+	sh := lm.shardFor(res)
 
-	blocked := false
-	var start time.Time
-	var timedOut bool
-	var timer *time.Timer
-	var token *waiter             // our FIFO position once blocked (fairness mode)
-	waitingOn := map[string]int{} // roots this call currently charges in waitsFor
+	var (
+		blocked   bool
+		start     time.Time
+		timedOut  bool // guarded by sh.mu
+		timer     *time.Timer
+		token     *waiter // our FIFO position once blocked (fairness mode)
+		wake      *wakeHandle
+		waitingOn map[string]int // roots this call currently charges in the detector
+	)
 
-	removeToken := func() {
-		if token == nil {
-			return
-		}
-		kept := st.waiting[:0]
-		for _, w := range st.waiting {
-			if w != token {
-				kept = append(kept, w)
-			}
-		}
-		st.waiting = kept
-		token = nil
-		lm.cond.Broadcast() // later waiters may now be first in line
-	}
-
-	clearWaits := func() {
-		for r, n := range waitingOn {
-			m := lm.waitsFor[root]
-			if m != nil {
-				m[r] -= n
-				if m[r] <= 0 {
-					delete(m, r)
-				}
-				if len(m) == 0 {
-					delete(lm.waitsFor, root)
-				}
-			}
-		}
-		waitingOn = map[string]int{}
-	}
+	sh.mu.Lock()
+	st := sh.state(res)
 	defer func() {
-		removeToken()
-		clearWaits()
+		// Every return path below holds sh.mu.
+		if token != nil {
+			st.removeWaiter(token)
+			st.cond.Broadcast() // later waiters may now be first in line
+		}
+		sh.gcLocked(res)
+		sh.mu.Unlock()
 		if timer != nil {
 			timer.Stop()
 		}
+		if wake != nil {
+			lm.det.unregister(root, wake)
+		}
+		lm.det.discharge(root, waitingOn)
 		if blocked {
-			lm.stats.WaitTime += time.Since(start)
+			lm.stats.waitNanos.Add(int64(time.Since(start)))
 		}
 	}()
 
 	for {
-		if lm.doomed[root] {
-			lm.stats.Deadlocks++
+		if lm.det.isDoomed(root) {
+			lm.stats.deadlocks.Add(1)
 			return ErrDeadlock
+		}
+		if timedOut {
+			lm.stats.timeouts.Add(1)
+			holders := make([]string, 0, len(st.granted))
+			for _, g := range st.granted {
+				holders = append(holders, g.owner+"/"+g.mode.String())
+			}
+			return fmt.Errorf("%w: %s wants %s on %s held by %s",
+				ErrTimeout, owner, mode, res.Name, strings.Join(holders, ", "))
 		}
 		mySeq := ^uint64(0)
 		if token != nil {
@@ -338,73 +351,78 @@ func (lm *LockManager) Acquire(owner string, res Resource, mode Mode) error {
 		}
 		bl := lm.blockers(owner, st, mode, mySeq)
 		if len(bl) == 0 {
-			lm.grantLocked(st, owner, mode)
-			lm.stats.Acquires++
+			grantLocked(st, owner, mode)
+			lm.stats.acquires.Add(1)
 			return nil
 		}
 		if !blocked {
 			blocked = true
 			start = time.Now()
-			lm.stats.Blocked++
+			lm.stats.blocked.Add(1)
 			if lm.fair {
-				lm.waitSeq++
-				token = &waiter{owner: owner, mode: mode, seq: lm.waitSeq}
+				token = &waiter{owner: owner, mode: mode, seq: lm.waitSeq.Add(1)}
 				st.waiting = append(st.waiting, token)
 			}
+			// The detector wakes us (to fail with ErrDeadlock) if we are
+			// chosen as victim; broadcast through the current map entry in
+			// case the state was collected and recreated meanwhile.
+			wake = lm.det.register(root, func() {
+				sh.mu.Lock()
+				if cur, ok := sh.locks[res]; ok {
+					cur.cond.Broadcast()
+				}
+				sh.mu.Unlock()
+			})
 			if lm.waitTimeout > 0 {
 				timer = time.AfterFunc(lm.waitTimeout, func() {
-					lm.mu.Lock()
+					sh.mu.Lock()
 					timedOut = true
-					lm.cond.Broadcast()
-					lm.mu.Unlock()
+					if cur, ok := sh.locks[res]; ok {
+						cur.cond.Broadcast()
+					}
+					sh.mu.Unlock()
 				})
 			}
 		}
-		if timedOut {
-			lm.stats.Timeouts++
-			holders := make([]string, 0, len(st.granted))
-			for _, g := range st.granted {
-				holders = append(holders, g.owner+"/"+g.mode.String())
-			}
-			if lm.debugDump != nil {
-				lm.debugDump(lm.dumpLocked(owner, mode, res))
-			}
-			return fmt.Errorf("%w: %s wants %s on %s held by %s",
-				ErrTimeout, owner, mode, res.Name, strings.Join(holders, ", "))
-		}
 
-		// Charge fresh waits-for edges.
-		clearWaits()
-		wf := lm.waitsFor[root]
-		if wf == nil {
-			wf = map[string]int{}
-			lm.waitsFor[root] = wf
-		}
-		for _, g := range bl {
-			br := RootOf(g.owner)
-			if br == root {
-				continue
+		// Charge this round's waits-for edges and run the cycle search with
+		// the shard lock dropped — the detector has its own lock, and a
+		// doomed victim on another shard is woken via its registered wake
+		// callback, which needs that shard's mutex.
+		edges := make(map[string]int)
+		for _, b := range bl {
+			if br := RootOf(b.owner); br != root {
+				edges[br]++
 			}
-			wf[br]++
-			waitingOn[br]++
 		}
-
-		// Deadlock detection: is root on a waits-for cycle?
-		if cycle := lm.findCycleFrom(root); cycle != nil {
-			victim := lm.youngestLocked(cycle)
-			if victim == root {
-				lm.stats.Deadlocks++
-				return ErrDeadlock
-			}
-			lm.doomed[victim] = true
-			lm.cond.Broadcast()
+		sh.mu.Unlock()
+		lm.det.recharge(root, waitingOn, edges)
+		waitingOn = edges
+		victim := lm.det.detect(root)
+		sh.mu.Lock()
+		st = sh.state(res) // the idle state may have been collected while unlocked
+		if victim == root {
+			lm.stats.deadlocks.Add(1)
+			return ErrDeadlock
 		}
-		lm.cond.Wait()
+		if lm.det.isDoomed(root) || timedOut {
+			continue
+		}
+		mySeq = ^uint64(0)
+		if token != nil {
+			mySeq = token.seq
+		}
+		if len(lm.blockers(owner, st, mode, mySeq)) == 0 {
+			continue // unblocked while the detector ran; grant at loop top
+		}
+		st.sleepers++
+		st.cond.Wait()
+		st.sleepers--
 	}
 }
 
-// grantLocked records the grant. Caller holds lm.mu.
-func (lm *LockManager) grantLocked(st *lockState, owner string, mode Mode) {
+// grantLocked records the grant. Caller holds the shard mutex.
+func grantLocked(st *lockState, owner string, mode Mode) {
 	for i := range st.granted {
 		if st.granted[i].owner == owner && st.granted[i].mode.String() == mode.String() {
 			st.granted[i].count++
@@ -414,65 +432,10 @@ func (lm *LockManager) grantLocked(st *lockState, owner string, mode Mode) {
 	st.granted = append(st.granted, grant{owner: owner, mode: mode, count: 1})
 }
 
-// findCycleFrom returns the roots of a waits-for cycle through start, or
-// nil. Caller holds lm.mu.
-func (lm *LockManager) findCycleFrom(start string) []string {
-	var path []string
-	onPath := map[string]bool{}
-	visited := map[string]bool{}
-	var dfs func(n string) []string
-	dfs = func(n string) []string {
-		path = append(path, n)
-		onPath[n] = true
-		visited[n] = true
-		for m := range lm.waitsFor[n] {
-			if m == start && len(path) > 0 {
-				return append([]string{}, path...)
-			}
-			if onPath[m] || visited[m] {
-				continue
-			}
-			if c := dfs(m); c != nil {
-				return c
-			}
-		}
-		path = path[:len(path)-1]
-		onPath[n] = false
-		return nil
-	}
-	return dfs(start)
-}
-
 // SetAge overrides the age of a transaction: a restarted transaction that
 // keeps its original (older) age stops being the default deadlock victim,
 // preventing restart starvation. Cleared by ReleaseTree.
-func (lm *LockManager) SetAge(root string, age int64) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	lm.ages[root] = age
-}
-
-// ageLocked returns the effective age of a root. Caller holds lm.mu.
-func (lm *LockManager) ageLocked(root string) int64 {
-	if a, ok := lm.ages[root]; ok {
-		return a
-	}
-	return int64(txnSeq(root))
-}
-
-// youngestLocked picks the deadlock victim: the transaction with the
-// highest effective age (most recently started), falling back to
-// lexicographic order. Caller holds lm.mu.
-func (lm *LockManager) youngestLocked(roots []string) string {
-	best := roots[0]
-	bestSeq := lm.ageLocked(best)
-	for _, r := range roots[1:] {
-		if s := lm.ageLocked(r); s > bestSeq || (s == bestSeq && r > best) {
-			best, bestSeq = r, s
-		}
-	}
-	return best
-}
+func (lm *LockManager) SetAge(root string, age int64) { lm.det.setAge(root, age) }
 
 // txnSeq extracts the trailing integer of a transaction id, or -1.
 func txnSeq(root string) int {
@@ -490,95 +453,117 @@ func txnSeq(root string) int {
 	return n
 }
 
-// Release drops every mode the owner holds on res.
+// Release drops every mode the owner holds on res and wakes that
+// resource's waiters.
 func (lm *LockManager) Release(owner string, res Resource) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	st := lm.locks[res]
-	if st == nil {
-		return
+	sh := lm.shardFor(res)
+	sh.mu.Lock()
+	if st, ok := sh.locks[res]; ok {
+		removeOwnerLocked(st, func(o string) bool { return o == owner })
+		st.cond.Broadcast()
+		sh.gcLocked(res)
 	}
-	lm.removeOwnerLocked(st, func(o string) bool { return o == owner })
-	lm.cond.Broadcast()
+	sh.mu.Unlock()
 }
 
 // ReleaseOwner drops every lock the exact owner holds.
 func (lm *LockManager) ReleaseOwner(owner string) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	for _, st := range lm.locks {
-		lm.removeOwnerLocked(st, func(o string) bool { return o == owner })
-	}
-	lm.cond.Broadcast()
+	lm.releaseMatching(func(o string) bool { return o == owner })
 }
 
 // ReleaseTree drops every lock held by root or any of its descendants and
-// clears the root's doomed flag. The engine calls this at top-level commit
-// and after abort cleanup.
+// clears the root's detector state (doomed flag, age override). The engine
+// calls this at top-level commit and after abort cleanup.
 func (lm *LockManager) ReleaseTree(root string) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	for _, st := range lm.locks {
-		lm.removeOwnerLocked(st, func(o string) bool {
-			return o == root || strings.HasPrefix(o, root+".")
-		})
-	}
-	delete(lm.doomed, root)
-	delete(lm.ages, root)
-	lm.cond.Broadcast()
+	prefix := root + "."
+	lm.releaseMatching(func(o string) bool {
+		return o == root || strings.HasPrefix(o, prefix)
+	})
+	lm.det.forget(root)
 }
 
-func (lm *LockManager) removeOwnerLocked(st *lockState, match func(string) bool) {
+// releaseMatching removes matching grants across all shards, waking only
+// the resources whose grant set actually changed.
+func (lm *LockManager) releaseMatching(match func(string) bool) {
+	for _, sh := range lm.shards {
+		sh.mu.Lock()
+		for res, st := range sh.locks {
+			if removeOwnerLocked(st, match) {
+				st.cond.Broadcast()
+				sh.gcLocked(res)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// removeOwnerLocked drops matching grants and reports whether any were
+// removed. Caller holds the shard mutex.
+func removeOwnerLocked(st *lockState, match func(string) bool) bool {
 	kept := st.granted[:0]
 	for _, g := range st.granted {
 		if !match(g.owner) {
 			kept = append(kept, g)
 		}
 	}
+	changed := len(kept) != len(st.granted)
 	st.granted = kept
+	return changed
 }
 
 // TransferToParent reassigns every lock of child to parent (closed nested
 // commit: the parent inherits the child's locks).
 func (lm *LockManager) TransferToParent(child, parent string) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	for _, st := range lm.locks {
-		for i := range st.granted {
-			if st.granted[i].owner == child {
-				st.granted[i].owner = parent
+	for _, sh := range lm.shards {
+		sh.mu.Lock()
+		for _, st := range sh.locks {
+			changed := false
+			for i := range st.granted {
+				if st.granted[i].owner == child {
+					st.granted[i].owner = parent
+					changed = true
+				}
+			}
+			if changed {
+				// An ancestor-bypass waiter may be unblocked by the move.
+				st.cond.Broadcast()
 			}
 		}
+		sh.mu.Unlock()
 	}
-	lm.cond.Broadcast()
 }
 
 // HoldsAny reports whether owner holds any lock.
 func (lm *LockManager) HoldsAny(owner string) bool {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	for _, st := range lm.locks {
-		for _, g := range st.granted {
-			if g.owner == owner {
-				return true
+	for _, sh := range lm.shards {
+		sh.mu.Lock()
+		for _, st := range sh.locks {
+			for _, g := range st.granted {
+				if g.owner == owner {
+					sh.mu.Unlock()
+					return true
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
 	return false
 }
 
 // Holders returns the owners currently granted on res, sorted.
 func (lm *LockManager) Holders(res Resource) []string {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	st := lm.locks[res]
+	sh := lm.shardFor(res)
+	sh.mu.Lock()
+	st := sh.locks[res]
 	if st == nil {
+		sh.mu.Unlock()
 		return nil
 	}
 	set := map[string]bool{}
 	for _, g := range st.granted {
 		set[g.owner] = true
 	}
+	sh.mu.Unlock()
 	out := make([]string, 0, len(set))
 	for o := range set {
 		out = append(out, o)
@@ -597,31 +582,42 @@ func sortStrings(s []string) {
 
 // SetDebugDump installs a hook receiving a lock-table dump on timeouts.
 func (lm *LockManager) SetDebugDump(fn func(string)) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
+	lm.debugMu.Lock()
 	lm.debugDump = fn
+	lm.debugMu.Unlock()
 }
 
-// dumpLocked renders requester, waits-for graph and non-empty lock states.
-// Caller holds lm.mu.
-func (lm *LockManager) dumpLocked(owner string, mode Mode, res Resource) string {
+func (lm *LockManager) debugHook() func(string) {
+	lm.debugMu.Lock()
+	defer lm.debugMu.Unlock()
+	return lm.debugDump
+}
+
+// dump renders requester, waits-for graph and non-empty lock states. It
+// locks one shard at a time, so the rendering is only per-shard consistent
+// (diagnostic use only).
+func (lm *LockManager) dump(owner string, mode Mode, res Resource) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "TIMEOUT %s wants %s on %s\nwaitsFor:\n", owner, mode, res.Name)
-	for from, tos := range lm.waitsFor {
+	for from, tos := range lm.det.edges() {
 		for to, n := range tos {
 			fmt.Fprintf(&b, "  %s -> %s (%d)\n", from, to, n)
 		}
 	}
 	b.WriteString("locks:\n")
-	for r, st := range lm.locks {
-		if len(st.granted) == 0 {
-			continue
+	for _, sh := range lm.shards {
+		sh.mu.Lock()
+		for r, st := range sh.locks {
+			if len(st.granted) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %s:", r.Name)
+			for _, g := range st.granted {
+				fmt.Fprintf(&b, " %s/%s", g.owner, g.mode)
+			}
+			b.WriteByte('\n')
 		}
-		fmt.Fprintf(&b, "  %s:", r.Name)
-		for _, g := range st.granted {
-			fmt.Fprintf(&b, " %s/%s", g.owner, g.mode)
-		}
-		b.WriteByte('\n')
+		sh.mu.Unlock()
 	}
 	return b.String()
 }
@@ -631,42 +627,39 @@ func (lm *LockManager) dumpLocked(owner string, mode Mode, res Resource) string 
 // this so its compensating operations can acquire locks — an aborting
 // transaction must be able to undo itself, and must not be chosen as a
 // victim again while doing so.
-func (lm *LockManager) ClearDoomed(root string) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	delete(lm.doomed, root)
-	lm.ages[root] = 0
-	lm.cond.Broadcast()
-}
+func (lm *LockManager) ClearDoomed(root string) { lm.det.clearDoomed(root) }
 
 // Doomed reports whether the root was chosen as a deadlock victim.
-func (lm *LockManager) Doomed(root string) bool {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	return lm.doomed[root]
-}
+func (lm *LockManager) Doomed(root string) bool { return lm.det.isDoomed(root) }
 
-// Snapshot returns a copy of the counters.
+// Snapshot returns a copy of the counters. It reads atomics only — no
+// lock-table mutex is taken, so monitoring never contends with acquires.
 func (lm *LockManager) Snapshot() Stats {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	return lm.stats
+	return Stats{
+		Acquires:  lm.stats.acquires.Load(),
+		Blocked:   lm.stats.blocked.Load(),
+		Deadlocks: lm.stats.deadlocks.Load(),
+		Timeouts:  lm.stats.timeouts.Load(),
+		WaitTime:  time.Duration(lm.stats.waitNanos.Load()),
+	}
 }
 
 // String renders the lock table for debugging.
 func (lm *LockManager) String() string {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
 	var b strings.Builder
-	for res, st := range lm.locks {
-		if len(st.granted) == 0 {
-			continue
+	for _, sh := range lm.shards {
+		sh.mu.Lock()
+		for res, st := range sh.locks {
+			if len(st.granted) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%s:", res.Name)
+			for _, g := range st.granted {
+				fmt.Fprintf(&b, " %s/%s", g.owner, g.mode)
+			}
+			b.WriteByte('\n')
 		}
-		fmt.Fprintf(&b, "%s:", res.Name)
-		for _, g := range st.granted {
-			fmt.Fprintf(&b, " %s/%s", g.owner, g.mode)
-		}
-		b.WriteByte('\n')
+		sh.mu.Unlock()
 	}
 	return b.String()
 }

@@ -201,9 +201,7 @@ func TestDeadlockDetection(t *testing.T) {
 
 func TestDoomedFailsFast(t *testing.T) {
 	lm := NewLockManager()
-	lm.mu.Lock()
-	lm.doomed["T9"] = true
-	lm.mu.Unlock()
+	lm.det.forceDoom("T9")
 	if err := lm.Acquire("T9.1", res("A"), X); !errors.Is(err, ErrDoomed) {
 		t.Fatalf("err = %v, want ErrDoomed", err)
 	}
@@ -294,15 +292,15 @@ func TestRootOfAndSeq(t *testing.T) {
 		t.Fatal("txnSeq wrong")
 	}
 	lm := NewLockManager()
-	if lm.youngestLocked([]string{"T3", "T12", "T7"}) != "T12" {
+	if lm.det.youngest([]string{"T3", "T12", "T7"}) != "T12" {
 		t.Fatal("youngest wrong")
 	}
 	lm.SetAge("T3", 99)
-	if lm.youngestLocked([]string{"T3", "T12", "T7"}) != "T3" {
+	if lm.det.youngest([]string{"T3", "T12", "T7"}) != "T3" {
 		t.Fatal("SetAge must override the id-derived age")
 	}
 	lm.ReleaseTree("T3")
-	if lm.youngestLocked([]string{"T3", "T12", "T7"}) != "T12" {
+	if lm.det.youngest([]string{"T3", "T12", "T7"}) != "T12" {
 		t.Fatal("ReleaseTree must clear the age override")
 	}
 }
@@ -493,9 +491,7 @@ func TestRestartAgeBeatsStarvation(t *testing.T) {
 // re-chosen as victim against a younger transaction.
 func TestClearDoomedAllowsRollbackAcquires(t *testing.T) {
 	lm := NewLockManager()
-	lm.mu.Lock()
-	lm.doomed["T3"] = true
-	lm.mu.Unlock()
+	lm.det.forceDoom("T3")
 	if err := lm.Acquire("T3.1", res("A"), X); !errors.Is(err, ErrDoomed) {
 		t.Fatalf("doomed acquire: %v", err)
 	}
@@ -504,7 +500,7 @@ func TestClearDoomedAllowsRollbackAcquires(t *testing.T) {
 		t.Fatalf("post-clear acquire: %v", err)
 	}
 	// Age 0 means T3 now always wins victim selection.
-	if lm.youngestLocked([]string{"T3", "T1"}) != "T1" {
+	if lm.det.youngest([]string{"T3", "T1"}) != "T1" {
 		t.Fatal("cleared transaction must have top priority")
 	}
 	lm.ReleaseTree("T3")
@@ -522,10 +518,7 @@ func TestFairnessPreventsReaderBarging(t *testing.T) {
 	go func() { writer <- lm.Acquire("T2", res("P"), X) }()
 	// Wait until the writer is queued.
 	for i := 0; ; i++ {
-		lm.mu.Lock()
-		queued := len(lm.locks[res("P")].waiting) == 1
-		lm.mu.Unlock()
-		if queued {
+		if lm.waiterCount(res("P")) == 1 {
 			break
 		}
 		if i > 200 {

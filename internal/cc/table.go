@@ -1,0 +1,111 @@
+package cc
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The lock table is partitioned into power-of-two shards so unrelated
+// resources never contend on one mutex. Each resource hashes to one shard;
+// every lockState carries its own condition variable (on the shard mutex),
+// so releasing a resource wakes only that resource's waiters instead of
+// every blocked transaction in the system.
+type lockShard struct {
+	mu    sync.Mutex
+	locks map[Resource]*lockState
+}
+
+type lockState struct {
+	granted []grant
+	// waiting holds blocked requests in arrival order; only consulted when
+	// fairness is enabled.
+	waiting []*waiter
+	// cond wakes this resource's blocked acquires; its Locker is the
+	// owning shard's mutex.
+	cond *sync.Cond
+	// sleepers counts goroutines parked on cond. A state with grants,
+	// queued waiters or sleepers must not be garbage-collected.
+	sleepers int
+}
+
+// state returns the lockState for res, creating it if needed. Caller holds
+// sh.mu.
+func (sh *lockShard) state(res Resource) *lockState {
+	st, ok := sh.locks[res]
+	if !ok {
+		st = &lockState{cond: sync.NewCond(&sh.mu)}
+		sh.locks[res] = st
+	}
+	return st
+}
+
+// gcLocked drops res's state when it is completely idle, bounding the
+// table's memory under churning resource populations. Caller holds sh.mu.
+func (sh *lockShard) gcLocked(res Resource) {
+	if st, ok := sh.locks[res]; ok &&
+		len(st.granted) == 0 && len(st.waiting) == 0 && st.sleepers == 0 {
+		delete(sh.locks, res)
+	}
+}
+
+// defaultShardCount sizes the table to the machine: the next power of two
+// at or above GOMAXPROCS, clamped to [1, 256].
+func defaultShardCount() int {
+	return normalizeShardCount(runtime.GOMAXPROCS(0))
+}
+
+// normalizeShardCount rounds n up to a power of two within [1, 256].
+func normalizeShardCount(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > 256 {
+		n = 256
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardFor hashes a resource to its shard (FNV-1a over type and name, with
+// a separator so ("ab","c") and ("a","bc") differ).
+func (lm *LockManager) shardFor(res Resource) *lockShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(res.Type); i++ {
+		h = (h ^ uint64(res.Type[i])) * prime64
+	}
+	h = (h ^ 0xff) * prime64
+	for i := 0; i < len(res.Name); i++ {
+		h = (h ^ uint64(res.Name[i])) * prime64
+	}
+	return lm.shards[h&lm.shardMask]
+}
+
+// waiterCount returns the number of queued FIFO tokens on res (fairness
+// mode only; diagnostics and tests).
+func (lm *LockManager) waiterCount(res Resource) int {
+	sh := lm.shardFor(res)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st, ok := sh.locks[res]; ok {
+		return len(st.waiting)
+	}
+	return 0
+}
+
+// removeWaiter unlinks a queued FIFO token. Caller holds the shard mutex.
+func (st *lockState) removeWaiter(w *waiter) {
+	kept := st.waiting[:0]
+	for _, q := range st.waiting {
+		if q != w {
+			kept = append(kept, q)
+		}
+	}
+	st.waiting = kept
+}

@@ -165,6 +165,10 @@ type Options struct {
 	// served in arrival order, so streams of commuting operations cannot
 	// starve a conflicting one.
 	FairLocks bool
+	// LockShards overrides the lock table's shard count (rounded up to a
+	// power of two, default GOMAXPROCS). 1 reproduces a single-mutex
+	// table — useful for contention ablations.
+	LockShards int
 	// Store and WAL, when non-nil, attach the engine to an existing disk
 	// image and log instead of fresh ones — the restart path of crash
 	// recovery (internal/recovery).
@@ -186,6 +190,9 @@ func Open(opts Options) *DB {
 	}
 	if opts.FairLocks {
 		lmOpts = append(lmOpts, cc.WithFairness())
+	}
+	if opts.LockShards > 0 {
+		lmOpts = append(lmOpts, cc.WithShards(opts.LockShards))
 	}
 	store := opts.Store
 	if store == nil {
@@ -258,6 +265,9 @@ func (db *DB) Registry() *commut.Registry { return db.registry }
 
 // LockStats returns the lock manager counters.
 func (db *DB) LockStats() cc.Stats { return db.lm.Snapshot() }
+
+// LockShardCount returns the lock table's shard count.
+func (db *DB) LockShardCount() int { return db.lm.ShardCount() }
 
 // Stats returns the engine counters.
 func (db *DB) Stats() Stats {

@@ -39,6 +39,10 @@ type Online struct {
 	primitive map[string]bool
 
 	actions map[string]*txn.Action
+	// aborted records the ids of aborted events AND of events under an
+	// aborted ancestor, so a whole rolled-back subtree is skipped silently
+	// instead of tripping the unknown-parent check.
+	aborted map[string]bool
 	onObj   map[txn.OID][]*txn.Action
 	primSeq int
 
@@ -67,6 +71,7 @@ func NewOnline(reg *commut.Registry, primitiveTypes ...string) *Online {
 		reg:       reg,
 		primitive: prim,
 		actions:   make(map[string]*txn.Action),
+		aborted:   make(map[string]bool),
 		onObj:     make(map[txn.OID][]*txn.Action),
 		actDep:    make(map[txn.OID]*graph.Digraph),
 		tranDep:   make(map[txn.OID]*graph.Digraph),
@@ -98,6 +103,13 @@ func (o *Online) OK() bool { return o.violation == nil }
 // violation is NOT an error — check OK/Violation.
 func (o *Online) Add(ev StreamEvent) error {
 	if ev.Aborted {
+		o.aborted[ev.ID] = true
+		return nil
+	}
+	if ev.Parent != "" && o.aborted[ev.Parent] {
+		// A child of an aborted action is part of the rolled-back subtree;
+		// remember its id so ITS children are skipped too.
+		o.aborted[ev.ID] = true
 		return nil
 	}
 	if _, dup := o.actions[ev.ID]; dup {

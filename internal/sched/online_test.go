@@ -174,6 +174,45 @@ func TestOnlineStreamValidation(t *testing.T) {
 	}
 }
 
+// TestOnlineAbortedSubtreeSkipped: descendants of an aborted action are
+// part of the rolled-back subtree and must be skipped silently, not fail
+// the "action before its parent" stream check.
+func TestOnlineAbortedSubtreeSkipped(t *testing.T) {
+	on := NewOnline(paperex.Registry())
+	if err := on.Add(StreamEvent{ID: "T9", ObjType: "system", ObjName: "S", Method: "T9", Aborted: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Child and grandchild of the aborted root arrive without the Aborted
+	// flag (e.g. the recorder marked only the subtree root): both skipped.
+	if err := on.Add(StreamEvent{ID: "T9.1", Parent: "T9", ObjType: "node", ObjName: "N", Method: "insert"}); err != nil {
+		t.Fatalf("child of aborted parent: %v", err)
+	}
+	if err := on.Add(StreamEvent{ID: "T9.1.1", Parent: "T9.1", ObjType: "page", ObjName: "P", Method: "write"}); err != nil {
+		t.Fatalf("grandchild of aborted parent: %v", err)
+	}
+	if !on.OK() {
+		t.Fatal("aborted subtree must not affect the verdict")
+	}
+	// The skipped subtree left no dependency state behind.
+	if on.ActDeps(txn.OID{Type: "page", Name: "P"}) != nil {
+		t.Fatal("aborted writes must not create dependencies")
+	}
+	// A live transaction on the same objects still certifies normally.
+	if err := on.Add(StreamEvent{ID: "T10", ObjType: "system", ObjName: "S", Method: "T10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := on.Add(StreamEvent{ID: "T10.1", Parent: "T10", ObjType: "page", ObjName: "P", Method: "write"}); err != nil {
+		t.Fatal(err)
+	}
+	if !on.OK() {
+		t.Fatal("live traffic after an aborted subtree must validate")
+	}
+	// An orphan whose parent never appeared still fails.
+	if err := on.Add(StreamEvent{ID: "T11.1", Parent: "T11", ObjType: "page", ObjName: "P", Method: "read"}); err == nil {
+		t.Fatal("orphan with unknown (non-aborted) parent must fail")
+	}
+}
+
 // Property: on random extension-free systems, the online verdict matches
 // the batch verdict.
 func TestPropertyOnlineMatchesBatch(t *testing.T) {

@@ -16,10 +16,19 @@ type Frame struct {
 	mu    sync.RWMutex
 	data  string
 	dirty bool
+	// loadErr records a failed load from the store. It is written under the
+	// exclusive latch the loading fetcher holds across the I/O, so every
+	// concurrent fetcher that pinned the in-flight frame observes it once
+	// the latch is released.
+	loadErr error
 
 	// pool bookkeeping, guarded by the pool's mutex.
 	pins    int
 	lruElem *list.Element
+	// loading is true while the creating fetcher still holds the exclusive
+	// latch across its store read; concurrent fetchers of the frame must
+	// wait on the latch and re-check loadErr before using it.
+	loading bool
 }
 
 // RLatch acquires the frame's shared latch.
@@ -79,62 +88,121 @@ func (bp *BufferPool) Store() Store { return bp.store }
 // Every successful fetch must be paired with an Unpin.
 func (bp *BufferPool) FetchPage(id PageID) (*Frame, error) {
 	bp.mu.Lock()
-	if f, ok := bp.frames[id]; ok {
-		bp.hits++
-		f.pins++
-		if f.lruElem != nil {
-			bp.lru.Remove(f.lruElem)
-			f.lruElem = nil
+	for {
+		if f, ok := bp.frames[id]; ok {
+			bp.hits++
+			f.pins++
+			if f.lruElem != nil {
+				bp.lru.Remove(f.lruElem)
+				f.lruElem = nil
+			}
+			loading := f.loading
+			bp.mu.Unlock()
+			if loading {
+				// A concurrent loader holds the exclusive latch across its
+				// I/O; wait for it and surface its failure instead of
+				// handing out a frame with empty data.
+				f.mu.RLock()
+				err := f.loadErr
+				f.mu.RUnlock()
+				if err != nil {
+					// The loader already removed the frame from the pool;
+					// just drop our pin on the orphan.
+					bp.mu.Lock()
+					f.pins--
+					bp.mu.Unlock()
+					return nil, err
+				}
+			}
+			return f, nil
 		}
-		bp.mu.Unlock()
-		return f, nil
+		if len(bp.frames) < bp.capacity {
+			break
+		}
+		if err := bp.evictOneLocked(); err != nil {
+			bp.mu.Unlock()
+			return nil, err
+		}
+		// evictOneLocked may drop bp.mu around store I/O, so another fetcher
+		// can have installed the frame meanwhile; re-check the map.
 	}
 	bp.misses++
-	if err := bp.evictLocked(); err != nil {
-		bp.mu.Unlock()
-		return nil, err
-	}
 	// Reserve the slot before dropping the pool lock for I/O so concurrent
 	// fetchers of the same page share one frame.
-	f := &Frame{ID: id, pins: 1}
+	f := &Frame{ID: id, pins: 1, loading: true}
 	f.mu.Lock() // hold the frame latch across the load
 	bp.frames[id] = f
 	bp.mu.Unlock()
 
 	data, err := bp.store.Read(id)
 	if err != nil {
-		f.mu.Unlock()
+		f.loadErr = err
 		bp.mu.Lock()
 		delete(bp.frames, id)
+		f.loading = false
 		bp.mu.Unlock()
+		f.mu.Unlock()
 		return nil, err
 	}
 	f.data = data
+	bp.mu.Lock()
+	f.loading = false
+	bp.mu.Unlock()
 	f.mu.Unlock()
 	return f, nil
 }
 
-// evictLocked makes room for one more frame. Caller holds bp.mu.
-func (bp *BufferPool) evictLocked() error {
-	for len(bp.frames) >= bp.capacity {
-		elem := bp.lru.Front()
-		if elem == nil {
-			return fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", len(bp.frames))
-		}
-		victim := elem.Value.(*Frame)
-		bp.lru.Remove(elem)
-		victim.lruElem = nil
-		delete(bp.frames, victim.ID)
-		bp.evictions++
+// evictOneLocked evicts one unpinned frame, writing a dirty victim back to
+// the store BEFORE removing it from the pool — a failed write-back must not
+// drop the only copy of the page. The store I/O happens with bp.mu
+// released (the caller must re-check any map lookups afterwards); the
+// victim is pinned across the window so it cannot be evicted twice.
+// Returns with bp.mu held. A nil return means progress was made, not
+// necessarily that a frame was freed: a victim re-fetched during write-back
+// stays cached and the caller re-evaluates capacity.
+func (bp *BufferPool) evictOneLocked() error {
+	elem := bp.lru.Front()
+	if elem == nil {
+		return fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", len(bp.frames))
+	}
+	victim := elem.Value.(*Frame)
+	bp.lru.Remove(elem)
+	victim.lruElem = nil
+	if victim.dirty {
+		victim.pins++
+		bp.mu.Unlock()
+		victim.mu.Lock()
+		var err error
 		if victim.dirty {
-			// The victim is unpinned, so no latch holder exists; writing
-			// without the latch is safe under bp.mu.
-			if err := bp.store.Write(victim.ID, victim.data); err != nil {
-				return err
+			if err = bp.store.Write(victim.ID, victim.data); err == nil {
+				victim.dirty = false
 			}
-			victim.dirty = false
+		}
+		victim.mu.Unlock()
+		bp.mu.Lock()
+		victim.pins--
+		if err != nil {
+			// Keep the dirty page cached and evictable; its data survives
+			// for a later retry or FlushAll.
+			if victim.pins == 0 && victim.lruElem == nil {
+				victim.lruElem = bp.lru.PushBack(victim)
+			}
+			return err
+		}
+		if victim.pins > 0 || victim.lruElem != nil {
+			// Someone re-fetched the page during the write-back; it is no
+			// longer a victim.
+			return nil
+		}
+		if victim.dirty {
+			// Re-dirtied (fetched, modified, unpinned) during the window;
+			// it needs another write-back before it may be dropped.
+			victim.lruElem = bp.lru.PushBack(victim)
+			return nil
 		}
 	}
+	delete(bp.frames, victim.ID)
+	bp.evictions++
 	return nil
 }
 

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/commut"
+	"repro/internal/txn"
+)
+
+// LockStressConfig drives RunLockStress, the lock-table microbenchmark. It
+// bypasses the engine entirely and hammers the cc.LockManager directly, so
+// the numbers isolate lock-table overhead (shard mutexes, grant checks,
+// detector charging) from page I/O and method dispatch.
+type LockStressConfig struct {
+	// Goroutines is the number of concurrent clients (default GOMAXPROCS).
+	Goroutines int
+	// TxnsPerGoroutine is how many acquire-all/release-all cycles each
+	// client runs (default 2000).
+	TxnsPerGoroutine int
+	// LocksPerTxn is how many objects each cycle locks (default 4).
+	LocksPerTxn int
+	// Objects is the object-space size (default 1024). Far more objects
+	// than shards keeps data conflicts rare while every acquire still
+	// crosses the table, so a single table mutex — shards=1 — becomes the
+	// bottleneck as goroutines grow.
+	Objects int
+	// Shards overrides the lock table's shard count; 0 takes the manager
+	// default (GOMAXPROCS rounded up to a power of two).
+	Shards int
+	// ConflictPct is the percentage of acquires in exclusive mode; the
+	// rest are pairwise-commuting semantic inserts (distinct keys), which
+	// grant without blocking regardless of placement.
+	ConflictPct int
+	Seed        int64
+	// Timeout bounds lock waits (default 2s).
+	Timeout time.Duration
+	// Fair enables FIFO fairness.
+	Fair bool
+}
+
+func (c *LockStressConfig) fillDefaults() {
+	if c.Goroutines <= 0 {
+		c.Goroutines = runtime.GOMAXPROCS(0)
+	}
+	if c.TxnsPerGoroutine <= 0 {
+		c.TxnsPerGoroutine = 2000
+	}
+	if c.LocksPerTxn <= 0 {
+		c.LocksPerTxn = 4
+	}
+	if c.Objects <= 0 {
+		c.Objects = 1024
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+}
+
+// RunLockStress runs the contended multi-object lock-table workload and
+// reports the usual metrics. Each "transaction" is a fresh owner that
+// acquires LocksPerTxn locks on random objects and then releases its tree;
+// deadlock victims and timeouts abort the cycle (counted, not retried).
+func RunLockStress(cfg LockStressConfig) (Result, error) {
+	cfg.fillDefaults()
+	var opts []cc.Option
+	if cfg.Shards > 0 {
+		opts = append(opts, cc.WithShards(cfg.Shards))
+	}
+	if cfg.Timeout > 0 {
+		opts = append(opts, cc.WithWaitTimeout(cfg.Timeout))
+	}
+	if cfg.Fair {
+		opts = append(opts, cc.WithFairness())
+	}
+	lm := cc.NewLockManager(opts...)
+	spec := commut.KeyedSpec([]string{"search"}, []string{"insert"})
+	objects := make([]cc.Resource, cfg.Objects)
+	for i := range objects {
+		objects[i] = txn.OID{Type: "obj", Name: fmt.Sprintf("O%d", i)}
+	}
+
+	var committed, aborted atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(cfg.Seed + int64(g)*6151))
+			for i := 0; i < cfg.TxnsPerGoroutine; i++ {
+				// Owner ids contain no dot: every cycle is its own root
+				// transaction to the manager.
+				owner := fmt.Sprintf("T%d_%d", g+1, i)
+				ok := true
+				for j := 0; j < cfg.LocksPerTxn; j++ {
+					res := objects[rr.Intn(len(objects))]
+					var mode cc.Mode
+					if rr.Intn(100) < cfg.ConflictPct {
+						mode = cc.X
+					} else {
+						mode = cc.Semantic{
+							Inv: commut.Invocation{
+								Method: "insert",
+								Params: []string{fmt.Sprintf("g%d-t%d-%d", g, i, j)},
+							},
+							Spec: spec,
+						}
+					}
+					if err := lm.Acquire(owner, res, mode); err != nil {
+						ok = false
+						break
+					}
+				}
+				lm.ReleaseTree(owner)
+				if ok {
+					committed.Add(1)
+				} else {
+					aborted.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := lm.Snapshot()
+	r := Result{
+		Name:      "lock-stress",
+		Protocol:  fmt.Sprintf("shards=%d", lm.ShardCount()),
+		Workers:   cfg.Goroutines,
+		Committed: committed.Load(),
+		Aborted:   aborted.Load(),
+		Acquires:  snap.Acquires,
+		Blocked:   snap.Blocked,
+		Deadlocks: snap.Deadlocks,
+		Timeouts:  snap.Timeouts,
+		WaitTime:  snap.WaitTime,
+		Elapsed:   elapsed,
+	}
+	if elapsed > 0 {
+		r.Throughput = float64(r.Committed) / elapsed.Seconds()
+	}
+	if r.Acquires > 0 {
+		r.ConflictRate = float64(r.Blocked) / float64(r.Acquires)
+	}
+	return r, nil
+}

@@ -85,6 +85,8 @@ type Config struct {
 	PageIODelay time.Duration
 	// FairLocks enables FIFO lock fairness (see core.Options).
 	FairLocks bool
+	// LockShards overrides the lock table's shard count (see core.Options).
+	LockShards int
 	// TraceFile, when non-empty, writes the recorded trace as JSON for
 	// cmd/schedcheck (implies Validate-style tracing).
 	TraceFile string
@@ -201,6 +203,7 @@ func RunEncyclopedia(cfg Config) (Result, error) {
 		PoolCapacity: 1 << 16,
 		PageIODelay:  cfg.PageIODelay,
 		FairLocks:    cfg.FairLocks,
+		LockShards:   cfg.LockShards,
 	})
 	trees, err := btree.Install(db)
 	if err != nil {
