@@ -151,7 +151,10 @@ func (d *detector) detect(start string) string {
 }
 
 // findCycleLocked returns the roots of a waits-for cycle through start, or
-// nil. Caller holds d.mu.
+// nil. Doomed roots are not traversed: a doomed victim is already aborting
+// (it will wake, discharge its edges and release its locks), so any cycle
+// through its residual edges is already broken — counting them would doom
+// a second, unnecessary victim. Caller holds d.mu.
 func (d *detector) findCycleLocked(start string) []string {
 	var path []string
 	onPath := map[string]bool{}
@@ -162,6 +165,9 @@ func (d *detector) findCycleLocked(start string) []string {
 		onPath[n] = true
 		visited[n] = true
 		for m := range d.waitsFor[n] {
+			if d.doomed[m] {
+				continue
+			}
 			if m == start && len(path) > 0 {
 				return append([]string{}, path...)
 			}

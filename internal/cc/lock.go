@@ -162,6 +162,13 @@ type LockManager struct {
 	debugMu   sync.Mutex
 	debugDump func(string)
 
+	// testUnlockedWindow, when set (tests only, before any Acquire runs),
+	// fires inside acquire's unlocked detector window — after edges are
+	// charged and the cycle search ran, before the shard mutex is
+	// re-acquired. It lets tests deterministically mutate the blocker set in
+	// the window a production race would need to hit.
+	testUnlockedWindow func()
+
 	stats statCounters
 }
 
@@ -279,6 +286,31 @@ func (lm *LockManager) blockers(owner string, st *lockState, mode Mode, mySeq ui
 	return out
 }
 
+// waitEdges derives the waits-for edge multiset (blocking root → count) a
+// blocked acquire of root charges in the detector for a blocker set.
+func waitEdges(root string, bl []blockRef) map[string]int {
+	edges := make(map[string]int)
+	for _, b := range bl {
+		if br := RootOf(b.owner); br != root {
+			edges[br]++
+		}
+	}
+	return edges
+}
+
+// sameEdges reports whether two edge multisets are equal.
+func sameEdges(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for to, n := range a {
+		if b[to] != n {
+			return false
+		}
+	}
+	return true
+}
+
 // Acquire blocks until the owner holds res in the given mode, or returns
 // ErrDeadlock / ErrDoomed / ErrTimeout. Re-acquisition by the same owner
 // and mode is re-entrant.
@@ -300,13 +332,14 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 	sh := lm.shardFor(res)
 
 	var (
-		blocked   bool
-		start     time.Time
-		timedOut  bool // guarded by sh.mu
-		timer     *time.Timer
-		token     *waiter // our FIFO position once blocked (fairness mode)
-		wake      *wakeHandle
-		waitingOn map[string]int // roots this call currently charges in the detector
+		blocked      bool
+		start        time.Time
+		timedOut     bool // guarded by sh.mu
+		timer        *time.Timer
+		token        *waiter // our FIFO position once blocked (fairness mode)
+		wake         *wakeHandle
+		waitingOn    map[string]int // roots this call currently charges in the detector
+		lastBlockers []blockRef     // the blockers observed on the most recent loop pass
 	)
 
 	sh.mu.Lock()
@@ -338,12 +371,16 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 		}
 		if timedOut {
 			lm.stats.timeouts.Add(1)
-			holders := make([]string, 0, len(st.granted))
-			for _, g := range st.granted {
-				holders = append(holders, g.owner+"/"+g.mode.String())
+			// Name the blockers from the last observed set, not the
+			// re-fetched state: the idle state may have been collected and
+			// recreated while the shard lock was dropped, and a fresh grant
+			// set would misreport who caused the wait.
+			held := make([]string, 0, len(lastBlockers))
+			for _, b := range lastBlockers {
+				held = append(held, b.owner+"/"+b.mode.String())
 			}
-			return fmt.Errorf("%w: %s wants %s on %s held by %s",
-				ErrTimeout, owner, mode, res.Name, strings.Join(holders, ", "))
+			return fmt.Errorf("%w: %s wants %s on %s blocked by %s",
+				ErrTimeout, owner, mode, res.Name, strings.Join(held, ", "))
 		}
 		mySeq := ^uint64(0)
 		if token != nil {
@@ -355,6 +392,7 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 			lm.stats.acquires.Add(1)
 			return nil
 		}
+		lastBlockers = bl
 		if !blocked {
 			blocked = true
 			start = time.Now()
@@ -389,16 +427,14 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 		// the shard lock dropped — the detector has its own lock, and a
 		// doomed victim on another shard is woken via its registered wake
 		// callback, which needs that shard's mutex.
-		edges := make(map[string]int)
-		for _, b := range bl {
-			if br := RootOf(b.owner); br != root {
-				edges[br]++
-			}
-		}
 		sh.mu.Unlock()
+		edges := waitEdges(root, bl)
 		lm.det.recharge(root, waitingOn, edges)
 		waitingOn = edges
 		victim := lm.det.detect(root)
+		if fn := lm.testUnlockedWindow; fn != nil {
+			fn()
+		}
 		sh.mu.Lock()
 		st = sh.state(res) // the idle state may have been collected while unlocked
 		if victim == root {
@@ -412,8 +448,19 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 		if token != nil {
 			mySeq = token.seq
 		}
-		if len(lm.blockers(owner, st, mode, mySeq)) == 0 {
+		bl = lm.blockers(owner, st, mode, mySeq)
+		if len(bl) == 0 {
 			continue // unblocked while the detector ran; grant at loop top
+		}
+		lastBlockers = bl
+		if !sameEdges(waitEdges(root, bl), waitingOn) {
+			// The blocker set changed during the unlocked window: a charged
+			// holder released (its broadcast was lost — we were not yet
+			// sleeping) and another transaction barged in. Sleeping now would
+			// leave the detector charged with stale waits-for edges, hiding
+			// any cycle that forms through the new blockers; go back to the
+			// loop top to recharge and re-run detection instead.
+			continue
 		}
 		st.sleepers++
 		st.cond.Wait()

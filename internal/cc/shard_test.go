@@ -396,3 +396,103 @@ func TestSemanticCommutingScalesWithoutBlocking(t *testing.T) {
 		t.Fatalf("commuting inserts blocked %d times", lm.Snapshot().Blocked)
 	}
 }
+
+// TestDeadlockAcrossUnlockedWindow: while a blocked acquire runs the
+// detector with its shard lock dropped, the holder it charged an edge
+// against can release (the broadcast is lost — the waiter is not yet
+// sleeping) and a new holder can barge in. The waiter must notice the
+// swapped blocker and recharge before sleeping; otherwise the cycle that
+// then forms through the new holder is invisible to the detector — the
+// waiter is charged against the departed holder — and with no wait timeout
+// both transactions hang forever.
+func TestDeadlockAcrossUnlockedWindow(t *testing.T) {
+	lm := NewLockManager()
+	a, b := res("A"), res("B")
+	if err := lm.Acquire("T1", a, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire("T2", b, X); err != nil {
+		t.Fatal(err)
+	}
+	swapped := make(chan struct{})
+	var once sync.Once
+	lm.testUnlockedWindow = func() {
+		once.Do(func() {
+			// T2 has charged T2→T1 and found no cycle; before it re-checks
+			// its blockers, swap A's holder from T1 to T3.
+			lm.Release("T1", a)
+			if err := lm.Acquire("T3", a, X); err != nil {
+				t.Error(err)
+			}
+			close(swapped)
+		})
+	}
+	t2 := make(chan error, 1)
+	go func() { t2 <- lm.Acquire("T2", a, X) }()
+	<-swapped
+	t3 := make(chan error, 1)
+	go func() { t3 <- lm.Acquire("T3", b, X) }() // closes the cycle T3→T2→T3
+	select {
+	case err := <-t3:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("T3: err = %v, want ErrDeadlock", err)
+		}
+	case err := <-t2:
+		t.Fatalf("T2 returned %v before the cycle resolved", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("missed deadlock: the stale waits-for edge hid the cycle")
+	}
+	lm.ReleaseTree("T3")
+	select {
+	case err := <-t2:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("T2 never woke after the victim released")
+	}
+	lm.ReleaseTree("T2")
+}
+
+// TestDetectSkipsDoomedNodes: a doomed victim's waits-for edges stay
+// charged until it wakes and discharges them; a cycle that exists only
+// through those residual edges is already broken by the victim's abort and
+// must not doom a second victim.
+func TestDetectSkipsDoomedNodes(t *testing.T) {
+	d := newDetector()
+	d.recharge("T1", nil, map[string]int{"T2": 1})
+	d.recharge("T2", nil, map[string]int{"T1": 1})
+	d.forceDoom("T2")
+	if v := d.detect("T1"); v != "" {
+		t.Fatalf("detect through a doomed node chose victim %q, want none", v)
+	}
+	// Once the doomed victim has discharged and recovered, the same shape
+	// is a real cycle again.
+	d.forget("T2")
+	if v := d.detect("T1"); v != "T2" {
+		t.Fatalf("victim = %q, want T2", v)
+	}
+}
+
+// TestSameEdges pins the multiset comparison the sleep re-check relies on.
+func TestSameEdges(t *testing.T) {
+	cases := []struct {
+		a, b map[string]int
+		want bool
+	}{
+		{nil, nil, true},
+		{map[string]int{}, nil, true},
+		{map[string]int{"T1": 1}, map[string]int{"T1": 1}, true},
+		{map[string]int{"T1": 1}, map[string]int{"T1": 2}, false},
+		{map[string]int{"T1": 1}, map[string]int{"T2": 1}, false},
+		{map[string]int{"T1": 1, "T2": 1}, map[string]int{"T1": 1}, false},
+	}
+	for i, c := range cases {
+		if got := sameEdges(c.a, c.b); got != c.want {
+			t.Errorf("case %d: sameEdges(%v, %v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+		if got := sameEdges(c.b, c.a); got != c.want {
+			t.Errorf("case %d (flipped): got %v, want %v", i, got, c.want)
+		}
+	}
+}

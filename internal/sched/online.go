@@ -41,7 +41,9 @@ type Online struct {
 	actions map[string]*txn.Action
 	// aborted records the ids of aborted events AND of events under an
 	// aborted ancestor, so a whole rolled-back subtree is skipped silently
-	// instead of tripping the unknown-parent check.
+	// instead of tripping the unknown-parent check. This relies on the
+	// dispatch-order stream contract (see Add); entries live until the
+	// caller prunes them with PruneAborted.
 	aborted map[string]bool
 	onObj   map[txn.OID][]*txn.Action
 	primSeq int
@@ -101,6 +103,14 @@ func (o *Online) OK() bool { return o.violation == nil }
 // Add ingests one event. It returns an error for malformed streams
 // (unknown parents, duplicate ids, call cycles); a serializability
 // violation is NOT an error — check OK/Violation.
+//
+// Stream contract: events arrive in dispatch order, so an action's event
+// precedes every descendant's. Aborts are carried on the dispatch records
+// themselves (trace.Recorder's MarkAborted flags the whole recorded
+// subtree), which means an aborted parent's record — flag already set —
+// precedes its children's; a child whose parent is neither known nor
+// aborted is therefore a malformed stream, not a reordering, and Add
+// reports it as the unknown-parent error.
 func (o *Online) Add(ev StreamEvent) error {
 	if ev.Aborted {
 		o.aborted[ev.ID] = true
@@ -247,6 +257,18 @@ func (o *Online) addGlobal(from, to string) {
 		return
 	}
 	o.global.AddEdge(from, to)
+}
+
+// PruneAborted forgets the given aborted ids. The aborted set otherwise
+// grows for the lifetime of the stream (there is no end-of-subtree marker
+// in the event shape), so a long-lived certifier should prune a subtree's
+// ids once it knows no more of its events can arrive — e.g. after the
+// transaction's rollback completed. Pruning too early re-exposes late
+// descendants to the unknown-parent error.
+func (o *Online) PruneAborted(ids ...string) {
+	for _, id := range ids {
+		delete(o.aborted, id)
+	}
 }
 
 // TranDeps exposes an object's transaction dependency relation (nil if the

@@ -279,3 +279,27 @@ func BenchmarkOnlineAdd(b *testing.B) {
 		}
 	}
 }
+
+// TestOnlinePruneAborted: the aborted set has no automatic expiry (the
+// stream carries no end-of-subtree marker), so callers bound it with
+// PruneAborted once a subtree's events can no longer arrive; a pruned
+// subtree's late descendants revert to the unknown-parent error.
+func TestOnlinePruneAborted(t *testing.T) {
+	on := NewOnline(paperex.Registry())
+	if err := on.Add(StreamEvent{ID: "T9", ObjType: "system", ObjName: "S", Method: "T9", Aborted: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := on.Add(StreamEvent{ID: "T9.1", Parent: "T9", ObjType: "node", ObjName: "N", Method: "insert"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(on.aborted) != 2 {
+		t.Fatalf("aborted set = %v, want the root and its child", on.aborted)
+	}
+	on.PruneAborted("T9", "T9.1")
+	if len(on.aborted) != 0 {
+		t.Fatalf("aborted set = %v after pruning, want empty", on.aborted)
+	}
+	if err := on.Add(StreamEvent{ID: "T9.2", Parent: "T9", ObjType: "page", ObjName: "P", Method: "read"}); err == nil {
+		t.Fatal("descendant arriving after its subtree was pruned must fail the stream check")
+	}
+}

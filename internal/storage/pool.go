@@ -154,56 +154,73 @@ func (bp *BufferPool) FetchPage(id PageID) (*Frame, error) {
 
 // evictOneLocked evicts one unpinned frame, writing a dirty victim back to
 // the store BEFORE removing it from the pool — a failed write-back must not
-// drop the only copy of the page. The store I/O happens with bp.mu
-// released (the caller must re-check any map lookups afterwards); the
-// victim is pinned across the window so it cannot be evicted twice.
-// Returns with bp.mu held. A nil return means progress was made, not
-// necessarily that a frame was freed: a victim re-fetched during write-back
-// stays cached and the caller re-evaluates capacity.
+// drop the only copy of the page. A failed victim is requeued (still dirty,
+// still evictable) and the next LRU candidate is tried, so one page whose
+// write-back persistently fails does not starve fetches that could evict a
+// clean frame; the first write error is surfaced only when no candidate
+// could be evicted. The store I/O happens with bp.mu released (the caller
+// must re-check any map lookups afterwards); each victim is pinned across
+// its window so it cannot be evicted twice. Returns with bp.mu held. A nil
+// return means progress was made, not necessarily that a frame was freed: a
+// victim re-fetched during write-back stays cached and the caller
+// re-evaluates capacity.
 func (bp *BufferPool) evictOneLocked() error {
-	elem := bp.lru.Front()
-	if elem == nil {
-		return fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", len(bp.frames))
-	}
-	victim := elem.Value.(*Frame)
-	bp.lru.Remove(elem)
-	victim.lruElem = nil
-	if victim.dirty {
-		victim.pins++
-		bp.mu.Unlock()
-		victim.mu.Lock()
-		var err error
-		if victim.dirty {
-			if err = bp.store.Write(victim.ID, victim.data); err == nil {
-				victim.dirty = false
-			}
+	var firstErr error
+	// Bound the pass by the LRU length on entry: failed victims are pushed
+	// to the back and must not be retried within the same pass.
+	for attempts := bp.lru.Len(); attempts > 0; attempts-- {
+		elem := bp.lru.Front()
+		if elem == nil {
+			break
 		}
-		victim.mu.Unlock()
-		bp.mu.Lock()
-		victim.pins--
-		if err != nil {
-			// Keep the dirty page cached and evictable; its data survives
-			// for a later retry or FlushAll.
-			if victim.pins == 0 && victim.lruElem == nil {
+		victim := elem.Value.(*Frame)
+		bp.lru.Remove(elem)
+		victim.lruElem = nil
+		if victim.dirty {
+			victim.pins++
+			bp.mu.Unlock()
+			victim.mu.Lock()
+			var err error
+			if victim.dirty {
+				if err = bp.store.Write(victim.ID, victim.data); err == nil {
+					victim.dirty = false
+				}
+			}
+			victim.mu.Unlock()
+			bp.mu.Lock()
+			victim.pins--
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				// Keep the dirty page cached and evictable; its data
+				// survives for a later retry or FlushAll. Try the next
+				// candidate.
+				if victim.pins == 0 && victim.lruElem == nil {
+					victim.lruElem = bp.lru.PushBack(victim)
+				}
+				continue
+			}
+			if victim.pins > 0 || victim.lruElem != nil {
+				// Someone re-fetched the page during the write-back; it is no
+				// longer a victim.
+				return nil
+			}
+			if victim.dirty {
+				// Re-dirtied (fetched, modified, unpinned) during the window;
+				// it needs another write-back before it may be dropped.
 				victim.lruElem = bp.lru.PushBack(victim)
+				return nil
 			}
-			return err
 		}
-		if victim.pins > 0 || victim.lruElem != nil {
-			// Someone re-fetched the page during the write-back; it is no
-			// longer a victim.
-			return nil
-		}
-		if victim.dirty {
-			// Re-dirtied (fetched, modified, unpinned) during the window;
-			// it needs another write-back before it may be dropped.
-			victim.lruElem = bp.lru.PushBack(victim)
-			return nil
-		}
+		delete(bp.frames, victim.ID)
+		bp.evictions++
+		return nil
 	}
-	delete(bp.frames, victim.ID)
-	bp.evictions++
-	return nil
+	if firstErr != nil {
+		return firstErr
+	}
+	return fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", len(bp.frames))
 }
 
 // Unpin releases one pin. When the pin count reaches zero the frame becomes

@@ -16,8 +16,10 @@ type faultStore struct {
 	mu        sync.Mutex
 	failReads bool
 	failWrite bool
-	readGate  chan struct{} // when non-nil, Read blocks until closed
-	writeGate chan struct{} // when non-nil, Write blocks until closed
+	// failWriteOnly narrows failWrite to a single page when non-nil.
+	failWriteOnly *PageID
+	readGate      chan struct{} // when non-nil, Read blocks until closed
+	writeGate     chan struct{} // when non-nil, Write blocks until closed
 }
 
 var errInjected = errors.New("injected I/O failure")
@@ -37,12 +39,12 @@ func (s *faultStore) Read(id PageID) (string, error) {
 
 func (s *faultStore) Write(id PageID, data string) error {
 	s.mu.Lock()
-	gate, fail := s.writeGate, s.failWrite
+	gate, fail, only := s.writeGate, s.failWrite, s.failWriteOnly
 	s.mu.Unlock()
 	if gate != nil {
 		<-gate
 	}
-	if fail {
+	if fail && (only == nil || *only == id) {
 		return errInjected
 	}
 	return s.MemStore.Write(id, data)
@@ -274,5 +276,46 @@ func TestEvictRefetchDuringWriteBackStaysCached(t *testing.T) {
 	}
 	if data, _ := s.MemStore.Read(p1); data != "v1-modified" {
 		t.Fatalf("store p1 = %q, want %q", data, "v1-modified")
+	}
+}
+
+// TestEvictSkipsFailingVictim: when the oldest victim's write-back fails,
+// eviction must requeue it and evict the next candidate instead of failing
+// the (unrelated) fetch — one page with a bad write-back must not starve
+// fetches while clean evictable frames exist.
+func TestEvictSkipsFailingVictim(t *testing.T) {
+	s := &faultStore{MemStore: NewMemStore(0)}
+	p1, p2, p3 := s.Allocate(), s.Allocate(), s.Allocate()
+	bp := NewBufferPool(s, 2)
+
+	f, err := bp.FetchPage(p1) // oldest: the first eviction candidate
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Latch()
+	f.SetData("dirty-data")
+	f.Unlatch()
+	bp.Unpin(f)
+	g, err := bp.FetchPage(p2) // clean second candidate
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(g)
+
+	s.set(func(s *faultStore) { s.failWrite = true; s.failWriteOnly = &p1 })
+	h, err := bp.FetchPage(p3)
+	if err != nil {
+		t.Fatalf("fetch should evict the clean candidate past the failing one: %v", err)
+	}
+	bp.Unpin(h)
+
+	// p1 survived the failed write-back, still cached and dirty; a healed
+	// store receives its data.
+	s.set(func(s *faultStore) { s.failWrite = false; s.failWriteOnly = nil })
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := s.MemStore.Read(p1); err != nil || data != "dirty-data" {
+		t.Fatalf("store p1 = %q, %v; want the preserved dirty data", data, err)
 	}
 }
