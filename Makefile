@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test bench
+.PHONY: check build vet test bench bench-wal torture
 
 # The full gate: everything must build, vet clean, and pass under the race
 # detector. CI and pre-commit both run this.
@@ -18,3 +18,11 @@ test:
 # The experiment suite (EXPERIMENTS.md); slow.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Group-commit vs sync-on-commit fsync amortization; writes BENCH_wal.json.
+bench-wal:
+	$(GO) test -bench BenchmarkL1GroupCommit -benchmem -run '^$$' .
+
+# Kill-the-process durability torture (SIGKILL + recover, 5 rounds).
+torture:
+	$(GO) run ./cmd/crashtorture -dir $(or $(TORTURE_DIR),/tmp/oodb-torture) -rounds 5

@@ -14,7 +14,10 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -23,6 +26,7 @@ import (
 	"repro/internal/paperex"
 	"repro/internal/recovery"
 	"repro/internal/sched"
+	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/workload"
 )
@@ -376,6 +380,62 @@ func BenchmarkL1ShardedLockScaling(b *testing.B) {
 					report(b, res)
 				}
 			})
+		}
+	}
+}
+
+// walBenchRow is one BENCH_wal.json series point.
+type walBenchRow struct {
+	Mode      string  `json:"mode"`
+	Workers   int     `json:"workers"`
+	Committed int64   `json:"committed"`
+	Seconds   float64 `json:"seconds"`
+	TxnPerSec float64 `json:"txn_per_sec"`
+}
+
+// BenchmarkL1GroupCommit isolates the group-commit design against the
+// naive per-commit-fsync baseline on the banking workload (uncontended:
+// 512 accounts, no hot spot, so the fsync is the bottleneck, not locks).
+// Sync-on-commit pays one fsync per committed transfer; group commit
+// funnels all concurrent committers through the single flusher, so the
+// fsync count per committed transaction falls with the worker count —
+// at 16 workers the txn/s series should show ≥2× the baseline. The last
+// iteration of each series is appended to BENCH_wal.json.
+func BenchmarkL1GroupCommit(b *testing.B) {
+	var rows []walBenchRow
+	for _, workers := range []int{1, 4, 16} {
+		for _, mode := range []storage.Durability{storage.SyncOnCommit, storage.GroupCommit} {
+			b.Run(fmt.Sprintf("workers=%d/%s", workers, mode), func(b *testing.B) {
+				var last workload.Result
+				for i := 0; i < b.N; i++ {
+					res, err := workload.RunBanking(workload.BankingConfig{
+						Protocol: core.ProtocolOpenNested, Workers: workers,
+						TxnsPerWorker: 30, Accounts: 512, HotPct: 0, Seed: 9,
+						LockTimeout: 2 * time.Second, MaxRetries: 300,
+						Durability:  mode,
+						WALDir:      filepath.Join(b.TempDir(), fmt.Sprintf("wal%d", i)),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					report(b, res)
+					last = res
+				}
+				rows = append(rows, walBenchRow{
+					Mode: mode.String(), Workers: workers,
+					Committed: last.Committed, Seconds: last.Elapsed.Seconds(),
+					TxnPerSec: last.Throughput,
+				})
+			})
+		}
+	}
+	if len(rows) > 0 {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_wal.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,380 @@
+// Command crashtorture kills a live database mid-workload — for real,
+// with SIGKILL — and verifies that restart recovery from the WAL segment
+// files restores a consistent state, round after round on the same
+// directory.
+//
+// The parent re-execs itself as a child (-child) that opens or recovers
+// the WAL directory, funds a fixed set of accounts in one atomic
+// transaction, and hammers random transfers until it is killed at a random
+// moment. Between rounds the parent checks, on a scratch copy of the
+// segment files, that (a) recovery conserves money — the recovered total
+// is exactly the funded total (or zero, if the kill landed before the
+// funding commit was durable) — and (b) recovery is idempotent: a second
+// recovery pass over the already-recovered files finds no losers and
+// changes nothing. The next child round then performs the real recovery on
+// the original directory and keeps going.
+//
+// Usage:
+//
+//	crashtorture -dir /tmp/torture -rounds 5 -accounts 8 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/commut"
+	"repro/internal/core"
+	"repro/internal/recovery"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+const funding = 1000
+
+var acctOID = txn.OID{Type: "acct", Name: "ACCT"}
+
+var (
+	child    = flag.Bool("child", false, "run as the workload child (internal)")
+	dir      = flag.String("dir", "", "WAL segment directory (required)")
+	rounds   = flag.Int("rounds", 5, "kill/recover rounds")
+	accounts = flag.Int("accounts", 8, "bank accounts")
+	workers  = flag.Int("workers", 4, "concurrent transfer workers in the child")
+	minRun   = flag.Duration("min-run", 80*time.Millisecond, "minimum child lifetime before the kill")
+	maxRun   = flag.Duration("max-run", 400*time.Millisecond, "maximum child lifetime before the kill")
+	segSize  = flag.Int64("segsize", 64<<10, "WAL segment size in bytes (small forces rotation)")
+	durMode  = flag.String("durability", "group-commit", "sync-on-commit | group-commit")
+	seed     = flag.Int64("seed", 1, "random seed")
+)
+
+func main() {
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "crashtorture: -dir is required")
+		os.Exit(2)
+	}
+	mode, err := storage.ParseDurability(*durMode)
+	if err != nil || mode == storage.MemOnly {
+		fmt.Fprintf(os.Stderr, "crashtorture: need a durable -durability mode\n")
+		os.Exit(2)
+	}
+	if *child {
+		runChild(mode)
+		return
+	}
+	runParent(mode)
+}
+
+// registerAcct installs the account type with the fixed catalog binding
+// account i ↔ page i+1 — the same binding on every restart, which is what
+// lets recovery's logical undo find the object again.
+func registerAcct(db *core.DB, n int) error {
+	for db.NumPages() < n {
+		db.AllocPage()
+	}
+	page := func(params []string) (txn.OID, error) {
+		i, err := strconv.Atoi(params[0])
+		if err != nil || i < 0 || i >= n {
+			return txn.OID{}, fmt.Errorf("crashtorture: bad account %q", params[0])
+		}
+		return core.PageOID(storage.PageID(i + 1)), nil
+	}
+	return db.RegisterType(&core.ObjectType{
+		Name:     "acct",
+		Spec:     commut.KeyedSpec([]string{"bal"}, []string{"add"}),
+		ReadOnly: map[string]bool{"bal": true},
+		Methods: map[string]core.MethodFunc{
+			"add": func(c *core.Ctx, self txn.OID, params []string) (string, error) {
+				pg, err := page(params)
+				if err != nil {
+					return "", err
+				}
+				delta, err := strconv.Atoi(params[1])
+				if err != nil {
+					return "", err
+				}
+				old, err := c.Call(pg, "readx")
+				if err != nil {
+					return "", err
+				}
+				bal := 0
+				if old != "" {
+					if bal, err = strconv.Atoi(old); err != nil {
+						return "", err
+					}
+				}
+				_, err = c.Call(pg, "write", strconv.Itoa(bal+delta))
+				return old, err
+			},
+			"bal": func(c *core.Ctx, self txn.OID, params []string) (string, error) {
+				pg, err := page(params)
+				if err != nil {
+					return "", err
+				}
+				v, err := c.Call(pg, "read")
+				if err != nil {
+					return "", err
+				}
+				if v == "" {
+					v = "0"
+				}
+				return v, nil
+			},
+		},
+		Compensate: map[string]core.CompensateFunc{
+			"add": func(params []string, result string) (string, []string, bool) {
+				delta, err := strconv.Atoi(params[1])
+				if err != nil {
+					return "", nil, false
+				}
+				return "add", []string{params[0], strconv.Itoa(-delta)}, true
+			},
+		},
+	})
+}
+
+func sumBalances(db *core.DB, n int) (int, error) {
+	tx := db.Begin()
+	total := 0
+	for i := 0; i < n; i++ {
+		v, err := tx.Exec(acctOID, "bal", strconv.Itoa(i))
+		if err != nil {
+			_ = tx.Abort()
+			return 0, err
+		}
+		b, err := strconv.Atoi(v)
+		if err != nil {
+			_ = tx.Abort()
+			return 0, err
+		}
+		total += b
+	}
+	return total, tx.Commit()
+}
+
+// openOrRecover opens a fresh durable engine on an empty directory, or
+// recovers from the existing segment files.
+func openOrRecover(mode storage.Durability, n int) (*core.DB, recovery.Report, error) {
+	opts := core.Options{
+		Durability:     mode,
+		WALDir:         *dir,
+		WALSegmentSize: *segSize,
+		LockTimeout:    5 * time.Second,
+		DisableTrace:   true,
+	}
+	segs, err := filepath.Glob(filepath.Join(*dir, "wal-*.seg"))
+	if err != nil {
+		return nil, recovery.Report{}, err
+	}
+	if len(segs) == 0 {
+		db, err := core.OpenDurable(opts)
+		if err != nil {
+			return nil, recovery.Report{}, err
+		}
+		return db, recovery.Report{}, registerAcct(db, n)
+	}
+	return recovery.RecoverDir(*dir, opts, func(d *core.DB) error {
+		return registerAcct(d, n)
+	})
+}
+
+// runChild is the victim: open/recover, fund if needed, transfer forever.
+func runChild(mode storage.Durability) {
+	db, rep, err := openOrRecover(mode, *accounts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashtorture child: %v\n", err)
+		os.Exit(1)
+	}
+	total, err := sumBalances(db, *accounts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashtorture child: %v\n", err)
+		os.Exit(1)
+	}
+	want := *accounts * funding
+	if total != 0 && total != want {
+		fmt.Fprintf(os.Stderr, "crashtorture child: recovered total %d, want %d or 0 (winners=%d losers=%d)\n",
+			total, want, len(rep.Winners), len(rep.Losers))
+		os.Exit(1)
+	}
+	if total == 0 {
+		// Fund all accounts in ONE transaction: either the whole funding is
+		// recovered or none of it, keeping the total in {0, want}.
+		tx := db.Begin()
+		for i := 0; i < *accounts; i++ {
+			if _, err := tx.Exec(acctOID, "add", strconv.Itoa(i), strconv.Itoa(funding)); err != nil {
+				fmt.Fprintf(os.Stderr, "crashtorture child: funding: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			fmt.Fprintf(os.Stderr, "crashtorture child: funding commit: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("child: up (recovered total=%d winners=%d losers=%d), transferring\n",
+		total, len(rep.Winners), len(rep.Losers))
+
+	var wg sync.WaitGroup
+	for g := 0; g < *workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(*seed + int64(g)*7919 + time.Now().UnixNano()))
+			for {
+				transfer(db, rr, *accounts)
+			}
+		}(g)
+	}
+	wg.Wait() // never returns; the parent SIGKILLs us
+}
+
+// transfer moves a random amount between two accounts, touching them in
+// index order ("add" is keyed-commutative, so the order is free and
+// ordered acquisition avoids deadlock livelock). Aborts are retried by the
+// caller's loop.
+func transfer(db *core.DB, rr *rand.Rand, n int) {
+	from, to := rr.Intn(n), rr.Intn(n)
+	if from == to {
+		to = (to + 1) % n
+	}
+	amt := rr.Intn(50) + 1
+	d1, d2 := -amt, amt
+	if to < from {
+		from, to, d1, d2 = to, from, d2, d1
+	}
+	tx := db.Begin()
+	if _, err := tx.Exec(acctOID, "add", strconv.Itoa(from), strconv.Itoa(d1)); err != nil {
+		_ = tx.Abort()
+		return
+	}
+	if _, err := tx.Exec(acctOID, "add", strconv.Itoa(to), strconv.Itoa(d2)); err != nil {
+		_ = tx.Abort()
+		return
+	}
+	_ = tx.Commit()
+}
+
+// verifyCopy recovers a scratch copy of the segment files twice: the first
+// pass must conserve money, the second must be a no-op (idempotence).
+func verifyCopy(mode storage.Durability, src string, round int) error {
+	scratch, err := os.MkdirTemp("", "crashtorture-verify")
+	if err != nil {
+		return err
+	}
+	failed := true
+	defer func() {
+		if failed {
+			fmt.Fprintf(os.Stderr, "crashtorture: keeping failing image at %s (pristine: %s.orig)\n", scratch, scratch)
+			return
+		}
+		os.RemoveAll(scratch)
+		os.RemoveAll(scratch + ".orig")
+	}()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(scratch+".orig", 0o755); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(scratch, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(scratch+".orig", e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	opts := core.Options{Durability: mode, WALDir: scratch, WALSegmentSize: *segSize, DisableTrace: true}
+	reg := func(d *core.DB) error { return registerAcct(d, *accounts) }
+	want := *accounts * funding
+
+	db1, rep1, err := recovery.RecoverDir(scratch, opts, reg)
+	if err != nil {
+		return fmt.Errorf("first recovery: %w", err)
+	}
+	total1, err := sumBalances(db1, *accounts)
+	if err != nil {
+		return err
+	}
+	if cerr := db1.Close(); cerr != nil {
+		return cerr
+	}
+	if total1 != 0 && total1 != want {
+		return fmt.Errorf("round %d: recovered total %d, want %d or 0", round, total1, want)
+	}
+
+	db2, rep2, err := recovery.RecoverDir(scratch, opts, reg)
+	if err != nil {
+		return fmt.Errorf("second recovery: %w", err)
+	}
+	total2, err := sumBalances(db2, *accounts)
+	if err != nil {
+		return err
+	}
+	if cerr := db2.Close(); cerr != nil {
+		return cerr
+	}
+	if total2 != total1 {
+		return fmt.Errorf("round %d: recovery not idempotent: total %d then %d", round, total1, total2)
+	}
+	if len(rep2.Losers) != 0 {
+		return fmt.Errorf("round %d: second recovery found losers %v", round, rep2.Losers)
+	}
+	fmt.Printf("round %d: verified (total=%d winners=%d losers=%d, idempotent)\n",
+		round, total1, len(rep1.Winners), len(rep1.Losers))
+	failed = false
+	return nil
+}
+
+// runParent spawns, kills, and verifies, round after round.
+func runParent(mode storage.Durability) {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashtorture: %v\n", err)
+		os.Exit(1)
+	}
+	rr := rand.New(rand.NewSource(*seed))
+	for round := 1; round <= *rounds; round++ {
+		cmd := exec.Command(self,
+			"-child", "-dir", *dir,
+			"-accounts", strconv.Itoa(*accounts),
+			"-workers", strconv.Itoa(*workers),
+			"-segsize", strconv.FormatInt(*segSize, 10),
+			"-durability", *durMode,
+			"-seed", strconv.FormatInt(*seed+int64(round), 10),
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "crashtorture: start child: %v\n", err)
+			os.Exit(1)
+		}
+		lifetime := *minRun
+		if spread := *maxRun - *minRun; spread > 0 {
+			lifetime += time.Duration(rr.Int63n(int64(spread)))
+		}
+		time.Sleep(lifetime)
+		if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup, no flush
+			fmt.Fprintf(os.Stderr, "crashtorture: kill child: %v\n", err)
+			os.Exit(1)
+		}
+		_ = cmd.Wait()
+		if err := verifyCopy(mode, *dir, round); err != nil {
+			fmt.Fprintf(os.Stderr, "crashtorture: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("crashtorture: %d rounds survived\n", *rounds)
+}

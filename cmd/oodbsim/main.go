@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/workload"
 )
 
@@ -48,8 +49,24 @@ func main() {
 		ioDelay  = flag.Duration("io", 20*time.Microsecond, "simulated page I/O latency")
 		validate = flag.Bool("validate", false, "validate the trace against Definitions 13/16")
 		traceOut = flag.String("trace", "", "write the encyclopedia workload's trace JSON to this file (single protocol only)")
+		durMode  = flag.String("durability", "mem-only", "WAL durability: mem-only | sync-on-commit | group-commit")
+		walDir   = flag.String("waldir", "", "WAL segment directory (required for durable modes; must be empty/new)")
 	)
 	flag.Parse()
+
+	durability, err := storage.ParseDurability(*durMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oodbsim: %v\n", err)
+		os.Exit(2)
+	}
+	if durability != storage.MemOnly && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "oodbsim: -durability", *durMode, "needs -waldir")
+		os.Exit(2)
+	}
+	if durability != storage.MemOnly && *protocol == "all" {
+		fmt.Fprintln(os.Stderr, "oodbsim: durable modes need a single -protocol (one WAL dir per run)")
+		os.Exit(2)
+	}
 
 	var kinds []core.ProtocolKind
 	var names []string
@@ -87,6 +104,8 @@ func main() {
 				Validate:      *validate,
 				PageIODelay:   *ioDelay,
 				TraceFile:     *traceOut,
+				Durability:    durability,
+				WALDir:        *walDir,
 			})
 		case "coedit":
 			res, err = workload.RunCoEdit(workload.CoEditConfig{
@@ -109,6 +128,8 @@ func main() {
 				Seed:          *seed,
 				Validate:      *validate,
 				PageIODelay:   *ioDelay,
+				Durability:    durability,
+				WALDir:        *walDir,
 			})
 		default:
 			fmt.Fprintf(os.Stderr, "oodbsim: unknown workload %q\n", *wl)

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -129,6 +130,14 @@ type DB struct {
 	wal   *storage.WAL
 	rec   *trace.Recorder
 
+	// snapMu is the crash-snapshot barrier: every multi-step mutation that
+	// must appear atomic in a (disk, log) pair — a page write plus its WAL
+	// record, a rollback restore plus its CLR and discard — holds it shared;
+	// CrashImage holds it exclusively while cloning BOTH the store and the
+	// WAL. Without the barrier a commit interleaving between the two clones
+	// could yield a pair no real crash can produce.
+	snapMu sync.RWMutex
+
 	tracing bool
 	ioDelay time.Duration
 	txnSeq  atomic.Int64
@@ -174,6 +183,17 @@ type Options struct {
 	// recovery (internal/recovery).
 	Store *storage.MemStore
 	WAL   *storage.WAL
+	// Durability selects how the WAL reaches stable storage (default
+	// storage.MemOnly: the log lives in memory, crash recovery works from
+	// CrashImage snapshots). SyncOnCommit and GroupCommit require a file
+	// backing: use OpenDurable (fresh WALDir) or recovery.RecoverDir
+	// (restart), which attach the segment files.
+	Durability storage.Durability
+	// WALDir is the segment-file directory for OpenDurable/RecoverDir.
+	WALDir string
+	// WALSegmentSize overrides the segment rotation threshold in bytes
+	// (default storage.DefaultSegmentSize).
+	WALSegmentSize int64
 }
 
 // Open creates an empty database.
@@ -225,6 +245,57 @@ func Open(opts Options) *DB {
 	}
 	db.registry.Register(PageType, PageSpec())
 	return db
+}
+
+// OpenDurable opens a database whose WAL is backed by segment files in
+// opts.WALDir (created if missing), with opts.Durability selecting
+// per-commit fsync or group commit. It refuses a directory that already
+// holds log records — restarting over an existing log needs redo and undo,
+// which is recovery.RecoverDir's job.
+func OpenDurable(opts Options) (*DB, error) {
+	if opts.Durability == storage.MemOnly {
+		return nil, fmt.Errorf("core: OpenDurable needs Durability sync-on-commit or group-commit")
+	}
+	if opts.WALDir == "" {
+		return nil, fmt.Errorf("core: OpenDurable needs a WALDir")
+	}
+	if opts.WAL != nil {
+		return nil, fmt.Errorf("core: OpenDurable builds the WAL itself; Options.WAL must be nil")
+	}
+	fw, records, err := storage.OpenFileWAL(opts.WALDir, storage.FileWALOptions{
+		SegmentSize: opts.WALSegmentSize,
+		Durability:  opts.Durability,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(records) > 0 {
+		_ = fw.Close()
+		return nil, fmt.Errorf("core: WAL dir %s holds %d records; use recovery.RecoverDir to restart over an existing log", opts.WALDir, len(records))
+	}
+	wal := storage.NewWAL()
+	wal.SetSink(fw)
+	opts.WAL = wal
+	return Open(opts), nil
+}
+
+// Close flushes and closes the WAL's durable backing (if any). The engine
+// itself has no other external resources.
+func (db *DB) Close() error { return db.wal.Close() }
+
+// BumpTxnSeq raises the transaction-id sequence so new transactions get
+// ids strictly greater than n. Restart recovery calls it with the highest
+// id found in the log: ids must stay unique across the log's whole
+// multi-epoch history, or analysis would mistake a previous incarnation's
+// committed T<n> for the crashed epoch's in-flight T<n> and redo its
+// effects without undo.
+func (db *DB) BumpTxnSeq(n int64) {
+	for {
+		cur := db.txnSeq.Load()
+		if cur >= n || db.txnSeq.CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 // PageSpec is the commutativity specification of the built-in page type:
@@ -336,7 +407,16 @@ func (db *DB) DebugLockDump(fn func(string)) { db.lm.SetDebugDump(fn) }
 // (the backing store WITHOUT the buffer pool's unflushed dirty frames) and
 // of the write-ahead log. Hand both to internal/recovery together with the
 // application's object types to bring the database back.
+//
+// Both clones are taken under the exclusive snapshot barrier, so the pair
+// is atomic with respect to every [page mutation + WAL record] critical
+// section: the store can never contain a flushed change whose log record
+// is missing from the WAL clone — the one disk/log combination a real
+// crash cannot produce. (The file-backed WAL is the real kill-the-process
+// twin of this simulation; see cmd/crashtorture.)
 func (db *DB) CrashImage() (*storage.MemStore, *storage.WAL) {
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
 	return db.store.Clone(), db.wal.Clone()
 }
 
@@ -346,17 +426,27 @@ func (db *DB) FlushAll() error { return db.pool.FlushAll() }
 
 // RestorePage overwrites a page with a before-image during recovery undo.
 // The write bypasses transactional locking (recovery is single-threaded by
-// contract) and is logged as a redo-only CLR.
-func (db *DB) RestorePage(pid storage.PageID, img, loser string) error {
+// contract) and is logged as a redo-only CLR; entryLSN, when non-zero, is
+// the undo entry this restore consumes — discarding it makes a recovery
+// that crashes and reruns skip the already-undone entry.
+func (db *DB) RestorePage(pid storage.PageID, img, loser string, entryLSN uint64) error {
 	frame, err := db.pool.FetchPage(pid)
 	if err != nil {
 		return err
 	}
+	db.snapMu.RLock()
 	frame.Latch()
 	after := frame.Data()
 	frame.SetData(img)
-	frame.Unlatch()
-	db.pool.Unpin(frame)
 	db.wal.LogCLRUpdate(loser+":recovery", pid, after, img)
+	if entryLSN != 0 {
+		db.wal.LogDiscard(loser, []uint64{entryLSN})
+	}
+	frame.Unlatch()
+	db.snapMu.RUnlock()
+	db.pool.Unpin(frame)
 	return nil
 }
+
+// NumPages returns the number of allocated pages in the backing store.
+func (db *DB) NumPages() int { return db.store.NumPages() }

@@ -370,12 +370,19 @@ func (db *DB) pageOp(t *Txn, a *runtimeAction, parallel bool) (string, error) {
 		if len(data) > db.store.PageSize() {
 			return "", storage.ErrPageTooLarge
 		}
+		// The WAL record is appended INSIDE the frame latch: eviction writes
+		// a frame back under the same latch, so a flushed page change always
+		// has its log record first (the WAL rule). The shared snapshot
+		// barrier additionally keeps [frame change + log record] atomic with
+		// respect to CrashImage.
+		db.snapMu.RLock()
 		frame.Latch()
 		before := frame.Data()
 		frame.SetData(data)
 		record()
-		frame.Unlatch()
 		lsn := db.wal.LogUpdate(a.id, pid, before, data)
+		frame.Unlatch()
+		db.snapMu.RUnlock()
 		a.parent.appendUndo(undoEntry{physical: true, page: pid, before: before, lsn: lsn})
 		db.stats.pageWrites.Add(1)
 		return "", nil
@@ -582,22 +589,26 @@ func splitUnitSep(s string) []string {
 }
 
 // undoPage restores a page before-image; the restoring write is a CLR
-// (redo-only) and it consumes the original update's undo entry.
+// (redo-only) and it consumes the original update's undo entry. The CLR
+// and the discard are appended inside the frame latch and the snapshot
+// barrier so no crash image can hold the restored page without the CLR.
 func (db *DB) undoPage(t *Txn, under *runtimeAction, e undoEntry) {
 	frame, err := db.pool.FetchPage(e.page)
 	if err != nil {
 		db.wal.LogAbort(under.id + ":undo-fetch-failed")
 		return
 	}
+	db.snapMu.RLock()
 	frame.Latch()
 	after := frame.Data()
 	frame.SetData(e.before)
-	frame.Unlatch()
-	db.pool.Unpin(frame)
 	db.wal.LogCLRUpdate(under.id+":undo", e.page, after, e.before)
 	if e.lsn != 0 {
 		db.wal.LogDiscard(cc.RootOf(under.id), []uint64{e.lsn})
 	}
+	frame.Unlatch()
+	db.snapMu.RUnlock()
+	db.pool.Unpin(frame)
 }
 
 // Savepoint marks a point in the transaction that RollbackTo can return
@@ -644,7 +655,11 @@ func (t *Txn) RollbackTo(sp Savepoint) error {
 	return nil
 }
 
-// Commit finishes the transaction, releasing every lock of its tree.
+// Commit finishes the transaction, releasing every lock of its tree. With
+// a durable WAL the call blocks until the commit record — and therefore,
+// by prefix ordering, every record of the transaction — is on stable
+// storage; locks are held across the wait (strictness), so no transaction
+// reads effects whose commit could still be lost to a crash.
 func (t *Txn) Commit() error {
 	t.mu.Lock()
 	if t.finished {
@@ -653,10 +668,43 @@ func (t *Txn) Commit() error {
 	}
 	t.finished = true
 	t.mu.Unlock()
-	t.db.wal.LogCommit(t.id)
+	lsn := t.db.wal.LogCommit(t.id)
+	err := t.db.wal.WaitDurable(lsn)
 	t.db.lm.ReleaseTree(t.id)
+	if err != nil {
+		return fmt.Errorf("core: commit %s not durable: %w", t.id, err)
+	}
 	t.db.stats.txnsCommitted.Add(1)
 	return nil
+}
+
+// CompensateEntry executes one logical undo entry during restart recovery
+// (internal/recovery). The compensating invocation runs in rollback mode:
+// no inverse-of-the-inverse is queued, and the given WAL entry — the
+// loser's surviving RecIntent — is folded into the compensation's own
+// completion discard, so "compensation durable" and "intent consumed" are
+// ONE log append. A recovery that crashes after the compensating
+// subtransaction completed and reruns therefore skips the intent instead
+// of compensating twice.
+func (t *Txn) CompensateEntry(obj txn.OID, method string, params []string, entryLSN uint64) error {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return ErrTxnFinished
+	}
+	t.mu.Unlock()
+	wasAborting := t.isAborting()
+	t.setAborting(true)
+	defer t.setAborting(wasAborting)
+	t.db.wal.LogCompensation(t.root.id, fmt.Sprintf("%s.%s(%s)", obj.Name, method, joinParams(params)))
+	t.setPendingEntry(entryLSN)
+	_, err := t.db.invoke(t, t.root, obj, method, params, false)
+	if pl := t.takePendingEntry(); pl != 0 && err == nil {
+		// The compensating method's top action had no Compensate entry of
+		// its own, so nothing consumed the intent — discard it now.
+		t.db.wal.LogDiscard(cc.RootOf(t.root.id), []uint64{pl})
+	}
+	return err
 }
 
 // Abort rolls the transaction back: compensations and before-images run in

@@ -28,6 +28,7 @@ package recovery
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/cc"
@@ -58,8 +59,41 @@ type RegisterTypes func(db *core.DB) error
 // reinstalls the application's object model. It returns the recovered,
 // ready-to-use engine.
 func Recover(disk *storage.MemStore, wal *storage.WAL, opts core.Options, registerTypes RegisterTypes) (*core.DB, Report, error) {
-	var rep Report
 	records := wal.Records()
+	return recoverWith(disk, records, storage.NewWALFromRecords(records), opts, registerTypes)
+}
+
+// RecoverDir brings a database back from its WAL segment directory — the
+// real-restart path. The segments are opened with the torn-tail rule (the
+// last segment is truncated at the first bad checksum), history is redone
+// into a fresh store (every page update carries its full after-image, so
+// the log alone reconstructs the pre-crash pages), losers are undone, and
+// the returned engine keeps appending to the same segment files. A
+// MemOnly durability in opts is promoted to GroupCommit: an engine opened
+// over segment files stays durable.
+func RecoverDir(dir string, opts core.Options, registerTypes RegisterTypes) (*core.DB, Report, error) {
+	fw, records, err := storage.OpenFileWAL(dir, storage.FileWALOptions{
+		SegmentSize: opts.WALSegmentSize,
+		Durability:  opts.Durability,
+	})
+	if err != nil {
+		return nil, Report{}, err
+	}
+	wal := storage.NewWALFromRecords(records)
+	wal.SetSink(fw) // existing records are already in the files; only new appends flow
+	db, rep, rerr := recoverWith(storage.NewMemStore(opts.PageSize), records, wal, opts, registerTypes)
+	if rerr != nil {
+		_ = fw.Close()
+		return nil, rep, rerr
+	}
+	return db, rep, nil
+}
+
+// recoverWith is the shared analysis/redo/undo pass. engineWAL must hold
+// exactly records (plus whatever sink continues them); the recovered
+// engine appends its CLRs, discards, and abort markers to it.
+func recoverWith(disk *storage.MemStore, records []storage.Record, engineWAL *storage.WAL, opts core.Options, registerTypes RegisterTypes) (*core.DB, Report, error) {
+	var rep Report
 
 	// --- Analysis ---------------------------------------------------------
 	committed := map[string]bool{}
@@ -96,8 +130,22 @@ func Recover(disk *storage.MemStore, wal *storage.WAL, opts core.Options, regist
 
 	// --- Open the engine on the recovered image ----------------------------
 	opts.Store = disk
-	opts.WAL = storage.NewWALFromRecords(records)
+	opts.WAL = engineWAL
 	db := core.Open(opts)
+	// Transaction ids restart at 1 in every engine incarnation, but the log
+	// spans all of them: push the sequence past every id it mentions, so
+	// the recovery transactions below — and everything the recovered engine
+	// runs afterwards — can never collide with a logged id. (Analysis keys
+	// winners and losers by root id; a collision would let a committed
+	// T<n> from an earlier epoch mask the crashed epoch's in-flight T<n>.)
+	maxID := int64(0)
+	for _, r := range records {
+		root := rootOf(r.Owner)
+		if n, perr := strconv.ParseInt(strings.TrimPrefix(root, "T"), 10, 64); perr == nil && n > maxID {
+			maxID = n
+		}
+	}
+	db.BumpTxnSeq(maxID)
 	if registerTypes != nil {
 		if err := registerTypes(db); err != nil {
 			return nil, rep, fmt.Errorf("recovery: re-registering types: %w", err)
@@ -121,10 +169,11 @@ func Recover(disk *storage.MemStore, wal *storage.WAL, opts core.Options, regist
 
 	type pending struct {
 		lsn     uint64
+		root    string
 		rec     storage.Record
 		logical bool
 	}
-	pendingByRoot := map[string][]pending{}
+	var entries []pending
 	for _, r := range records {
 		root := rootOf(r.Owner)
 		if !active[root] || discarded[r.LSN] {
@@ -133,10 +182,10 @@ func Recover(disk *storage.MemStore, wal *storage.WAL, opts core.Options, regist
 		switch r.Kind {
 		case storage.RecUpdate:
 			if !r.CLR {
-				pendingByRoot[root] = append(pendingByRoot[root], pending{lsn: r.LSN, rec: r})
+				entries = append(entries, pending{lsn: r.LSN, root: root, rec: r})
 			}
 		case storage.RecIntent:
-			pendingByRoot[root] = append(pendingByRoot[root], pending{lsn: r.LSN, rec: r, logical: true})
+			entries = append(entries, pending{lsn: r.LSN, root: root, rec: r, logical: true})
 		}
 	}
 
@@ -144,45 +193,65 @@ func Recover(disk *storage.MemStore, wal *storage.WAL, opts core.Options, regist
 	for root := range active {
 		losers = append(losers, root)
 	}
-	// Newest first, matching the usual undo order across transactions.
-	sort.Sort(sort.Reverse(sort.StringSlice(losers)))
+	sort.Strings(losers)
 	rep.Losers = losers
 
-	for _, root := range losers {
-		entries := pendingByRoot[root]
-		sort.Slice(entries, func(i, j int) bool { return entries[i].lsn > entries[j].lsn })
-
-		tx := db.Begin() // the recovery transaction executing the undo
-		for _, e := range entries {
-			if !e.logical {
-				if err := db.RestorePage(e.rec.Page, e.rec.Before, root); err != nil {
-					_ = tx.Abort()
-					return nil, rep, fmt.Errorf("recovery: physical undo of %s lsn %d: %w", root, e.lsn, err)
-				}
-				rep.PhysicalUndos++
-				continue
+	// One GLOBAL backward sweep over every loser's surviving entries, in
+	// strict reverse LSN order — NOT loser by loser. Per-loser undo is
+	// unsound when losers interleave on an object: loser L's incomplete
+	// page write is always newer than any other loser M's intent touching
+	// that page (M's subtransaction released the page lock before L's
+	// acquired it), so M's compensation must run only AFTER L's restore —
+	// otherwise the physical restore clobbers the compensation's write and
+	// M's forward effect silently survives the rollback. The same sweep
+	// also orders non-commuting compensations of different losers newest
+	// first, as logical undo requires.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].lsn > entries[j].lsn })
+	for _, e := range entries {
+		if !e.logical {
+			// The restore's CLR consumes the update entry via a discard,
+			// so a recovery that crashes and reruns skips it.
+			if err := db.RestorePage(e.rec.Page, e.rec.Before, e.root, e.lsn); err != nil {
+				return nil, rep, fmt.Errorf("recovery: physical undo of %s lsn %d: %w", e.root, e.lsn, err)
 			}
-			obj, method, params, err := core.DecodeCompensationNote(e.rec.Note)
-			if err != nil {
-				_ = tx.Abort()
-				return nil, rep, fmt.Errorf("recovery: %s lsn %d: %w", root, e.lsn, err)
-			}
-			if _, err := tx.Exec(obj, method, params...); err != nil {
-				_ = tx.Abort()
-				return nil, rep, fmt.Errorf("recovery: compensation %s.%s for %s: %w", obj.Name, method, root, err)
-			}
-			rep.LogicalUndos++
+			rep.PhysicalUndos++
+			continue
+		}
+		obj, method, params, err := core.DecodeCompensationNote(e.rec.Note)
+		if err != nil {
+			return nil, rep, fmt.Errorf("recovery: %s lsn %d: %w", e.root, e.lsn, err)
+		}
+		// Each compensation is its own committed transaction (a nested top
+		// action): interleaved losers' compensations may conflict, so they
+		// cannot share transactions without deadlocking the single-threaded
+		// sweep. CompensateEntry (not Exec) runs it in rollback mode and
+		// consumes the intent in the compensation's own completion discard —
+		// the crash-during-recovery idempotence contract. A plain Exec would
+		// leave the intent live, and a recovery that crashed after the
+		// compensation committed would replay it a second time.
+		tx := db.Begin()
+		if err := tx.CompensateEntry(obj, method, params, e.lsn); err != nil {
+			_ = tx.Abort()
+			return nil, rep, fmt.Errorf("recovery: compensation %s.%s for %s: %w", obj.Name, method, e.root, err)
 		}
 		if err := tx.Commit(); err != nil {
 			return nil, rep, err
 		}
-		db.WAL().LogAbort(root) // the loser's abort is now complete
+		rep.LogicalUndos++
+	}
+	for i := len(losers) - 1; i >= 0; i-- {
+		db.WAL().LogAbort(losers[i]) // the losers' aborts are now complete
 	}
 
 	for root := range committed {
 		rep.Winners = append(rep.Winners, root)
 	}
 	sort.Strings(rep.Winners)
+	// Make the recovery pass itself durable (abort markers, CLRs, discards)
+	// before declaring the engine open; a no-op without a durable sink.
+	if err := db.WAL().WaitDurable(db.WAL().LastLSN()); err != nil {
+		return nil, rep, fmt.Errorf("recovery: flushing recovery records: %w", err)
+	}
 	return db, rep, nil
 }
 

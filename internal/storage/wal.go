@@ -63,29 +63,86 @@ type Record struct {
 	Refs []uint64
 }
 
-// WAL is an in-memory write-ahead log. Before-images recorded here are the
-// basis for physical undo of uncommitted page writes; compensation records
-// document the logical undo of open nested subtransactions.
+// DurableSink is the stable-storage backing of a WAL (see FileWAL). The
+// WAL forwards every appended record under its own mutex, so records
+// arrive at the sink in LSN order; commit paths block in WaitDurable.
+type DurableSink interface {
+	// Append hands a freshly sequenced record to the durable layer. It must
+	// only buffer (it runs under the WAL mutex).
+	Append(rec Record)
+	// WaitDurable blocks until the record with the given LSN — and, since
+	// flushing is prefix-ordered, every earlier record — is stable.
+	WaitDurable(lsn uint64) error
+	// Close flushes and releases the sink.
+	Close() error
+}
+
+// WAL is the write-ahead log. Records always live in memory (recovery,
+// undo, and the offline checker scan them); an attached DurableSink
+// additionally carries every record to stable storage. Before-images
+// recorded here are the basis for physical undo of uncommitted page
+// writes; compensation records document the logical undo of open nested
+// subtransactions.
 type WAL struct {
 	mu      sync.Mutex
 	records []Record
 	nextLSN uint64
+	sink    DurableSink
+	// updatesBy indexes record positions of RecUpdate entries per owner, so
+	// UpdatesBy is O(answer) instead of O(log length) — long logs made every
+	// rollback scan quadratic before the index existed.
+	updatesBy map[string][]int
 }
 
 // NewWAL returns an empty log.
 func NewWAL() *WAL {
-	return &WAL{nextLSN: 1}
+	return &WAL{nextLSN: 1, updatesBy: make(map[string][]int)}
 }
 
 // NewWALFromRecords reconstructs a log from persisted records (recovery).
 func NewWALFromRecords(recs []Record) *WAL {
-	w := &WAL{nextLSN: 1, records: append([]Record{}, recs...)}
-	for _, r := range recs {
+	w := &WAL{nextLSN: 1, records: append([]Record{}, recs...), updatesBy: make(map[string][]int)}
+	for i, r := range recs {
 		if r.LSN >= w.nextLSN {
 			w.nextLSN = r.LSN + 1
 		}
+		if r.Kind == RecUpdate {
+			w.updatesBy[r.Owner] = append(w.updatesBy[r.Owner], i)
+		}
 	}
 	return w
+}
+
+// SetSink attaches the durable backing. Only records appended afterwards
+// are forwarded — a sink opened from existing segment files already holds
+// the records the WAL was reconstructed from.
+func (w *WAL) SetSink(s DurableSink) {
+	w.mu.Lock()
+	w.sink = s
+	w.mu.Unlock()
+}
+
+// WaitDurable blocks until the record with the given LSN is on stable
+// storage. Without a sink (mem-only durability) it returns immediately.
+func (w *WAL) WaitDurable(lsn uint64) error {
+	w.mu.Lock()
+	s := w.sink
+	w.mu.Unlock()
+	if s == nil || lsn == 0 {
+		return nil
+	}
+	return s.WaitDurable(lsn)
+}
+
+// Close flushes and closes the durable sink, if any.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	s := w.sink
+	w.mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	return s.Close()
 }
 
 // Clone returns a deep copy of the log.
@@ -101,7 +158,16 @@ func (w *WAL) Append(rec Record) uint64 {
 	defer w.mu.Unlock()
 	rec.LSN = w.nextLSN
 	w.nextLSN++
+	if rec.Kind == RecUpdate {
+		if w.updatesBy == nil {
+			w.updatesBy = make(map[string][]int)
+		}
+		w.updatesBy[rec.Owner] = append(w.updatesBy[rec.Owner], len(w.records))
+	}
 	w.records = append(w.records, rec)
+	if w.sink != nil {
+		w.sink.Append(rec)
+	}
 	return rec.LSN
 }
 
@@ -145,15 +211,18 @@ func (w *WAL) LogCompensation(owner, note string) uint64 {
 	return w.Append(Record{Kind: RecCompensation, Owner: owner, Note: note})
 }
 
-// UpdatesBy returns the update records of an owner in log order.
+// UpdatesBy returns the update records of an owner in log order. The
+// per-owner index makes this O(len(result)), not O(len(log)).
 func (w *WAL) UpdatesBy(owner string) []Record {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	var out []Record
-	for _, r := range w.records {
-		if r.Kind == RecUpdate && r.Owner == owner {
-			out = append(out, r)
-		}
+	idxs := w.updatesBy[owner]
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]Record, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, w.records[i])
 	}
 	return out
 }
@@ -163,6 +232,13 @@ func (w *WAL) Len() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return len(w.records)
+}
+
+// LastLSN returns the highest assigned LSN (0 when the log is empty).
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN - 1
 }
 
 // Records returns a copy of all records in log order.

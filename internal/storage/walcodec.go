@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// WAL record wire format. Each record is one self-delimiting frame:
+//
+//	| length u32 | crc32c u32 | payload (length bytes) |
+//
+// length counts the payload only; crc32c (Castagnoli) covers the payload
+// only, so a frame whose payload was cut short by a crash fails the
+// checksum instead of decoding garbage. The payload itself is:
+//
+//	LSN u64 | Kind u8 | flags u8 (bit0 = CLR) | Page u64 |
+//	Owner, Before, After, Note as uvarint-length-prefixed strings |
+//	uvarint ref count | refs as uvarints
+//
+// All fixed-width integers are little-endian. A length of zero is invalid
+// by construction (every payload is at least recPayloadMin bytes), which
+// keeps a zero-filled tail — the classic preallocated-file artifact — from
+// parsing as an endless run of empty records.
+
+const (
+	// frameHeaderSize is the length + checksum prefix of every record.
+	frameHeaderSize = 8
+	// maxWALRecordSize bounds a single record's payload; anything larger in
+	// a length prefix is treated as a torn or corrupt frame, not an
+	// allocation request.
+	maxWALRecordSize = 16 << 20
+	// recPayloadMin is the smallest possible payload: the fixed fields plus
+	// four empty strings and an empty ref list.
+	recPayloadMin = 8 + 1 + 1 + 8 + 4 + 1
+)
+
+// castagnoliTable is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoliTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrRecordCorrupt marks a frame whose checksum passed but whose payload
+// does not decode — real corruption, never produced by a torn write.
+var ErrRecordCorrupt = errors.New("storage: WAL record corrupt")
+
+const recFlagCLR = 1 << 0
+
+// appendRecordFrame encodes rec as one framed record appended to dst.
+func appendRecordFrame(dst []byte, rec Record) []byte {
+	payload := make([]byte, 0, recPayloadMin+len(rec.Owner)+len(rec.Before)+len(rec.After)+len(rec.Note)+8*len(rec.Refs))
+	payload = binary.LittleEndian.AppendUint64(payload, rec.LSN)
+	payload = append(payload, byte(rec.Kind))
+	var flags byte
+	if rec.CLR {
+		flags |= recFlagCLR
+	}
+	payload = append(payload, flags)
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(rec.Page))
+	for _, s := range []string{rec.Owner, rec.Before, rec.After, rec.Note} {
+		payload = binary.AppendUvarint(payload, uint64(len(s)))
+		payload = append(payload, s...)
+	}
+	payload = binary.AppendUvarint(payload, uint64(len(rec.Refs)))
+	for _, ref := range rec.Refs {
+		payload = binary.AppendUvarint(payload, ref)
+	}
+
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoliTable))
+	return append(dst, payload...)
+}
+
+// decodeRecordPayload parses a checksum-verified payload back into a
+// Record. Errors wrap ErrRecordCorrupt: the frame was intact on disk but
+// its contents are not a record.
+func decodeRecordPayload(payload []byte) (Record, error) {
+	var rec Record
+	if len(payload) < recPayloadMin {
+		return rec, fmt.Errorf("%w: payload %d bytes", ErrRecordCorrupt, len(payload))
+	}
+	rec.LSN = binary.LittleEndian.Uint64(payload)
+	rec.Kind = RecordKind(payload[8])
+	flags := payload[9]
+	rec.CLR = flags&recFlagCLR != 0
+	rec.Page = PageID(binary.LittleEndian.Uint64(payload[10:]))
+	off := 18
+	var strs [4]string
+	for i := range strs {
+		n, w := binary.Uvarint(payload[off:])
+		if w <= 0 || n > uint64(len(payload)-off-w) {
+			return rec, fmt.Errorf("%w: bad string length at offset %d", ErrRecordCorrupt, off)
+		}
+		off += w
+		strs[i] = string(payload[off : off+int(n)])
+		off += int(n)
+	}
+	rec.Owner, rec.Before, rec.After, rec.Note = strs[0], strs[1], strs[2], strs[3]
+	nrefs, w := binary.Uvarint(payload[off:])
+	if w <= 0 || nrefs > uint64(len(payload)-off-w) {
+		return rec, fmt.Errorf("%w: bad ref count at offset %d", ErrRecordCorrupt, off)
+	}
+	off += w
+	if nrefs > 0 {
+		rec.Refs = make([]uint64, 0, nrefs)
+		for i := uint64(0); i < nrefs; i++ {
+			ref, w := binary.Uvarint(payload[off:])
+			if w <= 0 {
+				return rec, fmt.Errorf("%w: bad ref at offset %d", ErrRecordCorrupt, off)
+			}
+			off += w
+			rec.Refs = append(rec.Refs, ref)
+		}
+	}
+	if off != len(payload) {
+		return rec, fmt.Errorf("%w: %d trailing bytes", ErrRecordCorrupt, len(payload)-off)
+	}
+	return rec, nil
+}

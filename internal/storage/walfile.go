@@ -1,0 +1,554 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Durability selects how the write-ahead log reaches stable storage.
+type Durability int
+
+const (
+	// MemOnly keeps the log in memory (the original simulation mode; crash
+	// recovery works from CrashImage snapshots only).
+	MemOnly Durability = iota
+	// SyncOnCommit writes and fsyncs the log on every commit individually —
+	// the naive per-commit-fsync baseline.
+	SyncOnCommit
+	// GroupCommit batches concurrent commit waiters into a single
+	// write+fsync performed by a dedicated flusher goroutine; updates and
+	// CLRs ride the next batch without forcing one.
+	GroupCommit
+)
+
+func (d Durability) String() string {
+	switch d {
+	case MemOnly:
+		return "mem-only"
+	case SyncOnCommit:
+		return "sync-on-commit"
+	case GroupCommit:
+		return "group-commit"
+	}
+	return fmt.Sprintf("durability(%d)", int(d))
+}
+
+// ParseDurability maps a mode name back to its Durability.
+func ParseDurability(s string) (Durability, error) {
+	switch s {
+	case "mem-only", "":
+		return MemOnly, nil
+	case "sync-on-commit":
+		return SyncOnCommit, nil
+	case "group-commit":
+		return GroupCommit, nil
+	}
+	return MemOnly, fmt.Errorf("storage: unknown durability mode %q", s)
+}
+
+// File WAL errors.
+var (
+	ErrWALClosed  = errors.New("storage: file WAL closed")
+	ErrWALCorrupt = errors.New("storage: WAL segment corrupt")
+)
+
+const (
+	// DefaultSegmentSize is the rotation threshold for WAL segment files.
+	DefaultSegmentSize = 4 << 20
+	walSegPrefix       = "wal-"
+	walSegSuffix       = ".seg"
+	// flushBackpressure caps the bytes buffered between forced flushes so an
+	// update-heavy, commit-rare workload cannot grow the pending queue
+	// without bound.
+	flushBackpressure = 8 << 20
+)
+
+// FileWALOptions configure OpenFileWAL.
+type FileWALOptions struct {
+	// SegmentSize is the rotation threshold in bytes (DefaultSegmentSize
+	// when 0). A record never spans segments; a segment holds at least one
+	// record even when the record exceeds the threshold.
+	SegmentSize int64
+	// Durability must be SyncOnCommit or GroupCommit; MemOnly is promoted
+	// to GroupCommit (a file WAL that never syncs would be pointless).
+	Durability Durability
+}
+
+type pendingRec struct {
+	lsn   uint64
+	frame []byte
+}
+
+// FileWAL is the durable backing of a WAL: a directory of fixed-size,
+// checksummed segment files named wal-<first LSN>.seg. It implements
+// DurableSink: the in-memory WAL forwards every appended record (in LSN
+// order, under its own mutex), and commit paths block in WaitDurable until
+// their record is on stable storage.
+//
+// Recovery-time scan rule (the torn-tail rule): every segment but the last
+// must parse completely; in the last segment, the first frame that is
+// short, oversized, or fails its CRC32C marks the torn tail and the file
+// is truncated there. A frame whose checksum passes but whose payload does
+// not decode, or whose LSN breaks the contiguous sequence, is corruption
+// and fails the open — a crash cannot produce it.
+type FileWAL struct {
+	dir     string
+	segSize int64
+	mode    Durability
+
+	mu           sync.Mutex
+	cond         *sync.Cond // wakes group-commit waiters (durable advanced, failure, close)
+	flushCond    *sync.Cond // wakes the flusher only (work arrived); avoids a thundering herd
+	pending      []pendingRec
+	pendingBytes int
+	appended     uint64 // highest LSN handed to Append
+	maxWait      uint64 // highest LSN a group-commit waiter needs durable
+	durable      uint64 // highest LSN guaranteed on stable storage
+	failed       error  // sticky I/O error; fails every subsequent wait
+	closed       bool
+
+	// flushMu serializes physical flushes (the group flusher and the
+	// sync-on-commit inline path); cur/curSize/writeBuf are guarded by it.
+	flushMu  sync.Mutex
+	cur      *os.File
+	curSize  int64
+	writeBuf []byte
+
+	flusherDone chan struct{}
+	fsyncs      atomic.Int64
+}
+
+// OpenFileWAL opens (or creates) the segmented WAL in dir, applying the
+// torn-tail rule, and returns the decoded records together with a FileWAL
+// positioned to append after the last good record.
+func OpenFileWAL(dir string, o FileWALOptions) (*FileWAL, []Record, error) {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = DefaultSegmentSize
+	}
+	if o.Durability == MemOnly {
+		o.Durability = GroupCommit
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	records, lastPath, truncate, err := scanWALDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if truncate >= 0 {
+		if err := truncateSegment(lastPath, truncate); err != nil {
+			return nil, nil, fmt.Errorf("storage: truncating torn tail of %s: %w", lastPath, err)
+		}
+	}
+
+	w := &FileWAL{
+		dir:         dir,
+		segSize:     o.SegmentSize,
+		mode:        o.Durability,
+		flusherDone: make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.flushCond = sync.NewCond(&w.mu)
+	if len(records) > 0 {
+		w.appended = records[len(records)-1].LSN
+		w.durable = w.appended
+	}
+	if lastPath != "" {
+		f, err := os.OpenFile(lastPath, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		w.cur, w.curSize = f, st.Size()
+	}
+	go w.flusher()
+	return w, records, nil
+}
+
+// ReadWALDir scans the segment files read-only: the torn tail of the last
+// segment is skipped (not truncated), mid-log damage is an error. It is
+// the inspection twin of OpenFileWAL for tools and tests.
+func ReadWALDir(dir string) ([]Record, error) {
+	records, _, _, err := scanWALDir(dir)
+	return records, err
+}
+
+// scanWALDir reads every segment in order. It returns the decoded records,
+// the path of the last segment ("" when none), and the byte offset the
+// last segment must be truncated to (-1 when its tail is clean).
+func scanWALDir(dir string) (records []Record, lastPath string, truncate int64, err error) {
+	names, err := listSegments(dir)
+	if err != nil {
+		return nil, "", -1, err
+	}
+	truncate = -1
+	prevLSN := uint64(0)
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		recs, goodOff, torn, serr := scanSegment(path, &prevLSN)
+		if serr != nil {
+			return nil, "", -1, serr
+		}
+		if torn && i != len(names)-1 {
+			return nil, "", -1, fmt.Errorf("%w: %s torn at offset %d but later segments exist", ErrWALCorrupt, path, goodOff)
+		}
+		if torn {
+			truncate = goodOff
+		}
+		records = append(records, recs...)
+		lastPath = path
+	}
+	return records, lastPath, truncate, nil
+}
+
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasPrefix(n, walSegPrefix) && strings.HasSuffix(n, walSegSuffix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names) // zero-padded first-LSN names sort chronologically
+	return names, nil
+}
+
+// scanSegment decodes one segment file. torn reports a tail that a crash
+// can produce (short frame, oversized length, checksum mismatch) with
+// goodOff the offset of the last fully valid record; a non-nil error is
+// damage a crash cannot produce (undecodable payload behind a valid
+// checksum, LSN discontinuity).
+func scanSegment(path string, prevLSN *uint64) (recs []Record, goodOff int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameHeaderSize {
+			return recs, int64(off), true, nil
+		}
+		length := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		crc := uint32(data[off+4]) | uint32(data[off+5])<<8 | uint32(data[off+6])<<16 | uint32(data[off+7])<<24
+		if length < recPayloadMin || length > maxWALRecordSize || length > len(data)-off-frameHeaderSize {
+			return recs, int64(off), true, nil
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+length]
+		if crc32.Checksum(payload, castagnoliTable) != crc {
+			return recs, int64(off), true, nil
+		}
+		rec, derr := decodeRecordPayload(payload)
+		if derr != nil {
+			return nil, 0, false, fmt.Errorf("%w: %s offset %d: %v", ErrWALCorrupt, path, off, derr)
+		}
+		if *prevLSN != 0 && rec.LSN != *prevLSN+1 {
+			return nil, 0, false, fmt.Errorf("%w: %s offset %d: lsn %d after %d", ErrWALCorrupt, path, off, rec.LSN, *prevLSN)
+		}
+		*prevLSN = rec.LSN
+		recs = append(recs, rec)
+		off += frameHeaderSize + length
+	}
+	return recs, int64(off), false, nil
+}
+
+func truncateSegment(path string, size int64) error {
+	if err := os.Truncate(path, size); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Append implements DurableSink. It is called by the in-memory WAL under
+// its mutex, so records arrive here in LSN order; the encoded frame is
+// buffered and the flusher (or a sync-on-commit waiter) writes it out.
+func (w *FileWAL) Append(rec Record) {
+	frame := appendRecordFrame(nil, rec)
+	w.mu.Lock()
+	if w.closed || w.failed != nil {
+		w.mu.Unlock()
+		return
+	}
+	w.pending = append(w.pending, pendingRec{lsn: rec.LSN, frame: frame})
+	w.pendingBytes += len(frame)
+	w.appended = rec.LSN
+	if w.pendingBytes >= flushBackpressure {
+		w.flushCond.Signal()
+	}
+	w.mu.Unlock()
+}
+
+// WaitDurable implements DurableSink: it blocks until the record with the
+// given LSN (and, since flushing is prefix-ordered, every earlier record)
+// is on stable storage.
+//
+// In GroupCommit mode the caller registers as a waiter and the flusher
+// batches every pending record — typically covering many concurrent
+// committers — into one write+fsync. In SyncOnCommit mode the caller
+// flushes inline and always pays its own fsync, even when a concurrent
+// committer's flush already covered its record: that is precisely the
+// per-commit-fsync baseline the group-commit benchmark compares against.
+func (w *FileWAL) WaitDurable(lsn uint64) error {
+	if w.mode == SyncOnCommit {
+		if err := w.syncTo(lsn, true); err != nil {
+			w.fail(err)
+			return err
+		}
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed != nil {
+		return w.failed
+	}
+	if lsn <= w.durable {
+		return nil
+	}
+	if lsn > w.maxWait {
+		w.maxWait = lsn
+	}
+	w.flushCond.Signal()
+	for w.failed == nil && w.durable < lsn && !w.closed {
+		w.cond.Wait()
+	}
+	if w.failed != nil {
+		return w.failed
+	}
+	if w.durable < lsn {
+		return ErrWALClosed
+	}
+	return nil
+}
+
+// flusher is the single group-commit goroutine: it sleeps until some
+// waiter needs durability (or backpressure/close demands a flush), then
+// writes the whole pending batch with one fsync.
+func (w *FileWAL) flusher() {
+	defer close(w.flusherDone)
+	for {
+		w.mu.Lock()
+		for w.failed == nil && !w.closed && w.maxWait <= w.durable && w.pendingBytes < flushBackpressure {
+			w.flushCond.Wait()
+		}
+		if w.failed != nil {
+			w.mu.Unlock()
+			return
+		}
+		if w.closed && len(w.pending) == 0 {
+			w.mu.Unlock()
+			return
+		}
+		target := w.appended
+		closing := w.closed
+		w.mu.Unlock()
+		// Accumulation window (the classic group-commit "commit delay"):
+		// yield a few times so committers that are runnable right now reach
+		// their commit point and ride the upcoming fsync instead of waiting
+		// out a whole extra cycle. Yields cost nanoseconds on an idle
+		// scheduler, so a lone committer is not taxed the way a timed sleep
+		// would tax it. syncTo chases w.appended past target, so everything
+		// that arrived during the window joins the batch.
+		if !closing {
+			for i := 0; i < 4; i++ {
+				runtime.Gosched()
+			}
+		}
+		if err := w.syncTo(target, false); err != nil {
+			w.fail(err)
+			return
+		}
+	}
+}
+
+// syncTo writes every pending record with LSN ≤ target to the current
+// segment (rotating as needed) and fsyncs. forceSync fsyncs even when
+// nothing was written (the sync-on-commit baseline's unconditional sync).
+func (w *FileWAL) syncTo(target uint64, forceSync bool) error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+
+	// Drain-and-write in passes, then fsync ONCE. On the flusher path the
+	// target chases w.appended between passes, so records appended while
+	// the previous pass was writing ride the same fsync — the batch grows
+	// with the flush latency instead of waiting out a full extra cycle.
+	// The pass count is capped so a stream of never-committing appenders
+	// cannot starve the waiters of their fsync; the baseline (forceSync)
+	// takes exactly one pass, preserving its one-commit-one-fsync shape.
+	var maxLSN uint64
+	for pass := 0; pass < 4; pass++ {
+		w.mu.Lock()
+		if !forceSync && w.appended > target {
+			target = w.appended
+		}
+		n := 0
+		for n < len(w.pending) && w.pending[n].lsn <= target {
+			n++
+		}
+		batch := w.pending[:n]
+		w.pending = w.pending[n:]
+		for _, p := range batch {
+			w.pendingBytes -= len(p.frame)
+		}
+		w.mu.Unlock()
+		if len(batch) == 0 {
+			break
+		}
+
+		// Coalesce the batch into one write syscall per segment run: a
+		// group flush covers many committers' frames, and a short
+		// write+fsync cycle is exactly where the group-commit advantage
+		// comes from.
+		buf := w.writeBuf[:0]
+		for _, p := range batch {
+			if w.cur == nil || w.curSize >= w.segSize {
+				if err := w.flushRun(buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+				if err := w.rotate(p.lsn); err != nil {
+					return err
+				}
+			}
+			buf = append(buf, p.frame...)
+			w.curSize += int64(len(p.frame))
+			maxLSN = p.lsn
+		}
+		if err := w.flushRun(buf); err != nil {
+			return err
+		}
+		w.writeBuf = buf[:0]
+		if forceSync {
+			break
+		}
+	}
+	if w.cur != nil && (maxLSN > 0 || forceSync) {
+		if err := w.cur.Sync(); err != nil {
+			return err
+		}
+		w.fsyncs.Add(1)
+	}
+	if maxLSN > 0 {
+		w.mu.Lock()
+		if maxLSN > w.durable {
+			w.durable = maxLSN
+		}
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+	return nil
+}
+
+// flushRun writes one coalesced run of frames to the current segment.
+// Called with flushMu held; the run's bytes are already counted in
+// curSize (on a write error the WAL fails permanently, so the overcount
+// is never observed).
+func (w *FileWAL) flushRun(buf []byte) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	_, err := w.cur.Write(buf)
+	return err
+}
+
+// rotate syncs and closes the current segment and creates the next one,
+// named by the first LSN it will hold; the directory entry is fsynced so
+// the new file survives a crash.
+func (w *FileWAL) rotate(firstLSN uint64) error {
+	if w.cur != nil {
+		if err := w.cur.Sync(); err != nil {
+			return err
+		}
+		w.fsyncs.Add(1)
+		if err := w.cur.Close(); err != nil {
+			return err
+		}
+		w.cur = nil
+	}
+	name := fmt.Sprintf("%s%020d%s", walSegPrefix, firstLSN, walSegSuffix)
+	f, err := os.OpenFile(filepath.Join(w.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w.cur, w.curSize = f, 0
+	return w.syncDir()
+}
+
+func (w *FileWAL) syncDir() error {
+	d, err := os.Open(w.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func (w *FileWAL) fail(err error) {
+	w.mu.Lock()
+	if w.failed == nil {
+		w.failed = err
+	}
+	w.cond.Broadcast()
+	w.flushCond.Signal()
+	w.mu.Unlock()
+}
+
+// Close flushes everything pending, stops the flusher, and closes the
+// current segment. It implements DurableSink.
+func (w *FileWAL) Close() error {
+	w.mu.Lock()
+	alreadyClosed := w.closed
+	w.closed = true
+	w.cond.Broadcast()
+	w.flushCond.Signal()
+	w.mu.Unlock()
+	<-w.flusherDone
+	if !alreadyClosed {
+		// Drain anything the flusher left behind after a failure and close
+		// the segment.
+		w.flushMu.Lock()
+		if w.cur != nil {
+			if err := w.cur.Sync(); err == nil {
+				w.fsyncs.Add(1)
+			}
+			w.cur.Close()
+			w.cur = nil
+		}
+		w.flushMu.Unlock()
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
+}
+
+// DurableLSN returns the highest LSN guaranteed on stable storage.
+func (w *FileWAL) DurableLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durable
+}
+
+// Fsyncs returns the number of physical fsync calls performed — the
+// quantity group commit amortizes.
+func (w *FileWAL) Fsyncs() int64 { return w.fsyncs.Load() }
+
+// Dir returns the segment directory.
+func (w *FileWAL) Dir() string { return w.dir }

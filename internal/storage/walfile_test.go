@@ -1,0 +1,393 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// randomRecord draws a record with every field exercised; LSNs are
+// assigned by the WAL, not here.
+func randomRecord(rr *rand.Rand) Record {
+	kinds := []RecordKind{RecUpdate, RecCommit, RecAbort, RecCompensation, RecIntent, RecDiscard}
+	rec := Record{
+		Kind:  kinds[rr.Intn(len(kinds))],
+		Owner: fmt.Sprintf("T%d.%d", rr.Intn(20)+1, rr.Intn(5)),
+		CLR:   rr.Intn(4) == 0,
+	}
+	if rec.Kind == RecUpdate {
+		rec.Page = PageID(rr.Intn(64) + 1)
+		rec.Before = randString(rr, rr.Intn(80))
+		rec.After = randString(rr, rr.Intn(80))
+	}
+	if rec.Kind == RecIntent || rec.Kind == RecCompensation {
+		rec.Note = randString(rr, rr.Intn(40))
+	}
+	if rec.Kind == RecDiscard || rec.Kind == RecIntent {
+		for i := rr.Intn(4); i > 0; i-- {
+			rec.Refs = append(rec.Refs, rr.Uint64()%1000)
+		}
+	}
+	return rec
+}
+
+func randString(rr *rand.Rand, n int) string {
+	b := make([]byte, n)
+	rr.Read(b)
+	return string(b)
+}
+
+func TestWALRecordCodecRoundTrip(t *testing.T) {
+	rr := rand.New(rand.NewSource(42))
+	f := func(lsn uint64) bool {
+		rec := randomRecord(rr)
+		rec.LSN = lsn
+		frame := appendRecordFrame(nil, rec)
+		if len(frame) < frameHeaderSize+recPayloadMin {
+			return false
+		}
+		got, err := decodeRecordPayload(frame[frameHeaderSize:])
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(rec, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildSegments writes n random records through a FileWAL with tiny
+// segments and returns the records and the directory.
+func buildSegments(t *testing.T, dir string, n int, seed int64) []Record {
+	t.Helper()
+	fw, existing, err := OpenFileWAL(dir, FileWALOptions{SegmentSize: 256, Durability: GroupCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(existing) != 0 {
+		t.Fatalf("fresh dir holds %d records", len(existing))
+	}
+	w := NewWAL()
+	w.SetSink(fw)
+	rr := rand.New(rand.NewSource(seed))
+	var want []Record
+	for i := 0; i < n; i++ {
+		rec := randomRecord(rr)
+		lsn := w.Append(rec)
+		rec.LSN = lsn
+		want = append(want, rec)
+	}
+	if err := w.WaitDurable(w.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFileWALRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	want := buildSegments(t, dir, 60, 7)
+	if n := len(segmentFiles(t, dir)); n < 2 {
+		t.Fatalf("expected rotation, got %d segments", n)
+	}
+	fw, got, err := OpenFileWAL(dir, FileWALOptions{SegmentSize: 256, Durability: GroupCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("reopen: got %d records, want %d (or contents differ)", len(got), len(want))
+	}
+	// Appending after reopen continues the LSN sequence in the same files.
+	w := NewWALFromRecords(got)
+	w.SetSink(fw)
+	lsn := w.LogCommit("T99")
+	if lsn != want[len(want)-1].LSN+1 {
+		t.Fatalf("continued lsn = %d, want %d", lsn, want[len(want)-1].LSN+1)
+	}
+	if err := w.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadWALDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(want)+1 || again[len(again)-1].Owner != "T99" {
+		t.Fatalf("after reopen-append: %d records", len(again))
+	}
+}
+
+// TestFileWALTornTailEveryOffset is the torn-tail property test: whatever
+// byte offset a crash cuts the LAST segment at, reopening either recovers
+// a clean prefix of the log (and can append) or reports corruption —
+// never a panic, never a half-record.
+func TestFileWALTornTailEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	want := buildSegments(t, master, 40, 11)
+	segs := segmentFiles(t, master)
+	last := segs[len(segs)-1]
+	data, err := os.ReadFile(filepath.Join(master, last))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records held by the earlier, untouched segments.
+	prefixCount := 0
+	for _, name := range segs[:len(segs)-1] {
+		recs, _, torn, err := scanSegment(filepath.Join(master, name), new(uint64))
+		if err != nil || torn {
+			t.Fatalf("master segment %s unclean: torn=%v err=%v", name, torn, err)
+		}
+		prefixCount += len(recs)
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		dir := filepath.Join(t.TempDir(), "wal")
+		copyDir(t, master, dir)
+		if err := os.WriteFile(filepath.Join(dir, last), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fw, got, err := OpenFileWAL(dir, FileWALOptions{SegmentSize: 256, Durability: GroupCommit})
+		if err != nil {
+			t.Fatalf("cut=%d: open failed: %v", cut, err)
+		}
+		// The recovered log must be a prefix of the original, at least as
+		// long as the untouched segments.
+		if len(got) < prefixCount || len(got) > len(want) {
+			t.Fatalf("cut=%d: recovered %d records, prefix=%d total=%d", cut, len(got), prefixCount, len(want))
+		}
+		if !reflect.DeepEqual(got, want[:len(got)]) {
+			t.Fatalf("cut=%d: recovered records are not a prefix", cut)
+		}
+		// The truncated log accepts appends and survives a further reopen.
+		w := NewWALFromRecords(got)
+		w.SetSink(fw)
+		lsn := w.LogCommit("Tnew")
+		if err := w.WaitDurable(lsn); err != nil {
+			t.Fatalf("cut=%d: append after truncation: %v", cut, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("cut=%d: close: %v", cut, err)
+		}
+		again, err := ReadWALDir(dir)
+		if err != nil {
+			t.Fatalf("cut=%d: reread: %v", cut, err)
+		}
+		if len(again) != len(got)+1 {
+			t.Fatalf("cut=%d: reread %d records, want %d", cut, len(again), len(got)+1)
+		}
+	}
+}
+
+// TestFileWALBitFlip: single-byte damage inside a record body fails the
+// checksum; in the last segment it truncates there, in an earlier segment
+// it is corruption and refuses to open.
+func TestFileWALBitFlip(t *testing.T) {
+	master := t.TempDir()
+	buildSegments(t, master, 40, 13)
+	segs := segmentFiles(t, master)
+	if len(segs) < 2 {
+		t.Fatal("need at least two segments")
+	}
+
+	// Flip a byte mid-way through the FIRST segment: mid-log damage.
+	dir := filepath.Join(t.TempDir(), "wal")
+	copyDir(t, master, dir)
+	p := filepath.Join(dir, segs[0])
+	data, _ := os.ReadFile(p)
+	data[len(data)/2] ^= 0xff
+	os.WriteFile(p, data, 0o644)
+	if _, _, err := OpenFileWAL(dir, FileWALOptions{}); err == nil {
+		t.Fatal("mid-log bit flip must refuse to open")
+	}
+
+	// Flip a byte in the LAST segment: torn-tail rule truncates there.
+	dir2 := filepath.Join(t.TempDir(), "wal")
+	copyDir(t, master, dir2)
+	p2 := filepath.Join(dir2, segs[len(segs)-1])
+	data2, _ := os.ReadFile(p2)
+	if len(data2) > frameHeaderSize {
+		data2[len(data2)-1] ^= 0xff
+		os.WriteFile(p2, data2, 0o644)
+		fw, _, err := OpenFileWAL(dir2, FileWALOptions{})
+		if err != nil {
+			t.Fatalf("tail bit flip must truncate, got %v", err)
+		}
+		fw.Close()
+	}
+}
+
+// TestFileWALZeroFilledTail: a zero-extended last segment (preallocation
+// artifact) parses as a clean prefix, not as empty records.
+func TestFileWALZeroFilledTail(t *testing.T) {
+	dir := t.TempDir()
+	want := buildSegments(t, dir, 10, 17)
+	segs := segmentFiles(t, dir)
+	p := filepath.Join(dir, segs[len(segs)-1])
+	f, err := os.OpenFile(p, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(make([]byte, 4096))
+	f.Close()
+	fw, got, err := OpenFileWAL(dir, FileWALOptions{SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("zero tail: got %d records, want %d", len(got), len(want))
+	}
+}
+
+// TestFileWALGroupCommitDurability: once WaitDurable returns, the record
+// is readable from the segment files by an independent scan — and many
+// concurrent waiters are served by far fewer fsyncs than commits.
+func TestFileWALGroupCommitDurability(t *testing.T) {
+	dir := t.TempDir()
+	fw, _, err := OpenFileWAL(dir, FileWALOptions{Durability: GroupCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWAL()
+	w.SetSink(fw)
+
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				lsn := w.LogCommit(fmt.Sprintf("T%d-%d", g, i))
+				if err := w.WaitDurable(lsn); err != nil {
+					errs <- err
+					return
+				}
+				if fw.DurableLSN() < lsn {
+					errs <- fmt.Errorf("durable %d < waited %d", fw.DurableLSN(), lsn)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadWALDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != workers*per {
+		t.Fatalf("files hold %d records, want %d", len(recs), workers*per)
+	}
+	if got := fw.Fsyncs(); got >= workers*per {
+		t.Fatalf("group commit did not batch: %d fsyncs for %d commits", got, workers*per)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALUpdatesByIndexed differentially checks the per-owner index
+// against a linear scan on a random log.
+func TestWALUpdatesByIndexed(t *testing.T) {
+	rr := rand.New(rand.NewSource(23))
+	w := NewWAL()
+	var all []Record
+	for i := 0; i < 2000; i++ {
+		rec := randomRecord(rr)
+		lsn := w.Append(rec)
+		rec.LSN = lsn
+		all = append(all, rec)
+	}
+	owners := map[string]bool{}
+	for _, r := range all {
+		owners[r.Owner] = true
+	}
+	owners["absent"] = true
+	for owner := range owners {
+		var want []Record
+		for _, r := range all {
+			if r.Kind == RecUpdate && r.Owner == owner {
+				want = append(want, r)
+			}
+		}
+		got := w.UpdatesBy(owner)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("UpdatesBy(%q): got %d records, want %d", owner, len(got), len(want))
+		}
+	}
+	// The index must survive Clone / NewWALFromRecords reconstruction.
+	c := w.Clone()
+	for owner := range owners {
+		if !reflect.DeepEqual(c.UpdatesBy(owner), w.UpdatesBy(owner)) {
+			t.Fatalf("clone UpdatesBy(%q) differs", owner)
+		}
+	}
+}
+
+// BenchmarkWALUpdatesBy is the satellite's benchmark guard: UpdatesBy must
+// cost O(len(answer)), independent of total log length. Each owner's
+// answer is logLen/100 records, so compare ns/op divided by answer size:
+// with the per-owner index the per-record cost is flat across the two log
+// lengths; with the old linear scan the long log paid ~10000× per record.
+func BenchmarkWALUpdatesBy(b *testing.B) {
+	for _, logLen := range []int{1_000, 100_000} {
+		b.Run(fmt.Sprintf("log=%d", logLen), func(b *testing.B) {
+			w := NewWAL()
+			owners := 100
+			for i := 0; i < logLen; i++ {
+				w.LogUpdate(fmt.Sprintf("T%d", i%owners), PageID(i%50+1), "a", "b")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := w.UpdatesBy(fmt.Sprintf("T%d", i%owners)); len(got) != logLen/owners {
+					b.Fatalf("len = %d", len(got))
+				}
+			}
+		})
+	}
+}

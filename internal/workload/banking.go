@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/commut"
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/txn"
 )
 
@@ -53,6 +54,9 @@ type BankingConfig struct {
 	MaxRetries  int
 	// PageIODelay is the simulated page I/O latency (see core.Options).
 	PageIODelay time.Duration
+	// Durability and WALDir select a file-backed WAL (see Config).
+	Durability storage.Durability
+	WALDir     string
 }
 
 // installAccounts registers the account type; each account lives on its
@@ -183,12 +187,18 @@ func RunBanking(cfg BankingConfig) (Result, error) {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 50
 	}
-	db := core.Open(core.Options{
+	db, closeDB, err := openDB(core.Options{
 		Protocol:     cfg.Protocol,
 		LockTimeout:  cfg.LockTimeout,
 		DisableTrace: !cfg.Validate,
 		PageIODelay:  cfg.PageIODelay,
+		Durability:   cfg.Durability,
+		WALDir:       cfg.WALDir,
 	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer closeDB()
 	accts, err := installAccounts(db, cfg.Accounts, cfg.InitialBalance)
 	if err != nil {
 		return Result{}, err

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/enc"
 	"repro/internal/list"
+	"repro/internal/storage"
 	"repro/internal/txn"
 )
 
@@ -90,6 +91,11 @@ type Config struct {
 	// TraceFile, when non-empty, writes the recorded trace as JSON for
 	// cmd/schedcheck (implies Validate-style tracing).
 	TraceFile string
+	// Durability selects the WAL's stable-storage mode; anything but
+	// storage.MemOnly opens the engine over segment files in WALDir
+	// (required then), so commits pay real fsyncs.
+	Durability storage.Durability
+	WALDir     string
 }
 
 func (c *Config) fillDefaults() error {
@@ -196,7 +202,7 @@ func RunEncyclopedia(cfg Config) (Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return Result{}, err
 	}
-	db := core.Open(core.Options{
+	db, closeDB, err := openDB(core.Options{
 		Protocol:     cfg.Protocol,
 		LockTimeout:  cfg.LockTimeout,
 		DisableTrace: !cfg.Validate && cfg.TraceFile == "",
@@ -204,7 +210,13 @@ func RunEncyclopedia(cfg Config) (Result, error) {
 		PageIODelay:  cfg.PageIODelay,
 		FairLocks:    cfg.FairLocks,
 		LockShards:   cfg.LockShards,
+		Durability:   cfg.Durability,
+		WALDir:       cfg.WALDir,
 	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer closeDB()
 	trees, err := btree.Install(db)
 	if err != nil {
 		return Result{}, err
@@ -287,6 +299,20 @@ func RunEncyclopedia(cfg Config) (Result, error) {
 		err = writeTrace(db, cfg.TraceFile)
 	}
 	return res, err
+}
+
+// openDB opens the workload's engine: in-memory by default, over WAL
+// segment files when a durability mode is configured. The returned closer
+// flushes and closes the file WAL.
+func openDB(opts core.Options) (*core.DB, func(), error) {
+	if opts.Durability != storage.MemOnly {
+		db, err := core.OpenDurable(opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return db, func() { _ = db.Close() }, nil
+	}
+	return core.Open(opts), func() {}, nil
 }
 
 // writeTrace dumps the DB's trace as JSON.
