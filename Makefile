@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test bench bench-wal torture
+.PHONY: check build vet test test-obs bench bench-wal bench-obs torture metrics-smoke
 
 # The full gate: everything must build, vet clean, and pass under the race
 # detector. CI and pre-commit both run this.
@@ -15,6 +15,12 @@ vet:
 test:
 	$(GO) test -race ./...
 
+# The observability layer and every package it instruments, race-checked —
+# the fast loop when touching metrics/flight-recorder code.
+test-obs:
+	$(GO) vet ./internal/obs ./internal/cc ./internal/storage ./internal/core
+	$(GO) test -race -count=1 ./internal/obs ./internal/cc ./internal/storage ./internal/core
+
 # The experiment suite (EXPERIMENTS.md); slow.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -23,6 +29,26 @@ bench:
 bench-wal:
 	$(GO) test -bench BenchmarkL1GroupCommit -benchmem -run '^$$' .
 
+# Prices the always-on metrics registry + flight recorder (obs on vs off).
+bench-obs:
+	$(GO) test -bench BenchmarkO1ObsOverhead -benchtime 10x -run '^$$' .
+
 # Kill-the-process durability torture (SIGKILL + recover, 5 rounds).
 torture:
 	$(GO) run ./cmd/crashtorture -dir $(or $(TORTURE_DIR),/tmp/oodb-torture) -rounds 5
+
+# End-to-end check of the -metrics-addr endpoint: boot a small run with a
+# lingering endpoint, then assert /metrics serves the lock/pool/engine JSON
+# and /events serves the flight recorder.
+METRICS_SMOKE_PORT ?= 19321
+metrics-smoke:
+	$(GO) build -o /tmp/oodbsim-smoke ./cmd/oodbsim
+	/tmp/oodbsim-smoke -workload banking -protocol open-nested -workers 2 -txns 10 \
+		-metrics-addr 127.0.0.1:$(METRICS_SMOKE_PORT) -metrics-linger 5s >/dev/null & \
+	sleep 2; \
+	curl -sf http://127.0.0.1:$(METRICS_SMOKE_PORT)/metrics | grep -q '"lock"' && \
+	curl -sf http://127.0.0.1:$(METRICS_SMOKE_PORT)/metrics | grep -q '"pool"' && \
+	curl -sf http://127.0.0.1:$(METRICS_SMOKE_PORT)/metrics | grep -q '"engine"' && \
+	curl -sf "http://127.0.0.1:$(METRICS_SMOKE_PORT)/events?n=5" >/dev/null && \
+	echo "metrics-smoke: OK"; \
+	status=$$?; wait; exit $$status

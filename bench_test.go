@@ -465,3 +465,58 @@ func BenchmarkA1FairnessAblation(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkO1ObsOverhead prices the always-on observability layer: the
+// same H1-style hot-leaf run and L1-style group-commit run, with the
+// metrics registry + flight recorder attached ("on") and with DisableObs
+// ("off"). The budget is 5% on txn/s — every instrumented hot-path site is
+// an atomic add or a lock-free ring store, so the gap should be noise.
+func BenchmarkO1ObsOverhead(b *testing.B) {
+	b.Run("encyclopedia", func(b *testing.B) {
+		for _, disable := range []bool{false, true} {
+			name := "on"
+			if disable {
+				name = "off"
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := workload.RunEncyclopedia(workload.Config{
+						Protocol: core.ProtocolOpenNested, Workers: 8, TxnsPerWorker: 30,
+						OpsPerTxn: 5, Keys: 300, TreeFanout: 400, Preload: 100, Seed: 123,
+						Mix:         workload.Mix{InsertPct: 80, UpdatePct: 20},
+						PageIODelay: benchIO, MaxRetries: 300, LockTimeout: 2 * time.Second,
+						DisableObs:  disable,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					report(b, res)
+				}
+			})
+		}
+	})
+	b.Run("group-commit", func(b *testing.B) {
+		for _, disable := range []bool{false, true} {
+			name := "on"
+			if disable {
+				name = "off"
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := workload.RunBanking(workload.BankingConfig{
+						Protocol: core.ProtocolOpenNested, Workers: 16,
+						TxnsPerWorker: 30, Accounts: 512, HotPct: 0, Seed: 9,
+						LockTimeout: 2 * time.Second, MaxRetries: 300,
+						Durability:  storage.GroupCommit,
+						WALDir:      filepath.Join(b.TempDir(), fmt.Sprintf("wal%d", i)),
+						DisableObs:  disable,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					report(b, res)
+				}
+			})
+		}
+	})
+}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/commut"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -268,10 +269,17 @@ func verifyCopy(mode storage.Durability, src string, round int) error {
 	if err != nil {
 		return err
 	}
+	// One registry across both recovery passes: on a failed round its
+	// flight recorder holds the recovery phases and every transaction the
+	// verification ran — the last events before things went wrong.
+	oreg := obs.New()
 	failed := true
 	defer func() {
 		if failed {
 			fmt.Fprintf(os.Stderr, "crashtorture: keeping failing image at %s (pristine: %s.orig)\n", scratch, scratch)
+			oreg.Recorder().Record(obs.Event{Kind: obs.EvFailure,
+				Object: fmt.Sprintf("round %d", round), Note: "verification failed"})
+			oreg.Recorder().Dump(os.Stderr, 64)
 			return
 		}
 		os.RemoveAll(scratch)
@@ -296,7 +304,7 @@ func verifyCopy(mode storage.Durability, src string, round int) error {
 			return err
 		}
 	}
-	opts := core.Options{Durability: mode, WALDir: scratch, WALSegmentSize: *segSize, DisableTrace: true}
+	opts := core.Options{Durability: mode, WALDir: scratch, WALSegmentSize: *segSize, DisableTrace: true, Obs: oreg}
 	reg := func(d *core.DB) error { return registerAcct(d, *accounts) }
 	want := *accounts * funding
 

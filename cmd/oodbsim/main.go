@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
@@ -51,6 +52,8 @@ func main() {
 		traceOut = flag.String("trace", "", "write the encyclopedia workload's trace JSON to this file (single protocol only)")
 		durMode  = flag.String("durability", "mem-only", "WAL durability: mem-only | sync-on-commit | group-commit")
 		walDir   = flag.String("waldir", "", "WAL segment directory (required for durable modes; must be empty/new)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /events on this host:port for the run")
+		linger   = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the run (needs -metrics-addr)")
 	)
 	flag.Parse()
 
@@ -63,9 +66,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oodbsim: -durability", *durMode, "needs -waldir")
 		os.Exit(2)
 	}
+	if durability == storage.MemOnly && *walDir != "" {
+		fmt.Fprintln(os.Stderr, "oodbsim: -waldir has no effect with -durability mem-only; pick sync-on-commit or group-commit")
+		os.Exit(2)
+	}
 	if durability != storage.MemOnly && *protocol == "all" {
 		fmt.Fprintln(os.Stderr, "oodbsim: durable modes need a single -protocol (one WAL dir per run)")
 		os.Exit(2)
+	}
+	if durability != storage.MemOnly && *wl == "coedit" {
+		fmt.Fprintln(os.Stderr, "oodbsim: the coedit workload is in-memory only and cannot run durably")
+		os.Exit(2)
+	}
+	if *traceOut != "" && *protocol == "all" {
+		fmt.Fprintln(os.Stderr, "oodbsim: -trace needs a single -protocol (each sweep run would overwrite the file)")
+		os.Exit(2)
+	}
+	if *linger > 0 && *metrics == "" {
+		fmt.Fprintln(os.Stderr, "oodbsim: -metrics-linger needs -metrics-addr")
+		os.Exit(2)
+	}
+
+	// One registry for the whole run: a protocol sweep re-publishes the
+	// engine snapshots under the same names, so the endpoint follows
+	// whichever engine is live. A nil registry makes each engine create a
+	// private one (no endpoint).
+	var reg *obs.Registry
+	var stopMetrics func() error
+	if *metrics != "" {
+		reg = obs.New()
+		bound, shutdown, err := reg.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oodbsim: metrics endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		stopMetrics = shutdown
+		fmt.Fprintf(os.Stderr, "oodbsim: serving metrics at http://%s/metrics\n", bound)
 	}
 
 	var kinds []core.ProtocolKind
@@ -106,6 +142,7 @@ func main() {
 				TraceFile:     *traceOut,
 				Durability:    durability,
 				WALDir:        *walDir,
+				Obs:           reg,
 			})
 		case "coedit":
 			res, err = workload.RunCoEdit(workload.CoEditConfig{
@@ -117,6 +154,7 @@ func main() {
 				Seed:           *seed,
 				Validate:       *validate,
 				PageIODelay:    *ioDelay,
+				Obs:            reg,
 			})
 		case "banking":
 			res, err = workload.RunBanking(workload.BankingConfig{
@@ -130,6 +168,7 @@ func main() {
 				PageIODelay:   *ioDelay,
 				Durability:    durability,
 				WALDir:        *walDir,
+				Obs:           reg,
 			})
 		default:
 			fmt.Fprintf(os.Stderr, "oodbsim: unknown workload %q\n", *wl)
@@ -149,5 +188,12 @@ func main() {
 			fmt.Printf("%-13s oo-serializable=%v conventional=%v semanticConflicts=%d conventionalConflicts=%d\n",
 				names[i], r.OOSerializable, r.ConvSerializable, r.SemanticConflicts, r.ConventionalConflicts)
 		}
+	}
+	if *linger > 0 {
+		fmt.Fprintf(os.Stderr, "oodbsim: metrics endpoint up for another %s\n", *linger)
+		time.Sleep(*linger)
+	}
+	if stopMetrics != nil {
+		_ = stopMetrics()
 	}
 }

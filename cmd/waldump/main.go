@@ -9,9 +9,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/cc"
@@ -29,8 +32,21 @@ func main() {
 	}
 	records, err := storage.ReadWALDir(*dir)
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "waldump: %s: no such directory\n", *dir)
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "waldump: %v\n", err)
 		os.Exit(1)
+	}
+	if len(records) == 0 {
+		segs, _ := filepath.Glob(filepath.Join(*dir, "wal-*.seg"))
+		if len(segs) == 0 {
+			fmt.Fprintf(os.Stderr, "waldump: %s: empty segment directory (no wal-*.seg files) — nothing was ever logged here\n", *dir)
+		} else {
+			fmt.Fprintf(os.Stderr, "waldump: %s: %d segment file(s) but no decodable records (torn before the first record?)\n", *dir, len(segs))
+		}
+		return
 	}
 	for _, r := range records {
 		if *owner != "" && cc.RootOf(strings.SplitN(r.Owner, ":", 2)[0]) != *owner {

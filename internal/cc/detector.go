@@ -21,6 +21,11 @@ type detector struct {
 	waitsFor map[string]map[string]int
 	// doomed roots must abort; their acquires fail fast.
 	doomed map[string]bool
+	// victims dedupes victim counting per victimization episode: a root with
+	// several parallel blocked acquires is one victim, not one per acquire.
+	// Cleared with the doomed mark (clearDoomed/forget), so a restarted
+	// transaction caught in a NEW deadlock counts again.
+	victims map[string]bool
 	// ages overrides the age derived from the transaction id. A restarted
 	// transaction keeps its original age (SetAge), so the youngest-victim
 	// policy cannot starve it forever.
@@ -41,6 +46,7 @@ func newDetector() *detector {
 	return &detector{
 		waitsFor: make(map[string]map[string]int),
 		doomed:   make(map[string]bool),
+		victims:  make(map[string]bool),
 		ages:     make(map[string]int64),
 		wakers:   make(map[string]map[*wakeHandle]struct{}),
 	}
@@ -128,14 +134,22 @@ func (d *detector) dischargeLocked(root string, old map[string]int) {
 // a victim other than start is marked doomed and its blocked acquires are
 // woken (after the detector lock is dropped). Returns "" when start is on
 // no cycle.
-func (d *detector) detect(start string) string {
+//
+// fresh reports whether THIS call victimized the root: true exactly once
+// per victimization episode, so the caller can count victims (one per
+// doomed transaction) rather than victim acquires (one per blocked call
+// that observes the doom — several, when a victim has sibling
+// subtransactions blocked in parallel).
+func (d *detector) detect(start string) (victim string, fresh bool) {
 	d.mu.Lock()
 	cycle := d.findCycleLocked(start)
 	if cycle == nil {
 		d.mu.Unlock()
-		return ""
+		return "", false
 	}
-	victim := d.youngestLocked(cycle)
+	victim = d.youngestLocked(cycle)
+	fresh = !d.victims[victim]
+	d.victims[victim] = true
 	var wakes []func()
 	if victim != start && !d.doomed[victim] {
 		d.doomed[victim] = true
@@ -147,7 +161,7 @@ func (d *detector) detect(start string) string {
 	for _, fn := range wakes {
 		fn()
 	}
-	return victim
+	return victim, fresh
 }
 
 // findCycleLocked returns the roots of a waits-for cycle through start, or
@@ -221,11 +235,14 @@ func (d *detector) youngest(roots []string) string {
 	return d.youngestLocked(roots)
 }
 
-// clearDoomed removes a root's victim mark and gives it top priority.
+// clearDoomed removes a root's victim mark and gives it top priority. The
+// victimization episode ends with the mark: if the restarted transaction is
+// caught in another deadlock later, that is a new victim event.
 func (d *detector) clearDoomed(root string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.doomed, root)
+	delete(d.victims, root)
 	d.ages[root] = 0
 }
 
@@ -235,6 +252,7 @@ func (d *detector) forget(root string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.doomed, root)
+	delete(d.victims, root)
 	delete(d.ages, root)
 }
 

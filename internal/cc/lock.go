@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/commut"
+	"repro/internal/obs"
 	"repro/internal/txn"
 )
 
@@ -170,6 +171,13 @@ type LockManager struct {
 	testUnlockedWindow func()
 
 	stats statCounters
+
+	// Observability handles (WithObs). All nil when no registry is attached;
+	// every method on them is nil-receiver safe, so the hot path carries no
+	// "metrics enabled?" branches.
+	obsWait    *obs.Histogram      // wait duration of each blocked acquire
+	obsWaiting *obs.Gauge          // acquires currently blocked
+	rec        *obs.FlightRecorder // block/grant/timeout/deadlock events
 }
 
 // Option configures a LockManager.
@@ -199,6 +207,20 @@ func WithFairness() Option {
 // above GOMAXPROCS; 1 reproduces the single-mutex table.
 func WithShards(n int) Option {
 	return func(lm *LockManager) { lm.nshards = normalizeShardCount(n) }
+}
+
+// WithObs attaches an observability registry: the manager publishes its
+// Stats under "lock", observes each blocked acquire's wait time in the
+// "lock.wait_ns" histogram, tracks currently blocked acquires in the
+// "lock.waiting" gauge, and records block/grant/timeout/deadlock events in
+// the registry's flight recorder.
+func WithObs(reg *obs.Registry) Option {
+	return func(lm *LockManager) {
+		lm.obsWait = reg.Histogram("lock.wait_ns", obs.LatencyBounds())
+		lm.obsWaiting = reg.Gauge("lock.waiting")
+		lm.rec = reg.Recorder()
+		reg.PublishFunc("lock", func() any { return lm.Snapshot() })
+	}
 }
 
 // NewLockManager returns a lock manager with the given options.
@@ -360,17 +382,25 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 		}
 		lm.det.discharge(root, waitingOn)
 		if blocked {
-			lm.stats.waitNanos.Add(int64(time.Since(start)))
+			wait := time.Since(start)
+			lm.stats.waitNanos.Add(int64(wait))
+			lm.obsWait.ObserveDuration(wait)
+			lm.obsWaiting.Add(-1)
 		}
 	}()
 
 	for {
 		if lm.det.isDoomed(root) {
-			lm.stats.deadlocks.Add(1)
+			// No deadlock count here: the victim was counted once when it was
+			// doomed (detect reports fresh). A victim with several blocked
+			// sibling acquires observes its doom once per acquire, but it is
+			// still ONE aborted victim.
 			return ErrDeadlock
 		}
 		if timedOut {
 			lm.stats.timeouts.Add(1)
+			lm.rec.Record(obs.Event{Kind: obs.EvLockTimeout, Actor: owner,
+				Object: res.Name, Dur: time.Since(start)})
 			// Name the blockers from the last observed set, not the
 			// re-fetched state: the idle state may have been collected and
 			// recreated while the shard lock was dropped, and a fresh grant
@@ -390,6 +420,10 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 		if len(bl) == 0 {
 			grantLocked(st, owner, mode)
 			lm.stats.acquires.Add(1)
+			if blocked {
+				lm.rec.Record(obs.Event{Kind: obs.EvLockGrant, Actor: owner,
+					Object: res.Name, Dur: time.Since(start)})
+			}
 			return nil
 		}
 		lastBlockers = bl
@@ -397,6 +431,9 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 			blocked = true
 			start = time.Now()
 			lm.stats.blocked.Add(1)
+			lm.obsWaiting.Add(1)
+			lm.rec.Record(obs.Event{Kind: obs.EvLockBlock, Actor: owner,
+				Object: res.Name, N: int64(len(bl)), Note: blockNote(mode, bl)})
 			if lm.fair {
 				token = &waiter{owner: owner, mode: mode, seq: lm.waitSeq.Add(1)}
 				st.waiting = append(st.waiting, token)
@@ -431,14 +468,22 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 		edges := waitEdges(root, bl)
 		lm.det.recharge(root, waitingOn, edges)
 		waitingOn = edges
-		victim := lm.det.detect(root)
+		victim, freshVictim := lm.det.detect(root)
+		if freshVictim {
+			// Count the VICTIM, exactly once per victimization: detect reports
+			// fresh only for the call that doomed it. Counting at the acquires
+			// that observe the doom instead would tally one deadlock per
+			// blocked call of the victim.
+			lm.stats.deadlocks.Add(1)
+			lm.rec.Record(obs.Event{Kind: obs.EvLockDeadlock, Actor: victim,
+				Object: res.Name, Note: "youngest on waits-for cycle through " + root})
+		}
 		if fn := lm.testUnlockedWindow; fn != nil {
 			fn()
 		}
 		sh.mu.Lock()
 		st = sh.state(res) // the idle state may have been collected while unlocked
 		if victim == root {
-			lm.stats.deadlocks.Add(1)
 			return ErrDeadlock
 		}
 		if lm.det.isDoomed(root) || timedOut {
@@ -466,6 +511,25 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 		st.cond.Wait()
 		st.sleepers--
 	}
+}
+
+// blockNote renders a flight-recorder note for a freshly blocked acquire:
+// the requested mode plus up to three blocking holders.
+func blockNote(mode Mode, bl []blockRef) string {
+	var b strings.Builder
+	b.WriteString(mode.String())
+	b.WriteString(" <-")
+	for i, r := range bl {
+		if i == 3 {
+			b.WriteString(" ...")
+			break
+		}
+		b.WriteByte(' ')
+		b.WriteString(r.owner)
+		b.WriteByte('/')
+		b.WriteString(r.mode.String())
+	}
+	return b.String()
 }
 
 // grantLocked records the grant. Caller holds the shard mutex.

@@ -463,14 +463,14 @@ func TestDetectSkipsDoomedNodes(t *testing.T) {
 	d.recharge("T1", nil, map[string]int{"T2": 1})
 	d.recharge("T2", nil, map[string]int{"T1": 1})
 	d.forceDoom("T2")
-	if v := d.detect("T1"); v != "" {
+	if v, _ := d.detect("T1"); v != "" {
 		t.Fatalf("detect through a doomed node chose victim %q, want none", v)
 	}
 	// Once the doomed victim has discharged and recovered, the same shape
 	// is a real cycle again.
 	d.forget("T2")
-	if v := d.detect("T1"); v != "T2" {
-		t.Fatalf("victim = %q, want T2", v)
+	if v, fresh := d.detect("T1"); v != "T2" || !fresh {
+		t.Fatalf("victim, fresh = %q, %v, want T2, true", v, fresh)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/commut"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -142,6 +143,13 @@ type DB struct {
 	ioDelay time.Duration
 	txnSeq  atomic.Int64
 
+	// Observability. obs is the registry every subsystem publishes into
+	// (nil when Options.DisableObs); the handles below are nil-safe, so the
+	// transaction hot path carries no enabled/disabled branches.
+	obs         *obs.Registry
+	obsRec      *obs.FlightRecorder
+	obsCommitNs *obs.Histogram // begin → durable-commit latency
+
 	stats struct {
 		txnsStarted, txnsCommitted, txnsAborted atomic.Int64
 		actions, pageReads, pageWrites          atomic.Int64
@@ -194,6 +202,17 @@ type Options struct {
 	// WALSegmentSize overrides the segment rotation threshold in bytes
 	// (default storage.DefaultSegmentSize).
 	WALSegmentSize int64
+	// Obs, when non-nil, is the observability registry the engine and every
+	// subsystem (lock manager, buffer pool, WAL) publish metrics and flight
+	// recorder events into. When nil, Open creates a fresh one unless
+	// DisableObs is set. Sharing one registry across sequential engines (a
+	// protocol sweep) is supported: snapshot functions re-publish under the
+	// same names and follow the live engine.
+	Obs *obs.Registry
+	// DisableObs turns the observability layer off entirely: no registry is
+	// created, DB.Obs returns nil, and instrumented code paths degrade to
+	// nil-receiver no-ops.
+	DisableObs bool
 }
 
 // Open creates an empty database.
@@ -201,7 +220,14 @@ func Open(opts Options) *DB {
 	if opts.PoolCapacity == 0 {
 		opts.PoolCapacity = 1024
 	}
+	reg := opts.Obs
+	if reg == nil && !opts.DisableObs {
+		reg = obs.New()
+	}
 	var lmOpts []cc.Option
+	if reg != nil {
+		lmOpts = append(lmOpts, cc.WithObs(reg))
+	}
 	if opts.LockTimeout > 0 {
 		lmOpts = append(lmOpts, cc.WithWaitTimeout(opts.LockTimeout))
 	}
@@ -234,6 +260,11 @@ func Open(opts Options) *DB {
 		tracing:  !opts.DisableTrace,
 		ioDelay:  opts.PageIODelay,
 	}
+	db.obs = reg
+	db.obsRec = reg.Recorder()
+	db.obsCommitNs = reg.Histogram("txn.commit_ns", obs.LatencyBounds())
+	db.pool.SetObs(reg)
+	reg.PublishFunc("engine", func() any { return db.Stats() })
 	// The built-in page type. Besides the classical read/write pair it
 	// offers readx, a read with write intent (SELECT FOR UPDATE): it locks
 	// exclusively so a read-modify-write subtransaction never needs the
@@ -273,6 +304,12 @@ func OpenDurable(opts Options) (*DB, error) {
 		_ = fw.Close()
 		return nil, fmt.Errorf("core: WAL dir %s holds %d records; use recovery.RecoverDir to restart over an existing log", opts.WALDir, len(records))
 	}
+	// Create the registry up front (unless disabled) so the file WAL can
+	// publish into the same one the engine will use.
+	if opts.Obs == nil && !opts.DisableObs {
+		opts.Obs = obs.New()
+	}
+	fw.SetObs(opts.Obs)
 	wal := storage.NewWAL()
 	wal.SetSink(fw)
 	opts.WAL = wal
@@ -336,6 +373,11 @@ func (db *DB) Registry() *commut.Registry { return db.registry }
 
 // LockStats returns the lock manager counters.
 func (db *DB) LockStats() cc.Stats { return db.lm.Snapshot() }
+
+// Obs returns the engine's observability registry (nil when Options
+// disabled it). Tools serve it over HTTP (obs.Registry.Serve) or dump its
+// flight recorder on failures.
+func (db *DB) Obs() *obs.Registry { return db.obs }
 
 // LockShardCount returns the lock table's shard count.
 func (db *DB) LockShardCount() int { return db.lm.ShardCount() }

@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cc"
 	"repro/internal/commut"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/txn"
@@ -46,6 +48,8 @@ type runtimeAction struct {
 	parent *runtimeAction
 	obj    txn.OID
 	inv    commut.Invocation
+	// depth is the nesting depth below the transaction root (root = 0).
+	depth int
 
 	mu        sync.Mutex
 	nchildren int
@@ -78,10 +82,14 @@ func (a *runtimeAction) nextChildID() string {
 
 // Txn is a top-level transaction.
 type Txn struct {
-	db   *DB
-	id   string
-	seq  int64
-	root *runtimeAction
+	db    *DB
+	id    string
+	seq   int64
+	root  *runtimeAction
+	began time.Time
+	// maxDepth tracks the deepest nesting reached — reported on the
+	// txn.commit / txn.abort flight-recorder events.
+	maxDepth atomic.Int64
 
 	mu       sync.Mutex
 	finished bool
@@ -131,9 +139,10 @@ func (db *DB) Begin() *Txn {
 	n := db.txnSeq.Add(1)
 	id := fmt.Sprintf("T%d", n)
 	t := &Txn{
-		db:  db,
-		id:  id,
-		seq: n,
+		db:    db,
+		id:    id,
+		seq:   n,
+		began: time.Now(),
 		root: &runtimeAction{
 			id:  id,
 			obj: txn.SystemObject,
@@ -141,6 +150,7 @@ func (db *DB) Begin() *Txn {
 		},
 	}
 	db.stats.txnsStarted.Add(1)
+	db.obsRec.Record(obs.Event{Kind: obs.EvTxnBegin, Actor: id})
 	if db.tracing {
 		db.rec.Record(trace.Event{
 			ID:      id,
@@ -248,8 +258,15 @@ func (db *DB) invoke(t *Txn, parent *runtimeAction, obj txn.OID, method string, 
 		parent: parent,
 		obj:    obj,
 		inv:    inv,
+		depth:  parent.depth + 1,
 	}
 	db.stats.actions.Add(1)
+	for {
+		cur := t.maxDepth.Load()
+		if int64(a.depth) <= cur || t.maxDepth.CompareAndSwap(cur, int64(a.depth)) {
+			break
+		}
+	}
 
 	if err := db.acquireFor(t, a, ot); err != nil {
 		return "", err
@@ -675,6 +692,10 @@ func (t *Txn) Commit() error {
 		return fmt.Errorf("core: commit %s not durable: %w", t.id, err)
 	}
 	t.db.stats.txnsCommitted.Add(1)
+	elapsed := time.Since(t.began)
+	t.db.obsCommitNs.ObserveDuration(elapsed)
+	t.db.obsRec.Record(obs.Event{Kind: obs.EvTxnCommit, Actor: t.id,
+		Dur: elapsed, N: t.maxDepth.Load()})
 	return nil
 }
 
@@ -730,6 +751,8 @@ func (t *Txn) Abort() error {
 	t.db.wal.LogAbort(t.id)
 	t.db.lm.ReleaseTree(t.id)
 	t.db.stats.txnsAborted.Add(1)
+	t.db.obsRec.Record(obs.Event{Kind: obs.EvTxnAbort, Actor: t.id,
+		Dur: time.Since(t.began), N: t.maxDepth.Load()})
 	if t.db.tracing && !compensated {
 		t.db.rec.MarkAborted(t.id)
 	}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEngineObsLifecycle: an engine opened with default options carries a
+// registry; commit and abort leave txn events with nesting depth and the
+// commit-latency histogram fills; engine counters are published under
+// "engine" and the lock manager's under "lock".
+func TestEngineObsLifecycle(t *testing.T) {
+	db := Open(Options{})
+	reg := db.Obs()
+	if reg == nil {
+		t.Fatal("default Open must create an observability registry")
+	}
+	regObj := registerRegType(t, db)
+
+	tx := db.Begin()
+	if _, err := tx.Exec(regObj, "set", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := db.Begin()
+	if _, err := tx2.Exec(regObj, "set", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	var commit, abort obs.Event
+	for _, e := range reg.Recorder().Tail(0) {
+		switch {
+		case e.Kind == obs.EvTxnCommit && e.Actor == tx.ID():
+			commit = e
+		case e.Kind == obs.EvTxnAbort && e.Actor == tx2.ID():
+			abort = e
+		}
+	}
+	// reg.set runs as a subtransaction (depth 1) and touches its page
+	// underneath (depth 2).
+	if commit.Kind == "" || commit.N < 2 || commit.Dur <= 0 {
+		t.Fatalf("commit event = %+v, want depth >= 2 and a latency", commit)
+	}
+	if abort.Kind == "" || abort.N < 2 {
+		t.Fatalf("abort event = %+v, want depth >= 2", abort)
+	}
+	if n := reg.Histogram("txn.commit_ns", obs.LatencyBounds()).Count(); n != 1 {
+		t.Fatalf("commit histogram count = %d, want 1", n)
+	}
+
+	snap := reg.Snapshot()
+	engine, ok := snap["engine"].(Stats)
+	if !ok {
+		t.Fatalf("snapshot[engine] = %T, want core.Stats", snap["engine"])
+	}
+	if engine.TxnsCommitted != 1 || engine.TxnsAborted != 1 {
+		t.Fatalf("published engine stats = %+v", engine)
+	}
+	for _, name := range []string{"lock", "pool"} {
+		if _, ok := snap[name]; !ok {
+			t.Fatalf("snapshot missing %q: have %v", name, reg.Names())
+		}
+	}
+}
+
+// TestDisableObs: DisableObs must yield a nil registry and a fully working
+// engine (every instrumented path is nil-receiver safe).
+func TestDisableObs(t *testing.T) {
+	db := Open(Options{DisableObs: true})
+	if db.Obs() != nil {
+		t.Fatal("DisableObs must leave the registry nil")
+	}
+	regObj := registerRegType(t, db)
+	tx := db.Begin()
+	if _, err := tx.Exec(regObj, "set", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedObsAcrossEngines: a caller-provided registry is reused and its
+// snapshot functions follow the most recently opened engine (the protocol-
+// sweep contract).
+func TestSharedObsAcrossEngines(t *testing.T) {
+	reg := obs.New()
+	db1 := Open(Options{Obs: reg})
+	if db1.Obs() != reg {
+		t.Fatal("caller-provided registry must be used")
+	}
+	regObj := registerRegType(t, db1)
+	tx := db1.Begin()
+	if _, err := tx.Exec(regObj, "set", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := Open(Options{Obs: reg})
+	engine, ok := reg.Snapshot()["engine"].(Stats)
+	if !ok || engine.TxnsCommitted != 0 {
+		t.Fatalf("engine snapshot should follow the NEW engine (0 commits), got %+v ok=%v", engine, ok)
+	}
+	_ = db2
+}

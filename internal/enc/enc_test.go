@@ -234,6 +234,15 @@ func TestConcurrentMixedAllProtocols(t *testing.T) {
 		p := p
 		t.Run(p.String(), func(t *testing.T) {
 			db, e := newEnc(t, p)
+			// On failure, the flight recorder's tail is the best lead on
+			// what the interleaving actually did.
+			t.Cleanup(func() {
+				if t.Failed() {
+					var b strings.Builder
+					db.Obs().Recorder().Dump(&b, 64)
+					t.Log(b.String())
+				}
+			})
 			for i := 0; i < 10; i++ {
 				runOne(t, db, e.OID(), "insert", fmt.Sprintf("base%02d", i), "v")
 			}

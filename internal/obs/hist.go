@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counters.
+// Bucket i counts observations v with v <= bounds[i] (and, for i > 0,
+// v > bounds[i-1]); one implicit overflow bucket counts everything above
+// the last bound. Observe is lock-free: one atomic add into the bucket
+// plus sum and count, so it is safe on hot paths and under -race.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given strictly increasing
+// upper bounds. The bounds slice is copied.
+func NewHistogram(bounds []int64) *Histogram {
+	b := append([]int64{}, bounds...)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// LatencyBounds returns exponential duration buckets in nanoseconds, from
+// 1µs doubling to ~17s — wide enough for lock waits, fsyncs, and commits.
+func LatencyBounds() []int64 {
+	out := make([]int64, 25)
+	v := int64(1000) // 1µs
+	for i := range out {
+		out[i] = v
+		v *= 2
+	}
+	return out
+}
+
+// SizeBounds returns power-of-two count buckets from 1 to 65536 — suited
+// to batch sizes and queue depths.
+func SizeBounds() []int64 {
+	out := make([]int64, 17)
+	v := int64(1)
+	for i := range out {
+		out[i] = v
+		v *= 2
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot. LE is the
+// bucket's inclusive upper bound; the overflow bucket reports
+// math.MaxInt64.
+type Bucket struct {
+	LE int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramValue is the JSON snapshot of a histogram.
+type HistogramValue struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Value implements Var. Empty buckets are elided; concurrent Observe calls
+// make the snapshot approximate (sum/count/buckets may differ by in-flight
+// observations), never torn per field.
+func (h *Histogram) Value() any {
+	if h == nil {
+		return HistogramValue{}
+	}
+	out := HistogramValue{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := int64(math.MaxInt64)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		out.Buckets = append(out.Buckets, Bucket{LE: le, N: n})
+	}
+	return out
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in [0,1]):
+// the bound of the bucket where the q·count-th observation falls. Returns
+// 0 on an empty histogram and the last bound for the overflow bucket.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := int64(0)
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}

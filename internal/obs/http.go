@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the registry's HTTP handler:
+//
+//	/metrics     — expvar-compatible JSON snapshot of every registered var
+//	/debug/vars  — alias for expvar tooling
+//	/events?n=K  — the flight recorder's last K events as text (default 200)
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	metrics := func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	}
+	mux.HandleFunc("/metrics", metrics)
+	mux.HandleFunc("/debug/vars", metrics)
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		n := 200
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.Recorder().Dump(w, n)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "oodb observability: /metrics (JSON), /debug/vars (alias), /events?n=K (flight recorder)")
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for the registry on addr (host:port; port 0
+// picks a free port). It returns the bound address and a shutdown func.
+func (r *Registry) Serve(addr string) (bound string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -30,9 +30,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -47,6 +49,12 @@ type Report struct {
 	// PhysicalUndos and LogicalUndos count executed undo entries.
 	PhysicalUndos int
 	LogicalUndos  int
+	// Phase durations: outcome analysis, history redo, and loser undo
+	// (including recovery-time compensations). Also published as
+	// recovery.phase events on the recovered engine's flight recorder.
+	AnalysisTime time.Duration
+	RedoTime     time.Duration
+	UndoTime     time.Duration
 }
 
 // RegisterTypes re-registers the application's object types on the
@@ -79,6 +87,12 @@ func RecoverDir(dir string, opts core.Options, registerTypes RegisterTypes) (*co
 	if err != nil {
 		return nil, Report{}, err
 	}
+	// Create the registry up front (unless disabled) so the file WAL
+	// publishes into the same one the recovered engine will use.
+	if opts.Obs == nil && !opts.DisableObs {
+		opts.Obs = obs.New()
+	}
+	fw.SetObs(opts.Obs)
 	wal := storage.NewWALFromRecords(records)
 	wal.SetSink(fw) // existing records are already in the files; only new appends flow
 	db, rep, rerr := recoverWith(storage.NewMemStore(opts.PageSize), records, wal, opts, registerTypes)
@@ -96,6 +110,7 @@ func recoverWith(disk *storage.MemStore, records []storage.Record, engineWAL *st
 	var rep Report
 
 	// --- Analysis ---------------------------------------------------------
+	analysisStart := time.Now()
 	committed := map[string]bool{}
 	aborted := map[string]bool{}
 	active := map[string]bool{}
@@ -117,7 +132,10 @@ func recoverWith(disk *storage.MemStore, records []storage.Record, engineWAL *st
 		}
 	}
 
+	rep.AnalysisTime = time.Since(analysisStart)
+
 	// --- Redo: repeat history --------------------------------------------
+	redoStart := time.Now()
 	for _, r := range records {
 		if r.Kind != storage.RecUpdate {
 			continue
@@ -127,6 +145,7 @@ func recoverWith(disk *storage.MemStore, records []storage.Record, engineWAL *st
 		}
 		rep.Redone++
 	}
+	rep.RedoTime = time.Since(redoStart)
 
 	// --- Open the engine on the recovered image ----------------------------
 	opts.Store = disk
@@ -153,6 +172,7 @@ func recoverWith(disk *storage.MemStore, records []storage.Record, engineWAL *st
 	}
 
 	// --- Undo the losers ----------------------------------------------------
+	undoStart := time.Now()
 	discarded := map[uint64]bool{}
 	for _, r := range records {
 		switch r.Kind {
@@ -241,6 +261,20 @@ func recoverWith(disk *storage.MemStore, records []storage.Record, engineWAL *st
 	}
 	for i := len(losers) - 1; i >= 0; i-- {
 		db.WAL().LogAbort(losers[i]) // the losers' aborts are now complete
+	}
+	rep.UndoTime = time.Since(undoStart)
+
+	// The phases ran before (analysis, redo) or around (undo) the engine's
+	// construction; stamp them onto its flight recorder retroactively so a
+	// post-recovery timeline starts with the recovery story.
+	if rec := db.Obs().Recorder(); rec != nil {
+		rec.Record(obs.Event{Kind: obs.EvRecovery, Object: "analysis",
+			Dur: rep.AnalysisTime, N: int64(len(records))})
+		rec.Record(obs.Event{Kind: obs.EvRecovery, Object: "redo",
+			Dur: rep.RedoTime, N: int64(rep.Redone)})
+		rec.Record(obs.Event{Kind: obs.EvRecovery, Object: "undo",
+			Dur: rep.UndoTime, N: int64(rep.PhysicalUndos + rep.LogicalUndos),
+			Note: fmt.Sprintf("%d losers", len(losers))})
 	}
 
 	for root := range committed {

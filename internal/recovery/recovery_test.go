@@ -138,6 +138,20 @@ func TestInFlightRolledBackPhysical(t *testing.T) {
 	if len(rep.Losers) != 1 || rep.PhysicalUndos == 0 {
 		t.Fatalf("report = %+v", rep)
 	}
+	if rep.AnalysisTime <= 0 || rep.RedoTime <= 0 || rep.UndoTime <= 0 {
+		t.Fatalf("report lacks phase timings: %+v", rep)
+	}
+	phases := map[string]bool{}
+	for _, e := range db2.Obs().Recorder().Tail(0) {
+		if e.Kind == "recovery.phase" {
+			phases[e.Object] = true
+		}
+	}
+	for _, p := range []string{"analysis", "redo", "undo"} {
+		if !phases[p] {
+			t.Fatalf("flight recorder missing recovery phase %q: %v", p, phases)
+		}
+	}
 	if got := get(t, db2, "a"); got != "committed" {
 		t.Fatalf("after recovery a=%q, want committed", got)
 	}

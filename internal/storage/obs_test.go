@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestPoolStatsConcurrentWithFetches: Stats() must be readable while many
+// goroutines fetch and unpin — the counters are atomics, so a metrics
+// poller never contends with (or races against) the fetch path. This is
+// the satellite-1 regression: run with -race.
+func TestPoolStatsConcurrentWithFetches(t *testing.T) {
+	store := NewMemStore(0)
+	ids := make([]PageID, 8)
+	for i := range ids {
+		ids[i] = store.Allocate()
+	}
+	bp := NewBufferPool(store, 4) // smaller than the working set: forces evictions
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	pollerDone := make(chan struct{})
+	go func() { // the poller
+		defer close(pollerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				bp.Stats()
+			}
+		}
+	}()
+	const workers, iters = 8, 300
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				f, err := bp.FetchPage(ids[(w+i)%len(ids)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				f.Latch()
+				f.SetData("v")
+				f.Unlatch()
+				bp.Unpin(f)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-pollerDone
+	hits, misses, evictions := bp.Stats()
+	if hits+misses != workers*iters {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, workers*iters)
+	}
+	if evictions == 0 {
+		t.Fatal("expected evictions with a pool smaller than the working set")
+	}
+}
+
+// TestPoolObsPublishesAndRecordsEvictions: with a registry attached the
+// pool publishes its counters under "pool" and dirty evictions land on the
+// flight recorder with the write-back note.
+func TestPoolObsPublishesAndRecordsEvictions(t *testing.T) {
+	store := NewMemStore(0)
+	a, b := store.Allocate(), store.Allocate()
+	bp := NewBufferPool(store, 1)
+	reg := obs.New()
+	bp.SetObs(reg)
+
+	f, err := bp.FetchPage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Latch()
+	f.SetData("dirty page")
+	f.Unlatch()
+	bp.Unpin(f)
+	if _, err := bp.FetchPage(b); err != nil { // evicts the dirty frame
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	pool, ok := snap["pool"].(map[string]int64)
+	if !ok {
+		t.Fatalf("snapshot[pool] = %T, want map[string]int64", snap["pool"])
+	}
+	if pool["evictions"] != 1 || pool["capacity"] != 1 {
+		t.Fatalf("published pool stats = %v", pool)
+	}
+	var sawDirtyEvict bool
+	for _, e := range reg.Recorder().Tail(0) {
+		if e.Kind == obs.EvPoolEvict && e.Note == "dirty" && e.Dur > 0 {
+			sawDirtyEvict = true
+		}
+	}
+	if !sawDirtyEvict {
+		t.Fatal("no dirty pool.evict event with write-back duration recorded")
+	}
+	if got, err := store.Read(a); err != nil || got != "dirty page" {
+		t.Fatalf("write-back before evict: %q, %v", got, err)
+	}
+}
+
+// TestFileWALObs: group-commit flushes must observe fsync latency and batch
+// size and publish WAL counters under "wal".
+func TestFileWALObs(t *testing.T) {
+	dir := t.TempDir()
+	w, recs, err := OpenFileWAL(dir, FileWALOptions{Durability: GroupCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh dir has %d records", len(recs))
+	}
+	reg := obs.New()
+	w.SetObs(reg)
+
+	for lsn := uint64(1); lsn <= 3; lsn++ {
+		w.Append(Record{LSN: lsn, Kind: RecCommit, Owner: "T1"})
+	}
+	if err := w.WaitDurable(3); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Histogram("wal.fsync_ns", obs.LatencyBounds()).Count(); n == 0 {
+		t.Fatal("no fsync latency observed")
+	}
+	batch := reg.Histogram("wal.batch_records", obs.SizeBounds())
+	if batch.Count() == 0 || batch.Sum() != 3 {
+		t.Fatalf("batch histogram count=%d sum=%d, want all 3 records flushed", batch.Count(), batch.Sum())
+	}
+	var sawBatch bool
+	for _, e := range reg.Recorder().Tail(0) {
+		if e.Kind == obs.EvWALBatch && e.N >= 1 {
+			sawBatch = true
+		}
+	}
+	if !sawBatch {
+		t.Fatal("no wal.batch event recorded")
+	}
+	snap := reg.Snapshot()
+	wal, ok := snap["wal"].(map[string]int64)
+	if !ok {
+		t.Fatalf("snapshot[wal] = %T, want map[string]int64", snap["wal"])
+	}
+	if wal["durable_lsn"] != 3 || wal["fsyncs"] < 1 {
+		t.Fatalf("published wal stats = %v", wal)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

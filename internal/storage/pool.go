@@ -4,6 +4,10 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Frame is one buffered page. Callers pin a frame with FetchPage, operate
@@ -64,7 +68,13 @@ type BufferPool struct {
 	// lru holds evictable (unpinned) frames, least recently used in front.
 	lru *list.List
 
-	hits, misses, evictions int64
+	// Counters are atomics so Stats and the metrics endpoint never contend
+	// with fetches on bp.mu.
+	hits, misses, evictions atomic.Int64
+
+	// rec receives evict / write-error events when SetObs attached a
+	// registry; nil (and nil-safe) otherwise.
+	rec *obs.FlightRecorder
 }
 
 // NewBufferPool wraps store with a pool holding at most capacity frames
@@ -84,13 +94,33 @@ func NewBufferPool(store Store, capacity int) *BufferPool {
 // Store returns the backing store.
 func (bp *BufferPool) Store() Store { return bp.store }
 
+// SetObs attaches an observability registry: the pool publishes its
+// counters under "pool" and records evictions and write-back errors in the
+// registry's flight recorder. Call before the pool sees traffic.
+func (bp *BufferPool) SetObs(reg *obs.Registry) {
+	bp.rec = reg.Recorder()
+	reg.PublishFunc("pool", func() any {
+		hits, misses, evictions := bp.Stats()
+		bp.mu.Lock()
+		cached := len(bp.frames)
+		bp.mu.Unlock()
+		return map[string]int64{
+			"hits":      hits,
+			"misses":    misses,
+			"evictions": evictions,
+			"cached":    int64(cached),
+			"capacity":  int64(bp.capacity),
+		}
+	})
+}
+
 // FetchPage pins the page's frame, loading it from the store on a miss.
 // Every successful fetch must be paired with an Unpin.
 func (bp *BufferPool) FetchPage(id PageID) (*Frame, error) {
 	bp.mu.Lock()
 	for {
 		if f, ok := bp.frames[id]; ok {
-			bp.hits++
+			bp.hits.Add(1)
 			f.pins++
 			if f.lruElem != nil {
 				bp.lru.Remove(f.lruElem)
@@ -126,7 +156,7 @@ func (bp *BufferPool) FetchPage(id PageID) (*Frame, error) {
 		// evictOneLocked may drop bp.mu around store I/O, so another fetcher
 		// can have installed the frame meanwhile; re-check the map.
 	}
-	bp.misses++
+	bp.misses.Add(1)
 	// Reserve the slot before dropping the pool lock for I/O so concurrent
 	// fetchers of the same page share one frame.
 	f := &Frame{ID: id, pins: 1, loading: true}
@@ -176,20 +206,25 @@ func (bp *BufferPool) evictOneLocked() error {
 		victim := elem.Value.(*Frame)
 		bp.lru.Remove(elem)
 		victim.lruElem = nil
+		var wroteBack time.Duration
 		if victim.dirty {
 			victim.pins++
 			bp.mu.Unlock()
 			victim.mu.Lock()
 			var err error
 			if victim.dirty {
+				wbStart := time.Now()
 				if err = bp.store.Write(victim.ID, victim.data); err == nil {
 					victim.dirty = false
+					wroteBack = time.Since(wbStart)
 				}
 			}
 			victim.mu.Unlock()
 			bp.mu.Lock()
 			victim.pins--
 			if err != nil {
+				bp.rec.Record(obs.Event{Kind: obs.EvPoolWriteErr,
+					Object: fmt.Sprintf("page %d", victim.ID), Note: err.Error()})
 				if firstErr == nil {
 					firstErr = err
 				}
@@ -214,7 +249,12 @@ func (bp *BufferPool) evictOneLocked() error {
 			}
 		}
 		delete(bp.frames, victim.ID)
-		bp.evictions++
+		bp.evictions.Add(1)
+		ev := obs.Event{Kind: obs.EvPoolEvict, Object: fmt.Sprintf("page %d", victim.ID)}
+		if wroteBack > 0 {
+			ev.Note, ev.Dur = "dirty", wroteBack
+		}
+		bp.rec.Record(ev)
 		return nil
 	}
 	if firstErr != nil {
@@ -260,9 +300,8 @@ func (bp *BufferPool) FlushAll() error {
 	return nil
 }
 
-// Stats returns (hits, misses, evictions).
+// Stats returns (hits, misses, evictions). It reads atomics only, so a
+// metrics poller never contends with fetches on the pool mutex.
 func (bp *BufferPool) Stats() (hits, misses, evictions int64) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.hits, bp.misses, bp.evictions
+	return bp.hits.Load(), bp.misses.Load(), bp.evictions.Load()
 }

@@ -11,6 +11,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Durability selects how the write-ahead log reaches stable storage.
@@ -124,6 +127,11 @@ type FileWAL struct {
 
 	flusherDone chan struct{}
 	fsyncs      atomic.Int64
+
+	// Observability handles (SetObs); nil and nil-safe when detached.
+	obsFsync *obs.Histogram      // latency of each physical fsync
+	obsBatch *obs.Histogram      // records per group-commit flush
+	rec      *obs.FlightRecorder // one wal.batch event per flush
 }
 
 // OpenFileWAL opens (or creates) the segmented WAL in dir, applying the
@@ -175,6 +183,27 @@ func OpenFileWAL(dir string, o FileWALOptions) (*FileWAL, []Record, error) {
 	}
 	go w.flusher()
 	return w, records, nil
+}
+
+// SetObs attaches an observability registry: the WAL observes every fsync's
+// latency in "wal.fsync_ns", every flush's record count in
+// "wal.batch_records", records one wal.batch event per flush, and publishes
+// its counters under "wal". Call before the WAL sees commit traffic.
+func (w *FileWAL) SetObs(reg *obs.Registry) {
+	w.obsFsync = reg.Histogram("wal.fsync_ns", obs.LatencyBounds())
+	w.obsBatch = reg.Histogram("wal.batch_records", obs.SizeBounds())
+	w.rec = reg.Recorder()
+	reg.PublishFunc("wal", func() any {
+		w.mu.Lock()
+		appended, durable, pendingBytes := w.appended, w.durable, w.pendingBytes
+		w.mu.Unlock()
+		return map[string]int64{
+			"fsyncs":        w.fsyncs.Load(),
+			"appended_lsn":  int64(appended),
+			"durable_lsn":   int64(durable),
+			"pending_bytes": int64(pendingBytes),
+		}
+	})
 }
 
 // ReadWALDir scans the segment files read-only: the torn tail of the last
@@ -394,6 +423,7 @@ func (w *FileWAL) syncTo(target uint64, forceSync bool) error {
 	// cannot starve the waiters of their fsync; the baseline (forceSync)
 	// takes exactly one pass, preserving its one-commit-one-fsync shape.
 	var maxLSN uint64
+	batchRecords := 0
 	for pass := 0; pass < 4; pass++ {
 		w.mu.Lock()
 		if !forceSync && w.appended > target {
@@ -412,6 +442,7 @@ func (w *FileWAL) syncTo(target uint64, forceSync bool) error {
 		if len(batch) == 0 {
 			break
 		}
+		batchRecords += len(batch)
 
 		// Coalesce the batch into one write syscall per segment run: a
 		// group flush covers many committers' frames, and a short
@@ -441,10 +472,17 @@ func (w *FileWAL) syncTo(target uint64, forceSync bool) error {
 		}
 	}
 	if w.cur != nil && (maxLSN > 0 || forceSync) {
+		fsyncStart := time.Now()
 		if err := w.cur.Sync(); err != nil {
 			return err
 		}
+		fsyncDur := time.Since(fsyncStart)
 		w.fsyncs.Add(1)
+		w.obsFsync.ObserveDuration(fsyncDur)
+		if batchRecords > 0 {
+			w.obsBatch.Observe(int64(batchRecords))
+			w.rec.Record(obs.Event{Kind: obs.EvWALBatch, N: int64(batchRecords), Dur: fsyncDur})
+		}
 	}
 	if maxLSN > 0 {
 		w.mu.Lock()
@@ -474,10 +512,12 @@ func (w *FileWAL) flushRun(buf []byte) error {
 // the new file survives a crash.
 func (w *FileWAL) rotate(firstLSN uint64) error {
 	if w.cur != nil {
+		fsyncStart := time.Now()
 		if err := w.cur.Sync(); err != nil {
 			return err
 		}
 		w.fsyncs.Add(1)
+		w.obsFsync.ObserveDuration(time.Since(fsyncStart))
 		if err := w.cur.Close(); err != nil {
 			return err
 		}

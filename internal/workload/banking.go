@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/commut"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/txn"
 )
@@ -57,6 +58,9 @@ type BankingConfig struct {
 	// Durability and WALDir select a file-backed WAL (see Config).
 	Durability storage.Durability
 	WALDir     string
+	// Obs and DisableObs configure the observability registry (see Config).
+	Obs        *obs.Registry
+	DisableObs bool
 }
 
 // installAccounts registers the account type; each account lives on its
@@ -194,6 +198,8 @@ func RunBanking(cfg BankingConfig) (Result, error) {
 		PageIODelay:  cfg.PageIODelay,
 		Durability:   cfg.Durability,
 		WALDir:       cfg.WALDir,
+		Obs:          cfg.Obs,
+		DisableObs:   cfg.DisableObs,
 	})
 	if err != nil {
 		return Result{}, err

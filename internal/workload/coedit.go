@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/commut"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/txn"
 )
 
@@ -51,6 +52,9 @@ type CoEditConfig struct {
 	MaxRetries  int
 	// PageIODelay is the simulated page I/O latency (see core.Options).
 	PageIODelay time.Duration
+	// Obs and DisableObs configure the observability registry (see Config).
+	Obs        *obs.Registry
+	DisableObs bool
 }
 
 // installDocument registers the document type; sections map to pages.
@@ -158,6 +162,8 @@ func RunCoEdit(cfg CoEditConfig) (Result, error) {
 		LockTimeout:  cfg.LockTimeout,
 		DisableTrace: !cfg.Validate,
 		PageIODelay:  cfg.PageIODelay,
+		Obs:          cfg.Obs,
+		DisableObs:   cfg.DisableObs,
 	})
 	doc, err := installDocument(db, cfg.Sections)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/commut"
+	"repro/internal/obs"
 	"repro/internal/txn"
 )
 
@@ -42,6 +43,9 @@ type LockStressConfig struct {
 	Timeout time.Duration
 	// Fair enables FIFO fairness.
 	Fair bool
+	// Obs, when non-nil, attaches the lock manager's metrics and flight
+	// recorder to this registry (there is no engine here to create one).
+	Obs *obs.Registry
 }
 
 func (c *LockStressConfig) fillDefaults() {
@@ -77,6 +81,9 @@ func RunLockStress(cfg LockStressConfig) (Result, error) {
 	}
 	if cfg.Fair {
 		opts = append(opts, cc.WithFairness())
+	}
+	if cfg.Obs != nil {
+		opts = append(opts, cc.WithObs(cfg.Obs))
 	}
 	lm := cc.NewLockManager(opts...)
 	spec := commut.KeyedSpec([]string{"search"}, []string{"insert"})
@@ -143,11 +150,7 @@ func RunLockStress(cfg LockStressConfig) (Result, error) {
 		WaitTime:  snap.WaitTime,
 		Elapsed:   elapsed,
 	}
-	if elapsed > 0 {
-		r.Throughput = float64(r.Committed) / elapsed.Seconds()
-	}
-	if r.Acquires > 0 {
-		r.ConflictRate = float64(r.Blocked) / float64(r.Acquires)
-	}
+	r.Throughput = safeDiv(float64(r.Committed), elapsed.Seconds())
+	r.ConflictRate = safeDiv(float64(r.Blocked), float64(r.Acquires))
 	return r, nil
 }

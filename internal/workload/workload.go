@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/enc"
 	"repro/internal/list"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/txn"
 )
@@ -96,6 +97,12 @@ type Config struct {
 	// (required then), so commits pay real fsyncs.
 	Durability storage.Durability
 	WALDir     string
+	// Obs, when non-nil, is the observability registry the engine
+	// publishes into — pass one registry across a protocol sweep to keep
+	// a single /metrics endpoint live. DisableObs skips creating one
+	// entirely (see core.Options).
+	Obs        *obs.Registry
+	DisableObs bool
 }
 
 func (c *Config) fillDefaults() error {
@@ -212,6 +219,8 @@ func RunEncyclopedia(cfg Config) (Result, error) {
 		LockShards:   cfg.LockShards,
 		Durability:   cfg.Durability,
 		WALDir:       cfg.WALDir,
+		Obs:          cfg.Obs,
+		DisableObs:   cfg.DisableObs,
 	})
 	if err != nil {
 		return Result{}, err
@@ -436,12 +445,8 @@ func finishResult(db *core.DB, name string, protocol core.ProtocolKind, workers 
 		WaitTime:  lock.WaitTime - preLock.WaitTime,
 		Elapsed:   elapsed,
 	}
-	if elapsed > 0 {
-		r.Throughput = float64(r.Committed) / elapsed.Seconds()
-	}
-	if r.Acquires > 0 {
-		r.ConflictRate = float64(r.Blocked) / float64(r.Acquires)
-	}
+	r.Throughput = safeDiv(float64(r.Committed), elapsed.Seconds())
+	r.ConflictRate = safeDiv(float64(r.Blocked), float64(r.Acquires))
 	if validate {
 		a, rep, err := db.Validate()
 		if err != nil {
@@ -455,6 +460,18 @@ func finishResult(db *core.DB, name string, protocol core.ProtocolKind, workers 
 		r.ConventionalConflicts = conv.Conflicts
 	}
 	return r, nil
+}
+
+// safeDiv returns num/den, or 0 when den is zero. Every derived rate in a
+// Result goes through it: a degenerate run (zero acquires, zero elapsed
+// time) must report 0, never NaN or Inf — those poison downstream
+// comparisons (NaN fails every threshold check silently) and render as
+// garbage in the table.
+func safeDiv(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }
 
 // Table renders results under a shared header.
