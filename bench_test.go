@@ -26,6 +26,7 @@ import (
 	"repro/internal/paperex"
 	"repro/internal/recovery"
 	"repro/internal/sched"
+	"repro/internal/span"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/workload"
@@ -412,8 +413,8 @@ func BenchmarkL1GroupCommit(b *testing.B) {
 						Protocol: core.ProtocolOpenNested, Workers: workers,
 						TxnsPerWorker: 30, Accounts: 512, HotPct: 0, Seed: 9,
 						LockTimeout: 2 * time.Second, MaxRetries: 300,
-						Durability:  mode,
-						WALDir:      filepath.Join(b.TempDir(), fmt.Sprintf("wal%d", i)),
+						Durability: mode,
+						WALDir:     filepath.Join(b.TempDir(), fmt.Sprintf("wal%d", i)),
 					})
 					if err != nil {
 						b.Fatal(err)
@@ -485,7 +486,7 @@ func BenchmarkO1ObsOverhead(b *testing.B) {
 						OpsPerTxn: 5, Keys: 300, TreeFanout: 400, Preload: 100, Seed: 123,
 						Mix:         workload.Mix{InsertPct: 80, UpdatePct: 20},
 						PageIODelay: benchIO, MaxRetries: 300, LockTimeout: 2 * time.Second,
-						DisableObs:  disable,
+						DisableObs: disable,
 					})
 					if err != nil {
 						b.Fatal(err)
@@ -507,9 +508,74 @@ func BenchmarkO1ObsOverhead(b *testing.B) {
 						Protocol: core.ProtocolOpenNested, Workers: 16,
 						TxnsPerWorker: 30, Accounts: 512, HotPct: 0, Seed: 9,
 						LockTimeout: 2 * time.Second, MaxRetries: 300,
-						Durability:  storage.GroupCommit,
-						WALDir:      filepath.Join(b.TempDir(), fmt.Sprintf("wal%d", i)),
-						DisableObs:  disable,
+						Durability: storage.GroupCommit,
+						WALDir:     filepath.Join(b.TempDir(), fmt.Sprintf("wal%d", i)),
+						DisableObs: disable,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					report(b, res)
+				}
+			})
+		}
+	})
+}
+
+// BenchmarkO2SpanOverhead prices the always-on span tracing layer the same
+// way O1 prices the metrics layer: the H1-style hot-leaf run and the
+// L1-style group-commit run with span tracing on (every transaction
+// sampled) and with DisableSpans. The budget is 5% on txn/s — uncontended
+// acquires record nothing, so the steady-state cost is one map insert and
+// one method-span append per dispatch.
+func BenchmarkO2SpanOverhead(b *testing.B) {
+	b.Run("encyclopedia", func(b *testing.B) {
+		for _, disable := range []bool{false, true} {
+			name := "on"
+			if disable {
+				name = "off"
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := workload.RunEncyclopedia(workload.Config{
+						Protocol: core.ProtocolOpenNested, Workers: 8, TxnsPerWorker: 30,
+						OpsPerTxn: 5, Keys: 300, TreeFanout: 400, Preload: 100, Seed: 123,
+						Mix:         workload.Mix{InsertPct: 80, UpdatePct: 20},
+						PageIODelay: benchIO, MaxRetries: 300, LockTimeout: 2 * time.Second,
+						DisableSpans: disable,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					report(b, res)
+				}
+			})
+		}
+	})
+	// The banking transactions here are ~40µs end to end, an extreme case
+	// for per-transaction tracing; "sampled16" shows -span-sample 16 — the
+	// recommended setting for ultra-short-transaction workloads — next to
+	// trace-everything ("on") and DisableSpans ("off").
+	b.Run("group-commit", func(b *testing.B) {
+		for _, cfg := range []struct {
+			name    string
+			disable bool
+			sample  int
+		}{{"on", false, 0}, {"sampled16", false, 16}, {"off", true, 0}} {
+			b.Run(cfg.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var tracer *span.Tracer
+					if cfg.sample > 0 {
+						tracer = span.NewTracer(span.Options{SampleEvery: cfg.sample})
+					}
+					res, err := workload.RunBanking(workload.BankingConfig{
+						Protocol: core.ProtocolOpenNested, Workers: 16,
+						TxnsPerWorker: 30, Accounts: 512, HotPct: 0, Seed: 9,
+						LockTimeout: 2 * time.Second, MaxRetries: 300,
+						Durability:   storage.GroupCommit,
+						WALDir:       filepath.Join(b.TempDir(), fmt.Sprintf("wal%d", i)),
+						DisableSpans: cfg.disable,
+						Tracer:       tracer,
 					})
 					if err != nil {
 						b.Fatal(err)

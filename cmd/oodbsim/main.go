@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/span"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
@@ -35,25 +36,31 @@ var protocols = map[string]core.ProtocolKind{
 
 func main() {
 	var (
-		wl       = flag.String("workload", "encyclopedia", "workload: encyclopedia | coedit | banking")
-		protocol = flag.String("protocol", "all", "protocol: open-nested | 2pl-page | 2pl-object | closed-nested | none | all")
-		workers  = flag.Int("workers", 8, "concurrent workers / authors")
-		txns     = flag.Int("txns", 100, "transactions (edits) per worker")
-		ops      = flag.Int("ops", 4, "operations per transaction (encyclopedia)")
-		keys     = flag.Int("keys", 500, "key space size (encyclopedia)")
-		zipf     = flag.Float64("zipf", 0, "zipf skew s (>1 enables skew)")
-		fanout   = flag.Int("fanout", 100, "B+ tree node capacity (keys per page)")
-		sections = flag.Int("sections", 16, "document sections (coedit)")
-		accounts = flag.Int("accounts", 16, "accounts (banking)")
-		hot      = flag.Int("hot", 20, "percent of banking transfers hitting account 0")
-		seed     = flag.Int64("seed", 1, "random seed")
-		ioDelay  = flag.Duration("io", 20*time.Microsecond, "simulated page I/O latency")
-		validate = flag.Bool("validate", false, "validate the trace against Definitions 13/16")
-		traceOut = flag.String("trace", "", "write the encyclopedia workload's trace JSON to this file (single protocol only)")
-		durMode  = flag.String("durability", "mem-only", "WAL durability: mem-only | sync-on-commit | group-commit")
-		walDir   = flag.String("waldir", "", "WAL segment directory (required for durable modes; must be empty/new)")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /events on this host:port for the run")
-		linger   = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the run (needs -metrics-addr)")
+		wl         = flag.String("workload", "encyclopedia", "workload: encyclopedia | coedit | banking | lockstress")
+		protocol   = flag.String("protocol", "all", "protocol: open-nested | 2pl-page | 2pl-object | closed-nested | none | all")
+		workers    = flag.Int("workers", 8, "concurrent workers / authors")
+		txns       = flag.Int("txns", 100, "transactions (edits) per worker")
+		ops        = flag.Int("ops", 4, "operations per transaction (encyclopedia)")
+		keys       = flag.Int("keys", 500, "key space size (encyclopedia)")
+		zipf       = flag.Float64("zipf", 0, "zipf skew s (>1 enables skew)")
+		fanout     = flag.Int("fanout", 100, "B+ tree node capacity (keys per page)")
+		sections   = flag.Int("sections", 16, "document sections (coedit)")
+		accounts   = flag.Int("accounts", 16, "accounts (banking)")
+		hot        = flag.Int("hot", 20, "percent of banking transfers hitting account 0")
+		seed       = flag.Int64("seed", 1, "random seed")
+		ioDelay    = flag.Duration("io", 20*time.Microsecond, "simulated page I/O latency")
+		validate   = flag.Bool("validate", false, "validate the trace against Definitions 13/16")
+		traceOut   = flag.String("trace", "", "write the encyclopedia workload's trace JSON to this file (single protocol only)")
+		durMode    = flag.String("durability", "mem-only", "WAL durability: mem-only | sync-on-commit | group-commit")
+		walDir     = flag.String("waldir", "", "WAL segment directory (required for durable modes; must be empty/new)")
+		metrics    = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /events and /trace on this host:port for the run")
+		linger     = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the run (needs -metrics-addr)")
+		conflict   = flag.Int("conflict", 20, "percent of exclusive (non-commuting) acquires (lockstress)")
+		shards     = flag.Int("shards", 0, "lock-table shard count (lockstress; 0 = default)")
+		hold       = flag.Duration("hold", 0, "dwell time between acquires while holding locks (lockstress; widens conflict windows)")
+		chromeOut  = flag.String("trace-out", "", "write the run's span traces as Chrome trace_event JSON (chrome://tracing, Perfetto)")
+		blame      = flag.Int("blame", 0, "after the run, print blame chains for up to N aborted transactions")
+		spanSample = flag.Int("span-sample", 0, "span-trace every Nth transaction (0 or 1 = all)")
 	)
 	flag.Parse()
 
@@ -74,8 +81,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oodbsim: durable modes need a single -protocol (one WAL dir per run)")
 		os.Exit(2)
 	}
-	if durability != storage.MemOnly && *wl == "coedit" {
-		fmt.Fprintln(os.Stderr, "oodbsim: the coedit workload is in-memory only and cannot run durably")
+	if durability != storage.MemOnly && (*wl == "coedit" || *wl == "lockstress") {
+		fmt.Fprintf(os.Stderr, "oodbsim: the %s workload is in-memory only and cannot run durably\n", *wl)
 		os.Exit(2)
 	}
 	if *traceOut != "" && *protocol == "all" {
@@ -87,14 +94,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	// One registry for the whole run: a protocol sweep re-publishes the
-	// engine snapshots under the same names, so the endpoint follows
-	// whichever engine is live. A nil registry makes each engine create a
-	// private one (no endpoint).
+	// One span tracer for the whole run (a sweep's traces share one /trace
+	// endpoint and one Chrome export) and one registry: a protocol sweep
+	// re-publishes the engine snapshots under the same names, so the
+	// endpoint follows whichever engine is live. A nil registry makes each
+	// engine create a private one (no endpoint).
+	tracer := span.NewTracer(span.Options{SampleEvery: *spanSample})
 	var reg *obs.Registry
 	var stopMetrics func() error
 	if *metrics != "" {
 		reg = obs.New()
+		// Mount /trace here, not just via the engine: lockstress has no
+		// engine but still records traces.
+		reg.Handle("/trace", tracer.Handler())
 		bound, shutdown, err := reg.Serve(*metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "oodbsim: metrics endpoint: %v\n", err)
@@ -120,6 +132,11 @@ func main() {
 		kinds = append(kinds, k)
 		names = append(names, *protocol)
 	}
+	if *wl == "lockstress" {
+		// Lockstress hammers the lock table directly; there is no engine
+		// and no protocol to sweep.
+		kinds, names = kinds[:1], []string{"lock-table"}
+	}
 
 	var results []workload.Result
 	for i, kind := range kinds {
@@ -143,6 +160,7 @@ func main() {
 				Durability:    durability,
 				WALDir:        *walDir,
 				Obs:           reg,
+				Tracer:        tracer,
 			})
 		case "coedit":
 			res, err = workload.RunCoEdit(workload.CoEditConfig{
@@ -155,6 +173,7 @@ func main() {
 				Validate:       *validate,
 				PageIODelay:    *ioDelay,
 				Obs:            reg,
+				Tracer:         tracer,
 			})
 		case "banking":
 			res, err = workload.RunBanking(workload.BankingConfig{
@@ -169,6 +188,18 @@ func main() {
 				Durability:    durability,
 				WALDir:        *walDir,
 				Obs:           reg,
+				Tracer:        tracer,
+			})
+		case "lockstress":
+			res, err = workload.RunLockStress(workload.LockStressConfig{
+				Goroutines:       *workers,
+				TxnsPerGoroutine: *txns,
+				ConflictPct:      *conflict,
+				Shards:           *shards,
+				HoldDelay:        *hold,
+				Seed:             *seed,
+				Obs:              reg,
+				Tracer:           tracer,
 			})
 		default:
 			fmt.Fprintf(os.Stderr, "oodbsim: unknown workload %q\n", *wl)
@@ -188,6 +219,30 @@ func main() {
 			fmt.Printf("%-13s oo-serializable=%v conventional=%v semanticConflicts=%d conventionalConflicts=%d\n",
 				names[i], r.OOSerializable, r.ConvSerializable, r.SemanticConflicts, r.ConventionalConflicts)
 		}
+	}
+	if *blame > 0 {
+		aborted := tracer.Aborted(*blame)
+		fmt.Println()
+		if len(aborted) == 0 {
+			fmt.Println("no aborted transactions retained — nothing to blame")
+		}
+		for _, t := range aborted {
+			span.WriteBlame(os.Stdout, t)
+		}
+	}
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err == nil {
+			err = span.WriteChrome(f, tracer.Completed(0), tracer.EngineSpans())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oodbsim: writing %s: %v\n", *chromeOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "oodbsim: wrote Chrome trace to %s\n", *chromeOut)
 	}
 	if *linger > 0 {
 		fmt.Fprintf(os.Stderr, "oodbsim: metrics endpoint up for another %s\n", *linger)

@@ -33,6 +33,10 @@ type detector struct {
 	// wakers holds, per root, the wake callbacks of its blocked acquires so
 	// dooming a victim can wake exactly its own waits.
 	wakers map[string]map[*wakeHandle]struct{}
+	// cause records, per victim, the waits-for cycle that doomed it — the
+	// provenance an aborting victim's trace reports. Cleared with the victim
+	// mark (clearDoomed/forget).
+	cause map[string][]string
 }
 
 // wakeHandle identifies one blocked acquire's wake callback. The callback
@@ -49,6 +53,7 @@ func newDetector() *detector {
 		victims:  make(map[string]bool),
 		ages:     make(map[string]int64),
 		wakers:   make(map[string]map[*wakeHandle]struct{}),
+		cause:    make(map[string][]string),
 	}
 }
 
@@ -150,6 +155,11 @@ func (d *detector) detect(start string) (victim string, fresh bool) {
 	victim = d.youngestLocked(cycle)
 	fresh = !d.victims[victim]
 	d.victims[victim] = true
+	if fresh {
+		// Remember the cycle that doomed the victim: its aborting acquires
+		// read it back (causeOf) to attach a victim-of provenance edge.
+		d.cause[victim] = cycle
+	}
 	var wakes []func()
 	if victim != start && !d.doomed[victim] {
 		d.doomed[victim] = true
@@ -243,6 +253,7 @@ func (d *detector) clearDoomed(root string) {
 	defer d.mu.Unlock()
 	delete(d.doomed, root)
 	delete(d.victims, root)
+	delete(d.cause, root)
 	d.ages[root] = 0
 }
 
@@ -253,7 +264,16 @@ func (d *detector) forget(root string) {
 	defer d.mu.Unlock()
 	delete(d.doomed, root)
 	delete(d.victims, root)
+	delete(d.cause, root)
 	delete(d.ages, root)
+}
+
+// causeOf returns a copy of the waits-for cycle that doomed root, or nil
+// when root is not a (current-episode) victim.
+func (d *detector) causeOf(root string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.cause[root]...)
 }
 
 // forceDoom marks a root as victim directly (tests and debugging).

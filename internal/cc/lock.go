@@ -337,19 +337,29 @@ func sameEdges(a, b map[string]int) bool {
 // ErrDeadlock / ErrDoomed / ErrTimeout. Re-acquisition by the same owner
 // and mode is re-entrant.
 func (lm *LockManager) Acquire(owner string, res Resource, mode Mode) error {
-	err := lm.acquire(owner, res, mode)
+	_, err := lm.AcquireEx(owner, res, mode)
+	return err
+}
+
+// AcquireEx is Acquire plus provenance: the returned AcquireInfo reports
+// whether the call blocked, for how long, which holders it last observed
+// blocking it, and — on a deadlock abort — the waits-for cycle that doomed
+// it. This is what the span layer turns into blocked-on / victim-of /
+// timeout edges.
+func (lm *LockManager) AcquireEx(owner string, res Resource, mode Mode) (AcquireInfo, error) {
+	info, err := lm.acquire(owner, res, mode)
 	if err != nil && errors.Is(err, ErrTimeout) {
 		if fn := lm.debugHook(); fn != nil {
 			fn(lm.dump(owner, mode, res))
 		}
 	}
-	return err
+	return info, err
 }
 
-func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
+func (lm *LockManager) acquire(owner string, res Resource, mode Mode) (info AcquireInfo, err error) {
 	root := RootOf(owner)
 	if lm.det.isDoomed(root) {
-		return ErrDoomed
+		return AcquireInfo{Cycle: lm.det.causeOf(root)}, ErrDoomed
 	}
 	sh := lm.shardFor(res)
 
@@ -386,6 +396,13 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 			lm.stats.waitNanos.Add(int64(wait))
 			lm.obsWait.ObserveDuration(wait)
 			lm.obsWaiting.Add(-1)
+			info.Blocked = true
+			info.Wait = wait
+		}
+		info.Blockers = blockerRefs(lastBlockers)
+		info.TimedOut = errors.Is(err, ErrTimeout)
+		if errors.Is(err, ErrDeadlock) || errors.Is(err, ErrDoomed) {
+			info.Cycle = lm.det.causeOf(root)
 		}
 	}()
 
@@ -395,7 +412,7 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 			// doomed (detect reports fresh). A victim with several blocked
 			// sibling acquires observes its doom once per acquire, but it is
 			// still ONE aborted victim.
-			return ErrDeadlock
+			return info, ErrDeadlock
 		}
 		if timedOut {
 			lm.stats.timeouts.Add(1)
@@ -409,7 +426,7 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 			for _, b := range lastBlockers {
 				held = append(held, b.owner+"/"+b.mode.String())
 			}
-			return fmt.Errorf("%w: %s wants %s on %s blocked by %s",
+			return info, fmt.Errorf("%w: %s wants %s on %s blocked by %s",
 				ErrTimeout, owner, mode, res.Name, strings.Join(held, ", "))
 		}
 		mySeq := ^uint64(0)
@@ -424,7 +441,7 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 				lm.rec.Record(obs.Event{Kind: obs.EvLockGrant, Actor: owner,
 					Object: res.Name, Dur: time.Since(start)})
 			}
-			return nil
+			return info, nil
 		}
 		lastBlockers = bl
 		if !blocked {
@@ -484,7 +501,7 @@ func (lm *LockManager) acquire(owner string, res Resource, mode Mode) error {
 		sh.mu.Lock()
 		st = sh.state(res) // the idle state may have been collected while unlocked
 		if victim == root {
-			return ErrDeadlock
+			return info, ErrDeadlock
 		}
 		if lm.det.isDoomed(root) || timedOut {
 			continue

@@ -1,0 +1,201 @@
+package cc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/span"
+)
+
+func TestAcquireExUncontended(t *testing.T) {
+	lm := NewLockManager()
+	info, err := lm.AcquireEx("T1", res("A"), X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Blocked || info.Wait != 0 || len(info.Blockers) != 0 {
+		t.Fatalf("uncontended grant reported contention: %+v", info)
+	}
+	lm.ReleaseTree("T1")
+}
+
+func TestAcquireExBlockedThenGranted(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire("T1", res("A"), X); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var info AcquireInfo
+	var err error
+	go func() {
+		defer close(done)
+		info, err = lm.AcquireEx("T2", res("A"), X)
+	}()
+	time.Sleep(30 * time.Millisecond)
+	lm.ReleaseTree("T1")
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Blocked || info.Wait <= 0 {
+		t.Fatalf("blocked grant must report its wait: %+v", info)
+	}
+	if len(info.Blockers) == 0 || info.Blockers[0].Owner != "T1" {
+		t.Fatalf("blockers must name the holder that made us wait: %+v", info.Blockers)
+	}
+	lm.ReleaseTree("T2")
+}
+
+func TestAcquireExTimeoutProvenance(t *testing.T) {
+	lm := NewLockManager(WithWaitTimeout(50 * time.Millisecond))
+	if err := lm.Acquire("T1", res("A"), X); err != nil {
+		t.Fatal(err)
+	}
+	info, err := lm.AcquireEx("T2", res("A"), X)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !info.TimedOut || !info.Blocked {
+		t.Fatalf("timeout must be flagged: %+v", info)
+	}
+	if len(info.Blockers) == 0 || info.Blockers[0].Owner != "T1" || info.Blockers[0].Mode != "X" {
+		t.Fatalf("timeout must name who was still holding: %+v", info.Blockers)
+	}
+	lm.ReleaseTree("T2")
+	lm.ReleaseTree("T1")
+}
+
+func TestAcquireExDeadlockCycle(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire("T1", res("A"), X); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire("T2", res("B"), X); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	var victimInfo AcquireInfo
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errs[0] = lm.Acquire("T1", res("B"), X)
+		if errs[0] != nil {
+			lm.ReleaseTree("T1")
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	go func() {
+		defer wg.Done()
+		victimInfo, errs[1] = lm.AcquireEx("T2", res("A"), X)
+		if errs[1] != nil {
+			lm.ReleaseTree("T2")
+		}
+	}()
+	wg.Wait()
+	if !errors.Is(errs[1], ErrDeadlock) {
+		t.Fatalf("youngest (T2) should be the victim: %v", errs)
+	}
+	if len(victimInfo.Cycle) < 2 {
+		t.Fatalf("victim must receive its waits-for cycle: %+v", victimInfo)
+	}
+	found := map[string]bool{}
+	for _, r := range victimInfo.Cycle {
+		found[r] = true
+	}
+	if !found["T1"] || !found["T2"] {
+		t.Fatalf("cycle must contain both roots: %v", victimInfo.Cycle)
+	}
+	lm.ReleaseTree("T1")
+}
+
+// TestAcquireTracedVictimProvenance drives the full tt-recording path for a
+// deadlock victim and asserts the trace's shape: a KLock span whose LAST
+// edge is the victim-of explanation, stamped onto the aborted root.
+func TestAcquireTracedVictimProvenance(t *testing.T) {
+	lm := NewLockManager()
+	tr := span.New()
+	if err := lm.Acquire("T1", res("A"), X); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire("T2", res("B"), X); err != nil {
+		t.Fatal(err)
+	}
+	tt := tr.BeginTxn("T2", time.Now())
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errs[0] = lm.Acquire("T1", res("B"), X)
+		if errs[0] != nil {
+			lm.ReleaseTree("T1")
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	go func() {
+		defer wg.Done()
+		errs[1] = lm.AcquireTraced(tt, "T2.1", "T2", res("A"), X)
+		if errs[1] != nil {
+			lm.ReleaseTree("T2")
+		}
+	}()
+	wg.Wait()
+	if !errors.Is(errs[1], ErrDeadlock) {
+		t.Fatalf("T2 should be the victim: %v", errs)
+	}
+	tr.FinishTxn(tt, span.StatusAborted)
+	lm.ReleaseTree("T1")
+
+	snap := tr.Lookup("T2").Snapshot()
+	var lock *span.Span
+	for i := range snap.Spans {
+		if snap.Spans[i].Kind == span.KLock {
+			lock = &snap.Spans[i]
+		}
+	}
+	if lock == nil {
+		t.Fatalf("no lock span recorded: %+v", snap.Spans)
+	}
+	if lock.Parent != "T2.1" || lock.Class != "X" || lock.Err == "" {
+		t.Fatalf("lock span malformed: %+v", lock)
+	}
+	last := lock.Edges[len(lock.Edges)-1]
+	if last.Kind != span.EdgeVictimOf || last.Peer != "T1" {
+		t.Fatalf("terminal edge must be victim-of the peer: %+v", lock.Edges)
+	}
+	// Inherited-from edge: the semantic lock's holder differs from the
+	// acquiring action.
+	foundInherit := false
+	for _, e := range lock.Edges {
+		if e.Kind == span.EdgeInheritedFrom && e.Peer == "T2" {
+			foundInherit = true
+		}
+	}
+	if !foundInherit {
+		t.Fatalf("owner != actionID must record an inherited-from edge: %+v", lock.Edges)
+	}
+	root := snap.Spans[0]
+	if root.Kind != span.KTxn || len(root.Edges) != 1 || root.Edges[0].Kind != span.EdgeVictimOf {
+		t.Fatalf("aborted root must carry the victim-of explanation: %+v", root)
+	}
+}
+
+// TestAcquireTracedUncontendedRecordsNothing: an uncontended grant must
+// leave no lock span — that absence is where Def. 11 cut the dependency.
+func TestAcquireTracedUncontendedRecordsNothing(t *testing.T) {
+	lm := NewLockManager()
+	tr := span.New()
+	tt := tr.BeginTxn("T1", time.Now())
+	if err := lm.AcquireTraced(tt, "T1.1", "T1", res("A"), X); err != nil {
+		t.Fatal(err)
+	}
+	tr.FinishTxn(tt, span.StatusCommitted)
+	lm.ReleaseTree("T1")
+	snap := tr.Lookup("T1").Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("uncontended acquire must record no span: %+v", snap.Spans)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/commut"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/span"
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/txn"
@@ -150,6 +151,10 @@ type DB struct {
 	obsRec      *obs.FlightRecorder
 	obsCommitNs *obs.Histogram // begin → durable-commit latency
 
+	// spans is the per-transaction span tracer (nil when Options.DisableSpans
+	// or an unsampled transaction; every handle is nil-receiver safe).
+	spans *span.Tracer
+
 	stats struct {
 		txnsStarted, txnsCommitted, txnsAborted atomic.Int64
 		actions, pageReads, pageWrites          atomic.Int64
@@ -213,6 +218,19 @@ type Options struct {
 	// created, DB.Obs returns nil, and instrumented code paths degrade to
 	// nil-receiver no-ops.
 	DisableObs bool
+	// Tracer, when non-nil, is the span tracer recording one span tree per
+	// top-level transaction (method dispatches, contended lock waits with
+	// provenance edges, group-commit participation). When nil, Open creates
+	// a fresh one unless DisableSpans is set. Like Obs, one tracer may be
+	// shared across sequential engines.
+	Tracer *span.Tracer
+	// DisableSpans turns span tracing off entirely: DB.Spans returns nil and
+	// every recording site degrades to a nil-receiver no-op.
+	DisableSpans bool
+	// SpanSampleEvery samples one in every N top-level transactions when
+	// Open creates the tracer itself (0 or 1 traces everything). Ignored
+	// when Tracer is supplied.
+	SpanSampleEvery int
 }
 
 // Open creates an empty database.
@@ -223,6 +241,10 @@ func Open(opts Options) *DB {
 	reg := opts.Obs
 	if reg == nil && !opts.DisableObs {
 		reg = obs.New()
+	}
+	spans := opts.Tracer
+	if spans == nil && !opts.DisableSpans {
+		spans = span.NewTracer(span.Options{SampleEvery: opts.SpanSampleEvery})
 	}
 	var lmOpts []cc.Option
 	if reg != nil {
@@ -265,6 +287,12 @@ func Open(opts Options) *DB {
 	db.obsCommitNs = reg.Histogram("txn.commit_ns", obs.LatencyBounds())
 	db.pool.SetObs(reg)
 	reg.PublishFunc("engine", func() any { return db.Stats() })
+	db.spans = spans
+	db.pool.SetSpans(spans)
+	if spans != nil {
+		// Export the trace endpoints through the engine's obs HTTP server.
+		reg.Handle("/trace", spans.Handler())
+	}
 	// The built-in page type. Besides the classical read/write pair it
 	// offers readx, a read with write intent (SELECT FOR UPDATE): it locks
 	// exclusively so a read-modify-write subtransaction never needs the
@@ -378,6 +406,9 @@ func (db *DB) LockStats() cc.Stats { return db.lm.Snapshot() }
 // disabled it). Tools serve it over HTTP (obs.Registry.Serve) or dump its
 // flight recorder on failures.
 func (db *DB) Obs() *obs.Registry { return db.obs }
+
+// Spans returns the engine's span tracer (nil when Options disabled it).
+func (db *DB) Spans() *span.Tracer { return db.spans }
 
 // LockShardCount returns the lock table's shard count.
 func (db *DB) LockShardCount() int { return db.lm.ShardCount() }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/commut"
 	"repro/internal/obs"
+	"repro/internal/span"
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/txn"
@@ -87,6 +89,9 @@ type Txn struct {
 	seq   int64
 	root  *runtimeAction
 	began time.Time
+	// tt is this transaction's span trace (nil when tracing is disabled or
+	// the transaction was not sampled; every method is nil-receiver safe).
+	tt *span.TxnTrace
 	// maxDepth tracks the deepest nesting reached — reported on the
 	// txn.commit / txn.abort flight-recorder events.
 	maxDepth atomic.Int64
@@ -149,6 +154,7 @@ func (db *DB) Begin() *Txn {
 			inv: commut.Invocation{Method: id},
 		},
 	}
+	t.tt = db.spans.BeginTxn(id, t.began)
 	db.stats.txnsStarted.Add(1)
 	db.obsRec.Record(obs.Event{Kind: obs.EvTxnBegin, Actor: id})
 	if db.tracing {
@@ -268,7 +274,20 @@ func (db *DB) invoke(t *Txn, parent *runtimeAction, obj txn.OID, method string, 
 		}
 	}
 
-	if err := db.acquireFor(t, a, ot); err != nil {
+	// One span per method dispatch — the node of the paper's nested action
+	// tree (Def. 2–4). Opened before lock acquisition so a contended lock's
+	// span nests inside it; guarded (rather than relying on nil-safety
+	// alone) so the unsampled path skips even the name concatenation.
+	var ms *span.ActiveSpan
+	if t.tt != nil {
+		// Name is left empty — Snapshot derives "Object.Method" on the cold
+		// path, keeping string concatenation off the dispatch fast path.
+		ms = t.tt.BeginSpan(a.id, parent.id, span.KMethod, "")
+		ms.SetDispatch(obj.Name, method)
+	}
+
+	if err := db.acquireFor(t, a, ot, ms); err != nil {
+		ms.End(err)
 		return "", err
 	}
 
@@ -298,14 +317,19 @@ func (db *DB) invoke(t *Txn, parent *runtimeAction, obj txn.OID, method string, 
 	}
 	if err != nil {
 		db.abortSubtree(t, a)
+		ms.End(err)
 		return "", err
 	}
 	db.completeAction(t, a, ot, result)
+	ms.End(nil)
 	return result, nil
 }
 
 // acquireFor takes the lock(s) the protocol prescribes before executing a.
-func (db *DB) acquireFor(t *Txn, a *runtimeAction, ot *ObjectType) error {
+// The method span ms (nil-safe) gets the commutativity class — the lock
+// mode — the dispatch runs under; a contended acquire additionally records
+// a KLock child span with provenance edges (AcquireTraced).
+func (db *DB) acquireFor(t *Txn, a *runtimeAction, ot *ObjectType, ms *span.ActiveSpan) error {
 	switch db.protocol {
 	case ProtocolNone:
 		return nil
@@ -313,22 +337,37 @@ func (db *DB) acquireFor(t *Txn, a *runtimeAction, ot *ObjectType) error {
 		if a.obj.Type != PageType {
 			return nil
 		}
-		return db.lm.Acquire(t.id, a.obj, rwModeFor(ot, a.inv.Method))
+		mode := rwModeFor(ot, a.inv.Method)
+		if ms != nil {
+			ms.SetClass(mode.String())
+		}
+		return db.lm.AcquireTraced(t.tt, a.id, t.id, a.obj, mode)
 	case Protocol2PLObject:
-		return db.lm.Acquire(t.id, a.obj, rwModeFor(ot, a.inv.Method))
+		mode := rwModeFor(ot, a.inv.Method)
+		if ms != nil {
+			ms.SetClass(mode.String())
+		}
+		return db.lm.AcquireTraced(t.tt, a.id, t.id, a.obj, mode)
 	case ProtocolClosedNested:
 		if a.obj.Type != PageType {
 			return nil
 		}
 		// Moss: the accessing subtransaction owns the lock; ancestors'
 		// locks do not block (ancestor bypass is enabled on the manager).
-		return db.lm.Acquire(a.id, a.obj, rwModeFor(ot, a.inv.Method))
+		mode := rwModeFor(ot, a.inv.Method)
+		if ms != nil {
+			ms.SetClass(mode.String())
+		}
+		return db.lm.AcquireTraced(t.tt, a.id, a.id, a.obj, mode)
 	case ProtocolOpenNested:
 		// The semantic lock on the object is owned by the CALLER — the
 		// transaction on this object in the paper's sense — and lives until
 		// the caller completes.
 		mode := cc.Semantic{Inv: a.inv, Spec: ot.Spec}
-		return db.lm.Acquire(a.parent.id, a.obj, mode)
+		if ms != nil {
+			ms.SetClass(mode.String())
+		}
+		return db.lm.AcquireTraced(t.tt, a.id, a.parent.id, a.obj, mode)
 	}
 	return nil
 }
@@ -686,11 +725,26 @@ func (t *Txn) Commit() error {
 	t.finished = true
 	t.mu.Unlock()
 	lsn := t.db.wal.LogCommit(t.id)
+	// The group-commit span covers only the durability wait — with a
+	// mem-only WAL WaitDurable is instant and there is no batch to report.
+	var ws *span.ActiveSpan
+	if t.tt != nil && t.db.wal.Durable() {
+		ws = t.tt.BeginSpan(t.id+"/commit", t.id, span.KWAL, "group-commit wait")
+	}
 	err := t.db.wal.WaitDurable(lsn)
+	if ws != nil {
+		if bi, ok := t.db.wal.BatchInfo(lsn); ok {
+			ws.SetN(int64(bi.Records))
+			ws.SetNote("batch " + strconv.FormatInt(bi.ID, 10) + ", fsync " + bi.Fsync.String())
+		}
+		ws.End(err)
+	}
 	t.db.lm.ReleaseTree(t.id)
 	if err != nil {
+		t.db.spans.FinishTxn(t.tt, span.StatusAborted)
 		return fmt.Errorf("core: commit %s not durable: %w", t.id, err)
 	}
+	t.db.spans.FinishTxn(t.tt, span.StatusCommitted)
 	t.db.stats.txnsCommitted.Add(1)
 	elapsed := time.Since(t.began)
 	t.db.obsCommitNs.ObserveDuration(elapsed)
@@ -750,6 +804,7 @@ func (t *Txn) Abort() error {
 
 	t.db.wal.LogAbort(t.id)
 	t.db.lm.ReleaseTree(t.id)
+	t.db.spans.FinishTxn(t.tt, span.StatusAborted)
 	t.db.stats.txnsAborted.Add(1)
 	t.db.obsRec.Record(obs.Event{Kind: obs.EvTxnAbort, Actor: t.id,
 		Dur: time.Since(t.began), N: t.maxDepth.Load()})

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/commut"
+	"repro/internal/span"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// TestMethodSpansRecorded: every dispatch of a sampled transaction becomes
+// a KMethod span carrying object, method, and commutativity class.
+func TestMethodSpansRecorded(t *testing.T) {
+	db := Open(Options{Protocol: ProtocolOpenNested})
+	reg := registerRegType(t, db)
+	tx := db.Begin()
+	if _, err := tx.Exec(reg, "set", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tr := db.Spans()
+	if tr == nil {
+		t.Fatal("engine must create a tracer by default")
+	}
+	snap := tr.Lookup(tx.ID()).Snapshot()
+	if snap.Status != span.StatusCommitted {
+		t.Fatalf("status = %s", snap.Status)
+	}
+	var m *span.Span
+	for i := range snap.Spans {
+		if snap.Spans[i].Kind == span.KMethod && snap.Spans[i].Method == "set" {
+			m = &snap.Spans[i]
+		}
+	}
+	if m == nil {
+		t.Fatalf("no method span for set: %+v", snap.Spans)
+	}
+	if m.Object != reg.Name || m.Class == "" {
+		t.Fatalf("method span must carry dispatch and class: %+v", m)
+	}
+}
+
+func TestDisableSpans(t *testing.T) {
+	db := Open(Options{Protocol: ProtocolOpenNested, DisableSpans: true})
+	reg := registerRegType(t, db)
+	tx := db.Begin()
+	if _, err := tx.Exec(reg, "set", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Spans() != nil {
+		t.Fatal("DisableSpans must leave the tracer nil")
+	}
+}
+
+// TestDeadlockVictimProvenance reruns the deadlock scenario of
+// TestDeadlockVictimAborts and asserts the victim's trace explains the
+// abort: a lock span whose terminal edge names the surviving peer.
+func TestDeadlockVictimProvenance(t *testing.T) {
+	db := Open(Options{Protocol: Protocol2PLPage})
+	regA := registerRegType(t, db)
+	pageB := db.AllocPage()
+	typB := &ObjectType{
+		Name:     "regB",
+		Spec:     commut.NewMatrix().SetConflicts("set", "set"),
+		ReadOnly: map[string]bool{},
+		Methods: map[string]MethodFunc{
+			"set": func(c *Ctx, self txn.OID, params []string) (string, error) {
+				return c.Call(pageB, "write", params[0])
+			},
+		},
+	}
+	if err := db.RegisterType(typB); err != nil {
+		t.Fatal(err)
+	}
+	regB := txn.OID{Type: "regB", Name: "RB"}
+
+	t1, t2 := db.Begin(), db.Begin()
+	if _, err := t1.Exec(regA, "set", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Exec(regB, "set", "2"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = t1.Exec(regB, "set", "1b")
+		if errs[0] != nil {
+			_ = t1.Abort()
+		} else {
+			_ = t1.Commit()
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	go func() {
+		defer wg.Done()
+		_, errs[1] = t2.Exec(regA, "set", "2a")
+		if errs[1] != nil {
+			_ = t2.Abort()
+		} else {
+			_ = t2.Commit()
+		}
+	}()
+	wg.Wait()
+	if (errs[0] == nil) == (errs[1] == nil) {
+		t.Fatalf("exactly one transaction must be the victim: %v", errs)
+	}
+	victim, survivor := t1, t2
+	if errs[1] != nil {
+		victim, survivor = t2, t1
+	}
+
+	snap := db.Spans().Lookup(victim.ID()).Snapshot()
+	if snap.Status != span.StatusAborted {
+		t.Fatalf("victim trace status = %s", snap.Status)
+	}
+	root := snap.Spans[0]
+	if len(root.Edges) == 0 {
+		t.Fatalf("aborted root must carry a provenance edge: %+v", root)
+	}
+	e := root.Edges[0]
+	if e.Kind != span.EdgeVictimOf && e.Kind != span.EdgeTimeout {
+		t.Fatalf("abort explanation must be victim-of or timeout: %+v", e)
+	}
+	if e.PeerRoot != survivor.ID() {
+		t.Fatalf("edge must name the surviving peer %s: %+v", survivor.ID(), e)
+	}
+	var lock *span.Span
+	for i := range snap.Spans {
+		if snap.Spans[i].Kind == span.KLock {
+			lock = &snap.Spans[i]
+		}
+	}
+	if lock == nil || lock.Err == "" {
+		t.Fatalf("victim must carry a failed lock span: %+v", snap.Spans)
+	}
+}
+
+// TestGroupCommitSpan: a durable commit records a KWAL span carrying the
+// fsync batch it rode.
+func TestGroupCommitSpan(t *testing.T) {
+	db, err := OpenDurable(Options{
+		Protocol:   ProtocolOpenNested,
+		Durability: storage.GroupCommit,
+		WALDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	reg := registerRegType(t, db)
+	tx := db.Begin()
+	if _, err := tx.Exec(reg, "set", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Spans().Lookup(tx.ID()).Snapshot()
+	var ws *span.Span
+	for i := range snap.Spans {
+		if snap.Spans[i].Kind == span.KWAL {
+			ws = &snap.Spans[i]
+		}
+	}
+	if ws == nil {
+		t.Fatalf("durable commit must record a group-commit span: %+v", snap.Spans)
+	}
+	if ws.N < 1 || ws.Note == "" {
+		t.Fatalf("group-commit span must carry batch info: %+v", ws)
+	}
+}

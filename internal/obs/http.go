@@ -1,17 +1,49 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"strconv"
+	"time"
 )
+
+// /events?n= clamp: a negative, zero, or absurd n must not turn the debug
+// endpoint into an allocation amplifier.
+const (
+	defaultEventCount = 200
+	maxEventCount     = 100_000
+)
+
+// Timeouts for the debug HTTP server: slow-header clients must not pin
+// goroutines, and shutdown drains in-flight scrapes instead of cutting them.
+const (
+	readHeaderTimeout = 5 * time.Second
+	shutdownTimeout   = 5 * time.Second
+)
+
+// Handle mounts an additional handler (e.g. the span tracer's /trace
+// endpoints) under the given path prefix on subsequently built Handlers.
+func (r *Registry) Handle(prefix string, h http.Handler) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.extra == nil {
+		r.extra = make(map[string]http.Handler)
+	}
+	r.extra[prefix] = h
+	r.mu.Unlock()
+}
 
 // Handler returns the registry's HTTP handler:
 //
 //	/metrics     — expvar-compatible JSON snapshot of every registered var
 //	/debug/vars  — alias for expvar tooling
 //	/events?n=K  — the flight recorder's last K events as text (default 200)
+//
+// plus any endpoints mounted via Handle.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	metrics := func(w http.ResponseWriter, req *http.Request) {
@@ -21,33 +53,63 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/metrics", metrics)
 	mux.HandleFunc("/debug/vars", metrics)
 	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
-		n := 200
+		n := defaultEventCount
 		if s := req.URL.Query().Get("n"); s != "" {
 			if v, err := strconv.Atoi(s); err == nil {
 				n = v
 			}
 		}
+		if n < 1 {
+			n = 1
+		}
+		if n > maxEventCount {
+			n = maxEventCount
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		r.Recorder().Dump(w, n)
 	})
+	extraHelp := ""
+	if r != nil {
+		r.mu.RLock()
+		for prefix, h := range r.extra {
+			mux.Handle(prefix, h)
+			mux.Handle(prefix+"/", h)
+			extraHelp += fmt.Sprintf(", %s", prefix)
+		}
+		r.mu.RUnlock()
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintln(w, "oodb observability: /metrics (JSON), /debug/vars (alias), /events?n=K (flight recorder)")
+		fmt.Fprintf(w, "oodb observability: /metrics (JSON), /debug/vars (alias), /events?n=K (flight recorder)%s\n", extraHelp)
 	})
 	return mux
 }
 
 // Serve starts an HTTP server for the registry on addr (host:port; port 0
-// picks a free port). It returns the bound address and a shutdown func.
+// picks a free port). It returns the bound address and a shutdown func that
+// drains in-flight requests (bounded by shutdownTimeout) before closing.
 func (r *Registry) Serve(addr string) (bound string, shutdown func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: r.Handler()}
+	srv := &http.Server{
+		Handler:           r.Handler(),
+		ReadHeaderTimeout: readHeaderTimeout,
+	}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	return ln.Addr().String(), func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// A handler still running at the deadline: fall back to a hard
+			// close so the caller always gets its port back.
+			_ = srv.Close()
+			return err
+		}
+		return nil
+	}, nil
 }

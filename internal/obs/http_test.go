@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestEventsCountClamp: n is clamped to [1, maxEventCount] so the debug
+// endpoint cannot be turned into an allocation amplifier.
+func TestEventsCountClamp(t *testing.T) {
+	r := New()
+	for i := 0; i < 5; i++ {
+		r.Recorder().Record(Event{Kind: EvTxnAbort, Actor: fmt.Sprintf("T%d", i)})
+	}
+	h := r.Handler()
+	for _, q := range []string{"n=-5", "n=0", "n=99999999999", "n=bogus", ""} {
+		req := httptest.NewRequest("GET", "/events?"+q, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("/events?%s -> %d", q, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), EvTxnAbort) {
+			t.Fatalf("/events?%s dropped events:\n%s", q, rec.Body.String())
+		}
+	}
+}
+
+// TestHandleMountsExtra: a handler mounted via Handle is reachable at its
+// prefix, under it, and advertised on the index line.
+func TestHandleMountsExtra(t *testing.T) {
+	r := New()
+	extra := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintf(w, "extra:%s", req.URL.Path)
+	})
+	r.Handle("/trace", extra)
+	h := r.Handler()
+
+	for _, path := range []string{"/trace", "/trace/slowest"} {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK || !strings.HasPrefix(rec.Body.String(), "extra:") {
+			t.Fatalf("GET %s -> %d %q", path, rec.Code, rec.Body.String())
+		}
+	}
+	req := httptest.NewRequest("GET", "/", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "/trace") {
+		t.Fatalf("index does not advertise mounted prefix:\n%s", rec.Body.String())
+	}
+	// Unknown paths still 404 rather than falling through to the index.
+	req = httptest.NewRequest("GET", "/nosuch", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /nosuch -> %d, want 404", rec.Code)
+	}
+}
+
+// TestHandleNilSafe: nil registries and nil handlers must be ignored.
+func TestHandleNilSafe(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Handle("/x", http.NotFoundHandler()) // must not panic
+	r := New()
+	r.Handle("/y", nil)
+	req := httptest.NewRequest("GET", "/y", nil)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("nil handler was mounted: %d", rec.Code)
+	}
+}
+
+// TestServeShutdown: the shutdown func returned by Serve completes and
+// releases the port for immediate rebinding.
+func TestServeShutdown(t *testing.T) {
+	r := New()
+	addr, shutdown, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still serving after shutdown")
+	}
+	// The port must be immediately rebindable.
+	addr2, shutdown2, err := r.Serve(addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	_ = addr2
+	_ = shutdown2()
+}

@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -105,9 +106,10 @@ func (f funcVar) Value() any { return f() }
 // are the lock-free hot-path objects, the registry itself is only touched
 // at registration and snapshot time.
 type Registry struct {
-	mu   sync.RWMutex
-	vars map[string]Var
-	rec  *FlightRecorder
+	mu    sync.RWMutex
+	vars  map[string]Var
+	rec   *FlightRecorder
+	extra map[string]http.Handler // additional endpoints, mounted by Handler()
 }
 
 // DefaultRecorderCap is the flight recorder's default capacity in events.

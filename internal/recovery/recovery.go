@@ -35,6 +35,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/span"
 	"repro/internal/storage"
 )
 
@@ -276,6 +277,20 @@ func recoverWith(disk *storage.MemStore, records []storage.Record, engineWAL *st
 			Dur: rep.UndoTime, N: int64(rep.PhysicalUndos + rep.LogicalUndos),
 			Note: fmt.Sprintf("%d losers", len(losers))})
 	}
+	// The same three phases as engine-track spans, so a Chrome export of a
+	// post-recovery run opens with the recovery timeline.
+	tr := db.Spans()
+	tr.RecordEngine(span.Span{ID: "recovery/analysis", Kind: span.KRecovery,
+		Name: "recovery: analysis", Start: analysisStart,
+		End: analysisStart.Add(rep.AnalysisTime), N: int64(len(records))})
+	tr.RecordEngine(span.Span{ID: "recovery/redo", Kind: span.KRecovery,
+		Name: "recovery: redo", Start: redoStart,
+		End: redoStart.Add(rep.RedoTime), N: int64(rep.Redone)})
+	tr.RecordEngine(span.Span{ID: "recovery/undo", Kind: span.KRecovery,
+		Name: "recovery: undo", Start: undoStart,
+		End:  undoStart.Add(rep.UndoTime),
+		N:    int64(rep.PhysicalUndos + rep.LogicalUndos),
+		Note: fmt.Sprintf("%d losers", len(losers))})
 
 	for root := range committed {
 		rep.Winners = append(rep.Winners, root)

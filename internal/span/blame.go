@@ -1,0 +1,121 @@
+package span
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteBlame renders one trace as an indented text tree with provenance
+// edges inline — the "why did T7 wait/abort" view:
+//
+//	T7 aborted in 1.2ms
+//	└─ method Account(acct42).Withdraw [Sub] 1.1ms
+//	   └─ lock acct42 980µs  ⇐ victim-of T3 on acct42 (X) [cycle T7→T3→T7]
+func WriteBlame(w io.Writer, tr TxnSpans) {
+	fmt.Fprintf(w, "%s %s in %s\n", tr.TxnID, tr.Status, tr.Dur)
+	// Index children by parent. The synthesized root has ID == TxnID; spans
+	// whose parent is unknown hang off the root too.
+	known := make(map[string]bool, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		known[sp.ID] = true
+	}
+	children := make(map[string][]Span)
+	for _, sp := range tr.Spans {
+		if sp.ID == tr.TxnID && sp.Kind == KTxn {
+			continue // the root itself
+		}
+		p := sp.Parent
+		if p == "" || !known[p] {
+			p = tr.TxnID
+		}
+		children[p] = append(children[p], sp)
+	}
+	var root *Span
+	for i := range tr.Spans {
+		if tr.Spans[i].Kind == KTxn {
+			root = &tr.Spans[i]
+			break
+		}
+	}
+	if root != nil {
+		for _, e := range root.Edges {
+			fmt.Fprintf(w, "   %s\n", renderEdge(e))
+		}
+	}
+	writeBlameChildren(w, children, tr.TxnID, "")
+}
+
+func writeBlameChildren(w io.Writer, children map[string][]Span, parent, indent string) {
+	kids := children[parent]
+	for i, sp := range kids {
+		branch, childIndent := "├─ ", indent+"│  "
+		if i == len(kids)-1 {
+			branch, childIndent = "└─ ", indent+"   "
+		}
+		fmt.Fprintf(w, "%s%s%s\n", indent, branch, renderSpan(sp))
+		for _, e := range sp.Edges {
+			fmt.Fprintf(w, "%s%s\n", childIndent, renderEdge(e))
+		}
+		writeBlameChildren(w, children, sp.ID, childIndent)
+	}
+}
+
+func renderSpan(sp Span) string {
+	var b strings.Builder
+	// Span names like "lock O622" already carry the kind; don't repeat it.
+	if !strings.HasPrefix(sp.Name, sp.Kind.String()+" ") {
+		b.WriteString(sp.Kind.String())
+		b.WriteByte(' ')
+	}
+	if sp.Kind == KMethod && sp.Object != "" {
+		fmt.Fprintf(&b, "%s.%s", sp.Object, sp.Method)
+		if sp.Class != "" {
+			fmt.Fprintf(&b, " [%s]", sp.Class)
+		}
+	} else {
+		name := sp.Name
+		if name == "" {
+			name = sp.ID
+		}
+		b.WriteString(name)
+		if sp.Class != "" {
+			fmt.Fprintf(&b, " [%s]", sp.Class)
+		}
+	}
+	fmt.Fprintf(&b, " %s", sp.Dur())
+	if sp.N != 0 {
+		fmt.Fprintf(&b, " n=%d", sp.N)
+	}
+	if sp.Note != "" {
+		fmt.Fprintf(&b, " (%s)", sp.Note)
+	}
+	if sp.Err != "" {
+		fmt.Fprintf(&b, " ERR=%s", sp.Err)
+	}
+	return b.String()
+}
+
+func renderEdge(e Edge) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "⇐ %s", e.Kind)
+	if e.Peer != "" {
+		fmt.Fprintf(&b, " %s", e.Peer)
+		if e.PeerRoot != "" && e.PeerRoot != e.Peer {
+			fmt.Fprintf(&b, " (txn %s)", e.PeerRoot)
+		}
+	}
+	if e.Object != "" {
+		fmt.Fprintf(&b, " on %s", e.Object)
+	}
+	if e.Mode != "" {
+		fmt.Fprintf(&b, " (%s)", e.Mode)
+	}
+	if e.Wait > 0 {
+		fmt.Fprintf(&b, " after %s", e.Wait)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&b, " [%s]", e.Note)
+	}
+	return b.String()
+}

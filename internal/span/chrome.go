@@ -1,0 +1,151 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one Chrome trace_event entry. We emit only "X" (complete)
+// spans and "M" (metadata) thread names — the subset chrome://tracing and
+// Perfetto both load.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`            // µs, relative to the export origin
+	Dur  int64          `json:"dur,omitempty"` // µs
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders transaction traces (one Chrome "thread" per
+// transaction) plus the engine track (one extra thread) as trace_event
+// JSON loadable in chrome://tracing / Perfetto. Timestamps are µs relative
+// to the earliest span in the export, so output is deterministic given
+// deterministic span times.
+func WriteChrome(w io.Writer, traces []TxnSpans, engine []Span) error {
+	origin := exportOrigin(traces, engine)
+	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+
+	// Stable thread order: traces in the order given, engine track last.
+	for i, tr := range traces {
+		tid := i + 1
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": fmt.Sprintf("%s (%s)", tr.TxnID, tr.Status)},
+		})
+		for _, sp := range tr.Spans {
+			file.TraceEvents = append(file.TraceEvents, spanEvent(sp, tid, origin))
+		}
+	}
+	if len(engine) > 0 {
+		tid := len(traces) + 1
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": "engine"},
+		})
+		sorted := append([]Span{}, engine...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start.Before(sorted[j].Start) })
+		for _, sp := range sorted {
+			file.TraceEvents = append(file.TraceEvents, spanEvent(sp, tid, origin))
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}
+
+func exportOrigin(traces []TxnSpans, engine []Span) time.Time {
+	var origin time.Time
+	consider := func(t time.Time) {
+		if t.IsZero() {
+			return
+		}
+		if origin.IsZero() || t.Before(origin) {
+			origin = t
+		}
+	}
+	for _, tr := range traces {
+		consider(tr.Start)
+		for _, sp := range tr.Spans {
+			consider(sp.Start)
+		}
+	}
+	for _, sp := range engine {
+		consider(sp.Start)
+	}
+	return origin
+}
+
+func spanEvent(sp Span, tid int, origin time.Time) chromeEvent {
+	args := map[string]any{"kind": sp.Kind.String()}
+	if sp.Object != "" {
+		args["object"] = sp.Object
+	}
+	if sp.Method != "" {
+		args["method"] = sp.Method
+	}
+	if sp.Class != "" {
+		args["class"] = sp.Class
+	}
+	if sp.Err != "" {
+		args["err"] = sp.Err
+	}
+	if sp.N != 0 {
+		args["n"] = sp.N
+	}
+	if sp.Note != "" {
+		args["note"] = sp.Note
+	}
+	for i, e := range sp.Edges {
+		key := fmt.Sprintf("edge%d", i)
+		v := string(e.Kind)
+		if e.Peer != "" {
+			v += " " + e.Peer
+		}
+		if e.Object != "" {
+			v += " on " + e.Object
+		}
+		if e.Mode != "" {
+			v += " (" + e.Mode + ")"
+		}
+		if e.Wait > 0 {
+			v += fmt.Sprintf(" after %s", e.Wait)
+		}
+		if e.Note != "" {
+			v += " [" + e.Note + "]"
+		}
+		args[key] = v
+	}
+	name := sp.Name
+	if name == "" {
+		name = sp.ID
+	}
+	return chromeEvent{
+		Name: name,
+		Cat:  sp.Kind.String(),
+		Ph:   "X",
+		Ts:   sp.Start.Sub(origin).Microseconds(),
+		Dur:  maxI64(sp.Dur().Microseconds(), 1),
+		Pid:  1,
+		Tid:  tid,
+		Args: args,
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+package span
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteChromeGolden locks the exporter's output format: timestamps are
+// relative to the export origin, so fixed span times yield byte-identical
+// JSON. Regenerate with: go test ./internal/span -run Golden -update
+func TestWriteChromeGolden(t *testing.T) {
+	base := time.Unix(1000, 0).UTC()
+	traces := []TxnSpans{
+		{
+			TxnID: "T7", Status: StatusAborted,
+			Start: base, End: base.Add(2 * time.Millisecond), Dur: 2 * time.Millisecond,
+			Spans: []Span{
+				{ID: "T7", Kind: KTxn, Name: "T7", Start: base, End: base.Add(2 * time.Millisecond),
+					Err:   "aborted",
+					Edges: []Edge{{Kind: EdgeVictimOf, Peer: "T3", Object: "P1", Note: "cycle T7→T3→T7"}}},
+				{ID: "T7.1", Parent: "T7", Kind: KMethod, Name: "Acct.debit",
+					Object: "Acct", Method: "debit", Class: "debit[a1]",
+					Start: base.Add(100 * time.Microsecond), End: base.Add(1900 * time.Microsecond), Seq: 1},
+				{ID: "T7.1/lock(P1)", Parent: "T7.1", Kind: KLock, Name: "lock P1", Class: "X",
+					Start: base.Add(200 * time.Microsecond), End: base.Add(1800 * time.Microsecond),
+					Err: "cc: deadlock victim", Seq: 2,
+					Edges: []Edge{
+						{Kind: EdgeBlockedOn, Peer: "T3.1", PeerRoot: "T3", Object: "P1", Mode: "X", Wait: 1500 * time.Microsecond},
+						{Kind: EdgeVictimOf, Peer: "T3", Object: "P1", Note: "cycle T7→T3→T7"},
+					}},
+			},
+		},
+		{
+			TxnID: "T8", Status: StatusCommitted,
+			Start: base.Add(time.Millisecond), End: base.Add(4 * time.Millisecond), Dur: 3 * time.Millisecond,
+			Spans: []Span{
+				{ID: "T8", Kind: KTxn, Name: "T8", Start: base.Add(time.Millisecond), End: base.Add(4 * time.Millisecond)},
+				{ID: "T8/commit", Parent: "T8", Kind: KWAL, Name: "group-commit wait",
+					Start: base.Add(3 * time.Millisecond), End: base.Add(4 * time.Millisecond),
+					N: 12, Note: "batch 3, fsync 800µs", Seq: 1},
+			},
+		},
+	}
+	engine := []Span{
+		{ID: "recovery/redo", Kind: KRecovery, Name: "recovery: redo",
+			Start: base.Add(-time.Millisecond), End: base, N: 42, Seq: 1},
+		{ID: "pool/writeback/page9", Kind: KPool, Name: "write-back page 9", Object: "page 9",
+			Start: base.Add(2500 * time.Microsecond), End: base.Add(2600 * time.Microsecond), Seq: 2},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, traces, engine); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome export drifted from golden file (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

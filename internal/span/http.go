@@ -1,0 +1,91 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Query-parameter clamp for /trace/slowest?n= and /trace/aborted?n=.
+const (
+	defaultHTTPCount = 10
+	maxHTTPCount     = 1000
+)
+
+// Handler returns the tracer's HTTP handler, mounted under /trace by the
+// obs server:
+//
+//	/trace?txn=T7          — one transaction's span tree (&format=text for
+//	                         the blame-chain rendering; default JSON)
+//	/trace                 — index of known transaction ids
+//	/trace/slowest?n=K     — the K slowest completed transactions
+//	/trace/aborted?n=K     — the K most recent aborted transactions
+func (tr *Tracer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		id := req.URL.Query().Get("txn")
+		if id == "" {
+			writeTraces(w, req, nil, tr.TxnIDs())
+			return
+		}
+		tt := tr.Lookup(id)
+		if tt == nil {
+			http.Error(w, fmt.Sprintf("no trace for txn %q (evicted, unsampled, or never seen)", id), http.StatusNotFound)
+			return
+		}
+		writeTraces(w, req, []TxnSpans{tt.Snapshot()}, nil)
+	})
+	mux.HandleFunc("/trace/slowest", func(w http.ResponseWriter, req *http.Request) {
+		writeTraces(w, req, tr.Slowest(countParam(req)), nil)
+	})
+	mux.HandleFunc("/trace/aborted", func(w http.ResponseWriter, req *http.Request) {
+		writeTraces(w, req, tr.Aborted(countParam(req)), nil)
+	})
+	return mux
+}
+
+func countParam(req *http.Request) int {
+	n := defaultHTTPCount
+	if s := req.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			n = v
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > maxHTTPCount {
+		n = maxHTTPCount
+	}
+	return n
+}
+
+// writeTraces renders either a trace list or (when traces is nil) an id
+// index, as JSON or — with ?format=text — as blame chains.
+func writeTraces(w http.ResponseWriter, req *http.Request, traces []TxnSpans, index []string) {
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if traces == nil {
+			for _, id := range index {
+				fmt.Fprintln(w, id)
+			}
+			return
+		}
+		for i, tr := range traces {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			WriteBlame(w, tr)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if traces == nil {
+		_ = enc.Encode(map[string]any{"txns": index})
+		return
+	}
+	_ = enc.Encode(traces)
+}

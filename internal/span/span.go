@@ -1,0 +1,348 @@
+// Package span is the engine's per-transaction structured tracing layer:
+// one span tree per top-level transaction, mirroring the paper's nested
+// action tree (Definitions 2-4). Where internal/obs answers "how is the
+// engine doing" in aggregate, span answers the per-transaction question
+// "why did T7 wait / abort / serialize after T3":
+//
+//   - a span per method dispatch (object, method, and the commutativity
+//     class — the lock mode — it ran under),
+//   - a span per CONTENDED lock acquisition, carrying the wait interval
+//     and the holder identities that blocked it (an uncontended grant
+//     leaves no lock span: that absence is exactly where Definition 11
+//     cuts the inherited dependency — commuting callers stop inheriting),
+//   - a span per WAL group-commit participation (batch id, records,
+//     fsync latency) and per recovery phase,
+//   - provenance edges (blocked-on / victim-of / timeout /
+//     inherited-from) on every blocking or abort event, so an aborted or
+//     slow transaction's trace is a causal chain ending at the
+//     conflicting peer.
+//
+// Design rules follow internal/obs: every method is nil-receiver safe, so
+// the disabled (DisableSpans) and unsampled paths need no "tracing
+// enabled?" branches — they simply hold nil handles. Retention is bounded
+// (a ring of completed traces plus a slowest-K set), so the layer can stay
+// always-on in production serving.
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a span.
+type Kind uint8
+
+// The span kinds.
+const (
+	KTxn      Kind = iota // the top-level transaction root
+	KMethod               // one method dispatch (subtransaction)
+	KLock                 // one contended lock acquisition
+	KWAL                  // group-commit participation of the commit
+	KRecovery             // one restart-recovery phase (engine track)
+	KPool                 // one buffer-pool write-back (engine track)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KTxn:
+		return "txn"
+	case KMethod:
+		return "method"
+	case KLock:
+		return "lock"
+	case KWAL:
+		return "wal"
+	case KRecovery:
+		return "recovery"
+	case KPool:
+		return "pool"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON renders the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", k.String())), nil
+}
+
+// UnmarshalJSON parses the string form, so exported traces round-trip.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for c := KTxn; c <= KPool; c++ {
+		if c.String() == s {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("span: unknown kind %q", s)
+}
+
+// EdgeKind classifies a provenance edge.
+type EdgeKind string
+
+// The provenance edge kinds.
+const (
+	// EdgeBlockedOn: the span waited for a conflicting (non-commuting)
+	// holder; Wait is the interval, Peer the holder's action id.
+	EdgeBlockedOn EdgeKind = "blocked-on"
+	// EdgeVictimOf: the transaction was chosen as deadlock victim; Peer is
+	// a conflicting transaction on the waits-for cycle, Note renders the
+	// cycle.
+	EdgeVictimOf EdgeKind = "victim-of"
+	// EdgeTimeout: the wait exceeded the configured bound; Peer names a
+	// holder still blocking at expiry.
+	EdgeTimeout EdgeKind = "timeout"
+	// EdgeInheritedFrom: the dependency belongs to a subtransaction but is
+	// inherited by the named owning (calling) action — the paper's
+	// Definition 10/11 inheritance made explicit. Absent when the caller's
+	// invocations commute: commuting callers stop inheriting.
+	EdgeInheritedFrom EdgeKind = "inherited-from"
+)
+
+// Edge is one provenance edge: the causal reason a span (and therefore its
+// transaction) waited, aborted, or must serialize after a peer.
+type Edge struct {
+	Kind EdgeKind `json:"kind"`
+	// Peer is the conflicting action's full hierarchical id; PeerRoot its
+	// top-level transaction.
+	Peer     string `json:"peer,omitempty"`
+	PeerRoot string `json:"peerRoot,omitempty"`
+	// Object and Mode describe the contested resource and the peer's lock
+	// mode (its commutativity class).
+	Object string `json:"object,omitempty"`
+	Mode   string `json:"mode,omitempty"`
+	// Wait is how long this edge held the span up.
+	Wait time.Duration `json:"wait,omitempty"`
+	Note string        `json:"note,omitempty"`
+}
+
+// Span is one node of a transaction's span tree. Parent/ID links encode
+// the tree; Seq is the begin order within the trace.
+type Span struct {
+	ID     string `json:"id"`
+	Parent string `json:"parent,omitempty"`
+	Kind   Kind   `json:"kind"`
+	Name   string `json:"name"`
+	// Object and Method identify a dispatch; Class is the lock mode (the
+	// commutativity class) the dispatch ran under.
+	Object string    `json:"object,omitempty"`
+	Method string    `json:"method,omitempty"`
+	Class  string    `json:"class,omitempty"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+	Err    string    `json:"err,omitempty"`
+	N      int64     `json:"n,omitempty"`
+	Note   string    `json:"note,omitempty"`
+	Edges  []Edge    `json:"edges,omitempty"`
+	Seq    int       `json:"seq"`
+}
+
+// Dur returns the span's duration.
+func (s Span) Dur() time.Duration { return s.End.Sub(s.Start) }
+
+// Status is a transaction trace's outcome.
+type Status string
+
+// The trace statuses.
+const (
+	StatusRunning   Status = "running"
+	StatusCommitted Status = "committed"
+	StatusAborted   Status = "aborted"
+)
+
+// TxnTrace collects the span tree of one (sampled) top-level transaction.
+// All methods are nil-receiver safe: an unsampled transaction holds a nil
+// trace and every recording call degrades to a no-op.
+type TxnTrace struct {
+	txnID string
+	start time.Time
+	// seq is atomic (not under mu): BeginSpan is on the dispatch fast path
+	// and only needs a unique, roughly-ordered begin sequence.
+	seq atomic.Int64
+
+	mu     sync.Mutex
+	spans  []Span
+	end    time.Time
+	status Status
+	// lastAbortEdge is the most recent provenance edge recorded on a span
+	// that ended in error — the causal explanation an aborted transaction's
+	// root span is stamped with.
+	lastAbortEdge *Edge
+}
+
+// TxnID returns the traced transaction's id ("" on nil).
+func (tt *TxnTrace) TxnID() string {
+	if tt == nil {
+		return ""
+	}
+	return tt.txnID
+}
+
+// BeginSpan opens a span. The returned ActiveSpan is owned by the calling
+// goroutine until End; nil receivers yield nil (nil-safe) handles.
+func (tt *TxnTrace) BeginSpan(id, parent string, kind Kind, name string) *ActiveSpan {
+	return tt.BeginSpanAt(id, parent, kind, name, time.Now())
+}
+
+// BeginSpanAt opens a span with an explicit start time — used to backdate
+// a lock span to the moment the wait began.
+func (tt *TxnTrace) BeginSpanAt(id, parent string, kind Kind, name string, start time.Time) *ActiveSpan {
+	if tt == nil {
+		return nil
+	}
+	s := int(tt.seq.Add(1))
+	return &ActiveSpan{tt: tt, sp: Span{ID: id, Parent: parent, Kind: kind, Name: name, Start: start, Seq: s}}
+}
+
+// ActiveSpan is an open span. It is confined to one goroutine (the one
+// executing the action) until End publishes it into the trace.
+type ActiveSpan struct {
+	tt *TxnTrace
+	sp Span
+}
+
+// SetDispatch records the dispatched object/method on the span.
+func (a *ActiveSpan) SetDispatch(object, method string) {
+	if a == nil {
+		return
+	}
+	a.sp.Object, a.sp.Method = object, method
+}
+
+// SetClass records the commutativity class (lock mode) the span ran under.
+func (a *ActiveSpan) SetClass(class string) {
+	if a == nil {
+		return
+	}
+	a.sp.Class = class
+}
+
+// SetN records a count (group-commit batch size, records redone, ...).
+func (a *ActiveSpan) SetN(n int64) {
+	if a == nil {
+		return
+	}
+	a.sp.N = n
+}
+
+// SetNote attaches free-form detail.
+func (a *ActiveSpan) SetNote(note string) {
+	if a == nil {
+		return
+	}
+	a.sp.Note = note
+}
+
+// AddEdge attaches a provenance edge.
+func (a *ActiveSpan) AddEdge(e Edge) {
+	if a == nil {
+		return
+	}
+	a.sp.Edges = append(a.sp.Edges, e)
+}
+
+// End closes the span (stamping err, when non-nil) and publishes it into
+// the trace. A span that ends in error and carries provenance edges
+// becomes the trace's current abort explanation.
+func (a *ActiveSpan) End(err error) {
+	if a == nil {
+		return
+	}
+	a.sp.End = time.Now()
+	if err != nil {
+		a.sp.Err = err.Error()
+	}
+	tt := a.tt
+	tt.mu.Lock()
+	if err != nil && len(a.sp.Edges) > 0 {
+		e := a.sp.Edges[len(a.sp.Edges)-1]
+		tt.lastAbortEdge = &e
+	}
+	tt.spans = append(tt.spans, a.sp)
+	tt.mu.Unlock()
+}
+
+// finish seals the trace with its outcome. An aborted trace's root span
+// inherits the last abort-explaining edge, so the trace "ends in" its
+// causal explanation even when the failing span is buried in the tree.
+func (tt *TxnTrace) finish(status Status, end time.Time) {
+	if tt == nil {
+		return
+	}
+	tt.mu.Lock()
+	tt.status = status
+	tt.end = end
+	tt.mu.Unlock()
+}
+
+// TxnSpans is an immutable snapshot of one transaction's trace: the
+// synthesized root span first, then every recorded span in begin order.
+type TxnSpans struct {
+	TxnID  string        `json:"txn"`
+	Status Status        `json:"status"`
+	Start  time.Time     `json:"start"`
+	End    time.Time     `json:"end"`
+	Dur    time.Duration `json:"dur"`
+	Spans  []Span        `json:"spans"`
+}
+
+// Snapshot renders the trace. Safe to call on a live (running) trace; the
+// running root span ends "now".
+func (tt *TxnTrace) Snapshot() TxnSpans {
+	if tt == nil {
+		return TxnSpans{}
+	}
+	tt.mu.Lock()
+	status := tt.status
+	if status == "" {
+		status = StatusRunning
+	}
+	end := tt.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	root := Span{ID: tt.txnID, Kind: KTxn, Name: tt.txnID, Start: tt.start, End: end}
+	if status == StatusAborted {
+		root.Err = "aborted"
+		if tt.lastAbortEdge != nil {
+			root.Edges = []Edge{*tt.lastAbortEdge}
+		}
+	}
+	spans := make([]Span, 0, len(tt.spans)+1)
+	spans = append(spans, root)
+	spans = append(spans, tt.spans...)
+	tt.mu.Unlock()
+	// Recorded spans are appended at End (children before parents);
+	// re-establish begin order for rendering. The root keeps Seq 0.
+	sortSpans(spans)
+	// Dispatch spans leave Name empty on the hot path; derive it here.
+	for i := range spans {
+		if spans[i].Name == "" && spans[i].Object != "" {
+			spans[i].Name = spans[i].Object + "." + spans[i].Method
+		}
+	}
+	return TxnSpans{
+		TxnID:  tt.txnID,
+		Status: status,
+		Start:  tt.start,
+		End:    end,
+		Dur:    end.Sub(tt.start),
+		Spans:  spans,
+	}
+}
+
+// sortSpans orders by begin sequence (insertion sort: traces are small and
+// mostly ordered already).
+func sortSpans(s []Span) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Seq < s[j-1].Seq; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package span
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: the disabled/unsampled path holds nil handles everywhere;
+// every method must degrade to a no-op without branching at call sites.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	tt := tr.BeginTxn("T1", time.Now())
+	if tt != nil {
+		t.Fatal("nil tracer must hand out nil traces")
+	}
+	as := tt.BeginSpan("T1.1", "T1", KMethod, "m")
+	if as != nil {
+		t.Fatal("nil trace must hand out nil spans")
+	}
+	as.SetDispatch("O", "m")
+	as.SetClass("X")
+	as.SetN(1)
+	as.SetNote("note")
+	as.AddEdge(Edge{Kind: EdgeTimeout})
+	as.End(errors.New("boom"))
+	tr.FinishTxn(tt, StatusAborted)
+	tr.RecordEngine(Span{ID: "e"})
+	if tr.Lookup("T1") != nil || tr.Slowest(1) != nil || tr.Aborted(1) != nil ||
+		tr.Completed(1) != nil || tr.TxnIDs() != nil || tr.EngineSpans() != nil {
+		t.Fatal("nil tracer queries must return nil")
+	}
+	if got := tt.TxnID(); got != "" {
+		t.Fatalf("nil trace TxnID = %q", got)
+	}
+	if snap := tt.Snapshot(); snap.TxnID != "" || snap.Spans != nil {
+		t.Fatalf("nil trace snapshot = %+v", snap)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := NewTracer(Options{SampleEvery: 3})
+	sampled := 0
+	for i := 0; i < 9; i++ {
+		if tt := tr.BeginTxn(fmt.Sprintf("T%d", i), time.Now()); tt != nil {
+			sampled++
+			tr.FinishTxn(tt, StatusCommitted)
+		}
+	}
+	if sampled != 3 {
+		t.Fatalf("sampled %d of 9 with SampleEvery=3", sampled)
+	}
+}
+
+// TestSnapshotAbortProvenance: a failing span's LAST edge becomes the
+// trace's abort explanation, stamped on the synthesized root.
+func TestSnapshotAbortProvenance(t *testing.T) {
+	tr := New()
+	tt := tr.BeginTxn("T7", time.Now())
+	ms := tt.BeginSpan("T7.1", "T7", KMethod, "Acct.debit")
+	ms.SetDispatch("Acct", "debit")
+	ls := tt.BeginSpan("T7.1/lock(P1)", "T7.1", KLock, "lock P1")
+	ls.AddEdge(Edge{Kind: EdgeBlockedOn, Peer: "T3.1", PeerRoot: "T3", Object: "P1", Mode: "X"})
+	ls.AddEdge(Edge{Kind: EdgeVictimOf, Peer: "T3", PeerRoot: "T3", Object: "P1", Note: "cycle T7→T3→T7"})
+	ls.End(errors.New("cc: deadlock victim"))
+	ms.End(errors.New("cc: deadlock victim"))
+	tr.FinishTxn(tt, StatusAborted)
+
+	snap := tr.Lookup("T7").Snapshot()
+	if snap.Status != StatusAborted {
+		t.Fatalf("status = %s", snap.Status)
+	}
+	root := snap.Spans[0]
+	if root.Kind != KTxn || root.ID != "T7" {
+		t.Fatalf("first span must be the root: %+v", root)
+	}
+	if root.Err != "aborted" {
+		t.Fatalf("aborted root must carry Err: %+v", root)
+	}
+	if len(root.Edges) != 1 || root.Edges[0].Kind != EdgeVictimOf || root.Edges[0].Peer != "T3" {
+		t.Fatalf("root must inherit the terminal victim-of edge: %+v", root.Edges)
+	}
+	// Begin order: root, method, lock.
+	if snap.Spans[1].Kind != KMethod || snap.Spans[2].Kind != KLock {
+		t.Fatalf("spans out of begin order: %+v", snap.Spans)
+	}
+}
+
+// TestAbortRingSurvivesCommitFlood: aborted traces live in their own ring;
+// a healthy workload's committed flood must not evict them.
+func TestAbortRingSurvivesCommitFlood(t *testing.T) {
+	tr := NewTracer(Options{Retain: 4})
+	bad := tr.BeginTxn("Tbad", time.Now())
+	ls := bad.BeginSpan("Tbad/lock(P)", "Tbad", KLock, "lock P")
+	ls.AddEdge(Edge{Kind: EdgeTimeout, Peer: "Thog", Object: "P"})
+	ls.End(errors.New("cc: lock wait timeout"))
+	tr.FinishTxn(bad, StatusAborted)
+	for i := 0; i < 20; i++ {
+		tt := tr.BeginTxn(fmt.Sprintf("T%d", i), time.Now())
+		tr.FinishTxn(tt, StatusCommitted)
+	}
+	aborted := tr.Aborted(0)
+	if len(aborted) != 1 || aborted[0].TxnID != "Tbad" {
+		t.Fatalf("aborted trace evicted by committed flood: %+v", aborted)
+	}
+	if got := len(tr.Completed(0)); got != 4 {
+		t.Fatalf("retention ring holds %d, want 4", got)
+	}
+	if tr.Lookup("Tbad") == nil {
+		t.Fatal("Lookup must reach the abort ring")
+	}
+}
+
+func TestSlowestK(t *testing.T) {
+	tr := NewTracer(Options{TopK: 2})
+	now := time.Now()
+	for i, d := range []time.Duration{5 * time.Millisecond, 50 * time.Millisecond, 500 * time.Millisecond} {
+		tt := tr.BeginTxn(fmt.Sprintf("T%d", i), now.Add(-d))
+		tr.FinishTxn(tt, StatusCommitted)
+	}
+	slow := tr.Slowest(0)
+	if len(slow) != 2 {
+		t.Fatalf("topK=2 retained %d", len(slow))
+	}
+	if slow[0].TxnID != "T2" || slow[1].TxnID != "T1" {
+		t.Fatalf("slowest order wrong: %s, %s", slow[0].TxnID, slow[1].TxnID)
+	}
+	if slow[0].Dur < slow[1].Dur {
+		t.Fatal("slowest first")
+	}
+}
+
+func TestEngineRing(t *testing.T) {
+	tr := NewTracer(Options{EngineCap: 3})
+	for i := 0; i < 5; i++ {
+		tr.RecordEngine(Span{ID: fmt.Sprintf("e%d", i), Kind: KPool, Name: "wb"})
+	}
+	got := tr.EngineSpans()
+	if len(got) != 3 || got[0].ID != "e2" || got[2].ID != "e4" {
+		t.Fatalf("engine ring = %+v", got)
+	}
+}
+
+// TestConcurrentRecording exercises the tracer and one shared trace from
+// many goroutines (parallel subtransactions) under the race detector,
+// with concurrent readers snapshotting mid-flight.
+func TestConcurrentRecording(t *testing.T) {
+	tr := NewTracer(Options{Retain: 64, TopK: 8})
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.Slowest(4)
+			tr.Aborted(4)
+			tr.TxnIDs()
+			if tt := tr.Lookup("T1"); tt != nil {
+				tt.Snapshot()
+			}
+			tr.EngineSpans()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("T%d_%d", g, i)
+				tt := tr.BeginTxn(id, time.Now())
+				// Parallel subtransactions recording into one trace.
+				var sub sync.WaitGroup
+				for p := 0; p < 3; p++ {
+					sub.Add(1)
+					go func(p int) {
+						defer sub.Done()
+						as := tt.BeginSpan(fmt.Sprintf("%s.%d", id, p), id, KMethod, "m")
+						as.SetDispatch("O", "m")
+						as.AddEdge(Edge{Kind: EdgeBlockedOn, Peer: "Tx", Object: "O"})
+						as.End(nil)
+					}(p)
+				}
+				sub.Wait()
+				tr.RecordEngine(Span{ID: id + "/wb", Kind: KPool})
+				if i%5 == 0 {
+					ls := tt.BeginSpan(id+"/lock", id, KLock, "lock O")
+					ls.AddEdge(Edge{Kind: EdgeTimeout, Peer: "Thog", Object: "O"})
+					ls.End(errors.New("cc: lock wait timeout"))
+					tr.FinishTxn(tt, StatusAborted)
+				} else {
+					tr.FinishTxn(tt, StatusCommitted)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	for _, snap := range tr.Aborted(0) {
+		if len(snap.Spans) == 0 || snap.Spans[0].Kind != KTxn {
+			t.Fatalf("malformed snapshot: %+v", snap)
+		}
+		if len(snap.Spans[0].Edges) == 0 {
+			t.Fatalf("aborted root lost its provenance edge: %+v", snap.Spans[0])
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	tr := New()
+	tt := tr.BeginTxn("T1", time.Now())
+	ls := tt.BeginSpan("T1/lock(P)", "T1", KLock, "lock P")
+	ls.AddEdge(Edge{Kind: EdgeTimeout, Peer: "T9", Object: "P"})
+	ls.End(errors.New("cc: lock wait timeout"))
+	tr.FinishTxn(tt, StatusAborted)
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/trace"); code != 200 || !strings.Contains(body, "T1") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+	code, body := get("/trace?txn=T1")
+	if code != 200 {
+		t.Fatalf("lookup: %d", code)
+	}
+	var traces []TxnSpans
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("lookup JSON: %v", err)
+	}
+	if len(traces) != 1 || traces[0].TxnID != "T1" || traces[0].Status != StatusAborted {
+		t.Fatalf("lookup = %+v", traces)
+	}
+	if code, _ := get("/trace?txn=nope"); code != 404 {
+		t.Fatalf("unknown txn: %d", code)
+	}
+	if code, body := get("/trace/slowest?n=-5"); code != 200 || !strings.Contains(body, `"txn"`) {
+		t.Fatalf("slowest with bad n: %d %q", code, body)
+	}
+	if code, body := get("/trace/aborted?format=text"); code != 200 || !strings.Contains(body, "timeout") {
+		t.Fatalf("aborted text: %d %q", code, body)
+	}
+	if code, body := get("/trace?txn=T1&format=text"); code != 200 || !strings.Contains(body, "T1 aborted") {
+		t.Fatalf("blame text: %d %q", code, body)
+	}
+}
+
+func TestWriteBlame(t *testing.T) {
+	base := time.Unix(100, 0)
+	trc := TxnSpans{
+		TxnID: "T7", Status: StatusAborted,
+		Start: base, End: base.Add(time.Millisecond), Dur: time.Millisecond,
+		Spans: []Span{
+			{ID: "T7", Kind: KTxn, Name: "T7", Start: base, End: base.Add(time.Millisecond),
+				Err:   "aborted",
+				Edges: []Edge{{Kind: EdgeVictimOf, Peer: "T3", Object: "P1", Note: "cycle T7→T3→T7"}}},
+			{ID: "T7.1", Parent: "T7", Kind: KMethod, Name: "Acct.debit", Object: "Acct", Method: "debit",
+				Class: "debit[acct1]", Start: base, End: base.Add(900 * time.Microsecond), Seq: 1},
+			{ID: "T7.1/lock(P1)", Parent: "T7.1", Kind: KLock, Name: "lock P1", Class: "X",
+				Start: base, End: base.Add(800 * time.Microsecond), Err: "cc: deadlock victim", Seq: 2,
+				Edges: []Edge{
+					{Kind: EdgeBlockedOn, Peer: "T3.1", PeerRoot: "T3", Object: "P1", Mode: "X", Wait: 750 * time.Microsecond},
+					{Kind: EdgeVictimOf, Peer: "T3", Object: "P1", Note: "cycle T7→T3→T7"},
+				}},
+		},
+	}
+	var b strings.Builder
+	WriteBlame(&b, trc)
+	out := b.String()
+	for _, want := range []string{
+		"T7 aborted in 1ms",
+		"⇐ victim-of T3 on P1 [cycle T7→T3→T7]",
+		"method Acct.debit [debit[acct1]]",
+		"└─ lock P1 [X]",
+		"⇐ blocked-on T3.1 (txn T3) on P1 (X) after 750µs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("blame output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package storage
+
+import (
+	"testing"
+)
+
+// TestWALBatchInfo: after a durable wait, the WAL can report which physical
+// flush (fsync batch) carried a record — the provenance the span layer
+// stamps on group-commit spans.
+func TestWALBatchInfo(t *testing.T) {
+	fw, _, err := OpenFileWAL(t.TempDir(), FileWALOptions{Durability: GroupCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWAL()
+	w.SetSink(fw)
+	if !w.Durable() {
+		t.Fatal("WAL with a sink must report durable")
+	}
+	var last uint64
+	for i := 0; i < 3; i++ {
+		last = w.LogUpdate("T1", PageID(i), "", "v")
+	}
+	if err := w.WaitDurable(last); err != nil {
+		t.Fatal(err)
+	}
+	bi, ok := w.BatchInfo(last)
+	if !ok {
+		t.Fatalf("no batch info for durable lsn %d", last)
+	}
+	if bi.ID < 1 || bi.Records < 1 {
+		t.Fatalf("batch info malformed: %+v", bi)
+	}
+	if bi.Fsync < 0 {
+		t.Fatalf("negative fsync latency: %+v", bi)
+	}
+	// lsn 0 is never a record; an unflushed lsn has no batch yet.
+	if _, ok := w.BatchInfo(0); ok {
+		t.Fatal("BatchInfo(0) must report no batch")
+	}
+	if _, ok := w.BatchInfo(last + 100); ok {
+		t.Fatal("future lsn must report no batch")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALBatchInfoWithoutSink: a memory-only WAL is not durable and has no
+// batches to report.
+func TestWALBatchInfoWithoutSink(t *testing.T) {
+	w := NewWAL()
+	if w.Durable() {
+		t.Fatal("sinkless WAL must not report durable")
+	}
+	lsn := w.LogUpdate("T1", 1, "", "v")
+	if _, ok := w.BatchInfo(lsn); ok {
+		t.Fatal("sinkless WAL must report no batch info")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/span"
 )
 
 // Frame is one buffered page. Callers pin a frame with FetchPage, operate
@@ -75,6 +76,9 @@ type BufferPool struct {
 	// rec receives evict / write-error events when SetObs attached a
 	// registry; nil (and nil-safe) otherwise.
 	rec *obs.FlightRecorder
+	// spans receives one engine-track span per dirty write-back when
+	// SetSpans attached a tracer; nil (and nil-safe) otherwise.
+	spans *span.Tracer
 }
 
 // NewBufferPool wraps store with a pool holding at most capacity frames
@@ -113,6 +117,12 @@ func (bp *BufferPool) SetObs(reg *obs.Registry) {
 		}
 	})
 }
+
+// SetSpans attaches a span tracer: each dirty write-back becomes one
+// engine-track span (write-backs happen on whichever fetch needed the
+// frame, so they belong to no transaction). Call before the pool sees
+// traffic.
+func (bp *BufferPool) SetSpans(tr *span.Tracer) { bp.spans = tr }
 
 // FetchPage pins the page's frame, loading it from the store on a miss.
 // Every successful fetch must be paired with an Unpin.
@@ -217,6 +227,13 @@ func (bp *BufferPool) evictOneLocked() error {
 				if err = bp.store.Write(victim.ID, victim.data); err == nil {
 					victim.dirty = false
 					wroteBack = time.Since(wbStart)
+					bp.spans.RecordEngine(span.Span{
+						ID:     fmt.Sprintf("pool/writeback/page%d", victim.ID),
+						Kind:   span.KPool,
+						Name:   fmt.Sprintf("write-back page %d", victim.ID),
+						Object: fmt.Sprintf("page %d", victim.ID),
+						Start:  wbStart, End: wbStart.Add(wroteBack),
+					})
 				}
 			}
 			victim.mu.Unlock()

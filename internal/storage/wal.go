@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // RecordKind tags write-ahead log records.
@@ -77,6 +78,25 @@ type DurableSink interface {
 	Close() error
 }
 
+// BatchInfo describes the physical flush (one fsync) that carried a record
+// to stable storage — what a committing transaction's group-commit span
+// reports: which batch it rode, how many records shared the fsync, and the
+// fsync's latency.
+type BatchInfo struct {
+	// ID is the flush ordinal (the sink's fsync count at flush time).
+	ID int64
+	// Records is how many records the flush covered.
+	Records int
+	// Fsync is the physical fsync latency.
+	Fsync time.Duration
+}
+
+// batchInfoSink is the optional DurableSink extension reporting which flush
+// made an LSN durable (implemented by FileWAL).
+type batchInfoSink interface {
+	BatchInfo(lsn uint64) (BatchInfo, bool)
+}
+
 // WAL is the write-ahead log. Records always live in memory (recovery,
 // undo, and the offline checker scan them); an attached DurableSink
 // additionally carries every record to stable storage. Before-images
@@ -132,6 +152,27 @@ func (w *WAL) WaitDurable(lsn uint64) error {
 		return nil
 	}
 	return s.WaitDurable(lsn)
+}
+
+// Durable reports whether a durable sink is attached — i.e. whether
+// WaitDurable actually waits (and a commit has a group-commit phase worth
+// a span).
+func (w *WAL) Durable() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sink != nil
+}
+
+// BatchInfo reports the flush that carried lsn to stable storage, when the
+// sink tracks it (FileWAL keeps a bounded flush history).
+func (w *WAL) BatchInfo(lsn uint64) (BatchInfo, bool) {
+	w.mu.Lock()
+	s := w.sink
+	w.mu.Unlock()
+	if bs, ok := s.(batchInfoSink); ok && lsn > 0 {
+		return bs.BatchInfo(lsn)
+	}
+	return BatchInfo{}, false
 }
 
 // Close flushes and closes the durable sink, if any.

@@ -90,6 +90,18 @@ type pendingRec struct {
 	frame []byte
 }
 
+// flushHistCap bounds the flush-history ring. A committer queries its batch
+// immediately after WaitDurable wakes it, so only a few flushes of slack
+// are ever needed; 64 is generous.
+const flushHistCap = 64
+
+// flushEntry is one completed flush in the history ring: every record with
+// LSN in (prevLSN of the previous entry, maxLSN] rode this fsync.
+type flushEntry struct {
+	maxLSN uint64
+	info   BatchInfo
+}
+
 // FileWAL is the durable backing of a WAL: a directory of fixed-size,
 // checksummed segment files named wal-<first LSN>.seg. It implements
 // DurableSink: the in-memory WAL forwards every appended record (in LSN
@@ -127,6 +139,12 @@ type FileWAL struct {
 
 	flusherDone chan struct{}
 	fsyncs      atomic.Int64
+
+	// flushHist is a bounded ring of recent flushes (guarded by w.mu) so a
+	// committer can ask, after WaitDurable returns, which batch carried its
+	// record (BatchInfo).
+	flushHist     [flushHistCap]flushEntry
+	flushHistNext int
 
 	// Observability handles (SetObs); nil and nil-safe when detached.
 	obsFsync *obs.Histogram      // latency of each physical fsync
@@ -471,12 +489,13 @@ func (w *FileWAL) syncTo(target uint64, forceSync bool) error {
 			break
 		}
 	}
+	var fsyncDur time.Duration
 	if w.cur != nil && (maxLSN > 0 || forceSync) {
 		fsyncStart := time.Now()
 		if err := w.cur.Sync(); err != nil {
 			return err
 		}
-		fsyncDur := time.Since(fsyncStart)
+		fsyncDur = time.Since(fsyncStart)
 		w.fsyncs.Add(1)
 		w.obsFsync.ObserveDuration(fsyncDur)
 		if batchRecords > 0 {
@@ -489,10 +508,37 @@ func (w *FileWAL) syncTo(target uint64, forceSync bool) error {
 		if maxLSN > w.durable {
 			w.durable = maxLSN
 		}
+		w.flushHist[w.flushHistNext] = flushEntry{
+			maxLSN: maxLSN,
+			info:   BatchInfo{ID: w.fsyncs.Load(), Records: batchRecords, Fsync: fsyncDur},
+		}
+		w.flushHistNext = (w.flushHistNext + 1) % flushHistCap
 		w.cond.Broadcast()
 		w.mu.Unlock()
 	}
 	return nil
+}
+
+// BatchInfo implements the WAL's batchInfoSink extension: it reports the
+// flush that carried lsn to stable storage — the OLDEST recorded flush
+// whose covered range reaches lsn. False when lsn is not yet durable or the
+// flush has aged out of the history ring.
+func (w *FileWAL) BatchInfo(lsn uint64) (BatchInfo, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if lsn == 0 || lsn > w.durable {
+		return BatchInfo{}, false
+	}
+	best := flushEntry{}
+	for _, e := range w.flushHist {
+		if e.maxLSN >= lsn && (best.maxLSN == 0 || e.maxLSN < best.maxLSN) {
+			best = e
+		}
+	}
+	if best.maxLSN == 0 {
+		return BatchInfo{}, false
+	}
+	return best.info, true
 }
 
 // flushRun writes one coalesced run of frames to the current segment.

@@ -44,11 +44,17 @@ type Recorder struct {
 	mu     sync.Mutex
 	events []Event
 	seq    int
+	// byID indexes event positions per action id and kids lists each
+	// action's recorded children, so MarkAborted walks just the aborted
+	// subtree. Without the index every abort rescanned the whole log —
+	// O(events × aborts), quadratic in abort-heavy contended runs.
+	byID map[string][]int
+	kids map[string][]string
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{}
+	return &Recorder{byID: make(map[string][]int), kids: make(map[string][]string)}
 }
 
 // Record appends an event, assigning its sequence number, and returns it.
@@ -57,24 +63,34 @@ func (r *Recorder) Record(ev Event) Event {
 	defer r.mu.Unlock()
 	ev.Seq = r.seq
 	r.seq++
+	if r.byID == nil {
+		r.byID = make(map[string][]int)
+		r.kids = make(map[string][]string)
+	}
+	if len(r.byID[ev.ID]) == 0 && ev.Parent != "" {
+		r.kids[ev.Parent] = append(r.kids[ev.Parent], ev.ID)
+	}
+	r.byID[ev.ID] = append(r.byID[ev.ID], len(r.events))
 	r.events = append(r.events, ev)
 	return ev
 }
 
 // MarkAborted flags the action with the given id and all recorded
-// descendants as aborted.
+// descendants as aborted. Children dispatch only after their parent's
+// event is recorded (ToSystem enforces this), so the parent→child index
+// reaches exactly the subtree the old whole-log prefix scan did.
 func (r *Recorder) MarkAborted(id string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for i := range r.events {
-		if r.events[i].ID == id || isDescendantID(r.events[i].ID, id) {
+	stack := []string{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, i := range r.byID[cur] {
 			r.events[i].Aborted = true
 		}
+		stack = append(stack, r.kids[cur]...)
 	}
-}
-
-func isDescendantID(id, ancestor string) bool {
-	return len(id) > len(ancestor)+1 && id[:len(ancestor)] == ancestor && id[len(ancestor)] == '.'
 }
 
 // Events returns a copy of the recorded events in sequence order.

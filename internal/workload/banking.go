@@ -10,6 +10,7 @@ import (
 	"repro/internal/commut"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/span"
 	"repro/internal/storage"
 	"repro/internal/txn"
 )
@@ -61,6 +62,9 @@ type BankingConfig struct {
 	// Obs and DisableObs configure the observability registry (see Config).
 	Obs        *obs.Registry
 	DisableObs bool
+	// Tracer and DisableSpans configure span tracing (see Config).
+	Tracer       *span.Tracer
+	DisableSpans bool
 }
 
 // installAccounts registers the account type; each account lives on its
@@ -200,6 +204,8 @@ func RunBanking(cfg BankingConfig) (Result, error) {
 		WALDir:       cfg.WALDir,
 		Obs:          cfg.Obs,
 		DisableObs:   cfg.DisableObs,
+		Tracer:       cfg.Tracer,
+		DisableSpans: cfg.DisableSpans,
 	})
 	if err != nil {
 		return Result{}, err

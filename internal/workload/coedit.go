@@ -9,6 +9,7 @@ import (
 	"repro/internal/commut"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/span"
 	"repro/internal/txn"
 )
 
@@ -55,6 +56,9 @@ type CoEditConfig struct {
 	// Obs and DisableObs configure the observability registry (see Config).
 	Obs        *obs.Registry
 	DisableObs bool
+	// Tracer and DisableSpans configure span tracing (see Config).
+	Tracer       *span.Tracer
+	DisableSpans bool
 }
 
 // installDocument registers the document type; sections map to pages.
@@ -164,6 +168,8 @@ func RunCoEdit(cfg CoEditConfig) (Result, error) {
 		PageIODelay:  cfg.PageIODelay,
 		Obs:          cfg.Obs,
 		DisableObs:   cfg.DisableObs,
+		Tracer:       cfg.Tracer,
+		DisableSpans: cfg.DisableSpans,
 	})
 	doc, err := installDocument(db, cfg.Sections)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/commut"
 	"repro/internal/obs"
+	"repro/internal/span"
 	"repro/internal/txn"
 )
 
@@ -41,11 +42,21 @@ type LockStressConfig struct {
 	Seed        int64
 	// Timeout bounds lock waits (default 2s).
 	Timeout time.Duration
+	// HoldDelay, when positive, makes each cycle dwell that long between
+	// acquires while holding its locks. The default (0) measures raw table
+	// throughput; a dwell time widens the conflict windows so waits,
+	// deadlocks, and timeouts become reproducible even on one CPU.
+	HoldDelay time.Duration
 	// Fair enables FIFO fairness.
 	Fair bool
 	// Obs, when non-nil, attaches the lock manager's metrics and flight
 	// recorder to this registry (there is no engine here to create one).
 	Obs *obs.Registry
+	// Tracer, when non-nil, records a span trace per stress transaction:
+	// contended acquires become lock spans with provenance edges, so every
+	// aborted cycle's trace explains which holder it lost to (there is no
+	// engine here to create a tracer).
+	Tracer *span.Tracer
 }
 
 func (c *LockStressConfig) fillDefaults() {
@@ -104,6 +115,7 @@ func RunLockStress(cfg LockStressConfig) (Result, error) {
 				// Owner ids contain no dot: every cycle is its own root
 				// transaction to the manager.
 				owner := fmt.Sprintf("T%d_%d", g+1, i)
+				tt := cfg.Tracer.BeginTxn(owner, time.Now())
 				ok := true
 				for j := 0; j < cfg.LocksPerTxn; j++ {
 					res := objects[rr.Intn(len(objects))]
@@ -119,16 +131,21 @@ func RunLockStress(cfg LockStressConfig) (Result, error) {
 							Spec: spec,
 						}
 					}
-					if err := lm.Acquire(owner, res, mode); err != nil {
+					if err := lm.AcquireTraced(tt, owner, owner, res, mode); err != nil {
 						ok = false
 						break
+					}
+					if cfg.HoldDelay > 0 && j < cfg.LocksPerTxn-1 {
+						time.Sleep(cfg.HoldDelay)
 					}
 				}
 				lm.ReleaseTree(owner)
 				if ok {
 					committed.Add(1)
+					cfg.Tracer.FinishTxn(tt, span.StatusCommitted)
 				} else {
 					aborted.Add(1)
+					cfg.Tracer.FinishTxn(tt, span.StatusAborted)
 				}
 			}
 		}(g)

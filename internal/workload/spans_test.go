@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/span"
+)
+
+// TestLockStressAbortProvenance is the tracing invariant the span layer
+// promises: every aborted transaction's trace ends in a provenance edge
+// naming a conflicting holder (victim-of / blocked-on) or a timeout. The
+// config maximises contention (tiny object space, all-exclusive modes,
+// short timeout) so aborts are all but certain even on one CPU.
+func TestLockStressAbortProvenance(t *testing.T) {
+	tr := span.New()
+	res, err := RunLockStress(LockStressConfig{
+		Goroutines:       16,
+		TxnsPerGoroutine: 10,
+		LocksPerTxn:      4,
+		Objects:          8,
+		ConflictPct:      100,
+		Seed:             42,
+		Timeout:          50 * time.Millisecond,
+		HoldDelay:        time.Millisecond,
+		Tracer:           tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed+res.Aborted != 16*10 {
+		t.Fatalf("cycles lost: %+v", res)
+	}
+	aborted := tr.Aborted(0)
+	if res.Aborted > 0 && len(aborted) == 0 {
+		t.Fatalf("%d aborts but no aborted traces retained", res.Aborted)
+	}
+	if res.Aborted == 0 {
+		t.Skip("no aborts produced on this run; invariant vacuous")
+	}
+	for _, snap := range aborted {
+		if snap.Status != span.StatusAborted {
+			t.Fatalf("trace %s in abort ring has status %s", snap.TxnID, snap.Status)
+		}
+		root := snap.Spans[0]
+		if root.Kind != span.KTxn || root.Err == "" {
+			t.Fatalf("trace %s: malformed aborted root: %+v", snap.TxnID, root)
+		}
+		if len(root.Edges) == 0 {
+			t.Fatalf("trace %s: aborted root carries no provenance edge", snap.TxnID)
+		}
+		e := root.Edges[len(root.Edges)-1]
+		switch e.Kind {
+		case span.EdgeVictimOf, span.EdgeBlockedOn:
+			if e.Peer == "" {
+				t.Fatalf("trace %s: %s edge names no peer: %+v", snap.TxnID, e.Kind, e)
+			}
+		case span.EdgeTimeout:
+			// A timeout edge may legitimately have no peer if the holder
+			// released at expiry, but it must still carry the contested
+			// object.
+			if e.Peer == "" && e.Object == "" {
+				t.Fatalf("trace %s: timeout edge names neither peer nor object: %+v", snap.TxnID, e)
+			}
+		default:
+			t.Fatalf("trace %s: abort explained by non-terminal edge kind %q: %+v", snap.TxnID, e.Kind, e)
+		}
+		// The explanation must originate from a failed lock span in the tree.
+		found := false
+		for _, sp := range snap.Spans[1:] {
+			if sp.Kind == span.KLock && sp.Err != "" && len(sp.Edges) > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trace %s: no failed lock span backs the abort edge: %+v", snap.TxnID, snap.Spans)
+		}
+	}
+	t.Logf("checked %d aborted traces (of %d aborts)", len(aborted), res.Aborted)
+}

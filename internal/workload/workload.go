@@ -23,6 +23,7 @@ import (
 	"repro/internal/enc"
 	"repro/internal/list"
 	"repro/internal/obs"
+	"repro/internal/span"
 	"repro/internal/storage"
 	"repro/internal/txn"
 )
@@ -103,6 +104,12 @@ type Config struct {
 	// entirely (see core.Options).
 	Obs        *obs.Registry
 	DisableObs bool
+	// Tracer, when non-nil, is the span tracer the engine records
+	// transaction traces into — pass one tracer across a sweep to query all
+	// runs through a single /trace endpoint. DisableSpans skips span tracing
+	// entirely (see core.Options).
+	Tracer       *span.Tracer
+	DisableSpans bool
 }
 
 func (c *Config) fillDefaults() error {
@@ -221,6 +228,8 @@ func RunEncyclopedia(cfg Config) (Result, error) {
 		WALDir:       cfg.WALDir,
 		Obs:          cfg.Obs,
 		DisableObs:   cfg.DisableObs,
+		Tracer:       cfg.Tracer,
+		DisableSpans: cfg.DisableSpans,
 	})
 	if err != nil {
 		return Result{}, err
