@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-obs bench bench-wal bench-obs bench-spans torture metrics-smoke trace-smoke
+.PHONY: check build vet test test-obs bench bench-wal bench-obs bench-spans torture metrics-smoke trace-smoke chaos-smoke
 
 # The full gate: everything must build, vet clean, and pass under the race
 # detector. CI and pre-commit both run this.
@@ -56,6 +56,13 @@ metrics-smoke:
 	curl -sf "http://127.0.0.1:$(METRICS_SMOKE_PORT)/events?n=5" >/dev/null && \
 	echo "metrics-smoke: OK"; \
 	status=$$?; wait; exit $$status
+
+# Fault-injection smoke: every chaos round (lock delays, seeded random
+# faults, admission overload, WAL poison + restart recovery) must uphold
+# the no-loss / typed-error / no-livelock invariants.
+chaos-smoke:
+	$(GO) run ./cmd/chaos -seed 1 -workers 6 -txns 60
+	$(GO) run ./cmd/chaos -seed 2 -workers 6 -txns 60
 
 # End-to-end check of the span-tracing endpoint: run a workload with a
 # lingering endpoint, then assert /trace/slowest returns a non-empty,

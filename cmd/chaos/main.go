@@ -1,0 +1,415 @@
+// Command chaos closes the fault-injection loop: it runs an
+// increment-only workload while arming failpoints mid-flight, then checks
+// the three robustness invariants the degradation policies promise:
+//
+//  1. No committed data lost — every acknowledged increment survives,
+//     including across a poison-and-restart cycle (recovered ≥ acked,
+//     per account).
+//  2. The engine either serves or reports — every operation ends in a
+//     commit ack or a typed error (ErrOverloaded, ErrWALPoisoned, a lock
+//     fault); nothing hangs and nothing fails silently.
+//  3. No permanent livelock — once the faults are disarmed (or the engine
+//     restarted), new transactions commit again.
+//
+// Rounds:
+//
+//	lock-delay  — lock.acquire delays stretch every conflict window
+//	random      — a seeded pick of I/O and lock failpoints, armed mid-run
+//	overload    — MaxInflight admission control under a slow lock path
+//	fsync-error — wal.fsync poisons the durable WAL mid-run; verify
+//	              rejection, restart recovery, and the no-loss invariant
+//
+// Usage:
+//
+//	chaos [-seed N] [-workers N] [-txns N] [-accounts N] [-round name]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/recovery"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", time.Now().UnixNano()%1_000_000, "random seed (failpoint picks and workload)")
+		workers  = flag.Int("workers", 8, "concurrent workers")
+		txns     = flag.Int("txns", 150, "transactions per worker and round")
+		accounts = flag.Int("accounts", 8, "independent counters (one page each)")
+		round    = flag.String("round", "all", "round: lock-delay | random | overload | fsync-error | all")
+	)
+	flag.Parse()
+	fmt.Printf("chaos: seed=%d workers=%d txns=%d accounts=%d\n", *seed, *workers, *txns, *accounts)
+
+	rounds := []struct {
+		name string
+		run  func(cfg chaosConfig) error
+	}{
+		{"lock-delay", runLockDelay},
+		{"random", runRandomFaults},
+		{"overload", runOverload},
+		{"fsync-error", runFsyncError},
+	}
+	cfg := chaosConfig{seed: *seed, workers: *workers, txns: *txns, accounts: *accounts}
+	failed := false
+	for _, r := range rounds {
+		if *round != "all" && *round != r.name {
+			continue
+		}
+		fault.Default.DisarmAll()
+		start := time.Now()
+		err := r.run(cfg)
+		fault.Default.DisarmAll()
+		if err != nil {
+			failed = true
+			fmt.Printf("chaos: round %-12s FAIL (%v): %v\n", r.name, time.Since(start).Round(time.Millisecond), err)
+		} else {
+			fmt.Printf("chaos: round %-12s ok   (%v)\n", r.name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+type chaosConfig struct {
+	seed     int64
+	workers  int
+	txns     int
+	accounts int
+}
+
+// counters tracks, per account, how many increments were acknowledged by
+// Commit. It is the ground truth every invariant is checked against.
+type counters struct {
+	acked []atomic.Int64
+}
+
+func newCounters(n int) *counters { return &counters{acked: make([]atomic.Int64, n)} }
+
+func (c *counters) total() int64 {
+	var t int64
+	for i := range c.acked {
+		t += c.acked[i].Load()
+	}
+	return t
+}
+
+// increment runs one acknowledged +1 on the given account page through
+// RunWithRetry; a nil return means the commit was acked (and counted).
+func increment(db *core.DB, page txn.OID, c *counters, idx int) error {
+	err := db.RunWithRetry(core.RetryPolicy{MaxAttempts: 50}, func(tx *core.Txn) error {
+		v, err := tx.Exec(page, "readx")
+		if err != nil {
+			return err
+		}
+		n := int64(0)
+		if v != "" {
+			if n, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return err
+			}
+		}
+		_, err = tx.Exec(page, "write", strconv.FormatInt(n+1, 10))
+		return err
+	})
+	if err == nil {
+		c.acked[idx].Add(1)
+	}
+	return err
+}
+
+// readBalances sums the counter pages through read-only transactions
+// (which must work even in degraded mode).
+func readBalances(db *core.DB, pages []txn.OID) ([]int64, error) {
+	out := make([]int64, len(pages))
+	for i, p := range pages {
+		tx := db.Begin()
+		v, err := tx.Exec(p, "read")
+		if err != nil {
+			_ = tx.Abort()
+			return nil, fmt.Errorf("reading account %d: %w", i, err)
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, fmt.Errorf("read-only commit on account %d: %w", i, err)
+		}
+		if v != "" {
+			if out[i], err = strconv.ParseInt(v, 10, 64); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// drive runs the increment workload across workers; faultAt, when > 0,
+// arms the given failpoints after that many total attempts. It returns
+// the per-error-class counts (keyed by a short label).
+func drive(db *core.DB, pages []txn.OID, c *counters, cfg chaosConfig, faultAt int64, arm []string) map[string]int64 {
+	var attempts atomic.Int64
+	var armOnce sync.Once
+	classes := struct {
+		sync.Mutex
+		m map[string]int64
+	}{m: make(map[string]int64)}
+	count := func(k string) {
+		classes.Lock()
+		classes.m[k]++
+		classes.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
+			for i := 0; i < cfg.txns; i++ {
+				if faultAt > 0 && attempts.Add(1) == faultAt {
+					armOnce.Do(func() {
+						for _, kv := range arm {
+							if err := fault.Default.ArmString(kv); err != nil {
+								panic(err)
+							}
+						}
+					})
+				}
+				idx := rr.Intn(len(pages))
+				err := increment(db, pages[idx], c, idx)
+				switch {
+				case err == nil:
+					count("acked")
+				case errors.Is(err, core.ErrOverloaded):
+					count("overloaded")
+				case errors.Is(err, storage.ErrWALPoisoned):
+					count("poisoned")
+					return // degraded: this worker is done writing
+				default:
+					count("other:" + firstLine(err))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	classes.Lock()
+	defer classes.Unlock()
+	return classes.m
+}
+
+func firstLine(err error) string {
+	s := err.Error()
+	if len(s) > 60 {
+		s = s[:60]
+	}
+	return s
+}
+
+// verifyConservation checks invariant 1 on a live engine: every page's
+// balance equals the acked increments exactly (mem-only rounds: nothing is
+// in doubt, a rolled-back transaction must not leave a partial increment).
+func verifyConservation(db *core.DB, pages []txn.OID, c *counters) error {
+	bals, err := readBalances(db, pages)
+	if err != nil {
+		return err
+	}
+	for i, b := range bals {
+		if want := c.acked[i].Load(); b != want {
+			return fmt.Errorf("account %d: balance %d != %d acked increments", i, b, want)
+		}
+	}
+	return nil
+}
+
+// verifyLiveness checks invariant 3: with all faults disarmed, one more
+// increment per account must succeed.
+func verifyLiveness(db *core.DB, pages []txn.OID, c *counters) error {
+	fault.Default.DisarmAll()
+	for i, p := range pages {
+		if err := increment(db, p, c, i); err != nil {
+			return fmt.Errorf("post-disarm increment on account %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func openMem(cfg chaosConfig, maxInflight int, admitTimeout time.Duration) (*core.DB, []txn.OID) {
+	db := core.Open(core.Options{
+		DisableTrace:     true,
+		DisableSpans:     true,
+		LockTimeout:      5 * time.Second,
+		MaxInflight:      maxInflight,
+		AdmissionTimeout: admitTimeout,
+	})
+	pages := make([]txn.OID, cfg.accounts)
+	for i := range pages {
+		pages[i] = db.AllocPage()
+	}
+	return db, pages
+}
+
+// runLockDelay stretches every lock acquire by a random delay on a
+// fifth of the acquires — conflict windows widen, deadlock/timeout retries
+// fire, and yet no increment may be lost or doubled.
+func runLockDelay(cfg chaosConfig) error {
+	db, pages := openMem(cfg, 0, 0)
+	c := newCounters(cfg.accounts)
+	classes := drive(db, pages, c, cfg, 1, []string{
+		fmt.Sprintf("lock.acquire=delay(200us);p=0.2;seed=%d", cfg.seed),
+	})
+	if classes["acked"] == 0 {
+		return fmt.Errorf("nothing committed under lock delays: %v", classes)
+	}
+	if err := verifyConservation(db, pages, c); err != nil {
+		return err
+	}
+	return verifyLiveness(db, pages, c)
+}
+
+// runRandomFaults arms a seeded pick of failpoints mid-run (invariant 2:
+// every attempt must end acked or typed, never hung) and re-checks
+// conservation and liveness.
+func runRandomFaults(cfg chaosConfig) error {
+	menu := []string{
+		fmt.Sprintf("store.read=error(chaos read);p=0.02;seed=%d", cfg.seed),
+		fmt.Sprintf("lock.acquire=delay(500us);p=0.1;seed=%d", cfg.seed),
+		fmt.Sprintf("lock.acquire=error(chaos acquire);p=0.02;seed=%d", cfg.seed),
+		fmt.Sprintf("store.read=delay(1ms);p=0.05;seed=%d", cfg.seed),
+	}
+	rr := rand.New(rand.NewSource(cfg.seed))
+	picks := []string{menu[rr.Intn(2)], menu[2+rr.Intn(2)]}
+	fmt.Printf("chaos:   random picks: %v\n", picks)
+
+	db, pages := openMem(cfg, 0, 0)
+	c := newCounters(cfg.accounts)
+	mid := int64(cfg.workers*cfg.txns) / 3
+	if mid < 1 {
+		mid = 1
+	}
+	classes := drive(db, pages, c, cfg, mid, picks)
+	if classes["acked"] == 0 {
+		return fmt.Errorf("nothing committed under random faults: %v", classes)
+	}
+	fault.Default.DisarmAll()
+	if err := verifyConservation(db, pages, c); err != nil {
+		return err
+	}
+	return verifyLiveness(db, pages, c)
+}
+
+// runOverload pairs a small MaxInflight with a slowed lock path: admission
+// waits time out with ErrOverloaded (typed, invariant 2), everything acked
+// is conserved, and the engine drains normally once the drag is gone.
+func runOverload(cfg chaosConfig) error {
+	db, pages := openMem(cfg, 2, 3*time.Millisecond)
+	c := newCounters(cfg.accounts)
+	classes := drive(db, pages, c, cfg, 1, []string{
+		fmt.Sprintf("lock.acquire=delay(2ms);p=0.5;seed=%d", cfg.seed),
+	})
+	fmt.Printf("chaos:   overload classes: acked=%d overloaded=%d\n", classes["acked"], classes["overloaded"])
+	if classes["acked"] == 0 {
+		return fmt.Errorf("nothing committed under overload: %v", classes)
+	}
+	if db.Degraded() != nil {
+		return fmt.Errorf("overload must not degrade the engine")
+	}
+	if err := verifyConservation(db, pages, c); err != nil {
+		return err
+	}
+	if err := verifyLiveness(db, pages, c); err != nil {
+		return err
+	}
+	if classes["overloaded"] > 0 && db.Health().Overloads == 0 {
+		return fmt.Errorf("ErrOverloaded returned but engine.overloads metric is zero")
+	}
+	return nil
+}
+
+// runFsyncError is the acceptance round: a durable engine runs the
+// increment workload, wal.fsync starts failing mid-run, the WAL poisons,
+// writers are rejected with ErrWALPoisoned, reads still serve — then the
+// process "restarts" via RecoverDir and every acked increment must be
+// recovered (per account, recovered ≥ acked; nothing silently lost).
+func runFsyncError(cfg chaosConfig) error {
+	dir, err := os.MkdirTemp("", "chaos-wal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	opts := core.Options{
+		DisableTrace: true,
+		DisableSpans: true,
+		LockTimeout:  5 * time.Second,
+		Durability:   storage.GroupCommit,
+		WALDir:       dir,
+	}
+	db, err := core.OpenDurable(opts)
+	if err != nil {
+		return err
+	}
+	pages := make([]txn.OID, cfg.accounts)
+	for i := range pages {
+		pages[i] = db.AllocPage()
+	}
+	c := newCounters(cfg.accounts)
+	mid := int64(cfg.workers*cfg.txns) / 2
+	classes := drive(db, pages, c, cfg, mid, []string{"wal.fsync=error(chaos fsync)"})
+	fmt.Printf("chaos:   fsync classes: acked=%d poisoned=%d\n", classes["acked"], classes["poisoned"])
+	if classes["poisoned"] == 0 {
+		return fmt.Errorf("no writer observed ErrWALPoisoned: %v", classes)
+	}
+	if db.Degraded() == nil {
+		return fmt.Errorf("engine not degraded after WAL poison")
+	}
+	// Invariant 2, degraded half: reads still serve while writes are refused.
+	if _, err := readBalances(db, pages); err != nil {
+		return fmt.Errorf("degraded engine refused reads: %w", err)
+	}
+	wtx := db.Begin()
+	if _, err := wtx.Exec(pages[0], "write", "evil"); err != nil {
+		return err
+	}
+	if err := wtx.Commit(); !errors.Is(err, storage.ErrWALPoisoned) {
+		return fmt.Errorf("degraded engine accepted a write-commit: %v", err)
+	}
+	_ = db.Close()
+	fault.Default.DisarmAll()
+
+	// Restart. Recovery replays the durable log; invariant 1: nothing acked
+	// may be missing.
+	db2, rep, err := recovery.RecoverDir(dir, opts, func(*core.DB) error { return nil })
+	if err != nil {
+		return fmt.Errorf("recovery after poison: %w", err)
+	}
+	defer db2.Close()
+	bals, err := readBalances(db2, pages)
+	if err != nil {
+		return err
+	}
+	for i, b := range bals {
+		if acked := c.acked[i].Load(); b < acked {
+			return fmt.Errorf("SILENT LOSS on account %d: recovered %d < acked %d (winners=%d losers=%d)",
+				i, b, acked, len(rep.Winners), len(rep.Losers))
+		}
+	}
+	// Invariant 3: the recovered engine acknowledges commits again.
+	for i := range bals {
+		c.acked[i].Store(bals[i])
+	}
+	for i, p := range pages {
+		if err := increment(db2, p, c, i); err != nil {
+			return fmt.Errorf("post-recovery increment on account %d: %w", i, err)
+		}
+	}
+	return nil
+}

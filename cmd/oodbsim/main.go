@@ -20,11 +20,21 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/span"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
+
+// faultFlags collects repeatable -fault name=spec arguments.
+type faultFlags []string
+
+func (f *faultFlags) String() string { return fmt.Sprint(*f) }
+func (f *faultFlags) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
 
 var protocols = map[string]core.ProtocolKind{
 	"open-nested":   core.ProtocolOpenNested,
@@ -53,7 +63,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write the encyclopedia workload's trace JSON to this file (single protocol only)")
 		durMode    = flag.String("durability", "mem-only", "WAL durability: mem-only | sync-on-commit | group-commit")
 		walDir     = flag.String("waldir", "", "WAL segment directory (required for durable modes; must be empty/new)")
-		metrics    = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /events and /trace on this host:port for the run")
+		metrics    = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /events, /trace and /fault on this host:port for the run")
 		linger     = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the run (needs -metrics-addr)")
 		conflict   = flag.Int("conflict", 20, "percent of exclusive (non-commuting) acquires (lockstress)")
 		shards     = flag.Int("shards", 0, "lock-table shard count (lockstress; 0 = default)")
@@ -61,8 +71,17 @@ func main() {
 		chromeOut  = flag.String("trace-out", "", "write the run's span traces as Chrome trace_event JSON (chrome://tracing, Perfetto)")
 		blame      = flag.Int("blame", 0, "after the run, print blame chains for up to N aborted transactions")
 		spanSample = flag.Int("span-sample", 0, "span-trace every Nth transaction (0 or 1 = all)")
+		faults     faultFlags
 	)
+	flag.Var(&faults, "fault", "arm a failpoint, e.g. -fault 'wal.fsync=error(efsync);p=0.01' (repeatable; 'name=off' disarms)")
 	flag.Parse()
+
+	for _, kv := range faults {
+		if err := fault.Default.ArmString(kv); err != nil {
+			fmt.Fprintf(os.Stderr, "oodbsim: -fault %q: %v\n", kv, err)
+			os.Exit(2)
+		}
+	}
 
 	durability, err := storage.ParseDurability(*durMode)
 	if err != nil {
@@ -105,8 +124,10 @@ func main() {
 	if *metrics != "" {
 		reg = obs.New()
 		// Mount /trace here, not just via the engine: lockstress has no
-		// engine but still records traces.
+		// engine but still records traces. /fault controls the process-wide
+		// failpoint registry at runtime (GET lists, ?arm= / ?disarm= change).
 		reg.Handle("/trace", tracer.Handler())
+		reg.Handle("/fault", fault.Default.Handler())
 		bound, shutdown, err := reg.Serve(*metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "oodbsim: metrics endpoint: %v\n", err)

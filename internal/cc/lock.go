@@ -31,9 +31,16 @@ import (
 	"time"
 
 	"repro/internal/commut"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/txn"
 )
+
+// fpLockAcquire is the contention-path failpoint (internal/fault): armed
+// with a delay it widens every conflict window (chaos runs use it to force
+// deadlocks and overload); armed with an error it makes acquisitions fail,
+// which the engine turns into subtree aborts.
+var fpLockAcquire = fault.Point("lock.acquire")
 
 // Sentinel errors returned by Acquire.
 var (
@@ -357,6 +364,9 @@ func (lm *LockManager) AcquireEx(owner string, res Resource, mode Mode) (Acquire
 }
 
 func (lm *LockManager) acquire(owner string, res Resource, mode Mode) (info AcquireInfo, err error) {
+	if err := fpLockAcquire.Inject(); err != nil {
+		return AcquireInfo{}, err
+	}
 	root := RootOf(owner)
 	if lm.det.isDoomed(root) {
 		return AcquireInfo{Cycle: lm.det.causeOf(root)}, ErrDoomed

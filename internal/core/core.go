@@ -55,6 +55,11 @@ var (
 	ErrTxnFinished    = errors.New("core: transaction already finished")
 	ErrAborted        = errors.New("core: transaction aborted")
 	ErrNoCompensation = errors.New("core: abort impossible, effects lack compensation")
+	// ErrOverloaded is returned when admission control (Options.MaxInflight)
+	// could not grant an in-flight transaction slot within the admission
+	// timeout. It is terminal for RunWithRetry: retrying immediately would
+	// only deepen the overload.
+	ErrOverloaded = errors.New("core: too many in-flight transactions")
 )
 
 // ProtocolKind selects the concurrency-control protocol.
@@ -155,6 +160,24 @@ type DB struct {
 	// or an unsampled transaction; every handle is nil-receiver safe).
 	spans *span.Tracer
 
+	// Degraded read-only mode (the fsyncgate policy): once the durable WAL
+	// is poisoned the engine stops accepting commits that wrote anything.
+	// The flag is the hot-path check (one atomic load per commit); the cause
+	// behind it is guarded by degradedMu.
+	degradedFlag atomic.Bool
+	degradedMu   sync.Mutex
+	degradedErr  error
+
+	// Admission control: admit is a counting semaphore of in-flight
+	// top-level transactions (nil = unbounded), admitTimeout how long an
+	// arriving transaction queues before giving up with ErrOverloaded.
+	admit        chan struct{}
+	admitTimeout time.Duration
+
+	obsDegraded  *obs.Gauge   // engine.degraded: 0 healthy, 1 read-only
+	obsInflight  *obs.Gauge   // engine.inflight: admitted transactions
+	obsOverloads *obs.Counter // engine.overloads: admission timeouts
+
 	stats struct {
 		txnsStarted, txnsCommitted, txnsAborted atomic.Int64
 		actions, pageReads, pageWrites          atomic.Int64
@@ -231,6 +254,15 @@ type Options struct {
 	// Open creates the tracer itself (0 or 1 traces everything). Ignored
 	// when Tracer is supplied.
 	SpanSampleEvery int
+	// MaxInflight bounds the number of concurrently admitted top-level
+	// transactions (0 = unbounded). Arrivals beyond the bound queue for up
+	// to AdmissionTimeout and then fail with ErrOverloaded. Admission is
+	// enforced by Admit/RunWithRetry, not by Begin itself: internal
+	// transactions (recovery, compensations) must never be refused.
+	MaxInflight int
+	// AdmissionTimeout is how long an arriving transaction may queue for an
+	// in-flight slot (default 1s; only meaningful with MaxInflight > 0).
+	AdmissionTimeout time.Duration
 }
 
 // Open creates an empty database.
@@ -285,8 +317,19 @@ func Open(opts Options) *DB {
 	db.obs = reg
 	db.obsRec = reg.Recorder()
 	db.obsCommitNs = reg.Histogram("txn.commit_ns", obs.LatencyBounds())
+	db.obsDegraded = reg.Gauge("engine.degraded")
+	db.obsInflight = reg.Gauge("engine.inflight")
+	db.obsOverloads = reg.Counter("engine.overloads")
 	db.pool.SetObs(reg)
 	reg.PublishFunc("engine", func() any { return db.Stats() })
+	reg.PublishFunc("health", func() any { return db.Health() })
+	if opts.MaxInflight > 0 {
+		db.admit = make(chan struct{}, opts.MaxInflight)
+		db.admitTimeout = opts.AdmissionTimeout
+		if db.admitTimeout <= 0 {
+			db.admitTimeout = time.Second
+		}
+	}
 	db.spans = spans
 	db.pool.SetSpans(spans)
 	if spans != nil {
@@ -424,6 +467,93 @@ func (db *DB) Stats() Stats {
 		PageWrites:    db.stats.pageWrites.Load(),
 		Compensations: db.stats.compensations.Load(),
 	}
+}
+
+// Health is the engine's liveness snapshot, published as the "health"
+// metric: whether the engine is degraded (read-only) and why, plus the
+// admission-control picture.
+type Health struct {
+	Degraded      bool   `json:"degraded"`
+	DegradedCause string `json:"degraded_cause,omitempty"`
+	Inflight      int64  `json:"inflight"`
+	MaxInflight   int    `json:"max_inflight"`
+	Overloads     int64  `json:"overloads"`
+}
+
+// Health returns the current health snapshot.
+func (db *DB) Health() Health {
+	h := Health{
+		Inflight:    db.obsInflight.Load(),
+		MaxInflight: cap(db.admit),
+		Overloads:   db.obsOverloads.Load(),
+	}
+	if cause := db.Degraded(); cause != nil {
+		h.Degraded = true
+		h.DegradedCause = cause.Error()
+	}
+	return h
+}
+
+// Degraded returns the sticky cause that flipped the engine read-only
+// (wrapping storage.ErrWALPoisoned), or nil while the engine is healthy.
+// Once non-nil it stays non-nil: the only way out is a restart through
+// recovery, exactly like a poisoned WAL.
+func (db *DB) Degraded() error {
+	if !db.degradedFlag.Load() {
+		return nil
+	}
+	db.degradedMu.Lock()
+	defer db.degradedMu.Unlock()
+	return db.degradedErr
+}
+
+// enterDegraded flips the engine into read-only degraded mode (first cause
+// wins) and surfaces the transition through the gauge and the flight
+// recorder.
+func (db *DB) enterDegraded(cause error) {
+	db.degradedMu.Lock()
+	if db.degradedErr != nil {
+		db.degradedMu.Unlock()
+		return
+	}
+	db.degradedErr = cause
+	db.degradedMu.Unlock()
+	db.degradedFlag.Store(true)
+	db.obsDegraded.Set(1)
+	db.obsRec.Record(obs.Event{Kind: obs.EvDegraded, Note: cause.Error()})
+}
+
+// Admit reserves an in-flight transaction slot, blocking up to the
+// admission timeout when MaxInflight transactions are already running. It
+// returns a release function the caller must invoke exactly once when the
+// transaction (including all its retries) is done. Without MaxInflight the
+// call is free and never fails.
+func (db *DB) Admit() (release func(), err error) {
+	if db.admit == nil {
+		return func() {}, nil
+	}
+	select {
+	case db.admit <- struct{}{}:
+	default:
+		timer := time.NewTimer(db.admitTimeout)
+		defer timer.Stop()
+		select {
+		case db.admit <- struct{}{}:
+		case <-timer.C:
+			db.obsOverloads.Inc()
+			db.obsRec.Record(obs.Event{Kind: obs.EvOverload,
+				Note: fmt.Sprintf("admission queue full after %v", db.admitTimeout)})
+			return nil, fmt.Errorf("%w: %d in flight, queued %v", ErrOverloaded, cap(db.admit), db.admitTimeout)
+		}
+	}
+	db.obsInflight.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			db.obsInflight.Add(-1)
+			<-db.admit
+		})
+	}, nil
 }
 
 // WAL returns the write-ahead log (for inspection and tests).

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/storage"
+)
+
+func armFault(t *testing.T, kv string) {
+	t.Helper()
+	name, spec, err := fault.ParseArm(kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Default.Arm(name, *spec)
+	t.Cleanup(func() { fault.Default.Disarm(name) })
+}
+
+// TestDegradedReadOnlyMode drives the fsyncgate policy end to end: an
+// injected fsync failure poisons the WAL, the failing commit is rolled
+// back and rejected with ErrWALPoisoned, the engine flips to read-only
+// degraded mode (later write-commits are rejected at the gate, reads keep
+// committing), and the state is visible through Health, the metrics
+// registry, and the flight recorder.
+func TestDegradedReadOnlyMode(t *testing.T) {
+	db, err := OpenDurable(Options{
+		Durability:   storage.GroupCommit,
+		WALDir:       t.TempDir(),
+		DisableTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	page := db.AllocPage()
+
+	// A healthy durable commit first.
+	tx := db.Begin()
+	if _, err := tx.Exec(page, "write", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison: the next commit's fsync fails.
+	armFault(t, "wal.fsync=error(injected fsync failure)")
+	tx = db.Begin()
+	if _, err := tx.Exec(page, "write", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	err = tx.Commit()
+	if !errors.Is(err, storage.ErrWALPoisoned) {
+		t.Fatalf("commit during fsync failure: err = %v, want ErrWALPoisoned", err)
+	}
+	if db.Degraded() == nil {
+		t.Fatal("engine not degraded after poisoned commit")
+	}
+
+	// The failed commit was rolled back: readers see the last durable state.
+	fault.Default.Disarm("wal.fsync")
+	rd := db.Begin()
+	got, err := rd.Exec(page, "read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "v1" {
+		t.Fatalf("page after rejected commit = %q, want rolled-back %q", got, "v1")
+	}
+	// Read-only transactions still commit in degraded mode.
+	if err := rd.Commit(); err != nil {
+		t.Fatalf("read-only commit in degraded mode: %v", err)
+	}
+
+	// Write-commits are rejected at the degraded gate (the failpoint is
+	// already disarmed — this is the engine's sticky state, not the fault).
+	tx = db.Begin()
+	if _, err := tx.Exec(page, "write", "v3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, storage.ErrWALPoisoned) {
+		t.Fatalf("write-commit in degraded mode: err = %v, want ErrWALPoisoned", err)
+	}
+	// Rejected again, rolled back again.
+	rd = db.Begin()
+	if got, _ := rd.Exec(page, "read"); got != "v1" {
+		t.Fatalf("page after second rejected commit = %q, want %q", got, "v1")
+	}
+	_ = rd.Commit()
+
+	// Surfacing: Health, the metrics snapshot, and the flight recorder all
+	// report the degraded state.
+	h := db.Health()
+	if !h.Degraded || h.DegradedCause == "" {
+		t.Fatalf("Health = %+v, want degraded with a cause", h)
+	}
+	snap := db.Obs().Snapshot()
+	if v, _ := snap["engine.degraded"].(int64); v != 1 {
+		t.Fatalf("engine.degraded metric = %v, want 1", snap["engine.degraded"])
+	}
+	sawEvent := false
+	for _, e := range db.Obs().Recorder().Tail(0) {
+		if e.Kind == "engine.degraded" {
+			sawEvent = true
+		}
+	}
+	if !sawEvent {
+		t.Fatal("no engine.degraded flight-recorder event")
+	}
+
+	// Stats: both rejected commits count as aborts, not commits.
+	s := db.Stats()
+	if s.TxnsCommitted != 3 { // v1 + two read-only
+		t.Fatalf("TxnsCommitted = %d, want 3", s.TxnsCommitted)
+	}
+	if s.TxnsAborted != 2 {
+		t.Fatalf("TxnsAborted = %d, want 2", s.TxnsAborted)
+	}
+}
+
+// TestDegradedModeMemOnlyUnaffected: an engine without a durable sink can
+// never enter degraded mode through commits.
+func TestDegradedModeMemOnlyUnaffected(t *testing.T) {
+	db := Open(Options{DisableTrace: true})
+	page := db.AllocPage()
+	tx := db.Begin()
+	if _, err := tx.Exec(page, "write", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Degraded() != nil {
+		t.Fatal("mem-only engine degraded")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -716,6 +717,12 @@ func (t *Txn) RollbackTo(sp Savepoint) error {
 // by prefix ordering, every record of the transaction — is on stable
 // storage; locks are held across the wait (strictness), so no transaction
 // reads effects whose commit could still be lost to a crash.
+//
+// In degraded read-only mode (poisoned WAL, see DB.Degraded) a commit that
+// wrote anything is rejected with the sticky cause — its effects are
+// rolled back exactly like an abort, so no unflushable change lingers in
+// the buffer pool. Read-only transactions keep committing: they have
+// nothing that needs to reach stable storage.
 func (t *Txn) Commit() error {
 	t.mu.Lock()
 	if t.finished {
@@ -724,6 +731,21 @@ func (t *Txn) Commit() error {
 	}
 	t.finished = true
 	t.mu.Unlock()
+
+	t.root.mu.Lock()
+	hasWrites := t.root.hasWrites
+	t.root.mu.Unlock()
+	if cause := t.db.Degraded(); cause != nil {
+		if hasWrites {
+			return t.failCommit(fmt.Errorf("core: commit %s rejected, engine degraded: %w", t.id, cause))
+		}
+		// Read-only: commit without touching the poisoned durability path.
+		t.db.wal.LogCommit(t.id)
+		t.db.lm.ReleaseTree(t.id)
+		t.finishCommitted()
+		return nil
+	}
+
 	lsn := t.db.wal.LogCommit(t.id)
 	// The group-commit span covers only the durability wait — with a
 	// mem-only WAL WaitDurable is instant and there is no batch to report.
@@ -739,18 +761,64 @@ func (t *Txn) Commit() error {
 		}
 		ws.End(err)
 	}
-	t.db.lm.ReleaseTree(t.id)
 	if err != nil {
-		t.db.spans.FinishTxn(t.tt, span.StatusAborted)
-		return fmt.Errorf("core: commit %s not durable: %w", t.id, err)
+		if errors.Is(err, storage.ErrWALPoisoned) {
+			// fsyncgate: the WAL refused the flush and will refuse every
+			// later one. Flip the engine read-only before anyone else logs a
+			// commit they will wait on forever-in-vain.
+			t.db.enterDegraded(err)
+		}
+		return t.failCommit(fmt.Errorf("core: commit %s not durable: %w", t.id, err))
 	}
+	t.db.lm.ReleaseTree(t.id)
+	t.finishCommitted()
+	return nil
+}
+
+// finishCommitted is the successful-commit epilogue: span status, stats,
+// commit-latency histogram, flight-recorder event.
+func (t *Txn) finishCommitted() {
 	t.db.spans.FinishTxn(t.tt, span.StatusCommitted)
 	t.db.stats.txnsCommitted.Add(1)
 	elapsed := time.Since(t.began)
 	t.db.obsCommitNs.ObserveDuration(elapsed)
 	t.db.obsRec.Record(obs.Event{Kind: obs.EvTxnCommit, Actor: t.id,
 		Dur: elapsed, N: t.maxDepth.Load()})
-	return nil
+}
+
+// failCommit turns a rejected commit into a proper abort: the
+// transaction's effects are rolled back (compensations and before-image
+// restores, which need the still-held page locks), an abort record is
+// logged, locks are released, and the abort is surfaced through spans,
+// stats, and the flight recorder. Returns cause.
+//
+// The transaction is already marked finished; rollback compensations
+// re-enter invoke, which refuses finished transactions, so the mark is
+// lifted for the duration of the rollback.
+func (t *Txn) failCommit(cause error) error {
+	entries := t.root.takeUndo()
+	if len(entries) > 0 {
+		t.mu.Lock()
+		t.finished = false
+		t.mu.Unlock()
+		t.db.rollback(t, t.root, entries)
+		t.mu.Lock()
+		t.finished = true
+		t.mu.Unlock()
+	}
+	t.db.wal.LogAbort(t.id)
+	t.db.lm.ReleaseTree(t.id)
+	if t.tt != nil {
+		// Span provenance: the trace shows WHY this transaction aborted — a
+		// commit-stage rejection, not a conflict.
+		cs := t.tt.BeginSpan(t.id+"/commit", t.id, span.KWAL, "commit rejected")
+		cs.End(cause)
+	}
+	t.db.spans.FinishTxn(t.tt, span.StatusAborted)
+	t.db.stats.txnsAborted.Add(1)
+	t.db.obsRec.Record(obs.Event{Kind: obs.EvTxnAbort, Actor: t.id,
+		Dur: time.Since(t.began), N: t.maxDepth.Load(), Note: cause.Error()})
+	return cause
 }
 
 // CompensateEntry executes one logical undo entry during restart recovery

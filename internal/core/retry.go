@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// RetryPolicy configures RunWithRetry.
+type RetryPolicy struct {
+	// MaxAttempts bounds how many times the transaction body runs (default
+	// 50). The first execution counts as attempt 1.
+	MaxAttempts int
+	// BaseBackoff is the delay before the second attempt (default 200µs);
+	// it doubles per attempt up to MaxBackoff (default 10ms). The actual
+	// sleep is jittered over the upper half of the computed delay so
+	// restarted conflictors do not re-collide in lockstep.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Rand, when non-nil, supplies the jitter (deterministic tests);
+	// otherwise the global source is used. Callers sharing one Rand across
+	// goroutines must not: rand.Rand is not concurrency-safe — leave it nil
+	// in concurrent workloads.
+	Rand *rand.Rand
+	// OnRetry is invoked after every failed attempt (including the last),
+	// before the backoff sleep — the hook workload counters use.
+	OnRetry func(attempt int, err error)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 50
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 200 * time.Microsecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 10 * time.Millisecond
+	}
+	return p
+}
+
+// terminalRetryErr reports errors no retry can fix: a poisoned WAL keeps
+// rejecting every commit until restart recovery, and an overloaded engine
+// only gets more overloaded when refused work immediately re-queues.
+func terminalRetryErr(err error) bool {
+	return errors.Is(err, storage.ErrWALPoisoned) || errors.Is(err, ErrOverloaded)
+}
+
+// backoffFor computes the jittered exponential delay before attempt n+1
+// (n >= 1): base<<(n-1) capped at max, then jittered to [d/2, d).
+func (p RetryPolicy) backoffFor(attempt int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	var j int64
+	if p.Rand != nil {
+		j = p.Rand.Int63n(int64(half))
+	} else {
+		j = globalJitter(int64(half))
+	}
+	return half + time.Duration(j)
+}
+
+// globalJitter draws from a process-wide locked source; math/rand's global
+// functions would do, but a private source keeps workload determinism knobs
+// (which seed the global source) unaffected by retry noise.
+var (
+	jitterMu  sync.Mutex
+	jitterSrc = rand.New(rand.NewSource(1))
+)
+
+func globalJitter(n int64) int64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterSrc.Int63n(n)
+}
+
+// RunWithRetry executes body inside a fresh transaction, committing on
+// success and retrying transient failures (deadlock victims, lock
+// timeouts, injected faults) with jittered exponential backoff. It is the
+// engine's one retry loop — workloads used to hand-roll linear backoff.
+//
+// Semantics:
+//
+//   - One admission slot (Options.MaxInflight) covers the whole logical
+//     transaction: acquired before the first attempt, held across retries,
+//     released when RunWithRetry returns. Admission failure returns
+//     ErrOverloaded without running body.
+//   - Priority ages: every restarted attempt re-applies the FIRST
+//     attempt's sequence number via Txn.SetPriority, so the youngest-victim
+//     deadlock policy cannot starve a retrier behind fresher transactions.
+//   - body runs with the transaction; returning nil commits. A body error
+//     aborts the attempt (rollback, locks released) and retries. Commit
+//     errors are terminal — a commit that failed its durability wait has
+//     already surfaced a WAL-level fault that a retry cannot mend.
+//   - Terminal errors (ErrWALPoisoned behind a commit, ErrOverloaded) stop
+//     the loop immediately; everything else retries up to MaxAttempts.
+//   - OnRetry fires once per failed attempt, before the backoff sleep.
+func (db *DB) RunWithRetry(p RetryPolicy, body func(t *Txn) error) error {
+	p = p.withDefaults()
+	release, err := db.Admit()
+	if err != nil {
+		return err
+	}
+	defer release()
+
+	age := int64(-1)
+	var lastErr error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(p.backoffFor(attempt - 1))
+		}
+		t := db.Begin()
+		if age < 0 {
+			age = t.Seq()
+		} else {
+			t.SetPriority(age)
+		}
+		err := body(t)
+		if err == nil {
+			if cerr := t.Commit(); cerr != nil {
+				// Commit failures (not-durable, degraded rejection) have
+				// already rolled the transaction back and are terminal; they
+				// do not count as retries.
+				return cerr
+			}
+			return nil
+		}
+		_ = t.Abort() // ErrTxnFinished when body already finished it
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		if terminalRetryErr(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("core: transaction gave up after %d attempts: %w", p.MaxAttempts, lastErr)
+}

@@ -1,0 +1,319 @@
+// Package fault is the engine-wide fault-injection framework: a registry
+// of named failpoints compiled into the I/O and contention hot paths
+// (store read/write, pool eviction and write-back, WAL append/fsync/
+// rotation, group-commit flushing, lock acquisition). A disarmed failpoint
+// costs one atomic pointer load — cheap enough to leave in production
+// builds — and an armed one injects an error, a delay, or a panic,
+// optionally gated by probability, fire-count, every-N, or after-N
+// triggers.
+//
+// Failpoints are armed programmatically (Registry.Arm), from the command
+// line (oodbsim -fault name=spec, see ParseSpec for the grammar), or at
+// runtime through the /fault endpoint mounted on the observability HTTP
+// server (Registry.Handler). cmd/chaos drives random failpoints through a
+// live workload and verifies the engine degrades instead of corrupting.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel every injected error wraps; test code checks
+// errors.Is(err, fault.ErrInjected) to distinguish injected failures from
+// organic ones.
+var ErrInjected = errors.New("fault: injected failure")
+
+// ActionKind is what an armed failpoint does when it fires.
+type ActionKind int
+
+const (
+	// ActError makes Inject return an error.
+	ActError ActionKind = iota
+	// ActDelay makes Inject sleep before returning nil.
+	ActDelay
+	// ActPanic makes Inject panic.
+	ActPanic
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActError:
+		return "error"
+	case ActDelay:
+		return "delay"
+	case ActPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("action(%d)", int(k))
+}
+
+// Spec describes an armed failpoint: the action taken on a fire and the
+// triggers deciding which evaluations fire.
+type Spec struct {
+	// Kind selects the action (error, delay, panic).
+	Kind ActionKind
+	// Msg annotates the injected error or panic.
+	Msg string
+	// Delay is the sleep duration for ActDelay.
+	Delay time.Duration
+
+	// Prob fires each eligible evaluation with this probability; 0 (or ≥1)
+	// means always.
+	Prob float64
+	// EveryN fires only every Nth eligible evaluation (≤1 means every one).
+	EveryN int64
+	// Count disarms the failpoint after this many fires (0 = unlimited).
+	Count int64
+	// After skips the first N evaluations before any can fire.
+	After int64
+	// Seed seeds the probability trigger's generator (0 = fixed default),
+	// keeping probabilistic chaos runs reproducible.
+	Seed int64
+}
+
+// String renders the spec in the ParseSpec grammar.
+func (s Spec) String() string {
+	out := s.Kind.String()
+	switch s.Kind {
+	case ActDelay:
+		out += "(" + s.Delay.String() + ")"
+	default:
+		if s.Msg != "" {
+			out += "(" + s.Msg + ")"
+		}
+	}
+	if s.Prob > 0 && s.Prob < 1 {
+		out += fmt.Sprintf(";p=%g", s.Prob)
+	}
+	if s.EveryN > 1 {
+		out += fmt.Sprintf(";every=%d", s.EveryN)
+	}
+	if s.Count > 0 {
+		out += fmt.Sprintf(";count=%d", s.Count)
+	}
+	if s.After > 0 {
+		out += fmt.Sprintf(";after=%d", s.After)
+	}
+	if s.Seed != 0 {
+		out += fmt.Sprintf(";seed=%d", s.Seed)
+	}
+	return out
+}
+
+// armed is the live state behind an armed failpoint. It is reached through
+// one atomic pointer, so disarmed evaluation never takes a lock.
+type armed struct {
+	spec  Spec
+	evals atomic.Int64 // evaluations since arming
+	fires atomic.Int64 // times the action actually ran
+
+	mu  sync.Mutex // guards rng (only taken when a probability trigger is set)
+	rng *rand.Rand
+}
+
+// Failpoint is one named injection site. The zero cost claim: Inject on a
+// disarmed point is a single atomic pointer load and a predictable branch.
+type Failpoint struct {
+	name  string
+	state atomic.Pointer[armed]
+	// fires survives re-arming so /fault reports lifetime totals.
+	totalFires atomic.Int64
+}
+
+// Name returns the failpoint's registry name.
+func (p *Failpoint) Name() string { return p.name }
+
+// Armed reports whether the failpoint is currently armed.
+func (p *Failpoint) Armed() bool { return p != nil && p.state.Load() != nil }
+
+// Inject evaluates the failpoint: nil when disarmed or when the armed
+// triggers pass this evaluation over; otherwise it sleeps (delay), panics
+// (panic), or returns an ErrInjected-wrapped error (error).
+func (p *Failpoint) Inject() error {
+	if p == nil {
+		return nil
+	}
+	st := p.state.Load()
+	if st == nil {
+		return nil
+	}
+	return p.fire(st)
+}
+
+// fire is the armed slow path, split out so Inject stays inlinable.
+func (p *Failpoint) fire(st *armed) error {
+	n := st.evals.Add(1)
+	s := st.spec
+	if s.After > 0 && n <= s.After {
+		return nil
+	}
+	if s.EveryN > 1 && (n-s.After)%s.EveryN != 0 {
+		return nil
+	}
+	if s.Prob > 0 && s.Prob < 1 {
+		st.mu.Lock()
+		roll := st.rng.Float64()
+		st.mu.Unlock()
+		if roll >= s.Prob {
+			return nil
+		}
+	}
+	if s.Count > 0 {
+		f := st.fires.Add(1)
+		if f > s.Count {
+			return nil
+		}
+		if f == s.Count {
+			// Last permitted fire: auto-disarm (best effort — a re-arm
+			// that raced in wins and stays).
+			p.state.CompareAndSwap(st, nil)
+		}
+	} else {
+		st.fires.Add(1)
+	}
+	p.totalFires.Add(1)
+	switch s.Kind {
+	case ActDelay:
+		time.Sleep(s.Delay)
+		return nil
+	case ActPanic:
+		panic(fmt.Sprintf("fault: failpoint %s: %s", p.name, orDefault(s.Msg, "injected panic")))
+	default:
+		return fmt.Errorf("%w: %s: %s", ErrInjected, p.name, orDefault(s.Msg, "injected error"))
+	}
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+// arm installs a spec (replacing any current one) and resets the
+// per-arming counters.
+func (p *Failpoint) arm(s Spec) {
+	st := &armed{spec: s}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	st.rng = rand.New(rand.NewSource(seed))
+	p.state.Store(st)
+}
+
+// disarm removes the current spec; reports whether one was armed.
+func (p *Failpoint) disarm() bool { return p.state.Swap(nil) != nil }
+
+// Status is one failpoint's row in a registry snapshot.
+type Status struct {
+	Name  string `json:"name"`
+	Armed bool   `json:"armed"`
+	Spec  string `json:"spec,omitempty"`
+	// Evals counts evaluations since the current arming (0 when disarmed).
+	Evals int64 `json:"evals"`
+	// Fires counts lifetime fires across armings.
+	Fires int64 `json:"fires"`
+}
+
+// Registry holds named failpoints. Components reserve their points at init
+// (Point is get-or-create), so the /fault endpoint can list every site the
+// build carries even while all of them are disarmed.
+type Registry struct {
+	mu     sync.Mutex
+	points map[string]*Failpoint
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{points: make(map[string]*Failpoint)}
+}
+
+// Default is the process-wide registry the engine's built-in failpoints
+// live in; oodbsim's -fault flag and the /fault endpoint arm it.
+var Default = NewRegistry()
+
+// Point returns the named failpoint from the Default registry, creating a
+// disarmed one on first use. Components call it once at package init and
+// keep the handle.
+func Point(name string) *Failpoint { return Default.Point(name) }
+
+// Point returns (creating if needed) the named failpoint.
+func (r *Registry) Point(name string) *Failpoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.points[name]
+	if !ok {
+		p = &Failpoint{name: name}
+		r.points[name] = p
+	}
+	return p
+}
+
+// Lookup returns the named failpoint without creating it.
+func (r *Registry) Lookup(name string) (*Failpoint, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.points[name]
+	return p, ok
+}
+
+// Arm installs spec on the named failpoint (created if unknown).
+func (r *Registry) Arm(name string, s Spec) { r.Point(name).arm(s) }
+
+// ArmString parses "name=spec" (the -fault flag format) and arms it.
+func (r *Registry) ArmString(kv string) error {
+	name, spec, err := ParseArm(kv)
+	if err != nil {
+		return err
+	}
+	if spec == nil {
+		r.Disarm(name)
+		return nil
+	}
+	r.Arm(name, *spec)
+	return nil
+}
+
+// Disarm removes the named failpoint's spec; reports whether it was armed.
+func (r *Registry) Disarm(name string) bool {
+	p, ok := r.Lookup(name)
+	return ok && p.disarm()
+}
+
+// DisarmAll disarms every failpoint (chaos rounds end with it).
+func (r *Registry) DisarmAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range r.points {
+		p.disarm()
+	}
+}
+
+// Snapshot returns every known failpoint's status, sorted by name.
+func (r *Registry) Snapshot() []Status {
+	r.mu.Lock()
+	points := make([]*Failpoint, 0, len(r.points))
+	for _, p := range r.points {
+		points = append(points, p)
+	}
+	r.mu.Unlock()
+	out := make([]Status, 0, len(points))
+	for _, p := range points {
+		st := Status{Name: p.name, Fires: p.totalFires.Load()}
+		if a := p.state.Load(); a != nil {
+			st.Armed = true
+			st.Spec = a.spec.String()
+			st.Evals = a.evals.Load()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,234 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedInjectIsNil(t *testing.T) {
+	r := NewRegistry()
+	p := r.Point("x")
+	for i := 0; i < 100; i++ {
+		if err := p.Inject(); err != nil {
+			t.Fatalf("disarmed inject returned %v", err)
+		}
+	}
+	var nilPoint *Failpoint
+	if err := nilPoint.Inject(); err != nil {
+		t.Fatalf("nil failpoint inject returned %v", err)
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	r := NewRegistry()
+	r.Arm("io", Spec{Kind: ActError, Msg: "disk gone"})
+	err := r.Point("io").Inject()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "disk gone") || !strings.Contains(err.Error(), "io") {
+		t.Fatalf("err = %v, want point name and message", err)
+	}
+	if !r.Disarm("io") {
+		t.Fatal("Disarm reported not armed")
+	}
+	if err := r.Point("io").Inject(); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}
+
+func TestCountTriggerAutoDisarms(t *testing.T) {
+	r := NewRegistry()
+	r.Arm("c", Spec{Kind: ActError, Count: 3})
+	p := r.Point("c")
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if p.Inject() != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+	if p.Armed() {
+		t.Fatal("failpoint still armed after count exhausted")
+	}
+}
+
+func TestEveryNAndAfterTriggers(t *testing.T) {
+	r := NewRegistry()
+	r.Arm("e", Spec{Kind: ActError, EveryN: 3, After: 2})
+	p := r.Point("e")
+	var pattern []bool
+	for i := 0; i < 11; i++ {
+		pattern = append(pattern, p.Inject() != nil)
+	}
+	// Evaluations 1,2 skipped (after=2); then every 3rd of the remainder:
+	// eval 5 (n-After=3), 8, 11.
+	want := []bool{false, false, false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("eval %d: fired=%v, want %v (pattern %v)", i+1, pattern[i], want[i], pattern)
+		}
+	}
+}
+
+func TestProbabilityTriggerIsSeededAndPartial(t *testing.T) {
+	r := NewRegistry()
+	run := func(seed int64) int {
+		r.Arm("p", Spec{Kind: ActError, Prob: 0.3, Seed: seed})
+		p := r.Point("p")
+		fired := 0
+		for i := 0; i < 1000; i++ {
+			if p.Inject() != nil {
+				fired++
+			}
+		}
+		return fired
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed fired %d then %d times", a, b)
+	}
+	if a < 200 || a > 400 {
+		t.Fatalf("p=0.3 fired %d/1000 times", a)
+	}
+}
+
+func TestDelayInjection(t *testing.T) {
+	r := NewRegistry()
+	r.Arm("d", Spec{Kind: ActDelay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := r.Point("d").Inject(); err != nil {
+		t.Fatalf("delay returned error %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay slept only %v", d)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	r := NewRegistry()
+	r.Arm("boom", Spec{Kind: ActPanic, Msg: "kaboom"})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no panic")
+		}
+		if s, ok := v.(string); !ok || !strings.Contains(s, "kaboom") {
+			t.Fatalf("panic value %v", v)
+		}
+	}()
+	_ = r.Point("boom").Inject()
+}
+
+func TestConcurrentInjectAndArm(t *testing.T) {
+	r := NewRegistry()
+	p := r.Point("race")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = p.Inject()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		r.Arm("race", Spec{Kind: ActError, Prob: 0.5, EveryN: 2})
+		r.Disarm("race")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSnapshotListsDisarmedPoints(t *testing.T) {
+	r := NewRegistry()
+	r.Point("b.quiet")
+	r.Arm("a.live", Spec{Kind: ActError, Count: 2})
+	_ = r.Point("a.live").Inject()
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2", len(snap))
+	}
+	if snap[0].Name != "a.live" || !snap[0].Armed || snap[0].Fires != 1 || snap[0].Evals != 1 {
+		t.Fatalf("a.live status = %+v", snap[0])
+	}
+	if snap[1].Name != "b.quiet" || snap[1].Armed {
+		t.Fatalf("b.quiet status = %+v", snap[1])
+	}
+	if snap[0].Spec == "" {
+		t.Fatal("armed point has empty spec string")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"error",
+		"error(disk gone)",
+		"delay(2ms)",
+		"delay(1.5s);p=0.25;every=4;count=10;after=3;seed=42",
+		"panic(kaboom);count=1",
+	}
+	for _, c := range cases {
+		s, err := ParseSpec(c)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c, err)
+		}
+		again, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", s.String(), c, err)
+		}
+		if again != s {
+			t.Fatalf("round trip %q -> %+v -> %q -> %+v", c, s, s.String(), again)
+		}
+	}
+}
+
+func TestSpecParseErrors(t *testing.T) {
+	bad := []string{
+		"", "frob", "delay", "delay(xyz)", "error(oops", "error;p=2",
+		"error;p=0", "error;every=0", "error;count=0", "error;after=-1",
+		"error;bogus=1", "error;p",
+	}
+	for _, c := range bad {
+		if _, err := ParseSpec(c); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", c)
+		}
+	}
+}
+
+func TestParseArm(t *testing.T) {
+	name, spec, err := ParseArm("wal.fsync=error;count=1")
+	if err != nil || name != "wal.fsync" || spec == nil || spec.Kind != ActError || spec.Count != 1 {
+		t.Fatalf("ParseArm: name=%q spec=%+v err=%v", name, spec, err)
+	}
+	name, spec, err = ParseArm("wal.fsync=off")
+	if err != nil || name != "wal.fsync" || spec != nil {
+		t.Fatalf("ParseArm(off): name=%q spec=%+v err=%v", name, spec, err)
+	}
+	if _, _, err := ParseArm("nameonly"); err == nil {
+		t.Fatal("ParseArm without '=' accepted")
+	}
+}
+
+func BenchmarkDisarmedInject(b *testing.B) {
+	r := NewRegistry()
+	p := r.Point("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.Inject(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Handler serves the registry over HTTP, mounted as /fault on the obs
+// endpoint:
+//
+//	GET  /fault                    — JSON list of every failpoint (armed or not)
+//	POST /fault?arm=name=spec      — arm a failpoint (spec grammar: ParseSpec)
+//	POST /fault?disarm=name        — disarm one failpoint ("all" disarms every one)
+//
+// GET with arm/disarm query parameters is accepted too (curl convenience —
+// this is a debug endpoint, not a public API).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		if kv := q.Get("arm"); kv != "" {
+			if err := r.ArmString(kv); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			fmt.Fprintf(w, "armed %s\n", kv)
+			return
+		}
+		if name := q.Get("disarm"); name != "" {
+			if name == "all" {
+				r.DisarmAll()
+				fmt.Fprintln(w, "disarmed all")
+				return
+			}
+			if r.Disarm(name) {
+				fmt.Fprintf(w, "disarmed %s\n", name)
+			} else {
+				fmt.Fprintf(w, "%s was not armed\n", name)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}

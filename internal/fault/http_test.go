@@ -1,0 +1,63 @@
+package fault
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerListArmDisarm(t *testing.T) {
+	r := NewRegistry()
+	r.Point("wal.fsync")
+	h := r.Handler()
+
+	get := func(url string) (int, string) {
+		req := httptest.NewRequest("GET", url, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w.Code, w.Body.String()
+	}
+
+	code, body := get("/fault?arm=wal.fsync%3Derror%3Bcount%3D1")
+	if code != 200 || !strings.Contains(body, "armed") {
+		t.Fatalf("arm: %d %q", code, body)
+	}
+	if !r.Point("wal.fsync").Armed() {
+		t.Fatal("failpoint not armed via endpoint")
+	}
+
+	code, body = get("/fault")
+	if code != 200 {
+		t.Fatalf("list: %d", code)
+	}
+	var snap []Status
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("list is not JSON: %v\n%s", err, body)
+	}
+	if len(snap) != 1 || snap[0].Name != "wal.fsync" || !snap[0].Armed || snap[0].Spec != "error;count=1" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	if code, _ = get("/fault?disarm=wal.fsync"); code != 200 {
+		t.Fatalf("disarm: %d", code)
+	}
+	if r.Point("wal.fsync").Armed() {
+		t.Fatal("failpoint still armed after disarm")
+	}
+
+	if code, body = get("/fault?arm=wal.fsync%3Dbogus"); code != 400 {
+		t.Fatalf("bad spec: %d %q", code, body)
+	}
+
+	r.Arm("a", Spec{Kind: ActError})
+	r.Arm("b", Spec{Kind: ActError})
+	if code, _ = get("/fault?disarm=all"); code != 200 {
+		t.Fatalf("disarm all: %d", code)
+	}
+	for _, st := range r.Snapshot() {
+		if st.Armed {
+			t.Fatalf("%s still armed after disarm=all", st.Name)
+		}
+	}
+}

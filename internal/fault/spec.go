@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseArm splits an arming directive "name=spec" and parses the spec.
+// A nil returned Spec means the directive disarms the point ("name=off").
+func ParseArm(kv string) (name string, spec *Spec, err error) {
+	name, rest, ok := strings.Cut(kv, "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return "", nil, fmt.Errorf("fault: want name=spec, got %q", kv)
+	}
+	if strings.TrimSpace(rest) == "off" {
+		return name, nil, nil
+	}
+	s, err := ParseSpec(rest)
+	if err != nil {
+		return "", nil, fmt.Errorf("fault: %s: %w", name, err)
+	}
+	return name, &s, nil
+}
+
+// ParseSpec parses the failpoint spec grammar:
+//
+//	spec    := action (';' trigger)*
+//	action  := "error" ['(' msg ')']     — Inject returns an error
+//	         | "delay" '(' duration ')'  — Inject sleeps (Go duration syntax)
+//	         | "panic" ['(' msg ')']     — Inject panics
+//	trigger := "p=" float   — fire with this probability (0 < p < 1)
+//	         | "every=" N   — fire only every Nth evaluation
+//	         | "count=" N   — auto-disarm after N fires
+//	         | "after=" N   — skip the first N evaluations
+//	         | "seed=" N    — seed for the probability roll (reproducible runs)
+//
+// Examples: "error", "error(disk gone);count=1", "delay(2ms);p=0.3",
+// "panic;after=100".
+func ParseSpec(s string) (Spec, error) {
+	parts := strings.Split(s, ";")
+	var spec Spec
+	action := strings.TrimSpace(parts[0])
+	verb, arg, err := splitAction(action)
+	if err != nil {
+		return Spec{}, err
+	}
+	switch verb {
+	case "error":
+		spec.Kind = ActError
+		spec.Msg = arg
+	case "panic":
+		spec.Kind = ActPanic
+		spec.Msg = arg
+	case "delay":
+		if arg == "" {
+			return Spec{}, fmt.Errorf("delay needs a duration, e.g. delay(2ms)")
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return Spec{}, fmt.Errorf("bad delay %q: %v", arg, err)
+		}
+		spec.Kind = ActDelay
+		spec.Delay = d
+	default:
+		return Spec{}, fmt.Errorf("unknown action %q (want error|delay|panic|off)", verb)
+	}
+	for _, t := range parts[1:] {
+		key, val, ok := strings.Cut(strings.TrimSpace(t), "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("bad trigger %q (want key=value)", t)
+		}
+		switch key {
+		case "p":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return Spec{}, fmt.Errorf("bad probability %q (want 0 < p <= 1)", val)
+			}
+			spec.Prob = p
+		case "every":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return Spec{}, fmt.Errorf("bad every %q", val)
+			}
+			spec.EveryN = n
+		case "count":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return Spec{}, fmt.Errorf("bad count %q", val)
+			}
+			spec.Count = n
+		case "after":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return Spec{}, fmt.Errorf("bad after %q", val)
+			}
+			spec.After = n
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("bad seed %q", val)
+			}
+			spec.Seed = n
+		default:
+			return Spec{}, fmt.Errorf("unknown trigger %q", key)
+		}
+	}
+	return spec, nil
+}
+
+// splitAction splits "verb(arg)" or "verb" into its parts.
+func splitAction(s string) (verb, arg string, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return s, "", nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", "", fmt.Errorf("unbalanced parens in %q", s)
+	}
+	return s[:open], s[open+1 : len(s)-1], nil
+}

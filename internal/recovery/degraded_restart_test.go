@@ -1,0 +1,124 @@
+package recovery
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/storage"
+)
+
+// TestRecoveryAfterPoisonReplaysOnlyAckedCommits is the no-silent-loss
+// acceptance check for the degraded-mode policy: an increment-only
+// workload runs until an injected fsync failure poisons the WAL. Every
+// commit acknowledged before the poison must survive the restart; every
+// commit attempted after it must have been rejected with ErrWALPoisoned
+// (never silently dropped).
+//
+// A rejected commit is allowed to REAPPEAR after restart: a commit whose
+// fsync errored is in doubt — its frames may have reached the platter
+// before the failure — and recovery trusts the log. What is forbidden is
+// the converse: an acknowledged commit that recovery loses. Only commits
+// that reached the durability wait before the engine flipped degraded can
+// be in doubt; gate-rejected ones never logged a commit record.
+func TestRecoveryAfterPoisonReplaysOnlyAckedCommits(t *testing.T) {
+	dir := t.TempDir()
+	opts := core.Options{Durability: storage.GroupCommit, WALDir: dir, DisableTrace: true}
+	ap := &acctPages{}
+	db, err := core.OpenDurable(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := registerAcct(db, ap, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy phase: each committed transaction adds exactly 1.
+	acked := 0
+	for i := 0; i < 20; i++ {
+		tx := db.Begin()
+		if _, err := tx.Exec(acctOID, "add", "0", "1"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("healthy commit %d: %v", i, err)
+		}
+		acked++
+	}
+
+	// Fault phase: the WAL's fsync fails from here on. No transaction may
+	// be acknowledged; each must surface the poison.
+	name, spec, err := fault.ParseArm("wal.fsync=error(injected fsync failure)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Default.Arm(name, *spec)
+	defer fault.Default.Disarm(name)
+	inDoubt := 0
+	for i := 0; i < 10; i++ {
+		tx := db.Begin()
+		if _, err := tx.Exec(acctOID, "add", "0", "1"); err != nil {
+			// Degraded-mode aborts of earlier rejected commits can conflict
+			// transiently; the attempt simply doesn't count as acked.
+			_ = tx.Abort()
+			continue
+		}
+		err := tx.Commit()
+		if err == nil {
+			t.Fatalf("commit %d acknowledged on a poisoned WAL", i)
+		}
+		if !errors.Is(err, storage.ErrWALPoisoned) {
+			t.Fatalf("commit %d: err = %v, want ErrWALPoisoned", i, err)
+		}
+		if db.Degraded() == nil {
+			// Rejected by the durability wait itself, before the engine
+			// flipped: this commit record may have hit the disk.
+			inDoubt++
+		} else if i == 0 {
+			// The first rejection both logged a commit record and flipped
+			// the engine; it is the canonical in-doubt case.
+			inDoubt++
+		}
+	}
+	if db.Degraded() == nil {
+		t.Fatal("engine not degraded after poisoned commits")
+	}
+	_ = db.Close() // returns the sticky poison; the "crash"
+	fault.Default.Disarm(name)
+
+	// Restart: recovery replays exactly the acked prefix.
+	db2, rep, err := RecoverDir(dir, opts, func(d *core.DB) error {
+		return registerAcct(d, ap, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	got := sumBalances(t, db2, 1)
+	if got < acked {
+		t.Fatalf("SILENT LOSS: recovered balance = %d < %d acked increments (winners %d, losers %d)",
+			got, acked, len(rep.Winners), len(rep.Losers))
+	}
+	if got > acked+inDoubt {
+		t.Fatalf("recovered balance = %d, want at most %d acked + %d in-doubt (winners %d, losers %d)",
+			got, acked, inDoubt, len(rep.Winners), len(rep.Losers))
+	}
+	acked = got // the recovered state is the new baseline
+	if db2.Degraded() != nil {
+		t.Fatal("recovered engine must start healthy")
+	}
+
+	// The recovered engine acknowledges commits again.
+	tx := db2.Begin()
+	if _, err := tx.Exec(acctOID, "add", "0", strconv.Itoa(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit after recovery: %v", err)
+	}
+	if got := sumBalances(t, db2, 1); got != acked+1 {
+		t.Fatalf("post-recovery balance = %d, want %d", got, acked+1)
+	}
+}

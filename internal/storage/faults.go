@@ -1,0 +1,32 @@
+package storage
+
+import "repro/internal/fault"
+
+// The storage layer's failpoints (internal/fault), one per I/O hot path.
+// All are disarmed by default (one atomic load each); oodbsim -fault,
+// the /fault endpoint, and cmd/chaos arm them by these names.
+var (
+	// fpStoreRead fires inside MemStore.Read — a failed or slow page read
+	// from the backing store.
+	fpStoreRead = fault.Point("store.read")
+	// fpStoreWrite fires inside MemStore.Write — a failed or slow page
+	// write (buffer-pool write-back, FlushAll, recovery write-through).
+	fpStoreWrite = fault.Point("store.write")
+	// fpPoolEvict fires when the pool must evict a frame to make room.
+	fpPoolEvict = fault.Point("pool.evict")
+	// fpPoolWriteback fires before a dirty victim's write-back I/O.
+	fpPoolWriteback = fault.Point("pool.writeback")
+	// fpWALAppend fires as a record reaches the durable sink's buffer; an
+	// error poisons the WAL (the record can no longer be made durable).
+	fpWALAppend = fault.Point("wal.append")
+	// fpWALFlush fires at the start of each group-commit flush cycle —
+	// delay stalls every committer in the batch.
+	fpWALFlush = fault.Point("wal.flush")
+	// fpWALFsync fires before each physical fsync; an error poisons the
+	// WAL (fsyncgate: a failed fsync may have dropped pages silently, so
+	// re-fsyncing would falsely report durability).
+	fpWALFsync = fault.Point("wal.fsync")
+	// fpWALRotate fires before a segment rotation creates the next file —
+	// the disk-full / O_EXCL-collision path (ErrSegmentRotate).
+	fpWALRotate = fault.Point("wal.rotate")
+)

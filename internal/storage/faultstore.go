@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjectedIO is the error FaultStore injects. Kept distinct from the
+// fault package's ErrInjected so tests can tell wrapper-injected failures
+// from failpoint-injected ones.
+var ErrInjectedIO = errors.New("storage: injected I/O failure")
+
+// FaultStore wraps a Store with switchable read/write failures and
+// optional gates that block I/O until released — enough control to pin
+// down how the buffer pool, WAL machinery, and recovery behave around I/O
+// that fails or takes time. It started life as a private test double in
+// the pool tests and is promoted here (as part of the fault-injection
+// framework) so pool, WAL, and recovery tests share one implementation.
+//
+// For fault injection without a wrapper — e.g. through core.Options where
+// the store is a concrete *MemStore — arm the "store.read"/"store.write"
+// failpoints (internal/fault) instead; MemStore evaluates them on every
+// access.
+type FaultStore struct {
+	Store
+
+	mu        sync.Mutex
+	failReads bool
+	failWrite bool
+	// failWriteOnly narrows failWrite to a single page when non-nil.
+	failWriteOnly *PageID
+	readGate      chan struct{} // when non-nil, Read blocks until closed
+	writeGate     chan struct{} // when non-nil, Write blocks until closed
+}
+
+// NewFaultStore wraps an existing store; all injection is off initially.
+func NewFaultStore(s Store) *FaultStore { return &FaultStore{Store: s} }
+
+// Read implements Store, honouring the read gate and failure switch.
+func (s *FaultStore) Read(id PageID) (string, error) {
+	s.mu.Lock()
+	gate, fail := s.readGate, s.failReads
+	s.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	if fail {
+		return "", ErrInjectedIO
+	}
+	return s.Store.Read(id)
+}
+
+// Write implements Store, honouring the write gate and failure switches.
+func (s *FaultStore) Write(id PageID, data string) error {
+	s.mu.Lock()
+	gate, fail, only := s.writeGate, s.failWrite, s.failWriteOnly
+	s.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	if fail && (only == nil || *only == id) {
+		return ErrInjectedIO
+	}
+	return s.Store.Write(id, data)
+}
+
+// FailReads switches read failure injection.
+func (s *FaultStore) FailReads(v bool) {
+	s.mu.Lock()
+	s.failReads = v
+	s.mu.Unlock()
+}
+
+// FailWrites switches write failure injection for every page.
+func (s *FaultStore) FailWrites(v bool) {
+	s.mu.Lock()
+	s.failWrite = v
+	s.failWriteOnly = nil
+	s.mu.Unlock()
+}
+
+// FailWritesOnly injects write failures for one page only.
+func (s *FaultStore) FailWritesOnly(id PageID) {
+	s.mu.Lock()
+	s.failWrite = true
+	s.failWriteOnly = &id
+	s.mu.Unlock()
+}
+
+// GateReads installs (or clears, with nil) a channel every Read blocks on
+// until it is closed.
+func (s *FaultStore) GateReads(gate chan struct{}) {
+	s.mu.Lock()
+	s.readGate = gate
+	s.mu.Unlock()
+}
+
+// GateWrites installs (or clears, with nil) a channel every Write blocks
+// on until it is closed.
+func (s *FaultStore) GateWrites(gate chan struct{}) {
+	s.mu.Lock()
+	s.writeGate = gate
+	s.mu.Unlock()
+}

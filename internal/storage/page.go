@@ -73,6 +73,9 @@ func (s *MemStore) Allocate() PageID {
 
 // Read implements Store.
 func (s *MemStore) Read(id PageID) (string, error) {
+	if err := fpStoreRead.Inject(); err != nil {
+		return "", err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	data, ok := s.pages[id]
@@ -84,6 +87,9 @@ func (s *MemStore) Read(id PageID) (string, error) {
 
 // Write implements Store.
 func (s *MemStore) Write(id PageID, data string) error {
+	if err := fpStoreWrite.Inject(); err != nil {
+		return err
+	}
 	if len(data) > s.pageSize {
 		return fmt.Errorf("%w: %d > %d", ErrPageTooLarge, len(data), s.pageSize)
 	}

@@ -205,6 +205,9 @@ func (bp *BufferPool) FetchPage(id PageID) (*Frame, error) {
 // victim re-fetched during write-back stays cached and the caller
 // re-evaluates capacity.
 func (bp *BufferPool) evictOneLocked() error {
+	if err := fpPoolEvict.Inject(); err != nil {
+		return err
+	}
 	var firstErr error
 	// Bound the pass by the LRU length on entry: failed victims are pushed
 	// to the back and must not be retried within the same pass.
@@ -224,7 +227,10 @@ func (bp *BufferPool) evictOneLocked() error {
 			var err error
 			if victim.dirty {
 				wbStart := time.Now()
-				if err = bp.store.Write(victim.ID, victim.data); err == nil {
+				if err = fpPoolWriteback.Inject(); err == nil {
+					err = bp.store.Write(victim.ID, victim.data)
+				}
+				if err == nil {
 					victim.dirty = false
 					wroteBack = time.Since(wbStart)
 					bp.spans.RecordEngine(span.Span{

@@ -2,71 +2,31 @@ package storage
 
 import (
 	"errors"
-	"sync"
 	"testing"
 	"time"
 )
 
-// faultStore wraps a MemStore with switchable read/write failures and an
-// optional gate that blocks writes until released — enough control to pin
-// down the pool's behaviour around I/O that fails or takes time.
-type faultStore struct {
-	*MemStore
-
-	mu        sync.Mutex
-	failReads bool
-	failWrite bool
-	// failWriteOnly narrows failWrite to a single page when non-nil.
-	failWriteOnly *PageID
-	readGate      chan struct{} // when non-nil, Read blocks until closed
-	writeGate     chan struct{} // when non-nil, Write blocks until closed
-}
-
-var errInjected = errors.New("injected I/O failure")
-
-func (s *faultStore) Read(id PageID) (string, error) {
-	s.mu.Lock()
-	gate, fail := s.readGate, s.failReads
-	s.mu.Unlock()
-	if gate != nil {
-		<-gate
-	}
-	if fail {
-		return "", errInjected
-	}
-	return s.MemStore.Read(id)
-}
-
-func (s *faultStore) Write(id PageID, data string) error {
-	s.mu.Lock()
-	gate, fail, only := s.writeGate, s.failWrite, s.failWriteOnly
-	s.mu.Unlock()
-	if gate != nil {
-		<-gate
-	}
-	if fail && (only == nil || *only == id) {
-		return errInjected
-	}
-	return s.MemStore.Write(id, data)
-}
-
-func (s *faultStore) set(fn func(*faultStore)) {
-	s.mu.Lock()
-	fn(s)
-	s.mu.Unlock()
+// The faultStore test double that used to live here is promoted to
+// storage.FaultStore (faultstore.go) as part of the fault-injection
+// framework; these tests drive it through its setter methods. newFaultMem
+// keeps the underlying MemStore handle for gate-free direct access.
+func newFaultMem() (*FaultStore, *MemStore) {
+	ms := NewMemStore(0)
+	return NewFaultStore(ms), ms
 }
 
 // TestFetchLoadFailureSharedByConcurrentFetcher: a fetcher that hits the
 // in-flight frame of a failing load must get the load error too, not a
 // frame with empty data and an orphaned pin.
 func TestFetchLoadFailureSharedByConcurrentFetcher(t *testing.T) {
-	s := &faultStore{MemStore: NewMemStore(0)}
+	s, ms := newFaultMem()
 	id := s.Allocate()
-	if err := s.MemStore.Write(id, "payload"); err != nil {
+	if err := ms.Write(id, "payload"); err != nil {
 		t.Fatal(err)
 	}
 	gate := make(chan struct{})
-	s.set(func(s *faultStore) { s.failReads = true; s.readGate = gate })
+	s.FailReads(true)
+	s.GateReads(gate)
 
 	bp := NewBufferPool(s, 4)
 	loader := make(chan error, 1)
@@ -98,7 +58,7 @@ func TestFetchLoadFailureSharedByConcurrentFetcher(t *testing.T) {
 	for i, ch := range []chan error{loader, second} {
 		select {
 		case err := <-ch:
-			if !errors.Is(err, errInjected) {
+			if !errors.Is(err, ErrInjectedIO) {
 				t.Fatalf("fetcher %d: err = %v, want injected failure", i, err)
 			}
 		case <-time.After(2 * time.Second):
@@ -107,7 +67,8 @@ func TestFetchLoadFailureSharedByConcurrentFetcher(t *testing.T) {
 	}
 
 	// The failed frame must be gone and a healed store fetchable again.
-	s.set(func(s *faultStore) { s.failReads = false; s.readGate = nil })
+	s.FailReads(false)
+	s.GateReads(nil)
 	f, err := bp.FetchPage(id)
 	if err != nil {
 		t.Fatalf("fetch after heal: %v", err)
@@ -124,7 +85,7 @@ func TestFetchLoadFailureSharedByConcurrentFetcher(t *testing.T) {
 // the dirty page cached (and the fetch that triggered eviction must fail),
 // so the only copy of the data is never dropped.
 func TestEvictWriteBackFailureKeepsDirtyPage(t *testing.T) {
-	s := &faultStore{MemStore: NewMemStore(0)}
+	s, ms := newFaultMem()
 	p1, p2 := s.Allocate(), s.Allocate()
 	bp := NewBufferPool(s, 1)
 
@@ -137,19 +98,19 @@ func TestEvictWriteBackFailureKeepsDirtyPage(t *testing.T) {
 	f.Unlatch()
 	bp.Unpin(f)
 
-	s.set(func(s *faultStore) { s.failWrite = true })
-	if _, err := bp.FetchPage(p2); !errors.Is(err, errInjected) {
+	s.FailWrites(true)
+	if _, err := bp.FetchPage(p2); !errors.Is(err, ErrInjectedIO) {
 		t.Fatalf("fetch during failing write-back: err = %v, want injected failure", err)
 	}
 
 	// The dirty frame survived; once the store heals the data reaches it.
-	s.set(func(s *faultStore) { s.failWrite = false })
+	s.FailWrites(false)
 	g, err := bp.FetchPage(p2)
 	if err != nil {
 		t.Fatalf("fetch after heal: %v", err)
 	}
 	bp.Unpin(g)
-	if data, err := s.MemStore.Read(p1); err != nil || data != "dirty-data" {
+	if data, err := ms.Read(p1); err != nil || data != "dirty-data" {
 		t.Fatalf("store p1 = %q, %v; want the written-back dirty data", data, err)
 	}
 }
@@ -158,7 +119,7 @@ func TestEvictWriteBackFailureKeepsDirtyPage(t *testing.T) {
 // is in flight, hits on other cached pages must proceed — the store I/O
 // runs outside bp.mu.
 func TestEvictWriteBackDoesNotHoldPoolLock(t *testing.T) {
-	s := &faultStore{MemStore: NewMemStore(0)}
+	s, ms := newFaultMem()
 	p1, p2, p3 := s.Allocate(), s.Allocate(), s.Allocate()
 	bp := NewBufferPool(s, 2)
 
@@ -177,7 +138,7 @@ func TestEvictWriteBackDoesNotHoldPoolLock(t *testing.T) {
 	bp.Unpin(g)
 
 	gate := make(chan struct{})
-	s.set(func(s *faultStore) { s.writeGate = gate })
+	s.GateWrites(gate)
 	evicted := make(chan error, 1)
 	go func() {
 		h, err := bp.FetchPage(p3) // evicts p1, blocking in store.Write
@@ -209,7 +170,7 @@ func TestEvictWriteBackDoesNotHoldPoolLock(t *testing.T) {
 	if err := <-evicted; err != nil {
 		t.Fatalf("eviction fetch: %v", err)
 	}
-	if data, _ := s.MemStore.Read(p1); data != "v1" {
+	if data, _ := ms.Read(p1); data != "v1" {
 		t.Fatalf("evicted page reached the store as %q, want %q", data, "v1")
 	}
 }
@@ -218,7 +179,7 @@ func TestEvictWriteBackDoesNotHoldPoolLock(t *testing.T) {
 // write-back is in flight must survive the eviction attempt — and a
 // modification made through that re-fetch must not be lost.
 func TestEvictRefetchDuringWriteBackStaysCached(t *testing.T) {
-	s := &faultStore{MemStore: NewMemStore(0)}
+	s, ms := newFaultMem()
 	p1, p2, p3 := s.Allocate(), s.Allocate(), s.Allocate()
 	bp := NewBufferPool(s, 2)
 
@@ -237,7 +198,7 @@ func TestEvictRefetchDuringWriteBackStaysCached(t *testing.T) {
 	bp.Unpin(g)
 
 	gate := make(chan struct{})
-	s.set(func(s *faultStore) { s.writeGate = gate })
+	s.GateWrites(gate)
 	evicted := make(chan error, 1)
 	go func() {
 		h, err := bp.FetchPage(p3)
@@ -274,7 +235,7 @@ func TestEvictRefetchDuringWriteBackStaysCached(t *testing.T) {
 	if err := bp.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	if data, _ := s.MemStore.Read(p1); data != "v1-modified" {
+	if data, _ := ms.Read(p1); data != "v1-modified" {
 		t.Fatalf("store p1 = %q, want %q", data, "v1-modified")
 	}
 }
@@ -284,7 +245,7 @@ func TestEvictRefetchDuringWriteBackStaysCached(t *testing.T) {
 // the (unrelated) fetch — one page with a bad write-back must not starve
 // fetches while clean evictable frames exist.
 func TestEvictSkipsFailingVictim(t *testing.T) {
-	s := &faultStore{MemStore: NewMemStore(0)}
+	s, ms := newFaultMem()
 	p1, p2, p3 := s.Allocate(), s.Allocate(), s.Allocate()
 	bp := NewBufferPool(s, 2)
 
@@ -302,7 +263,7 @@ func TestEvictSkipsFailingVictim(t *testing.T) {
 	}
 	bp.Unpin(g)
 
-	s.set(func(s *faultStore) { s.failWrite = true; s.failWriteOnly = &p1 })
+	s.FailWritesOnly(p1)
 	h, err := bp.FetchPage(p3)
 	if err != nil {
 		t.Fatalf("fetch should evict the clean candidate past the failing one: %v", err)
@@ -311,11 +272,11 @@ func TestEvictSkipsFailingVictim(t *testing.T) {
 
 	// p1 survived the failed write-back, still cached and dirty; a healed
 	// store receives its data.
-	s.set(func(s *faultStore) { s.failWrite = false; s.failWriteOnly = nil })
+	s.FailWrites(false)
 	if err := bp.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	if data, err := s.MemStore.Read(p1); err != nil || data != "dirty-data" {
+	if data, err := ms.Read(p1); err != nil || data != "dirty-data" {
 		t.Fatalf("store p1 = %q, %v; want the preserved dirty data", data, err)
 	}
 }

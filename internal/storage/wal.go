@@ -175,6 +175,25 @@ func (w *WAL) BatchInfo(lsn uint64) (BatchInfo, bool) {
 	return BatchInfo{}, false
 }
 
+// poisonSink is the optional DurableSink extension reporting the sticky
+// degraded state (implemented by FileWAL).
+type poisonSink interface {
+	Poisoned() error
+}
+
+// Poisoned returns the durable layer's sticky failure — non-nil once the
+// backing FileWAL refused further commits (ErrWALPoisoned) — or nil for a
+// healthy or memory-only log.
+func (w *WAL) Poisoned() error {
+	w.mu.Lock()
+	s := w.sink
+	w.mu.Unlock()
+	if ps, ok := s.(poisonSink); ok {
+		return ps.Poisoned()
+	}
+	return nil
+}
+
 // Close flushes and closes the durable sink, if any.
 func (w *WAL) Close() error {
 	w.mu.Lock()

@@ -61,6 +61,21 @@ func ParseDurability(s string) (Durability, error) {
 var (
 	ErrWALClosed  = errors.New("storage: file WAL closed")
 	ErrWALCorrupt = errors.New("storage: WAL segment corrupt")
+	// ErrWALPoisoned is the sticky degraded state after a stable-storage
+	// failure: every error the durable layer surfaces after the first wraps
+	// it, and the WAL refuses all further commits. The policy follows
+	// fsyncgate: a failed fsync may have silently dropped dirty pages from
+	// the kernel cache, so retrying the fsync and reporting success would
+	// fabricate durability — the only safe move is to stop acknowledging
+	// commits and let the operator restart onto recovery, which trusts only
+	// what reached the segments before the failure.
+	ErrWALPoisoned = errors.New("storage: WAL poisoned by stable-storage failure, refusing further commits")
+	// ErrSegmentRotate marks a failed segment rotation — the disk-full or
+	// O_EXCL name-collision path when creating the next wal-*.seg file (or
+	// fsyncing the directory entry). It poisons the WAL like any other
+	// stable-storage failure; the group-commit flusher fails every queued
+	// waiter instead of hanging.
+	ErrSegmentRotate = errors.New("storage: WAL segment rotation failed")
 )
 
 const (
@@ -329,6 +344,10 @@ func truncateSegment(path string, size int64) error {
 // its mutex, so records arrive here in LSN order; the encoded frame is
 // buffered and the flusher (or a sync-on-commit waiter) writes it out.
 func (w *FileWAL) Append(rec Record) {
+	if err := fpWALAppend.Inject(); err != nil {
+		w.fail(err)
+		return
+	}
 	frame := appendRecordFrame(nil, rec)
 	w.mu.Lock()
 	if w.closed || w.failed != nil {
@@ -358,7 +377,7 @@ func (w *FileWAL) WaitDurable(lsn uint64) error {
 	if w.mode == SyncOnCommit {
 		if err := w.syncTo(lsn, true); err != nil {
 			w.fail(err)
-			return err
+			return w.Poisoned()
 		}
 		return nil
 	}
@@ -418,6 +437,10 @@ func (w *FileWAL) flusher() {
 			for i := 0; i < 4; i++ {
 				runtime.Gosched()
 			}
+		}
+		if err := fpWALFlush.Inject(); err != nil {
+			w.fail(err)
+			return
 		}
 		if err := w.syncTo(target, false); err != nil {
 			w.fail(err)
@@ -492,6 +515,9 @@ func (w *FileWAL) syncTo(target uint64, forceSync bool) error {
 	var fsyncDur time.Duration
 	if w.cur != nil && (maxLSN > 0 || forceSync) {
 		fsyncStart := time.Now()
+		if err := fpWALFsync.Inject(); err != nil {
+			return err
+		}
 		if err := w.cur.Sync(); err != nil {
 			return err
 		}
@@ -559,6 +585,9 @@ func (w *FileWAL) flushRun(buf []byte) error {
 func (w *FileWAL) rotate(firstLSN uint64) error {
 	if w.cur != nil {
 		fsyncStart := time.Now()
+		if err := fpWALFsync.Inject(); err != nil {
+			return err
+		}
 		if err := w.cur.Sync(); err != nil {
 			return err
 		}
@@ -569,13 +598,23 @@ func (w *FileWAL) rotate(firstLSN uint64) error {
 		}
 		w.cur = nil
 	}
+	// The rotation proper: creating the next segment is where disk-full and
+	// O_EXCL name collisions strike, so every failure from here on is typed
+	// ErrSegmentRotate. The caller's failure handling poisons the WAL, which
+	// fails every queued group-commit waiter instead of leaving them parked.
+	if err := fpWALRotate.Inject(); err != nil {
+		return fmt.Errorf("%w: %w", ErrSegmentRotate, err)
+	}
 	name := fmt.Sprintf("%s%020d%s", walSegPrefix, firstLSN, walSegSuffix)
 	f, err := os.OpenFile(filepath.Join(w.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrSegmentRotate, err)
 	}
 	w.cur, w.curSize = f, 0
-	return w.syncDir()
+	if err := w.syncDir(); err != nil {
+		return fmt.Errorf("%w: %w", ErrSegmentRotate, err)
+	}
+	return nil
 }
 
 func (w *FileWAL) syncDir() error {
@@ -587,14 +626,30 @@ func (w *FileWAL) syncDir() error {
 	return d.Sync()
 }
 
+// fail records the first stable-storage failure as the WAL's sticky poison
+// state and wakes every parked waiter (and the flusher) so they observe it.
+// All later failures are ignored: the first one defines the point after
+// which no commit ack can be trusted.
 func (w *FileWAL) fail(err error) {
 	w.mu.Lock()
 	if w.failed == nil {
+		if !errors.Is(err, ErrWALPoisoned) {
+			err = fmt.Errorf("%w: %w", ErrWALPoisoned, err)
+		}
 		w.failed = err
 	}
 	w.cond.Broadcast()
 	w.flushCond.Signal()
 	w.mu.Unlock()
+}
+
+// Poisoned returns the sticky stable-storage failure (nil while healthy).
+// Once non-nil it never clears: recovery after a restart is the only way
+// back to a WAL that acknowledges commits.
+func (w *FileWAL) Poisoned() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
 }
 
 // Close flushes everything pending, stops the flusher, and closes the

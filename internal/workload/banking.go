@@ -280,34 +280,21 @@ func RunBanking(cfg BankingConfig) (Result, error) {
 	return res, nil
 }
 
-// transferRetry runs one transfer transaction with retries.
+// transferRetry runs one transfer transaction with retries (jittered
+// exponential backoff and priority aging, via core.RunWithRetry).
 func transferRetry(db *core.DB, from, to txn.OID, amt string, maxRetries int, retries *int64) error {
-	var lastErr error
-	age := int64(-1)
-	for attempt := 0; attempt <= maxRetries; attempt++ {
-		if attempt > 0 {
-			backoff := time.Duration(attempt) * 300 * time.Microsecond
-			if backoff > 10*time.Millisecond {
-				backoff = 10 * time.Millisecond
-			}
-			time.Sleep(backoff)
+	err := db.RunWithRetry(core.RetryPolicy{
+		MaxAttempts: maxRetries + 1,
+		OnRetry:     func(int, error) { *retries++ },
+	}, func(tx *core.Txn) error {
+		if _, err := tx.Exec(from, "debit", amt); err != nil {
+			return err
 		}
-		tx := db.Begin()
-		if age < 0 {
-			age = tx.Seq()
-		} else {
-			tx.SetPriority(age)
-		}
-		_, err := tx.Exec(from, "debit", amt)
-		if err == nil {
-			_, err = tx.Exec(to, "credit", amt)
-		}
-		if err == nil {
-			return tx.Commit()
-		}
-		_ = tx.Abort()
-		lastErr = err
-		*retries++
+		_, err := tx.Exec(to, "credit", amt)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("workload: transfer gave up: %w", err)
 	}
-	return fmt.Errorf("workload: transfer gave up: %w", lastErr)
+	return nil
 }

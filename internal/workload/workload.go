@@ -383,9 +383,10 @@ func execRetry(db *core.DB, obj txn.OID, maxRetries int, retries *int64, method 
 	return execOpsRetryLat(db, obj, maxRetries, retries, nil, []opCall{{method: method, params: params}})
 }
 
-// execOpsRetry runs a multi-op transaction with retries. Retries back off
-// linearly: a restarted transaction receives a fresh (youngest) id, so the
-// youngest-victim policy would re-victimize an eager retrier forever.
+// execOpsRetry runs a multi-op transaction with retries (jittered
+// exponential backoff and priority aging, via core.RunWithRetry: a
+// restarted transaction receives a fresh — youngest — id, so without aging
+// the youngest-victim policy would re-victimize an eager retrier forever).
 func execOpsRetry(db *core.DB, obj txn.OID, maxRetries int, retries *int64, ops []opCall) error {
 	return execOpsRetryLat(db, obj, maxRetries, retries, nil, ops)
 }
@@ -394,42 +395,26 @@ func execOpsRetry(db *core.DB, obj txn.OID, maxRetries int, retries *int64, ops 
 // (first attempt to successful commit) in lat.
 func execOpsRetryLat(db *core.DB, obj txn.OID, maxRetries int, retries *int64, lat *latencies, ops []opCall) error {
 	start := time.Now()
-	var lastErr error
-	age := int64(-1)
-	for attempt := 0; attempt <= maxRetries; attempt++ {
-		if attempt > 0 {
-			backoff := time.Duration(attempt) * 300 * time.Microsecond
-			if backoff > 10*time.Millisecond {
-				backoff = 10 * time.Millisecond
+	err := db.RunWithRetry(core.RetryPolicy{
+		MaxAttempts: maxRetries + 1,
+		OnRetry: func(int, error) {
+			if retries != nil {
+				*retries++
 			}
-			time.Sleep(backoff)
-		}
-		tx := db.Begin()
-		if age < 0 {
-			age = tx.Seq()
-		} else {
-			tx.SetPriority(age) // keep the original age across restarts
-		}
-		var err error
+		},
+	}, func(tx *core.Txn) error {
 		for _, op := range ops {
-			if _, err = tx.Exec(obj, op.method, op.params...); err != nil {
-				break
-			}
-		}
-		if err == nil {
-			if err := tx.Commit(); err != nil {
+			if _, err := tx.Exec(obj, op.method, op.params...); err != nil {
 				return err
 			}
-			lat.add(time.Since(start))
-			return nil
 		}
-		_ = tx.Abort()
-		lastErr = err
-		if retries != nil {
-			*retries++
-		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("workload: %s txn: %w", obj.Name, err)
 	}
-	return fmt.Errorf("workload: %s txn gave up after %d retries: %w", obj.Name, maxRetries, lastErr)
+	lat.add(time.Since(start))
+	return nil
 }
 
 // finishResult assembles a Result from the counters accumulated since the
