@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-obs bench bench-wal bench-obs bench-spans torture metrics-smoke trace-smoke chaos-smoke
+.PHONY: check build vet test test-obs bench bench-wal bench-ckpt bench-obs bench-spans torture metrics-smoke trace-smoke chaos-smoke checkpoint-smoke
 
 # The full gate: everything must build, vet clean, and pass under the race
 # detector. CI and pre-commit both run this.
@@ -28,6 +28,10 @@ bench:
 # Group-commit vs sync-on-commit fsync amortization; writes BENCH_wal.json.
 bench-wal:
 	$(GO) test -bench BenchmarkL1GroupCommit -benchmem -run '^$$' .
+
+# Restart cost with vs without checkpoints; writes BENCH_checkpoint.json.
+bench-ckpt:
+	$(GO) test -bench BenchmarkR2CheckpointRecovery -benchtime 3x -run '^$$' .
 
 # Prices the always-on metrics registry + flight recorder (obs on vs off).
 bench-obs:
@@ -63,6 +67,15 @@ metrics-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/chaos -seed 1 -workers 6 -txns 60
 	$(GO) run ./cmd/chaos -seed 2 -workers 6 -txns 60
+
+# Checkpoint torture: SIGKILL rounds with an aggressive fuzzy-checkpoint
+# interval, cycling crashes into the checkpoint write and the segment
+# truncation (the ckpt.write / ckpt.truncate failpoints). Every recovery
+# must start from the newest complete checkpoint — or fall back to an older
+# one / full replay when the kill tore the file — and replay only the
+# surviving suffix.
+checkpoint-smoke:
+	$(GO) run ./cmd/crashtorture -dir $(or $(TORTURE_DIR),/tmp/oodb-ckpt-torture) -rounds 6 -checkpoint 40ms
 
 # End-to-end check of the span-tracing endpoint: run a workload with a
 # lingering endpoint, then assert /trace/slowest returns a non-empty,

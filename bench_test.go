@@ -353,6 +353,155 @@ func (r *benchKV) register(db *core.DB) error {
 	})
 }
 
+// ckptBenchRow is one BENCH_checkpoint.json series point.
+type ckptBenchRow struct {
+	Txns          int     `json:"txns"`
+	Checkpointed  bool    `json:"checkpointed"`
+	RecoveryMS    float64 `json:"recovery_ms"`
+	Redone        int     `json:"redone"`
+	CheckpointLSN uint64  `json:"checkpoint_lsn"`
+	WALBytes      int64   `json:"wal_bytes"`
+	Segments      int     `json:"segments"`
+}
+
+// copyDirFiles copies the regular files of src into a fresh dst.
+func copyDirFiles(b *testing.B, src, dst string) {
+	b.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkR2CheckpointRecovery prices what checkpoints buy: restart time
+// against history length. Without checkpoints the log keeps every record
+// ever written and recovery replays all of it, so the recms series grows
+// linearly with the transaction count; with periodic checkpoints recovery
+// loads the newest image and redoes only the suffix above its barrier, so
+// the series stays flat (and the on-disk log stays bounded — see the
+// wal_bytes column). The last iteration of each series is written to
+// BENCH_checkpoint.json.
+func BenchmarkR2CheckpointRecovery(b *testing.B) {
+	var rows []ckptBenchRow
+	for _, n := range []int{200, 1000, 4000} {
+		for _, ckpt := range []bool{false, true} {
+			b.Run(fmt.Sprintf("txns=%d/checkpointed=%v", n, ckpt), func(b *testing.B) {
+				// Build the history once: n committed puts, checkpointing
+				// every n/8 commits in the checkpointed series.
+				src := filepath.Join(b.TempDir(), "src")
+				if err := os.MkdirAll(src, 0o755); err != nil {
+					b.Fatal(err)
+				}
+				opts := core.Options{
+					Protocol: core.ProtocolOpenNested, Durability: storage.GroupCommit,
+					WALDir: src, WALSegmentSize: 16 << 10,
+					DisableObs: true, DisableTrace: true, DisableSpans: true,
+				}
+				rp := newBenchKV()
+				db, err := core.OpenDurable(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rp.register(db); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < n; j++ {
+					tx := db.Begin()
+					if _, err := tx.Exec(benchKVOID, "put", fmt.Sprintf("k%d", j%8), fmt.Sprintf("v%d", j)); err != nil {
+						b.Fatal(err)
+					}
+					if err := tx.Commit(); err != nil {
+						b.Fatal(err)
+					}
+					// Checkpoint every n/8 commits, but not after the last
+					// one: real restarts always find some suffix to redo.
+					if ckpt && j+1 < n && (j+1)%(n/8) == 0 {
+						if _, err := db.Checkpoint(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
+
+				var row ckptBenchRow
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					dst := filepath.Join(b.TempDir(), fmt.Sprintf("run%d", i))
+					copyDirFiles(b, src, dst)
+					ropts := opts
+					ropts.WALDir = dst
+					b.StartTimer()
+
+					start := time.Now()
+					db2, rep, err := recovery.RecoverDir(dst, ropts, rp.register)
+					took := time.Since(start)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					if ckpt && rep.CheckpointLSN == 0 {
+						b.Fatal("checkpointed series recovered without a checkpoint")
+					}
+					if !ckpt && rep.Redone != n {
+						b.Fatalf("full replay redid %d updates, want %d", rep.Redone, n)
+					}
+					segs, err := storage.WALSegments(dst)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var walBytes int64
+					for _, s := range segs {
+						if fi, err := os.Stat(filepath.Join(dst, s.Name)); err == nil {
+							walBytes += fi.Size()
+						}
+					}
+					if err := db2.Close(); err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(took.Microseconds())/1000, "recms")
+					b.ReportMetric(float64(rep.Redone), "redone")
+					row = ckptBenchRow{
+						Txns: n, Checkpointed: ckpt,
+						RecoveryMS: float64(took.Microseconds()) / 1000,
+						Redone:     rep.Redone, CheckpointLSN: rep.CheckpointLSN,
+						WALBytes: walBytes, Segments: len(segs),
+					}
+					b.StartTimer()
+				}
+				b.StopTimer()
+				rows = append(rows, row)
+			})
+		}
+	}
+	if len(rows) > 0 {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_checkpoint.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkL1ShardedLockScaling isolates the lock-table sharding choice on
 // a contended multi-object workload: many clients lock random objects out
 // of a large space in mostly-commuting semantic modes, so almost every

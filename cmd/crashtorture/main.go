@@ -20,6 +20,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -30,8 +31,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/commut"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/storage"
@@ -43,16 +46,18 @@ const funding = 1000
 var acctOID = txn.OID{Type: "acct", Name: "ACCT"}
 
 var (
-	child    = flag.Bool("child", false, "run as the workload child (internal)")
-	dir      = flag.String("dir", "", "WAL segment directory (required)")
-	rounds   = flag.Int("rounds", 5, "kill/recover rounds")
-	accounts = flag.Int("accounts", 8, "bank accounts")
-	workers  = flag.Int("workers", 4, "concurrent transfer workers in the child")
-	minRun   = flag.Duration("min-run", 80*time.Millisecond, "minimum child lifetime before the kill")
-	maxRun   = flag.Duration("max-run", 400*time.Millisecond, "maximum child lifetime before the kill")
-	segSize  = flag.Int64("segsize", 64<<10, "WAL segment size in bytes (small forces rotation)")
-	durMode  = flag.String("durability", "group-commit", "sync-on-commit | group-commit")
-	seed     = flag.Int64("seed", 1, "random seed")
+	child     = flag.Bool("child", false, "run as the workload child (internal)")
+	dir       = flag.String("dir", "", "WAL segment directory (required)")
+	rounds    = flag.Int("rounds", 5, "kill/recover rounds")
+	accounts  = flag.Int("accounts", 8, "bank accounts")
+	workers   = flag.Int("workers", 4, "concurrent transfer workers in the child")
+	minRun    = flag.Duration("min-run", 80*time.Millisecond, "minimum child lifetime before the kill")
+	maxRun    = flag.Duration("max-run", 400*time.Millisecond, "maximum child lifetime before the kill")
+	segSize   = flag.Int64("segsize", 64<<10, "WAL segment size in bytes (small forces rotation)")
+	durMode   = flag.String("durability", "group-commit", "sync-on-commit | group-commit")
+	seed      = flag.Int64("seed", 1, "random seed")
+	ckptEvery = flag.Duration("checkpoint", 0, "fuzzy-checkpoint interval in the child (0 = off); the parent then also cycles SIGKILLs through ckpt.write / ckpt.truncate delay faults")
+	faultSpec = flag.String("fault", "", "arm a failpoint in the child, e.g. 'ckpt.write=delay(150ms);every=1'")
 )
 
 func main() {
@@ -65,6 +70,12 @@ func main() {
 	if err != nil || mode == storage.MemOnly {
 		fmt.Fprintf(os.Stderr, "crashtorture: need a durable -durability mode\n")
 		os.Exit(2)
+	}
+	if *faultSpec != "" {
+		if err := fault.Default.ArmString(*faultSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "crashtorture: -fault %q: %v\n", *faultSpec, err)
+			os.Exit(2)
+		}
 	}
 	if *child {
 		runChild(mode)
@@ -164,11 +175,12 @@ func sumBalances(db *core.DB, n int) (int, error) {
 // recovers from the existing segment files.
 func openOrRecover(mode storage.Durability, n int) (*core.DB, recovery.Report, error) {
 	opts := core.Options{
-		Durability:     mode,
-		WALDir:         *dir,
-		WALSegmentSize: *segSize,
-		LockTimeout:    5 * time.Second,
-		DisableTrace:   true,
+		Durability:         mode,
+		WALDir:             *dir,
+		WALSegmentSize:     *segSize,
+		LockTimeout:        5 * time.Second,
+		DisableTrace:       true,
+		CheckpointInterval: *ckptEvery,
 	}
 	segs, err := filepath.Glob(filepath.Join(*dir, "wal-*.seg"))
 	if err != nil {
@@ -263,11 +275,15 @@ func transfer(db *core.DB, rr *rand.Rand, n int) {
 }
 
 // verifyCopy recovers a scratch copy of the segment files twice: the first
-// pass must conserve money, the second must be a no-op (idempotence).
-func verifyCopy(mode storage.Durability, src string, round int) error {
+// pass must conserve money, the second must be a no-op (idempotence). With
+// checkpoint files present it additionally machine-checks the suffix-only
+// replay claim — redo reapplies exactly the update records above the
+// newest complete checkpoint — and returns that checkpoint's LSN (0 when
+// recovery fell back to full replay).
+func verifyCopy(mode storage.Durability, src string, round int) (uint64, error) {
 	scratch, err := os.MkdirTemp("", "crashtorture-verify")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// One registry across both recovery passes: on a failed round its
 	// flight recorder holds the recovery phases and every transaction the
@@ -287,63 +303,89 @@ func verifyCopy(mode storage.Durability, src string, round int) error {
 	}()
 	entries, err := os.ReadDir(src)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if err := os.MkdirAll(scratch+".orig", 0o755); err != nil {
-		return err
+		return 0, err
 	}
 	for _, e := range entries {
 		data, err := os.ReadFile(filepath.Join(src, e.Name()))
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if err := os.WriteFile(filepath.Join(scratch, e.Name()), data, 0o644); err != nil {
-			return err
+			return 0, err
 		}
 		if err := os.WriteFile(filepath.Join(scratch+".orig", e.Name()), data, 0o644); err != nil {
-			return err
+			return 0, err
 		}
 	}
+	// Predict what recovery must do: the newest complete checkpoint (a torn
+	// one from a SIGKILL mid-write must be skipped, falling back to an older
+	// one or to full replay) and the exact number of update records above it.
+	var ckptLSN uint64
+	if snap, _, cerr := checkpoint.Latest(scratch); cerr == nil {
+		ckptLSN = snap.LSN
+	} else if !errors.Is(cerr, checkpoint.ErrNoCheckpoint) {
+		return 0, cerr
+	}
+	expectRedo := 0
+	if records, rerr := storage.ReadWALDir(scratch); rerr == nil {
+		for _, r := range records {
+			if r.Kind == storage.RecUpdate && r.LSN > ckptLSN {
+				expectRedo++
+			}
+		}
+	} else {
+		return 0, rerr
+	}
+
 	opts := core.Options{Durability: mode, WALDir: scratch, WALSegmentSize: *segSize, DisableTrace: true, Obs: oreg}
 	reg := func(d *core.DB) error { return registerAcct(d, *accounts) }
 	want := *accounts * funding
 
 	db1, rep1, err := recovery.RecoverDir(scratch, opts, reg)
 	if err != nil {
-		return fmt.Errorf("first recovery: %w", err)
+		return 0, fmt.Errorf("first recovery: %w", err)
 	}
 	total1, err := sumBalances(db1, *accounts)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if cerr := db1.Close(); cerr != nil {
-		return cerr
+		return 0, cerr
 	}
 	if total1 != 0 && total1 != want {
-		return fmt.Errorf("round %d: recovered total %d, want %d or 0", round, total1, want)
+		return 0, fmt.Errorf("round %d: recovered total %d, want %d or 0", round, total1, want)
+	}
+	if rep1.CheckpointLSN != ckptLSN {
+		return 0, fmt.Errorf("round %d: recovery started from checkpoint LSN %d, newest complete is %d", round, rep1.CheckpointLSN, ckptLSN)
+	}
+	if rep1.Redone != expectRedo {
+		return 0, fmt.Errorf("round %d: redo replayed %d updates, the post-checkpoint suffix holds %d", round, rep1.Redone, expectRedo)
 	}
 
 	db2, rep2, err := recovery.RecoverDir(scratch, opts, reg)
 	if err != nil {
-		return fmt.Errorf("second recovery: %w", err)
+		return 0, fmt.Errorf("second recovery: %w", err)
 	}
 	total2, err := sumBalances(db2, *accounts)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if cerr := db2.Close(); cerr != nil {
-		return cerr
+		return 0, cerr
 	}
 	if total2 != total1 {
-		return fmt.Errorf("round %d: recovery not idempotent: total %d then %d", round, total1, total2)
+		return 0, fmt.Errorf("round %d: recovery not idempotent: total %d then %d", round, total1, total2)
 	}
 	if len(rep2.Losers) != 0 {
-		return fmt.Errorf("round %d: second recovery found losers %v", round, rep2.Losers)
+		return 0, fmt.Errorf("round %d: second recovery found losers %v", round, rep2.Losers)
 	}
-	fmt.Printf("round %d: verified (total=%d winners=%d losers=%d, idempotent)\n",
-		round, total1, len(rep1.Winners), len(rep1.Losers))
+	fmt.Printf("round %d: verified (total=%d winners=%d losers=%d ckpt=%d redone=%d, idempotent)\n",
+		round, total1, len(rep1.Winners), len(rep1.Losers), ckptLSN, rep1.Redone)
 	failed = false
-	return nil
+	return ckptLSN, nil
 }
 
 // runParent spawns, kills, and verifies, round after round.
@@ -354,15 +396,29 @@ func runParent(mode storage.Durability) {
 		os.Exit(1)
 	}
 	rr := rand.New(rand.NewSource(*seed))
+	// With checkpointing on, rounds cycle through fault regimes so SIGKILLs
+	// land in every phase: clean checkpoints, a delay inside the checkpoint
+	// file write (kill ⇒ torn file ⇒ fall back to an older checkpoint or
+	// full replay), and a delay inside segment truncation (kill ⇒ extra
+	// dead segments, still a contiguous log).
+	ckptFaults := []string{"", "ckpt.write=delay(150ms);every=1", "ckpt.truncate=delay(120ms);every=1"}
+	checkpointed := 0
 	for round := 1; round <= *rounds; round++ {
-		cmd := exec.Command(self,
+		args := []string{
 			"-child", "-dir", *dir,
 			"-accounts", strconv.Itoa(*accounts),
 			"-workers", strconv.Itoa(*workers),
 			"-segsize", strconv.FormatInt(*segSize, 10),
 			"-durability", *durMode,
 			"-seed", strconv.FormatInt(*seed+int64(round), 10),
-		)
+		}
+		if *ckptEvery > 0 {
+			args = append(args, "-checkpoint", ckptEvery.String())
+			if spec := ckptFaults[(round-1)%len(ckptFaults)]; spec != "" {
+				args = append(args, "-fault", spec)
+			}
+		}
+		cmd := exec.Command(self, args...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -379,10 +435,18 @@ func runParent(mode storage.Durability) {
 			os.Exit(1)
 		}
 		_ = cmd.Wait()
-		if err := verifyCopy(mode, *dir, round); err != nil {
+		ckptLSN, err := verifyCopy(mode, *dir, round)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "crashtorture: FAIL: %v\n", err)
 			os.Exit(1)
 		}
+		if ckptLSN > 0 {
+			checkpointed++
+		}
 	}
-	fmt.Printf("crashtorture: %d rounds survived\n", *rounds)
+	if *ckptEvery > 0 && checkpointed == 0 {
+		fmt.Fprintln(os.Stderr, "crashtorture: FAIL: checkpointing was enabled but no round recovered from a checkpoint")
+		os.Exit(1)
+	}
+	fmt.Printf("crashtorture: %d rounds survived (%d recovered from a checkpoint)\n", *rounds, checkpointed)
 }

@@ -63,6 +63,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write the encyclopedia workload's trace JSON to this file (single protocol only)")
 		durMode    = flag.String("durability", "mem-only", "WAL durability: mem-only | sync-on-commit | group-commit")
 		walDir     = flag.String("waldir", "", "WAL segment directory (required for durable modes; must be empty/new)")
+		ckptEvery  = flag.Duration("checkpoint", 0, "fuzzy-checkpoint interval: snapshot the store and truncate dead WAL segments this often (durable modes only; 0 = off)")
 		metrics    = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /events, /trace and /fault on this host:port for the run")
 		linger     = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the run (needs -metrics-addr)")
 		conflict   = flag.Int("conflict", 20, "percent of exclusive (non-commuting) acquires (lockstress)")
@@ -102,6 +103,10 @@ func main() {
 	}
 	if durability != storage.MemOnly && (*wl == "coedit" || *wl == "lockstress") {
 		fmt.Fprintf(os.Stderr, "oodbsim: the %s workload is in-memory only and cannot run durably\n", *wl)
+		os.Exit(2)
+	}
+	if *ckptEvery > 0 && durability == storage.MemOnly {
+		fmt.Fprintln(os.Stderr, "oodbsim: -checkpoint needs a durable mode (-durability sync-on-commit or group-commit)")
 		os.Exit(2)
 	}
 	if *traceOut != "" && *protocol == "all" {
@@ -166,22 +171,23 @@ func main() {
 		switch *wl {
 		case "encyclopedia":
 			res, err = workload.RunEncyclopedia(workload.Config{
-				Protocol:      kind,
-				Workers:       *workers,
-				TxnsPerWorker: *txns,
-				OpsPerTxn:     *ops,
-				Keys:          *keys,
-				ZipfS:         *zipf,
-				TreeFanout:    *fanout,
-				Preload:       *keys / 2,
-				Seed:          *seed,
-				Validate:      *validate,
-				PageIODelay:   *ioDelay,
-				TraceFile:     *traceOut,
-				Durability:    durability,
-				WALDir:        *walDir,
-				Obs:           reg,
-				Tracer:        tracer,
+				Protocol:           kind,
+				Workers:            *workers,
+				TxnsPerWorker:      *txns,
+				OpsPerTxn:          *ops,
+				Keys:               *keys,
+				ZipfS:              *zipf,
+				TreeFanout:         *fanout,
+				Preload:            *keys / 2,
+				Seed:               *seed,
+				Validate:           *validate,
+				PageIODelay:        *ioDelay,
+				TraceFile:          *traceOut,
+				Durability:         durability,
+				WALDir:             *walDir,
+				CheckpointInterval: *ckptEvery,
+				Obs:                reg,
+				Tracer:             tracer,
 			})
 		case "coedit":
 			res, err = workload.RunCoEdit(workload.CoEditConfig{
@@ -198,18 +204,19 @@ func main() {
 			})
 		case "banking":
 			res, err = workload.RunBanking(workload.BankingConfig{
-				Protocol:      kind,
-				Workers:       *workers,
-				TxnsPerWorker: *txns,
-				Accounts:      *accounts,
-				HotPct:        *hot,
-				Seed:          *seed,
-				Validate:      *validate,
-				PageIODelay:   *ioDelay,
-				Durability:    durability,
-				WALDir:        *walDir,
-				Obs:           reg,
-				Tracer:        tracer,
+				Protocol:           kind,
+				Workers:            *workers,
+				TxnsPerWorker:      *txns,
+				Accounts:           *accounts,
+				HotPct:             *hot,
+				Seed:               *seed,
+				Validate:           *validate,
+				PageIODelay:        *ioDelay,
+				Durability:         durability,
+				WALDir:             *walDir,
+				CheckpointInterval: *ckptEvery,
+				Obs:                reg,
+				Tracer:             tracer,
 			})
 		case "lockstress":
 			res, err = workload.RunLockStress(workload.LockStressConfig{

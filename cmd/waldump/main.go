@@ -1,7 +1,10 @@
 // Command waldump prints the records of a WAL segment directory in a
 // human-readable, grep-friendly form — one line per record. It uses the
 // read-only scan (the torn tail of the last segment is skipped, mid-log
-// damage is an error), so dumping never mutates the log.
+// damage is an error), so dumping never mutates the log. Checkpoint files
+// in the directory are summarized first — including torn ones a crash
+// landed mid-checkpoint — together with the truncation boundary each one
+// justifies.
 //
 // Usage:
 //
@@ -16,8 +19,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/cc"
+	"repro/internal/checkpoint"
 	"repro/internal/storage"
 )
 
@@ -30,6 +35,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "waldump: -dir is required")
 		os.Exit(2)
 	}
+	ckpts := dumpCheckpoints(*dir)
 	records, err := storage.ReadWALDir(*dir)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -41,12 +47,18 @@ func main() {
 	}
 	if len(records) == 0 {
 		segs, _ := filepath.Glob(filepath.Join(*dir, "wal-*.seg"))
-		if len(segs) == 0 {
+		switch {
+		case len(segs) == 0 && ckpts == 0:
 			fmt.Fprintf(os.Stderr, "waldump: %s: empty segment directory (no wal-*.seg files) — nothing was ever logged here\n", *dir)
-		} else {
+		case len(segs) == 0:
+			fmt.Fprintf(os.Stderr, "waldump: %s: checkpoint file(s) but no wal-*.seg — the image above is the whole story\n", *dir)
+		default:
 			fmt.Fprintf(os.Stderr, "waldump: %s: %d segment file(s) but no decodable records (torn before the first record?)\n", *dir, len(segs))
 		}
 		return
+	}
+	if first := records[0].LSN; first > 1 {
+		fmt.Printf("log truncated: first surviving record is LSN %d (records 1..%d reclaimed by checkpointing)\n", first, first-1)
 	}
 	for _, r := range records {
 		if *owner != "" && cc.RootOf(strings.SplitN(r.Owner, ":", 2)[0]) != *owner {
@@ -71,4 +83,30 @@ func main() {
 		}
 		fmt.Println(line)
 	}
+}
+
+// dumpCheckpoints summarizes the directory's checkpoint files (valid and
+// torn) and returns how many there are.
+func dumpCheckpoints(dir string) int {
+	infos, err := checkpoint.Scan(dir)
+	if err != nil || len(infos) == 0 {
+		return 0
+	}
+	for _, info := range infos {
+		s, lerr := checkpoint.Load(filepath.Join(dir, info.Name))
+		if lerr != nil {
+			fmt.Printf("checkpoint %s: INVALID — ignored by recovery (%v)\n", info.Name, lerr)
+			continue
+		}
+		line := fmt.Sprintf("checkpoint %s: lsn=%d pages=%d max-txn=%d truncate-below=%d",
+			info.Name, s.LSN, len(s.Pages), s.MaxTxn, s.TruncateBelow())
+		if len(s.Active) > 0 {
+			line += fmt.Sprintf(" active=%v", s.Active)
+		}
+		if s.UnixNano != 0 {
+			line += " written=" + time.Unix(0, s.UnixNano).Format("2006-01-02T15:04:05.000")
+		}
+		fmt.Println(line)
+	}
+	return len(infos)
 }

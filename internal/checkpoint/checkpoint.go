@@ -1,0 +1,396 @@
+// Package checkpoint bounds recovery work and WAL growth. A fuzzy
+// checkpoint is a checksummed file pairing a page-store image with the WAL
+// position it reflects (plus the transactions in flight at that barrier);
+// once one is durable, every log segment that lies entirely below it is
+// dead weight and can be deleted. Recovery then replays only the suffix
+// above the newest complete checkpoint, falling back to full replay when
+// none is valid — a crash during checkpointing degrades, never corrupts.
+//
+// The file is written in place (no rename dance) because the checksum is
+// the validity criterion: a torn or half-written checkpoint simply fails
+// verification and is skipped, exactly like a torn WAL frame.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Checkpoint file layout:
+//
+//	| magic "OODBCKPT" (8) | version u32 | payload len u32 | crc32c u32 |
+//	| payload (len bytes) |
+//
+// crc32c (Castagnoli) covers the payload only. The payload is:
+//
+//	LSN u64 | OldestActive u64 | MaxTxn u64 | NextPage u64 | PageSize u64 |
+//	UnixNano i64 |
+//	uvarint active count | active owners as uvarint-length-prefixed strings |
+//	uvarint page count | pages as (id uvarint, uvarint-length-prefixed data),
+//	sorted by id
+const (
+	ckptMagic   = "OODBCKPT"
+	ckptVersion = 1
+	ckptPrefix  = "ckpt-"
+	ckptSuffix  = ".ck"
+	// ckptFixedHeader is magic + version + length + checksum.
+	ckptFixedHeader = 8 + 4 + 4 + 4
+	// payloadFixed is the fixed-width prefix of the payload.
+	payloadFixed = 8 * 6
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checkpoint errors.
+var (
+	// ErrNoCheckpoint means the directory holds no complete, verifiable
+	// checkpoint — recovery must replay the full log.
+	ErrNoCheckpoint = errors.New("checkpoint: no valid checkpoint")
+	// ErrCheckpointCorrupt marks a file that exists but fails the magic,
+	// length, or checksum test — a torn write from a crash mid-checkpoint.
+	// Such files are skipped, never trusted.
+	ErrCheckpointCorrupt = errors.New("checkpoint: file torn or corrupt")
+)
+
+// Snapshot is the logical content of one checkpoint: the store image as of
+// LSN plus what recovery needs to resume analysis from there.
+type Snapshot struct {
+	// LSN is the barrier position: Pages reflects exactly the updates of
+	// records with LSN ≤ this, and all such records are durable on disk
+	// before the checkpoint file is written (WAL-force rule).
+	LSN uint64
+	// OldestActive is the smallest first-record LSN among Active (0 when
+	// none) — the truncation floor that keeps every loser's undo records.
+	OldestActive uint64
+	// MaxTxn is the highest transaction id allocated at the barrier, so a
+	// restart never re-issues ids whose records were truncated away.
+	MaxTxn uint64
+	// NextPage and PageSize rebuild the store's allocation state.
+	NextPage storage.PageID
+	PageSize int
+	// UnixNano is the wall-clock write time (informational; waldump).
+	UnixNano int64
+	// Active lists the root transactions in flight at the barrier.
+	Active []string
+	// Pages is the full page image.
+	Pages map[storage.PageID]string
+}
+
+// TruncateBelow returns the first LSN that must survive log truncation
+// under this checkpoint: everything the image already covers is deletable
+// except records of transactions still in flight at the barrier.
+func (s *Snapshot) TruncateBelow() uint64 {
+	keep := s.LSN + 1
+	if s.OldestActive != 0 && s.OldestActive < keep {
+		keep = s.OldestActive
+	}
+	return keep
+}
+
+// FileName returns the checkpoint file name for a barrier LSN. Zero-padded
+// so lexical order is LSN order, mirroring WAL segment naming.
+func FileName(lsn uint64) string {
+	return fmt.Sprintf("%s%020d%s", ckptPrefix, lsn, ckptSuffix)
+}
+
+func encodePayload(s *Snapshot) []byte {
+	payload := make([]byte, 0, payloadFixed+64*len(s.Active)+64*len(s.Pages))
+	payload = binary.LittleEndian.AppendUint64(payload, s.LSN)
+	payload = binary.LittleEndian.AppendUint64(payload, s.OldestActive)
+	payload = binary.LittleEndian.AppendUint64(payload, s.MaxTxn)
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(s.NextPage))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(s.PageSize))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(s.UnixNano))
+	payload = binary.AppendUvarint(payload, uint64(len(s.Active)))
+	for _, owner := range s.Active {
+		payload = binary.AppendUvarint(payload, uint64(len(owner)))
+		payload = append(payload, owner...)
+	}
+	ids := make([]storage.PageID, 0, len(s.Pages))
+	for id := range s.Pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	payload = binary.AppendUvarint(payload, uint64(len(ids)))
+	for _, id := range ids {
+		payload = binary.AppendUvarint(payload, uint64(id))
+		data := s.Pages[id]
+		payload = binary.AppendUvarint(payload, uint64(len(data)))
+		payload = append(payload, data...)
+	}
+	return payload
+}
+
+func decodePayload(payload []byte) (*Snapshot, error) {
+	if len(payload) < payloadFixed {
+		return nil, fmt.Errorf("%w: payload %d bytes", ErrCheckpointCorrupt, len(payload))
+	}
+	s := &Snapshot{
+		LSN:          binary.LittleEndian.Uint64(payload),
+		OldestActive: binary.LittleEndian.Uint64(payload[8:]),
+		MaxTxn:       binary.LittleEndian.Uint64(payload[16:]),
+		NextPage:     storage.PageID(binary.LittleEndian.Uint64(payload[24:])),
+		PageSize:     int(binary.LittleEndian.Uint64(payload[32:])),
+		UnixNano:     int64(binary.LittleEndian.Uint64(payload[40:])),
+	}
+	off := payloadFixed
+	readString := func() (string, bool) {
+		n, w := binary.Uvarint(payload[off:])
+		if w <= 0 || n > uint64(len(payload)-off-w) {
+			return "", false
+		}
+		off += w
+		v := string(payload[off : off+int(n)])
+		off += int(n)
+		return v, true
+	}
+	nActive, w := binary.Uvarint(payload[off:])
+	if w <= 0 || nActive > uint64(len(payload)-off) {
+		return nil, fmt.Errorf("%w: bad active count", ErrCheckpointCorrupt)
+	}
+	off += w
+	for i := uint64(0); i < nActive; i++ {
+		owner, ok := readString()
+		if !ok {
+			return nil, fmt.Errorf("%w: bad active owner", ErrCheckpointCorrupt)
+		}
+		s.Active = append(s.Active, owner)
+	}
+	nPages, w := binary.Uvarint(payload[off:])
+	if w <= 0 || nPages > uint64(len(payload)-off) {
+		return nil, fmt.Errorf("%w: bad page count", ErrCheckpointCorrupt)
+	}
+	off += w
+	s.Pages = make(map[storage.PageID]string, nPages)
+	for i := uint64(0); i < nPages; i++ {
+		id, w := binary.Uvarint(payload[off:])
+		if w <= 0 {
+			return nil, fmt.Errorf("%w: bad page id", ErrCheckpointCorrupt)
+		}
+		off += w
+		data, ok := readString()
+		if !ok {
+			return nil, fmt.Errorf("%w: bad page data", ErrCheckpointCorrupt)
+		}
+		s.Pages[storage.PageID(id)] = data
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCheckpointCorrupt, len(payload)-off)
+	}
+	return s, nil
+}
+
+// Write persists a checkpoint file for s in dir, fsyncs it and the
+// directory, and returns the file path. The caller must have forced the
+// WAL durable through s.LSN first. The ckpt.write failpoint fires between
+// the two halves of the body so an injected delay plus a SIGKILL lands a
+// torn file — which the checksum then rejects at read time.
+func Write(dir string, s *Snapshot) (string, error) {
+	payload := encodePayload(s)
+	header := make([]byte, 0, ckptFixedHeader)
+	header = append(header, ckptMagic...)
+	header = binary.LittleEndian.AppendUint32(header, ckptVersion)
+	header = binary.LittleEndian.AppendUint32(header, uint32(len(payload)))
+	header = binary.LittleEndian.AppendUint32(header, crc32.Checksum(payload, castagnoli))
+
+	path := filepath.Join(dir, FileName(s.LSN))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", err
+	}
+	half := len(payload) / 2
+	werr := func() error {
+		if _, err := f.Write(header); err != nil {
+			return err
+		}
+		if _, err := f.Write(payload[:half]); err != nil {
+			return err
+		}
+		// Mid-body failpoint: an error here abandons the half-written file,
+		// a delay here holds the file torn while a crash can land on it.
+		if err := fpCkptWrite.Inject(); err != nil {
+			return err
+		}
+		if _, err := f.Write(payload[half:]); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		// Best-effort cleanup; a leftover partial file is harmless either
+		// way (the checksum rejects it).
+		os.Remove(path)
+		return "", werr
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Load reads and verifies one checkpoint file. Torn, truncated, or
+// bit-rotted files return ErrCheckpointCorrupt.
+func Load(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < ckptFixedHeader || string(raw[:8]) != ckptMagic {
+		return nil, fmt.Errorf("%w: %s: bad magic or short header", ErrCheckpointCorrupt, filepath.Base(path))
+	}
+	if v := binary.LittleEndian.Uint32(raw[8:]); v != ckptVersion {
+		return nil, fmt.Errorf("%w: %s: version %d", ErrCheckpointCorrupt, filepath.Base(path), v)
+	}
+	length := binary.LittleEndian.Uint32(raw[12:])
+	sum := binary.LittleEndian.Uint32(raw[16:])
+	body := raw[ckptFixedHeader:]
+	if uint64(length) != uint64(len(body)) {
+		return nil, fmt.Errorf("%w: %s: payload %d bytes, header says %d", ErrCheckpointCorrupt, filepath.Base(path), len(body), length)
+	}
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCheckpointCorrupt, filepath.Base(path))
+	}
+	s, err := decodePayload(body)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return s, nil
+}
+
+// FileInfo names one checkpoint file found in a directory.
+type FileInfo struct {
+	Name string
+	// LSN is parsed from the file name (the claimed barrier position; only
+	// Load proves the file complete).
+	LSN uint64
+}
+
+// Scan lists checkpoint files in dir, ascending by LSN. Files whose names
+// do not parse are ignored.
+func Scan(dir string) ([]FileInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var infos []FileInfo
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasPrefix(n, ckptPrefix) || !strings.HasSuffix(n, ckptSuffix) {
+			continue
+		}
+		lsn, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(n, ckptPrefix), ckptSuffix), 10, 64)
+		if perr != nil {
+			continue
+		}
+		infos = append(infos, FileInfo{Name: n, LSN: lsn})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].LSN < infos[j].LSN })
+	return infos, nil
+}
+
+// Latest returns the newest complete checkpoint in dir, skipping torn or
+// corrupt files (newest-first). ErrNoCheckpoint when none verifies.
+func Latest(dir string) (*Snapshot, string, error) {
+	infos, err := Scan(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	for i := len(infos) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, infos[i].Name)
+		s, lerr := Load(path)
+		if lerr == nil {
+			return s, path, nil
+		}
+		if !errors.Is(lerr, ErrCheckpointCorrupt) {
+			return nil, "", lerr
+		}
+	}
+	return nil, "", ErrNoCheckpoint
+}
+
+// Prune deletes checkpoint files older than keepLSN (the newest complete
+// checkpoint's barrier). Runs after truncation so that a crash at any
+// earlier point still leaves a checkpoint the surviving log covers.
+func Prune(dir string, keepLSN uint64) (int, error) {
+	infos, err := Scan(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, info := range infos {
+		if info.LSN >= keepLSN {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, info.Name)); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// TruncateSegments deletes every WAL segment whose records all fall below
+// keepLSN (see Snapshot.TruncateBelow). A segment spans [its first LSN,
+// next segment's first LSN), so segment i is dead iff segment i+1 starts
+// at or below the boundary; the newest segment is never deleted. Deletion
+// runs in ascending LSN order, so a crash partway leaves a contiguous log
+// suffix — just with a few extra dead segments that the next checkpoint
+// reclaims. The ckpt.truncate failpoint fires before each unlink. Returns
+// the number of segments removed.
+func TruncateSegments(dir string, keepLSN uint64) (int, error) {
+	segs, err := storage.WALSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	finish := func(err error) (int, error) {
+		if removed > 0 {
+			if derr := syncDir(dir); err == nil && derr != nil {
+				err = derr
+			}
+		}
+		return removed, err
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].FirstLSN > keepLSN {
+			break
+		}
+		if err := fpCkptTruncate.Inject(); err != nil {
+			return finish(err)
+		}
+		if err := os.Remove(filepath.Join(dir, segs[i].Name)); err != nil {
+			return finish(err)
+		}
+		removed++
+	}
+	return finish(nil)
+}
+
+// syncDir fsyncs a directory so unlinks and creates are themselves
+// durable — the same discipline segment rotation uses.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,234 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/span"
+)
+
+// Source is the engine surface the checkpointer drives. core.DB
+// implements it; the interface keeps this package below core in the
+// import graph.
+type Source interface {
+	// CheckpointSnapshot captures a Snapshot under the engine's snapshot
+	// barrier: the page image, barrier LSN, and in-flight transactions,
+	// mutually consistent.
+	CheckpointSnapshot() (*Snapshot, error)
+	// ForceWAL blocks until every record with LSN ≤ lsn is durable — the
+	// WAL-force rule: a checkpoint image must never reflect records a
+	// crash could still lose.
+	ForceWAL(lsn uint64) error
+	// WALDir is the segment directory checkpoint files live beside.
+	WALDir() string
+	// WALBytes reports cumulative bytes appended to the log — the
+	// bytes-threshold trigger reads it.
+	WALBytes() int64
+}
+
+// Result summarizes one checkpoint attempt.
+type Result struct {
+	// Skipped is true when the log held nothing new since the previous
+	// checkpoint, so no file was written.
+	Skipped bool
+	// Path and LSN identify the checkpoint written.
+	Path string
+	LSN  uint64
+	// TruncatedSegments and PrunedFiles count the space reclaimed.
+	TruncatedSegments int
+	PrunedFiles       int
+	// Pages and Active size the snapshot; Took is wall time end to end.
+	Pages  int
+	Active int
+	Took   time.Duration
+}
+
+// Checkpointer takes fuzzy checkpoints — on demand via Run, or
+// periodically via Start using a time interval and/or a bytes-of-WAL
+// threshold.
+type Checkpointer struct {
+	src      Source
+	interval time.Duration
+	bytes    int64
+	reg      *obs.Registry
+	tracer   *span.Tracer
+
+	// runMu serializes checkpoint attempts (the background loop and any
+	// manual Run calls).
+	runMu     sync.Mutex
+	lastLSN   uint64
+	lastBytes int64
+	runs      int
+
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// New builds a Checkpointer over src. interval and bytes are the periodic
+// triggers (zero disables each; both zero means manual-only). reg and
+// tracer may be nil.
+func New(src Source, interval time.Duration, bytes int64, reg *obs.Registry, tracer *span.Tracer) *Checkpointer {
+	return &Checkpointer{src: src, interval: interval, bytes: bytes, reg: reg, tracer: tracer}
+}
+
+// Run takes one checkpoint now: snapshot under the barrier, force the WAL
+// through the barrier LSN, write + fsync the checkpoint file, truncate
+// dead segments, prune superseded checkpoint files. Any error leaves the
+// log untouched or merely under-truncated — never inconsistent.
+func (c *Checkpointer) Run() (Result, error) {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	start := time.Now()
+
+	snap, err := c.src.CheckpointSnapshot()
+	if err != nil {
+		return c.fail(err)
+	}
+	if snap.LSN == c.lastLSN {
+		return Result{Skipped: true, LSN: snap.LSN}, nil
+	}
+	if err := c.src.ForceWAL(snap.LSN); err != nil {
+		return c.fail(err)
+	}
+	snap.UnixNano = start.UnixNano()
+	dir := c.src.WALDir()
+	path, err := Write(dir, snap)
+	if err != nil {
+		return c.fail(err)
+	}
+	// The checkpoint file is durable; from here every step only reclaims
+	// space, and a failure or crash leaves extra history, not less.
+	res := Result{
+		Path:   path,
+		LSN:    snap.LSN,
+		Pages:  len(snap.Pages),
+		Active: len(snap.Active),
+	}
+	if res.TruncatedSegments, err = TruncateSegments(dir, snap.TruncateBelow()); err != nil {
+		c.observe(res, start, err)
+		return res, err
+	}
+	if res.PrunedFiles, err = Prune(dir, snap.LSN); err != nil {
+		c.observe(res, start, err)
+		return res, err
+	}
+	c.lastLSN = snap.LSN
+	c.lastBytes = c.src.WALBytes()
+	res.Took = time.Since(start)
+	c.observe(res, start, nil)
+	return res, nil
+}
+
+// fail records a checkpoint attempt that produced no file.
+func (c *Checkpointer) fail(err error) (Result, error) {
+	c.reg.Counter("engine.checkpoint_errors").Add(1)
+	c.reg.Recorder().Record(obs.Event{Kind: obs.EvFailure, Actor: "checkpointer", Note: err.Error()})
+	return Result{}, err
+}
+
+// observe publishes metrics, a flight-recorder event, and an engine-track
+// span for a checkpoint that wrote a file (err covers a later reclaim
+// step that failed after the file was already durable).
+func (c *Checkpointer) observe(res Result, start time.Time, err error) {
+	c.reg.Counter("engine.checkpoints").Add(1)
+	if res.TruncatedSegments > 0 {
+		c.reg.Counter("wal.truncated_segments").Add(int64(res.TruncatedSegments))
+	}
+	note := fmt.Sprintf("%d pages, %d active, %d segs truncated", res.Pages, res.Active, res.TruncatedSegments)
+	if err != nil {
+		c.reg.Counter("engine.checkpoint_errors").Add(1)
+		note += "; reclaim error: " + err.Error()
+	}
+	c.reg.Recorder().Record(obs.Event{
+		Kind:   obs.EvCheckpoint,
+		Actor:  "checkpointer",
+		Object: res.Path,
+		Dur:    time.Since(start),
+		N:      int64(res.TruncatedSegments),
+		Note:   note,
+	})
+	c.runs++
+	sp := span.Span{
+		ID:    fmt.Sprintf("checkpoint/%d", c.runs),
+		Kind:  span.KRecovery,
+		Name:  fmt.Sprintf("checkpoint @ LSN %d", res.LSN),
+		Start: start,
+		End:   time.Now(),
+		N:     int64(res.Pages),
+		Note:  note,
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	c.tracer.RecordEngine(sp)
+}
+
+// SeedLSN tells the checkpointer the newest checkpoint already on disk
+// (recovery passes it in), so the first periodic run does not rewrite an
+// identical checkpoint.
+func (c *Checkpointer) SeedLSN(lsn uint64) {
+	c.runMu.Lock()
+	c.lastLSN = lsn
+	c.runMu.Unlock()
+}
+
+// Start launches the background loop when a trigger is configured; it is
+// a no-op otherwise. Stop must be called to retire a started loop.
+func (c *Checkpointer) Start() {
+	if c.started || (c.interval <= 0 && c.bytes <= 0) {
+		return
+	}
+	c.started = true
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	// Poll fast enough to catch a bytes threshold between interval beats.
+	period := c.interval
+	if c.bytes > 0 {
+		period = 100 * time.Millisecond
+		if c.interval > 0 && c.interval < period {
+			period = c.interval
+		}
+	}
+	go c.loop(period)
+}
+
+func (c *Checkpointer) loop(period time.Duration) {
+	defer close(c.done)
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	lastRun := time.Now()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		due := c.interval > 0 && time.Since(lastRun) >= c.interval
+		if !due && c.bytes > 0 {
+			c.runMu.Lock()
+			seen := c.lastBytes
+			c.runMu.Unlock()
+			due = c.src.WALBytes()-seen >= c.bytes
+		}
+		if !due {
+			continue
+		}
+		lastRun = time.Now()
+		// Errors are already counted and on the flight recorder; the loop
+		// keeps trying (a poisoned WAL just fails every attempt harmlessly).
+		_, _ = c.Run()
+	}
+}
+
+// Stop retires the background loop, if one is running. Idempotent.
+func (c *Checkpointer) Stop() {
+	if !c.started {
+		return
+	}
+	c.started = false
+	close(c.stop)
+	<-c.done
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/checkpoint"
 	"repro/internal/commut"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -174,6 +175,12 @@ type DB struct {
 	admit        chan struct{}
 	admitTimeout time.Duration
 
+	// Checkpointing (durable engines only): walFile is the segment-backed
+	// sink the checkpointer truncates; ckpt is the attached checkpointer
+	// (see internal/core/checkpoint.go).
+	walFile *storage.FileWAL
+	ckpt    *checkpoint.Checkpointer
+
 	obsDegraded  *obs.Gauge   // engine.degraded: 0 healthy, 1 read-only
 	obsInflight  *obs.Gauge   // engine.inflight: admitted transactions
 	obsOverloads *obs.Counter // engine.overloads: admission timeouts
@@ -230,6 +237,16 @@ type Options struct {
 	// WALSegmentSize overrides the segment rotation threshold in bytes
 	// (default storage.DefaultSegmentSize).
 	WALSegmentSize int64
+	// CheckpointInterval, when > 0, takes a fuzzy checkpoint (page image +
+	// barrier LSN + in-flight set) every interval and truncates WAL
+	// segments the image supersedes. Durable modes only (OpenDurable /
+	// recovery.RecoverDir); manual DB.Checkpoint works regardless of the
+	// triggers.
+	CheckpointInterval time.Duration
+	// CheckpointBytes, when > 0, additionally triggers a checkpoint every
+	// time that many bytes of WAL records have been appended since the
+	// last one. Combines with CheckpointInterval (whichever fires first).
+	CheckpointBytes int64
 	// Obs, when non-nil, is the observability registry the engine and every
 	// subsystem (lock manager, buffer pool, WAL) publish metrics and flight
 	// recorder events into. When nil, Open creates a fresh one unless
@@ -375,6 +392,16 @@ func OpenDurable(opts Options) (*DB, error) {
 		_ = fw.Close()
 		return nil, fmt.Errorf("core: WAL dir %s holds %d records; use recovery.RecoverDir to restart over an existing log", opts.WALDir, len(records))
 	}
+	// A directory with no log records but leftover checkpoint files is
+	// still a restart (the log may have been truncated down to an empty
+	// tail); only RecoverDir knows how to seed from the checkpoint image.
+	if infos, err := checkpoint.Scan(opts.WALDir); err != nil {
+		_ = fw.Close()
+		return nil, err
+	} else if len(infos) > 0 {
+		_ = fw.Close()
+		return nil, fmt.Errorf("core: WAL dir %s holds %d checkpoint file(s); use recovery.RecoverDir to restart over them", opts.WALDir, len(infos))
+	}
 	// Create the registry up front (unless disabled) so the file WAL can
 	// publish into the same one the engine will use.
 	if opts.Obs == nil && !opts.DisableObs {
@@ -384,12 +411,20 @@ func OpenDurable(opts Options) (*DB, error) {
 	wal := storage.NewWAL()
 	wal.SetSink(fw)
 	opts.WAL = wal
-	return Open(opts), nil
+	db := Open(opts)
+	db.EnableCheckpoints(fw, opts.CheckpointInterval, opts.CheckpointBytes)
+	return db, nil
 }
 
-// Close flushes and closes the WAL's durable backing (if any). The engine
-// itself has no other external resources.
-func (db *DB) Close() error { return db.wal.Close() }
+// Close retires the checkpointer's background loop (if any), then flushes
+// and closes the WAL's durable backing. The engine itself has no other
+// external resources.
+func (db *DB) Close() error {
+	if db.ckpt != nil {
+		db.ckpt.Stop()
+	}
+	return db.wal.Close()
+}
 
 // BumpTxnSeq raises the transaction-id sequence so new transactions get
 // ids strictly greater than n. Restart recovery calls it with the highest

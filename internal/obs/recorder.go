@@ -23,9 +23,10 @@ const (
 	EvPoolWriteErr = "pool.write_error"
 	EvWALBatch     = "wal.batch" // N: records flushed; Dur: write+fsync
 	EvRecovery     = "recovery.phase"
-	EvFailure      = "failure"         // injected/unexpected failure a tool wants on the timeline
-	EvDegraded     = "engine.degraded" // the engine entered read-only degraded mode (Note: cause)
-	EvOverload     = "engine.overload" // an admission wait timed out (ErrOverloaded)
+	EvFailure      = "failure"           // injected/unexpected failure a tool wants on the timeline
+	EvDegraded     = "engine.degraded"   // the engine entered read-only degraded mode (Note: cause)
+	EvOverload     = "engine.overload"   // an admission wait timed out (ErrOverloaded)
+	EvCheckpoint   = "engine.checkpoint" // a fuzzy checkpoint completed (Object: file; N: segments truncated)
 )
 
 // Event is one flight-recorder entry.

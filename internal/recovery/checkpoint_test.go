@@ -1,0 +1,264 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// TestRecoverFromCheckpointReplaysOnlySuffix: after a checkpoint, recovery
+// starts from the image and redoes ONLY the records above the barrier —
+// the Report.Redone accounting the checkpoint exists to shrink — and dead
+// segments below the barrier are actually gone from disk.
+func TestRecoverFromCheckpointReplaysOnlySuffix(t *testing.T) {
+	dir := t.TempDir()
+	opts := core.Options{Durability: storage.GroupCommit, WALDir: dir, WALSegmentSize: 512}
+	rp := &regPages{}
+	db, err := core.OpenDurable(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := registerKV(db, rp); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: enough traffic to span several 512-byte segments.
+	for i := 0; i < 25; i++ {
+		put(t, db, "a", fmt.Sprintf("pre-%d", i))
+	}
+	put(t, db, "b", "pre-b")
+
+	res, err := db.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped || res.LSN == 0 {
+		t.Fatalf("checkpoint did not run: %+v", res)
+	}
+	if res.TruncatedSegments == 0 {
+		t.Fatalf("no segments truncated despite %d-byte segments: %+v", 512, res)
+	}
+
+	// Phase 2: the suffix recovery must replay.
+	put(t, db, "a", "post-a")
+	put(t, db, "c", "post-c")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	records, err := storage.ReadWALDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 || records[0].LSN == 1 {
+		t.Fatalf("log not truncated: first surviving LSN %d", records[0].LSN)
+	}
+	var suffixUpdates, totalUpdates int
+	for _, r := range records {
+		if r.Kind != storage.RecUpdate {
+			continue
+		}
+		totalUpdates++
+		if r.LSN > res.LSN {
+			suffixUpdates++
+		}
+	}
+	if suffixUpdates == 0 || suffixUpdates >= totalUpdates+26 {
+		t.Fatalf("test not meaningful: %d suffix of %d surviving updates", suffixUpdates, totalUpdates)
+	}
+
+	db2, rep, err := RecoverDir(dir, opts, func(d *core.DB) error { return registerKV(d, rp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if rep.CheckpointLSN != res.LSN {
+		t.Fatalf("Report.CheckpointLSN = %d, want %d", rep.CheckpointLSN, res.LSN)
+	}
+	if rep.Redone != suffixUpdates {
+		t.Fatalf("Report.Redone = %d, want exactly the %d post-checkpoint updates", rep.Redone, suffixUpdates)
+	}
+	// The image + suffix reconstruct the full state, pre- and post-barrier.
+	if v := get(t, db2, "a"); v != "post-a" {
+		t.Fatalf("a = %q, want post-a", v)
+	}
+	if v := get(t, db2, "b"); v != "pre-b" {
+		t.Fatalf("b = %q, want pre-b (checkpoint image only)", v)
+	}
+	if v := get(t, db2, "c"); v != "post-c" {
+		t.Fatalf("c = %q, want post-c", v)
+	}
+	// The recovered engine checkpoints too (the seeded checkpointer).
+	res2, err := db2.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Skipped && res2.LSN <= res.LSN {
+		t.Fatalf("post-recovery checkpoint went backwards: %+v", res2)
+	}
+}
+
+// TestRecoverTornCheckpointFallsBackToFullReplay: a corrupt checkpoint is
+// ignored and recovery replays the whole log — valid because the log was
+// not truncated under that checkpoint (large segments, nothing deletable).
+func TestRecoverTornCheckpointFallsBackToFullReplay(t *testing.T) {
+	dir := t.TempDir()
+	// Default (large) segments: one segment, truncation never removes it.
+	opts := core.Options{Durability: storage.GroupCommit, WALDir: dir}
+	rp := &regPages{}
+	db, err := core.OpenDurable(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := registerKV(db, rp); err != nil {
+		t.Fatal(err)
+	}
+	put(t, db, "a", "v1")
+	res, err := db.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, db, "a", "v2")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the checkpoint the way a crash mid-write would.
+	raw, err := os.ReadFile(res.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(res.Path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, rep, err := RecoverDir(dir, opts, func(d *core.DB) error { return registerKV(d, rp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if rep.CheckpointLSN != 0 {
+		t.Fatalf("torn checkpoint trusted: CheckpointLSN = %d", rep.CheckpointLSN)
+	}
+	if v := get(t, db2, "a"); v != "v2" {
+		t.Fatalf("a = %q after full-replay fallback, want v2", v)
+	}
+}
+
+// TestRecoverDirLogTruncatedGuard: a truncated log with no valid checkpoint
+// to cover the missing prefix must refuse to recover — replaying only a
+// suffix silently loses committed state.
+func TestRecoverDirLogTruncatedGuard(t *testing.T) {
+	dir := t.TempDir()
+	opts := core.Options{Durability: storage.GroupCommit, WALDir: dir, WALSegmentSize: 512}
+	rp := &regPages{}
+	db, err := core.OpenDurable(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := registerKV(db, rp); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		put(t, db, "a", fmt.Sprintf("v-%d", i))
+	}
+	res, err := db.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TruncatedSegments == 0 {
+		t.Fatalf("expected truncation: %+v", res)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the only checkpoint: now the truncated prefix is covered by
+	// nothing, and recovery must say so instead of guessing.
+	raw, err := os.ReadFile(res.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(res.Path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = RecoverDir(dir, opts, func(d *core.DB) error { return registerKV(d, rp) })
+	if !errors.Is(err, ErrLogTruncated) {
+		t.Fatalf("err = %v, want ErrLogTruncated", err)
+	}
+}
+
+// TestOpenDurableRefusesCheckpointDir: OpenDurable is for empty
+// directories; one holding a checkpoint file needs RecoverDir even if no
+// segment survived.
+func TestOpenDurableRefusesCheckpointDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := checkpoint.Write(dir, &checkpoint.Snapshot{LSN: 7, PageSize: 64, Pages: map[storage.PageID]string{}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := core.OpenDurable(core.Options{Durability: storage.GroupCommit, WALDir: dir})
+	if err == nil {
+		t.Fatal("OpenDurable over a checkpoint-bearing dir must fail")
+	}
+}
+
+// TestPeriodicCheckpointTriggers: the background loop fires on its own —
+// by interval and by WAL-bytes growth — and the periodically-checkpointed
+// directory recovers with a bounded redo pass.
+func TestPeriodicCheckpointTriggers(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"interval", core.Options{CheckpointInterval: 20 * time.Millisecond}},
+		{"bytes", core.Options{CheckpointBytes: 1024}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := tc.opts
+			opts.Durability = storage.GroupCommit
+			opts.WALDir = dir
+			opts.WALSegmentSize = 512
+			rp := &regPages{}
+			db, err := core.OpenDurable(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := registerKV(db, rp); err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			i := 0
+			for {
+				put(t, db, "a", fmt.Sprintf("v-%d", i))
+				i++
+				if _, _, err := checkpoint.Latest(dir); err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("background checkpointer never fired")
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db2, rep, err := RecoverDir(dir, opts, func(d *core.DB) error { return registerKV(d, rp) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db2.Close()
+			if rep.CheckpointLSN == 0 {
+				t.Fatal("recovery ignored the background checkpoint")
+			}
+			if v := get(t, db2, "a"); v != fmt.Sprintf("v-%d", i-1) {
+				t.Fatalf("a = %q, want v-%d", v, i-1)
+			}
+		})
+	}
+}

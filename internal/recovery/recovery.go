@@ -26,6 +26,7 @@
 package recovery
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -33,10 +34,23 @@ import (
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/span"
 	"repro/internal/storage"
+)
+
+// Recovery errors.
+var (
+	// ErrRedoPageGap means redo could not materialize a logged page id
+	// within the allocation bound — the log references a page the store
+	// can never reach, which is corruption, not a recoverable state.
+	ErrRedoPageGap = errors.New("recovery: redo page unreachable within allocation bound")
+	// ErrLogTruncated means the surviving log starts above LSN 1 but no
+	// complete checkpoint covers the missing prefix. Recovering anyway
+	// would silently drop history, so this is a hard stop.
+	ErrLogTruncated = errors.New("recovery: log is truncated but no valid checkpoint covers it")
 )
 
 // Report summarizes a recovery pass.
@@ -45,6 +59,9 @@ type Report struct {
 	Winners []string
 	// Losers are in-flight transactions that were rolled back.
 	Losers []string
+	// CheckpointLSN is the barrier of the checkpoint recovery started
+	// from (0 = full replay from LSN 1).
+	CheckpointLSN uint64
 	// Redone counts reapplied page updates.
 	Redone int
 	// PhysicalUndos and LogicalUndos count executed undo entries.
@@ -69,17 +86,22 @@ type RegisterTypes func(db *core.DB) error
 // ready-to-use engine.
 func Recover(disk *storage.MemStore, wal *storage.WAL, opts core.Options, registerTypes RegisterTypes) (*core.DB, Report, error) {
 	records := wal.Records()
-	return recoverWith(disk, records, storage.NewWALFromRecords(records), opts, registerTypes)
+	return recoverWith(disk, records, storage.NewWALFromRecords(records), nil, opts, registerTypes)
 }
 
 // RecoverDir brings a database back from its WAL segment directory — the
-// real-restart path. The segments are opened with the torn-tail rule (the
-// last segment is truncated at the first bad checksum), history is redone
-// into a fresh store (every page update carries its full after-image, so
-// the log alone reconstructs the pre-crash pages), losers are undone, and
-// the returned engine keeps appending to the same segment files. A
-// MemOnly durability in opts is promoted to GroupCommit: an engine opened
-// over segment files stays durable.
+// real-restart path. When the directory holds a complete checkpoint
+// (newest valid wins; torn ones from a crash mid-checkpoint are skipped by
+// checksum), the store is seeded from its page image and redo replays only
+// the log suffix above its barrier LSN; otherwise the segments are opened
+// with the torn-tail rule (the last segment is truncated at the first bad
+// checksum) and history is redone in full into a fresh store (every page
+// update carries its full after-image, so the log alone reconstructs the
+// pre-crash pages). Losers are undone, and the returned engine keeps
+// appending to the same segment files, with a checkpointer attached per
+// opts.CheckpointInterval/CheckpointBytes. A MemOnly durability in opts is
+// promoted to GroupCommit: an engine opened over segment files stays
+// durable.
 func RecoverDir(dir string, opts core.Options, registerTypes RegisterTypes) (*core.DB, Report, error) {
 	fw, records, err := storage.OpenFileWAL(dir, storage.FileWALOptions{
 		SegmentSize: opts.WALSegmentSize,
@@ -88,27 +110,64 @@ func RecoverDir(dir string, opts core.Options, registerTypes RegisterTypes) (*co
 	if err != nil {
 		return nil, Report{}, err
 	}
+	ckpt, _, cerr := checkpoint.Latest(dir)
+	if cerr != nil && !errors.Is(cerr, checkpoint.ErrNoCheckpoint) {
+		_ = fw.Close()
+		return nil, Report{}, cerr
+	}
+	// A log whose first surviving record is above LSN 1 was truncated by a
+	// checkpoint; recovering without one (or with one that leaves a gap to
+	// the first record) would silently drop history.
+	if len(records) > 0 {
+		first := records[0].LSN
+		if ckpt == nil && first > 1 {
+			_ = fw.Close()
+			return nil, Report{}, fmt.Errorf("%w: first surviving record is LSN %d", ErrLogTruncated, first)
+		}
+		if ckpt != nil && first > ckpt.LSN+1 {
+			_ = fw.Close()
+			return nil, Report{}, fmt.Errorf("%w: checkpoint covers through LSN %d but the log resumes at %d", ErrLogTruncated, ckpt.LSN, first)
+		}
+	}
 	// Create the registry up front (unless disabled) so the file WAL
 	// publishes into the same one the recovered engine will use.
 	if opts.Obs == nil && !opts.DisableObs {
 		opts.Obs = obs.New()
 	}
 	fw.SetObs(opts.Obs)
+	disk := storage.NewMemStore(opts.PageSize)
+	if ckpt != nil {
+		disk = storage.NewMemStoreFromSnapshot(ckpt.Pages, ckpt.NextPage, ckpt.PageSize)
+	}
 	wal := storage.NewWALFromRecords(records)
 	wal.SetSink(fw) // existing records are already in the files; only new appends flow
-	db, rep, rerr := recoverWith(storage.NewMemStore(opts.PageSize), records, wal, opts, registerTypes)
+	db, rep, rerr := recoverWith(disk, records, wal, ckpt, opts, registerTypes)
 	if rerr != nil {
 		_ = fw.Close()
 		return nil, rep, rerr
+	}
+	ck := db.EnableCheckpoints(fw, opts.CheckpointInterval, opts.CheckpointBytes)
+	if ckpt != nil {
+		ck.SeedLSN(ckpt.LSN)
 	}
 	return db, rep, nil
 }
 
 // recoverWith is the shared analysis/redo/undo pass. engineWAL must hold
 // exactly records (plus whatever sink continues them); the recovered
-// engine appends its CLRs, discards, and abort markers to it.
-func recoverWith(disk *storage.MemStore, records []storage.Record, engineWAL *storage.WAL, opts core.Options, registerTypes RegisterTypes) (*core.DB, Report, error) {
+// engine appends its CLRs, discards, and abort markers to it. When ckpt is
+// non-nil, disk was seeded from its page image: redo skips records at or
+// below its barrier LSN (already reflected), and analysis unions its
+// in-flight set (a belt-and-braces measure — truncation keeps every
+// barrier-active transaction's records, so the records themselves normally
+// re-derive the same set).
+func recoverWith(disk *storage.MemStore, records []storage.Record, engineWAL *storage.WAL, ckpt *checkpoint.Snapshot, opts core.Options, registerTypes RegisterTypes) (*core.DB, Report, error) {
 	var rep Report
+	var ckptLSN uint64
+	if ckpt != nil {
+		ckptLSN = ckpt.LSN
+		rep.CheckpointLSN = ckpt.LSN
+	}
 
 	// --- Analysis ---------------------------------------------------------
 	analysisStart := time.Now()
@@ -132,13 +191,20 @@ func recoverWith(disk *storage.MemStore, records []storage.Record, engineWAL *st
 			}
 		}
 	}
+	if ckpt != nil {
+		for _, root := range ckpt.Active {
+			if !committed[root] && !aborted[root] {
+				active[root] = true
+			}
+		}
+	}
 
 	rep.AnalysisTime = time.Since(analysisStart)
 
 	// --- Redo: repeat history --------------------------------------------
 	redoStart := time.Now()
 	for _, r := range records {
-		if r.Kind != storage.RecUpdate {
+		if r.Kind != storage.RecUpdate || r.LSN <= ckptLSN {
 			continue
 		}
 		if err := writeThrough(disk, r.Page, r.After); err != nil {
@@ -164,6 +230,11 @@ func recoverWith(disk *storage.MemStore, records []storage.Record, engineWAL *st
 		if n, perr := strconv.ParseInt(strings.TrimPrefix(root, "T"), 10, 64); perr == nil && n > maxID {
 			maxID = n
 		}
+	}
+	// Truncated records can no longer vouch for the ids they carried; the
+	// checkpoint recorded the sequence high-water mark at its barrier.
+	if ckpt != nil && int64(ckpt.MaxTxn) > maxID {
+		maxID = int64(ckpt.MaxTxn)
 	}
 	db.BumpTxnSeq(maxID)
 	if registerTypes != nil {
@@ -268,9 +339,13 @@ func recoverWith(disk *storage.MemStore, records []storage.Record, engineWAL *st
 	// The phases ran before (analysis, redo) or around (undo) the engine's
 	// construction; stamp them onto its flight recorder retroactively so a
 	// post-recovery timeline starts with the recovery story.
+	startNote := ""
+	if ckptLSN > 0 {
+		startNote = fmt.Sprintf("from checkpoint @ LSN %d", ckptLSN)
+	}
 	if rec := db.Obs().Recorder(); rec != nil {
 		rec.Record(obs.Event{Kind: obs.EvRecovery, Object: "analysis",
-			Dur: rep.AnalysisTime, N: int64(len(records))})
+			Dur: rep.AnalysisTime, N: int64(len(records)), Note: startNote})
 		rec.Record(obs.Event{Kind: obs.EvRecovery, Object: "redo",
 			Dur: rep.RedoTime, N: int64(rep.Redone)})
 		rec.Record(obs.Event{Kind: obs.EvRecovery, Object: "undo",
@@ -282,7 +357,7 @@ func recoverWith(disk *storage.MemStore, records []storage.Record, engineWAL *st
 	tr := db.Spans()
 	tr.RecordEngine(span.Span{ID: "recovery/analysis", Kind: span.KRecovery,
 		Name: "recovery: analysis", Start: analysisStart,
-		End: analysisStart.Add(rep.AnalysisTime), N: int64(len(records))})
+		End: analysisStart.Add(rep.AnalysisTime), N: int64(len(records)), Note: startNote})
 	tr.RecordEngine(span.Span{ID: "recovery/redo", Kind: span.KRecovery,
 		Name: "recovery: redo", Start: redoStart,
 		End: redoStart.Add(rep.RedoTime), N: int64(rep.Redone)})
@@ -312,13 +387,17 @@ func writeThrough(disk *storage.MemStore, pid storage.PageID, data string) error
 	if err == nil {
 		return nil
 	}
-	for i := 0; i < 1<<20; i++ {
+	if !errors.Is(err, storage.ErrPageNotFound) {
+		return err
+	}
+	const allocBound = 1 << 20
+	for i := 0; i < allocBound; i++ {
 		id := disk.Allocate()
 		if id >= pid {
 			return disk.Write(pid, data)
 		}
 	}
-	return err
+	return fmt.Errorf("%w: page %d not reached after %d allocations", ErrRedoPageGap, pid, allocBound)
 }
 
 func rootOf(owner string) string {

@@ -1,0 +1,56 @@
+package recovery
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// TestWriteThroughAllocatesForward: redo may reference a page id the
+// checkpoint image never materialized (allocation is not logged); the
+// write-through path allocates forward until the id exists.
+func TestWriteThroughAllocatesForward(t *testing.T) {
+	disk := storage.NewMemStore(64)
+	if err := writeThrough(disk, 5, "v5"); err != nil {
+		t.Fatalf("writeThrough(5): %v", err)
+	}
+	got, err := disk.Read(5)
+	if err != nil || got != "v5" {
+		t.Fatalf("Read(5) = %q, %v", got, err)
+	}
+	// Earlier ids were allocated along the way and are writable in place.
+	if err := disk.Write(3, "v3"); err != nil {
+		t.Fatalf("gap page not allocated: %v", err)
+	}
+}
+
+// TestWriteThroughPropagatesRealErrors: only ErrPageNotFound triggers the
+// allocate-forward loop. Any other write failure must surface as itself —
+// the regression where a stale `err` from the pre-allocation attempt was
+// returned (reporting not-found) after the post-allocation write failed
+// for a different reason.
+func TestWriteThroughPropagatesRealErrors(t *testing.T) {
+	disk := storage.NewMemStore(8)
+	big := strings.Repeat("x", 64)
+	err := writeThrough(disk, 2, big)
+	if !errors.Is(err, storage.ErrPageTooLarge) {
+		t.Fatalf("oversized redo payload: err = %v, want ErrPageTooLarge", err)
+	}
+	if errors.Is(err, ErrRedoPageGap) || errors.Is(err, storage.ErrPageNotFound) {
+		t.Fatalf("real write error misclassified: %v", err)
+	}
+}
+
+// TestWriteThroughCapTyped: an unreachable page id (corrupt record) stops
+// after the allocation bound with the typed ErrRedoPageGap instead of
+// looping forever or reporting a stale not-found.
+func TestWriteThroughCapTyped(t *testing.T) {
+	disk := storage.NewMemStore(64)
+	const unreachable = storage.PageID(1<<20 + 1)
+	err := writeThrough(disk, unreachable, "v")
+	if !errors.Is(err, ErrRedoPageGap) {
+		t.Fatalf("err = %v, want ErrRedoPageGap", err)
+	}
+}

@@ -46,6 +46,54 @@ func TestWALBatchInfo(t *testing.T) {
 	}
 }
 
+// TestWALBatchInfoAgedOut: once the flush-history ring wraps past the
+// flush that carried a record, BatchInfo must say so with ok=false — not
+// misattribute the record to whichever newer flush happens to occupy the
+// oldest retained slot. (Regression: the old code matched any retained
+// entry with maxLSN ≥ lsn, which after a wrap is always a later flush.)
+func TestWALBatchInfoAgedOut(t *testing.T) {
+	fw, _, err := OpenFileWAL(t.TempDir(), FileWALOptions{Durability: GroupCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWAL()
+	w.SetSink(fw)
+	first := w.LogCommit("T1")
+	if err := w.WaitDurable(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.BatchInfo(first); !ok {
+		t.Fatal("fresh flush must be reported")
+	}
+	// Each commit+wait forces its own flush, so this wraps the ring.
+	var last uint64
+	var lasts []uint64
+	for i := 0; i < flushHistCap+8; i++ {
+		last = w.LogCommit("T" + string(rune('A'+i%26)))
+		if err := w.WaitDurable(last); err != nil {
+			t.Fatal(err)
+		}
+		lasts = append(lasts, last)
+	}
+	if bi, ok := w.BatchInfo(first); ok {
+		t.Fatalf("aged-out lsn %d misattributed to flush %+v", first, bi)
+	}
+	// Retained flushes must each still resolve, to a batch that actually
+	// covers them: strictly above the predecessor's highest LSN.
+	for _, lsn := range lasts[len(lasts)-flushHistCap/2:] {
+		bi, ok := w.BatchInfo(lsn)
+		if !ok {
+			t.Fatalf("retained lsn %d must resolve", lsn)
+		}
+		if bi.Records < 1 {
+			t.Fatalf("lsn %d: malformed batch %+v", lsn, bi)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestWALBatchInfoWithoutSink: a memory-only WAL is not durable and has no
 // batches to report.
 func TestWALBatchInfoWithoutSink(t *testing.T) {

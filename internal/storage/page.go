@@ -124,3 +124,34 @@ func (s *MemStore) Clone() *MemStore {
 
 // PageSize returns the store's page size bound.
 func (s *MemStore) PageSize() int { return s.pageSize }
+
+// Snapshot returns a deep copy of the page map plus the allocation cursor
+// and page size — the raw material a checkpoint persists. Callers that
+// need the snapshot consistent with a WAL position must quiesce writers
+// first (the engine holds its snapshot barrier exclusively).
+func (s *MemStore) Snapshot() (pages map[PageID]string, next PageID, pageSize int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pages = make(map[PageID]string, len(s.pages))
+	for id, data := range s.pages {
+		pages[id] = data
+	}
+	return pages, s.next, s.pageSize
+}
+
+// NewMemStoreFromSnapshot rebuilds a store from a Snapshot — recovery's
+// starting image when a checkpoint exists. The map is copied, so the
+// caller's snapshot stays immutable.
+func NewMemStoreFromSnapshot(pages map[PageID]string, next PageID, pageSize int) *MemStore {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if next < 1 {
+		next = 1
+	}
+	s := &MemStore{pages: make(map[PageID]string, len(pages)), next: next, pageSize: pageSize}
+	for id, data := range pages {
+		s.pages[id] = data
+	}
+	return s
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 )
@@ -112,16 +113,23 @@ type WAL struct {
 	// UpdatesBy is O(answer) instead of O(log length) — long logs made every
 	// rollback scan quadratic before the index existed.
 	updatesBy map[string][]int
+	// activeFirst maps each in-flight transaction root to the LSN of its
+	// first undo-relevant record (RecUpdate or RecIntent); the entry is
+	// dropped when the root's commit or completed-abort record lands. A
+	// fuzzy checkpoint reads this to know how far back the log must be kept
+	// for loser undo (ActiveInfo) — mirroring recovery's analysis rules.
+	activeFirst map[string]uint64
 }
 
 // NewWAL returns an empty log.
 func NewWAL() *WAL {
-	return &WAL{nextLSN: 1, updatesBy: make(map[string][]int)}
+	return &WAL{nextLSN: 1, updatesBy: make(map[string][]int), activeFirst: make(map[string]uint64)}
 }
 
 // NewWALFromRecords reconstructs a log from persisted records (recovery).
 func NewWALFromRecords(recs []Record) *WAL {
-	w := &WAL{nextLSN: 1, records: append([]Record{}, recs...), updatesBy: make(map[string][]int)}
+	w := &WAL{nextLSN: 1, records: append([]Record{}, recs...),
+		updatesBy: make(map[string][]int), activeFirst: make(map[string]uint64)}
 	for i, r := range recs {
 		if r.LSN >= w.nextLSN {
 			w.nextLSN = r.LSN + 1
@@ -129,8 +137,58 @@ func NewWALFromRecords(recs []Record) *WAL {
 		if r.Kind == RecUpdate {
 			w.updatesBy[r.Owner] = append(w.updatesBy[r.Owner], i)
 		}
+		w.trackActive(r)
 	}
 	return w
+}
+
+// walRootOf mirrors the root extraction recovery applies to record owners:
+// diagnostic suffixes ("T3.1:undo") are stripped at the first ':', then the
+// root is the prefix before the first '.' (cc.RootOf; duplicated here so
+// storage does not depend on the lock manager).
+func walRootOf(owner string) string {
+	if i := strings.IndexByte(owner, ':'); i >= 0 {
+		owner = owner[:i]
+	}
+	if i := strings.IndexByte(owner, '.'); i >= 0 {
+		owner = owner[:i]
+	}
+	return owner
+}
+
+// trackActive maintains the in-flight-root index. Called with w.mu held (or
+// during single-threaded construction).
+func (w *WAL) trackActive(r Record) {
+	root := walRootOf(r.Owner)
+	switch r.Kind {
+	case RecUpdate, RecIntent:
+		if _, ok := w.activeFirst[root]; !ok {
+			w.activeFirst[root] = r.LSN
+		}
+	case RecCommit:
+		delete(w.activeFirst, root)
+	case RecAbort:
+		if !strings.Contains(r.Owner, ":") { // diagnostic abort notes are not outcomes
+			delete(w.activeFirst, root)
+		}
+	}
+}
+
+// ActiveInfo returns the in-flight transaction roots — owners with undo
+// entries in the log but no commit or completed-abort record yet — and the
+// earliest LSN any of them logged (0 when none are in flight). A fuzzy
+// checkpoint stores both: truncation must never delete a record a loser's
+// undo might still need.
+func (w *WAL) ActiveInfo() (roots []string, oldestFirst uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for root, first := range w.activeFirst {
+		roots = append(roots, root)
+		if oldestFirst == 0 || first < oldestFirst {
+			oldestFirst = first
+		}
+	}
+	return roots, oldestFirst
 }
 
 // SetSink attaches the durable backing. Only records appended afterwards
@@ -224,6 +282,10 @@ func (w *WAL) Append(rec Record) uint64 {
 		}
 		w.updatesBy[rec.Owner] = append(w.updatesBy[rec.Owner], len(w.records))
 	}
+	if w.activeFirst == nil {
+		w.activeFirst = make(map[string]uint64)
+	}
+	w.trackActive(rec)
 	w.records = append(w.records, rec)
 	if w.sink != nil {
 		w.sink.Append(rec)

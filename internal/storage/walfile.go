@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -111,10 +112,15 @@ type pendingRec struct {
 const flushHistCap = 64
 
 // flushEntry is one completed flush in the history ring: every record with
-// LSN in (prevLSN of the previous entry, maxLSN] rode this fsync.
+// LSN in (prevLSN, maxLSN] rode this fsync. prevLSN — the previous flush's
+// maxLSN — is tracked explicitly so BatchInfo can tell "this flush carried
+// lsn" apart from "the flush that carried lsn has aged out of the ring and
+// this is merely the oldest survivor": without it, any survivor with
+// maxLSN ≥ lsn would be misattributed as the covering batch.
 type flushEntry struct {
-	maxLSN uint64
-	info   BatchInfo
+	prevLSN uint64
+	maxLSN  uint64
+	info    BatchInfo
 }
 
 // FileWAL is the durable backing of a WAL: a directory of fixed-size,
@@ -154,12 +160,17 @@ type FileWAL struct {
 
 	flusherDone chan struct{}
 	fsyncs      atomic.Int64
+	// bytesAppended counts every frame byte handed to Append — the
+	// checkpointer's bytes-since-last-checkpoint trigger reads it.
+	bytesAppended atomic.Int64
 
 	// flushHist is a bounded ring of recent flushes (guarded by w.mu) so a
 	// committer can ask, after WaitDurable returns, which batch carried its
-	// record (BatchInfo).
+	// record (BatchInfo). flushPrev is the maxLSN of the most recent flush —
+	// the prevLSN the next ring entry records.
 	flushHist     [flushHistCap]flushEntry
 	flushHistNext int
+	flushPrev     uint64
 
 	// Observability handles (SetObs); nil and nil-safe when detached.
 	obsFsync *obs.Histogram      // latency of each physical fsync
@@ -201,6 +212,9 @@ func OpenFileWAL(dir string, o FileWALOptions) (*FileWAL, []Record, error) {
 	if len(records) > 0 {
 		w.appended = records[len(records)-1].LSN
 		w.durable = w.appended
+		// Records already in the files predate every flush this incarnation
+		// will perform; the first new flush covers (w.durable, maxLSN].
+		w.flushPrev = w.durable
 	}
 	if lastPath != "" {
 		f, err := os.OpenFile(lastPath, os.O_WRONLY|os.O_APPEND, 0o644)
@@ -357,6 +371,7 @@ func (w *FileWAL) Append(rec Record) {
 	w.pending = append(w.pending, pendingRec{lsn: rec.LSN, frame: frame})
 	w.pendingBytes += len(frame)
 	w.appended = rec.LSN
+	w.bytesAppended.Add(int64(len(frame)))
 	if w.pendingBytes >= flushBackpressure {
 		w.flushCond.Signal()
 	}
@@ -535,10 +550,12 @@ func (w *FileWAL) syncTo(target uint64, forceSync bool) error {
 			w.durable = maxLSN
 		}
 		w.flushHist[w.flushHistNext] = flushEntry{
-			maxLSN: maxLSN,
-			info:   BatchInfo{ID: w.fsyncs.Load(), Records: batchRecords, Fsync: fsyncDur},
+			prevLSN: w.flushPrev,
+			maxLSN:  maxLSN,
+			info:    BatchInfo{ID: w.fsyncs.Load(), Records: batchRecords, Fsync: fsyncDur},
 		}
 		w.flushHistNext = (w.flushHistNext + 1) % flushHistCap
+		w.flushPrev = maxLSN
 		w.cond.Broadcast()
 		w.mu.Unlock()
 	}
@@ -546,25 +563,25 @@ func (w *FileWAL) syncTo(target uint64, forceSync bool) error {
 }
 
 // BatchInfo implements the WAL's batchInfoSink extension: it reports the
-// flush that carried lsn to stable storage — the OLDEST recorded flush
-// whose covered range reaches lsn. False when lsn is not yet durable or the
-// flush has aged out of the history ring.
+// flush that carried lsn to stable storage — the ring entry whose covered
+// range (prevLSN, maxLSN] contains lsn. False when lsn is not yet durable
+// or the covering flush has aged out of the history ring. The half-open
+// range check is what makes "aged out" detectable: an entry with
+// maxLSN ≥ lsn but prevLSN ≥ lsn is a NEWER flush that did not carry the
+// record, and reporting it would misattribute the commit's batch after the
+// ring wraps past the true covering flush.
 func (w *FileWAL) BatchInfo(lsn uint64) (BatchInfo, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if lsn == 0 || lsn > w.durable {
 		return BatchInfo{}, false
 	}
-	best := flushEntry{}
 	for _, e := range w.flushHist {
-		if e.maxLSN >= lsn && (best.maxLSN == 0 || e.maxLSN < best.maxLSN) {
-			best = e
+		if e.maxLSN != 0 && e.prevLSN < lsn && lsn <= e.maxLSN {
+			return e.info, true
 		}
 	}
-	if best.maxLSN == 0 {
-		return BatchInfo{}, false
-	}
-	return best.info, true
+	return BatchInfo{}, false
 }
 
 // flushRun writes one coalesced run of frames to the current segment.
@@ -664,11 +681,21 @@ func (w *FileWAL) Close() error {
 	<-w.flusherDone
 	if !alreadyClosed {
 		// Drain anything the flusher left behind after a failure and close
-		// the segment.
+		// the segment. This Sync is the LAST one the log will ever see: an
+		// error here means bytes the flusher wrote may never have reached
+		// stable storage, so it latches the poison state (fsyncgate — same
+		// rule as every other fsync) and Close surfaces it instead of
+		// swallowing the failure.
 		w.flushMu.Lock()
 		if w.cur != nil {
-			if err := w.cur.Sync(); err == nil {
+			err := fpWALFsync.Inject()
+			if err == nil {
+				err = w.cur.Sync()
+			}
+			if err == nil {
 				w.fsyncs.Add(1)
+			} else {
+				w.fail(err)
 			}
 			w.cur.Close()
 			w.cur = nil
@@ -691,5 +718,37 @@ func (w *FileWAL) DurableLSN() uint64 {
 // quantity group commit amortizes.
 func (w *FileWAL) Fsyncs() int64 { return w.fsyncs.Load() }
 
+// BytesAppended returns the total frame bytes handed to Append over this
+// incarnation's lifetime — the checkpointer's bytes-threshold trigger.
+func (w *FileWAL) BytesAppended() int64 { return w.bytesAppended.Load() }
+
 // Dir returns the segment directory.
 func (w *FileWAL) Dir() string { return w.dir }
+
+// SegmentInfo describes one WAL segment file: its name and the LSN of the
+// first record it holds (encoded in the name).
+type SegmentInfo struct {
+	Name     string
+	FirstLSN uint64
+}
+
+// WALSegments lists the segment files of a WAL directory in LSN order,
+// parsing each first-LSN from the file name. A segment holds the records
+// [FirstLSN, next segment's FirstLSN): checkpoint truncation deletes every
+// segment whose whole range falls below the keep boundary.
+func WALSegments(dir string) ([]SegmentInfo, error) {
+	names, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]SegmentInfo, 0, len(names))
+	for _, name := range names {
+		lsnPart := strings.TrimSuffix(strings.TrimPrefix(name, walSegPrefix), walSegSuffix)
+		first, perr := strconv.ParseUint(lsnPart, 10, 64)
+		if perr != nil {
+			return nil, fmt.Errorf("storage: segment %s: unparseable first LSN: %w", name, perr)
+		}
+		infos = append(infos, SegmentInfo{Name: name, FirstLSN: first})
+	}
+	return infos, nil
+}

@@ -150,6 +150,39 @@ func TestRotationFailureTypedAndFailsWaiters(t *testing.T) {
 	}
 }
 
+// TestCloseFinalFsyncErrorSurfaces: Close performs one last fsync of the
+// open segment; if THAT sync fails, Close must latch the poison and return
+// the error — not swallow it (the regression where a clean shutdown lied
+// about bytes that never reached stable storage). The failpoint is armed
+// late (`after=1`) so the healthy commit's fsync passes and only the
+// close-time sync fails.
+func TestCloseFinalFsyncErrorSurfaces(t *testing.T) {
+	w, fw := openGroupWAL(t, 0)
+
+	armFault(t, "wal.fsync=error(close-time disk error);after=1")
+	lsn := w.LogCommit("T1")
+	if err := w.WaitDurable(lsn); err != nil {
+		t.Fatalf("healthy commit with late-armed fault: %v", err)
+	}
+	// Unsynced bytes at close time — the records the final sync covers.
+	w.LogUpdate("T2", 1, "", "v")
+
+	err := fw.Close()
+	if err == nil {
+		t.Fatal("Close swallowed the final fsync error")
+	}
+	if !errors.Is(err, ErrWALPoisoned) {
+		t.Fatalf("Close err = %v, want ErrWALPoisoned", err)
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Close lost the root cause: %v", err)
+	}
+	// The poison is latched: a second Close reports the same failure.
+	if err2 := fw.Close(); !errors.Is(err2, ErrWALPoisoned) {
+		t.Fatalf("second Close = %v, want latched ErrWALPoisoned", err2)
+	}
+}
+
 // TestPoisonedWALKeepsDurablePrefix: records acked durable before the
 // poison survive on disk and reopen cleanly; nothing after the poison
 // point was acked, so nothing after it may be required.

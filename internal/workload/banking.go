@@ -59,6 +59,10 @@ type BankingConfig struct {
 	// Durability and WALDir select a file-backed WAL (see Config).
 	Durability storage.Durability
 	WALDir     string
+	// CheckpointInterval and CheckpointBytes configure periodic fuzzy
+	// checkpoints (see Config).
+	CheckpointInterval time.Duration
+	CheckpointBytes    int64
 	// Obs and DisableObs configure the observability registry (see Config).
 	Obs        *obs.Registry
 	DisableObs bool
@@ -196,16 +200,18 @@ func RunBanking(cfg BankingConfig) (Result, error) {
 		cfg.MaxRetries = 50
 	}
 	db, closeDB, err := openDB(core.Options{
-		Protocol:     cfg.Protocol,
-		LockTimeout:  cfg.LockTimeout,
-		DisableTrace: !cfg.Validate,
-		PageIODelay:  cfg.PageIODelay,
-		Durability:   cfg.Durability,
-		WALDir:       cfg.WALDir,
-		Obs:          cfg.Obs,
-		DisableObs:   cfg.DisableObs,
-		Tracer:       cfg.Tracer,
-		DisableSpans: cfg.DisableSpans,
+		Protocol:           cfg.Protocol,
+		LockTimeout:        cfg.LockTimeout,
+		DisableTrace:       !cfg.Validate,
+		PageIODelay:        cfg.PageIODelay,
+		Durability:         cfg.Durability,
+		WALDir:             cfg.WALDir,
+		CheckpointInterval: cfg.CheckpointInterval,
+		CheckpointBytes:    cfg.CheckpointBytes,
+		Obs:                cfg.Obs,
+		DisableObs:         cfg.DisableObs,
+		Tracer:             cfg.Tracer,
+		DisableSpans:       cfg.DisableSpans,
 	})
 	if err != nil {
 		return Result{}, err

@@ -98,6 +98,11 @@ type Config struct {
 	// (required then), so commits pay real fsyncs.
 	Durability storage.Durability
 	WALDir     string
+	// CheckpointInterval and CheckpointBytes configure periodic fuzzy
+	// checkpoints with WAL truncation on durable engines (see
+	// core.Options; ignored with storage.MemOnly).
+	CheckpointInterval time.Duration
+	CheckpointBytes    int64
 	// Obs, when non-nil, is the observability registry the engine
 	// publishes into — pass one registry across a protocol sweep to keep
 	// a single /metrics endpoint live. DisableObs skips creating one
@@ -217,19 +222,21 @@ func RunEncyclopedia(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	db, closeDB, err := openDB(core.Options{
-		Protocol:     cfg.Protocol,
-		LockTimeout:  cfg.LockTimeout,
-		DisableTrace: !cfg.Validate && cfg.TraceFile == "",
-		PoolCapacity: 1 << 16,
-		PageIODelay:  cfg.PageIODelay,
-		FairLocks:    cfg.FairLocks,
-		LockShards:   cfg.LockShards,
-		Durability:   cfg.Durability,
-		WALDir:       cfg.WALDir,
-		Obs:          cfg.Obs,
-		DisableObs:   cfg.DisableObs,
-		Tracer:       cfg.Tracer,
-		DisableSpans: cfg.DisableSpans,
+		Protocol:           cfg.Protocol,
+		LockTimeout:        cfg.LockTimeout,
+		DisableTrace:       !cfg.Validate && cfg.TraceFile == "",
+		PoolCapacity:       1 << 16,
+		PageIODelay:        cfg.PageIODelay,
+		FairLocks:          cfg.FairLocks,
+		LockShards:         cfg.LockShards,
+		Durability:         cfg.Durability,
+		WALDir:             cfg.WALDir,
+		CheckpointInterval: cfg.CheckpointInterval,
+		CheckpointBytes:    cfg.CheckpointBytes,
+		Obs:                cfg.Obs,
+		DisableObs:         cfg.DisableObs,
+		Tracer:             cfg.Tracer,
+		DisableSpans:       cfg.DisableSpans,
 	})
 	if err != nil {
 		return Result{}, err
