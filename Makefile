@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-obs bench bench-wal bench-ckpt bench-obs bench-spans torture metrics-smoke trace-smoke chaos-smoke checkpoint-smoke
+.PHONY: check build vet test test-obs bench bench-wal bench-ckpt bench-obs bench-spans bench-net torture metrics-smoke trace-smoke chaos-smoke checkpoint-smoke server-smoke
 
 # The full gate: everything must build, vet clean, and pass under the race
 # detector. CI and pre-commit both run this.
@@ -41,6 +41,11 @@ bench-obs:
 bench-spans:
 	$(GO) test -bench BenchmarkO2SpanOverhead -benchtime 10x -run '^$$' .
 
+# Engine-behind-the-wire throughput: hundreds of loopback client
+# connections, closed- and open-loop; writes BENCH_net.json.
+bench-net:
+	$(GO) test -bench BenchmarkN1LoopbackThroughput -benchtime 3x -run '^$$' .
+
 # Kill-the-process durability torture (SIGKILL + recover, 5 rounds).
 torture:
 	$(GO) run ./cmd/crashtorture -dir $(or $(TORTURE_DIR),/tmp/oodb-torture) -rounds 5
@@ -76,6 +81,29 @@ chaos-smoke:
 # surviving suffix.
 checkpoint-smoke:
 	$(GO) run ./cmd/crashtorture -dir $(or $(TORTURE_DIR),/tmp/oodb-ckpt-torture) -rounds 6 -checkpoint 40ms
+
+# End-to-end check of the network server: boot oodbd with the banking
+# schema, burst a concurrent client workload through the pooled client,
+# assert zero leaked admission slots via /metrics, then SIGTERM and require
+# the drain shutdown to exit cleanly (oodbd itself exits non-zero if any
+# slot leaks through the drain).
+SERVER_SMOKE_PORT ?= 19323
+SERVER_SMOKE_METRICS_PORT ?= 19324
+server-smoke:
+	$(GO) build -o /tmp/oodbd-smoke ./cmd/oodbd
+	$(GO) build -o /tmp/oodbload-smoke ./cmd/oodbload
+	/tmp/oodbd-smoke -addr 127.0.0.1:$(SERVER_SMOKE_PORT) \
+		-metrics-addr 127.0.0.1:$(SERVER_SMOKE_METRICS_PORT) \
+		-install banking -max-inflight 64 >/dev/null 2>&1 & \
+	pid=$$!; \
+	sleep 1; \
+	/tmp/oodbload-smoke -addr 127.0.0.1:$(SERVER_SMOKE_PORT) -workload banking -workers 32 -txns 25 && \
+	curl -sf http://127.0.0.1:$(SERVER_SMOKE_METRICS_PORT)/metrics | grep -q '"engine.inflight": 0' && \
+	curl -sf http://127.0.0.1:$(SERVER_SMOKE_METRICS_PORT)/metrics | grep -q '"server.requests"'; \
+	status=$$?; \
+	kill -TERM $$pid 2>/dev/null; \
+	wait $$pid || status=1; \
+	[ $$status -eq 0 ] && echo "server-smoke: OK"; exit $$status
 
 # End-to-end check of the span-tracing endpoint: run a workload with a
 # lingering endpoint, then assert /trace/slowest returns a non-empty,

@@ -1,0 +1,174 @@
+// Command oodbd serves the engine over TCP: the internal/wire frame
+// protocol on -addr (sessions, transactions, admission control — see
+// internal/server), with the observability endpoints (/metrics,
+// /debug/vars, /events, /fault) folded into the same process on
+// -metrics-addr.
+//
+// Usage examples:
+//
+//	oodbd -addr :7437 -install banking -max-inflight 256 -metrics-addr :7438
+//	oodbd -addr :7437 -install encyclopedia -durability group-commit -waldir /var/lib/oodb/wal
+//
+// SIGINT/SIGTERM triggers the drain shutdown: stop accepting, abort
+// in-flight sessions (their admission slots release), then close the
+// engine so the WAL ends at a clean commit boundary.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+var protocols = map[string]core.ProtocolKind{
+	"open-nested":   core.ProtocolOpenNested,
+	"2pl-page":      core.Protocol2PLPage,
+	"2pl-object":    core.Protocol2PLObject,
+	"closed-nested": core.ProtocolClosedNested,
+	"none":          core.ProtocolNone,
+}
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7437", "serve the wire protocol on this host:port (port 0 picks a free port)")
+		metrics      = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /events and /fault on this host:port")
+		protocol     = flag.String("protocol", "open-nested", "protocol: open-nested | 2pl-page | 2pl-object | closed-nested | none")
+		install      = flag.String("install", "banking", "preinstalled schema: banking | encyclopedia | none")
+		accounts     = flag.Int("accounts", 16, "accounts to fund (banking schema)")
+		balance      = flag.Int64("balance", 1_000_000, "initial balance per account (banking schema)")
+		fanout       = flag.Int("fanout", 100, "B+ tree node capacity (encyclopedia schema)")
+		spine        = flag.Int("spine", 50, "sequential-read spine capacity (encyclopedia schema)")
+		lockTimeout  = flag.Duration("lock-timeout", 10*time.Second, "lock wait bound before a typed lock-timeout refusal")
+		maxInflight  = flag.Int("max-inflight", 256, "admission-control slots: concurrently admitted transactions (0 = unbounded)")
+		admitTimeout = flag.Duration("admission-timeout", time.Second, "how long a BEGIN may queue for a slot before the typed overload refusal")
+		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "reap sessions silent this long (open transactions abort)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "bound on waiting out sessions during shutdown")
+		ioDelay      = flag.Duration("io", 0, "simulated page I/O latency")
+		durMode      = flag.String("durability", "mem-only", "WAL durability: mem-only | sync-on-commit | group-commit")
+		walDir       = flag.String("waldir", "", "WAL segment directory (required for durable modes; must be empty/new)")
+		ckptEvery    = flag.Duration("checkpoint", 0, "fuzzy-checkpoint interval (durable modes only; 0 = off)")
+	)
+	flag.Parse()
+
+	durability, err := storage.ParseDurability(*durMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oodbd: %v\n", err)
+		os.Exit(2)
+	}
+	if durability != storage.MemOnly && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "oodbd: -durability", *durMode, "needs -waldir")
+		os.Exit(2)
+	}
+	if durability == storage.MemOnly && *walDir != "" {
+		fmt.Fprintln(os.Stderr, "oodbd: -waldir has no effect with -durability mem-only")
+		os.Exit(2)
+	}
+	kind, ok := protocols[*protocol]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "oodbd: unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+
+	// One registry for the whole process: the engine's counters, the
+	// server's session metrics and the failpoint control surface share one
+	// endpoint.
+	reg := obs.New()
+	var stopMetrics func() error
+	if *metrics != "" {
+		reg.Handle("/fault", fault.Default.Handler())
+		bound, shutdown, err := reg.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oodbd: metrics endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		stopMetrics = shutdown
+		fmt.Fprintf(os.Stderr, "oodbd: serving metrics at http://%s/metrics\n", bound)
+	}
+
+	opts := core.Options{
+		Protocol:           kind,
+		LockTimeout:        *lockTimeout,
+		MaxInflight:        *maxInflight,
+		AdmissionTimeout:   *admitTimeout,
+		PageIODelay:        *ioDelay,
+		Durability:         durability,
+		WALDir:             *walDir,
+		CheckpointInterval: *ckptEvery,
+		Obs:                reg,
+		// A server process never runs the offline validator; recording every
+		// action for it would grow memory without bound.
+		DisableTrace: true,
+	}
+	var db *core.DB
+	if durability != storage.MemOnly {
+		db, err = core.OpenDurable(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oodbd: open engine: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		db = core.Open(opts)
+	}
+
+	switch *install {
+	case "banking":
+		if _, err := workload.InstallBanking(db, *accounts, *balance); err != nil {
+			fmt.Fprintf(os.Stderr, "oodbd: install banking: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "oodbd: installed banking schema: %d accounts x %d\n", *accounts, *balance)
+	case "encyclopedia":
+		oid, err := workload.InstallEncyclopedia(db, *fanout, *spine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oodbd: install encyclopedia: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "oodbd: installed encyclopedia schema: object %s/%s\n", oid.Type, oid.Name)
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "oodbd: unknown schema %q\n", *install)
+		os.Exit(2)
+	}
+
+	srv := server.New(db, server.Options{IdleTimeout: *idleTimeout})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oodbd: listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("oodbd: serving %s protocol on %s\n", *protocol, bound)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigs
+	fmt.Fprintf(os.Stderr, "oodbd: %s — draining (up to %s)\n", sig, *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "oodbd: shutdown: %v\n", err)
+		if stopMetrics != nil {
+			_ = stopMetrics()
+		}
+		os.Exit(1)
+	}
+	if h := db.Health(); h.Inflight != 0 {
+		fmt.Fprintf(os.Stderr, "oodbd: BUG: %d admission slots leaked through drain\n", h.Inflight)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "oodbd: drained; engine closed cleanly")
+	if stopMetrics != nil {
+		_ = stopMetrics()
+	}
+}

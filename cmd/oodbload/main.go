@@ -1,0 +1,147 @@
+// Command oodbload drives an oodbd server over the wire protocol from
+// many concurrent client connections: the network-facing counterpart of
+// oodbsim's in-process workloads, used by the server smoke test and for
+// hand-driven load experiments.
+//
+// Usage examples:
+//
+//	oodbload -addr 127.0.0.1:7437 -workload banking -workers 64 -txns 100
+//	oodbload -addr 127.0.0.1:7437 -workload encyclopedia -keys 500 -ops 4
+//	oodbload -addr 127.0.0.1:7437 -workload ping -workers 8
+//
+// The server must have the matching schema installed (oodbd -install).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7437", "oodbd server address")
+		wl       = flag.String("workload", "banking", "workload: banking | encyclopedia | ping")
+		workers  = flag.Int("workers", 16, "concurrent client workers (each runs on its own pooled connection)")
+		txns     = flag.Int("txns", 100, "transactions per worker")
+		accounts = flag.Int("accounts", 16, "account space (banking; must match the server's -accounts)")
+		keys     = flag.Int("keys", 500, "key space (encyclopedia)")
+		ops      = flag.Int("ops", 4, "operations per transaction (encyclopedia)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		retryOv  = flag.Bool("retry-overload", false, "retry typed overload refusals instead of failing")
+		stats    = flag.Bool("stats", false, "print the server's STATS snapshot after the run")
+	)
+	flag.Parse()
+
+	cl, err := client.Dial(*addr, client.Options{PoolSize: *workers})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oodbload: %v\n", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	var retries, failures atomic.Int64
+	policy := client.RetryPolicy{
+		MaxAttempts:   100,
+		RetryOverload: *retryOv,
+		OnRetry:       func(int, error) { retries.Add(1) },
+	}
+	latMu := sync.Mutex{}
+	lats := make([]time.Duration, 0, *workers**txns)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(*seed + int64(w)*6151))
+			local := make([]time.Duration, 0, *txns)
+			for i := 0; i < *txns; i++ {
+				t0 := time.Now()
+				var err error
+				switch *wl {
+				case "banking":
+					from := rr.Intn(*accounts)
+					to := rr.Intn(*accounts)
+					if from == to {
+						to = (to + 1) % *accounts
+					}
+					amt := strconv.Itoa(1 + rr.Intn(100))
+					err = cl.RunWithRetry(policy, func(tx *client.Tx) error {
+						if _, err := tx.Invoke("account", "Acct"+strconv.Itoa(from), "debit", amt); err != nil {
+							return err
+						}
+						_, err := tx.Invoke("account", "Acct"+strconv.Itoa(to), "credit", amt)
+						return err
+					})
+				case "encyclopedia":
+					err = cl.RunWithRetry(policy, func(tx *client.Tx) error {
+						for j := 0; j < *ops; j++ {
+							k := fmt.Sprintf("k%06d", rr.Intn(*keys))
+							var ierr error
+							if rr.Intn(100) < 30 {
+								_, ierr = tx.Invoke("encyclopedia", "Enc", "insert", k, fmt.Sprintf("text%d-%d", i, j))
+							} else {
+								_, ierr = tx.Invoke("encyclopedia", "Enc", "search", k)
+							}
+							if ierr != nil {
+								return ierr
+							}
+						}
+						return nil
+					})
+				case "ping":
+					err = cl.Ping()
+				default:
+					fmt.Fprintf(os.Stderr, "oodbload: unknown workload %q\n", *wl)
+					os.Exit(2)
+				}
+				if err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "oodbload: worker %d txn %d: %v\n", w, i, err)
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	done := len(lats)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if done == 0 {
+			return 0
+		}
+		i := int(p * float64(done-1))
+		return lats[i]
+	}
+	fmt.Printf("oodbload: %s: %d/%d txns in %v  (%.0f txn/s, p50 %v, p99 %v, retries %d)\n",
+		*wl, done, *workers**txns, elapsed.Round(time.Millisecond),
+		float64(done)/elapsed.Seconds(), pct(0.50), pct(0.99), retries.Load())
+
+	if *stats {
+		s, err := cl.Stats()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oodbload: stats: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+	if failures.Load() > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,465 @@
+// Package client is the Go client for oodbd (internal/server): a
+// connection pool speaking the internal/wire frame protocol, with a
+// RunWithRetry helper mirroring core.RunWithRetry's shape on the client
+// side of the wire.
+//
+// The protocol binds transaction state to a connection — one connection is
+// one server session, at most one open transaction — so the pool hands a
+// whole connection to each transaction for its lifetime (the database/sql
+// model) and multiplexes only session-independent requests (PING, STATS)
+// across whatever connection is free. Within a connection, requests carry
+// client-chosen sequence numbers and responses echo them, so concurrent
+// callers can share a connection without a lock across the round trip: a
+// writer registers its sequence, writes the frame, and parks on its own
+// channel while a single reader goroutine dispatches responses by sequence.
+//
+// Failure semantics on the wire: a typed MsgError response becomes a
+// *wire.RemoteError matching the wire sentinels (errors.Is(err,
+// wire.ErrDeadlock) etc.). A transport error mid-transaction is NOT
+// retried by RunWithRetry when the commit was already in flight — the
+// client cannot know whether it committed (commit-in-doubt); it surfaces
+// ErrCommitInDoubt instead and the caller reconciles by reading.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Client-side transport errors.
+var (
+	// ErrClientClosed is returned once Close has been called.
+	ErrClientClosed = errors.New("client: closed")
+	// ErrConnDead is the transport failure for requests that never got a
+	// response because the connection died; the request definitely did not
+	// execute or its effects were aborted with the session — EXCEPT for
+	// COMMIT, which gets ErrCommitInDoubt instead.
+	ErrConnDead = errors.New("client: connection lost")
+	// ErrCommitInDoubt means the connection died after a COMMIT was sent and
+	// before its response arrived. The server may or may not have committed
+	// (if it did, the commit is durable; if it did not, the session abort
+	// rolled everything back). The caller must reconcile by reading.
+	ErrCommitInDoubt = errors.New("client: commit in doubt (connection lost awaiting COMMIT response)")
+)
+
+// Options configure Dial.
+type Options struct {
+	// PoolSize caps pooled idle connections (default 8). More than PoolSize
+	// concurrent transactions still work: extra connections are dialed on
+	// demand and closed on release instead of pooled.
+	PoolSize int
+	// DialTimeout bounds each TCP dial (default 5s).
+	DialTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 8
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Client is a pooled connection to one oodbd server. Safe for concurrent
+// use.
+type Client struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	free   []*conn
+	closed bool
+}
+
+// Dial connects to an oodbd server and verifies liveness with a PING.
+func Dial(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	if err := c.Ping(); err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// Close releases every pooled connection. Transactions still holding
+// connections keep them until they finish; those connections are closed on
+// release.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	free := c.free
+	c.free = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, nc := range free {
+		nc.close(ErrClientClosed)
+	}
+	return nil
+}
+
+// get hands out a live pooled connection or dials a fresh one.
+func (c *Client) get() (*conn, error) {
+	c.mu.Lock()
+	for len(c.free) > 0 {
+		nc := c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+		if nc.alive() {
+			c.mu.Unlock()
+			return nc, nil
+		}
+		nc.close(ErrConnDead)
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.mu.Unlock()
+	return dialConn(c.addr, c.opts.DialTimeout)
+}
+
+// put returns a connection to the pool (or closes it if dead/full/closed).
+func (c *Client) put(nc *conn) {
+	if !nc.alive() {
+		nc.close(ErrConnDead)
+		return
+	}
+	c.mu.Lock()
+	if c.closed || len(c.free) >= c.opts.PoolSize {
+		c.mu.Unlock()
+		nc.close(ErrClientClosed)
+		return
+	}
+	c.free = append(c.free, nc)
+	c.mu.Unlock()
+}
+
+// roundTrip runs one session-independent request on any free connection.
+func (c *Client) roundTrip(m wire.Msg) (string, error) {
+	nc, err := c.get()
+	if err != nil {
+		return "", err
+	}
+	res, err := nc.call(m)
+	c.put(nc)
+	return res, err
+}
+
+// Ping round-trips a PING frame.
+func (c *Client) Ping() error {
+	const nonce = "ping"
+	res, err := c.roundTrip(wire.Msg{Type: wire.MsgPing, Result: nonce})
+	if err != nil {
+		return err
+	}
+	if res != nonce {
+		return fmt.Errorf("client: ping echoed %q", res)
+	}
+	return nil
+}
+
+// Stats returns the server's STATS snapshot (JSON; see server.StatsReply
+// for the shape — the client deliberately does not import the engine).
+func (c *Client) Stats() (string, error) {
+	return c.roundTrip(wire.Msg{Type: wire.MsgStats})
+}
+
+// Tx is one open server-side transaction, pinned to one connection. Not
+// safe for concurrent use (sessions execute serially anyway).
+type Tx struct {
+	c    *Client
+	nc   *conn
+	id   string
+	done bool
+}
+
+// Begin opens a transaction. The returned Tx owns a pooled connection
+// until Commit or Abort; abandoning a Tx leaks its connection until the
+// server's idle reaper cuts the session (which aborts the transaction).
+func (c *Client) Begin() (*Tx, error) {
+	nc, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	id, err := nc.call(wire.Msg{Type: wire.MsgBegin})
+	if err != nil {
+		c.put(nc)
+		return nil, err
+	}
+	return &Tx{c: c, nc: nc, id: id}, nil
+}
+
+// ID returns the server-assigned transaction id.
+func (t *Tx) ID() string { return t.id }
+
+// Invoke calls method on the object (objType, objName) inside the
+// transaction and returns the method result.
+func (t *Tx) Invoke(objType, objName, method string, params ...string) (string, error) {
+	if t.done {
+		return "", wire.ErrTxnFinished
+	}
+	return t.nc.call(wire.Msg{Type: wire.MsgInvoke, ObjType: objType, ObjName: objName,
+		Method: method, Params: params})
+}
+
+// PageRead reads a raw page inside the transaction.
+func (t *Tx) PageRead(page uint64) (string, error) {
+	if t.done {
+		return "", wire.ErrTxnFinished
+	}
+	return t.nc.call(wire.Msg{Type: wire.MsgPageRead, Page: page})
+}
+
+// PageWrite writes a raw page inside the transaction.
+func (t *Tx) PageWrite(page uint64, data string) error {
+	if t.done {
+		return wire.ErrTxnFinished
+	}
+	_, err := t.nc.call(wire.Msg{Type: wire.MsgPageWrite, Page: page, Params: []string{data}})
+	return err
+}
+
+// finish releases the Tx's connection back to the pool.
+func (t *Tx) finish() {
+	t.done = true
+	t.c.put(t.nc)
+}
+
+// Commit commits the transaction. A transport failure here is
+// ErrCommitInDoubt: the COMMIT may have executed durably even though its
+// response never arrived.
+func (t *Tx) Commit() error {
+	if t.done {
+		return wire.ErrTxnFinished
+	}
+	_, err := t.nc.call(wire.Msg{Type: wire.MsgCommit})
+	t.finish()
+	if err != nil && errors.Is(err, ErrConnDead) {
+		return fmt.Errorf("%w (txn %s)", ErrCommitInDoubt, t.id)
+	}
+	return err
+}
+
+// Abort rolls the transaction back. A transport failure is fine: the
+// session abort on the server reaches the same state.
+func (t *Tx) Abort() error {
+	if t.done {
+		return wire.ErrTxnFinished
+	}
+	_, err := t.nc.call(wire.Msg{Type: wire.MsgAbort})
+	t.finish()
+	if err != nil && errors.Is(err, ErrConnDead) {
+		return nil // disconnect == abort server-side
+	}
+	return err
+}
+
+// RetryPolicy configures RunWithRetry; the zero value gets the same
+// defaults as core.RetryPolicy.
+type RetryPolicy struct {
+	// MaxAttempts bounds body executions (default 50).
+	MaxAttempts int
+	// BaseBackoff doubles per attempt up to MaxBackoff, jittered over the
+	// upper half (defaults 200µs / 10ms, mirroring the in-process loop).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RetryOverload opts overload refusals into the retry loop. The server's
+	// admission controller already queued the request for the full admission
+	// timeout before refusing, so overload retries are deliberately opt-in
+	// and use MaxBackoff flat instead of the exponential ramp.
+	RetryOverload bool
+	// OnRetry fires after every failed attempt, before the backoff sleep.
+	OnRetry func(attempt int, err error)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 50
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 200 * time.Microsecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 10 * time.Millisecond
+	}
+	return p
+}
+
+// backoffFor mirrors core.RetryPolicy.backoffFor: exponential, capped,
+// jittered to [d/2, d).
+func (p RetryPolicy) backoffFor(attempt int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(jitter(int64(half)))
+}
+
+var (
+	jitterMu  sync.Mutex
+	jitterSrc = rand.New(rand.NewSource(1))
+)
+
+func jitter(n int64) int64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterSrc.Int63n(n)
+}
+
+// RunWithRetry executes body inside a fresh remote transaction, committing
+// on success and retrying the typed transient failures (deadlock victims,
+// lock timeouts — wire.Retryable; overload refusals only with
+// RetryOverload) with jittered exponential backoff. Terminal errors —
+// degraded engine, closed engine, commit-in-doubt, transport loss — stop
+// the loop immediately, exactly like core.RunWithRetry's terminal set.
+func (c *Client) RunWithRetry(p RetryPolicy, body func(t *Tx) error) error {
+	p = p.withDefaults()
+	var lastErr error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(p.backoffFor(attempt - 1))
+		}
+		tx, err := c.Begin()
+		if err == nil {
+			err = body(tx)
+			if err == nil {
+				if cerr := tx.Commit(); cerr != nil {
+					// Commit failures are terminal: in-doubt, durability, or
+					// degraded refusals — none of which a blind re-run can fix.
+					return cerr
+				}
+				return nil
+			}
+			_ = tx.Abort()
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		retryable := wire.Retryable(err) ||
+			(p.RetryOverload && errors.Is(err, wire.ErrOverloaded))
+		if !retryable {
+			return err
+		}
+		if errors.Is(err, wire.ErrOverloaded) {
+			// Flat, maximal backoff for overload: the admission queue already
+			// absorbed the exponential ramp server-side.
+			time.Sleep(p.MaxBackoff)
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("client: transaction gave up after %d attempts: %w", p.MaxAttempts, lastErr)
+}
+
+// conn is one TCP connection: a write path guarded by seq registration and
+// a single reader goroutine dispatching responses by echoed seq.
+type conn struct {
+	c net.Conn
+
+	writeMu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan wire.Msg
+	dead    error // non-nil once the reader exits; guarded by mu
+}
+
+func dialConn(addr string, timeout time.Duration) (*conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	nc := &conn{c: c, pending: make(map[uint64]chan wire.Msg)}
+	go nc.readLoop()
+	return nc, nil
+}
+
+func (nc *conn) alive() bool {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	return nc.dead == nil
+}
+
+// close tears the connection down and fails every pending call with cause.
+func (nc *conn) close(cause error) {
+	nc.c.Close()
+	nc.fail(cause)
+}
+
+// fail marks the connection dead (first cause wins) and wakes every
+// pending caller by closing its channel.
+func (nc *conn) fail(cause error) {
+	nc.mu.Lock()
+	if nc.dead == nil {
+		nc.dead = cause
+	}
+	pending := nc.pending
+	nc.pending = make(map[uint64]chan wire.Msg)
+	nc.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+func (nc *conn) readLoop() {
+	for {
+		m, err := wire.ReadMsg(nc.c)
+		if err != nil {
+			nc.close(fmt.Errorf("%w: %v", ErrConnDead, err))
+			return
+		}
+		nc.mu.Lock()
+		ch := nc.pending[m.Seq]
+		delete(nc.pending, m.Seq)
+		nc.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	}
+}
+
+// call performs one request/response round trip. Typed server errors come
+// back as *wire.RemoteError; transport loss as ErrConnDead.
+func (nc *conn) call(m wire.Msg) (string, error) {
+	ch := make(chan wire.Msg, 1)
+	nc.mu.Lock()
+	if nc.dead != nil {
+		err := nc.dead
+		nc.mu.Unlock()
+		return "", err
+	}
+	nc.seq++
+	m.Seq = nc.seq
+	nc.pending[m.Seq] = ch
+	nc.mu.Unlock()
+
+	nc.writeMu.Lock()
+	err := wire.WriteMsg(nc.c, m)
+	nc.writeMu.Unlock()
+	if err != nil {
+		nc.close(fmt.Errorf("%w: %v", ErrConnDead, err))
+		return "", ErrConnDead
+	}
+	resp, ok := <-ch
+	if !ok {
+		nc.mu.Lock()
+		err := nc.dead
+		nc.mu.Unlock()
+		return "", err
+	}
+	if resp.Type == wire.MsgError {
+		return "", wire.RemoteErr(resp.Code, resp.Result)
+	}
+	return resp.Result, nil
+}

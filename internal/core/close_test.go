@@ -1,0 +1,246 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// TestCloseIdempotentConcurrent: every Close — including concurrent ones —
+// returns the single real close's result, and none double-closes the WAL.
+func TestCloseIdempotentConcurrent(t *testing.T) {
+	db, err := OpenDurable(Options{
+		Durability: storage.GroupCommit,
+		WALDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := db.AllocPage()
+	tx := db.Begin()
+	if _, err := tx.Exec(pg, "write", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const closers = 8
+	errs := make([]error, closers)
+	var wg sync.WaitGroup
+	for i := 0; i < closers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = db.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("closer %d: %v", i, err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("sequential re-Close: %v", err)
+	}
+	if !db.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}
+
+// TestClosedEngineRefusesWork: after Close, Admit fails with ErrClosed and
+// Begin hands out a refused transaction whose every operation fails with
+// ErrClosed without touching the WAL.
+func TestClosedEngineRefusesWork(t *testing.T) {
+	db, err := OpenDurable(Options{
+		Durability:  storage.SyncOnCommit,
+		WALDir:      t.TempDir(),
+		MaxInflight: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := db.AllocPage()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := db.Admit(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Admit after Close: %v, want ErrClosed", err)
+	}
+	if _, err := db.AdmitCtx(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AdmitCtx after Close: %v, want ErrClosed", err)
+	}
+
+	tx := db.Begin()
+	if _, err := tx.Exec(pg, "write", "x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Exec after Close: %v, want ErrClosed", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Commit after Close: %v, want ErrClosed", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Abort after Close: %v, want ErrClosed", err)
+	}
+	if err := db.RunWithRetry(RetryPolicy{}, func(t *Txn) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("RunWithRetry after Close: %v, want ErrClosed", err)
+	}
+	if n := db.WAL().Len(); n != 0 {
+		t.Fatalf("refused transactions appended %d WAL records", n)
+	}
+}
+
+// TestCloseDrainsInflightAdmissions races concurrent RunWithRetry writers
+// against Close (the -race regression from the network server): Close must
+// wait for every admitted transaction, so no commit ever observes a closed
+// WAL — each worker result is either success or a typed refusal.
+func TestCloseDrainsInflightAdmissions(t *testing.T) {
+	db, err := OpenDurable(Options{
+		Durability:  storage.GroupCommit,
+		WALDir:      t.TempDir(),
+		MaxInflight: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	pagesOID := db.AllocPage()
+	var committed, refused atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; ; i++ {
+				err := db.RunWithRetry(RetryPolicy{MaxAttempts: 3}, func(tx *Txn) error {
+					_, err := tx.Exec(pagesOID, "write", fmt.Sprintf("w%d-%d", w, i))
+					return err
+				})
+				switch {
+				case err == nil:
+					committed.Add(1)
+				case errors.Is(err, ErrClosed):
+					refused.Add(1)
+					return
+				case errors.Is(err, ErrOverloaded):
+					// Admission pressure near close is fine; keep going until
+					// the typed refusal arrives.
+				default:
+					t.Errorf("worker %d: unexpected error %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	time.Sleep(20 * time.Millisecond) // let commits overlap the close
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close during traffic: %v", err)
+	}
+	wg.Wait()
+	if refused.Load() != workers {
+		t.Fatalf("want every worker to end on ErrClosed, got %d/%d", refused.Load(), workers)
+	}
+	if committed.Load() == 0 {
+		t.Fatal("no transaction committed before Close — the race window was never exercised")
+	}
+	if got := db.Health().Inflight; got != 0 {
+		t.Fatalf("leaked admission slots after drain: inflight = %d", got)
+	}
+}
+
+// TestAdmitCtxCancelMidQueue parks an admission in the queue behind a held
+// slot and cancels it: the waiter must return promptly with the context's
+// error, not sit out the full admission timeout, and must stay distinct
+// from ErrOverloaded.
+func TestAdmitCtxCancelMidQueue(t *testing.T) {
+	db := Open(Options{
+		MaxInflight:      1,
+		AdmissionTimeout: 30 * time.Second, // far beyond the test budget
+	})
+	defer db.Close()
+	release, err := db.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.AdmitCtx(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter park in the queue
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled AdmitCtx: %v, want context.Canceled", err)
+		}
+		if errors.Is(err, ErrOverloaded) {
+			t.Fatalf("cancellation must stay distinct from ErrOverloaded: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled AdmitCtx still parked after 5s")
+	}
+	release()
+
+	// With the slot free again, a fresh timeout-bounded wait still reports
+	// overload (not cancellation) when the queue fills up.
+	release2, err := db.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release2()
+	dbShort := Open(Options{MaxInflight: 1, AdmissionTimeout: 20 * time.Millisecond})
+	defer dbShort.Close()
+	rel3, err := dbShort.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel3()
+	if _, err := dbShort.AdmitCtx(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("timed-out AdmitCtx: %v, want ErrOverloaded", err)
+	}
+}
+
+// TestAdmitBackedOutByClose covers the grant/close race: a waiter that wins
+// a queue slot after Close flipped the flag must back out with ErrClosed
+// instead of running a transaction over a closing WAL.
+func TestAdmitBackedOutByClose(t *testing.T) {
+	db := Open(Options{MaxInflight: 1, AdmissionTimeout: 30 * time.Second})
+	release, err := db.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waiter := make(chan error, 1)
+	go func() {
+		_, err := db.AdmitCtx(context.Background())
+		waiter <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // park the waiter
+
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- db.Close() }()
+	for !db.Closed() {
+		time.Sleep(time.Millisecond)
+	}
+	release() // hand the slot to the parked waiter — after the flag flip
+
+	if err := <-waiter; !errors.Is(err, ErrClosed) {
+		t.Fatalf("waiter granted during close: %v, want ErrClosed", err)
+	}
+	if err := <-closeDone; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

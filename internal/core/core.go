@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -61,6 +62,10 @@ var (
 	// timeout. It is terminal for RunWithRetry: retrying immediately would
 	// only deepen the overload.
 	ErrOverloaded = errors.New("core: too many in-flight transactions")
+	// ErrClosed is returned by Begin, Admit and transaction operations once
+	// DB.Close has started: a closing engine refuses new work so the WAL can
+	// be flushed and closed under no concurrent appender.
+	ErrClosed = errors.New("core: database closed")
 )
 
 // ProtocolKind selects the concurrency-control protocol.
@@ -174,6 +179,21 @@ type DB struct {
 	// arriving transaction queues before giving up with ErrOverloaded.
 	admit        chan struct{}
 	admitTimeout time.Duration
+
+	// Close lifecycle. closedFlag is the lock-free "refuse new work" gate;
+	// closeGate orders admission grants against Close: a grant registers in
+	// admitted under the read lock with the flag still false, so it strictly
+	// happens-before Close's write-locked flag flip — and therefore before
+	// Close's admitted.Wait. Grants that lose the race observe the flag and
+	// back out with ErrClosed. closeOnce/closeDone/closeErr make Close
+	// idempotent: every caller (including concurrent ones) waits for the one
+	// real close and gets its result.
+	closeGate  sync.RWMutex
+	closedFlag atomic.Bool
+	admitted   sync.WaitGroup
+	closeOnce  sync.Once
+	closeDone  chan struct{}
+	closeErr   error
 
 	// Checkpointing (durable engines only): walFile is the segment-backed
 	// sink the checkpointer truncates; ckpt is the attached checkpointer
@@ -320,16 +340,17 @@ func Open(opts Options) *DB {
 		wal = storage.NewWAL()
 	}
 	db := &DB{
-		protocol: opts.Protocol,
-		types:    make(map[string]*ObjectType),
-		registry: commut.NewRegistry(),
-		lm:       cc.NewLockManager(lmOpts...),
-		store:    store,
-		pool:     storage.NewBufferPool(store, opts.PoolCapacity),
-		wal:      wal,
-		rec:      trace.NewRecorder(),
-		tracing:  !opts.DisableTrace,
-		ioDelay:  opts.PageIODelay,
+		protocol:  opts.Protocol,
+		types:     make(map[string]*ObjectType),
+		registry:  commut.NewRegistry(),
+		lm:        cc.NewLockManager(lmOpts...),
+		store:     store,
+		pool:      storage.NewBufferPool(store, opts.PoolCapacity),
+		wal:       wal,
+		rec:       trace.NewRecorder(),
+		tracing:   !opts.DisableTrace,
+		ioDelay:   opts.PageIODelay,
+		closeDone: make(chan struct{}),
 	}
 	db.obs = reg
 	db.obsRec = reg.Recorder()
@@ -416,15 +437,34 @@ func OpenDurable(opts Options) (*DB, error) {
 	return db, nil
 }
 
-// Close retires the checkpointer's background loop (if any), then flushes
-// and closes the WAL's durable backing. The engine itself has no other
-// external resources.
+// Close shuts the engine down: it refuses new admissions and transactions
+// (typed ErrClosed), drains the in-flight admissions already granted,
+// retires the checkpointer's background loop (if any), then flushes and
+// closes the WAL's durable backing. Close is idempotent and safe against
+// concurrent use — every caller blocks until the one real close finishes
+// and receives its result. Transactions begun without an admission slot
+// are not waited for; long-lived callers (the network server, workload
+// drivers) hold a slot per logical transaction via Admit/RunWithRetry,
+// which is exactly what the drain covers.
 func (db *DB) Close() error {
-	if db.ckpt != nil {
-		db.ckpt.Stop()
-	}
-	return db.wal.Close()
+	db.closeOnce.Do(func() {
+		db.closeGate.Lock()
+		db.closedFlag.Store(true)
+		db.closeGate.Unlock()
+		db.admitted.Wait()
+		if db.ckpt != nil {
+			db.ckpt.Stop()
+		}
+		db.closeErr = db.wal.Close()
+		close(db.closeDone)
+	})
+	<-db.closeDone
+	return db.closeErr
 }
+
+// Closed reports whether Close has started. New work is refused from that
+// point on; in-flight admitted transactions drain normally.
+func (db *DB) Closed() bool { return db.closedFlag.Load() }
 
 // BumpTxnSeq raises the transaction-id sequence so new transactions get
 // ids strictly greater than n. Restart recovery calls it with the highest
@@ -562,31 +602,66 @@ func (db *DB) enterDegraded(cause error) {
 // admission timeout when MaxInflight transactions are already running. It
 // returns a release function the caller must invoke exactly once when the
 // transaction (including all its retries) is done. Without MaxInflight the
-// call is free and never fails.
+// slot is free and the call only fails on a closed engine.
 func (db *DB) Admit() (release func(), err error) {
-	if db.admit == nil {
-		return func() {}, nil
+	return db.AdmitCtx(context.Background())
+}
+
+// AdmitCtx is Admit with caller-side cancellation: a waiter parked in the
+// admission queue unblocks as soon as ctx is done — the network server
+// cancels a session's context on disconnect, so a dead client cannot hold
+// its goroutine (and, transitively, a queue position) for the full
+// admission timeout. The three failure modes stay distinct: a cancelled
+// wait wraps ctx.Err(), a timed-out wait wraps ErrOverloaded, and a
+// closing engine returns ErrClosed.
+func (db *DB) AdmitCtx(ctx context.Context) (release func(), err error) {
+	if db.closedFlag.Load() {
+		return nil, ErrClosed
 	}
-	select {
-	case db.admit <- struct{}{}:
-	default:
-		timer := time.NewTimer(db.admitTimeout)
-		defer timer.Stop()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: admission cancelled: %w", err)
+	}
+	if db.admit != nil {
 		select {
 		case db.admit <- struct{}{}:
-		case <-timer.C:
-			db.obsOverloads.Inc()
-			db.obsRec.Record(obs.Event{Kind: obs.EvOverload,
-				Note: fmt.Sprintf("admission queue full after %v", db.admitTimeout)})
-			return nil, fmt.Errorf("%w: %d in flight, queued %v", ErrOverloaded, cap(db.admit), db.admitTimeout)
+		default:
+			timer := time.NewTimer(db.admitTimeout)
+			defer timer.Stop()
+			select {
+			case db.admit <- struct{}{}:
+			case <-ctx.Done():
+				return nil, fmt.Errorf("core: admission cancelled: %w", ctx.Err())
+			case <-timer.C:
+				db.obsOverloads.Inc()
+				db.obsRec.Record(obs.Event{Kind: obs.EvOverload,
+					Note: fmt.Sprintf("admission queue full after %v", db.admitTimeout)})
+				return nil, fmt.Errorf("%w: %d in flight, queued %v", ErrOverloaded, cap(db.admit), db.admitTimeout)
+			}
 		}
 	}
+	// Register the grant against Close's drain barrier: under the read lock
+	// with the flag still false the registration happens-before Close's
+	// flag flip and therefore before its admitted.Wait; a grant that lost
+	// the race backs out and is refused.
+	db.closeGate.RLock()
+	if db.closedFlag.Load() {
+		db.closeGate.RUnlock()
+		if db.admit != nil {
+			<-db.admit
+		}
+		return nil, ErrClosed
+	}
+	db.admitted.Add(1)
 	db.obsInflight.Add(1)
+	db.closeGate.RUnlock()
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			db.obsInflight.Add(-1)
-			<-db.admit
+			if db.admit != nil {
+				<-db.admit
+			}
+			db.admitted.Done()
 		})
 	}, nil
 }

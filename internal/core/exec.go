@@ -97,6 +97,10 @@ type Txn struct {
 	// txn.commit / txn.abort flight-recorder events.
 	maxDepth atomic.Int64
 
+	// refused marks a transaction handed out by Begin after Close started:
+	// every operation fails with ErrClosed and no state was allocated.
+	refused bool
+
 	mu       sync.Mutex
 	finished bool
 	// compensated records that logical compensations executed during this
@@ -140,8 +144,16 @@ func (t *Txn) takePendingEntry() uint64 {
 	return l
 }
 
-// Begin starts a transaction.
+// Begin starts a transaction. On a closed (or closing) engine it returns a
+// refused transaction: every operation on it — Exec, Commit, Abort — fails
+// with ErrClosed, and nothing is recorded in the WAL, stats or trace. The
+// signature stays error-free for the embedded callers; network-facing
+// paths gate on Admit/AdmitCtx, which reports ErrClosed directly.
 func (db *DB) Begin() *Txn {
+	if db.closedFlag.Load() {
+		return &Txn{db: db, id: "T-refused", refused: true,
+			root: &runtimeAction{id: "T-refused", obj: txn.SystemObject}}
+	}
 	n := db.txnSeq.Add(1)
 	id := fmt.Sprintf("T%d", n)
 	t := &Txn{
@@ -248,6 +260,9 @@ func (t *Txn) ExecParallel(calls []ParCall) ([]string, error) {
 
 // invoke runs one method invocation as a subtransaction of parent.
 func (db *DB) invoke(t *Txn, parent *runtimeAction, obj txn.OID, method string, params []string, parallel bool) (string, error) {
+	if t.refused {
+		return "", ErrClosed
+	}
 	t.mu.Lock()
 	if t.finished {
 		t.mu.Unlock()
@@ -689,6 +704,9 @@ func (t *Txn) Savepoint() Savepoint {
 // savepoint semantics: isolation never shrinks mid-transaction). Later
 // savepoints become invalid.
 func (t *Txn) RollbackTo(sp Savepoint) error {
+	if t.refused {
+		return ErrClosed
+	}
 	if sp.txn != t {
 		return fmt.Errorf("core: savepoint belongs to another transaction")
 	}
@@ -724,6 +742,9 @@ func (t *Txn) RollbackTo(sp Savepoint) error {
 // the buffer pool. Read-only transactions keep committing: they have
 // nothing that needs to reach stable storage.
 func (t *Txn) Commit() error {
+	if t.refused {
+		return ErrClosed
+	}
 	t.mu.Lock()
 	if t.finished {
 		t.mu.Unlock()
@@ -830,6 +851,9 @@ func (t *Txn) failCommit(cause error) error {
 // subtransaction completed and reruns therefore skips the intent instead
 // of compensating twice.
 func (t *Txn) CompensateEntry(obj txn.OID, method string, params []string, entryLSN uint64) error {
+	if t.refused {
+		return ErrClosed
+	}
 	t.mu.Lock()
 	if t.finished {
 		t.mu.Unlock()
@@ -855,6 +879,9 @@ func (t *Txn) CompensateEntry(obj txn.OID, method string, params []string, entry
 // logical compensation stays in the trace (expanded history); a purely
 // physical rollback is erased from it.
 func (t *Txn) Abort() error {
+	if t.refused {
+		return ErrClosed
+	}
 	t.mu.Lock()
 	if t.finished {
 		t.mu.Unlock()

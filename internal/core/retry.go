@@ -45,10 +45,12 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 }
 
 // terminalRetryErr reports errors no retry can fix: a poisoned WAL keeps
-// rejecting every commit until restart recovery, and an overloaded engine
-// only gets more overloaded when refused work immediately re-queues.
+// rejecting every commit until restart recovery, an overloaded engine only
+// gets more overloaded when refused work immediately re-queues, and a
+// closed engine refuses everything until the process restarts it.
 func terminalRetryErr(err error) bool {
-	return errors.Is(err, storage.ErrWALPoisoned) || errors.Is(err, ErrOverloaded)
+	return errors.Is(err, storage.ErrWALPoisoned) || errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrClosed)
 }
 
 // backoffFor computes the jittered exponential delay before attempt n+1

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -96,11 +97,31 @@ func (r *Registry) Serve(addr string) (bound string, shutdown func() error, err 
 	if err != nil {
 		return "", nil, err
 	}
+	bound, shutdown = r.ServeListener(ln)
+	return bound, shutdown, nil
+}
+
+// ServeListener serves the registry's handler on an existing listener (the
+// injectable core of Serve). The accept loop's failure is NOT swallowed: a
+// metrics endpoint that dies mid-run would otherwise just stop answering
+// scrapes with nothing on the timeline, so any error other than the
+// shutdown-path ErrServerClosed increments the obs.http_errors counter and
+// lands as an EvFailure on the flight recorder — observable through the
+// very snapshot surfaces (Snapshot, WriteJSON, event dumps) that outlive
+// the dead listener.
+func (r *Registry) ServeListener(ln net.Listener) (bound string, shutdown func() error) {
 	srv := &http.Server{
 		Handler:           r.Handler(),
 		ReadHeaderTimeout: readHeaderTimeout,
 	}
-	go func() { _ = srv.Serve(ln) }()
+	httpErrs := r.Counter("obs.http_errors")
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			httpErrs.Inc()
+			r.Recorder().Record(Event{Kind: EvFailure, Actor: "obs.http",
+				Object: ln.Addr().String(), Note: "accept loop: " + err.Error()})
+		}
+	}()
 	return ln.Addr().String(), func() error {
 		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 		defer cancel()
@@ -111,5 +132,5 @@ func (r *Registry) Serve(addr string) (bound string, shutdown func() error, err 
 			return err
 		}
 		return nil
-	}, nil
+	}
 }

@@ -2,10 +2,12 @@ package obs
 
 import (
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestEventsCountClamp: n is clamped to [1, maxEventCount] so the debug
@@ -102,4 +104,58 @@ func TestServeShutdown(t *testing.T) {
 	}
 	_ = addr2
 	_ = shutdown2()
+}
+
+// TestServeListenerSurfacesAcceptErrors: a dead accept loop must not die
+// silently — a pre-closed listener makes Serve fail immediately, and the
+// failure has to land on the obs.http_errors counter and the flight
+// recorder as an EvFailure.
+func TestServeListenerSurfacesAcceptErrors(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // accept loop fails on first Accept
+
+	r := New()
+	bound, shutdown := r.ServeListener(ln)
+	defer func() { _ = shutdown() }()
+	if bound == "" {
+		t.Fatal("ServeListener returned empty bound address")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Counter("obs.http_errors").Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("obs.http_errors never incremented for a dead accept loop")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	found := false
+	for _, ev := range r.Recorder().Tail(0) {
+		if ev.Kind == EvFailure && ev.Actor == "obs.http" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no EvFailure event recorded for the dead accept loop")
+	}
+}
+
+// TestServeShutdownNoFailureEvent: a clean shutdown's ErrServerClosed must
+// NOT count as an accept-loop failure.
+func TestServeShutdownNoFailureEvent(t *testing.T) {
+	r := New()
+	_, shutdown, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the serve goroutine observe the close
+	if n := r.Counter("obs.http_errors").Load(); n != 0 {
+		t.Fatalf("clean shutdown counted as %d http error(s)", n)
+	}
 }

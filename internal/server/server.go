@@ -1,0 +1,413 @@
+// Package server is oodbd's session layer: it serves the core engine over
+// TCP with the internal/wire frame protocol. One connection is one
+// session — a goroutine pair (frame reader + request handler) owning at
+// most one open transaction at a time, with that transaction mapped onto
+// one core.Options.MaxInflight admission slot for its whole lifetime:
+// granted on BEGIN via AdmitCtx (so a disconnect cancels a parked
+// admission instead of holding a queue position), released on COMMIT,
+// ABORT, or disconnect. A client that dies mid-transaction gets its
+// transaction aborted and its slot released — sessions cannot leak
+// admission capacity.
+//
+// Shutdown is drain-then-close: stop accepting, cut the in-flight
+// sessions (their open transactions abort, their slots release), wait for
+// every session goroutine, then close the engine — core.DB.Close itself
+// drains admitted transactions before the WAL goes away, so a commit that
+// won the race completes durably and one that lost it is refused with the
+// typed ErrClosed, never half-logged.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+// Options configure a Server.
+type Options struct {
+	// IdleTimeout reaps sessions with no traffic for this long (default
+	// 5m; <0 disables). A reaped session behaves exactly like a
+	// disconnected one: open transaction aborted, admission slot released.
+	IdleTimeout time.Duration
+	// QueueDepth is the per-session request pipeline depth (default 16):
+	// how many decoded frames may wait behind the one being executed.
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 5 * time.Minute
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	return o
+}
+
+// Server serves one engine over TCP.
+type Server struct {
+	db   *core.DB
+	opts Options
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	shutErr  error
+	shutDone chan struct{}
+	shutOnce sync.Once
+
+	wg sync.WaitGroup // accept loop + session goroutines
+
+	sessions  *obs.Gauge   // server.sessions: live sessions
+	accepted  *obs.Counter // server.sessions_total
+	requests  *obs.Counter // server.requests
+	reaped    *obs.Counter // server.sessions_reaped (idle timeouts)
+	frameErrs *obs.Counter // server.frame_errors (torn/corrupt frames)
+	rec       *obs.FlightRecorder
+}
+
+// New builds a server for db. The engine's observability registry (if any)
+// gets the server's counters; nil registries degrade to no-ops.
+func New(db *core.DB, opts Options) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	reg := db.Obs()
+	return &Server{
+		db:        db,
+		opts:      opts.withDefaults(),
+		baseCtx:   ctx,
+		cancel:    cancel,
+		conns:     make(map[net.Conn]struct{}),
+		shutDone:  make(chan struct{}),
+		sessions:  reg.Gauge("server.sessions"),
+		accepted:  reg.Counter("server.sessions_total"),
+		requests:  reg.Counter("server.requests"),
+		reaped:    reg.Counter("server.sessions_reaped"),
+		frameErrs: reg.Counter("server.frame_errors"),
+		rec:       reg.Recorder(),
+	}
+}
+
+// Start listens on addr (host:port; port 0 picks a free port) and begins
+// accepting sessions. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// DB returns the served engine.
+func (s *Server) DB() *core.DB { return s.db }
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				// An accept loop dying outside shutdown is a served-engine
+				// outage; make it observable (same rule as obs.ServeListener).
+				s.rec.Record(obs.Event{Kind: obs.EvFailure, Actor: "server.accept",
+					Note: err.Error()})
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.accepted.Inc()
+		s.sessions.Add(1)
+		go s.session(conn)
+	}
+}
+
+// Shutdown is the drain-then-close path: stop accepting, cut in-flight
+// sessions (open transactions abort and release their admission slots),
+// wait for every session goroutine — bounded by ctx — then close the
+// engine. Idempotent; every caller gets the first shutdown's result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		ln := s.ln
+		conns := make([]net.Conn, 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+
+		if ln != nil {
+			_ = ln.Close() // stop accepting
+		}
+		s.cancel() // unpark AdmitCtx waiters, signal handlers
+		for _, c := range conns {
+			_ = c.Close() // unblock session readers; cleanup aborts their txns
+		}
+		done := make(chan struct{})
+		go func() { s.wg.Wait(); close(done) }()
+		select {
+		case <-done:
+			s.shutErr = s.db.Close()
+		case <-ctx.Done():
+			// Sessions still running at the deadline: close the engine
+			// anyway (Close drains admitted transactions itself) and report
+			// the bounded wait's failure.
+			closeErr := s.db.Close()
+			s.shutErr = errors.Join(fmt.Errorf("server: shutdown wait: %w", ctx.Err()), closeErr)
+		}
+		close(s.shutDone)
+	})
+	<-s.shutDone
+	return s.shutErr
+}
+
+// session is one connection's state: at most one open transaction, pinned
+// to one admission slot.
+type session struct {
+	peer    string
+	txn     *core.Txn
+	release func()
+}
+
+// finish clears the open transaction and releases its admission slot.
+func (ss *session) finish() {
+	ss.txn = nil
+	if ss.release != nil {
+		ss.release()
+		ss.release = nil
+	}
+}
+
+func (s *Server) session(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.sessions.Add(-1)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	ss := &session{peer: conn.RemoteAddr().String()}
+	// Disconnect, reap, or shutdown — however the session ends, an open
+	// transaction is aborted and its admission slot released. This is the
+	// no-slot-leak invariant the smoke test asserts via /metrics.
+	defer func() {
+		if ss.txn != nil {
+			_ = ss.txn.Abort()
+			s.rec.Record(obs.Event{Kind: obs.EvTxnAbort, Actor: ss.txn.ID(),
+				Note: "session " + ss.peer + " disconnected mid-txn"})
+		}
+		ss.finish()
+	}()
+
+	// Reader: decodes frames and feeds the handler. It owns the idle
+	// deadline; on any read failure it cancels the session so a handler
+	// parked in AdmitCtx (or mid-pipeline) unblocks immediately.
+	reqs := make(chan wire.Msg, s.opts.QueueDepth)
+	go func() {
+		defer cancel()
+		defer close(reqs)
+		for {
+			if s.opts.IdleTimeout > 0 {
+				_ = conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+			}
+			m, err := wire.ReadMsg(conn)
+			if err != nil {
+				var ne net.Error
+				switch {
+				case errors.As(err, &ne) && ne.Timeout():
+					s.reaped.Inc()
+					s.rec.Record(obs.Event{Kind: obs.EvFailure, Actor: "server.session",
+						Object: ss.peer, Note: "idle session reaped"})
+				case errors.Is(err, wire.ErrFrameTorn), errors.Is(err, wire.ErrFrameCorrupt):
+					s.frameErrs.Inc()
+				}
+				return
+			}
+			select {
+			case reqs <- m:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	for {
+		var m wire.Msg
+		var ok bool
+		select {
+		case m, ok = <-reqs:
+		case <-ctx.Done():
+			return
+		}
+		if !ok {
+			return
+		}
+		s.requests.Inc()
+		resp := s.handle(ctx, ss, m)
+		resp.Seq = m.Seq
+		if err := wire.WriteMsg(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func errResp(err error) wire.Msg {
+	return wire.Msg{Type: wire.MsgError, Code: wire.CodeFor(err), Result: err.Error()}
+}
+
+func errRespCode(code wire.ErrCode, detail string) wire.Msg {
+	return wire.Msg{Type: wire.MsgError, Code: code, Result: detail}
+}
+
+func okResp(result string) wire.Msg {
+	return wire.Msg{Type: wire.MsgResult, Result: result}
+}
+
+// StatsReply is the STATS response payload (JSON in Msg.Result).
+type StatsReply struct {
+	Protocol string      `json:"protocol"`
+	Engine   core.Stats  `json:"engine"`
+	Health   core.Health `json:"health"`
+	Pages    int         `json:"pages"`
+}
+
+// handle executes one request against the session. Responses carry the
+// typed taxonomy: every engine failure maps through wire.CodeFor so the
+// client can decide retry vs give-up without string matching.
+func (s *Server) handle(ctx context.Context, ss *session, m wire.Msg) wire.Msg {
+	switch m.Type {
+	case wire.MsgPing:
+		return okResp(m.Result)
+
+	case wire.MsgStats:
+		reply := StatsReply{
+			Protocol: s.db.Protocol().String(),
+			Engine:   s.db.Stats(),
+			Health:   s.db.Health(),
+			Pages:    s.db.NumPages(),
+		}
+		data, err := json.Marshal(reply)
+		if err != nil {
+			return errRespCode(wire.CodeInternal, err.Error())
+		}
+		return okResp(string(data))
+
+	case wire.MsgBegin:
+		if ss.txn != nil {
+			return errRespCode(wire.CodeTxnOpen, ss.txn.ID()+" still open")
+		}
+		release, err := s.db.AdmitCtx(ctx)
+		if err != nil {
+			return errResp(err)
+		}
+		ss.txn = s.db.Begin()
+		ss.release = release
+		return okResp(ss.txn.ID())
+
+	case wire.MsgInvoke:
+		if ss.txn == nil {
+			return errRespCode(wire.CodeNoTxn, m.Type.String()+" outside a transaction")
+		}
+		if m.ObjType == "" || m.Method == "" {
+			return errRespCode(wire.CodeBadRequest, "INVOKE needs object type and method")
+		}
+		res, err := ss.txn.Exec(txn.OID{Type: m.ObjType, Name: m.ObjName}, m.Method, m.Params...)
+		if err != nil {
+			return errResp(err)
+		}
+		return okResp(res)
+
+	case wire.MsgPageRead:
+		if ss.txn == nil {
+			return errRespCode(wire.CodeNoTxn, m.Type.String()+" outside a transaction")
+		}
+		res, err := ss.txn.Exec(core.PageOID(storage.PageID(m.Page)), "read")
+		if err != nil {
+			return errResp(err)
+		}
+		return okResp(res)
+
+	case wire.MsgPageWrite:
+		if ss.txn == nil {
+			return errRespCode(wire.CodeNoTxn, m.Type.String()+" outside a transaction")
+		}
+		if len(m.Params) != 1 {
+			return errRespCode(wire.CodeBadRequest, "PAGE_WRITE needs exactly one data parameter")
+		}
+		if _, err := ss.txn.Exec(core.PageOID(storage.PageID(m.Page)), "write", m.Params[0]); err != nil {
+			return errResp(err)
+		}
+		return okResp("")
+
+	case wire.MsgCommit:
+		if ss.txn == nil {
+			return errRespCode(wire.CodeNoTxn, "COMMIT outside a transaction")
+		}
+		err := ss.txn.Commit()
+		ss.finish()
+		if err != nil {
+			return errResp(err)
+		}
+		return okResp("")
+
+	case wire.MsgAbort:
+		if ss.txn == nil {
+			return errRespCode(wire.CodeNoTxn, "ABORT outside a transaction")
+		}
+		err := ss.txn.Abort()
+		ss.finish()
+		if err != nil && !errors.Is(err, core.ErrTxnFinished) {
+			return errResp(err)
+		}
+		return okResp("")
+	}
+	return errRespCode(wire.CodeBadRequest, "unknown request "+m.Type.String())
+}

@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// ErrCode is the engine's error taxonomy on the wire. The point of typing
+// it is retry decisions: a deadlock victim or lock timeout is worth
+// retrying with backoff, an overloaded engine is worth retrying only after
+// real backoff (the admission controller already queued the request for
+// the full admission timeout), and a degraded or closed engine is not
+// worth retrying at all until an operator intervenes.
+type ErrCode uint8
+
+const (
+	CodeOK            ErrCode = 0
+	CodeOverloaded    ErrCode = 1  // core.ErrOverloaded: admission queue full
+	CodeDegraded      ErrCode = 2  // storage.ErrWALPoisoned behind a commit: engine read-only
+	CodeLockTimeout   ErrCode = 3  // cc.ErrTimeout
+	CodeDeadlock      ErrCode = 4  // cc.ErrDeadlock / cc.ErrDoomed: chosen as victim
+	CodeClosed        ErrCode = 5  // core.ErrClosed: engine shutting down
+	CodeTxnFinished   ErrCode = 6  // core.ErrTxnFinished
+	CodeNoTxn         ErrCode = 7  // session has no open transaction
+	CodeTxnOpen       ErrCode = 8  // session already has an open transaction
+	CodeUnknownType   ErrCode = 9  // core.ErrUnknownType
+	CodeUnknownMethod ErrCode = 10 // core.ErrUnknownMethod
+	CodeBadRequest    ErrCode = 11 // malformed request (unknown type, bad page id...)
+	CodeInternal      ErrCode = 12 // anything the taxonomy does not name
+)
+
+func (c ErrCode) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeDegraded:
+		return "degraded"
+	case CodeLockTimeout:
+		return "lock-timeout"
+	case CodeDeadlock:
+		return "deadlock-victim"
+	case CodeClosed:
+		return "closed"
+	case CodeTxnFinished:
+		return "txn-finished"
+	case CodeNoTxn:
+		return "no-txn"
+	case CodeTxnOpen:
+		return "txn-open"
+	case CodeUnknownType:
+		return "unknown-type"
+	case CodeUnknownMethod:
+		return "unknown-method"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("code(%d)", uint8(c))
+}
+
+// Client-side sentinels, one per taxonomy code, so callers use plain
+// errors.Is without importing the engine packages.
+var (
+	ErrOverloaded    = errors.New("wire: engine overloaded")
+	ErrDegraded      = errors.New("wire: engine degraded (read-only)")
+	ErrLockTimeout   = errors.New("wire: lock wait timeout")
+	ErrDeadlock      = errors.New("wire: deadlock victim")
+	ErrClosed        = errors.New("wire: engine closed")
+	ErrTxnFinished   = errors.New("wire: transaction already finished")
+	ErrNoTxn         = errors.New("wire: no open transaction on this session")
+	ErrTxnOpen       = errors.New("wire: session already has an open transaction")
+	ErrUnknownType   = errors.New("wire: unknown object type")
+	ErrUnknownMethod = errors.New("wire: unknown method")
+	ErrBadRequest    = errors.New("wire: bad request")
+	ErrInternal      = errors.New("wire: internal engine error")
+)
+
+// sentinelFor maps a code to its client-side sentinel.
+func sentinelFor(c ErrCode) error {
+	switch c {
+	case CodeOverloaded:
+		return ErrOverloaded
+	case CodeDegraded:
+		return ErrDegraded
+	case CodeLockTimeout:
+		return ErrLockTimeout
+	case CodeDeadlock:
+		return ErrDeadlock
+	case CodeClosed:
+		return ErrClosed
+	case CodeTxnFinished:
+		return ErrTxnFinished
+	case CodeNoTxn:
+		return ErrNoTxn
+	case CodeTxnOpen:
+		return ErrTxnOpen
+	case CodeUnknownType:
+		return ErrUnknownType
+	case CodeUnknownMethod:
+		return ErrUnknownMethod
+	case CodeBadRequest:
+		return ErrBadRequest
+	}
+	return ErrInternal
+}
+
+// RemoteError is a server-side failure reconstructed from a MsgError
+// response. errors.Is matches the sentinel for its code, so
+// errors.Is(err, wire.ErrDeadlock) works through any wrapping.
+type RemoteError struct {
+	Code   ErrCode
+	Detail string
+}
+
+func (e *RemoteError) Error() string {
+	if e.Detail == "" {
+		return "wire: remote " + e.Code.String()
+	}
+	return fmt.Sprintf("wire: remote %s: %s", e.Code, e.Detail)
+}
+
+// Is matches the sentinel corresponding to the error's code.
+func (e *RemoteError) Is(target error) bool { return target == sentinelFor(e.Code) }
+
+// RemoteErr builds the client-side error for an error response.
+func RemoteErr(code ErrCode, detail string) error {
+	if code == CodeOK {
+		return nil
+	}
+	return &RemoteError{Code: code, Detail: detail}
+}
+
+// CodeFor classifies an engine error into the wire taxonomy — the server
+// side of the mapping RemoteErr reverses.
+func CodeFor(err error) ErrCode {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, core.ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, storage.ErrWALPoisoned):
+		return CodeDegraded
+	case errors.Is(err, cc.ErrTimeout):
+		return CodeLockTimeout
+	case errors.Is(err, cc.ErrDeadlock), errors.Is(err, cc.ErrDoomed):
+		return CodeDeadlock
+	case errors.Is(err, core.ErrClosed):
+		return CodeClosed
+	case errors.Is(err, core.ErrTxnFinished):
+		return CodeTxnFinished
+	case errors.Is(err, core.ErrUnknownType):
+		return CodeUnknownType
+	case errors.Is(err, core.ErrUnknownMethod):
+		return CodeUnknownMethod
+	}
+	return CodeInternal
+}
+
+// Retryable reports whether an error is worth retrying as-is with backoff:
+// deadlock victims and lock timeouts are transient by construction. An
+// overloaded engine is deliberately NOT in this set (mirroring
+// core.RunWithRetry's terminal classification) — the client retry helper
+// makes overload retries an explicit opt-in with longer backoff.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrLockTimeout) ||
+		errors.Is(err, cc.ErrDeadlock) || errors.Is(err, cc.ErrDoomed) ||
+		errors.Is(err, cc.ErrTimeout)
+}

@@ -1,0 +1,272 @@
+// Package wire is the oodbd network protocol: the frame codec shared by
+// the server (internal/server) and the Go client (internal/client), plus
+// the typed error taxonomy responses carry so clients can make retry
+// decisions without parsing strings.
+//
+// Each message is one self-delimiting frame, in the WAL codec's idiom
+// (internal/storage/walcodec.go):
+//
+//	| length u32 | crc32c u32 | payload (length bytes) |
+//
+// length counts the payload only; crc32c (Castagnoli) covers the payload
+// only, so a frame cut short by a dying peer fails the checksum instead of
+// decoding garbage. The payload itself is:
+//
+//	Seq u64 | Type u8 | Code u8 | Page u64 |
+//	ObjType, ObjName, Method, Result as uvarint-length-prefixed strings |
+//	uvarint param count | params as uvarint-length-prefixed strings
+//
+// All fixed-width integers are little-endian. A length of zero is invalid
+// by construction (every payload is at least msgPayloadMin bytes), and a
+// length beyond MaxFrameSize is treated as desync/corruption, never as an
+// allocation request.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// MsgType discriminates requests and responses.
+type MsgType uint8
+
+// Request types. One TCP connection is one session: at most one open
+// transaction at a time, operated by BEGIN .. (INVOKE | PAGE_READ |
+// PAGE_WRITE)* .. (COMMIT | ABORT). PING and STATS are session-independent.
+const (
+	MsgBegin     MsgType = 1 // -> MsgResult carrying the transaction id
+	MsgInvoke    MsgType = 2 // ObjType/ObjName/Method/Params -> MsgResult
+	MsgPageRead  MsgType = 3 // Page -> MsgResult carrying the page data
+	MsgPageWrite MsgType = 4 // Page + Params[0]=data -> MsgResult
+	MsgCommit    MsgType = 5 // -> MsgResult
+	MsgAbort     MsgType = 6 // -> MsgResult
+	MsgPing      MsgType = 7 // -> MsgResult echoing Result
+	MsgStats     MsgType = 8 // -> MsgResult carrying a JSON stats snapshot
+)
+
+// Response types.
+const (
+	MsgResult MsgType = 0x40 // success; Result carries the value
+	MsgError  MsgType = 0x41 // failure; Code + Result (detail) carry the taxonomy
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgBegin:
+		return "BEGIN"
+	case MsgInvoke:
+		return "INVOKE"
+	case MsgPageRead:
+		return "PAGE_READ"
+	case MsgPageWrite:
+		return "PAGE_WRITE"
+	case MsgCommit:
+		return "COMMIT"
+	case MsgAbort:
+		return "ABORT"
+	case MsgPing:
+		return "PING"
+	case MsgStats:
+		return "STATS"
+	case MsgResult:
+		return "RESULT"
+	case MsgError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("msg(%d)", uint8(t))
+}
+
+// Request reports whether t is a request type the server handles.
+func (t MsgType) Request() bool { return t >= MsgBegin && t <= MsgStats }
+
+// Msg is one protocol message, request or response (unused fields stay
+// zero, like storage.Record).
+type Msg struct {
+	// Seq is the client-chosen correlation id; the server echoes it on the
+	// response, which is what lets a pooled connection multiplex concurrent
+	// requests.
+	Seq  uint64
+	Type MsgType
+	// Code carries the typed error taxonomy on MsgError responses.
+	Code ErrCode
+	// Page addresses MsgPageRead/MsgPageWrite.
+	Page uint64
+	// ObjType/ObjName/Method address a MsgInvoke dispatch.
+	ObjType string
+	ObjName string
+	Method  string
+	// Params are the invocation parameters (PAGE_WRITE uses Params[0]).
+	Params []string
+	// Result is the response value: a txn id for BEGIN, a method result for
+	// INVOKE, page data for PAGE_READ, JSON for STATS — or the error detail
+	// on MsgError.
+	Result string
+}
+
+const (
+	// frameHeaderSize is the length + checksum prefix of every frame.
+	frameHeaderSize = 8
+	// MaxFrameSize bounds a single message's payload; anything larger in a
+	// length prefix means a desynced or corrupt stream.
+	MaxFrameSize = 16 << 20
+	// msgPayloadMin is the smallest possible payload: the fixed fields plus
+	// four empty strings and an empty param list.
+	msgPayloadMin = 8 + 1 + 1 + 8 + 4 + 1
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame decode errors. Torn means the stream ended mid-frame (a peer died
+// or an idle reap cut the connection); corrupt means the bytes are there
+// but are not a frame (checksum mismatch, impossible length, trailing
+// garbage). Neither ever panics, whatever the input.
+var (
+	ErrFrameTorn    = errors.New("wire: torn frame")
+	ErrFrameCorrupt = errors.New("wire: corrupt frame")
+)
+
+// AppendMsg encodes m as one framed message appended to dst.
+func AppendMsg(dst []byte, m Msg) []byte {
+	n := msgPayloadMin + len(m.ObjType) + len(m.ObjName) + len(m.Method) + len(m.Result)
+	for _, p := range m.Params {
+		n += len(p) + 2
+	}
+	payload := make([]byte, 0, n)
+	payload = binary.LittleEndian.AppendUint64(payload, m.Seq)
+	payload = append(payload, byte(m.Type), byte(m.Code))
+	payload = binary.LittleEndian.AppendUint64(payload, m.Page)
+	for _, s := range []string{m.ObjType, m.ObjName, m.Method, m.Result} {
+		payload = binary.AppendUvarint(payload, uint64(len(s)))
+		payload = append(payload, s...)
+	}
+	payload = binary.AppendUvarint(payload, uint64(len(m.Params)))
+	for _, p := range m.Params {
+		payload = binary.AppendUvarint(payload, uint64(len(p)))
+		payload = append(payload, p...)
+	}
+
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// WriteMsg writes one framed message.
+func WriteMsg(w io.Writer, m Msg) error {
+	_, err := w.Write(AppendMsg(nil, m))
+	return err
+}
+
+// ReadMsg reads exactly one framed message from r. A stream that ends
+// cleanly between frames returns io.EOF; one that ends inside a frame
+// returns ErrFrameTorn; a frame whose bytes fail validation returns
+// ErrFrameCorrupt.
+func ReadMsg(r io.Reader) (Msg, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Msg{}, io.EOF
+		}
+		// Keep the underlying error in the chain: the server classifies idle
+		// deadlines (net.Error timeouts) differently from dead peers.
+		return Msg{}, fmt.Errorf("%w: header: %w", ErrFrameTorn, err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length < msgPayloadMin || length > MaxFrameSize {
+		return Msg{}, fmt.Errorf("%w: impossible payload length %d", ErrFrameCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Msg{}, fmt.Errorf("%w: payload: %w", ErrFrameTorn, err)
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return Msg{}, fmt.Errorf("%w: checksum mismatch", ErrFrameCorrupt)
+	}
+	return decodePayload(payload)
+}
+
+// DecodeMsg parses the first frame in buf, returning the message and the
+// number of bytes consumed. A buffer ending mid-frame returns ErrFrameTorn
+// (a longer read may still succeed); invalid bytes return ErrFrameCorrupt.
+func DecodeMsg(buf []byte) (Msg, int, error) {
+	if len(buf) < frameHeaderSize {
+		return Msg{}, 0, fmt.Errorf("%w: %d header bytes", ErrFrameTorn, len(buf))
+	}
+	length := binary.LittleEndian.Uint32(buf[0:4])
+	sum := binary.LittleEndian.Uint32(buf[4:8])
+	if length < msgPayloadMin || length > MaxFrameSize {
+		return Msg{}, 0, fmt.Errorf("%w: impossible payload length %d", ErrFrameCorrupt, length)
+	}
+	end := frameHeaderSize + int(length)
+	if len(buf) < end {
+		return Msg{}, 0, fmt.Errorf("%w: %d of %d frame bytes", ErrFrameTorn, len(buf), end)
+	}
+	payload := buf[frameHeaderSize:end]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return Msg{}, 0, fmt.Errorf("%w: checksum mismatch", ErrFrameCorrupt)
+	}
+	m, err := decodePayload(payload)
+	if err != nil {
+		return Msg{}, 0, err
+	}
+	return m, end, nil
+}
+
+// decodePayload parses a checksum-verified payload. Errors wrap
+// ErrFrameCorrupt: the frame arrived intact but its contents are not a
+// message.
+func decodePayload(payload []byte) (Msg, error) {
+	var m Msg
+	if len(payload) < msgPayloadMin {
+		return m, fmt.Errorf("%w: payload %d bytes", ErrFrameCorrupt, len(payload))
+	}
+	m.Seq = binary.LittleEndian.Uint64(payload)
+	m.Type = MsgType(payload[8])
+	m.Code = ErrCode(payload[9])
+	m.Page = binary.LittleEndian.Uint64(payload[10:])
+	off := 18
+	var strs [4]string
+	for i := range strs {
+		s, w, err := readString(payload, off)
+		if err != nil {
+			return m, err
+		}
+		strs[i] = s
+		off = w
+	}
+	m.ObjType, m.ObjName, m.Method, m.Result = strs[0], strs[1], strs[2], strs[3]
+	nparams, w := binary.Uvarint(payload[off:])
+	if w <= 0 || nparams > uint64(len(payload)-off-w) {
+		return m, fmt.Errorf("%w: bad param count at offset %d", ErrFrameCorrupt, off)
+	}
+	off += w
+	if nparams > 0 {
+		m.Params = make([]string, 0, nparams)
+		for i := uint64(0); i < nparams; i++ {
+			s, w, err := readString(payload, off)
+			if err != nil {
+				return m, err
+			}
+			m.Params = append(m.Params, s)
+			off = w
+		}
+	}
+	if off != len(payload) {
+		return m, fmt.Errorf("%w: %d trailing bytes", ErrFrameCorrupt, len(payload)-off)
+	}
+	return m, nil
+}
+
+// readString decodes one uvarint-length-prefixed string at off, returning
+// the string and the offset past it.
+func readString(payload []byte, off int) (string, int, error) {
+	n, w := binary.Uvarint(payload[off:])
+	if w <= 0 || n > uint64(len(payload)-off-w) {
+		return "", 0, fmt.Errorf("%w: bad string length at offset %d", ErrFrameCorrupt, off)
+	}
+	off += w
+	return string(payload[off : off+int(n)]), off + int(n), nil
+}

@@ -1,0 +1,256 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// allTypes is every frame type the protocol defines.
+var allTypes = []MsgType{
+	MsgBegin, MsgInvoke, MsgPageRead, MsgPageWrite, MsgCommit, MsgAbort,
+	MsgPing, MsgStats, MsgResult, MsgError,
+}
+
+func msgEqual(a, b Msg) bool {
+	if a.Seq != b.Seq || a.Type != b.Type || a.Code != b.Code || a.Page != b.Page ||
+		a.ObjType != b.ObjType || a.ObjName != b.ObjName || a.Method != b.Method ||
+		a.Result != b.Result || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoundtripEveryType: a hand-built representative of every frame type
+// survives encode → stream decode and encode → buffer decode.
+func TestRoundtripEveryType(t *testing.T) {
+	for i, typ := range allTypes {
+		m := Msg{
+			Seq:     uint64(i + 1),
+			Type:    typ,
+			Code:    CodeDeadlock,
+			Page:    uint64(i * 7),
+			ObjType: "account",
+			ObjName: "Acct42",
+			Method:  "credit",
+			Params:  []string{"100", "", "x\x00y\x1fz"},
+			Result:  "ok",
+		}
+		var buf bytes.Buffer
+		if err := WriteMsg(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadMsg(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if !msgEqual(m, got) {
+			t.Fatalf("%v roundtrip mismatch:\n in %+v\nout %+v", typ, m, got)
+		}
+		enc := AppendMsg(nil, m)
+		got2, n, err := DecodeMsg(enc)
+		if err != nil || n != len(enc) || !msgEqual(m, got2) {
+			t.Fatalf("%v buffer decode: n=%d err=%v", typ, n, err)
+		}
+	}
+}
+
+// TestRoundtripQuick: randomized messages (arbitrary strings, params,
+// codes) roundtrip exactly — the codec is total on the message space.
+func TestRoundtripQuick(t *testing.T) {
+	f := func(seq uint64, typ uint8, code uint8, page uint64, objType, objName, method, result string, params []string) bool {
+		m := Msg{
+			Seq: seq, Type: MsgType(typ), Code: ErrCode(code), Page: page,
+			ObjType: objType, ObjName: objName, Method: method,
+			Params: params, Result: result,
+		}
+		got, n, err := DecodeMsg(AppendMsg(nil, m))
+		if err != nil || n == 0 {
+			return false
+		}
+		if len(m.Params) == 0 {
+			m.Params = nil // decode never materializes an empty slice
+		}
+		return msgEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornAtEveryOffset mirrors the WAL codec's torn-tail test: every
+// strict prefix of a valid frame stream must decode as ErrFrameTorn (or
+// clean io.EOF at offset 0 for the stream reader), never as a message and
+// never as a panic.
+func TestTornAtEveryOffset(t *testing.T) {
+	m := Msg{
+		Seq: 7, Type: MsgInvoke, ObjType: "account", ObjName: "Acct0",
+		Method: "debit", Params: []string{"25"},
+	}
+	enc := AppendMsg(nil, m)
+	for cut := 0; cut < len(enc); cut++ {
+		prefix := enc[:cut]
+		if _, _, err := DecodeMsg(prefix); !errors.Is(err, ErrFrameTorn) {
+			t.Fatalf("DecodeMsg(prefix %d/%d): %v, want ErrFrameTorn", cut, len(enc), err)
+		}
+		_, err := ReadMsg(bytes.NewReader(prefix))
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("ReadMsg(empty): %v, want io.EOF", err)
+			}
+		} else if !errors.Is(err, ErrFrameTorn) {
+			t.Fatalf("ReadMsg(prefix %d/%d): %v, want ErrFrameTorn", cut, len(enc), err)
+		}
+	}
+}
+
+// TestBitFlipNeverDecodes: flipping any single bit of a frame must produce
+// a typed decode error (corrupt, torn if the length field now promises
+// more bytes, or — for stream reads — at worst a short read), never a
+// silently different message and never a panic.
+func TestBitFlipNeverDecodes(t *testing.T) {
+	m := Msg{
+		Seq: 99, Type: MsgResult, Code: CodeOK, Page: 3,
+		ObjType: "page", Method: "write", Params: []string{"hello"}, Result: "r",
+	}
+	enc := AppendMsg(nil, m)
+	for byteIdx := 0; byteIdx < len(enc); byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			flipped := append([]byte(nil), enc...)
+			flipped[byteIdx] ^= 1 << bit
+			got, _, err := DecodeMsg(flipped)
+			if err == nil {
+				t.Fatalf("bit flip at byte %d bit %d decoded silently: %+v", byteIdx, bit, got)
+			}
+			if !errors.Is(err, ErrFrameCorrupt) && !errors.Is(err, ErrFrameTorn) {
+				t.Fatalf("bit flip at byte %d bit %d: untyped error %v", byteIdx, bit, err)
+			}
+		}
+	}
+}
+
+// TestGarbageNeverPanics throws random byte soup at both decoders. The
+// assertions are the types: every failure is ErrFrameTorn or
+// ErrFrameCorrupt, and a zero-filled buffer (the preallocated-file
+// artifact class) is rejected via the impossible-length rule.
+func TestGarbageNeverPanics(t *testing.T) {
+	rr := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, rr.Intn(256))
+		rr.Read(buf)
+		if m, n, err := DecodeMsg(buf); err == nil {
+			// A random buffer that happens to be a valid frame must at least
+			// re-encode to the same bytes.
+			if !bytes.Equal(AppendMsg(nil, m), buf[:n]) {
+				t.Fatalf("iteration %d: asymmetric accidental decode", i)
+			}
+		} else if !errors.Is(err, ErrFrameTorn) && !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("iteration %d: untyped error %v", i, err)
+		}
+		if _, err := ReadMsg(bytes.NewReader(buf)); err == nil {
+			continue
+		}
+	}
+	zeros := make([]byte, 64)
+	if _, _, err := DecodeMsg(zeros); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("zero-filled buffer: %v, want ErrFrameCorrupt", err)
+	}
+}
+
+// TestOversizeLengthRejected: a length prefix beyond MaxFrameSize is
+// desync, not an allocation request.
+func TestOversizeLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	if _, err := ReadMsg(&buf); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("oversize length: %v, want ErrFrameCorrupt", err)
+	}
+}
+
+// TestErrorTaxonomyRoundtrip: engine error → code → RemoteError → sentinel
+// must line up for every named failure mode, and the retry classification
+// must follow core.RunWithRetry's.
+func TestErrorTaxonomyRoundtrip(t *testing.T) {
+	cases := []struct {
+		engine    error
+		code      ErrCode
+		sentinel  error
+		retryable bool
+	}{
+		{core.ErrOverloaded, CodeOverloaded, ErrOverloaded, false},
+		{storage.ErrWALPoisoned, CodeDegraded, ErrDegraded, false},
+		{cc.ErrTimeout, CodeLockTimeout, ErrLockTimeout, true},
+		{cc.ErrDeadlock, CodeDeadlock, ErrDeadlock, true},
+		{cc.ErrDoomed, CodeDeadlock, ErrDeadlock, true},
+		{core.ErrClosed, CodeClosed, ErrClosed, false},
+		{core.ErrTxnFinished, CodeTxnFinished, ErrTxnFinished, false},
+		{core.ErrUnknownType, CodeUnknownType, ErrUnknownType, false},
+		{core.ErrUnknownMethod, CodeUnknownMethod, ErrUnknownMethod, false},
+	}
+	for _, tc := range cases {
+		wrapped := errors.Join(errors.New("context"), tc.engine)
+		code := CodeFor(wrapped)
+		if code != tc.code {
+			t.Fatalf("CodeFor(%v) = %v, want %v", tc.engine, code, tc.code)
+		}
+		remote := RemoteErr(code, tc.engine.Error())
+		if !errors.Is(remote, tc.sentinel) {
+			t.Fatalf("RemoteErr(%v) does not match sentinel %v", code, tc.sentinel)
+		}
+		if got := Retryable(remote); got != tc.retryable {
+			t.Fatalf("Retryable(%v) = %v, want %v", code, got, tc.retryable)
+		}
+		if !strings.Contains(remote.Error(), code.String()) {
+			t.Fatalf("remote error %q does not name its code %q", remote, code)
+		}
+	}
+	if RemoteErr(CodeOK, "") != nil {
+		t.Fatal("RemoteErr(CodeOK) must be nil")
+	}
+	if CodeFor(nil) != CodeOK {
+		t.Fatal("CodeFor(nil) must be CodeOK")
+	}
+	// Unknown codes fall back to the internal sentinel rather than matching
+	// something retryable.
+	if !errors.Is(RemoteErr(ErrCode(200), "?"), ErrInternal) {
+		t.Fatal("unknown code must map to ErrInternal")
+	}
+}
+
+// FuzzDecodeMsg is the protocol-level fuzzer: arbitrary bytes must decode
+// to a typed error or to a message that re-encodes identically. The seed
+// corpus covers every frame type; `go test` runs the seeds, `go test
+// -fuzz=FuzzDecodeMsg ./internal/wire` explores.
+func FuzzDecodeMsg(f *testing.F) {
+	for i, typ := range allTypes {
+		f.Add(AppendMsg(nil, Msg{Seq: uint64(i), Type: typ, Code: CodeInternal,
+			ObjType: "t", ObjName: "n", Method: "m", Params: []string{"p1", "p2"}, Result: "r"}))
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := DecodeMsg(data)
+		if err != nil {
+			if !errors.Is(err, ErrFrameTorn) && !errors.Is(err, ErrFrameCorrupt) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(AppendMsg(nil, m), data[:n]) {
+			t.Fatalf("decode/encode asymmetry on %d-byte frame", n)
+		}
+	})
+}

@@ -71,6 +71,15 @@ type BankingConfig struct {
 	DisableSpans bool
 }
 
+// InstallBanking registers the account type on a caller-owned engine and
+// funds n accounts ("Acct0".."Acct<n-1>") with the initial balance each.
+// It is the setup half of RunBanking, exported so network-facing drivers
+// (cmd/oodbd, the loopback benchmark) can serve the same workload over
+// internal/server instead of in-process.
+func InstallBanking(db *core.DB, n int, initial int64) ([]txn.OID, error) {
+	return installAccounts(db, n, initial)
+}
+
 // installAccounts registers the account type; each account lives on its
 // own page as a decimal balance.
 func installAccounts(db *core.DB, n int, initial int64) ([]txn.OID, error) {

@@ -329,6 +329,37 @@ func RunEncyclopedia(cfg Config) (Result, error) {
 // openDB opens the workload's engine: in-memory by default, over WAL
 // segment files when a durability mode is configured. The returned closer
 // flushes and closes the file WAL.
+// InstallEncyclopedia registers the encyclopedia module stack (btree, list,
+// encyclopedia types) on a caller-owned engine and creates one encyclopedia
+// object, returning its OID (methods: insert, search, update, delete,
+// readSeq). It is the setup half of RunEncyclopedia, exported for
+// network-facing drivers serving the workload over internal/server.
+func InstallEncyclopedia(db *core.DB, fanout, spineCap int) (txn.OID, error) {
+	if fanout <= 0 {
+		fanout = 100
+	}
+	if spineCap <= 0 {
+		spineCap = 50
+	}
+	trees, err := btree.Install(db)
+	if err != nil {
+		return txn.OID{}, err
+	}
+	lists, err := list.Install(db)
+	if err != nil {
+		return txn.OID{}, err
+	}
+	encs, err := enc.Install(db, trees, lists)
+	if err != nil {
+		return txn.OID{}, err
+	}
+	e, err := encs.New("Enc", fanout, spineCap)
+	if err != nil {
+		return txn.OID{}, err
+	}
+	return e.OID(), nil
+}
+
 func openDB(opts core.Options) (*core.DB, func(), error) {
 	if opts.Durability != storage.MemOnly {
 		db, err := core.OpenDurable(opts)

@@ -1,0 +1,287 @@
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// netBenchRow is one BENCH_net.json series point.
+type netBenchRow struct {
+	Workload  string  `json:"workload"`
+	Mode      string  `json:"mode"` // closed | open
+	Conns     int     `json:"conns"`
+	Committed int64   `json:"committed"`
+	Shed      int64   `json:"shed,omitempty"` // open loop: arrivals dropped at full concurrency
+	Seconds   float64 `json:"seconds"`
+	TxnPerSec float64 `json:"txn_per_sec"`
+	P50us     int64   `json:"p50_us"`
+	P99us     int64   `json:"p99_us"`
+	Retries   int64   `json:"retries"`
+}
+
+// netBenchServer stands up a full oodbd stack (engine + session layer +
+// pooled client) on loopback for one benchmark series.
+func netBenchServer(b *testing.B, install string, conns int) (*client.Client, func()) {
+	b.Helper()
+	db := core.Open(core.Options{
+		MaxInflight:      2 * conns,
+		AdmissionTimeout: 5 * time.Second,
+		LockTimeout:      5 * time.Second,
+		DisableTrace:     true,
+	})
+	switch install {
+	case "banking":
+		if _, err := workload.InstallBanking(db, 64, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	case "encyclopedia":
+		if _, err := workload.InstallEncyclopedia(db, 100, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := server.New(db, server.Options{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := client.Dial(addr, client.Options{PoolSize: conns})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl, func() {
+		cl.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if got := db.Health().Inflight; got != 0 {
+			b.Fatalf("leaked admission slots after benchmark drain: %d", got)
+		}
+	}
+}
+
+// netTxn runs one workload transaction through the pooled client.
+func netTxn(cl *client.Client, wl string, rr *rand.Rand, mu *sync.Mutex, retries *atomic.Int64) error {
+	policy := client.RetryPolicy{
+		MaxAttempts:   200,
+		RetryOverload: true,
+		OnRetry:       func(int, error) { retries.Add(1) },
+	}
+	mu.Lock()
+	a, bb, key := rr.Intn(64), rr.Intn(64), rr.Intn(500)
+	mu.Unlock()
+	switch wl {
+	case "banking":
+		if a == bb {
+			bb = (bb + 1) % 64
+		}
+		return cl.RunWithRetry(policy, func(tx *client.Tx) error {
+			if _, err := tx.Invoke("account", "Acct"+strconv.Itoa(a), "debit", "7"); err != nil {
+				return err
+			}
+			_, err := tx.Invoke("account", "Acct"+strconv.Itoa(bb), "credit", "7")
+			return err
+		})
+	default: // encyclopedia
+		k := fmt.Sprintf("k%06d", key)
+		return cl.RunWithRetry(policy, func(tx *client.Tx) error {
+			if a%100 < 30 {
+				_, err := tx.Invoke("encyclopedia", "Enc", "insert", k, "text")
+				return err
+			}
+			_, err := tx.Invoke("encyclopedia", "Enc", "search", k)
+			return err
+		})
+	}
+}
+
+// BenchmarkN1LoopbackThroughput measures the engine behind the wire: the
+// full oodbd stack (frame codec, session layer, admission control, pooled
+// client) driven over loopback TCP by hundreds of concurrent client
+// connections. Closed-loop series fix the connection count and let each
+// connection issue transactions back to back — the network-tax comparison
+// against the in-process Fig1 numbers. The open-loop series fixes an
+// arrival rate instead (arrivals do not wait for completions, the honest
+// way to measure latency under load) and records queueing-inclusive
+// percentiles plus how many arrivals were shed at full concurrency. The
+// last iteration of each series lands in BENCH_net.json.
+func BenchmarkN1LoopbackThroughput(b *testing.B) {
+	var rows []netBenchRow
+	var rowsMu sync.Mutex
+
+	closed := []struct {
+		wl    string
+		conns int
+	}{
+		{"banking", 64},
+		{"banking", 256},
+		{"encyclopedia", 256},
+	}
+	for _, series := range closed {
+		b.Run(fmt.Sprintf("%s/closed/conns=%d", series.wl, series.conns), func(b *testing.B) {
+			cl, stop := netBenchServer(b, series.wl, series.conns)
+			defer stop()
+			const txnsPerConn = 8
+			var last netBenchRow
+			for iter := 0; iter < b.N; iter++ {
+				var retries atomic.Int64
+				lats := make([]time.Duration, 0, series.conns*txnsPerConn)
+				var latMu sync.Mutex
+				start := time.Now()
+				var wg sync.WaitGroup
+				errCh := make(chan error, series.conns)
+				for c := 0; c < series.conns; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						var mu sync.Mutex
+						rr := rand.New(rand.NewSource(int64(1000*iter + c)))
+						local := make([]time.Duration, 0, txnsPerConn)
+						for i := 0; i < txnsPerConn; i++ {
+							t0 := time.Now()
+							if err := netTxn(cl, series.wl, rr, &mu, &retries); err != nil {
+								errCh <- fmt.Errorf("conn %d: %w", c, err)
+								return
+							}
+							local = append(local, time.Since(t0))
+						}
+						latMu.Lock()
+						lats = append(lats, local...)
+						latMu.Unlock()
+					}(c)
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				close(errCh)
+				if err := <-errCh; err != nil {
+					b.Fatal(err)
+				}
+				last = summarizeNet(series.wl, "closed", series.conns, lats, 0, elapsed, retries.Load())
+				b.ReportMetric(last.TxnPerSec, "txn/s")
+				b.ReportMetric(float64(last.P50us), "p50µs")
+				b.ReportMetric(float64(last.P99us), "p99µs")
+			}
+			rowsMu.Lock()
+			rows = append(rows, last)
+			rowsMu.Unlock()
+		})
+	}
+
+	b.Run("banking/open/conns=256", func(b *testing.B) {
+		const conns = 256
+		cl, stop := netBenchServer(b, "banking", conns)
+		defer stop()
+		const (
+			arrivals = 2048
+			rate     = 4000 // arrivals per second
+		)
+		var last netBenchRow
+		for iter := 0; iter < b.N; iter++ {
+			var retries, shed atomic.Int64
+			lats := make([]time.Duration, 0, arrivals)
+			var latMu sync.Mutex
+			sem := make(chan struct{}, conns)
+			// Sub-millisecond tickers oversleep badly; release a batch of
+			// arrivals on each 1ms tick to hold the target rate.
+			const tick = time.Millisecond
+			batch := int(rate * tick / time.Second)
+			ticker := time.NewTicker(tick)
+			start := time.Now()
+			var wg sync.WaitGroup
+			errCh := make(chan error, 1)
+			var mu sync.Mutex
+			rr := rand.New(rand.NewSource(int64(42 + iter)))
+			for i := 0; i < arrivals; i++ {
+				if i%batch == 0 {
+					<-ticker.C
+				}
+				select {
+				case sem <- struct{}{}:
+				default:
+					// Open loop: an arrival finding every connection busy is
+					// shed, not queued — queueing would quietly close the loop.
+					shed.Add(1)
+					continue
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					t0 := time.Now()
+					if err := netTxn(cl, "banking", rr, &mu, &retries); err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						return
+					}
+					latMu.Lock()
+					lats = append(lats, time.Since(t0))
+					latMu.Unlock()
+				}()
+			}
+			ticker.Stop()
+			wg.Wait()
+			elapsed := time.Since(start)
+			select {
+			case err := <-errCh:
+				b.Fatal(err)
+			default:
+			}
+			last = summarizeNet("banking", "open", conns, lats, shed.Load(), elapsed, retries.Load())
+			b.ReportMetric(last.TxnPerSec, "txn/s")
+			b.ReportMetric(float64(last.P99us), "p99µs")
+			b.ReportMetric(float64(last.Shed), "shed")
+		}
+		rowsMu.Lock()
+		rows = append(rows, last)
+		rowsMu.Unlock()
+	})
+
+	if len(rows) > 0 {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_net.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func summarizeNet(wl, mode string, conns int, lats []time.Duration, shed int64, elapsed time.Duration, retries int64) netBenchRow {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) int64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(p*float64(len(lats)-1))].Microseconds()
+	}
+	return netBenchRow{
+		Workload:  wl,
+		Mode:      mode,
+		Conns:     conns,
+		Committed: int64(len(lats)),
+		Shed:      shed,
+		Seconds:   elapsed.Seconds(),
+		TxnPerSec: float64(len(lats)) / elapsed.Seconds(),
+		P50us:     pct(0.50),
+		P99us:     pct(0.99),
+		Retries:   retries,
+	}
+}
