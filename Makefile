@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-obs bench bench-wal bench-ckpt bench-obs bench-spans bench-net torture metrics-smoke trace-smoke chaos-smoke checkpoint-smoke server-smoke
+.PHONY: check build vet test test-obs bench bench-wal bench-ckpt bench-obs bench-spans bench-net bench-partition torture metrics-smoke trace-smoke chaos-smoke checkpoint-smoke server-smoke partition-smoke
 
 # The full gate: everything must build, vet clean, and pass under the race
 # detector. CI and pre-commit both run this.
@@ -45,6 +45,12 @@ bench-spans:
 # connections, closed- and open-loop; writes BENCH_net.json.
 bench-net:
 	$(GO) test -bench BenchmarkN1LoopbackThroughput -benchtime 3x -run '^$$' .
+
+# Write scale-out across the partitioned stack: the same hot-account load
+# against 1/2/4/8 partitions; writes BENCH_partition.json. The bar is
+# banking txn/s at 4 partitions >= 2x the 1-partition figure.
+bench-partition:
+	$(GO) test -bench BenchmarkP1PartitionScaling -benchtime 3x -run '^$$' .
 
 # Kill-the-process durability torture (SIGKILL + recover, 5 rounds).
 torture:
@@ -104,6 +110,32 @@ server-smoke:
 	kill -TERM $$pid 2>/dev/null; \
 	wait $$pid || status=1; \
 	[ $$status -eq 0 ] && echo "server-smoke: OK"; exit $$status
+
+# End-to-end check of the partitioned server: boot oodbd with 4 engine
+# partitions, burst a partition-aware client workload through the pooled
+# client, assert via /metrics that no partition leaked an admission slot
+# (every p<i>.engine.inflight must read 0), then SIGTERM and require the
+# drain shutdown to exit cleanly (oodbd itself exits non-zero if any slot
+# leaks through the drain).
+PARTITION_SMOKE_PORT ?= 19325
+PARTITION_SMOKE_METRICS_PORT ?= 19326
+partition-smoke:
+	$(GO) build -o /tmp/oodbd-psmoke ./cmd/oodbd
+	$(GO) build -o /tmp/oodbload-psmoke ./cmd/oodbload
+	/tmp/oodbd-psmoke -addr 127.0.0.1:$(PARTITION_SMOKE_PORT) \
+		-metrics-addr 127.0.0.1:$(PARTITION_SMOKE_METRICS_PORT) \
+		-partitions 4 -install banking -accounts 32 -max-inflight 64 >/dev/null 2>&1 & \
+	pid=$$!; \
+	sleep 1; \
+	/tmp/oodbload-psmoke -addr 127.0.0.1:$(PARTITION_SMOKE_PORT) -workload banking \
+		-partitions 4 -accounts 32 -workers 32 -txns 25 && \
+	metrics=$$(curl -sf http://127.0.0.1:$(PARTITION_SMOKE_METRICS_PORT)/metrics) && \
+	for p in 0 1 2 3; do echo "$$metrics" | grep -q "\"p$$p.engine.inflight\": 0" || exit 1; done && \
+	echo "$$metrics" | grep -q '"cluster.partitions": 4'; \
+	status=$$?; \
+	kill -TERM $$pid 2>/dev/null; \
+	wait $$pid || status=1; \
+	[ $$status -eq 0 ] && echo "partition-smoke: OK"; exit $$status
 
 # End-to-end check of the span-tracing endpoint: run a workload with a
 # lingering endpoint, then assert /trace/slowest returns a non-empty,

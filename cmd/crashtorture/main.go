@@ -17,6 +17,13 @@
 // Usage:
 //
 //	crashtorture -dir /tmp/torture -rounds 5 -accounts 8 -workers 4
+//	crashtorture -dir /tmp/torture -rounds 5 -partitions 4
+//
+// With -partitions N > 1 the child runs a partition.Cluster (each
+// partition's WAL under <dir>/p<i>) and the parent verifies every
+// partition's directory independently each round, including the
+// per-partition "recovered ≥ acked" check: once a partition's funding has
+// been seen durable, no later round may recover it empty.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/recovery"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -58,7 +66,22 @@ var (
 	seed      = flag.Int64("seed", 1, "random seed")
 	ckptEvery = flag.Duration("checkpoint", 0, "fuzzy-checkpoint interval in the child (0 = off); the parent then also cycles SIGKILLs through ckpt.write / ckpt.truncate delay faults")
 	faultSpec = flag.String("fault", "", "arm a failpoint in the child, e.g. 'ckpt.write=delay(150ms);every=1'")
+	parts     = flag.Int("partitions", 1, "engine partitions: the child runs a partition.Cluster (WAL under <dir>/p<i>), the parent verifies every partition independently each round")
 )
+
+// partDirs lists the WAL directory of every partition — the root itself
+// for an unpartitioned run, matching the partition package's layout.
+func partDirs() []string {
+	n := *parts
+	if n <= 1 {
+		return []string{*dir}
+	}
+	dirs := make([]string, n)
+	for i := range dirs {
+		dirs[i] = partition.Dir(*dir, i)
+	}
+	return dirs
+}
 
 func main() {
 	flag.Parse()
@@ -198,52 +221,97 @@ func openOrRecover(mode storage.Durability, n int) (*core.DB, recovery.Report, e
 	})
 }
 
-// runChild is the victim: open/recover, fund if needed, transfer forever.
-func runChild(mode storage.Durability) {
-	db, rep, err := openOrRecover(mode, *accounts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "crashtorture child: %v\n", err)
-		os.Exit(1)
-	}
+// checkAndFund verifies a freshly opened or recovered engine holds a
+// consistent total ({0, accounts*funding}) and funds it atomically when
+// empty — one transaction, so either the whole funding recovers or none.
+func checkAndFund(db *core.DB, rep recovery.Report, label string) int {
 	total, err := sumBalances(db, *accounts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "crashtorture child: %v\n", err)
+		fmt.Fprintf(os.Stderr, "crashtorture child: %s: %v\n", label, err)
 		os.Exit(1)
 	}
 	want := *accounts * funding
 	if total != 0 && total != want {
-		fmt.Fprintf(os.Stderr, "crashtorture child: recovered total %d, want %d or 0 (winners=%d losers=%d)\n",
-			total, want, len(rep.Winners), len(rep.Losers))
+		fmt.Fprintf(os.Stderr, "crashtorture child: %s: recovered total %d, want %d or 0 (winners=%d losers=%d)\n",
+			label, total, want, len(rep.Winners), len(rep.Losers))
 		os.Exit(1)
 	}
 	if total == 0 {
-		// Fund all accounts in ONE transaction: either the whole funding is
-		// recovered or none of it, keeping the total in {0, want}.
 		tx := db.Begin()
 		for i := 0; i < *accounts; i++ {
 			if _, err := tx.Exec(acctOID, "add", strconv.Itoa(i), strconv.Itoa(funding)); err != nil {
-				fmt.Fprintf(os.Stderr, "crashtorture child: funding: %v\n", err)
+				fmt.Fprintf(os.Stderr, "crashtorture child: %s funding: %v\n", label, err)
 				os.Exit(1)
 			}
 		}
 		if err := tx.Commit(); err != nil {
-			fmt.Fprintf(os.Stderr, "crashtorture child: funding commit: %v\n", err)
+			fmt.Fprintf(os.Stderr, "crashtorture child: %s funding commit: %v\n", label, err)
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("child: up (recovered total=%d winners=%d losers=%d), transferring\n",
-		total, len(rep.Winners), len(rep.Losers))
+	return total
+}
+
+// runChild is the victim: open/recover every partition, fund what needs
+// funding, transfer forever (each worker on one partition).
+func runChild(mode storage.Durability) {
+	n := *parts
+	if n <= 1 {
+		n = 1
+	}
+	engines := make([]*core.DB, n)
+	if n == 1 {
+		db, rep, err := openOrRecover(mode, *accounts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crashtorture child: %v\n", err)
+			os.Exit(1)
+		}
+		total := checkAndFund(db, rep, "p0")
+		engines[0] = db
+		fmt.Printf("child: up (recovered total=%d winners=%d losers=%d), transferring\n",
+			total, len(rep.Winners), len(rep.Losers))
+	} else {
+		// Partitioned child: partition.Recover opens every p<i> dir
+		// independently (fresh when empty); the register hook is the same
+		// write-free registerAcct the single-engine path recovers with.
+		c, reports, err := partition.Recover(partition.Options{
+			N: n,
+			Engine: core.Options{
+				Durability:         mode,
+				WALSegmentSize:     *segSize,
+				LockTimeout:        5 * time.Second,
+				DisableTrace:       true,
+				CheckpointInterval: *ckptEvery,
+			},
+			WALRoot:  *dir,
+			Register: func(i int, d *core.DB) error { return registerAcct(d, *accounts) },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crashtorture child: %v\n", err)
+			os.Exit(1)
+		}
+		for i := 0; i < n; i++ {
+			rep := reports[i]
+			total := checkAndFund(c.Part(i), rep, fmt.Sprintf("p%d", i))
+			engines[i] = c.Part(i)
+			fmt.Printf("child: p%d up (recovered total=%d winners=%d losers=%d)\n",
+				i, total, len(rep.Winners), len(rep.Losers))
+		}
+		fmt.Printf("child: %d partitions up, transferring\n", n)
+	}
 
 	var wg sync.WaitGroup
-	for g := 0; g < *workers; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			rr := rand.New(rand.NewSource(*seed + int64(g)*7919 + time.Now().UnixNano()))
-			for {
-				transfer(db, rr, *accounts)
-			}
-		}(g)
+	for p := 0; p < n; p++ {
+		for g := 0; g < *workers; g++ {
+			wg.Add(1)
+			go func(p, g int) {
+				defer wg.Done()
+				rr := rand.New(rand.NewSource(*seed + int64(p*1009+g)*7919 + time.Now().UnixNano()))
+				for {
+					transfer(engines[p], rr, *accounts)
+				}
+			}(p, g)
+		}
 	}
 	wg.Wait() // never returns; the parent SIGKILLs us
 }
@@ -279,11 +347,17 @@ func transfer(db *core.DB, rr *rand.Rand, n int) {
 // checkpoint files present it additionally machine-checks the suffix-only
 // replay claim — redo reapplies exactly the update records above the
 // newest complete checkpoint — and returns that checkpoint's LSN (0 when
-// recovery fell back to full replay).
-func verifyCopy(mode storage.Durability, src string, round int) (uint64, error) {
+// recovery fell back to full replay) plus the recovered total, which the
+// parent uses for the per-partition "recovered ≥ acked" monotonicity
+// check. label names the partition in messages ("" when unpartitioned).
+func verifyCopy(mode storage.Durability, src, label string, round int) (uint64, int, error) {
+	tag := ""
+	if label != "" {
+		tag = " " + label
+	}
 	scratch, err := os.MkdirTemp("", "crashtorture-verify")
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	// One registry across both recovery passes: on a failed round its
 	// flight recorder holds the recovery phases and every transaction the
@@ -294,7 +368,7 @@ func verifyCopy(mode storage.Durability, src string, round int) (uint64, error) 
 		if failed {
 			fmt.Fprintf(os.Stderr, "crashtorture: keeping failing image at %s (pristine: %s.orig)\n", scratch, scratch)
 			oreg.Recorder().Record(obs.Event{Kind: obs.EvFailure,
-				Object: fmt.Sprintf("round %d", round), Note: "verification failed"})
+				Object: fmt.Sprintf("round %d%s", round, tag), Note: "verification failed"})
 			oreg.Recorder().Dump(os.Stderr, 64)
 			return
 		}
@@ -303,21 +377,21 @@ func verifyCopy(mode storage.Durability, src string, round int) (uint64, error) 
 	}()
 	entries, err := os.ReadDir(src)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if err := os.MkdirAll(scratch+".orig", 0o755); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	for _, e := range entries {
 		data, err := os.ReadFile(filepath.Join(src, e.Name()))
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if err := os.WriteFile(filepath.Join(scratch, e.Name()), data, 0o644); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if err := os.WriteFile(filepath.Join(scratch+".orig", e.Name()), data, 0o644); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
 	// Predict what recovery must do: the newest complete checkpoint (a torn
@@ -327,7 +401,7 @@ func verifyCopy(mode storage.Durability, src string, round int) (uint64, error) 
 	if snap, _, cerr := checkpoint.Latest(scratch); cerr == nil {
 		ckptLSN = snap.LSN
 	} else if !errors.Is(cerr, checkpoint.ErrNoCheckpoint) {
-		return 0, cerr
+		return 0, 0, cerr
 	}
 	expectRedo := 0
 	if records, rerr := storage.ReadWALDir(scratch); rerr == nil {
@@ -337,7 +411,7 @@ func verifyCopy(mode storage.Durability, src string, round int) (uint64, error) 
 			}
 		}
 	} else {
-		return 0, rerr
+		return 0, 0, rerr
 	}
 
 	opts := core.Options{Durability: mode, WALDir: scratch, WALSegmentSize: *segSize, DisableTrace: true, Obs: oreg}
@@ -346,46 +420,46 @@ func verifyCopy(mode storage.Durability, src string, round int) (uint64, error) 
 
 	db1, rep1, err := recovery.RecoverDir(scratch, opts, reg)
 	if err != nil {
-		return 0, fmt.Errorf("first recovery: %w", err)
+		return 0, 0, fmt.Errorf("first recovery: %w", err)
 	}
 	total1, err := sumBalances(db1, *accounts)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if cerr := db1.Close(); cerr != nil {
-		return 0, cerr
+		return 0, 0, cerr
 	}
 	if total1 != 0 && total1 != want {
-		return 0, fmt.Errorf("round %d: recovered total %d, want %d or 0", round, total1, want)
+		return 0, 0, fmt.Errorf("round %d%s: recovered total %d, want %d or 0", round, tag, total1, want)
 	}
 	if rep1.CheckpointLSN != ckptLSN {
-		return 0, fmt.Errorf("round %d: recovery started from checkpoint LSN %d, newest complete is %d", round, rep1.CheckpointLSN, ckptLSN)
+		return 0, 0, fmt.Errorf("round %d%s: recovery started from checkpoint LSN %d, newest complete is %d", round, tag, rep1.CheckpointLSN, ckptLSN)
 	}
 	if rep1.Redone != expectRedo {
-		return 0, fmt.Errorf("round %d: redo replayed %d updates, the post-checkpoint suffix holds %d", round, rep1.Redone, expectRedo)
+		return 0, 0, fmt.Errorf("round %d%s: redo replayed %d updates, the post-checkpoint suffix holds %d", round, tag, rep1.Redone, expectRedo)
 	}
 
 	db2, rep2, err := recovery.RecoverDir(scratch, opts, reg)
 	if err != nil {
-		return 0, fmt.Errorf("second recovery: %w", err)
+		return 0, 0, fmt.Errorf("second recovery: %w", err)
 	}
 	total2, err := sumBalances(db2, *accounts)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if cerr := db2.Close(); cerr != nil {
-		return 0, cerr
+		return 0, 0, cerr
 	}
 	if total2 != total1 {
-		return 0, fmt.Errorf("round %d: recovery not idempotent: total %d then %d", round, total1, total2)
+		return 0, 0, fmt.Errorf("round %d%s: recovery not idempotent: total %d then %d", round, tag, total1, total2)
 	}
 	if len(rep2.Losers) != 0 {
-		return 0, fmt.Errorf("round %d: second recovery found losers %v", round, rep2.Losers)
+		return 0, 0, fmt.Errorf("round %d%s: second recovery found losers %v", round, tag, rep2.Losers)
 	}
-	fmt.Printf("round %d: verified (total=%d winners=%d losers=%d ckpt=%d redone=%d, idempotent)\n",
-		round, total1, len(rep1.Winners), len(rep1.Losers), ckptLSN, rep1.Redone)
+	fmt.Printf("round %d%s: verified (total=%d winners=%d losers=%d ckpt=%d redone=%d, idempotent)\n",
+		round, tag, total1, len(rep1.Winners), len(rep1.Losers), ckptLSN, rep1.Redone)
 	failed = false
-	return ckptLSN, nil
+	return ckptLSN, total1, nil
 }
 
 // runParent spawns, kills, and verifies, round after round.
@@ -403,6 +477,12 @@ func runParent(mode storage.Durability) {
 	// dead segments, still a contiguous log).
 	ckptFaults := []string{"", "ckpt.write=delay(150ms);every=1", "ckpt.truncate=delay(120ms);every=1"}
 	checkpointed := 0
+	dirs := partDirs()
+	// funded[i] latches once partition i's verification sees the funded
+	// total: from then on, "recovered ≥ acked" — a later round recovering 0
+	// from the same directory would mean a durably committed funding was
+	// lost.
+	funded := make([]bool, len(dirs))
 	for round := 1; round <= *rounds; round++ {
 		args := []string{
 			"-child", "-dir", *dir,
@@ -410,6 +490,7 @@ func runParent(mode storage.Durability) {
 			"-workers", strconv.Itoa(*workers),
 			"-segsize", strconv.FormatInt(*segSize, 10),
 			"-durability", *durMode,
+			"-partitions", strconv.Itoa(*parts),
 			"-seed", strconv.FormatInt(*seed+int64(round), 10),
 		}
 		if *ckptEvery > 0 {
@@ -435,12 +516,31 @@ func runParent(mode storage.Durability) {
 			os.Exit(1)
 		}
 		_ = cmd.Wait()
-		ckptLSN, err := verifyCopy(mode, *dir, round)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "crashtorture: FAIL: %v\n", err)
-			os.Exit(1)
+		// Verify every partition's directory independently: partition i's
+		// recovery reads only p<i>'s files, so each copy stands alone.
+		ckptRound := false
+		for i, d := range dirs {
+			label := ""
+			if len(dirs) > 1 {
+				label = partition.DirName(i)
+			}
+			ckptLSN, total, err := verifyCopy(mode, d, label, round)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "crashtorture: FAIL: %v\n", err)
+				os.Exit(1)
+			}
+			if funded[i] && total == 0 {
+				fmt.Fprintf(os.Stderr, "crashtorture: FAIL: round %d %s: durably funded partition recovered empty (recovered < acked)\n", round, partition.DirName(i))
+				os.Exit(1)
+			}
+			if total > 0 {
+				funded[i] = true
+			}
+			if ckptLSN > 0 {
+				ckptRound = true
+			}
 		}
-		if ckptLSN > 0 {
+		if ckptRound {
 			checkpointed++
 		}
 	}

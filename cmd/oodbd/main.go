@@ -8,6 +8,13 @@
 //
 //	oodbd -addr :7437 -install banking -max-inflight 256 -metrics-addr :7438
 //	oodbd -addr :7437 -install encyclopedia -durability group-commit -waldir /var/lib/oodb/wal
+//	oodbd -addr :7437 -partitions 4 -install banking
+//
+// With -partitions N > 1 the engine is a partition.Cluster: N independent
+// engines (own buffer pool, lock shards, WAL dir <waldir>/p<i>, admission
+// controller) behind the session layer's object-name router. A durable
+// partitioned server restarts by recovering every partition from its own
+// p<i> directory.
 //
 // SIGINT/SIGTERM triggers the drain shutdown: stop accepting, abort
 // in-flight sessions (their admission slots release), then close the
@@ -26,6 +33,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/recovery"
 	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -58,6 +67,8 @@ func main() {
 		durMode      = flag.String("durability", "mem-only", "WAL durability: mem-only | sync-on-commit | group-commit")
 		walDir       = flag.String("waldir", "", "WAL segment directory (required for durable modes; must be empty/new)")
 		ckptEvery    = flag.Duration("checkpoint", 0, "fuzzy-checkpoint interval (durable modes only; 0 = off)")
+		partitions   = flag.Int("partitions", 1, "independent engine partitions behind the object-name router (durable: WAL under <waldir>/p<i>)")
+		doRecover    = flag.Bool("recover", false, "restart a durable partitioned server over existing p<i> WAL dirs instead of refusing them")
 	)
 	flag.Parse()
 
@@ -96,6 +107,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "oodbd: serving metrics at http://%s/metrics\n", bound)
 	}
 
+	n := *partitions
+	if n < 1 {
+		n = 1
+	}
+	if *doRecover && durability == storage.MemOnly {
+		fmt.Fprintln(os.Stderr, "oodbd: -recover needs a durable -durability mode")
+		os.Exit(2)
+	}
+	if *doRecover && *install == "encyclopedia" {
+		// The encyclopedia installer creates the object (a write); a
+		// write-free register for its module stack does not exist yet.
+		fmt.Fprintln(os.Stderr, "oodbd: -recover supports -install banking | none only")
+		os.Exit(2)
+	}
+
 	opts := core.Options{
 		Protocol:           kind,
 		LockTimeout:        *lockTimeout,
@@ -103,45 +129,65 @@ func main() {
 		AdmissionTimeout:   *admitTimeout,
 		PageIODelay:        *ioDelay,
 		Durability:         durability,
-		WALDir:             *walDir,
 		CheckpointInterval: *ckptEvery,
-		Obs:                reg,
 		// A server process never runs the offline validator; recording every
 		// action for it would grow memory without bound.
 		DisableTrace: true,
 	}
-	var db *core.DB
-	if durability != storage.MemOnly {
-		db, err = core.OpenDurable(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "oodbd: open engine: %v\n", err)
-			os.Exit(1)
+
+	// Every schema installer below also serves as the Recover register hook
+	// for -recover, so it must be write-free there: RegisterBanking only
+	// registers the type; the funding happens on the fresh path.
+	register := func(i int, db *core.DB) error {
+		switch *install {
+		case "banking":
+			if *doRecover {
+				_, err := workload.RegisterBanking(db, *accounts)
+				return err
+			}
+			_, err := workload.InstallBanking(db, *accounts, *balance)
+			return err
+		case "encyclopedia":
+			name := partition.NameFor("Enc", i, n)
+			_, err := workload.InstallEncyclopediaNamed(db, name, *fanout, *spine)
+			return err
+		case "none":
+			return nil
+		}
+		return fmt.Errorf("unknown schema %q", *install)
+	}
+	popts := partition.Options{
+		N:        n,
+		Engine:   opts,
+		WALRoot:  *walDir,
+		Obs:      reg,
+		Register: register,
+	}
+	var cluster *partition.Cluster
+	if *doRecover {
+		var reports []recovery.Report
+		cluster, reports, err = partition.Recover(popts)
+		if err == nil {
+			for i, rep := range reports {
+				fmt.Fprintf(os.Stderr, "oodbd: recovered p%d: %d winners, %d losers, %d redone\n",
+					i, len(rep.Winners), len(rep.Losers), rep.Redone)
+			}
 		}
 	} else {
-		db = core.Open(opts)
+		cluster, err = partition.Open(popts)
 	}
-
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oodbd: open engine: %v\n", err)
+		os.Exit(1)
+	}
 	switch *install {
 	case "banking":
-		if _, err := workload.InstallBanking(db, *accounts, *balance); err != nil {
-			fmt.Fprintf(os.Stderr, "oodbd: install banking: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "oodbd: installed banking schema: %d accounts x %d\n", *accounts, *balance)
+		fmt.Fprintf(os.Stderr, "oodbd: banking schema on %d partition(s): %d accounts x %d\n", n, *accounts, *balance)
 	case "encyclopedia":
-		oid, err := workload.InstallEncyclopedia(db, *fanout, *spine)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "oodbd: install encyclopedia: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "oodbd: installed encyclopedia schema: object %s/%s\n", oid.Type, oid.Name)
-	case "none":
-	default:
-		fmt.Fprintf(os.Stderr, "oodbd: unknown schema %q\n", *install)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "oodbd: encyclopedia schema on %d partition(s)\n", n)
 	}
 
-	srv := server.New(db, server.Options{IdleTimeout: *idleTimeout})
+	srv := server.NewCluster(cluster, server.Options{IdleTimeout: *idleTimeout})
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oodbd: listen: %v\n", err)
@@ -163,7 +209,7 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	if h := db.Health(); h.Inflight != 0 {
+	if h := cluster.Health(); h.Inflight != 0 {
 		fmt.Fprintf(os.Stderr, "oodbd: BUG: %d admission slots leaked through drain\n", h.Inflight)
 		os.Exit(1)
 	}

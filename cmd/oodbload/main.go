@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/partition"
 )
 
 func main() {
@@ -38,8 +39,37 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		retryOv  = flag.Bool("retry-overload", false, "retry typed overload refusals instead of failing")
 		stats    = flag.Bool("stats", false, "print the server's STATS snapshot after the run")
+		parts    = flag.Int("partitions", 1, "server partition count: keep each transaction on one partition (must match oodbd -partitions)")
 	)
 	flag.Parse()
+
+	// With a partitioned server every transaction must stay on the
+	// partition of its first-touched object; the driver mirrors the
+	// server's router (same pure hash) to build co-located access sets.
+	n := *parts
+	if n < 1 {
+		n = 1
+	}
+	acctsByPart := make([][]int, n)
+	for i := 0; i < *accounts; i++ {
+		p := partition.RouteName("Acct"+strconv.Itoa(i), n)
+		acctsByPart[p] = append(acctsByPart[p], i)
+	}
+	// Transfer pools: partitions holding at least two accounts.
+	var pools [][]int
+	for _, pool := range acctsByPart {
+		if len(pool) >= 2 {
+			pools = append(pools, pool)
+		}
+	}
+	if *wl == "banking" && len(pools) == 0 {
+		fmt.Fprintf(os.Stderr, "oodbload: no partition holds 2 of the %d accounts; raise -accounts\n", *accounts)
+		os.Exit(2)
+	}
+	encNames := make([]string, n)
+	for p := range encNames {
+		encNames[p] = partition.NameFor("Enc", p, n)
+	}
 
 	cl, err := client.Dial(*addr, client.Options{PoolSize: *workers})
 	if err != nil {
@@ -70,10 +100,13 @@ func main() {
 				var err error
 				switch *wl {
 				case "banking":
-					from := rr.Intn(*accounts)
-					to := rr.Intn(*accounts)
-					if from == to {
-						to = (to + 1) % *accounts
+					// Pick both accounts from one partition's pool so the
+					// transfer never strays off its pinned partition.
+					pool := pools[rr.Intn(len(pools))]
+					from := pool[rr.Intn(len(pool))]
+					to := pool[rr.Intn(len(pool))]
+					for to == from {
+						to = pool[rr.Intn(len(pool))]
 					}
 					amt := strconv.Itoa(1 + rr.Intn(100))
 					err = cl.RunWithRetry(policy, func(tx *client.Tx) error {
@@ -84,14 +117,17 @@ func main() {
 						return err
 					})
 				case "encyclopedia":
+					// One encyclopedia object per partition ("Enc" when
+					// unpartitioned); the whole transaction stays on one.
+					enc := encNames[rr.Intn(n)]
 					err = cl.RunWithRetry(policy, func(tx *client.Tx) error {
 						for j := 0; j < *ops; j++ {
 							k := fmt.Sprintf("k%06d", rr.Intn(*keys))
 							var ierr error
 							if rr.Intn(100) < 30 {
-								_, ierr = tx.Invoke("encyclopedia", "Enc", "insert", k, fmt.Sprintf("text%d-%d", i, j))
+								_, ierr = tx.Invoke("encyclopedia", enc, "insert", k, fmt.Sprintf("text%d-%d", i, j))
 							} else {
-								_, ierr = tx.Invoke("encyclopedia", "Enc", "search", k)
+								_, ierr = tx.Invoke("encyclopedia", enc, "search", k)
 							}
 							if ierr != nil {
 								return ierr

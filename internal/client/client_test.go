@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/wire"
@@ -341,5 +342,77 @@ func TestClientClosed(t *testing.T) {
 	}
 	if _, err := cl.Begin(); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("Begin after Close: %v, want ErrClientClosed", err)
+	}
+}
+
+// TestClientWrongPartitionTerminal: on a partitioned server, a transaction
+// that strays off its pinned partition gets the typed sentinel through the
+// pooled client, and RunWithRetry treats it as terminal — the routing is
+// deterministic, so a blind replay would stray identically.
+func TestClientWrongPartitionTerminal(t *testing.T) {
+	const n = 4
+	c, err := partition.Open(partition.Options{
+		N: n,
+		Register: func(i int, db *core.DB) error {
+			_, err := workload.InstallBanking(db, 8, 1000)
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewCluster(c, server.Options{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+
+	// Find two accounts on different partitions.
+	pin := "Acct0"
+	other := ""
+	for i := 1; i < 8; i++ {
+		name := "Acct" + strconv.Itoa(i)
+		if partition.RouteName(name, n) != partition.RouteName(pin, n) {
+			other = name
+			break
+		}
+	}
+	if other == "" {
+		t.Skip("Acct0..7 all hash to one partition")
+	}
+
+	cl, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	attempts := 0
+	err = cl.RunWithRetry(RetryPolicy{MaxAttempts: 5}, func(tx *Tx) error {
+		attempts++
+		if _, err := tx.Invoke(workload.AccountType, pin, "debit", "5"); err != nil {
+			return err
+		}
+		_, err := tx.Invoke(workload.AccountType, other, "credit", "5")
+		return err
+	})
+	if !errors.Is(err, wire.ErrWrongPartition) {
+		t.Fatalf("cross-partition transfer: %v, want wire.ErrWrongPartition", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("wrong-partition error was retried %d times — must be terminal", attempts)
+	}
+
+	// Same-partition work on the same client is unaffected.
+	if err := cl.RunWithRetry(RetryPolicy{}, func(tx *Tx) error {
+		_, err := tx.Invoke(workload.AccountType, pin, "balance")
+		return err
+	}); err != nil {
+		t.Fatalf("same-partition txn after refusal: %v", err)
 	}
 }

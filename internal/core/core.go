@@ -130,6 +130,22 @@ type Stats struct {
 	Compensations int64
 }
 
+// Plus returns the field-wise sum of two Stats snapshots — the
+// aggregation a partitioned deployment (internal/partition) reports
+// cluster-wide: every field is a monotonic counter, so sums across
+// independent engines stay meaningful.
+func (s Stats) Plus(o Stats) Stats {
+	return Stats{
+		TxnsStarted:   s.TxnsStarted + o.TxnsStarted,
+		TxnsCommitted: s.TxnsCommitted + o.TxnsCommitted,
+		TxnsAborted:   s.TxnsAborted + o.TxnsAborted,
+		Actions:       s.Actions + o.Actions,
+		PageReads:     s.PageReads + o.PageReads,
+		PageWrites:    s.PageWrites + o.PageWrites,
+		Compensations: s.Compensations + o.Compensations,
+	}
+}
+
 // DB is the database engine.
 type DB struct {
 	protocol ProtocolKind
@@ -553,6 +569,22 @@ type Health struct {
 	Inflight      int64  `json:"inflight"`
 	MaxInflight   int    `json:"max_inflight"`
 	Overloads     int64  `json:"overloads"`
+}
+
+// Merge folds another engine's health into this snapshot — the
+// cluster-level view of a partitioned deployment. Admission figures sum
+// (each partition runs its own controller); degradation is sticky across
+// the cluster, first cause wins, so a single poisoned partition surfaces
+// at the top level.
+func (h Health) Merge(o Health) Health {
+	h.Inflight += o.Inflight
+	h.MaxInflight += o.MaxInflight
+	h.Overloads += o.Overloads
+	if o.Degraded && !h.Degraded {
+		h.Degraded = true
+		h.DegradedCause = o.DegradedCause
+	}
+	return h
 }
 
 // Health returns the current health snapshot.

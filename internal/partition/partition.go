@@ -1,0 +1,336 @@
+// Package partition shards the keyspace into N independent engine
+// partitions behind a deterministic router — the scale-out half of the
+// durability work (ROADMAP item 2). The paper's protocols serialize per
+// object, so objects that hash to different partitions never conflict and
+// a cluster of self-contained engines scales writes near-linearly
+// ("tuple-based abstract data types: full parallelism").
+//
+// Each partition is a complete core.DB: its own buffer pool, lock shards,
+// WAL segment directory (<root>/p<i>/wal-*.seg), checkpointer, and
+// admission controller. Nothing is shared between partitions — no lock
+// table, no log, no pool — which is exactly what makes per-partition crash
+// recovery independent: recovering partition i reads only p<i>'s files
+// (property-tested in partition_test.go).
+//
+// Routing is a pure function of the object name and the partition count
+// (RouteName), so the assignment is stable across restarts and computable
+// on both sides of the wire: the session layer (internal/server) pins a
+// transaction to the partition of its first-touched object, and any later
+// access routed elsewhere is refused with the typed ErrWrongPartition —
+// cross-partition transactions are out of scope until a distributed commit
+// exists.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/recovery"
+	"repro/internal/storage"
+)
+
+// ErrWrongPartition is returned when a transaction pinned to one partition
+// touches an object that routes to another. It is terminal for the
+// client-side retry loop: re-running the same accesses would route the
+// same way.
+var ErrWrongPartition = errors.New("partition: object routes to a different partition than the transaction is pinned to")
+
+// RouteName maps an object name to a partition in [0, n). It is a pure
+// function — FNV-1a over the name, mod n — so the assignment is stable
+// across restarts and identical on every node that knows n. n <= 1 always
+// routes to 0.
+func RouteName(name string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// NameFor returns a deterministic object name with the given prefix that
+// routes to partition p of n: the first prefix<k> (k = 0, 1, ...) whose
+// RouteName is p. Installers and load drivers use it to agree, without
+// coordination, on one well-known object per partition (e.g. the
+// per-partition encyclopedia). With n <= 1 the prefix itself is returned,
+// so single-partition deployments keep their historical names.
+func NameFor(prefix string, p, n int) string {
+	if n <= 1 {
+		return prefix
+	}
+	for k := 0; ; k++ {
+		name := prefix + strconv.Itoa(k)
+		if RouteName(name, n) == p {
+			return name
+		}
+	}
+}
+
+// DirName is the WAL subdirectory name of partition i ("p<i>").
+func DirName(i int) string { return "p" + strconv.Itoa(i) }
+
+// Dir is the WAL segment directory of partition i under root.
+func Dir(root string, i int) string { return filepath.Join(root, DirName(i)) }
+
+// Options configure Open and Recover.
+type Options struct {
+	// N is the partition count (default 1).
+	N int
+	// Engine is the per-partition engine template. Obs and WALDir are
+	// managed by the cluster: each partition gets its own registry (or
+	// none, with DisableObs) and its own WAL directory under WALRoot.
+	Engine core.Options
+	// WALRoot is the root directory holding one p<i> segment directory per
+	// partition. Required when Engine.Durability is not storage.MemOnly.
+	WALRoot string
+	// Obs, when non-nil, is the cluster-level registry: per-partition
+	// metrics are published into it as p<i>.engine.* (inflight, stats,
+	// health) next to the cluster.* aggregates. With N == 1 the single
+	// engine publishes into it directly under the historical flat names.
+	Obs *obs.Registry
+	// Register installs the application's object types (and, for Open,
+	// seed data) on partition i. For Recover it runs as the recovery
+	// registerTypes hook and therefore must be write-free on a recovered
+	// partition: logical undo needs the method implementations, not a
+	// fresh funding transaction.
+	Register func(i int, db *core.DB) error
+}
+
+// Cluster is N independent engine partitions behind the router.
+type Cluster struct {
+	parts   []*core.DB
+	reports []recovery.Report
+	reg     *obs.Registry
+}
+
+// Single wraps one caller-owned engine as a 1-partition cluster — the
+// compatibility path for everything that serves a lone core.DB through the
+// session layer.
+func Single(db *core.DB) *Cluster {
+	return &Cluster{parts: []*core.DB{db}, reg: db.Obs()}
+}
+
+// Open creates a fresh cluster: every partition is opened empty (durable
+// partitions refuse directories that already hold log records, exactly
+// like core.OpenDurable — restarting over existing segments is Recover's
+// job) and Register runs on each.
+func Open(opts Options) (*Cluster, error) {
+	return build(opts, false)
+}
+
+// Recover opens a cluster over existing per-partition WAL directories —
+// the restart path. Each partition recovers independently from its own
+// p<i> directory (empty or missing directories open fresh); Register must
+// be write-free (see Options.Register). The returned reports hold one
+// recovery.Report per partition (zero-valued for partitions that opened
+// fresh).
+func Recover(opts Options) (*Cluster, []recovery.Report, error) {
+	c, err := build(opts, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, c.reports, nil
+}
+
+func build(opts Options, allowRestart bool) (*Cluster, error) {
+	n := opts.N
+	if n <= 0 {
+		n = 1
+	}
+	durable := opts.Engine.Durability != storage.MemOnly
+	if durable && opts.WALRoot == "" {
+		return nil, fmt.Errorf("partition: durable cluster needs a WALRoot")
+	}
+	if !durable && allowRestart {
+		return nil, fmt.Errorf("partition: Recover needs a durable Engine.Durability")
+	}
+	c := &Cluster{
+		parts:   make([]*core.DB, 0, n),
+		reports: make([]recovery.Report, n),
+		reg:     opts.Obs,
+	}
+	fail := func(err error) (*Cluster, error) {
+		_ = c.Close()
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		eopts := opts.Engine
+		switch {
+		case n == 1:
+			eopts.Obs = opts.Obs
+		case opts.Obs != nil && !eopts.DisableObs:
+			// Partitions cannot share a registry: every engine registers the
+			// same flat names (engine.inflight, ...), so a shared one would
+			// alias their gauges. Each partition gets its own; the cluster
+			// registry carries the p<i>.* projections below.
+			eopts.Obs = obs.New()
+		default:
+			eopts.Obs = nil
+		}
+		var db *core.DB
+		var err error
+		if durable {
+			// A 1-partition cluster keeps its segments directly in WALRoot —
+			// the historical single-engine layout — so existing directories
+			// stay recoverable without a reshard.
+			if n == 1 {
+				eopts.WALDir = opts.WALRoot
+			} else {
+				eopts.WALDir = Dir(opts.WALRoot, i)
+			}
+			restart := false
+			if allowRestart {
+				if restart, err = hasHistory(eopts.WALDir); err != nil {
+					return fail(err)
+				}
+			}
+			if restart {
+				part := i
+				var rep recovery.Report
+				db, rep, err = recovery.RecoverDir(eopts.WALDir, eopts, func(d *core.DB) error {
+					if opts.Register == nil {
+						return nil
+					}
+					return opts.Register(part, d)
+				})
+				if err != nil {
+					return fail(fmt.Errorf("partition: recover p%d: %w", i, err))
+				}
+				c.reports[i] = rep
+				c.parts = append(c.parts, db)
+				continue
+			}
+			db, err = core.OpenDurable(eopts)
+			if err != nil {
+				return fail(fmt.Errorf("partition: open p%d: %w", i, err))
+			}
+		} else {
+			db = core.Open(eopts)
+		}
+		c.parts = append(c.parts, db)
+		if opts.Register != nil {
+			if err := opts.Register(i, db); err != nil {
+				return fail(fmt.Errorf("partition: register p%d: %w", i, err))
+			}
+		}
+	}
+	c.publish()
+	return c, nil
+}
+
+// hasHistory reports whether a partition directory holds WAL segments or
+// checkpoint files — anything that makes opening it a restart.
+func hasHistory(dir string) (bool, error) {
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return false, nil
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return false, err
+	}
+	if len(segs) > 0 {
+		return true, nil
+	}
+	infos, err := checkpoint.Scan(dir)
+	if err != nil {
+		return false, err
+	}
+	return len(infos) > 0, nil
+}
+
+// publish projects per-partition and aggregate metrics into the cluster
+// registry. Single-partition clusters skip it: the engine already
+// publishes the flat names directly.
+func (c *Cluster) publish() {
+	if c.reg == nil || len(c.parts) <= 1 {
+		return
+	}
+	for i, db := range c.parts {
+		part := db
+		c.reg.PublishFunc(fmt.Sprintf("p%d.engine", i), func() any { return part.Stats() })
+		c.reg.PublishFunc(fmt.Sprintf("p%d.engine.inflight", i), func() any { return part.Health().Inflight })
+		c.reg.PublishFunc(fmt.Sprintf("p%d.health", i), func() any { return part.Health() })
+	}
+	c.reg.PublishFunc("cluster.partitions", func() any { return len(c.parts) })
+	c.reg.PublishFunc("cluster.engine", func() any { return c.Stats() })
+	c.reg.PublishFunc("cluster.engine.inflight", func() any { return c.Health().Inflight })
+	c.reg.PublishFunc("cluster.health", func() any { return c.Health() })
+}
+
+// N returns the partition count.
+func (c *Cluster) N() int { return len(c.parts) }
+
+// Route maps an object name to its partition index.
+func (c *Cluster) Route(name string) int { return RouteName(name, len(c.parts)) }
+
+// Part returns partition i's engine.
+func (c *Cluster) Part(i int) *core.DB { return c.parts[i] }
+
+// For returns the engine the named object routes to.
+func (c *Cluster) For(name string) *core.DB { return c.parts[c.Route(name)] }
+
+// Obs returns the cluster-level registry (nil when none was configured).
+func (c *Cluster) Obs() *obs.Registry { return c.reg }
+
+// Reports returns the per-partition recovery reports of a Recover-opened
+// cluster (zero-valued entries for fresh partitions; nil after Open).
+func (c *Cluster) Reports() []recovery.Report { return c.reports }
+
+// Protocol returns the partitions' shared protocol.
+func (c *Cluster) Protocol() core.ProtocolKind { return c.parts[0].Protocol() }
+
+// Stats returns the field-wise sum of every partition's engine counters.
+func (c *Cluster) Stats() core.Stats {
+	var s core.Stats
+	for _, db := range c.parts {
+		s = s.Plus(db.Stats())
+	}
+	return s
+}
+
+// Health returns the merged cluster health: admission figures summed,
+// degradation sticky across partitions.
+func (c *Cluster) Health() core.Health {
+	var h core.Health
+	for _, db := range c.parts {
+		h = h.Merge(db.Health())
+	}
+	return h
+}
+
+// NumPages returns the total allocated pages across partitions.
+func (c *Cluster) NumPages() int {
+	total := 0
+	for _, db := range c.parts {
+		total += db.NumPages()
+	}
+	return total
+}
+
+// Close shuts every partition down (each drains its own admitted
+// transactions and closes its own WAL) and joins the errors.
+func (c *Cluster) Close() error {
+	var errs []error
+	for i, db := range c.parts {
+		if db == nil {
+			continue
+		}
+		if err := db.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("partition: close p%d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,338 @@
+package partition
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/commut"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// --- Router properties (satellite: purity, stability, distribution) ---
+
+// TestRouteNameMatchesFNV1a pins the routing hash to the published FNV-1a
+// 64-bit spec (via the standard library's implementation). This is the
+// stability guarantee: the assignment is a pure function of (name, n) that
+// no refactor can silently change without this test failing — the property
+// that makes partition layouts survive restarts and binary upgrades.
+func TestRouteNameMatchesFNV1a(t *testing.T) {
+	names := []string{"", "Acct0", "Acct17", "Enc", "Enc3", "a", "ab", "ba", "object/with/path"}
+	for _, n := range []int{2, 3, 4, 8, 16} {
+		for _, name := range names {
+			h := fnv.New64a()
+			_, _ = h.Write([]byte(name))
+			want := int(h.Sum64() % uint64(n))
+			if got := RouteName(name, n); got != want {
+				t.Fatalf("RouteName(%q, %d) = %d, want FNV-1a %d", name, n, got, want)
+			}
+		}
+	}
+}
+
+func TestRouteNamePureAndInRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 8} {
+		for i := 0; i < 1000; i++ {
+			name := "obj" + strconv.Itoa(i)
+			a := RouteName(name, n)
+			b := RouteName(name, n)
+			if a != b {
+				t.Fatalf("RouteName(%q, %d) not pure: %d vs %d", name, n, a, b)
+			}
+			if n <= 1 {
+				if a != 0 {
+					t.Fatalf("RouteName(%q, %d) = %d, want 0", name, n, a)
+				}
+			} else if a < 0 || a >= n {
+				t.Fatalf("RouteName(%q, %d) = %d out of range", name, n, a)
+			}
+		}
+	}
+}
+
+func TestRouteNameDistribution(t *testing.T) {
+	const n, names = 8, 16000
+	counts := make([]int, n)
+	for i := 0; i < names; i++ {
+		counts[RouteName("Acct"+strconv.Itoa(i), n)]++
+	}
+	// A fair hash gives each of 8 partitions ~12.5%; insist on at least 6%
+	// so a degenerate hash (everything on one partition) cannot sneak in.
+	for p, c := range counts {
+		if c < names*6/100 {
+			t.Fatalf("partition %d got %d/%d names — distribution collapsed: %v", p, c, names, counts)
+		}
+	}
+}
+
+func TestNameFor(t *testing.T) {
+	if got := NameFor("Enc", 0, 1); got != "Enc" {
+		t.Fatalf("NameFor with n=1 = %q, want the bare prefix", got)
+	}
+	for _, n := range []int{2, 4, 8} {
+		seen := map[string]bool{}
+		for p := 0; p < n; p++ {
+			name := NameFor("Enc", p, n)
+			if RouteName(name, n) != p {
+				t.Fatalf("NameFor(Enc, %d, %d) = %q routes to %d", p, n, name, RouteName(name, n))
+			}
+			if seen[name] {
+				t.Fatalf("NameFor(Enc, %d, %d) = %q already used", p, n, name)
+			}
+			seen[name] = true
+		}
+	}
+}
+
+// --- Cluster plumbing ---
+
+// kvOID is the one object per partition the tests talk to; registerKV maps
+// every name to page 1 of whichever partition it reached, so the value is
+// per-partition state.
+func kvOID(name string) txn.OID { return txn.OID{Type: "kv", Name: name} }
+
+// registerKV is a write-free register hook (type registration + page
+// allocation only) — the contract Recover demands.
+func registerKV(_ int, db *core.DB) error {
+	for db.NumPages() < 1 {
+		db.AllocPage()
+	}
+	pg := core.PageOID(storage.PageID(1))
+	return db.RegisterType(&core.ObjectType{
+		Name:     "kv",
+		Spec:     commut.KeyedSpec([]string{"get"}, []string{"set"}),
+		ReadOnly: map[string]bool{"get": true},
+		Methods: map[string]core.MethodFunc{
+			"set": func(c *core.Ctx, self txn.OID, params []string) (string, error) {
+				old, err := c.Call(pg, "readx")
+				if err != nil {
+					return "", err
+				}
+				if _, err := c.Call(pg, "write", params[0]); err != nil {
+					return "", err
+				}
+				return old, nil
+			},
+			"get": func(c *core.Ctx, self txn.OID, params []string) (string, error) {
+				return c.Call(pg, "read")
+			},
+		},
+		Compensate: map[string]core.CompensateFunc{
+			"set": func(params []string, result string) (string, []string, bool) {
+				return "set", []string{result}, true
+			},
+		},
+	})
+}
+
+func put(t *testing.T, c *Cluster, name, val string) {
+	t.Helper()
+	db := c.For(name)
+	release, err := db.AdmitCtx(t.Context())
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	defer release()
+	tx := db.Begin()
+	if _, err := tx.Exec(kvOID(name), "set", val); err != nil {
+		_ = tx.Abort()
+		t.Fatalf("set %q: %v", name, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit %q: %v", name, err)
+	}
+}
+
+func get(t *testing.T, c *Cluster, name string) string {
+	t.Helper()
+	db := c.For(name)
+	tx := db.Begin()
+	v, err := tx.Exec(kvOID(name), "get")
+	if err != nil {
+		_ = tx.Abort()
+		t.Fatalf("get %q: %v", name, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit get %q: %v", name, err)
+	}
+	return v
+}
+
+func TestClusterMemOnlyAggregation(t *testing.T) {
+	reg := obs.New()
+	c, err := Open(Options{N: 4, Obs: reg, Register: registerKV})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer c.Close()
+	if c.N() != 4 {
+		t.Fatalf("N = %d, want 4", c.N())
+	}
+	for p := 0; p < 4; p++ {
+		name := NameFor("obj", p, 4)
+		put(t, c, name, "v"+strconv.Itoa(p))
+		if got := get(t, c, name); got != "v"+strconv.Itoa(p) {
+			t.Fatalf("partition %d: got %q", p, got)
+		}
+		// Per-partition engines really are independent: the commit landed on
+		// exactly the routed partition.
+		if n := c.Part(p).Stats().TxnsCommitted; n < 2 {
+			t.Fatalf("partition %d: %d commits, want >= 2", p, n)
+		}
+	}
+	// Aggregates sum the partitions.
+	var want int64
+	for p := 0; p < 4; p++ {
+		want += c.Part(p).Stats().TxnsCommitted
+	}
+	if got := c.Stats().TxnsCommitted; got != want {
+		t.Fatalf("cluster commits = %d, want %d", got, want)
+	}
+	if h := c.Health(); h.Inflight != 0 {
+		t.Fatalf("cluster inflight = %d after quiesce, want 0", h.Inflight)
+	}
+	// The cluster registry carries per-partition p<i>.* projections plus
+	// the cluster.* aggregates.
+	var buf jsonBuf
+	reg.WriteJSON(&buf)
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(buf.b, &m); err != nil {
+		t.Fatalf("metrics json: %v\n%s", err, buf.b)
+	}
+	for _, key := range []string{"p0.engine.inflight", "p3.engine.inflight", "p1.engine", "cluster.partitions", "cluster.engine", "cluster.engine.inflight"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("metrics missing %q:\n%s", key, buf.b)
+		}
+	}
+}
+
+type jsonBuf struct{ b []byte }
+
+func (j *jsonBuf) Write(p []byte) (int, error) { j.b = append(j.b, p...); return len(p), nil }
+
+func TestSingleWrapsEngine(t *testing.T) {
+	db := core.Open(core.Options{})
+	defer db.Close()
+	c := Single(db)
+	if c.N() != 1 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if c.Part(0) != db || c.For("anything") != db {
+		t.Fatal("Single does not route to the wrapped engine")
+	}
+	if c.Route("anything") != 0 {
+		t.Fatal("single-partition route must be 0")
+	}
+}
+
+// --- Durability: per-partition layout, recovery isolation ---
+
+// TestRecoveryIsolation proves partitions recover independently: commit
+// distinct values on all four partitions, close, then destroy partition
+// 2's entire WAL directory. Recover must bring back partitions 0, 1, 3
+// intact from their own p<i> dirs (partition 2 opens fresh) — recovery of
+// partition i never reads partition j's directory.
+func TestRecoveryIsolation(t *testing.T) {
+	root := t.TempDir()
+	opts := Options{
+		N:        4,
+		Engine:   core.Options{Durability: storage.GroupCommit},
+		WALRoot:  root,
+		Register: func(i int, db *core.DB) error { return registerKV(i, db) },
+	}
+	c, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	names := make([]string, 4)
+	for p := 0; p < 4; p++ {
+		names[p] = NameFor("obj", p, 4)
+		put(t, c, names[p], "durable"+strconv.Itoa(p))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Layout: each partition's segments live under its own p<i> dir and
+	// nowhere else.
+	for p := 0; p < 4; p++ {
+		segs, err := filepath.Glob(filepath.Join(Dir(root, p), "wal-*.seg"))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("partition %d: no segments under %s (err %v)", p, Dir(root, p), err)
+		}
+	}
+	if stray, _ := filepath.Glob(filepath.Join(root, "wal-*.seg")); len(stray) != 0 {
+		t.Fatalf("segments leaked to the cluster root: %v", stray)
+	}
+
+	// Destroy partition 2's log entirely.
+	if err := os.RemoveAll(Dir(root, 2)); err != nil {
+		t.Fatalf("remove p2: %v", err)
+	}
+
+	c2, reports, err := Recover(opts)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer c2.Close()
+	if len(reports) != 4 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for p := 0; p < 4; p++ {
+		got := get(t, c2, names[p])
+		if p == 2 {
+			if got != "" {
+				t.Fatalf("partition 2 opened fresh but holds %q", got)
+			}
+			if len(reports[2].Winners) != 0 || reports[2].Redone != 0 {
+				t.Fatalf("partition 2 report not zero: %+v", reports[2])
+			}
+			continue
+		}
+		if want := "durable" + strconv.Itoa(p); got != want {
+			t.Fatalf("partition %d recovered %q, want %q", p, got, want)
+		}
+		if len(reports[p].Winners) == 0 {
+			t.Fatalf("partition %d report shows no winners: %+v", p, reports[p])
+		}
+	}
+}
+
+// TestOpenRefusesRestart: Open is the fresh path; a root whose partition
+// dirs already hold log records must be rejected (restarting is Recover's
+// job), exactly mirroring core.OpenDurable's contract.
+func TestOpenRefusesRestart(t *testing.T) {
+	root := t.TempDir()
+	opts := Options{
+		N:        2,
+		Engine:   core.Options{Durability: storage.GroupCommit},
+		WALRoot:  root,
+		Register: registerKV,
+	}
+	c, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	put(t, c, NameFor("obj", 0, 2), "x")
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := Open(opts); err == nil {
+		t.Fatal("Open over existing history must fail")
+	}
+}
+
+func TestDurableClusterNeedsRoot(t *testing.T) {
+	if _, err := Open(Options{N: 2, Engine: core.Options{Durability: storage.GroupCommit}}); err == nil {
+		t.Fatal("durable cluster without WALRoot must fail")
+	}
+	if _, _, err := Recover(Options{N: 2}); err == nil {
+		t.Fatal("mem-only Recover must fail")
+	}
+}

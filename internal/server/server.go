@@ -9,6 +9,16 @@
 // transaction aborted and its slot released — sessions cannot leak
 // admission capacity.
 //
+// The backend is a partition.Cluster. With one partition the session layer
+// behaves exactly as above. With N > 1 the router lives here: BEGIN defers
+// admission until the transaction's first object access, which pins it to
+// that object's partition (each partition runs its own admission
+// controller, so the slot comes from the pinned partition); any later
+// access that routes elsewhere is refused with the typed
+// wire.CodeWrongPartition and the transaction stays open on its partition.
+// A transaction that commits or aborts without touching any object never
+// consumed a slot anywhere.
+//
 // Shutdown is drain-then-close: stop accepting, cut the in-flight
 // sessions (their open transactions abort, their slots release), wait for
 // every session goroutine, then close the engine — core.DB.Close itself
@@ -28,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wire"
@@ -54,10 +65,10 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server serves one engine over TCP.
+// Server serves a partitioned cluster (possibly of one) over TCP.
 type Server struct {
-	db   *core.DB
-	opts Options
+	cluster *partition.Cluster
+	opts    Options
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -80,13 +91,20 @@ type Server struct {
 	rec       *obs.FlightRecorder
 }
 
-// New builds a server for db. The engine's observability registry (if any)
-// gets the server's counters; nil registries degrade to no-ops.
+// New builds a server for a single caller-owned engine — the historical
+// entry point, equivalent to NewCluster(partition.Single(db), opts).
 func New(db *core.DB, opts Options) *Server {
+	return NewCluster(partition.Single(db), opts)
+}
+
+// NewCluster builds a server routing sessions across a partitioned
+// cluster. The cluster's observability registry (if any) gets the server's
+// counters; nil registries degrade to no-ops.
+func NewCluster(c *partition.Cluster, opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	reg := db.Obs()
+	reg := c.Obs()
 	return &Server{
-		db:        db,
+		cluster:   c,
 		opts:      opts.withDefaults(),
 		baseCtx:   ctx,
 		cancel:    cancel,
@@ -131,8 +149,12 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// DB returns the served engine.
-func (s *Server) DB() *core.DB { return s.db }
+// DB returns the served engine's first partition — the whole engine for a
+// single-partition server.
+func (s *Server) DB() *core.DB { return s.cluster.Part(0) }
+
+// Cluster returns the served partition cluster.
+func (s *Server) Cluster() *partition.Cluster { return s.cluster }
 
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
@@ -191,12 +213,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		go func() { s.wg.Wait(); close(done) }()
 		select {
 		case <-done:
-			s.shutErr = s.db.Close()
+			s.shutErr = s.cluster.Close()
 		case <-ctx.Done():
 			// Sessions still running at the deadline: close the engine
 			// anyway (Close drains admitted transactions itself) and report
 			// the bounded wait's failure.
-			closeErr := s.db.Close()
+			closeErr := s.cluster.Close()
 			s.shutErr = errors.Join(fmt.Errorf("server: shutdown wait: %w", ctx.Err()), closeErr)
 		}
 		close(s.shutDone)
@@ -206,16 +228,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // session is one connection's state: at most one open transaction, pinned
-// to one admission slot.
+// to one admission slot on one partition.
 type session struct {
 	peer    string
 	txn     *core.Txn
 	release func()
+	// pending marks a BEGIN received on a multi-partition cluster whose
+	// admission and engine Begin are deferred to the first object access —
+	// that access decides the partition. part is the pinned partition index
+	// once txn is non-nil.
+	pending bool
+	part    int
 }
+
+// open reports whether the session has a transaction open from the
+// client's point of view (started, or pending a partition pin).
+func (ss *session) open() bool { return ss.txn != nil || ss.pending }
 
 // finish clears the open transaction and releases its admission slot.
 func (ss *session) finish() {
 	ss.txn = nil
+	ss.pending = false
 	if ss.release != nil {
 		ss.release()
 		ss.release = nil
@@ -311,12 +344,42 @@ func okResp(result string) wire.Msg {
 	return wire.Msg{Type: wire.MsgResult, Result: result}
 }
 
-// StatsReply is the STATS response payload (JSON in Msg.Result).
+// StatsReply is the STATS response payload (JSON in Msg.Result). On a
+// multi-partition server Engine and Health are the cluster aggregates
+// (counters summed, degradation sticky).
 type StatsReply struct {
-	Protocol string      `json:"protocol"`
-	Engine   core.Stats  `json:"engine"`
-	Health   core.Health `json:"health"`
-	Pages    int         `json:"pages"`
+	Protocol   string      `json:"protocol"`
+	Engine     core.Stats  `json:"engine"`
+	Health     core.Health `json:"health"`
+	Pages      int         `json:"pages"`
+	Partitions int         `json:"partitions"`
+}
+
+// txnFor returns the session's transaction for an access to the named
+// object. A pending session is pinned here: the first-touched object's
+// partition admits the transaction (its own controller, its own slot) and
+// begins it. A pinned session's access is checked against the router —
+// an object on another partition gets ErrWrongPartition and the
+// transaction is left untouched on its partition.
+func (s *Server) txnFor(ctx context.Context, ss *session, name string) (*core.Txn, error) {
+	if ss.txn != nil {
+		if p := s.cluster.Route(name); p != ss.part {
+			return nil, fmt.Errorf("%w: %q is on p%d, transaction pinned to p%d",
+				partition.ErrWrongPartition, name, p, ss.part)
+		}
+		return ss.txn, nil
+	}
+	p := s.cluster.Route(name)
+	db := s.cluster.Part(p)
+	release, err := db.AdmitCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ss.txn = db.Begin()
+	ss.release = release
+	ss.part = p
+	ss.pending = false
+	return ss.txn, nil
 }
 
 // handle executes one request against the session. Responses carry the
@@ -329,10 +392,11 @@ func (s *Server) handle(ctx context.Context, ss *session, m wire.Msg) wire.Msg {
 
 	case wire.MsgStats:
 		reply := StatsReply{
-			Protocol: s.db.Protocol().String(),
-			Engine:   s.db.Stats(),
-			Health:   s.db.Health(),
-			Pages:    s.db.NumPages(),
+			Protocol:   s.cluster.Protocol().String(),
+			Engine:     s.cluster.Stats(),
+			Health:     s.cluster.Health(),
+			Pages:      s.cluster.NumPages(),
+			Partitions: s.cluster.N(),
 		}
 		data, err := json.Marshal(reply)
 		if err != nil {
@@ -341,55 +405,86 @@ func (s *Server) handle(ctx context.Context, ss *session, m wire.Msg) wire.Msg {
 		return okResp(string(data))
 
 	case wire.MsgBegin:
-		if ss.txn != nil {
-			return errRespCode(wire.CodeTxnOpen, ss.txn.ID()+" still open")
+		if ss.open() {
+			detail := "transaction pending partition pin"
+			if ss.txn != nil {
+				detail = ss.txn.ID() + " still open"
+			}
+			return errRespCode(wire.CodeTxnOpen, detail)
 		}
-		release, err := s.db.AdmitCtx(ctx)
+		if s.cluster.N() > 1 {
+			// Multi-partition: the first object access decides the partition
+			// (and takes that partition's admission slot). Deferring keeps a
+			// never-used transaction from pinning an arbitrary partition.
+			ss.pending = true
+			return okResp("pending")
+		}
+		release, err := s.cluster.Part(0).AdmitCtx(ctx)
 		if err != nil {
 			return errResp(err)
 		}
-		ss.txn = s.db.Begin()
+		ss.txn = s.cluster.Part(0).Begin()
 		ss.release = release
 		return okResp(ss.txn.ID())
 
 	case wire.MsgInvoke:
-		if ss.txn == nil {
+		if !ss.open() {
 			return errRespCode(wire.CodeNoTxn, m.Type.String()+" outside a transaction")
 		}
 		if m.ObjType == "" || m.Method == "" {
 			return errRespCode(wire.CodeBadRequest, "INVOKE needs object type and method")
 		}
-		res, err := ss.txn.Exec(txn.OID{Type: m.ObjType, Name: m.ObjName}, m.Method, m.Params...)
+		tx, err := s.txnFor(ctx, ss, m.ObjName)
+		if err != nil {
+			return errResp(err)
+		}
+		res, err := tx.Exec(txn.OID{Type: m.ObjType, Name: m.ObjName}, m.Method, m.Params...)
 		if err != nil {
 			return errResp(err)
 		}
 		return okResp(res)
 
 	case wire.MsgPageRead:
-		if ss.txn == nil {
+		if !ss.open() {
 			return errRespCode(wire.CodeNoTxn, m.Type.String()+" outside a transaction")
 		}
-		res, err := ss.txn.Exec(core.PageOID(storage.PageID(m.Page)), "read")
+		oid := core.PageOID(storage.PageID(m.Page))
+		tx, err := s.txnFor(ctx, ss, oid.Name)
+		if err != nil {
+			return errResp(err)
+		}
+		res, err := tx.Exec(oid, "read")
 		if err != nil {
 			return errResp(err)
 		}
 		return okResp(res)
 
 	case wire.MsgPageWrite:
-		if ss.txn == nil {
+		if !ss.open() {
 			return errRespCode(wire.CodeNoTxn, m.Type.String()+" outside a transaction")
 		}
 		if len(m.Params) != 1 {
 			return errRespCode(wire.CodeBadRequest, "PAGE_WRITE needs exactly one data parameter")
 		}
-		if _, err := ss.txn.Exec(core.PageOID(storage.PageID(m.Page)), "write", m.Params[0]); err != nil {
+		oid := core.PageOID(storage.PageID(m.Page))
+		tx, err := s.txnFor(ctx, ss, oid.Name)
+		if err != nil {
+			return errResp(err)
+		}
+		if _, err := tx.Exec(oid, "write", m.Params[0]); err != nil {
 			return errResp(err)
 		}
 		return okResp("")
 
 	case wire.MsgCommit:
-		if ss.txn == nil {
+		if !ss.open() {
 			return errRespCode(wire.CodeNoTxn, "COMMIT outside a transaction")
+		}
+		if ss.txn == nil {
+			// Pending transaction that never touched an object: nothing was
+			// admitted or begun anywhere — an empty commit.
+			ss.finish()
+			return okResp("")
 		}
 		err := ss.txn.Commit()
 		ss.finish()
@@ -399,8 +494,12 @@ func (s *Server) handle(ctx context.Context, ss *session, m wire.Msg) wire.Msg {
 		return okResp("")
 
 	case wire.MsgAbort:
-		if ss.txn == nil {
+		if !ss.open() {
 			return errRespCode(wire.CodeNoTxn, "ABORT outside a transaction")
+		}
+		if ss.txn == nil {
+			ss.finish()
+			return okResp("")
 		}
 		err := ss.txn.Abort()
 		ss.finish()

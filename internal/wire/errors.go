@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/partition"
 	"repro/internal/storage"
 )
 
@@ -31,6 +32,11 @@ const (
 	CodeUnknownMethod ErrCode = 10 // core.ErrUnknownMethod
 	CodeBadRequest    ErrCode = 11 // malformed request (unknown type, bad page id...)
 	CodeInternal      ErrCode = 12 // anything the taxonomy does not name
+	// CodeWrongPartition: the transaction is pinned to one partition and the
+	// access routed to another (partition.ErrWrongPartition). Terminal for
+	// the retry loop — routing is deterministic, so the replay would route
+	// identically; the client must restructure the transaction instead.
+	CodeWrongPartition ErrCode = 13
 )
 
 func (c ErrCode) String() string {
@@ -61,6 +67,8 @@ func (c ErrCode) String() string {
 		return "bad-request"
 	case CodeInternal:
 		return "internal"
+	case CodeWrongPartition:
+		return "wrong-partition"
 	}
 	return fmt.Sprintf("code(%d)", uint8(c))
 }
@@ -80,6 +88,9 @@ var (
 	ErrUnknownMethod = errors.New("wire: unknown method")
 	ErrBadRequest    = errors.New("wire: bad request")
 	ErrInternal      = errors.New("wire: internal engine error")
+	// ErrWrongPartition mirrors partition.ErrWrongPartition on the client
+	// side of the wire.
+	ErrWrongPartition = errors.New("wire: object routes to a different partition than the transaction is pinned to")
 )
 
 // sentinelFor maps a code to its client-side sentinel.
@@ -107,6 +118,8 @@ func sentinelFor(c ErrCode) error {
 		return ErrUnknownMethod
 	case CodeBadRequest:
 		return ErrBadRequest
+	case CodeWrongPartition:
+		return ErrWrongPartition
 	}
 	return ErrInternal
 }
@@ -159,6 +172,8 @@ func CodeFor(err error) ErrCode {
 		return CodeUnknownType
 	case errors.Is(err, core.ErrUnknownMethod):
 		return CodeUnknownMethod
+	case errors.Is(err, partition.ErrWrongPartition):
+		return CodeWrongPartition
 	}
 	return CodeInternal
 }

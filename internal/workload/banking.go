@@ -77,12 +77,30 @@ type BankingConfig struct {
 // (cmd/oodbd, the loopback benchmark) can serve the same workload over
 // internal/server instead of in-process.
 func InstallBanking(db *core.DB, n int, initial int64) ([]txn.OID, error) {
-	return installAccounts(db, n, initial)
+	accts, err := RegisterBanking(db, n)
+	if err != nil {
+		return nil, err
+	}
+	// Fund the accounts.
+	for _, a := range accts {
+		tx := db.Begin()
+		if _, err := tx.Exec(a, "credit", strconv.FormatInt(initial, 10)); err != nil {
+			_ = tx.Abort()
+			return nil, err
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return accts, nil
 }
 
-// installAccounts registers the account type; each account lives on its
-// own page as a decimal balance.
-func installAccounts(db *core.DB, n int, initial int64) ([]txn.OID, error) {
+// RegisterBanking is the write-free half of InstallBanking: it registers
+// the account type and allocates its pages but funds nothing — the shape a
+// recovery register hook must have (recovery.RegisterTypes, or
+// partition.Options.Register on the Recover path), where the balances come
+// back from the log, not from a fresh funding transaction.
+func RegisterBanking(db *core.DB, n int) ([]txn.OID, error) {
 	pages := make([]txn.OID, n)
 	for i := range pages {
 		pages[i] = db.AllocPage()
@@ -170,18 +188,9 @@ func installAccounts(db *core.DB, n int, initial int64) ([]txn.OID, error) {
 	if err := db.RegisterType(typ); err != nil {
 		return nil, err
 	}
-	// Fund the accounts.
 	accts := make([]txn.OID, n)
 	for i := range accts {
 		accts[i] = txn.OID{Type: AccountType, Name: fmt.Sprintf("Acct%d", i)}
-		tx := db.Begin()
-		if _, err := tx.Exec(accts[i], "credit", strconv.FormatInt(initial, 10)); err != nil {
-			_ = tx.Abort()
-			return nil, err
-		}
-		if err := tx.Commit(); err != nil {
-			return nil, err
-		}
 	}
 	return accts, nil
 }
@@ -226,7 +235,7 @@ func RunBanking(cfg BankingConfig) (Result, error) {
 		return Result{}, err
 	}
 	defer closeDB()
-	accts, err := installAccounts(db, cfg.Accounts, cfg.InitialBalance)
+	accts, err := InstallBanking(db, cfg.Accounts, cfg.InitialBalance)
 	if err != nil {
 		return Result{}, err
 	}

@@ -335,6 +335,14 @@ func RunEncyclopedia(cfg Config) (Result, error) {
 // readSeq). It is the setup half of RunEncyclopedia, exported for
 // network-facing drivers serving the workload over internal/server.
 func InstallEncyclopedia(db *core.DB, fanout, spineCap int) (txn.OID, error) {
+	return InstallEncyclopediaNamed(db, "Enc", fanout, spineCap)
+}
+
+// InstallEncyclopediaNamed is InstallEncyclopedia with a caller-chosen
+// object name — a partitioned deployment installs one encyclopedia per
+// partition, named (via partition.NameFor) so the session-layer router
+// sends it to the right place.
+func InstallEncyclopediaNamed(db *core.DB, name string, fanout, spineCap int) (txn.OID, error) {
 	if fanout <= 0 {
 		fanout = 100
 	}
@@ -353,7 +361,7 @@ func InstallEncyclopedia(db *core.DB, fanout, spineCap int) (txn.OID, error) {
 	if err != nil {
 		return txn.OID{}, err
 	}
-	e, err := encs.New("Enc", fanout, spineCap)
+	e, err := encs.New(name, fanout, spineCap)
 	if err != nil {
 		return txn.OID{}, err
 	}
@@ -401,14 +409,19 @@ func (l *latencies) add(d time.Duration) {
 	l.mu.Unlock()
 }
 
-// fill computes the percentile fields of r.
+// fill computes the percentile fields of r. Safe to call while workers are
+// still adding: the emptiness check happens under the same lock as the
+// snapshot (checking len(l.ds) outside it would race with add).
 func (l *latencies) fill(r *Result) {
-	if l == nil || len(l.ds) == 0 {
+	if l == nil {
 		return
 	}
 	l.mu.Lock()
 	ds := append([]time.Duration{}, l.ds...)
 	l.mu.Unlock()
+	if len(ds) == 0 {
+		return
+	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 	r.LatencyP50 = ds[len(ds)/2]
 	r.LatencyP99 = ds[len(ds)*99/100]

@@ -1,0 +1,264 @@
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// partBenchRow is one BENCH_partition.json series point.
+type partBenchRow struct {
+	Workload   string  `json:"workload"`
+	Partitions int     `json:"partitions"`
+	Conns      int     `json:"conns"`
+	Committed  int64   `json:"committed"`
+	Seconds    float64 `json:"seconds"`
+	TxnPerSec  float64 `json:"txn_per_sec"`
+	P50us      int64   `json:"p50_us"`
+	P99us      int64   `json:"p99_us"`
+	Retries    int64   `json:"retries"`
+}
+
+const (
+	partBenchAccounts = 64
+	partBenchConns    = 32
+	// partBenchIODelay makes the hot page the deterministic bottleneck:
+	// under 2PL-page every transaction on a partition serializes on its hot
+	// account's page for ~4 I/O delays, so per-partition throughput is
+	// pinned near 1/(4*delay) regardless of host speed and the series
+	// scales with the partition count, not the core count.
+	partBenchIODelay = 200 * time.Microsecond
+)
+
+// partitionBenchServer stands up the full partitioned stack — cluster,
+// session layer, pooled client — on loopback for one series.
+func partitionBenchServer(b *testing.B, n int, install string) (*client.Client, func()) {
+	b.Helper()
+	cluster, err := partition.Open(partition.Options{
+		N: n,
+		Engine: core.Options{
+			Protocol:         core.Protocol2PLPage,
+			PageIODelay:      partBenchIODelay,
+			MaxInflight:      2 * partBenchConns,
+			AdmissionTimeout: 5 * time.Second,
+			LockTimeout:      5 * time.Second,
+			DisableTrace:     true,
+			DisableObs:       true,
+		},
+		Register: func(i int, db *core.DB) error {
+			switch install {
+			case "banking":
+				_, err := workload.InstallBanking(db, partBenchAccounts, 1_000_000)
+				return err
+			default:
+				_, err := workload.InstallEncyclopediaNamed(db, partition.NameFor("Enc", i, n), 100, 50)
+				return err
+			}
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.NewCluster(cluster, server.Options{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := client.Dial(addr, client.Options{PoolSize: partBenchConns})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl, func() {
+		cl.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if got := cluster.Health().Inflight; got != 0 {
+			b.Fatalf("leaked admission slots after benchmark drain: %d", got)
+		}
+	}
+}
+
+// BenchmarkP1PartitionScaling measures write scale-out across the
+// partitioned stack: the same hot-account banking load (and a
+// one-encyclopedia-per-partition load) against 1, 2, 4 and 8 partitions.
+// Every worker keeps its whole transaction on one partition — both
+// accounts from that partition's pool, with the pool's first account in
+// every transfer as the hot spot — so the series isolates what
+// partitioning buys: N independent hot pages instead of one. The last
+// iteration of each series lands in BENCH_partition.json; the acceptance
+// bar is banking txn/s at 4 partitions >= 2x the 1-partition figure.
+func BenchmarkP1PartitionScaling(b *testing.B) {
+	// The runner invokes each sub-benchmark more than once (the sizing probe,
+	// then the measured run); keep one row per series, last run wins.
+	var rows []partBenchRow
+	rowIdx := map[string]int{}
+	record := func(r partBenchRow) {
+		key := fmt.Sprintf("%s/%d", r.Workload, r.Partitions)
+		if i, ok := rowIdx[key]; ok {
+			rows[i] = r
+			return
+		}
+		rowIdx[key] = len(rows)
+		rows = append(rows, r)
+	}
+	for _, wl := range []string{"banking", "encyclopedia"} {
+		for _, n := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/parts=%d", wl, n), func(b *testing.B) {
+				// Mirror the server's router to build co-located access sets.
+				pools := make([][]int, n)
+				for i := 0; i < partBenchAccounts; i++ {
+					p := partition.RouteName("Acct"+strconv.Itoa(i), n)
+					pools[p] = append(pools[p], i)
+				}
+				if wl == "banking" {
+					for p, pool := range pools {
+						if len(pool) < 2 {
+							b.Fatalf("partition %d holds %d of %d accounts; transfer needs 2", p, len(pool), partBenchAccounts)
+						}
+					}
+				}
+				encs := make([]string, n)
+				for p := range encs {
+					encs[p] = partition.NameFor("Enc", p, n)
+				}
+
+				cl, stop := partitionBenchServer(b, n, wl)
+				defer stop()
+				const txnsPerConn = 16
+				var last partBenchRow
+				for iter := 0; iter < b.N; iter++ {
+					var retries atomic.Int64
+					policy := client.RetryPolicy{
+						MaxAttempts:   200,
+						RetryOverload: true,
+						OnRetry:       func(int, error) { retries.Add(1) },
+					}
+					lats := make([]time.Duration, 0, partBenchConns*txnsPerConn)
+					var latMu sync.Mutex
+					start := time.Now()
+					var wg sync.WaitGroup
+					errCh := make(chan error, partBenchConns)
+					for c := 0; c < partBenchConns; c++ {
+						wg.Add(1)
+						go func(c int) {
+							defer wg.Done()
+							p := c % n
+							pool := pools[p]
+							rr := rand.New(rand.NewSource(int64(1000*iter + c)))
+							local := make([]time.Duration, 0, txnsPerConn)
+							for i := 0; i < txnsPerConn; i++ {
+								t0 := time.Now()
+								var err error
+								if wl == "banking" {
+									// Every transfer touches the hot account FIRST
+									// (ordered acquisition: its page lock serializes the
+									// partition without deadlocks) and alternates its
+									// role between payer and payee so it never drains.
+									hot := "Acct" + strconv.Itoa(pool[0])
+									other := "Acct" + strconv.Itoa(pool[1+rr.Intn(len(pool)-1)])
+									hotOp, otherOp := "debit", "credit"
+									if i%2 == 1 {
+										hotOp, otherOp = "credit", "debit"
+									}
+									err = cl.RunWithRetry(policy, func(tx *client.Tx) error {
+										if _, err := tx.Invoke("account", hot, hotOp, "7"); err != nil {
+											return err
+										}
+										_, err := tx.Invoke("account", other, otherOp, "7")
+										return err
+									})
+								} else {
+									enc := encs[p]
+									k := fmt.Sprintf("k%06d", rr.Intn(500))
+									err = cl.RunWithRetry(policy, func(tx *client.Tx) error {
+										if rr.Intn(100) < 30 {
+											_, err := tx.Invoke("encyclopedia", enc, "insert", k, "text")
+											return err
+										}
+										_, err := tx.Invoke("encyclopedia", enc, "search", k)
+										return err
+									})
+								}
+								if err != nil {
+									errCh <- fmt.Errorf("conn %d: %w", c, err)
+									return
+								}
+								local = append(local, time.Since(t0))
+							}
+							latMu.Lock()
+							lats = append(lats, local...)
+							latMu.Unlock()
+						}(c)
+					}
+					wg.Wait()
+					elapsed := time.Since(start)
+					close(errCh)
+					if err := <-errCh; err != nil {
+						b.Fatal(err)
+					}
+					sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+					pct := func(p float64) int64 {
+						if len(lats) == 0 {
+							return 0
+						}
+						return lats[int(p*float64(len(lats)-1))].Microseconds()
+					}
+					last = partBenchRow{
+						Workload:   wl,
+						Partitions: n,
+						Conns:      partBenchConns,
+						Committed:  int64(len(lats)),
+						Seconds:    elapsed.Seconds(),
+						TxnPerSec:  float64(len(lats)) / elapsed.Seconds(),
+						P50us:      pct(0.50),
+						P99us:      pct(0.99),
+						Retries:    retries.Load(),
+					}
+					b.ReportMetric(last.TxnPerSec, "txn/s")
+					b.ReportMetric(float64(last.P50us), "p50µs")
+					b.ReportMetric(float64(last.P99us), "p99µs")
+				}
+				record(last)
+			})
+		}
+	}
+
+	base := map[string]float64{}
+	for _, r := range rows {
+		if r.Partitions == 1 {
+			base[r.Workload] = r.TxnPerSec
+		}
+	}
+	for _, r := range rows {
+		if b1 := base[r.Workload]; b1 > 0 && r.Partitions > 1 {
+			b.Logf("%s: %d partitions: %.0f txn/s (%.2fx the 1-partition %.0f)",
+				r.Workload, r.Partitions, r.TxnPerSec, r.TxnPerSec/b1, b1)
+		}
+	}
+	if len(rows) > 0 {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_partition.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
