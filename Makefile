@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-obs bench bench-wal bench-ckpt bench-obs bench-spans bench-net bench-partition torture metrics-smoke trace-smoke chaos-smoke checkpoint-smoke server-smoke partition-smoke
+.PHONY: check build vet test test-obs bench bench-wal bench-ckpt bench-obs bench-spans bench-net bench-partition torture metrics-smoke trace-smoke chaos-smoke checkpoint-smoke server-smoke partition-smoke tracing-smoke
 
 # The full gate: everything must build, vet clean, and pass under the race
 # detector. CI and pre-commit both run this.
@@ -150,3 +150,40 @@ trace-smoke:
 	curl -sf "http://127.0.0.1:$(TRACE_SMOKE_PORT)/trace" | grep -q '"txns"' && \
 	echo "trace-smoke: OK"; \
 	status=$$?; wait; exit $$status
+
+# End-to-end check of distributed tracing over the wire: boot a 2-partition
+# oodbd, run a traced client workload, pick one client-stamped trace id off
+# oodbload's output, and assert the server's cluster /trace?trace=<id> view
+# returns that id on a KSession span. Then check the Prometheus exposition
+# carries per-partition labels, and that SIGTERM flips /healthz to
+# "draining" while the metrics endpoint lingers.
+TRACING_SMOKE_PORT ?= 19327
+TRACING_SMOKE_METRICS_PORT ?= 19328
+tracing-smoke:
+	$(GO) build -o /tmp/oodbd-tsmoke ./cmd/oodbd
+	$(GO) build -o /tmp/oodbload-tsmoke ./cmd/oodbload
+	/tmp/oodbd-tsmoke -addr 127.0.0.1:$(TRACING_SMOKE_PORT) \
+		-metrics-addr 127.0.0.1:$(TRACING_SMOKE_METRICS_PORT) \
+		-partitions 2 -install banking -accounts 32 -max-inflight 64 \
+		-slow-query 1ms -metrics-linger 5s >/dev/null 2>&1 & \
+	pid=$$!; \
+	sleep 1; \
+	out=$$(/tmp/oodbload-tsmoke -addr 127.0.0.1:$(TRACING_SMOKE_PORT) -workload banking \
+		-partitions 2 -accounts 32 -workers 4 -txns 5 -trace \
+		-trace-url http://127.0.0.1:$(TRACING_SMOKE_METRICS_PORT)) && \
+	id=$$(echo "$$out" | sed -n 's/^oodbload: trace=\([0-9a-f]*\) .*/\1/p' | head -1) && \
+	[ -n "$$id" ] && \
+	trace=$$(curl -sf "http://127.0.0.1:$(TRACING_SMOKE_METRICS_PORT)/trace?trace=$$id") && \
+	echo "$$trace" | grep -q "\"remote\": \"$$id\"" && \
+	echo "$$trace" | grep -q '"session"' && \
+	curl -sf http://127.0.0.1:$(TRACING_SMOKE_METRICS_PORT)/metrics/prom | grep -q '# TYPE' && \
+	curl -sf http://127.0.0.1:$(TRACING_SMOKE_METRICS_PORT)/metrics/prom | grep -q 'partition="p1"' && \
+	curl -sf http://127.0.0.1:$(TRACING_SMOKE_METRICS_PORT)/healthz | grep -q '"status": "ready"'; \
+	status=$$?; \
+	kill -TERM $$pid 2>/dev/null; \
+	sleep 1; \
+	if [ $$status -eq 0 ]; then \
+		curl -s http://127.0.0.1:$(TRACING_SMOKE_METRICS_PORT)/healthz | grep -q '"status": "draining"' || status=1; \
+	fi; \
+	wait $$pid || status=1; \
+	[ $$status -eq 0 ] && echo "tracing-smoke: OK"; exit $$status

@@ -25,6 +25,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -69,6 +71,9 @@ func main() {
 		ckptEvery    = flag.Duration("checkpoint", 0, "fuzzy-checkpoint interval (durable modes only; 0 = off)")
 		partitions   = flag.Int("partitions", 1, "independent engine partitions behind the object-name router (durable: WAL under <waldir>/p<i>)")
 		doRecover    = flag.Bool("recover", false, "restart a durable partitioned server over existing p<i> WAL dirs instead of refusing them")
+		slowQuery    = flag.Duration("slow-query", 0, "slow-query threshold: transactions alive this long tick engine.slow_txns, land on the flight recorder, and pin their span trace for /trace/slow (0 = off)")
+		spanSample   = flag.Int("span-sample", 0, "trace one in every N transactions (0 or 1 = every transaction)")
+		lingerDur    = flag.Duration("metrics-linger", 0, "keep the metrics endpoint (and its draining /healthz) up this long after the drain completes")
 	)
 	flag.Parse()
 
@@ -93,19 +98,10 @@ func main() {
 
 	// One registry for the whole process: the engine's counters, the
 	// server's session metrics and the failpoint control surface share one
-	// endpoint.
+	// endpoint. It is served only after the cluster and session layer are
+	// built, so every mount they install (/trace, /metrics/prom, /healthz)
+	// is wired into the handler.
 	reg := obs.New()
-	var stopMetrics func() error
-	if *metrics != "" {
-		reg.Handle("/fault", fault.Default.Handler())
-		bound, shutdown, err := reg.Serve(*metrics)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "oodbd: metrics endpoint: %v\n", err)
-			os.Exit(1)
-		}
-		stopMetrics = shutdown
-		fmt.Fprintf(os.Stderr, "oodbd: serving metrics at http://%s/metrics\n", bound)
-	}
 
 	n := *partitions
 	if n < 1 {
@@ -132,7 +128,9 @@ func main() {
 		CheckpointInterval: *ckptEvery,
 		// A server process never runs the offline validator; recording every
 		// action for it would grow memory without bound.
-		DisableTrace: true,
+		DisableTrace:     true,
+		SpanSampleEvery:  *spanSample,
+		SlowTxnThreshold: *slowQuery,
 	}
 
 	// Every schema installer below also serves as the Recover register hook
@@ -195,6 +193,26 @@ func main() {
 	}
 	fmt.Printf("oodbd: serving %s protocol on %s\n", *protocol, bound)
 
+	var stopMetrics func() error
+	if *metrics != "" {
+		reg.Handle("/fault", fault.Default.Handler())
+		reg.Handle("/healthz", srv.HealthzHandler())
+		pp := http.NewServeMux()
+		pp.HandleFunc("/debug/pprof/", pprof.Index)
+		pp.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pp.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pp.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pp.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		reg.Handle("/debug/pprof", pp)
+		mbound, shutdown, err := reg.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oodbd: metrics endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		stopMetrics = shutdown
+		fmt.Fprintf(os.Stderr, "oodbd: serving metrics at http://%s/metrics (also /metrics/prom, /healthz, /trace, /debug/pprof)\n", mbound)
+	}
+
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	sig := <-sigs
@@ -215,6 +233,13 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, "oodbd: drained; engine closed cleanly")
 	if stopMetrics != nil {
+		if *lingerDur > 0 {
+			// The observability endpoint outlives the drain so scrapers (and
+			// the tracing smoke test) can read the final state: /healthz
+			// reports draining, /trace and /metrics/prom still answer.
+			fmt.Fprintf(os.Stderr, "oodbd: metrics endpoint lingering %s\n", *lingerDur)
+			time.Sleep(*lingerDur)
+		}
 		_ = stopMetrics()
 	}
 }

@@ -15,15 +15,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -38,8 +43,10 @@ func main() {
 		ops      = flag.Int("ops", 4, "operations per transaction (encyclopedia)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		retryOv  = flag.Bool("retry-overload", false, "retry typed overload refusals instead of failing")
-		stats    = flag.Bool("stats", false, "print the server's STATS snapshot after the run")
+		stats    = flag.Bool("stats", false, "print the server's STATS snapshot and the client-side pool/retry counters after the run")
 		parts    = flag.Int("partitions", 1, "server partition count: keep each transaction on one partition (must match oodbd -partitions)")
+		trace    = flag.Bool("trace", false, "stamp every transaction with a distributed trace id and print one trace line per logical transaction")
+		traceURL = flag.String("trace-url", "", "oodbd metrics base URL (http://host:port): fetch server-side blame chains for retried/failed traces after the run (implies -trace)")
 	)
 	flag.Parse()
 
@@ -71,7 +78,13 @@ func main() {
 		encNames[p] = partition.NameFor("Enc", p, n)
 	}
 
-	cl, err := client.Dial(*addr, client.Options{PoolSize: *workers})
+	tracing := *trace || *traceURL != ""
+	clientReg := obs.New()
+	cl, err := client.Dial(*addr, client.Options{
+		PoolSize: *workers,
+		Trace:    tracing,
+		Obs:      clientReg,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oodbload: %v\n", err)
 		os.Exit(1)
@@ -86,6 +99,9 @@ func main() {
 	}
 	latMu := sync.Mutex{}
 	lats := make([]time.Duration, 0, *workers**txns)
+	// Retried or failed trace ids, kept for the -trace-url blame fetch.
+	var interestingMu sync.Mutex
+	var interesting []string
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -98,6 +114,24 @@ func main() {
 			for i := 0; i < *txns; i++ {
 				t0 := time.Now()
 				var err error
+				// Per-iteration retry policy: with tracing on, the attempt
+				// count and the logical transaction's trace id are captured
+				// for the trace line (and the -trace-url blame fetch).
+				p := policy
+				var traceID string
+				var extraAttempts int
+				if tracing {
+					p.OnRetry = func(a int, e error) {
+						retries.Add(1)
+						extraAttempts = a
+					}
+				}
+				run := func(body func(tx *client.Tx) error) error {
+					return cl.RunWithRetry(p, func(tx *client.Tx) error {
+						traceID = tx.TraceID()
+						return body(tx)
+					})
+				}
 				switch *wl {
 				case "banking":
 					// Pick both accounts from one partition's pool so the
@@ -109,7 +143,7 @@ func main() {
 						to = pool[rr.Intn(len(pool))]
 					}
 					amt := strconv.Itoa(1 + rr.Intn(100))
-					err = cl.RunWithRetry(policy, func(tx *client.Tx) error {
+					err = run(func(tx *client.Tx) error {
 						if _, err := tx.Invoke("account", "Acct"+strconv.Itoa(from), "debit", amt); err != nil {
 							return err
 						}
@@ -120,7 +154,7 @@ func main() {
 					// One encyclopedia object per partition ("Enc" when
 					// unpartitioned); the whole transaction stays on one.
 					enc := encNames[rr.Intn(n)]
-					err = cl.RunWithRetry(policy, func(tx *client.Tx) error {
+					err = run(func(tx *client.Tx) error {
 						for j := 0; j < *ops; j++ {
 							k := fmt.Sprintf("k%06d", rr.Intn(*keys))
 							var ierr error
@@ -140,6 +174,21 @@ func main() {
 				default:
 					fmt.Fprintf(os.Stderr, "oodbload: unknown workload %q\n", *wl)
 					os.Exit(2)
+				}
+				if tracing && traceID != "" {
+					status := "ok"
+					if err != nil {
+						status = "err"
+					}
+					fmt.Printf("oodbload: trace=%s worker=%d txn=%d attempts=%d status=%s\n",
+						traceID, w, i, extraAttempts+1, status)
+					if err != nil || extraAttempts > 0 {
+						interestingMu.Lock()
+						if len(interesting) < 8 {
+							interesting = append(interesting, traceID)
+						}
+						interestingMu.Unlock()
+					}
 				}
 				if err != nil {
 					failures.Add(1)
@@ -176,8 +225,44 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(s)
+		fmt.Println("oodbload: client-side counters:")
+		if err := clientReg.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "oodbload: client stats: %v\n", err)
+		}
+		fmt.Println()
+	}
+	if *traceURL != "" {
+		fetchBlame(*traceURL, interesting)
 	}
 	if failures.Load() > 0 {
 		os.Exit(1)
+	}
+}
+
+// fetchBlame pulls the server-side blame chains for the retried/failed
+// trace ids from oodbd's metrics endpoint: the cross-process half of the
+// trace — client attempt, session span, lock waits, causal abort edges —
+// rendered by /trace?trace=<id>&format=text.
+func fetchBlame(base string, ids []string) {
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "oodbload: no retried or failed traces to fetch")
+		return
+	}
+	base = strings.TrimRight(base, "/")
+	hc := &http.Client{Timeout: 5 * time.Second}
+	for _, id := range ids {
+		u := base + "/trace?trace=" + url.QueryEscape(id) + "&format=text"
+		res, err := hc.Get(u)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oodbload: blame fetch %s: %v\n", id, err)
+			continue
+		}
+		body, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "oodbload: blame fetch %s: %s: %s\n", id, res.Status, strings.TrimSpace(string(body)))
+			continue
+		}
+		fmt.Printf("oodbload: server-side blame for trace %s:\n%s", id, body)
 	}
 }

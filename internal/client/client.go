@@ -22,6 +22,8 @@
 package client
 
 import (
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -29,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -56,6 +59,17 @@ type Options struct {
 	PoolSize int
 	// DialTimeout bounds each TCP dial (default 5s).
 	DialTimeout time.Duration
+	// Trace stamps every transaction frame with a distributed trace id (the
+	// wire extTrace extension): one id per logical transaction, stable
+	// across RunWithRetry attempts, so the server's /trace?trace= surface
+	// can join client attempts to engine spans. Opt-in because stamped
+	// frames are not decodable by pre-extension servers.
+	Trace bool
+	// Obs hooks the client pool's own metrics (client.conns_open,
+	// client.conns_inuse, client.roundtrips, client.retries.<cause>,
+	// client.commit_in_doubt) into a local registry — nil disables at zero
+	// cost (every handle is nil-receiver safe).
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -77,15 +91,46 @@ type Client struct {
 	mu     sync.Mutex
 	free   []*conn
 	closed bool
+
+	connsOpen     *obs.Gauge   // client.conns_open: live TCP connections
+	connsInUse    *obs.Gauge   // client.conns_inuse: checked out of the pool
+	roundTrips    *obs.Counter // client.roundtrips: frames sent and answered
+	commitInDoubt *obs.Counter // client.commit_in_doubt
 }
 
 // Dial connects to an oodbd server and verifies liveness with a PING.
 func Dial(addr string, opts Options) (*Client, error) {
-	c := &Client{addr: addr, opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	reg := opts.Obs
+	c := &Client{
+		addr:          addr,
+		opts:          opts,
+		connsOpen:     reg.Gauge("client.conns_open"),
+		connsInUse:    reg.Gauge("client.conns_inuse"),
+		roundTrips:    reg.Counter("client.roundtrips"),
+		commitInDoubt: reg.Counter("client.commit_in_doubt"),
+	}
 	if err := c.Ping(); err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	return c, nil
+}
+
+// retryCounter classifies a retried attempt's failure into its
+// client.retries.<cause> counter (no-op without Options.Obs).
+func (c *Client) retryCounter(err error) *obs.Counter {
+	cause := "other"
+	switch {
+	case errors.Is(err, wire.ErrDeadlock):
+		cause = "deadlock"
+	case errors.Is(err, wire.ErrLockTimeout):
+		cause = "lock-timeout"
+	case errors.Is(err, wire.ErrOverloaded):
+		cause = "overloaded"
+	case errors.Is(err, ErrConnDead):
+		cause = "conn-dead"
+	}
+	return c.opts.Obs.Counter("client.retries." + cause)
 }
 
 // Close releases every pooled connection. Transactions still holding
@@ -111,6 +156,7 @@ func (c *Client) get() (*conn, error) {
 		c.free = c.free[:len(c.free)-1]
 		if nc.alive() {
 			c.mu.Unlock()
+			c.connsInUse.Add(1)
 			return nc, nil
 		}
 		nc.close(ErrConnDead)
@@ -120,11 +166,17 @@ func (c *Client) get() (*conn, error) {
 		return nil, ErrClientClosed
 	}
 	c.mu.Unlock()
-	return dialConn(c.addr, c.opts.DialTimeout)
+	nc, err := dialConn(c.addr, c.opts.DialTimeout, c.connsOpen, c.roundTrips)
+	if err != nil {
+		return nil, err
+	}
+	c.connsInUse.Add(1)
+	return nc, nil
 }
 
 // put returns a connection to the pool (or closes it if dead/full/closed).
 func (c *Client) put(nc *conn) {
+	c.connsInUse.Add(-1)
 	if !nc.alive() {
 		nc.close(ErrConnDead)
 		return
@@ -172,30 +224,70 @@ func (c *Client) Stats() (string, error) {
 // Tx is one open server-side transaction, pinned to one connection. Not
 // safe for concurrent use (sessions execute serially anyway).
 type Tx struct {
-	c    *Client
-	nc   *conn
-	id   string
-	done bool
+	c       *Client
+	nc      *conn
+	id      string
+	done    bool
+	trace   string // distributed trace id stamped on every frame ("" = off)
+	attempt uint32
+}
+
+// newTraceID mints a 16-hex-char distributed trace id.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to a
+		// jitter-source id rather than a panic in a tracing helper.
+		return fmt.Sprintf("%016x", uint64(jitter(1<<62)))
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Begin opens a transaction. The returned Tx owns a pooled connection
 // until Commit or Abort; abandoning a Tx leaks its connection until the
 // server's idle reaper cuts the session (which aborts the transaction).
+// With Options.Trace the transaction gets a fresh trace id (attempt 1);
+// retry loops that want a stable id across attempts use BeginTraced.
 func (c *Client) Begin() (*Tx, error) {
+	if c.opts.Trace {
+		return c.BeginTraced(newTraceID(), 1)
+	}
+	return c.beginTx("", 0)
+}
+
+// BeginTraced opens a transaction stamped with an explicit trace id and
+// attempt counter — RunWithRetry's per-attempt entry point, also usable
+// directly to propagate an id minted elsewhere. Requires a server that
+// understands the trace extension (see Options.Trace).
+func (c *Client) BeginTraced(traceID string, attempt uint32) (*Tx, error) {
+	return c.beginTx(traceID, attempt)
+}
+
+func (c *Client) beginTx(traceID string, attempt uint32) (*Tx, error) {
 	nc, err := c.get()
 	if err != nil {
 		return nil, err
 	}
-	id, err := nc.call(wire.Msg{Type: wire.MsgBegin})
+	id, err := nc.call(wire.Msg{Type: wire.MsgBegin, TraceID: traceID, TraceAttempt: attempt})
 	if err != nil {
 		c.put(nc)
 		return nil, err
 	}
-	return &Tx{c: c, nc: nc, id: id}, nil
+	return &Tx{c: c, nc: nc, id: id, trace: traceID, attempt: attempt}, nil
 }
 
 // ID returns the server-assigned transaction id.
 func (t *Tx) ID() string { return t.id }
+
+// TraceID returns the distributed trace id stamped on this transaction's
+// frames ("" when tracing is off).
+func (t *Tx) TraceID() string { return t.trace }
+
+// stamp adds the transaction's trace context to an outbound frame.
+func (t *Tx) stamp(m wire.Msg) wire.Msg {
+	m.TraceID, m.TraceAttempt = t.trace, t.attempt
+	return m
+}
 
 // Invoke calls method on the object (objType, objName) inside the
 // transaction and returns the method result.
@@ -203,8 +295,8 @@ func (t *Tx) Invoke(objType, objName, method string, params ...string) (string, 
 	if t.done {
 		return "", wire.ErrTxnFinished
 	}
-	return t.nc.call(wire.Msg{Type: wire.MsgInvoke, ObjType: objType, ObjName: objName,
-		Method: method, Params: params})
+	return t.nc.call(t.stamp(wire.Msg{Type: wire.MsgInvoke, ObjType: objType, ObjName: objName,
+		Method: method, Params: params}))
 }
 
 // PageRead reads a raw page inside the transaction.
@@ -212,7 +304,7 @@ func (t *Tx) PageRead(page uint64) (string, error) {
 	if t.done {
 		return "", wire.ErrTxnFinished
 	}
-	return t.nc.call(wire.Msg{Type: wire.MsgPageRead, Page: page})
+	return t.nc.call(t.stamp(wire.Msg{Type: wire.MsgPageRead, Page: page}))
 }
 
 // PageWrite writes a raw page inside the transaction.
@@ -220,7 +312,7 @@ func (t *Tx) PageWrite(page uint64, data string) error {
 	if t.done {
 		return wire.ErrTxnFinished
 	}
-	_, err := t.nc.call(wire.Msg{Type: wire.MsgPageWrite, Page: page, Params: []string{data}})
+	_, err := t.nc.call(t.stamp(wire.Msg{Type: wire.MsgPageWrite, Page: page, Params: []string{data}}))
 	return err
 }
 
@@ -237,9 +329,10 @@ func (t *Tx) Commit() error {
 	if t.done {
 		return wire.ErrTxnFinished
 	}
-	_, err := t.nc.call(wire.Msg{Type: wire.MsgCommit})
+	_, err := t.nc.call(t.stamp(wire.Msg{Type: wire.MsgCommit}))
 	t.finish()
 	if err != nil && errors.Is(err, ErrConnDead) {
+		t.c.commitInDoubt.Inc()
 		return fmt.Errorf("%w (txn %s)", ErrCommitInDoubt, t.id)
 	}
 	return err
@@ -251,7 +344,7 @@ func (t *Tx) Abort() error {
 	if t.done {
 		return wire.ErrTxnFinished
 	}
-	_, err := t.nc.call(wire.Msg{Type: wire.MsgAbort})
+	_, err := t.nc.call(t.stamp(wire.Msg{Type: wire.MsgAbort}))
 	t.finish()
 	if err != nil && errors.Is(err, ErrConnDead) {
 		return nil // disconnect == abort server-side
@@ -324,14 +417,23 @@ func jitter(n int64) int64 {
 // RetryOverload) with jittered exponential backoff. Terminal errors —
 // degraded engine, closed engine, commit-in-doubt, transport loss — stop
 // the loop immediately, exactly like core.RunWithRetry's terminal set.
+//
+// With Options.Trace one trace id is minted per call and stamped on every
+// attempt with its attempt counter, so the whole retry history of the
+// logical transaction shares one id server-side (body can read it via
+// Tx.TraceID).
 func (c *Client) RunWithRetry(p RetryPolicy, body func(t *Tx) error) error {
 	p = p.withDefaults()
+	traceID := ""
+	if c.opts.Trace {
+		traceID = newTraceID()
+	}
 	var lastErr error
 	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			time.Sleep(p.backoffFor(attempt - 1))
 		}
-		tx, err := c.Begin()
+		tx, err := c.beginTx(traceID, uint32(attempt))
 		if err == nil {
 			err = body(tx)
 			if err == nil {
@@ -352,6 +454,7 @@ func (c *Client) RunWithRetry(p RetryPolicy, body func(t *Tx) error) error {
 		if !retryable {
 			return err
 		}
+		c.retryCounter(err).Inc()
 		if errors.Is(err, wire.ErrOverloaded) {
 			// Flat, maximal backoff for overload: the admission queue already
 			// absorbed the exponential ramp server-side.
@@ -373,14 +476,18 @@ type conn struct {
 	seq     uint64
 	pending map[uint64]chan wire.Msg
 	dead    error // non-nil once the reader exits; guarded by mu
+
+	open  *obs.Gauge   // client.conns_open; decremented once on death
+	trips *obs.Counter // client.roundtrips
 }
 
-func dialConn(addr string, timeout time.Duration) (*conn, error) {
+func dialConn(addr string, timeout time.Duration, open *obs.Gauge, trips *obs.Counter) (*conn, error) {
 	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	nc := &conn{c: c, pending: make(map[uint64]chan wire.Msg)}
+	nc := &conn{c: c, pending: make(map[uint64]chan wire.Msg), open: open, trips: trips}
+	open.Add(1)
 	go nc.readLoop()
 	return nc, nil
 }
@@ -401,12 +508,16 @@ func (nc *conn) close(cause error) {
 // pending caller by closing its channel.
 func (nc *conn) fail(cause error) {
 	nc.mu.Lock()
-	if nc.dead == nil {
+	first := nc.dead == nil
+	if first {
 		nc.dead = cause
 	}
 	pending := nc.pending
 	nc.pending = make(map[uint64]chan wire.Msg)
 	nc.mu.Unlock()
+	if first {
+		nc.open.Add(-1)
+	}
 	for _, ch := range pending {
 		close(ch)
 	}
@@ -458,6 +569,7 @@ func (nc *conn) call(m wire.Msg) (string, error) {
 		nc.mu.Unlock()
 		return "", err
 	}
+	nc.trips.Inc()
 	if resp.Type == wire.MsgError {
 		return "", wire.RemoteErr(resp.Code, resp.Result)
 	}

@@ -177,6 +177,8 @@ type DB struct {
 	obs         *obs.Registry
 	obsRec      *obs.FlightRecorder
 	obsCommitNs *obs.Histogram // begin → durable-commit latency
+	obsSlowTxns *obs.Counter   // lifetimes past Options.SlowTxnThreshold
+	slowThresh  time.Duration  // 0 disables slow-transaction marking
 
 	// spans is the per-transaction span tracer (nil when Options.DisableSpans
 	// or an unsampled transaction; every handle is nil-receiver safe).
@@ -307,6 +309,12 @@ type Options struct {
 	// Open creates the tracer itself (0 or 1 traces everything). Ignored
 	// when Tracer is supplied.
 	SpanSampleEvery int
+	// SlowTxnThreshold, when > 0, marks any top-level transaction whose
+	// begin→finish lifetime crosses it as slow: an engine.slow_txns counter
+	// tick, an EvTxnSlow flight-recorder event, and — for sampled
+	// transactions — the span trace is pinned in the tracer's slow-query
+	// ring so /trace/slow can replay it after the abort/done rings churn.
+	SlowTxnThreshold time.Duration
 	// MaxInflight bounds the number of concurrently admitted top-level
 	// transactions (0 = unbounded). Arrivals beyond the bound queue for up
 	// to AdmissionTimeout and then fail with ErrOverloaded. Admission is
@@ -329,7 +337,12 @@ func Open(opts Options) *DB {
 	}
 	spans := opts.Tracer
 	if spans == nil && !opts.DisableSpans {
-		spans = span.NewTracer(span.Options{SampleEvery: opts.SpanSampleEvery})
+		spans = span.NewTracer(span.Options{
+			SampleEvery:   opts.SpanSampleEvery,
+			SlowThreshold: opts.SlowTxnThreshold,
+		})
+	} else if opts.SlowTxnThreshold > 0 {
+		spans.SetSlowThreshold(opts.SlowTxnThreshold)
 	}
 	var lmOpts []cc.Option
 	if reg != nil {
@@ -371,6 +384,8 @@ func Open(opts Options) *DB {
 	db.obs = reg
 	db.obsRec = reg.Recorder()
 	db.obsCommitNs = reg.Histogram("txn.commit_ns", obs.LatencyBounds())
+	db.obsSlowTxns = reg.Counter("engine.slow_txns")
+	db.slowThresh = opts.SlowTxnThreshold
 	db.obsDegraded = reg.Gauge("engine.degraded")
 	db.obsInflight = reg.Gauge("engine.inflight")
 	db.obsOverloads = reg.Counter("engine.overloads")

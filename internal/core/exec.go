@@ -184,6 +184,12 @@ func (db *DB) Begin() *Txn {
 // ID returns the transaction id ("T<n>").
 func (t *Txn) ID() string { return t.id }
 
+// Trace returns the transaction's span trace — nil when tracing is
+// disabled or the transaction was not sampled; every TxnTrace method is
+// nil-receiver safe. The session layer uses it to graft its KSession span
+// (and the client's remote trace id) onto the engine's span tree.
+func (t *Txn) Trace() *span.TxnTrace { return t.tt }
+
 // Seq returns the transaction's start sequence number — its age for
 // deadlock-victim selection.
 func (t *Txn) Seq() int64 { return t.seq }
@@ -805,6 +811,20 @@ func (t *Txn) finishCommitted() {
 	t.db.obsCommitNs.ObserveDuration(elapsed)
 	t.db.obsRec.Record(obs.Event{Kind: obs.EvTxnCommit, Actor: t.id,
 		Dur: elapsed, N: t.maxDepth.Load()})
+	t.noteSlow(elapsed, "committed")
+}
+
+// noteSlow is the slow-query hook shared by every finish path: lifetimes
+// past Options.SlowTxnThreshold tick engine.slow_txns and land an
+// EvTxnSlow event. The span trace itself (when sampled) is pinned by
+// FinishTxn, which applies the same threshold tracer-side.
+func (t *Txn) noteSlow(elapsed time.Duration, outcome string) {
+	if t.db.slowThresh <= 0 || elapsed < t.db.slowThresh {
+		return
+	}
+	t.db.obsSlowTxns.Inc()
+	t.db.obsRec.Record(obs.Event{Kind: obs.EvTxnSlow, Actor: t.id,
+		Dur: elapsed, N: t.maxDepth.Load(), Note: outcome})
 }
 
 // failCommit turns a rejected commit into a proper abort: the
@@ -837,8 +857,10 @@ func (t *Txn) failCommit(cause error) error {
 	}
 	t.db.spans.FinishTxn(t.tt, span.StatusAborted)
 	t.db.stats.txnsAborted.Add(1)
+	elapsed := time.Since(t.began)
 	t.db.obsRec.Record(obs.Event{Kind: obs.EvTxnAbort, Actor: t.id,
-		Dur: time.Since(t.began), N: t.maxDepth.Load(), Note: cause.Error()})
+		Dur: elapsed, N: t.maxDepth.Load(), Note: cause.Error()})
+	t.noteSlow(elapsed, "commit-rejected")
 	return cause
 }
 
@@ -901,8 +923,10 @@ func (t *Txn) Abort() error {
 	t.db.lm.ReleaseTree(t.id)
 	t.db.spans.FinishTxn(t.tt, span.StatusAborted)
 	t.db.stats.txnsAborted.Add(1)
+	elapsed := time.Since(t.began)
 	t.db.obsRec.Record(obs.Event{Kind: obs.EvTxnAbort, Actor: t.id,
-		Dur: time.Since(t.began), N: t.maxDepth.Load()})
+		Dur: elapsed, N: t.maxDepth.Load()})
+	t.noteSlow(elapsed, "aborted")
 	if t.db.tracing && !compensated {
 		t.db.rec.MarkAborted(t.id)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 )
@@ -40,11 +41,16 @@ func (r *Registry) Handle(prefix string, h http.Handler) {
 
 // Handler returns the registry's HTTP handler:
 //
-//	/metrics     — expvar-compatible JSON snapshot of every registered var
-//	/debug/vars  — alias for expvar tooling
-//	/events?n=K  — the flight recorder's last K events as text (default 200)
+//	/metrics       — expvar-compatible JSON snapshot of every registered var
+//	/debug/vars    — alias for expvar tooling
+//	/metrics/prom  — Prometheus text exposition of the same vars (unless an
+//	                 extra mount claims the path, as oodbd's cluster-wide
+//	                 exposition does)
+//	/events?n=K    — the flight recorder's last K events as text (default 200)
 //
-// plus any endpoints mounted via Handle.
+// plus any endpoints mounted via Handle. Extra mounts are wired (and
+// listed on the index line) in sorted prefix order, so consecutive scrapes
+// of / diff stably.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	metrics := func(w http.ResponseWriter, req *http.Request) {
@@ -70,21 +76,34 @@ func (r *Registry) Handler() http.Handler {
 		r.Recorder().Dump(w, n)
 	})
 	extraHelp := ""
+	promClaimed := false
 	if r != nil {
 		r.mu.RLock()
-		for prefix, h := range r.extra {
+		prefixes := make([]string, 0, len(r.extra))
+		for prefix := range r.extra {
+			prefixes = append(prefixes, prefix)
+		}
+		sort.Strings(prefixes)
+		for _, prefix := range prefixes {
+			h := r.extra[prefix]
 			mux.Handle(prefix, h)
 			mux.Handle(prefix+"/", h)
 			extraHelp += fmt.Sprintf(", %s", prefix)
+			if prefix == "/metrics/prom" {
+				promClaimed = true
+			}
 		}
 		r.mu.RUnlock()
+	}
+	if !promClaimed {
+		mux.Handle("/metrics/prom", PromHandler([]PromSource{{Reg: r}}))
 	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintf(w, "oodb observability: /metrics (JSON), /debug/vars (alias), /events?n=K (flight recorder)%s\n", extraHelp)
+		fmt.Fprintf(w, "oodb observability: /metrics (JSON), /debug/vars (alias), /metrics/prom (Prometheus), /events?n=K (flight recorder)%s\n", extraHelp)
 	})
 	return mux
 }

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (text/plain; version=0.0.4) over one or more
+// registries. The JSON surfaces (/metrics, /debug/vars) stay the debugging
+// view; this is the scrape format: counters and gauges one sample each,
+// histograms as cumulative le-bucketed series with _sum and _count, and
+// snapshot funcVars contributing their numeric values as untyped samples
+// (structured funcVars — whole-subsystem JSON snapshots — have no scalar
+// reading and are omitted). Metric names are sanitized into the
+// oodb_<name> namespace; each source's label set (e.g. partition="p0") is
+// stamped on every sample it contributes, which is how one endpoint
+// exposes N partition registries without name collisions.
+
+// PromSource names one registry's contribution to the exposition. Label
+// is a rendered label pair list without braces (`partition="p0"`), empty
+// for none.
+type PromSource struct {
+	Label string
+	Reg   *Registry
+}
+
+// PromHandler serves the merged exposition of the given sources.
+func PromHandler(sources []PromSource) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, sources)
+	})
+}
+
+// WriteProm renders the exposition: families in sorted name order, one
+// TYPE line each, samples in source order within a family.
+func WriteProm(w io.Writer, sources []PromSource) error {
+	type family struct {
+		typ   string
+		lines []string
+	}
+	families := make(map[string]*family)
+	var order []string
+	add := func(name, typ string, lines ...string) {
+		f := families[name]
+		if f == nil {
+			f = &family{typ: typ}
+			families[name] = f
+			order = append(order, name)
+		}
+		f.lines = append(f.lines, lines...)
+	}
+	for _, src := range sources {
+		r := src.Reg
+		if r == nil {
+			continue
+		}
+		r.mu.RLock()
+		vars := make(map[string]Var, len(r.vars))
+		for n, v := range r.vars {
+			vars[n] = v
+		}
+		r.mu.RUnlock()
+		names := make([]string, 0, len(vars))
+		for n := range vars {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			pn := PromName(n)
+			switch v := vars[n].(type) {
+			case *Counter:
+				add(pn, "counter", promSample(pn, src.Label, v.Load()))
+			case *Gauge:
+				add(pn, "gauge", promSample(pn, src.Label, v.Load()))
+			case *Histogram:
+				add(pn, "histogram", promHistogram(pn, src.Label, v)...)
+			default:
+				// funcVar (or any future Var): publish scalar readings only.
+				if f, ok := promScalar(v.Value()); ok {
+					add(pn, "untyped", promSampleF(pn, src.Label, f))
+				}
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		f := families[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PromName sanitizes a registry metric name ("p0.engine.commits") into the
+// Prometheus namespace ("oodb_p0_engine_commits").
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	b.WriteString("oodb_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promSample(name, labels string, v int64) string {
+	if labels != "" {
+		return fmt.Sprintf("%s{%s} %d", name, labels, v)
+	}
+	return fmt.Sprintf("%s %d", name, v)
+}
+
+func promSampleF(name, labels string, v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if labels != "" {
+		return fmt.Sprintf("%s{%s} %s", name, labels, s)
+	}
+	return fmt.Sprintf("%s %s", name, s)
+}
+
+// promHistogram renders one histogram as cumulative buckets + sum + count.
+// The +Inf bucket and _count both report the bucket total read in one
+// pass, so the exposition is self-consistent even while Observe races the
+// scrape (h.count could differ by in-flight observations).
+func promHistogram(name, labels string, h *Histogram) []string {
+	out := make([]string, 0, len(h.counts)+2)
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatInt(h.bounds[i], 10)
+		}
+		ls := fmt.Sprintf("le=%q", le)
+		if labels != "" {
+			ls = labels + "," + ls
+		}
+		out = append(out, fmt.Sprintf("%s_bucket{%s} %d", name, ls, cum))
+	}
+	out = append(out,
+		promSample(name+"_sum", labels, h.Sum()),
+		promSample(name+"_count", labels, cum))
+	return out
+}
+
+// promScalar reports a snapshot value's float reading, when it has one.
+func promScalar(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}

@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func readAll(t *testing.T, r io.Reader) string {
+	t.Helper()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// parseProm is a strict Prometheus text-format (version 0.0.4) parser for
+// the subset the exposition emits: `# TYPE` comments and
+// `name[{labels}] value` samples. It enforces the format rules a real
+// scraper would: every sample's family has a preceding TYPE line, names
+// match the metric-name charset, label values are quoted, values parse as
+// floats, histogram buckets are cumulative and end at +Inf with a
+// matching _count, and no family appears twice.
+func parseProm(t *testing.T, text string) map[string][]promParsedSample {
+	t.Helper()
+	types := make(map[string]string)
+	samples := make(map[string][]promParsedSample)
+	var lastType string
+	for lineNo, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				t.Fatalf("line %d: malformed comment %q", lineNo+1, line)
+			}
+			name, typ := fields[2], fields[3]
+			if !promNameOK(name) {
+				t.Fatalf("line %d: bad family name %q", lineNo+1, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "untyped", "summary":
+			default:
+				t.Fatalf("line %d: unknown type %q", lineNo+1, typ)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: family %q declared twice", lineNo+1, name)
+			}
+			types[name] = typ
+			lastType = name
+			continue
+		}
+		s := parsePromSample(t, lineNo+1, line)
+		fam := s.name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(s.name, suffix); base != s.name && types[base] == "histogram" {
+				fam = base
+			}
+		}
+		if _, ok := types[fam]; !ok {
+			t.Fatalf("line %d: sample %q has no TYPE line", lineNo+1, s.name)
+		}
+		if fam != lastType {
+			t.Fatalf("line %d: sample %q outside its family block (last TYPE %s)", lineNo+1, s.name, lastType)
+		}
+		samples[fam] = append(samples[fam], s)
+	}
+	// Histogram invariants, per label set: cumulative buckets ending at
+	// +Inf, with _count equal to the +Inf reading.
+	for fam, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		byLabels := make(map[string][]promParsedSample)
+		for _, s := range samples[fam] {
+			key := s.labelsKey("le")
+			byLabels[key] = append(byLabels[key], s)
+		}
+		for key, group := range byLabels {
+			var last float64
+			var sawInf, sawCount bool
+			var inf, count float64
+			for _, s := range group {
+				switch s.name {
+				case fam + "_bucket":
+					if s.value < last {
+						t.Fatalf("family %s{%s}: bucket counts not cumulative", fam, key)
+					}
+					last = s.value
+					if s.labels["le"] == "+Inf" {
+						sawInf, inf = true, s.value
+					}
+				case fam + "_count":
+					sawCount, count = true, s.value
+				}
+			}
+			if !sawInf {
+				t.Fatalf("family %s{%s}: no +Inf bucket", fam, key)
+			}
+			if !sawCount || count != inf {
+				t.Fatalf("family %s{%s}: _count %v != +Inf bucket %v", fam, key, count, inf)
+			}
+		}
+	}
+	return samples
+}
+
+type promParsedSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// labelsKey renders the sample's labels minus the given ones — the
+// per-series identity used to group histogram buckets.
+func (s promParsedSample) labelsKey(drop ...string) string {
+	var parts []string
+	for k, v := range s.labels {
+		skip := false
+		for _, d := range drop {
+			if k == d {
+				skip = true
+			}
+		}
+		if !skip {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func parsePromSample(t *testing.T, lineNo int, line string) promParsedSample {
+	t.Helper()
+	s := promParsedSample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.name = rest[:i]
+		end := strings.IndexByte(rest, '}')
+		if end < i {
+			t.Fatalf("line %d: unterminated label set: %q", lineNo, line)
+		}
+		for _, pair := range strings.Split(rest[i+1:end], ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				t.Fatalf("line %d: malformed label %q", lineNo, pair)
+			}
+			if !promNameOK(k) {
+				t.Fatalf("line %d: bad label name %q", lineNo, k)
+			}
+			s.labels[k] = v[1 : len(v)-1]
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			t.Fatalf("line %d: malformed sample %q", lineNo, line)
+		}
+		s.name, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	if !promNameOK(s.name) {
+		t.Fatalf("line %d: bad metric name %q", lineNo, s.name)
+	}
+	v, err := parsePromValue(rest)
+	if err != nil {
+		t.Fatalf("line %d: bad value %q: %v", lineNo, rest, err)
+	}
+	s.value = v
+	return s
+}
+
+func parsePromValue(s string) (float64, error) {
+	if s == "+Inf" || s == "-Inf" || s == "NaN" {
+		return 0, fmt.Errorf("non-finite sample value")
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func promNameOK(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPromExposition: every var kind renders, histograms uphold the
+// cumulative contract, and multi-source label stamping keeps partitions
+// apart in one exposition.
+func TestPromExposition(t *testing.T) {
+	r0, r1 := New(), New()
+	r0.Counter("engine.commits").Add(7)
+	r0.Gauge("engine.inflight").Set(3)
+	h := r0.Histogram("server.latency_ns", LatencyBounds())
+	h.ObserveDuration(5 * time.Microsecond)
+	h.ObserveDuration(40 * time.Millisecond)
+	r0.PublishFunc("cluster.partitions", func() any { return 2 })
+	r0.PublishFunc("engine.stats", func() any { return map[string]any{"json": "only"} })
+	r1.Counter("engine.commits").Add(9)
+
+	var b strings.Builder
+	err := WriteProm(&b, []PromSource{
+		{Label: `partition="p0"`, Reg: r0},
+		{Label: `partition="p1"`, Reg: r1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	samples := parseProm(t, text)
+
+	commits := samples["oodb_engine_commits"]
+	if len(commits) != 2 {
+		t.Fatalf("want one commits sample per partition, got %v", commits)
+	}
+	got := map[string]float64{}
+	for _, s := range commits {
+		got[s.labels["partition"]] = s.value
+	}
+	if got["p0"] != 7 || got["p1"] != 9 {
+		t.Fatalf("per-partition commits wrong: %v", got)
+	}
+	if n := len(samples["oodb_server_latency_ns"]); n == 0 {
+		t.Fatal("histogram family missing")
+	}
+	var found bool
+	for _, s := range samples["oodb_cluster_partitions"] {
+		if s.value == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("numeric funcVar not exposed")
+	}
+	if strings.Contains(text, "engine_stats") {
+		t.Fatal("structured funcVar leaked into the exposition")
+	}
+}
+
+// TestPromDefaultMount: a plain registry Handler serves /metrics/prom with
+// no labels, and the exposition parses.
+func TestPromDefaultMount(t *testing.T) {
+	r := New()
+	r.Counter("server.requests").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	samples := parseProm(t, readAll(t, res.Body))
+	if len(samples["oodb_server_requests"]) != 1 {
+		t.Fatalf("missing requests sample: %v", samples)
+	}
+}
+
+// TestHandlerIndexStable: the / index line lists extra mounts in sorted
+// order on every build (satellite: stable scrape diffs).
+func TestHandlerIndexStable(t *testing.T) {
+	r := New()
+	for _, p := range []string{"/zzz", "/aaa", "/mmm"} {
+		r.Handle(p, httpNoop{})
+	}
+	var first string
+	for i := 0; i < 8; i++ {
+		srv := httptest.NewServer(r.Handler())
+		res, err := srv.Client().Get(srv.URL + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, res.Body)
+		res.Body.Close()
+		srv.Close()
+		if i == 0 {
+			first = body
+			if !strings.Contains(body, "/aaa, /mmm, /zzz") {
+				t.Fatalf("index not sorted: %q", body)
+			}
+		} else if body != first {
+			t.Fatalf("index line unstable across builds:\n%q\n%q", first, body)
+		}
+	}
+}
+
+type httpNoop struct{}
+
+func (httpNoop) ServeHTTP(w http.ResponseWriter, req *http.Request) {}

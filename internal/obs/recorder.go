@@ -19,6 +19,7 @@ const (
 	EvTxnBegin     = "txn.begin"
 	EvTxnCommit    = "txn.commit" // Dur: begin→durable-commit; N: max nesting depth
 	EvTxnAbort     = "txn.abort"  // N: max nesting depth
+	EvTxnSlow      = "txn.slow"   // lifetime crossed Options.SlowTxnThreshold (Dur: lifetime; Note: outcome)
 	EvPoolEvict    = "pool.evict" // Object: page; Note "dirty" when written back (Dur: write-back)
 	EvPoolWriteErr = "pool.write_error"
 	EvWALBatch     = "wal.batch" // N: records flushed; Dur: write+fsync

@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/recovery"
+	"repro/internal/span"
 	"repro/internal/storage"
 )
 
@@ -268,6 +269,45 @@ func (c *Cluster) publish() {
 	c.reg.PublishFunc("cluster.engine", func() any { return c.Stats() })
 	c.reg.PublishFunc("cluster.engine.inflight", func() any { return c.Health().Inflight })
 	c.reg.PublishFunc("cluster.health", func() any { return c.Health() })
+	// Cluster-wide observability surfaces: one /trace merging every
+	// partition tracer under p<i>/-qualified ids, and one Prometheus
+	// exposition stamping each partition registry with its label. (With
+	// N == 1 the engine's own registry serves both directly.)
+	if srcs := c.TraceSources(); len(srcs) > 0 {
+		c.reg.Handle("/trace", span.ClusterHandler(srcs))
+	}
+	if srcs := c.PromSources(); len(srcs) > 0 {
+		c.reg.Handle("/metrics/prom", obs.PromHandler(srcs))
+	}
+}
+
+// TraceSources returns one named span source per partition that traces
+// ("p<i>"), the input for span.ClusterHandler. Empty when spans are
+// disabled engine-wide.
+func (c *Cluster) TraceSources() []span.Source {
+	var srcs []span.Source
+	for i, db := range c.parts {
+		if tr := db.Spans(); tr != nil {
+			srcs = append(srcs, span.Source{Name: DirName(i), Tracer: tr})
+		}
+	}
+	return srcs
+}
+
+// PromSources returns one labeled Prometheus source per partition registry
+// (partition="p<i>"), the input for obs.PromHandler. Empty when obs is
+// disabled engine-wide.
+func (c *Cluster) PromSources() []obs.PromSource {
+	var srcs []obs.PromSource
+	for i, db := range c.parts {
+		if reg := db.Obs(); reg != nil {
+			srcs = append(srcs, obs.PromSource{
+				Label: fmt.Sprintf("partition=%q", DirName(i)),
+				Reg:   reg,
+			})
+		}
+	}
+	return srcs
 }
 
 // N returns the partition count.

@@ -33,12 +33,15 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/span"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wire"
@@ -83,12 +86,19 @@ type Server struct {
 
 	wg sync.WaitGroup // accept loop + session goroutines
 
+	reg       *obs.Registry
 	sessions  *obs.Gauge   // server.sessions: live sessions
 	accepted  *obs.Counter // server.sessions_total
 	requests  *obs.Counter // server.requests
 	reaped    *obs.Counter // server.sessions_reaped (idle timeouts)
 	frameErrs *obs.Counter // server.frame_errors (torn/corrupt frames)
-	rec       *obs.FlightRecorder
+	sessDur   *obs.Histogram
+	// Per-request-type frame observability: server.msg.<type>_ns is the
+	// arrival-to-response-encoded latency (queue wait + execute + encode),
+	// server.msg.<type>_bytes the request frame's size on the wire.
+	msgLat  map[wire.MsgType]*obs.Histogram
+	msgSize map[wire.MsgType]*obs.Histogram
+	rec     *obs.FlightRecorder
 }
 
 // New builds a server for a single caller-owned engine — the historical
@@ -103,20 +113,37 @@ func New(db *core.DB, opts Options) *Server {
 func NewCluster(c *partition.Cluster, opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	reg := c.Obs()
-	return &Server{
+	s := &Server{
 		cluster:   c,
 		opts:      opts.withDefaults(),
 		baseCtx:   ctx,
 		cancel:    cancel,
 		conns:     make(map[net.Conn]struct{}),
 		shutDone:  make(chan struct{}),
+		reg:       reg,
 		sessions:  reg.Gauge("server.sessions"),
 		accepted:  reg.Counter("server.sessions_total"),
 		requests:  reg.Counter("server.requests"),
 		reaped:    reg.Counter("server.sessions_reaped"),
 		frameErrs: reg.Counter("server.frame_errors"),
+		sessDur:   reg.Histogram("server.session_ns", obs.LatencyBounds()),
+		msgLat:    make(map[wire.MsgType]*obs.Histogram),
+		msgSize:   make(map[wire.MsgType]*obs.Histogram),
 		rec:       reg.Recorder(),
 	}
+	for t := wire.MsgBegin; t.Request(); t++ {
+		name := strings.ToLower(t.String())
+		s.msgLat[t] = reg.Histogram("server.msg."+name+"_ns", obs.LatencyBounds())
+		s.msgSize[t] = reg.Histogram("server.msg."+name+"_bytes", obs.SizeBounds())
+	}
+	return s
+}
+
+// errCounter returns the wire-error counter for one taxonomy code
+// (server.err.<code>), get-or-create so only codes actually returned
+// appear in the snapshot.
+func (s *Server) errCounter(code wire.ErrCode) *obs.Counter {
+	return s.reg.Counter("server.err." + code.String())
 }
 
 // Start listens on addr (host:port; port 0 picks a free port) and begins
@@ -239,25 +266,76 @@ type session struct {
 	// once txn is non-nil.
 	pending bool
 	part    int
+
+	// Distributed-trace state for the open transaction: the client-stamped
+	// context from the BEGIN frame, the BEGIN frame's arrival time (so the
+	// KSession span covers queue wait and, on a deferred BEGIN, the window
+	// until the partition pin), and the accumulated per-frame figures the
+	// span's note reports.
+	span          *span.ActiveSpan
+	beganAt       time.Time
+	remoteID      string
+	remoteAttempt uint32
+	admitWait     time.Duration
+	execTime      time.Duration
+	frames        int64
 }
 
 // open reports whether the session has a transaction open from the
 // client's point of view (started, or pending a partition pin).
 func (ss *session) open() bool { return ss.txn != nil || ss.pending }
 
-// finish clears the open transaction and releases its admission slot.
-func (ss *session) finish() {
+// openSpan grafts the KSession span onto the engine transaction's trace:
+// the span carries the peer, the partition route, and — via SetRemote —
+// the client's trace id, which is the joint /trace?trace= queries resolve.
+// Backdated to the BEGIN frame's arrival so admission wait (and, on a
+// multi-partition cluster, the deferred-pin window) is inside the span.
+func (ss *session) openSpan(part int) {
+	tt := ss.txn.Trace()
+	if tt == nil {
+		return
+	}
+	tt.SetRemote(ss.remoteID, ss.remoteAttempt)
+	id := ss.txn.ID()
+	sp := tt.BeginSpanAt(id+".sess", id, span.KSession, "session "+ss.peer, ss.beganAt)
+	sp.SetClass(fmt.Sprintf("p%d", part))
+	ss.span = sp
+}
+
+// finish closes the session span with the transaction's outcome and
+// per-frame accounting, clears the open transaction, and releases its
+// admission slot.
+func (ss *session) finish(err error) {
+	if ss.span != nil {
+		ss.span.SetN(ss.frames)
+		ss.span.SetNote(fmt.Sprintf("peer=%s admit=%s exec=%s frames=%d",
+			ss.peer, ss.admitWait.Round(time.Microsecond), ss.execTime.Round(time.Microsecond), ss.frames))
+		ss.span.End(err)
+		ss.span = nil
+	}
 	ss.txn = nil
 	ss.pending = false
+	ss.remoteID, ss.remoteAttempt = "", 0
+	ss.admitWait, ss.execTime, ss.frames = 0, 0, 0
 	if ss.release != nil {
 		ss.release()
 		ss.release = nil
 	}
 }
 
+// inbound is one decoded request frame plus its arrival time — the zero
+// point the per-type latency histograms and the KSession span measure
+// from.
+type inbound struct {
+	m  wire.Msg
+	at time.Time
+}
+
 func (s *Server) session(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.sessions.Add(-1)
+	start := time.Now()
+	defer func() { s.sessDur.ObserveDuration(time.Since(start)) }()
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
 	defer func() {
@@ -276,14 +354,16 @@ func (s *Server) session(conn net.Conn) {
 			_ = ss.txn.Abort()
 			s.rec.Record(obs.Event{Kind: obs.EvTxnAbort, Actor: ss.txn.ID(),
 				Note: "session " + ss.peer + " disconnected mid-txn"})
+			ss.finish(errors.New("session disconnected mid-txn"))
+			return
 		}
-		ss.finish()
+		ss.finish(nil)
 	}()
 
 	// Reader: decodes frames and feeds the handler. It owns the idle
 	// deadline; on any read failure it cancels the session so a handler
 	// parked in AdmitCtx (or mid-pipeline) unblocks immediately.
-	reqs := make(chan wire.Msg, s.opts.QueueDepth)
+	reqs := make(chan inbound, s.opts.QueueDepth)
 	go func() {
 		defer cancel()
 		defer close(reqs)
@@ -291,7 +371,7 @@ func (s *Server) session(conn net.Conn) {
 			if s.opts.IdleTimeout > 0 {
 				_ = conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
 			}
-			m, err := wire.ReadMsg(conn)
+			m, n, err := wire.ReadMsgN(conn)
 			if err != nil {
 				var ne net.Error
 				switch {
@@ -304,8 +384,9 @@ func (s *Server) session(conn net.Conn) {
 				}
 				return
 			}
+			s.msgSize[m.Type].Observe(int64(n))
 			select {
-			case reqs <- m:
+			case reqs <- inbound{m: m, at: time.Now()}:
 			case <-ctx.Done():
 				return
 			}
@@ -313,20 +394,31 @@ func (s *Server) session(conn net.Conn) {
 	}()
 
 	for {
-		var m wire.Msg
+		var in inbound
 		var ok bool
 		select {
-		case m, ok = <-reqs:
+		case in, ok = <-reqs:
 		case <-ctx.Done():
 			return
 		}
 		if !ok {
 			return
 		}
+		m := in.m
 		s.requests.Inc()
-		resp := s.handle(ctx, ss, m)
+		execStart := time.Now()
+		resp := s.handle(ctx, ss, in)
+		if ss.open() {
+			ss.execTime += time.Since(execStart)
+			ss.frames++
+		}
 		resp.Seq = m.Seq
-		if err := wire.WriteMsg(conn, resp); err != nil {
+		err := wire.WriteMsg(conn, resp)
+		s.msgLat[m.Type].ObserveDuration(time.Since(in.at))
+		if resp.Type == wire.MsgError {
+			s.errCounter(resp.Code).Inc()
+		}
+		if err != nil {
 			return
 		}
 	}
@@ -355,6 +447,63 @@ type StatsReply struct {
 	Partitions int         `json:"partitions"`
 }
 
+// Draining reports whether Shutdown has begun: the window in which the
+// server stops accepting sessions but the engine may still be flushing —
+// /healthz reports "draining" so a load balancer stops routing here.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// healthzReply is the /healthz JSON body.
+type healthzReply struct {
+	Status     string             `json:"status"` // ready | degraded | draining
+	Sessions   int64              `json:"sessions"`
+	Partitions []healthzPartition `json:"partitions"`
+}
+
+type healthzPartition struct {
+	Partition string `json:"partition"`
+	Degraded  bool   `json:"degraded"`
+	Cause     string `json:"cause,omitempty"`
+	Inflight  int64  `json:"inflight"`
+	Max       int    `json:"max_inflight"`
+}
+
+// HealthzHandler serves readiness: 200 {"status":"ready"} while serving,
+// 503 "draining" once Shutdown begins, 503 "degraded" when any partition
+// engine has gone read-only — with per-partition detail either way.
+func (s *Server) HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		reply := healthzReply{Status: "ready", Sessions: s.sessions.Load()}
+		degraded := false
+		for i := 0; i < s.cluster.N(); i++ {
+			h := s.cluster.Part(i).Health()
+			degraded = degraded || h.Degraded
+			reply.Partitions = append(reply.Partitions, healthzPartition{
+				Partition: fmt.Sprintf("p%d", i),
+				Degraded:  h.Degraded,
+				Cause:     h.DegradedCause,
+				Inflight:  h.Inflight,
+				Max:       h.MaxInflight,
+			})
+		}
+		code := http.StatusOK
+		switch {
+		case s.Draining():
+			reply.Status, code = "draining", http.StatusServiceUnavailable
+		case degraded:
+			reply.Status, code = "degraded", http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(reply)
+	})
+}
+
 // txnFor returns the session's transaction for an access to the named
 // object. A pending session is pinned here: the first-touched object's
 // partition admits the transaction (its own controller, its own slot) and
@@ -371,21 +520,25 @@ func (s *Server) txnFor(ctx context.Context, ss *session, name string) (*core.Tx
 	}
 	p := s.cluster.Route(name)
 	db := s.cluster.Part(p)
+	admitStart := time.Now()
 	release, err := db.AdmitCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
+	ss.admitWait = time.Since(admitStart)
 	ss.txn = db.Begin()
 	ss.release = release
 	ss.part = p
 	ss.pending = false
+	ss.openSpan(p)
 	return ss.txn, nil
 }
 
 // handle executes one request against the session. Responses carry the
 // typed taxonomy: every engine failure maps through wire.CodeFor so the
 // client can decide retry vs give-up without string matching.
-func (s *Server) handle(ctx context.Context, ss *session, m wire.Msg) wire.Msg {
+func (s *Server) handle(ctx context.Context, ss *session, in inbound) wire.Msg {
+	m := in.m
 	switch m.Type {
 	case wire.MsgPing:
 		return okResp(m.Result)
@@ -412,6 +565,8 @@ func (s *Server) handle(ctx context.Context, ss *session, m wire.Msg) wire.Msg {
 			}
 			return errRespCode(wire.CodeTxnOpen, detail)
 		}
+		ss.beganAt = in.at
+		ss.remoteID, ss.remoteAttempt = m.TraceID, m.TraceAttempt
 		if s.cluster.N() > 1 {
 			// Multi-partition: the first object access decides the partition
 			// (and takes that partition's admission slot). Deferring keeps a
@@ -419,12 +574,15 @@ func (s *Server) handle(ctx context.Context, ss *session, m wire.Msg) wire.Msg {
 			ss.pending = true
 			return okResp("pending")
 		}
+		admitStart := time.Now()
 		release, err := s.cluster.Part(0).AdmitCtx(ctx)
 		if err != nil {
 			return errResp(err)
 		}
+		ss.admitWait = time.Since(admitStart)
 		ss.txn = s.cluster.Part(0).Begin()
 		ss.release = release
+		ss.openSpan(0)
 		return okResp(ss.txn.ID())
 
 	case wire.MsgInvoke:
@@ -483,11 +641,13 @@ func (s *Server) handle(ctx context.Context, ss *session, m wire.Msg) wire.Msg {
 		if ss.txn == nil {
 			// Pending transaction that never touched an object: nothing was
 			// admitted or begun anywhere — an empty commit.
-			ss.finish()
+			ss.finish(nil)
 			return okResp("")
 		}
 		err := ss.txn.Commit()
-		ss.finish()
+		ss.execTime += time.Since(in.at)
+		ss.frames++
+		ss.finish(err)
 		if err != nil {
 			return errResp(err)
 		}
@@ -498,11 +658,13 @@ func (s *Server) handle(ctx context.Context, ss *session, m wire.Msg) wire.Msg {
 			return errRespCode(wire.CodeNoTxn, "ABORT outside a transaction")
 		}
 		if ss.txn == nil {
-			ss.finish()
+			ss.finish(nil)
 			return okResp("")
 		}
 		err := ss.txn.Abort()
-		ss.finish()
+		ss.execTime += time.Since(in.at)
+		ss.frames++
+		ss.finish(err)
 		if err != nil && !errors.Is(err, core.ErrTxnFinished) {
 			return errResp(err)
 		}

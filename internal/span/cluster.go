@@ -1,0 +1,150 @@
+package span
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Source names one partition's tracer for the cluster-merged /trace view.
+type Source struct {
+	Name   string // partition qualifier, e.g. "p0"
+	Tracer *Tracer
+}
+
+// ClusterHandler merges N partition tracers behind one /trace surface.
+// Transaction ids are qualified as "<source>/<txn>" ("p0/T7") because each
+// partition engine numbers transactions independently; a client-stamped
+// distributed trace id, by contrast, is global, so /trace?trace=<id>
+// fans out to every partition and returns one merged list — the view that
+// makes a cross-partition retry loop's history legible in one query:
+//
+//	/trace                 — qualified id index across all partitions
+//	/trace?txn=p0/T7       — one partition transaction's span tree
+//	/trace?trace=<id>      — every partition transaction carrying that
+//	                         remote trace id, newest attempt first
+//	/trace/slowest?n=K     — K slowest across all partitions, merged
+//	/trace/aborted?n=K     — K newest aborted across all partitions
+//	/trace/slow?n=K        — K newest slow-query pins across all partitions
+//
+// ?format=text renders blame chains, as on the single-tracer handler.
+func ClusterHandler(sources []Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		if remote := req.URL.Query().Get("trace"); remote != "" {
+			var out []TxnSpans
+			for _, src := range sources {
+				for _, tt := range src.Tracer.LookupRemote(remote) {
+					out = append(out, qualify(tt.Snapshot(), src.Name))
+				}
+			}
+			if len(out) == 0 {
+				http.Error(w, fmt.Sprintf("no trace for remote id %q on any partition (evicted, unsampled, or never seen)", remote), http.StatusNotFound)
+				return
+			}
+			// One attempt per engine transaction; newest (highest attempt)
+			// first so the final outcome leads.
+			sort.SliceStable(out, func(i, j int) bool {
+				return out[i].RemoteAttempt > out[j].RemoteAttempt
+			})
+			writeTraces(w, req, out, nil)
+			return
+		}
+		if id := req.URL.Query().Get("txn"); id != "" {
+			src, txn, ok := splitQualified(sources, id)
+			if !ok {
+				http.Error(w, fmt.Sprintf("transaction id %q is not partition-qualified; use p<i>/T<n> (see /trace index)", id), http.StatusBadRequest)
+				return
+			}
+			tt := src.Tracer.Lookup(txn)
+			if tt == nil {
+				http.Error(w, fmt.Sprintf("no trace for txn %q on %s (evicted, unsampled, or never seen)", txn, src.Name), http.StatusNotFound)
+				return
+			}
+			writeTraces(w, req, []TxnSpans{qualify(tt.Snapshot(), src.Name)}, nil)
+			return
+		}
+		var index []string
+		for _, src := range sources {
+			for _, id := range src.Tracer.TxnIDs() {
+				index = append(index, src.Name+"/"+id)
+			}
+		}
+		writeTraces(w, req, nil, index)
+	})
+	mux.HandleFunc("/trace/slowest", func(w http.ResponseWriter, req *http.Request) {
+		n := countParam(req)
+		var out []TxnSpans
+		for _, src := range sources {
+			for _, ts := range src.Tracer.Slowest(n) {
+				out = append(out, qualify(ts, src.Name))
+			}
+		}
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Dur > out[j].Dur })
+		if len(out) > n {
+			out = out[:n]
+		}
+		writeTraces(w, req, out, nil)
+	})
+	mux.HandleFunc("/trace/aborted", func(w http.ResponseWriter, req *http.Request) {
+		writeTraces(w, req, mergeNewest(sources, countParam(req), (*Tracer).Aborted), nil)
+	})
+	mux.HandleFunc("/trace/slow", func(w http.ResponseWriter, req *http.Request) {
+		writeTraces(w, req, mergeNewest(sources, countParam(req), (*Tracer).SlowLog), nil)
+	})
+	return mux
+}
+
+// mergeNewest pools per-partition newest-first lists and re-merges them
+// newest first (by end time) across partitions.
+func mergeNewest(sources []Source, n int, get func(*Tracer, int) []TxnSpans) []TxnSpans {
+	var out []TxnSpans
+	for _, src := range sources {
+		for _, ts := range get(src.Tracer, n) {
+			out = append(out, qualify(ts, src.Name))
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].End.After(out[j].End) })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// splitQualified resolves a "p0/T7"-style id to its source and bare txn id.
+func splitQualified(sources []Source, id string) (Source, string, bool) {
+	name, txn, ok := strings.Cut(id, "/")
+	if !ok {
+		return Source{}, "", false
+	}
+	for _, src := range sources {
+		if src.Name == name {
+			return src, txn, true
+		}
+	}
+	return Source{}, "", false
+}
+
+// qualify rewrites a snapshot into the cluster namespace: the trace id,
+// its root span, and every span parented on the root become
+// "<name>/<txn>", so merged lists never collide across partitions.
+func qualify(ts TxnSpans, name string) TxnSpans {
+	old := ts.TxnID
+	ts.Partition = name
+	ts.TxnID = name + "/" + old
+	for i := range ts.Spans {
+		sp := &ts.Spans[i]
+		if sp.Kind == KTxn && sp.ID == old {
+			sp.ID = ts.TxnID
+			if sp.Name == old {
+				sp.Name = ts.TxnID
+			}
+			continue
+		}
+		if sp.Parent == old {
+			sp.Parent = ts.TxnID
+		}
+	}
+	return ts
+}

@@ -1,0 +1,214 @@
+package span
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLookupRemote: a client-stamped trace id finds every engine
+// transaction carrying it — one per retry attempt — across the live map
+// and the completion rings, without duplicates.
+func TestLookupRemote(t *testing.T) {
+	tr := New()
+
+	a1 := tr.BeginTxn("T1", time.Now())
+	a1.SetRemote("cafe0123", 1)
+	ls := a1.BeginSpan("T1/lock(P)", "T1", KLock, "lock P")
+	ls.End(errors.New("cc: deadlock victim"))
+	tr.FinishTxn(a1, StatusAborted)
+
+	a2 := tr.BeginTxn("T2", time.Now())
+	a2.SetRemote("cafe0123", 2)
+	tr.FinishTxn(a2, StatusCommitted)
+
+	live := tr.BeginTxn("T3", time.Now())
+	live.SetRemote("cafe0123", 3)
+
+	other := tr.BeginTxn("T4", time.Now())
+	other.SetRemote("beef4567", 1)
+	tr.FinishTxn(other, StatusCommitted)
+
+	got := tr.LookupRemote("cafe0123")
+	if len(got) != 3 {
+		t.Fatalf("LookupRemote found %d attempts, want 3", len(got))
+	}
+	seen := map[string]uint32{}
+	for _, tt := range got {
+		snap := tt.Snapshot()
+		if snap.Remote != "cafe0123" {
+			t.Fatalf("snapshot remote = %q", snap.Remote)
+		}
+		seen[snap.TxnID] = snap.RemoteAttempt
+	}
+	if seen["T1"] != 1 || seen["T2"] != 2 || seen["T3"] != 3 {
+		t.Fatalf("attempt numbers wrong: %v", seen)
+	}
+	if tr.LookupRemote("deadbeef") != nil {
+		t.Fatal("unknown remote id must find nothing")
+	}
+	var nilTr *Tracer
+	if nilTr.LookupRemote("cafe0123") != nil {
+		t.Fatal("nil tracer LookupRemote must return nil")
+	}
+}
+
+// TestSlowLogPins: traces past the slow threshold survive a committed
+// flood that churns the retention ring — the slow-query log's whole point.
+func TestSlowLogPins(t *testing.T) {
+	tr := NewTracer(Options{Retain: 4, SlowThreshold: 10 * time.Millisecond})
+	slow := tr.BeginTxn("Tslow", time.Now().Add(-50*time.Millisecond))
+	slow.SetRemote("feed0042", 1)
+	tr.FinishTxn(slow, StatusCommitted)
+
+	for i := 0; i < 20; i++ {
+		tt := tr.BeginTxn(fmt.Sprintf("T%d", i), time.Now())
+		tr.FinishTxn(tt, StatusCommitted)
+	}
+
+	log := tr.SlowLog(0)
+	if len(log) != 1 || log[0].TxnID != "Tslow" {
+		t.Fatalf("slow log = %+v, want the one pinned trace", log)
+	}
+	if log[0].Dur < 10*time.Millisecond {
+		t.Fatalf("pinned trace dur %v under the threshold", log[0].Dur)
+	}
+	if tr.Lookup("Tslow") == nil {
+		t.Fatal("Lookup must reach the pinned ring after the flood")
+	}
+	if len(tr.LookupRemote("feed0042")) != 1 {
+		t.Fatal("LookupRemote must reach the pinned ring after the flood")
+	}
+	if got := tr.SlowThreshold(); got != 10*time.Millisecond {
+		t.Fatalf("SlowThreshold = %v", got)
+	}
+}
+
+// TestSetSlowThresholdLive: the threshold is adjustable after construction
+// (oodbd wires a shared tracer), and 0 disables pinning.
+func TestSetSlowThresholdLive(t *testing.T) {
+	tr := New()
+	tt := tr.BeginTxn("T0", time.Now().Add(-time.Second))
+	tr.FinishTxn(tt, StatusCommitted)
+	if got := tr.SlowLog(0); len(got) != 0 {
+		t.Fatalf("no threshold, but slow log = %+v", got)
+	}
+	tr.SetSlowThreshold(time.Millisecond)
+	tt = tr.BeginTxn("T1", time.Now().Add(-time.Second))
+	tr.FinishTxn(tt, StatusCommitted)
+	if got := tr.SlowLog(0); len(got) != 1 || got[0].TxnID != "T1" {
+		t.Fatalf("slow log after SetSlowThreshold = %+v", got)
+	}
+}
+
+func clusterFixture(t *testing.T) http.Handler {
+	t.Helper()
+	p0, p1 := New(), New()
+
+	// p0/T1: attempt 1 of remote trace "cafe0123", aborted as a deadlock
+	// victim of p0/T9.
+	v := p0.BeginTxn("T1", time.Now())
+	v.SetRemote("cafe0123", 1)
+	ls := v.BeginSpan("T1/lock(P4)", "T1", KLock, "lock P4")
+	ls.AddEdge(Edge{Kind: EdgeVictimOf, Peer: "T9", PeerRoot: "T9", Object: "P4"})
+	ls.End(errors.New("cc: deadlock victim"))
+	p0.FinishTxn(v, StatusAborted)
+
+	// p1/T1: attempt 2 of the same remote trace, committed. Same bare txn
+	// id on purpose: partitions number transactions independently.
+	w := p1.BeginTxn("T1", time.Now())
+	w.SetRemote("cafe0123", 2)
+	p1.FinishTxn(w, StatusCommitted)
+
+	return ClusterHandler([]Source{{Name: "p0", Tracer: p0}, {Name: "p1", Tracer: p1}})
+}
+
+// TestClusterHandlerQualifiedIds: the merged index qualifies every id with
+// its partition, ?txn= requires the qualifier, and a qualified lookup
+// rewrites the root span into the cluster namespace.
+func TestClusterHandlerQualifiedIds(t *testing.T) {
+	h := clusterFixture(t)
+
+	get := func(url string) (int, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		return rec.Code, rec.Body.String()
+	}
+
+	code, body := get("/trace")
+	if code != 200 || !strings.Contains(body, "p0/T1") || !strings.Contains(body, "p1/T1") {
+		t.Fatalf("index (%d): %s", code, body)
+	}
+
+	if code, body = get("/trace?txn=T1"); code != http.StatusBadRequest {
+		t.Fatalf("unqualified id must 400, got %d: %s", code, body)
+	}
+
+	code, body = get("/trace?txn=p0/T1")
+	if code != 200 {
+		t.Fatalf("qualified lookup (%d): %s", code, body)
+	}
+	var traces []TxnSpans
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].TxnID != "p0/T1" || traces[0].Partition != "p0" {
+		t.Fatalf("qualified trace = %+v", traces[0])
+	}
+	root := traces[0].Spans[0]
+	if root.Kind != KTxn || root.ID != "p0/T1" {
+		t.Fatalf("root span not qualified: %+v", root)
+	}
+	// The lock span's parent is the bare root id and must follow the rename.
+	for _, sp := range traces[0].Spans[1:] {
+		if sp.Parent == "T1" {
+			t.Fatalf("span still parented on the bare root: %+v", sp)
+		}
+	}
+
+	if code, _ = get("/trace?txn=p7/T1"); code != http.StatusBadRequest {
+		t.Fatalf("unknown partition qualifier: %d", code)
+	}
+}
+
+// TestClusterHandlerRemoteFanout: one remote trace id pulls both attempts
+// across partitions, newest attempt first — the cross-partition blame view.
+func TestClusterHandlerRemoteFanout(t *testing.T) {
+	h := clusterFixture(t)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?trace=cafe0123", nil))
+	if rec.Code != 200 {
+		t.Fatalf("fan-out (%d): %s", rec.Code, rec.Body.String())
+	}
+	var traces []TxnSpans
+	if err := json.Unmarshal(rec.Body.Bytes(), &traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("fan-out found %d attempts, want 2", len(traces))
+	}
+	if traces[0].RemoteAttempt != 2 || traces[0].Partition != "p1" {
+		t.Fatalf("newest attempt must lead: %+v", traces[0])
+	}
+	if traces[1].RemoteAttempt != 1 || traces[1].Partition != "p0" {
+		t.Fatalf("first attempt must trail: %+v", traces[1])
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?trace=nosuchid", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown remote id: %d", rec.Code)
+	}
+
+	// The text rendering carries the causal abort edge from p0's attempt.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?trace=cafe0123&format=text", nil))
+	if body := rec.Body.String(); !strings.Contains(body, "victim-of") {
+		t.Fatalf("text blame missing the victim-of edge:\n%s", body)
+	}
+}

@@ -18,12 +18,28 @@ const (
 //
 //	/trace?txn=T7          — one transaction's span tree (&format=text for
 //	                         the blame-chain rendering; default JSON)
+//	/trace?trace=<id>      — every transaction carrying that client-stamped
+//	                         distributed trace id (one per retry attempt)
 //	/trace                 — index of known transaction ids
 //	/trace/slowest?n=K     — the K slowest completed transactions
 //	/trace/aborted?n=K     — the K most recent aborted transactions
+//	/trace/slow?n=K        — the K newest slow-query-log pins
 func (tr *Tracer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		if remote := req.URL.Query().Get("trace"); remote != "" {
+			matches := tr.LookupRemote(remote)
+			if len(matches) == 0 {
+				http.Error(w, fmt.Sprintf("no trace for remote id %q (evicted, unsampled, or never seen)", remote), http.StatusNotFound)
+				return
+			}
+			out := make([]TxnSpans, 0, len(matches))
+			for _, tt := range matches {
+				out = append(out, tt.Snapshot())
+			}
+			writeTraces(w, req, out, nil)
+			return
+		}
 		id := req.URL.Query().Get("txn")
 		if id == "" {
 			writeTraces(w, req, nil, tr.TxnIDs())
@@ -41,6 +57,9 @@ func (tr *Tracer) Handler() http.Handler {
 	})
 	mux.HandleFunc("/trace/aborted", func(w http.ResponseWriter, req *http.Request) {
 		writeTraces(w, req, tr.Aborted(countParam(req)), nil)
+	})
+	mux.HandleFunc("/trace/slow", func(w http.ResponseWriter, req *http.Request) {
+		writeTraces(w, req, tr.SlowLog(countParam(req)), nil)
 	})
 	return mux
 }

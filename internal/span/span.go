@@ -43,6 +43,7 @@ const (
 	KWAL                  // group-commit participation of the commit
 	KRecovery             // one restart-recovery phase (engine track)
 	KPool                 // one buffer-pool write-back (engine track)
+	KSession              // one server session's handling of the transaction
 )
 
 func (k Kind) String() string {
@@ -59,6 +60,8 @@ func (k Kind) String() string {
 		return "recovery"
 	case KPool:
 		return "pool"
+	case KSession:
+		return "session"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -74,7 +77,7 @@ func (k *Kind) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return err
 	}
-	for c := KTxn; c <= KPool; c++ {
+	for c := KTxn; c <= KSession; c++ {
 		if c.String() == s {
 			*k = c
 			return nil
@@ -174,6 +177,32 @@ type TxnTrace struct {
 	// that ended in error — the causal explanation an aborted transaction's
 	// root span is stamped with.
 	lastAbortEdge *Edge
+	// remoteID/remoteAttempt carry the client-stamped distributed trace
+	// context (wire extTrace) the server session joined this transaction to;
+	// empty for transactions with no remote originator.
+	remoteID      string
+	remoteAttempt uint32
+}
+
+// SetRemote stamps the client-side trace context onto the trace: the
+// cross-process joint /trace?trace= lookups resolve.
+func (tt *TxnTrace) SetRemote(id string, attempt uint32) {
+	if tt == nil || id == "" {
+		return
+	}
+	tt.mu.Lock()
+	tt.remoteID, tt.remoteAttempt = id, attempt
+	tt.mu.Unlock()
+}
+
+// Remote returns the client-stamped trace id ("" when none).
+func (tt *TxnTrace) Remote() string {
+	if tt == nil {
+		return ""
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return tt.remoteID
 }
 
 // TxnID returns the traced transaction's id ("" on nil).
@@ -289,7 +318,13 @@ type TxnSpans struct {
 	Start  time.Time     `json:"start"`
 	End    time.Time     `json:"end"`
 	Dur    time.Duration `json:"dur"`
-	Spans  []Span        `json:"spans"`
+	// Remote/RemoteAttempt echo the client-stamped distributed trace
+	// context; Partition is the cluster-view qualifier ("p0") stamped by
+	// ClusterHandler when merging per-partition tracers.
+	Remote        string `json:"remote,omitempty"`
+	RemoteAttempt uint32 `json:"remoteAttempt,omitempty"`
+	Partition     string `json:"partition,omitempty"`
+	Spans         []Span `json:"spans"`
 }
 
 // Snapshot renders the trace. Safe to call on a live (running) trace; the
@@ -317,6 +352,7 @@ func (tt *TxnTrace) Snapshot() TxnSpans {
 	spans := make([]Span, 0, len(tt.spans)+1)
 	spans = append(spans, root)
 	spans = append(spans, tt.spans...)
+	remoteID, remoteAttempt := tt.remoteID, tt.remoteAttempt
 	tt.mu.Unlock()
 	// Recorded spans are appended at End (children before parents);
 	// re-establish begin order for rendering. The root keeps Seq 0.
@@ -328,12 +364,14 @@ func (tt *TxnTrace) Snapshot() TxnSpans {
 		}
 	}
 	return TxnSpans{
-		TxnID:  tt.txnID,
-		Status: status,
-		Start:  tt.start,
-		End:    end,
-		Dur:    end.Sub(tt.start),
-		Spans:  spans,
+		TxnID:         tt.txnID,
+		Status:        status,
+		Start:         tt.start,
+		End:           end,
+		Dur:           end.Sub(tt.start),
+		Remote:        remoteID,
+		RemoteAttempt: remoteAttempt,
+		Spans:         spans,
 	}
 }
 

@@ -12,6 +12,7 @@ const (
 	DefaultRetain    = 1024
 	DefaultTopK      = 64
 	DefaultEngineCap = 1024
+	DefaultSlowCap   = 256
 )
 
 // Options configure a Tracer.
@@ -30,6 +31,13 @@ type Options struct {
 	// pool write-backs, which belong to no transaction (default
 	// DefaultEngineCap).
 	EngineCap int
+	// SlowThreshold enables the slow-query log: a completed transaction at
+	// or over the threshold is pinned into its own retention ring (see
+	// SlowLog), immune to eviction by the flood of fast transactions. Zero
+	// disables; adjustable at runtime via SetSlowThreshold.
+	SlowThreshold time.Duration
+	// SlowCap bounds the slow-query ring (default DefaultSlowCap).
+	SlowCap int
 }
 
 // Tracer owns the traces of one engine: the live set (running sampled
@@ -59,6 +67,12 @@ type Tracer struct {
 	engNext int
 	engSeen uint64
 	engSeq  int
+	// pinned is the slow-query log: traces at or over slowThresh, in their
+	// own ring so fast traffic cannot evict them (the slowest-K heap keeps
+	// only K; the log keeps the last SlowCap offenders in arrival order).
+	pinned     []*TxnTrace
+	pinNext    int
+	slowThresh atomic.Int64 // nanoseconds; 0 = disabled
 }
 
 // New returns a tracer with default options (sample everything).
@@ -78,14 +92,37 @@ func NewTracer(o Options) *Tracer {
 	if o.EngineCap < 1 {
 		o.EngineCap = DefaultEngineCap
 	}
-	return &Tracer{
+	if o.SlowCap < 1 {
+		o.SlowCap = DefaultSlowCap
+	}
+	tr := &Tracer{
 		sampleEvery: uint64(o.SampleEvery),
 		live:        make(map[string]*TxnTrace),
 		done:        make([]*TxnTrace, o.Retain),
 		abort:       make([]*TxnTrace, o.Retain),
 		topK:        o.TopK,
 		engine:      make([]Span, o.EngineCap),
+		pinned:      make([]*TxnTrace, o.SlowCap),
 	}
+	tr.slowThresh.Store(int64(o.SlowThreshold))
+	return tr
+}
+
+// SetSlowThreshold adjusts the slow-query pin threshold at runtime (zero
+// disables pinning; existing pins are kept).
+func (tr *Tracer) SetSlowThreshold(d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.slowThresh.Store(int64(d))
+}
+
+// SlowThreshold returns the current slow-query pin threshold.
+func (tr *Tracer) SlowThreshold() time.Duration {
+	if tr == nil {
+		return 0
+	}
+	return time.Duration(tr.slowThresh.Load())
 }
 
 // BeginTxn starts tracing a top-level transaction. Returns nil — which
@@ -129,6 +166,10 @@ func (tr *Tracer) FinishTxn(tt *TxnTrace, status Status) {
 	} else if dur > tr.slow[0].dur {
 		tr.slow[0] = slowEntry{tt, dur}
 		siftDown(tr.slow, 0)
+	}
+	if thresh := tr.slowThresh.Load(); thresh > 0 && int64(dur) >= thresh {
+		tr.pinned[tr.pinNext] = tt
+		tr.pinNext = (tr.pinNext + 1) % len(tr.pinned)
 	}
 	tr.mu.Unlock()
 }
@@ -199,7 +240,66 @@ func (tr *Tracer) Lookup(id string) *TxnTrace {
 			return e.tt
 		}
 	}
+	for _, tt := range tr.pinned {
+		if tt != nil && tt.txnID == id {
+			return tt
+		}
+	}
 	return nil
+}
+
+// LookupRemote returns every retained trace whose remote (client-stamped)
+// trace id matches, newest first among the retained — one logical client
+// transaction maps to one engine transaction per retry attempt, so a
+// retried transaction legitimately yields several.
+func (tr *Tracer) LookupRemote(remote string) []*TxnTrace {
+	if tr == nil || remote == "" {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var out []*TxnTrace
+	seen := make(map[*TxnTrace]bool)
+	add := func(tt *TxnTrace) {
+		if tt == nil || seen[tt] {
+			return
+		}
+		tt.mu.Lock()
+		match := tt.remoteID == remote
+		tt.mu.Unlock()
+		if match {
+			seen[tt] = true
+			out = append(out, tt)
+		}
+	}
+	for _, tt := range tr.live {
+		add(tt)
+	}
+	for _, tt := range ringNewestFirst(tr.done, tr.doneNext) {
+		add(tt)
+	}
+	for _, tt := range ringNewestFirst(tr.abort, tr.abortNext) {
+		add(tt)
+	}
+	for _, tt := range ringNewestFirst(tr.pinned, tr.pinNext) {
+		add(tt)
+	}
+	for _, e := range tr.slow {
+		add(e.tt)
+	}
+	return out
+}
+
+// SlowLog returns snapshots of up to n pinned slow transactions, newest
+// first (n <= 0 returns all retained).
+func (tr *Tracer) SlowLog(n int) []TxnSpans {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	ring := ringNewestFirst(tr.pinned, tr.pinNext)
+	tr.mu.Unlock()
+	return snapshotN(ring, n)
 }
 
 // Slowest returns snapshots of the n slowest completed transactions,

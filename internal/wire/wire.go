@@ -14,12 +14,33 @@
 //
 //	Seq u64 | Type u8 | Code u8 | Page u64 |
 //	ObjType, ObjName, Method, Result as uvarint-length-prefixed strings |
-//	uvarint param count | params as uvarint-length-prefixed strings
+//	uvarint param count | params as uvarint-length-prefixed strings |
+//	extension blocks (optional)
 //
 // All fixed-width integers are little-endian. A length of zero is invalid
 // by construction (every payload is at least msgPayloadMin bytes), and a
 // length beyond MaxFrameSize is treated as desync/corruption, never as an
 // allocation request.
+//
+// # Wire versioning: extension blocks
+//
+// Everything after the param list is a sequence of extension blocks, each
+// `tag uvarint | len uvarint | body (len bytes)`. This is how the protocol
+// grows without a version handshake:
+//
+//   - A frame with no extensions is byte-identical to a pre-extension
+//     (PR 7) frame, so an upgraded client that does not stamp extensions
+//     interoperates with an old server.
+//   - A decoder that does not know a tag skips its body: unknown or absent
+//     extensions are never an error, they just carry no meaning here.
+//
+// The one defined extension is extTrace (tag 1): distributed trace context
+// `attempt uvarint | trace-id bytes`, stamped by the client per logical
+// transaction (the id is stable across retry attempts; the attempt counter
+// distinguishes them) and echoed into the server session's KSession span —
+// the cross-process joint the /trace surfaces merge on. Trace stamping is
+// opt-in per client precisely because a stamped frame is NOT decodable by
+// a pre-extension server: enable it only against upgraded servers.
 package wire
 
 import (
@@ -28,6 +49,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 )
 
 // MsgType discriminates requests and responses.
@@ -104,7 +126,18 @@ type Msg struct {
 	// INVOKE, page data for PAGE_READ, JSON for STATS — or the error detail
 	// on MsgError.
 	Result string
+	// TraceID is the client-stamped distributed trace id of the logical
+	// transaction this frame belongs to — stable across retry attempts of
+	// one client.RunWithRetry loop. Empty means unstamped; the pair rides
+	// the optional extTrace extension block, so an unstamped frame stays
+	// byte-identical to a pre-extension frame.
+	TraceID string
+	// TraceAttempt is the 1-based retry attempt the frame belongs to.
+	TraceAttempt uint32
 }
+
+// Traced reports whether the message carries trace context.
+func (m Msg) Traced() bool { return m.TraceID != "" || m.TraceAttempt != 0 }
 
 const (
 	// frameHeaderSize is the length + checksum prefix of every frame.
@@ -115,6 +148,10 @@ const (
 	// msgPayloadMin is the smallest possible payload: the fixed fields plus
 	// four empty strings and an empty param list.
 	msgPayloadMin = 8 + 1 + 1 + 8 + 4 + 1
+	// extTrace is the trace-context extension tag: body is
+	// `attempt uvarint | trace-id bytes`. Tag 0 is reserved invalid so a
+	// zero-filled tail can never parse as an extension.
+	extTrace = 1
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -134,6 +171,9 @@ func AppendMsg(dst []byte, m Msg) []byte {
 	for _, p := range m.Params {
 		n += len(p) + 2
 	}
+	if m.Traced() {
+		n += len(m.TraceID) + 12
+	}
 	payload := make([]byte, 0, n)
 	payload = binary.LittleEndian.AppendUint64(payload, m.Seq)
 	payload = append(payload, byte(m.Type), byte(m.Code))
@@ -146,6 +186,14 @@ func AppendMsg(dst []byte, m Msg) []byte {
 	for _, p := range m.Params {
 		payload = binary.AppendUvarint(payload, uint64(len(p)))
 		payload = append(payload, p...)
+	}
+	if m.Traced() {
+		var body []byte
+		body = binary.AppendUvarint(body, uint64(m.TraceAttempt))
+		body = append(body, m.TraceID...)
+		payload = binary.AppendUvarint(payload, extTrace)
+		payload = binary.AppendUvarint(payload, uint64(len(body)))
+		payload = append(payload, body...)
 	}
 
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
@@ -164,28 +212,36 @@ func WriteMsg(w io.Writer, m Msg) error {
 // returns ErrFrameTorn; a frame whose bytes fail validation returns
 // ErrFrameCorrupt.
 func ReadMsg(r io.Reader) (Msg, error) {
+	m, _, err := ReadMsgN(r)
+	return m, err
+}
+
+// ReadMsgN is ReadMsg plus the frame's size on the wire (header included) —
+// the figure the server's per-message size histograms want.
+func ReadMsgN(r io.Reader) (Msg, int, error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return Msg{}, io.EOF
+			return Msg{}, 0, io.EOF
 		}
 		// Keep the underlying error in the chain: the server classifies idle
 		// deadlines (net.Error timeouts) differently from dead peers.
-		return Msg{}, fmt.Errorf("%w: header: %w", ErrFrameTorn, err)
+		return Msg{}, 0, fmt.Errorf("%w: header: %w", ErrFrameTorn, err)
 	}
 	length := binary.LittleEndian.Uint32(hdr[0:4])
 	sum := binary.LittleEndian.Uint32(hdr[4:8])
 	if length < msgPayloadMin || length > MaxFrameSize {
-		return Msg{}, fmt.Errorf("%w: impossible payload length %d", ErrFrameCorrupt, length)
+		return Msg{}, 0, fmt.Errorf("%w: impossible payload length %d", ErrFrameCorrupt, length)
 	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return Msg{}, fmt.Errorf("%w: payload: %w", ErrFrameTorn, err)
+		return Msg{}, 0, fmt.Errorf("%w: payload: %w", ErrFrameTorn, err)
 	}
 	if crc32.Checksum(payload, castagnoli) != sum {
-		return Msg{}, fmt.Errorf("%w: checksum mismatch", ErrFrameCorrupt)
+		return Msg{}, 0, fmt.Errorf("%w: checksum mismatch", ErrFrameCorrupt)
 	}
-	return decodePayload(payload)
+	m, err := decodePayload(payload)
+	return m, frameHeaderSize + int(length), err
 }
 
 // DecodeMsg parses the first frame in buf, returning the message and the
@@ -254,8 +310,32 @@ func decodePayload(payload []byte) (Msg, error) {
 			off = w
 		}
 	}
-	if off != len(payload) {
-		return m, fmt.Errorf("%w: %d trailing bytes", ErrFrameCorrupt, len(payload)-off)
+	// Extension blocks. Unknown tags are skipped wholesale (forward
+	// compatibility: a newer peer may stamp fields this build does not
+	// know), but a tail that is not a well-formed tag/len/body sequence is
+	// corruption, exactly like trailing garbage used to be.
+	for off < len(payload) {
+		tag, w := binary.Uvarint(payload[off:])
+		if w <= 0 || tag == 0 {
+			return m, fmt.Errorf("%w: bad extension tag at offset %d", ErrFrameCorrupt, off)
+		}
+		off += w
+		n, w := binary.Uvarint(payload[off:])
+		if w <= 0 || n > uint64(len(payload)-off-w) {
+			return m, fmt.Errorf("%w: bad extension length at offset %d", ErrFrameCorrupt, off)
+		}
+		off += w
+		body := payload[off : off+int(n)]
+		off += int(n)
+		if tag != extTrace {
+			continue
+		}
+		attempt, w := binary.Uvarint(body)
+		if w <= 0 || attempt > math.MaxUint32 {
+			return m, fmt.Errorf("%w: bad trace attempt", ErrFrameCorrupt)
+		}
+		m.TraceAttempt = uint32(attempt)
+		m.TraceID = string(body[w:])
 	}
 	return m, nil
 }

@@ -23,7 +23,8 @@ var allTypes = []MsgType{
 func msgEqual(a, b Msg) bool {
 	if a.Seq != b.Seq || a.Type != b.Type || a.Code != b.Code || a.Page != b.Page ||
 		a.ObjType != b.ObjType || a.ObjName != b.ObjName || a.Method != b.Method ||
-		a.Result != b.Result || len(a.Params) != len(b.Params) {
+		a.Result != b.Result || len(a.Params) != len(b.Params) ||
+		a.TraceID != b.TraceID || a.TraceAttempt != b.TraceAttempt {
 		return false
 	}
 	for i := range a.Params {
@@ -49,6 +50,9 @@ func TestRoundtripEveryType(t *testing.T) {
 			Params:  []string{"100", "", "x\x00y\x1fz"},
 			Result:  "ok",
 		}
+		if i%2 == 0 {
+			m.TraceID, m.TraceAttempt = "4bf92f3577b34da6", uint32(i+1)
+		}
 		var buf bytes.Buffer
 		if err := WriteMsg(&buf, m); err != nil {
 			t.Fatal(err)
@@ -71,11 +75,12 @@ func TestRoundtripEveryType(t *testing.T) {
 // TestRoundtripQuick: randomized messages (arbitrary strings, params,
 // codes) roundtrip exactly — the codec is total on the message space.
 func TestRoundtripQuick(t *testing.T) {
-	f := func(seq uint64, typ uint8, code uint8, page uint64, objType, objName, method, result string, params []string) bool {
+	f := func(seq uint64, typ uint8, code uint8, page uint64, objType, objName, method, result string, params []string, traceID string, attempt uint32) bool {
 		m := Msg{
 			Seq: seq, Type: MsgType(typ), Code: ErrCode(code), Page: page,
 			ObjType: objType, ObjName: objName, Method: method,
 			Params: params, Result: result,
+			TraceID: traceID, TraceAttempt: attempt,
 		}
 		got, n, err := DecodeMsg(AppendMsg(nil, m))
 		if err != nil || n == 0 {
@@ -151,11 +156,13 @@ func TestGarbageNeverPanics(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		buf := make([]byte, rr.Intn(256))
 		rr.Read(buf)
-		if m, n, err := DecodeMsg(buf); err == nil {
+		if m, _, err := DecodeMsg(buf); err == nil {
 			// A random buffer that happens to be a valid frame must at least
-			// re-encode to the same bytes.
-			if !bytes.Equal(AppendMsg(nil, m), buf[:n]) {
-				t.Fatalf("iteration %d: asymmetric accidental decode", i)
+			// canonicalize: re-encoding the decoded message (which drops
+			// unknown extension blocks) and decoding again is a fixed point.
+			got, _, err2 := DecodeMsg(AppendMsg(nil, m))
+			if err2 != nil || !msgEqual(m, got) {
+				t.Fatalf("iteration %d: accidental decode does not canonicalize: %v", i, err2)
 			}
 		} else if !errors.Is(err, ErrFrameTorn) && !errors.Is(err, ErrFrameCorrupt) {
 			t.Fatalf("iteration %d: untyped error %v", i, err)
@@ -231,13 +238,18 @@ func TestErrorTaxonomyRoundtrip(t *testing.T) {
 }
 
 // FuzzDecodeMsg is the protocol-level fuzzer: arbitrary bytes must decode
-// to a typed error or to a message that re-encodes identically. The seed
-// corpus covers every frame type; `go test` runs the seeds, `go test
-// -fuzz=FuzzDecodeMsg ./internal/wire` explores.
+// to a typed error or to a message that canonicalizes — re-encoding it
+// (which drops unknown extension blocks) and decoding again yields the
+// same message, and a traced frame re-encodes byte-identically. The seed
+// corpus covers every frame type plus traced variants; `go test` runs the
+// seeds, `go test -fuzz=FuzzDecodeMsg ./internal/wire` explores.
 func FuzzDecodeMsg(f *testing.F) {
 	for i, typ := range allTypes {
 		f.Add(AppendMsg(nil, Msg{Seq: uint64(i), Type: typ, Code: CodeInternal,
 			ObjType: "t", ObjName: "n", Method: "m", Params: []string{"p1", "p2"}, Result: "r"}))
+		f.Add(AppendMsg(nil, Msg{Seq: uint64(i), Type: typ,
+			ObjType: "t", ObjName: "n", Method: "m",
+			TraceID: "deadbeefcafef00d", TraceAttempt: uint32(i)}))
 	}
 	f.Add([]byte{})
 	f.Add(make([]byte, 64))
@@ -249,8 +261,15 @@ func FuzzDecodeMsg(f *testing.F) {
 			}
 			return
 		}
-		if !bytes.Equal(AppendMsg(nil, m), data[:n]) {
-			t.Fatalf("decode/encode asymmetry on %d-byte frame", n)
+		enc := AppendMsg(nil, m)
+		got, _, err := DecodeMsg(enc)
+		if err != nil || !msgEqual(m, got) {
+			t.Fatalf("decode of %d-byte frame does not canonicalize: %v", n, err)
+		}
+		// Frames our own encoder could have produced (no unknown extension
+		// blocks) must re-encode byte-identically.
+		if m.Traced() && len(enc) == n && !bytes.Equal(enc, data[:n]) {
+			t.Fatalf("same-length re-encode differs on %d-byte frame", n)
 		}
 	})
 }

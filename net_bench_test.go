@@ -34,14 +34,23 @@ type netBenchRow struct {
 }
 
 // netBenchServer stands up a full oodbd stack (engine + session layer +
-// pooled client) on loopback for one benchmark series.
-func netBenchServer(b *testing.B, install string, conns int) (*client.Client, func()) {
+// pooled client) on loopback for one benchmark series. With traced, the
+// client stamps every frame with a distributed trace id and the server
+// samples one in 64 transactions into the span tracer — the configuration
+// whose throughput must stay within the ≤5% observability budget of the
+// untraced series.
+func netBenchServer(b *testing.B, install string, conns int, traced bool) (*client.Client, func()) {
 	b.Helper()
+	sampleEvery := 0
+	if traced {
+		sampleEvery = 64
+	}
 	db := core.Open(core.Options{
 		MaxInflight:      2 * conns,
 		AdmissionTimeout: 5 * time.Second,
 		LockTimeout:      5 * time.Second,
 		DisableTrace:     true,
+		SpanSampleEvery:  sampleEvery,
 	})
 	switch install {
 	case "banking":
@@ -58,7 +67,7 @@ func netBenchServer(b *testing.B, install string, conns int) (*client.Client, fu
 	if err != nil {
 		b.Fatal(err)
 	}
-	cl, err := client.Dial(addr, client.Options{PoolSize: conns})
+	cl, err := client.Dial(addr, client.Options{PoolSize: conns, Trace: traced})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -125,16 +134,22 @@ func BenchmarkN1LoopbackThroughput(b *testing.B) {
 	var rowsMu sync.Mutex
 
 	closed := []struct {
-		wl    string
-		conns int
+		wl     string
+		conns  int
+		traced bool
 	}{
-		{"banking", 64},
-		{"banking", 256},
-		{"encyclopedia", 256},
+		{"banking", 64, false},
+		{"banking", 256, false},
+		{"banking", 256, true},
+		{"encyclopedia", 256, false},
 	}
 	for _, series := range closed {
-		b.Run(fmt.Sprintf("%s/closed/conns=%d", series.wl, series.conns), func(b *testing.B) {
-			cl, stop := netBenchServer(b, series.wl, series.conns)
+		mode := "closed"
+		if series.traced {
+			mode = "closed-traced"
+		}
+		b.Run(fmt.Sprintf("%s/%s/conns=%d", series.wl, mode, series.conns), func(b *testing.B) {
+			cl, stop := netBenchServer(b, series.wl, series.conns, series.traced)
 			defer stop()
 			const txnsPerConn = 8
 			var last netBenchRow
@@ -171,7 +186,7 @@ func BenchmarkN1LoopbackThroughput(b *testing.B) {
 				if err := <-errCh; err != nil {
 					b.Fatal(err)
 				}
-				last = summarizeNet(series.wl, "closed", series.conns, lats, 0, elapsed, retries.Load())
+				last = summarizeNet(series.wl, mode, series.conns, lats, 0, elapsed, retries.Load())
 				b.ReportMetric(last.TxnPerSec, "txn/s")
 				b.ReportMetric(float64(last.P50us), "p50µs")
 				b.ReportMetric(float64(last.P99us), "p99µs")
@@ -184,7 +199,7 @@ func BenchmarkN1LoopbackThroughput(b *testing.B) {
 
 	b.Run("banking/open/conns=256", func(b *testing.B) {
 		const conns = 256
-		cl, stop := netBenchServer(b, "banking", conns)
+		cl, stop := netBenchServer(b, "banking", conns, false)
 		defer stop()
 		const (
 			arrivals = 2048
