@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-obs bench bench-wal bench-ckpt bench-obs bench-spans bench-net bench-partition torture metrics-smoke trace-smoke chaos-smoke checkpoint-smoke server-smoke partition-smoke tracing-smoke
+.PHONY: check build vet test test-obs bench bench-wal bench-ckpt bench-obs bench-spans bench-net bench-partition bench-repl torture metrics-smoke trace-smoke chaos-smoke checkpoint-smoke server-smoke partition-smoke tracing-smoke repl-smoke
 
 # The full gate: everything must build, vet clean, and pass under the race
 # detector. CI and pre-commit both run this.
@@ -51,6 +51,12 @@ bench-net:
 # banking txn/s at 4 partitions >= 2x the 1-partition figure.
 bench-partition:
 	$(GO) test -bench BenchmarkP1PartitionScaling -benchtime 3x -run '^$$' .
+
+# Prices replication: unhooked single node vs disarmed quorum sink
+# (single-node cluster, the ≤5% budget) vs a real 3-node quorum over
+# loopback; writes BENCH_repl.json.
+bench-repl:
+	$(GO) test -bench BenchmarkN2ReplicatedCommit -benchtime 15x -run '^$$' .
 
 # Kill-the-process durability torture (SIGKILL + recover, 5 rounds).
 torture:
@@ -136,6 +142,74 @@ partition-smoke:
 	kill -TERM $$pid 2>/dev/null; \
 	wait $$pid || status=1; \
 	[ $$status -eq 0 ] && echo "partition-smoke: OK"; exit $$status
+
+# End-to-end check of WAL replication: boot a 3-node oodbd cluster, find
+# the leader via /healthz (followers answer 503 "replica"), burst a banking
+# workload at it, assert follower healthz carries replication state, then
+# SIGKILL the leader and require a new leader at a HIGHER term to take over
+# writes (a second burst must commit against it). After the oodbd-level
+# check, the chaos leader-kill round does the rigorous version — SIGKILL
+# mid-burst over many iterations, machine-checking on every failover that
+# each quorum-acked commit survives on the new leader — and the
+# repl-partition round isolates a live leader instead of killing it.
+REPL_SMOKE_DIR ?= /tmp/oodb-repl-smoke
+repl-smoke:
+	$(GO) build -o /tmp/oodbd-rsmoke ./cmd/oodbd
+	$(GO) build -o /tmp/oodbload-rsmoke ./cmd/oodbload
+	rm -rf $(REPL_SMOKE_DIR); \
+	pids=""; \
+	for i in 0 1 2; do \
+		case $$i in \
+			0) peers="n1=127.0.0.1:19342,n2=127.0.0.1:19343";; \
+			1) peers="n0=127.0.0.1:19341,n2=127.0.0.1:19343";; \
+			2) peers="n0=127.0.0.1:19341,n1=127.0.0.1:19342";; \
+		esac; \
+		/tmp/oodbd-rsmoke -addr 127.0.0.1:1933$$((i+1)) \
+			-metrics-addr 127.0.0.1:1935$$((i+1)) \
+			-repl-node n$$i -repl-addr 127.0.0.1:1934$$((i+1)) \
+			-repl-peers "$$peers" \
+			-durability group-commit -waldir $(REPL_SMOKE_DIR)/n$$i \
+			-install banking >/dev/null 2>&1 & \
+		pids="$$pids $$!"; \
+	done; \
+	status=1; leader=""; \
+	for t in $$(seq 1 60); do \
+		for i in 1 2 3; do \
+			if curl -s http://127.0.0.1:1935$$i/healthz | grep -q '"role": "leader"'; then leader=$$i; break; fi; \
+		done; \
+		[ -n "$$leader" ] && break; sleep 0.25; \
+	done; \
+	if [ -n "$$leader" ]; then \
+		term=$$(curl -s http://127.0.0.1:1935$$leader/healthz | sed -n 's/.*"term": \([0-9]*\).*/\1/p' | head -1); \
+		follower=$$(( leader % 3 + 1 )); \
+		/tmp/oodbload-rsmoke -addr 127.0.0.1:1933$$leader -workload banking -workers 8 -txns 20 && \
+		curl -s http://127.0.0.1:1935$$follower/healthz | grep -q '"status": "replica"' && \
+		curl -s http://127.0.0.1:1935$$follower/healthz | grep -q '"role": "follower"' && \
+		status=0; \
+		if [ $$status -eq 0 ]; then \
+			lpid=$$(echo $$pids | awk -v n=$$leader '{print $$n}'); \
+			kill -9 $$lpid; status=1; newleader=""; \
+			for t in $$(seq 1 60); do \
+				for i in 1 2 3; do \
+					[ $$i -eq $$leader ] && continue; \
+					if curl -s http://127.0.0.1:1935$$i/healthz | grep -q '"role": "leader"'; then newleader=$$i; break; fi; \
+				done; \
+				[ -n "$$newleader" ] && break; sleep 0.25; \
+			done; \
+			if [ -n "$$newleader" ]; then \
+				newterm=$$(curl -s http://127.0.0.1:1935$$newleader/healthz | sed -n 's/.*"term": \([0-9]*\).*/\1/p' | head -1); \
+				[ "$$newterm" -gt "$$term" ] && \
+				/tmp/oodbload-rsmoke -addr 127.0.0.1:1933$$newleader -workload banking -workers 8 -txns 20 && \
+				status=0 || status=1; \
+			fi; \
+		fi; \
+	fi; \
+	kill -9 $$pids 2>/dev/null; wait 2>/dev/null; \
+	rm -rf $(REPL_SMOKE_DIR); \
+	[ $$status -eq 0 ] && echo "repl-smoke: oodbd failover OK" || exit $$status
+	$(GO) run ./cmd/chaos -seed 1 -workers 6 -txns 60 -round leader-kill -iters 20
+	$(GO) run ./cmd/chaos -seed 1 -workers 6 -txns 60 -round repl-partition
+	@echo "repl-smoke: OK"
 
 # End-to-end check of the span-tracing endpoint: run a workload with a
 # lingering endpoint, then assert /trace/slowest returns a non-empty,

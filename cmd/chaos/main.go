@@ -13,33 +13,53 @@
 //
 // Rounds:
 //
-//	lock-delay  — lock.acquire delays stretch every conflict window
-//	random      — a seeded pick of I/O and lock failpoints, armed mid-run
-//	overload    — MaxInflight admission control under a slow lock path
-//	fsync-error — wal.fsync poisons the durable WAL mid-run; verify
-//	              rejection, restart recovery, and the no-loss invariant
+//	lock-delay     — lock.acquire delays stretch every conflict window
+//	random         — a seeded pick of I/O and lock failpoints, armed mid-run
+//	overload       — MaxInflight admission control under a slow lock path
+//	fsync-error    — wal.fsync poisons the durable WAL mid-run; verify
+//	                 rejection, restart recovery, and the no-loss invariant
+//	leader-kill    — a real 3-process replicated cluster (chaos re-execs
+//	                 itself as the replicas) takes client traffic while the
+//	                 leader is SIGKILLed mid-burst, -iters times in a row;
+//	                 after every failover the new leader must hold every
+//	                 quorum-acked commit (recovered ≥ acked, per account)
+//	                 and at most acked + commits-in-doubt (no doubling)
+//	repl-partition — in-process 3-node cluster; the leader is isolated from
+//	                 its peers mid-run, must abdicate, and the healed
+//	                 cluster must conserve every acked increment
+//
+// leader-kill and repl-partition need ports 21330..21345 on loopback and
+// are not part of -round all; run them explicitly (make repl-smoke does).
 //
 // Usage:
 //
-//	chaos [-seed N] [-workers N] [-txns N] [-accounts N] [-round name]
+//	chaos [-seed N] [-workers N] [-txns N] [-accounts N] [-round name] [-iters N]
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"os/exec"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/recovery"
+	"repro/internal/repl"
+	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -48,9 +68,21 @@ func main() {
 		workers  = flag.Int("workers", 8, "concurrent workers")
 		txns     = flag.Int("txns", 150, "transactions per worker and round")
 		accounts = flag.Int("accounts", 8, "independent counters (one page each)")
-		round    = flag.String("round", "all", "round: lock-delay | random | overload | fsync-error | all")
+		round    = flag.String("round", "all", "round: lock-delay | random | overload | fsync-error | leader-kill | repl-partition | all")
+		iters    = flag.Int("iters", 20, "leader-kill: consecutive kill/failover/verify iterations")
+
+		replChild     = flag.Bool("repl-child", false, "internal: run as a leader-kill replica child process")
+		childNode     = flag.String("child-node", "", "internal: child node id")
+		childDir      = flag.String("child-dir", "", "internal: child WAL directory")
+		childAddr     = flag.String("child-addr", "", "internal: child client address")
+		childReplAddr = flag.String("child-repl-addr", "", "internal: child replication address")
+		childPeers    = flag.String("child-peers", "", "internal: child peers (id=addr,...)")
 	)
 	flag.Parse()
+	if *replChild {
+		runReplChild(*childNode, *childDir, *childAddr, *childReplAddr, *childPeers, *accounts)
+		return
+	}
 	fmt.Printf("chaos: seed=%d workers=%d txns=%d accounts=%d\n", *seed, *workers, *txns, *accounts)
 
 	rounds := []struct {
@@ -61,10 +93,17 @@ func main() {
 		{"random", runRandomFaults},
 		{"overload", runOverload},
 		{"fsync-error", runFsyncError},
+		{"leader-kill", runLeaderKill},
+		{"repl-partition", runReplPartition},
 	}
-	cfg := chaosConfig{seed: *seed, workers: *workers, txns: *txns, accounts: *accounts}
+	cfg := chaosConfig{seed: *seed, workers: *workers, txns: *txns, accounts: *accounts, iters: *iters}
 	failed := false
 	for _, r := range rounds {
+		if *round == "all" && (r.name == "leader-kill" || r.name == "repl-partition") {
+			// The replication rounds bind fixed loopback ports and spawn
+			// child processes; they run only when asked for by name.
+			continue
+		}
 		if *round != "all" && *round != r.name {
 			continue
 		}
@@ -89,6 +128,7 @@ type chaosConfig struct {
 	workers  int
 	txns     int
 	accounts int
+	iters    int
 }
 
 // counters tracks, per account, how many increments were acknowledged by
@@ -412,4 +452,522 @@ func runFsyncError(cfg chaosConfig) error {
 		}
 	}
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// leader-kill: a real replicated cluster under repeated leader SIGKILL.
+
+// replBankOpen is the promotion hook both replication rounds share: fresh
+// directories get an unfunded banking schema, restarts recover it.
+func replBankOpen(accounts int) func(dir string, fresh bool) (*core.DB, error) {
+	return func(dir string, fresh bool) (*core.DB, error) {
+		opts := core.Options{
+			DisableTrace: true,
+			DisableSpans: true,
+			LockTimeout:  5 * time.Second,
+			Durability:   storage.GroupCommit,
+			WALDir:       dir,
+		}
+		if fresh {
+			db, err := core.OpenDurable(opts)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := workload.InstallBanking(db, accounts, 0); err != nil {
+				db.Close()
+				return nil, err
+			}
+			return db, nil
+		}
+		db, _, err := recovery.RecoverDir(dir, opts, func(db *core.DB) error {
+			_, rerr := workload.RegisterBanking(db, accounts)
+			return rerr
+		})
+		return db, err
+	}
+}
+
+// runReplChild is the -repl-child entry point: one replica process — a
+// repl.Node fronted by a replicated session layer — that reports role
+// transitions on stdout ("role=<r> term=<t>") for the parent to parse and
+// then waits to be SIGKILLed.
+func runReplChild(id, dir, addr, replAddr, peerList string, accounts int) {
+	var peers []repl.Peer
+	for _, part := range strings.Split(peerList, ",") {
+		pid, paddr, ok := strings.Cut(part, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "chaos child: bad peer %q\n", part)
+			os.Exit(2)
+		}
+		peers = append(peers, repl.Peer{ID: pid, Addr: paddr})
+	}
+	node, err := repl.Open(repl.Config{
+		ID:         id,
+		Addr:       replAddr,
+		Advertise:  addr,
+		Peers:      peers,
+		Dir:        dir,
+		OpenEngine: replBankOpen(accounts),
+		Durability: storage.GroupCommit,
+		OnRole: func(role repl.Role, term uint64) {
+			fmt.Printf("role=%s term=%d\n", role, term)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos child %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	srv := server.NewReplicated(node, nil, server.Options{})
+	if _, err := srv.Start(addr); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos child %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	fmt.Println("serving")
+	select {} // the parent SIGKILLs us; there is no graceful exit to test
+}
+
+// childProc is the parent's handle on one replica child: the process plus
+// the role/term state parsed from its stdout.
+type childProc struct {
+	id, dir, addr, replAddr, peers string
+	accounts                       int
+
+	mu    sync.Mutex
+	cmd   *exec.Cmd
+	alive bool
+	ready bool
+	role  string
+	term  uint64
+}
+
+func (cp *childProc) spawn() error {
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(self, "-repl-child",
+		"-child-node", cp.id, "-child-dir", cp.dir,
+		"-child-addr", cp.addr, "-child-repl-addr", cp.replAddr,
+		"-child-peers", cp.peers, "-accounts", strconv.Itoa(cp.accounts))
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	cp.mu.Lock()
+	cp.cmd, cp.alive, cp.ready, cp.role, cp.term = cmd, true, false, "", 0
+	cp.mu.Unlock()
+	go cp.scan(out)
+	go func() {
+		_ = cmd.Wait()
+		cp.mu.Lock()
+		cp.alive = false
+		cp.mu.Unlock()
+	}()
+	return nil
+}
+
+func (cp *childProc) scan(out io.Reader) {
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := sc.Text()
+		cp.mu.Lock()
+		if line == "serving" {
+			cp.ready = true
+		} else if rest, ok := strings.CutPrefix(line, "role="); ok {
+			if role, termStr, ok := strings.Cut(rest, " term="); ok {
+				if term, err := strconv.ParseUint(termStr, 10, 64); err == nil {
+					cp.role, cp.term = role, term
+				}
+			}
+		}
+		cp.mu.Unlock()
+	}
+}
+
+func (cp *childProc) state() (alive, ready bool, role string, term uint64) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.alive, cp.ready, cp.role, cp.term
+}
+
+func (cp *childProc) kill() {
+	cp.mu.Lock()
+	cmd := cp.cmd
+	cp.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		_ = cmd.Process.Kill() // SIGKILL: no drain, no fsync, no goodbyes
+	}
+}
+
+// leaderChild returns the alive child currently claiming leadership at the
+// highest term, or nil.
+func leaderChild(children []*childProc) *childProc {
+	var best *childProc
+	var bestTerm uint64
+	for _, cp := range children {
+		alive, _, role, term := cp.state()
+		if alive && role == "leader" && term >= bestTerm {
+			best, bestTerm = cp, term
+		}
+	}
+	return best
+}
+
+func waitLeaderChild(children []*childProc, timeout time.Duration) (*childProc, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cp := leaderChild(children); cp != nil {
+			return cp, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("no leader within %v", timeout)
+}
+
+// runLeaderKill is the replication acceptance round. One 3-process cluster
+// lives through every iteration: clients credit accounts through the
+// redirect-following pool, the leader is SIGKILLed mid-burst, and after
+// failover the new leader must hold, per account, at least every acked
+// credit and at most acked + in-doubt (nothing lost, nothing doubled).
+// The killed process then restarts — recovering its WAL and rejoining as
+// a follower — before the next iteration kills the next leader.
+func runLeaderKill(cfg chaosConfig) error {
+	const k = 3
+	tmp, err := os.MkdirTemp("", "chaos-repl-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	children := make([]*childProc, k)
+	addrs := make([]string, k)
+	for i := range children {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", 21330+i)
+	}
+	for i := range children {
+		var peers []string
+		for j := range children {
+			if j != i {
+				peers = append(peers, fmt.Sprintf("n%d=127.0.0.1:%d", j, 21340+j))
+			}
+		}
+		dir := fmt.Sprintf("%s/n%d", tmp, i)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		children[i] = &childProc{
+			id: fmt.Sprintf("n%d", i), dir: dir, addr: addrs[i],
+			replAddr: fmt.Sprintf("127.0.0.1:%d", 21340+i),
+			peers:    strings.Join(peers, ","), accounts: cfg.accounts,
+		}
+		if err := children[i].spawn(); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, cp := range children {
+			cp.kill()
+		}
+	}()
+	if _, err := waitLeaderChild(children, 15*time.Second); err != nil {
+		return err
+	}
+
+	cl, err := client.Dial(addrs[0], client.Options{
+		PoolSize: cfg.workers, Fallbacks: addrs[1:], Seed: cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	policy := client.RetryPolicy{MaxAttempts: 400, MaxBackoff: 25 * time.Millisecond}
+
+	acked := make([]atomic.Int64, cfg.accounts)
+	doubt := make([]atomic.Int64, cfg.accounts)
+	readBal := func(i int) (int64, error) {
+		var bal int64
+		err := cl.RunWithRetry(policy, func(tx *client.Tx) error {
+			s, err := tx.Invoke(workload.AccountType, fmt.Sprintf("Acct%d", i), "balance")
+			if err != nil {
+				return err
+			}
+			bal, err = strconv.ParseInt(s, 10, 64)
+			return err
+		})
+		return bal, err
+	}
+
+	iters := cfg.iters
+	if iters < 1 {
+		iters = 1
+	}
+	burst := cfg.workers * cfg.txns / 10
+	if burst < 40 {
+		burst = 40
+	}
+	for it := 0; it < iters; it++ {
+		leader, err := waitLeaderChild(children, 15*time.Second)
+		if err != nil {
+			return fmt.Errorf("iteration %d: %w", it, err)
+		}
+		// Make sure promotion finished (a read round-trips through the
+		// session layer) before the burst starts.
+		if _, err := readBal(0); err != nil {
+			return fmt.Errorf("iteration %d: pre-burst read: %w", it, err)
+		}
+
+		var sent atomic.Int64
+		var killOnce sync.Once
+		var wg sync.WaitGroup
+		perWorker := burst / cfg.workers
+		if perWorker < 1 {
+			perWorker = 1
+		}
+		errCh := make(chan error, cfg.workers)
+		for w := 0; w < cfg.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rr := rand.New(rand.NewSource(cfg.seed + int64(it*1009+w*7919)))
+				for i := 0; i < perWorker; i++ {
+					if sent.Add(1) == int64(burst/2) {
+						killOnce.Do(leader.kill)
+					}
+					idx := rr.Intn(cfg.accounts)
+					err := cl.RunWithRetry(policy, func(tx *client.Tx) error {
+						_, err := tx.Invoke(workload.AccountType, fmt.Sprintf("Acct%d", idx), "credit", "1")
+						return err
+					})
+					switch {
+					case err == nil:
+						acked[idx].Add(1)
+					case errors.Is(err, client.ErrCommitInDoubt):
+						// The kill raced the COMMIT response; the credit may
+						// or may not be durable. Reconciled below.
+						doubt[idx].Add(1)
+					default:
+						errCh <- fmt.Errorf("iteration %d worker %d: %w", it, w, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		killOnce.Do(leader.kill) // tiny bursts: kill even if the trigger never hit
+		close(errCh)
+		if err := <-errCh; err != nil {
+			return err
+		}
+
+		// Failover: a surviving node must take over, and it must hold the
+		// acked history. Reads redirect to the NEW leader, so this check is
+		// exactly "recovered ≥ acked on the machine that took over".
+		newLeader, err := waitLeaderChild(children, 15*time.Second)
+		if err != nil {
+			return fmt.Errorf("iteration %d: no failover after killing %s: %w", it, leader.id, err)
+		}
+		for i := 0; i < cfg.accounts; i++ {
+			bal, err := readBal(i)
+			if err != nil {
+				return fmt.Errorf("iteration %d: verify read: %w", it, err)
+			}
+			a, d := acked[i].Load(), doubt[i].Load()
+			if bal < a {
+				return fmt.Errorf("iteration %d: SILENT LOSS on account %d: new leader %s has %d < %d acked",
+					it, i, newLeader.id, bal, a)
+			}
+			if bal > a+d {
+				return fmt.Errorf("iteration %d: DOUBLE COMMIT on account %d: new leader %s has %d > %d acked + %d in doubt",
+					it, i, newLeader.id, bal, a, d)
+			}
+			// In-doubt credits are now resolved either way; fold them into
+			// the ground truth (the documented reconcile-by-reading contract).
+			acked[i].Store(bal)
+			doubt[i].Store(0)
+		}
+
+		// Restart the killed process: it recovers its WAL and rejoins, so
+		// the next iteration again kills a leader out of a full cluster.
+		if err := leader.spawn(); err != nil {
+			return fmt.Errorf("iteration %d: restart %s: %w", it, leader.id, err)
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			if _, ready, _, _ := leader.state(); ready {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("iteration %d: restarted %s never came back", it, leader.id)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		fmt.Printf("chaos:   iter %2d: killed %s, %s took over (acked total %d)\n", it, leader.id, newLeader.id, totalOf(acked))
+	}
+	return nil
+}
+
+func totalOf(c []atomic.Int64) int64 {
+	var t int64
+	for i := range c {
+		t += c[i].Load()
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// repl-partition: in-process cluster, leader isolated from its peers.
+
+// runReplPartition isolates the leader instead of killing it: its quorum
+// waits time out, it abdicates (commits fail typed, never silently), the
+// majority elects a successor, and once healed the old leader rejoins as
+// a follower. Every acked increment must survive on the new leader.
+func runReplPartition(cfg chaosConfig) error {
+	const k = 3
+	tmp, err := os.MkdirTemp("", "chaos-part-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	// Reserve repl transport ports so each node can name its peers.
+	addrs := make([]string, k)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", 21343+i)
+	}
+	nodes := make([]*repl.Node, k)
+	for i := 0; i < k; i++ {
+		var peers []repl.Peer
+		for j := 0; j < k; j++ {
+			if j != i {
+				peers = append(peers, repl.Peer{ID: fmt.Sprintf("n%d", j), Addr: addrs[j]})
+			}
+		}
+		dir := fmt.Sprintf("%s/n%d", tmp, i)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		n, err := repl.Open(repl.Config{
+			ID: fmt.Sprintf("n%d", i), Addr: addrs[i], Advertise: fmt.Sprintf("node-n%d", i),
+			Peers: peers, Dir: dir, OpenEngine: replBankOpen(cfg.accounts),
+			ElectionTimeout: 80 * time.Millisecond, Heartbeat: 20 * time.Millisecond,
+			AckTimeout: 500 * time.Millisecond,
+			Durability: storage.GroupCommit, Seed: cfg.seed + int64(i),
+		})
+		if err != nil {
+			return err
+		}
+		nodes[i] = n
+		defer n.Close()
+	}
+	waitLeaderNode := func() (*repl.Node, *core.DB, error) {
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			for _, n := range nodes {
+				if _, ok := n.LeaderCluster(); ok {
+					return n, n.DB(), nil
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return nil, nil, fmt.Errorf("no leader within 15s")
+	}
+
+	acked := make([]int64, cfg.accounts)
+	doubt := make([]int64, cfg.accounts)
+	credit := func(idx int) {
+		// Any failure — deposed leader, closed engine mid-demotion — is
+		// retried against the freshly polled leader; a commit that errored
+		// after quorum may still land, so failures count as in-doubt.
+		for attempt := 0; attempt < 40; attempt++ {
+			_, db, err := waitLeaderNode()
+			if err != nil {
+				return
+			}
+			err = db.RunWithRetry(core.RetryPolicy{MaxAttempts: 10}, func(tx *core.Txn) error {
+				_, err := tx.Exec(txn.OID{Type: workload.AccountType, Name: fmt.Sprintf("Acct%d", idx)}, "credit", "1")
+				return err
+			})
+			if err == nil {
+				acked[idx]++
+				return
+			}
+			doubt[idx]++
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	first, _, err := waitLeaderNode()
+	if err != nil {
+		return err
+	}
+	total := cfg.txns
+	if total < 40 {
+		total = 40
+	}
+	rr := rand.New(rand.NewSource(cfg.seed))
+	for i := 0; i < total; i++ {
+		if i == total/2 {
+			fmt.Printf("chaos:   isolating leader %s\n", first.Status().Node)
+			first.SetIsolated(true)
+		}
+		credit(rr.Intn(cfg.accounts))
+	}
+	first.SetIsolated(false)
+
+	// The healed cluster converges: some leader serves, and per account the
+	// surviving balance is within [acked, acked+doubt].
+	newLeader, db, err := waitLeaderNode()
+	if err != nil {
+		return fmt.Errorf("no leader after healing the partition: %w", err)
+	}
+	if newLeader == first {
+		// Possible only if the isolation window held no commits; the checks
+		// below still apply.
+		fmt.Println("chaos:   note: original leader still leads (no election was forced)")
+	}
+	for i := 0; i < cfg.accounts; i++ {
+		var bal int64
+		err := db.RunWithRetry(core.RetryPolicy{MaxAttempts: 10}, func(tx *core.Txn) error {
+			s, err := tx.Exec(txn.OID{Type: workload.AccountType, Name: fmt.Sprintf("Acct%d", i)}, "balance")
+			if err != nil {
+				return err
+			}
+			bal, err = strconv.ParseInt(s, 10, 64)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("verify read on account %d: %w", i, err)
+		}
+		if bal < acked[i] {
+			return fmt.Errorf("SILENT LOSS on account %d: %d < %d acked (leader %s)", i, bal, acked[i], newLeader.Status().Node)
+		}
+		if bal > acked[i]+doubt[i] {
+			return fmt.Errorf("DOUBLE COMMIT on account %d: %d > %d acked + %d in doubt", i, bal, acked[i], doubt[i])
+		}
+	}
+	// Liveness: the isolated ex-leader rejoined; its term must converge to
+	// the cluster's and one more credit must commit.
+	st := newLeader.Status()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if fs := first.Status(); fs.Term >= st.Term && fs.Role != "candidate" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	credit(0)
+	fmt.Printf("chaos:   partition healed; %s leads term %d, %d acked\n", st.Node, st.Term, sumOf(acked))
+	return nil
+}
+
+func sumOf(v []int64) int64 {
+	var t int64
+	for _, x := range v {
+		t += x
+	}
+	return t
 }

@@ -23,6 +23,7 @@ package client
 
 import (
 	cryptorand "crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -49,6 +50,11 @@ var (
 	// (if it did, the commit is durable; if it did not, the session abort
 	// rolled everything back). The caller must reconcile by reading.
 	ErrCommitInDoubt = errors.New("client: commit in doubt (connection lost awaiting COMMIT response)")
+	// errNotSent marks transport failures where the request frame provably
+	// never left this process (the connection was already dead, or the dial
+	// failed). It keeps Commit precise: a COMMIT that was never sent cannot
+	// be in doubt, no matter how the connection died.
+	errNotSent = errors.New("request not sent")
 )
 
 // Options configure Dial.
@@ -70,6 +76,15 @@ type Options struct {
 	// client.commit_in_doubt) into a local registry — nil disables at zero
 	// cost (every handle is nil-receiver safe).
 	Obs *obs.Registry
+	// Fallbacks lists additional cluster addresses. When a request is
+	// refused with CodeNotLeader, RunWithRetry re-targets the pool at the
+	// leader address carried in the refusal — or, lacking a hint, rotates
+	// through primary+Fallbacks until one answers as leader.
+	Fallbacks []string
+	// Seed seeds this pool's backoff-jitter source; 0 derives one from
+	// crypto/rand. Each pool owns its source (no cross-pool lock), so two
+	// pools with distinct seeds cannot produce lockstep retry storms.
+	Seed int64
 }
 
 func (o Options) withDefaults() Options {
@@ -82,38 +97,107 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Client is a pooled connection to one oodbd server. Safe for concurrent
-// use.
+// Client is a pooled connection to one oodbd server (re-targetable to its
+// peers on leader change). Safe for concurrent use.
 type Client struct {
-	addr string
 	opts Options
 
 	mu     sync.Mutex
+	addr   string   // current target; moves on redirect
+	addrs  []string // primary + Fallbacks, rotation order
 	free   []*conn
 	closed bool
+
+	jmu  sync.Mutex
+	jrnd *rand.Rand // pool-local jitter source (see Options.Seed)
 
 	connsOpen     *obs.Gauge   // client.conns_open: live TCP connections
 	connsInUse    *obs.Gauge   // client.conns_inuse: checked out of the pool
 	roundTrips    *obs.Counter // client.roundtrips: frames sent and answered
 	commitInDoubt *obs.Counter // client.commit_in_doubt
+	redirects     *obs.Counter // client.redirects: leader-change re-targets
 }
 
 // Dial connects to an oodbd server and verifies liveness with a PING.
+// With Options.Fallbacks, addresses are tried in order until one answers.
 func Dial(addr string, opts Options) (*Client, error) {
 	opts = opts.withDefaults()
 	reg := opts.Obs
+	seed := opts.Seed
+	if seed == 0 {
+		var b [8]byte
+		if _, err := cryptorand.Read(b[:]); err == nil {
+			seed = int64(binary.LittleEndian.Uint64(b[:]) >> 1)
+		}
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+	}
 	c := &Client{
 		addr:          addr,
+		addrs:         append([]string{addr}, opts.Fallbacks...),
 		opts:          opts,
+		jrnd:          rand.New(rand.NewSource(seed)),
 		connsOpen:     reg.Gauge("client.conns_open"),
 		connsInUse:    reg.Gauge("client.conns_inuse"),
 		roundTrips:    reg.Counter("client.roundtrips"),
 		commitInDoubt: reg.Counter("client.commit_in_doubt"),
+		redirects:     reg.Counter("client.redirects"),
 	}
-	if err := c.Ping(); err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	var err error
+	for range c.addrs {
+		if err = c.Ping(); err == nil {
+			return c, nil
+		}
+		c.rotate()
 	}
-	return c, nil
+	return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+}
+
+// target returns the pool's current server address.
+func (c *Client) target() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
+}
+
+// redirect re-targets the pool at addr (a leader hint) and discards idle
+// connections to the old target; checked-out connections finish their
+// transaction and are culled on release by their stale addr.
+func (c *Client) redirect(addr string) {
+	c.mu.Lock()
+	if c.closed || addr == "" || addr == c.addr {
+		c.mu.Unlock()
+		return
+	}
+	c.addr = addr
+	free := c.free
+	c.free = nil
+	c.mu.Unlock()
+	c.redirects.Inc()
+	for _, nc := range free {
+		nc.close(ErrConnDead)
+	}
+}
+
+// rotate advances to the next known address — the blind fallback when a
+// refusal carries no leader hint (an election still in progress).
+func (c *Client) rotate() {
+	c.mu.Lock()
+	next := ""
+	for i, a := range c.addrs {
+		if a == c.addr {
+			next = c.addrs[(i+1)%len(c.addrs)]
+			break
+		}
+	}
+	if next == "" && len(c.addrs) > 0 {
+		// Current target was a leader hint outside the configured set;
+		// restart the rotation from the top.
+		next = c.addrs[0]
+	}
+	c.mu.Unlock()
+	c.redirect(next)
 }
 
 // retryCounter classifies a retried attempt's failure into its
@@ -127,6 +211,8 @@ func (c *Client) retryCounter(err error) *obs.Counter {
 		cause = "lock-timeout"
 	case errors.Is(err, wire.ErrOverloaded):
 		cause = "overloaded"
+	case errors.Is(err, wire.ErrNotLeader):
+		cause = "not-leader"
 	case errors.Is(err, ErrConnDead):
 		cause = "conn-dead"
 	}
@@ -151,6 +237,7 @@ func (c *Client) Close() error {
 // get hands out a live pooled connection or dials a fresh one.
 func (c *Client) get() (*conn, error) {
 	c.mu.Lock()
+	addr := c.addr
 	for len(c.free) > 0 {
 		nc := c.free[len(c.free)-1]
 		c.free = c.free[:len(c.free)-1]
@@ -166,7 +253,7 @@ func (c *Client) get() (*conn, error) {
 		return nil, ErrClientClosed
 	}
 	c.mu.Unlock()
-	nc, err := dialConn(c.addr, c.opts.DialTimeout, c.connsOpen, c.roundTrips)
+	nc, err := dialConn(addr, c.opts.DialTimeout, c.connsOpen, c.roundTrips)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +261,8 @@ func (c *Client) get() (*conn, error) {
 	return nc, nil
 }
 
-// put returns a connection to the pool (or closes it if dead/full/closed).
+// put returns a connection to the pool (or closes it if dead/full/closed,
+// or if the pool has been redirected away from the conn's server since).
 func (c *Client) put(nc *conn) {
 	c.connsInUse.Add(-1)
 	if !nc.alive() {
@@ -182,7 +270,7 @@ func (c *Client) put(nc *conn) {
 		return
 	}
 	c.mu.Lock()
-	if c.closed || len(c.free) >= c.opts.PoolSize {
+	if c.closed || len(c.free) >= c.opts.PoolSize || nc.addr != c.addr {
 		c.mu.Unlock()
 		nc.close(ErrClientClosed)
 		return
@@ -233,12 +321,12 @@ type Tx struct {
 }
 
 // newTraceID mints a 16-hex-char distributed trace id.
-func newTraceID() string {
+func (c *Client) newTraceID() string {
 	var b [8]byte
 	if _, err := cryptorand.Read(b[:]); err != nil {
 		// crypto/rand failing is effectively fatal elsewhere; degrade to a
 		// jitter-source id rather than a panic in a tracing helper.
-		return fmt.Sprintf("%016x", uint64(jitter(1<<62)))
+		return fmt.Sprintf("%016x", uint64(c.jitter(1<<62)))
 	}
 	return hex.EncodeToString(b[:])
 }
@@ -250,7 +338,7 @@ func newTraceID() string {
 // retry loops that want a stable id across attempts use BeginTraced.
 func (c *Client) Begin() (*Tx, error) {
 	if c.opts.Trace {
-		return c.BeginTraced(newTraceID(), 1)
+		return c.BeginTraced(c.newTraceID(), 1)
 	}
 	return c.beginTx("", 0)
 }
@@ -324,14 +412,16 @@ func (t *Tx) finish() {
 
 // Commit commits the transaction. A transport failure here is
 // ErrCommitInDoubt: the COMMIT may have executed durably even though its
-// response never arrived.
+// response never arrived — unless the frame provably never left the
+// process (the connection was already dead before the write), in which
+// case the plain transport error comes back and the caller may retry.
 func (t *Tx) Commit() error {
 	if t.done {
 		return wire.ErrTxnFinished
 	}
 	_, err := t.nc.call(t.stamp(wire.Msg{Type: wire.MsgCommit}))
 	t.finish()
-	if err != nil && errors.Is(err, ErrConnDead) {
+	if err != nil && errors.Is(err, ErrConnDead) && !errors.Is(err, errNotSent) {
 		t.c.commitInDoubt.Inc()
 		return fmt.Errorf("%w (txn %s)", ErrCommitInDoubt, t.id)
 	}
@@ -384,8 +474,8 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 }
 
 // backoffFor mirrors core.RetryPolicy.backoffFor: exponential, capped,
-// jittered to [d/2, d).
-func (p RetryPolicy) backoffFor(attempt int) time.Duration {
+// jittered to [d/2, d) from the pool's own source.
+func (p RetryPolicy) backoffFor(attempt int, jitter func(int64) int64) time.Duration {
 	d := p.BaseBackoff
 	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
 		d *= 2
@@ -400,23 +490,32 @@ func (p RetryPolicy) backoffFor(attempt int) time.Duration {
 	return half + time.Duration(jitter(int64(half)))
 }
 
-var (
-	jitterMu  sync.Mutex
-	jitterSrc = rand.New(rand.NewSource(1))
-)
-
-func jitter(n int64) int64 {
-	jitterMu.Lock()
-	defer jitterMu.Unlock()
-	return jitterSrc.Int63n(n)
+// jitter draws from the pool-local source seeded in Dial — formerly a
+// package-global locked source, which made every pool in the process share
+// one stream (lock contention, and identical backoff sequences under a
+// fixed seed).
+func (c *Client) jitter(n int64) int64 {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	return c.jrnd.Int63n(n)
 }
 
 // RunWithRetry executes body inside a fresh remote transaction, committing
 // on success and retrying the typed transient failures (deadlock victims,
 // lock timeouts — wire.Retryable; overload refusals only with
 // RetryOverload) with jittered exponential backoff. Terminal errors —
-// degraded engine, closed engine, commit-in-doubt, transport loss — stop
-// the loop immediately, exactly like core.RunWithRetry's terminal set.
+// degraded engine, closed engine, commit-in-doubt — stop the loop
+// immediately, exactly like core.RunWithRetry's terminal set.
+//
+// A CodeNotLeader refusal (this server is a replica) is also retried:
+// the pool re-targets at the leader address carried in the refusal, or
+// rotates through Options.Fallbacks when the refusal has no hint (an
+// election in progress). Transport loss retries too — outside COMMIT the
+// server-side session abort rolled the attempt back, and a COMMIT whose
+// frame was never sent provably did not execute — which is exactly the
+// leader-crash case: the connection dies, the next attempt lands on a
+// replica, the replica's refusal names the new leader. Only a COMMIT that
+// was in flight when the connection died is terminal (ErrCommitInDoubt).
 //
 // With Options.Trace one trace id is minted per call and stamped on every
 // attempt with its attempt counter, so the whole retry history of the
@@ -426,35 +525,60 @@ func (c *Client) RunWithRetry(p RetryPolicy, body func(t *Tx) error) error {
 	p = p.withDefaults()
 	traceID := ""
 	if c.opts.Trace {
-		traceID = newTraceID()
+		traceID = c.newTraceID()
 	}
 	var lastErr error
 	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
 		if attempt > 1 {
-			time.Sleep(p.backoffFor(attempt - 1))
+			time.Sleep(p.backoffFor(attempt-1, c.jitter))
 		}
 		tx, err := c.beginTx(traceID, uint32(attempt))
 		if err == nil {
 			err = body(tx)
 			if err == nil {
-				if cerr := tx.Commit(); cerr != nil {
-					// Commit failures are terminal: in-doubt, durability, or
-					// degraded refusals — none of which a blind re-run can fix.
+				cerr := tx.Commit()
+				if cerr == nil {
+					return nil
+				}
+				// A typed not-leader refusal of the COMMIT means the server
+				// rejected it without reaching quorum and aborted, and a
+				// transport loss before the frame was even sent means the
+				// server never saw it: either way the transaction is rolled
+				// back everywhere and the retry below is exactly-once safe.
+				// Everything else — in-doubt, durability, degraded refusals —
+				// is terminal; no blind re-run can fix those.
+				if !errors.Is(cerr, wire.ErrNotLeader) && !errors.Is(cerr, errNotSent) {
 					return cerr
 				}
-				return nil
+				err = cerr
+			} else {
+				_ = tx.Abort()
 			}
-			_ = tx.Abort()
 		}
 		if p.OnRetry != nil {
 			p.OnRetry(attempt, err)
 		}
-		retryable := wire.Retryable(err) ||
+		notLeader := errors.Is(err, wire.ErrNotLeader)
+		// Transport loss outside COMMIT is safe to retry: the protocol binds
+		// the transaction to the session, so the server-side abort on
+		// disconnect already rolled it back.
+		retryable := notLeader || wire.Retryable(err) ||
+			errors.Is(err, ErrConnDead) ||
 			(p.RetryOverload && errors.Is(err, wire.ErrOverloaded))
 		if !retryable {
 			return err
 		}
 		c.retryCounter(err).Inc()
+		if notLeader {
+			if hint := wire.LeaderHint(err); hint != "" {
+				c.redirect(hint)
+			} else {
+				c.rotate()
+			}
+		} else if errors.Is(err, ErrConnDead) {
+			// The target died under us; move the pool along before redialing.
+			c.rotate()
+		}
 		if errors.Is(err, wire.ErrOverloaded) {
 			// Flat, maximal backoff for overload: the admission queue already
 			// absorbed the exponential ramp server-side.
@@ -468,7 +592,8 @@ func (c *Client) RunWithRetry(p RetryPolicy, body func(t *Tx) error) error {
 // conn is one TCP connection: a write path guarded by seq registration and
 // a single reader goroutine dispatching responses by echoed seq.
 type conn struct {
-	c net.Conn
+	c    net.Conn
+	addr string // server this conn was dialed to (stale-target culling)
 
 	writeMu sync.Mutex // serializes frame writes
 
@@ -484,9 +609,9 @@ type conn struct {
 func dialConn(addr string, timeout time.Duration, open *obs.Gauge, trips *obs.Counter) (*conn, error) {
 	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return nil, fmt.Errorf("%w (%w): %v", ErrConnDead, errNotSent, err)
 	}
-	nc := &conn{c: c, pending: make(map[uint64]chan wire.Msg), open: open, trips: trips}
+	nc := &conn{c: c, addr: addr, pending: make(map[uint64]chan wire.Msg), open: open, trips: trips}
 	open.Add(1)
 	go nc.readLoop()
 	return nc, nil
@@ -548,7 +673,7 @@ func (nc *conn) call(m wire.Msg) (string, error) {
 	if nc.dead != nil {
 		err := nc.dead
 		nc.mu.Unlock()
-		return "", err
+		return "", fmt.Errorf("%w (%w)", err, errNotSent)
 	}
 	nc.seq++
 	m.Seq = nc.seq

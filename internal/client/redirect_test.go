@@ -1,0 +1,227 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/recovery"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// replHarness is a two-node replicated deployment: each repl.Node fronted
+// by a server.NewReplicated session layer, advertising its client address
+// in redirect hints.
+type replHarness struct {
+	nodes   []*repl.Node
+	servers []*server.Server
+	client  []string // client (session-layer) addresses, indexed like nodes
+}
+
+func replBankEngine(n int) func(dir string, fresh bool) (*core.DB, error) {
+	return func(dir string, fresh bool) (*core.DB, error) {
+		opts := core.Options{Durability: storage.GroupCommit, WALDir: dir}
+		if fresh {
+			db, err := core.OpenDurable(opts)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := workload.InstallBanking(db, n, 0); err != nil {
+				db.Close()
+				return nil, err
+			}
+			return db, nil
+		}
+		db, _, err := recovery.RecoverDir(dir, opts, func(db *core.DB) error {
+			_, rerr := workload.RegisterBanking(db, n)
+			return rerr
+		})
+		return db, err
+	}
+}
+
+// reserveAddrs grabs k distinct loopback addresses (listeners closed
+// before returning — the usual test-only port-reservation race).
+func reserveAddrs(t *testing.T, k int) []string {
+	t.Helper()
+	addrs := make([]string, k)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+func startReplicated(t *testing.T, k int) *replHarness {
+	t.Helper()
+	replAddrs := reserveAddrs(t, k)
+	clientAddrs := reserveAddrs(t, k)
+	h := &replHarness{client: clientAddrs}
+	for i := 0; i < k; i++ {
+		cfg := repl.Config{
+			ID:              fmt.Sprintf("n%d", i),
+			Addr:            replAddrs[i],
+			Advertise:       clientAddrs[i],
+			Dir:             t.TempDir(),
+			OpenEngine:      replBankEngine(4),
+			ElectionTimeout: 60 * time.Millisecond,
+			Heartbeat:       15 * time.Millisecond,
+			AckTimeout:      500 * time.Millisecond,
+			Durability:      storage.GroupCommit,
+			Logf:            t.Logf,
+		}
+		for j := 0; j < k; j++ {
+			if j != i {
+				cfg.Peers = append(cfg.Peers, repl.Peer{ID: fmt.Sprintf("n%d", j), Addr: replAddrs[j]})
+			}
+		}
+		n, err := repl.Open(cfg)
+		if err != nil {
+			t.Fatalf("open node %d: %v", i, err)
+		}
+		h.nodes = append(h.nodes, n)
+		srv := server.NewReplicated(n, nil, server.Options{})
+		if _, err := srv.Start(clientAddrs[i]); err != nil {
+			t.Fatalf("start server %d: %v", i, err)
+		}
+		h.servers = append(h.servers, srv)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, srv := range h.servers {
+			_ = srv.Shutdown(ctx)
+		}
+		for _, n := range h.nodes {
+			_ = n.Close()
+		}
+	})
+	return h
+}
+
+// waitReplLeader blocks until one node is a fully promoted leader and
+// returns its index.
+func (h *replHarness) waitReplLeader(t *testing.T) int {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for i, n := range h.nodes {
+			if _, ok := n.LeaderCluster(); ok {
+				return i
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no leader elected")
+	return -1
+}
+
+// TestClientRedirectsOnNotLeader: a pool pointed at a replica follows the
+// CodeNotLeader hint to the leader mid-transaction — the in-flight
+// transaction is retried against the leader, commits exactly once, and
+// never surfaces ErrCommitInDoubt. Run with -race: the redirect swaps the
+// pool target while other goroutines hold connections.
+func TestClientRedirectsOnNotLeader(t *testing.T) {
+	h := startReplicated(t, 2)
+	lead := h.waitReplLeader(t)
+	follower := h.client[1-lead]
+
+	// Prove the refusal shape first: a raw transaction against the replica
+	// opens read-only and gets a typed not-leader with the leader's address
+	// on its first write.
+	probe, err := Dial(follower, Options{PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer probe.Close()
+	tx, err := probe.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tx.Invoke(workload.AccountType, "Acct0", "credit", "1")
+	if !errors.Is(err, wire.ErrNotLeader) {
+		t.Fatalf("replica write: got %v, want ErrNotLeader", err)
+	}
+	if hint := wire.LeaderHint(err); hint != h.client[lead] {
+		t.Fatalf("leader hint %q, want %q", hint, h.client[lead])
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Now the real thing: a pool whose PRIMARY is the replica, with the
+	// leader only reachable via the redirect hint. Concurrent transfers
+	// must all land, none in doubt.
+	cl, err := Dial(follower, Options{PoolSize: 4, Fallbacks: []string{h.client[lead]}, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const workers, txns, amount = 4, 10, 3
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txns; i++ {
+				err := cl.RunWithRetry(RetryPolicy{}, func(tx *Tx) error {
+					_, err := tx.Invoke(workload.AccountType, "Acct"+strconv.Itoa(w%4), "credit", strconv.Itoa(amount))
+					return err
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d txn %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if errors.Is(err, ErrCommitInDoubt) {
+			t.Fatalf("redirect surfaced commit-in-doubt: %v", err)
+		}
+		t.Fatal(err)
+	}
+
+	if got := cl.target(); got != h.client[lead] {
+		t.Fatalf("pool target %q after redirect, want leader %q", got, h.client[lead])
+	}
+
+	// Every credit landed exactly once, checked on the leader.
+	var total int64
+	err = cl.RunWithRetry(RetryPolicy{}, func(tx *Tx) error {
+		total = 0
+		for i := 0; i < 4; i++ {
+			s, err := tx.Invoke(workload.AccountType, "Acct"+strconv.Itoa(i), "balance")
+			if err != nil {
+				return err
+			}
+			bal, _ := strconv.ParseInt(s, 10, 64)
+			total += bal
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(workers * txns * amount); total != want {
+		t.Fatalf("credits lost or doubled across redirect: total %d, want %d", total, want)
+	}
+}

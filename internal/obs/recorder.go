@@ -28,6 +28,7 @@ const (
 	EvDegraded     = "engine.degraded"   // the engine entered read-only degraded mode (Note: cause)
 	EvOverload     = "engine.overload"   // an admission wait timed out (ErrOverloaded)
 	EvCheckpoint   = "engine.checkpoint" // a fuzzy checkpoint completed (Object: file; N: segments truncated)
+	EvReplRole     = "repl.role"         // a replica changed role (Actor: node; Note: new role; N: term)
 )
 
 // Event is one flight-recorder entry.

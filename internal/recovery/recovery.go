@@ -379,6 +379,14 @@ func recoverWith(disk *storage.MemStore, records []storage.Record, engineWAL *st
 	return db, rep, nil
 }
 
+// RedoPage applies one update record's after-image to a store, allocating
+// forward as needed — the redo step recovery replays crash suffixes with,
+// exported so a replication follower's warm standby applies committed
+// entries through the identical path.
+func RedoPage(disk *storage.MemStore, pid storage.PageID, data string) error {
+	return writeThrough(disk, pid, data)
+}
+
 // writeThrough writes a page image, allocating ids the snapshot may not
 // have materialized yet (allocation is not logged; ids are monotone, so
 // allocating forward until pid exists is faithful).

@@ -1,0 +1,16 @@
+package repl
+
+import "repro/internal/fault"
+
+// Replication failpoints. Arm via fault.Default.ArmString, e.g.
+// "repl.send=error(drop);p=0.3;seed=7" to make a lossy network, or
+// "repl.append=error(refuse)" to make a follower reject appends.
+var (
+	// fpReplSend fires in transport.call before anything is written — an
+	// injected error looks exactly like an unreachable peer.
+	fpReplSend = fault.Point("repl.send")
+	// fpReplAppend fires at the top of a follower's AppendEntries handler —
+	// an injected error produces an unexplained rejection the leader must
+	// absorb and retry.
+	fpReplAppend = fault.Point("repl.append")
+)

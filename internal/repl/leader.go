@@ -1,0 +1,457 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/partition"
+	"repro/internal/span"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// maxAppendBatch caps the records carried by one AppendEntries message —
+// catch-up proceeds in bounded frames instead of one giant message.
+const maxAppendBatch = 128
+
+// errDeposed is what a deposed (or majority-partitioned) leader's parked
+// committers receive: it wraps storage.ErrWALPoisoned so the engine
+// enters its established degraded mode locally, AND wire.ErrNotLeader so
+// the server maps it to CodeNotLeader and the client redirects instead of
+// declaring the commit in doubt.
+var errDeposed = fmt.Errorf("repl: leadership lost while awaiting quorum: %w (%w)",
+	storage.ErrWALPoisoned, wire.ErrNotLeader)
+
+// becomeLeaderLocked switches to the leader role: fence the new term,
+// start the per-peer replication loops (heartbeats flow immediately, so
+// rivals stand down while the engine opens), and kick the promotion
+// goroutine that opens/recovers the engine over the durable log.
+func (n *Node) becomeLeaderLocked() {
+	n.setRoleLocked(RoleLeader)
+	n.leaderID = n.cfg.ID
+	n.leaderAddr = n.cfg.Advertise
+	if n.timer != nil {
+		n.timer.Stop()
+	}
+	// Persist this term's fence before any entry can be appended under it:
+	// a crash mid-promotion must not leave new-term entries claiming an
+	// old term after restart.
+	if n.termOfLocked(n.lastLSN+1) != n.term {
+		n.addFenceLocked(n.term, n.lastLSN+1)
+		n.persistLocked()
+	}
+	n.match = make(map[string]uint64, len(n.cfg.Peers))
+	n.next = make(map[string]uint64, len(n.cfg.Peers))
+	n.wake = make(map[string]chan struct{}, len(n.cfg.Peers))
+	epoch := n.epoch
+	for _, p := range n.cfg.Peers {
+		n.match[p.ID] = 0
+		n.next[p.ID] = n.lastLSN + 1
+		ch := make(chan struct{}, 1)
+		n.wake[p.ID] = ch
+		n.wg.Add(1)
+		go n.peerLoop(epoch, p, ch)
+	}
+	n.wg.Add(1)
+	go n.promote(epoch, n.term)
+}
+
+// promote is the heavy half of taking leadership, run off the node mutex:
+// close the follower's log handle, open (or recover) the engine over the
+// same directory, interpose the quorum sink on its FileWAL, and append
+// the no-op fence entry that lets prior-term entries commit (Raft's
+// current-term commit rule). Promotion IS recovery — the replayed suffix
+// is exactly the node's durable log, so "recovered ≥ acked" holds across
+// the failover by construction.
+func (n *Node) promote(epoch, term uint64) {
+	defer n.wg.Done()
+	start := time.Now()
+	n.mu.Lock()
+	if n.epoch != epoch || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	fw := n.fw
+	n.fw = nil
+	n.standby = nil
+	fresh := n.lastLSN == 0 && n.snapLSN == 0
+	n.mu.Unlock()
+
+	if fw != nil {
+		_ = fw.Close() // release the directory for the engine's own FileWAL
+	}
+	db, err := n.cfg.OpenEngine(n.cfg.Dir, fresh)
+	if err != nil {
+		n.logf("repl: %s: promotion failed: %v", n.cfg.ID, err)
+		n.mu.Lock()
+		if n.epoch == epoch && !n.closed {
+			// Fall back to follower; if the disk state is unreadable the
+			// reload latches the failure.
+			n.stepToFollowerLocked()
+			if !n.rebuilding && n.fw == nil {
+				if lerr := n.loadDiskStateLocked(); lerr != nil {
+					n.failLocked(lerr)
+				}
+			}
+		}
+		n.mu.Unlock()
+		return
+	}
+
+	// Recovery may have appended its own records (loser aborts, CLRs);
+	// the engine's in-memory WAL holds the complete log, so reseed the
+	// entry cache from it before replication resumes.
+	recs := db.WAL().Records()
+	sink := &quorumSink{n: n, epoch: epoch}
+	db.WAL().WrapSink(func(inner storage.DurableSink) storage.DurableSink {
+		sink.inner = inner
+		if f, ok := inner.(*storage.FileWAL); ok {
+			sink.fw = f
+		}
+		return sink
+	})
+
+	n.mu.Lock()
+	if n.epoch != epoch || n.closed {
+		n.mu.Unlock()
+		_ = db.Close() // leadership lost while opening; nothing references db yet
+		return
+	}
+	for _, rec := range recs {
+		if _, ok := n.entries[rec.LSN]; !ok {
+			n.entries[rec.LSN] = entry{term: n.termOfLocked(rec.LSN), rec: rec}
+		}
+		if rec.LSN > n.lastLSN {
+			n.lastLSN = rec.LSN
+		}
+		if n.firstLSN == 0 || rec.LSN < n.firstLSN {
+			n.firstLSN = rec.LSN
+		}
+	}
+	n.db = db
+	n.sink = sink
+	n.cluster = partition.Single(db)
+	n.mu.Unlock()
+
+	// The no-op fence entry: replicating one current-term entry is what
+	// allows commitIndex to advance over the recovered prior-term suffix.
+	db.WAL().LogAbort("repl:fence")
+	db.Spans().RecordEngine(span.Span{
+		ID: fmt.Sprintf("repl/promote-t%d", term), Kind: span.KRepl,
+		Name: "repl: promote to leader", Start: start, End: time.Now(),
+		N: int64(term), Note: n.cfg.ID,
+	})
+	n.logf("repl: %s: leading term %d from lsn %d", n.cfg.ID, term, n.lastLSN)
+	n.mu.Lock()
+	n.advanceCommitLocked()
+	n.mu.Unlock()
+}
+
+// quorumSink wraps the engine's FileWAL behind the DurableSink seam:
+// Append additionally feeds the replicator's entry cache; WaitDurable
+// returns only once the record is BOTH locally fsync'd and quorum-acked.
+// On a single-node cluster the quorum is the local fsync, so the hook
+// adds one mutex round per commit — the disarmed-overhead budget.
+type quorumSink struct {
+	n     *Node
+	epoch uint64
+	inner storage.DurableSink
+	fw    *storage.FileWAL
+}
+
+// Append runs under the engine WAL's mutex: buffer into the local FileWAL
+// and the replicated entry cache, then nudge the peer loops.
+func (s *quorumSink) Append(rec storage.Record) {
+	if s.inner != nil {
+		s.inner.Append(rec)
+	}
+	s.n.appendLocal(s.epoch, rec)
+}
+
+// WaitDurable blocks for local durability, then for quorum.
+func (s *quorumSink) WaitDurable(lsn uint64) error {
+	if s.inner != nil {
+		if err := s.inner.WaitDurable(lsn); err != nil {
+			return err
+		}
+	}
+	return s.n.waitQuorum(s.epoch, lsn)
+}
+
+func (s *quorumSink) Close() error {
+	if s.inner != nil {
+		return s.inner.Close()
+	}
+	return nil
+}
+
+// BatchInfo forwards the group-commit span's flush attribution.
+func (s *quorumSink) BatchInfo(lsn uint64) (storage.BatchInfo, bool) {
+	if bi, ok := s.inner.(interface {
+		BatchInfo(lsn uint64) (storage.BatchInfo, bool)
+	}); ok {
+		return bi.BatchInfo(lsn)
+	}
+	return storage.BatchInfo{}, false
+}
+
+// Poisoned surfaces deposal as the sticky degraded state the engine
+// already understands, alongside any real FileWAL poison.
+func (s *quorumSink) Poisoned() error {
+	s.n.mu.Lock()
+	stale := s.n.epoch != s.epoch
+	s.n.mu.Unlock()
+	if stale {
+		return errDeposed
+	}
+	if ps, ok := s.inner.(interface{ Poisoned() error }); ok {
+		return ps.Poisoned()
+	}
+	return nil
+}
+
+// appendLocal caches a leader-appended record in the replicated log.
+// Called under the engine WAL's mutex (lock order: WAL.mu then n.mu —
+// nothing in the node calls engine WAL methods while holding n.mu).
+func (n *Node) appendLocal(epoch uint64, rec storage.Record) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.epoch != epoch || n.closed {
+		return
+	}
+	n.entries[rec.LSN] = entry{term: n.term, rec: rec}
+	if n.firstLSN == 0 {
+		n.firstLSN = rec.LSN
+	}
+	if rec.LSN > n.lastLSN {
+		n.lastLSN = rec.LSN
+	}
+	n.wakePeersLocked()
+}
+
+func (n *Node) wakePeersLocked() {
+	for _, ch := range n.wake {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// waitQuorum parks a committer until the commit index covers lsn. If the
+// quorum stays unreachable past AckTimeout the node abdicates — a leader
+// partitioned from the majority must stop acking and let the majority
+// elect; its parked committers fail with the typed deposed error.
+func (n *Node) waitQuorum(epoch, lsn uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.advanceCommitLocked()
+	if n.epoch == epoch && n.commitIndex >= lsn {
+		return nil
+	}
+	var timedOut bool
+	t := time.AfterFunc(n.cfg.AckTimeout, func() {
+		n.mu.Lock()
+		timedOut = true
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	})
+	defer t.Stop()
+	for {
+		if n.closed {
+			return storage.ErrWALClosed
+		}
+		if n.epoch != epoch {
+			return errDeposed
+		}
+		if n.commitIndex >= lsn {
+			return nil
+		}
+		if timedOut {
+			n.logf("repl: %s: no quorum for lsn %d within %v; abdicating term %d",
+				n.cfg.ID, lsn, n.cfg.AckTimeout, n.term)
+			n.stepToFollowerLocked()
+			return errDeposed
+		}
+		n.cond.Wait()
+	}
+}
+
+// advanceCommitLocked recomputes the commit index: the quorum'th-highest
+// durable position across the leader (its FileWAL's durable LSN) and each
+// peer's match index — advanced only onto current-term entries (a
+// prior-term entry commits implicitly once a current-term one does;
+// committing it directly is the Raft figure-8 unsoundness).
+func (n *Node) advanceCommitLocked() {
+	if n.role != RoleLeader {
+		return
+	}
+	local := n.lastLSN
+	if n.sink != nil && n.sink.fw != nil {
+		local = n.sink.fw.DurableLSN()
+	}
+	ms := make([]uint64, 0, len(n.match)+1)
+	ms = append(ms, local)
+	for _, m := range n.match {
+		ms = append(ms, m)
+	}
+	q := sortedDesc(ms)[n.quorum-1]
+	if q > n.commitIndex && n.termOfLocked(q) == n.term {
+		n.commitIndex = q
+		n.cond.Broadcast()
+		n.wakePeersLocked() // piggyback the new commit index promptly
+	}
+}
+
+// peerLoop replicates to one follower for one leadership incarnation:
+// batches from nextIndex, heartbeats when idle, snapshot install when the
+// follower trails the entry cache floor.
+func (n *Node) peerLoop(epoch uint64, p Peer, wakeCh chan struct{}) {
+	defer n.wg.Done()
+	hb := time.NewTimer(0) // send an immediate heartbeat on taking office
+	defer hb.Stop()
+	for {
+		select {
+		case <-wakeCh:
+		case <-hb.C:
+		}
+		hb.Reset(n.cfg.Heartbeat)
+		for {
+			n.mu.Lock()
+			if n.epoch != epoch || n.closed {
+				n.mu.Unlock()
+				return
+			}
+			req, needSnap := n.buildAppendLocked(p)
+			prevNext := n.next[p.ID]
+			commit := n.commitIndex
+			n.mu.Unlock()
+			if needSnap {
+				req2, ok := n.buildSnapshot(commit)
+				if !ok {
+					break // no installable snapshot yet; retry next tick
+				}
+				req = req2
+			}
+			resp, err := n.tr.call(p, req)
+			if err != nil || resp.Repl == nil {
+				break
+			}
+			re := resp.Repl
+			n.mu.Lock()
+			if n.epoch != epoch || n.closed {
+				n.mu.Unlock()
+				return
+			}
+			if re.Term > n.term {
+				n.bumpTermLocked(re.Term)
+				n.mu.Unlock()
+				return
+			}
+			if re.OK() {
+				if re.Match > n.match[p.ID] {
+					n.match[p.ID] = re.Match
+				}
+				n.next[p.ID] = n.match[p.ID] + 1
+				n.advanceCommitLocked()
+				more := n.lastLSN >= n.next[p.ID]
+				n.mu.Unlock()
+				if !more {
+					break
+				}
+				continue
+			}
+			// Rejected: back up along the follower's hint. No forward
+			// progress (the follower is rebuilding, or the hint equals the
+			// position just tried) waits for the next tick.
+			hint := re.Hint
+			if hint == 0 || hint > prevNext {
+				hint = prevNext
+				if hint > 1 {
+					hint--
+				}
+			}
+			n.next[p.ID] = hint
+			n.mu.Unlock()
+			if hint >= prevNext {
+				break
+			}
+		}
+	}
+}
+
+// buildAppendLocked assembles the next AppendEntries for p: a batch of
+// entries from nextIndex (never spanning a term boundary), or a pure
+// heartbeat when the follower is caught up. needSnap reports that the
+// follower trails the entry cache floor and must be seeded by snapshot.
+func (n *Node) buildAppendLocked(p Peer) (wire.Msg, bool) {
+	next := n.next[p.ID]
+	if next < n.firstLSN || next <= n.snapLSN {
+		return wire.Msg{}, true
+	}
+	re := &wire.ReplExt{
+		Term:   n.term,
+		From:   n.cfg.ID,
+		Commit: n.commitIndex,
+		Addr:   n.cfg.Advertise,
+	}
+	re.PrevLSN = next - 1
+	re.PrevTerm = n.termOfLocked(re.PrevLSN)
+	m := wire.Msg{Type: wire.MsgReplAppend, Repl: re}
+	if next > n.lastLSN {
+		return m, false // heartbeat
+	}
+	re.EntryTerm = n.termOfLocked(next)
+	for lsn := next; lsn <= n.lastLSN && len(m.Params) < maxAppendBatch; lsn++ {
+		e, ok := n.entries[lsn]
+		if !ok || e.term != re.EntryTerm {
+			break
+		}
+		m.Params = append(m.Params, string(storage.EncodeRecordFrame(nil, e.rec)))
+	}
+	return m, false
+}
+
+// buildSnapshot reads the newest checkpoint at or below the commit index
+// and packages it as an InstallSnapshot. Only committed state ships — a
+// checkpoint beyond the commit index could cover entries a future leader
+// is still entitled to truncate.
+func (n *Node) buildSnapshot(commit uint64) (wire.Msg, bool) {
+	infos, err := checkpoint.Scan(n.cfg.Dir)
+	if err != nil {
+		return wire.Msg{}, false
+	}
+	for i := len(infos) - 1; i >= 0; i-- {
+		if infos[i].LSN > commit {
+			continue
+		}
+		path := filepath.Join(n.cfg.Dir, infos[i].Name)
+		if _, lerr := checkpoint.Load(path); lerr != nil {
+			continue // torn file; try an older one
+		}
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			continue
+		}
+		n.mu.Lock()
+		re := &wire.ReplExt{
+			Term:     n.term,
+			From:     n.cfg.ID,
+			PrevLSN:  infos[i].LSN,
+			PrevTerm: n.termOfLocked(infos[i].LSN),
+			Commit:   n.commitIndex,
+			Addr:     n.cfg.Advertise,
+		}
+		n.mu.Unlock()
+		return wire.Msg{Type: wire.MsgReplSnapshot, Repl: re, Params: []string{string(raw)}}, true
+	}
+	return wire.Msg{}, false
+}
+
+// errIsolated marks traffic suppressed by SetIsolated (in-process
+// partition simulation).
+var errIsolated = errors.New("repl: node isolated (simulated partition)")

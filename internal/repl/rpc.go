@@ -1,0 +1,307 @@
+package repl
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+
+	"repro/internal/checkpoint"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// ack builds a MsgReplAck carrying this node's term and the given
+// success/match/hint fields.
+func (n *Node) ackLocked(ok bool, match, hint uint64) wire.Msg {
+	re := &wire.ReplExt{Term: n.term, From: n.cfg.ID, Match: match, Hint: hint}
+	if ok {
+		re.Flags |= wire.ReplFlagOK
+	}
+	return wire.Msg{Type: wire.MsgReplAck, Repl: re}
+}
+
+// handleRPC dispatches one replication request to its handler.
+func (n *Node) handleRPC(m wire.Msg) wire.Msg {
+	switch m.Type {
+	case wire.MsgReplVote:
+		return n.handleVote(m)
+	case wire.MsgReplAppend:
+		return n.handleAppend(m)
+	case wire.MsgReplSnapshot:
+		return n.handleSnapshot(m)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ackLocked(false, 0, 0)
+}
+
+// handleVote implements RequestVote: one vote per term, persisted before
+// it is granted, and only for candidates whose log is at least as
+// up-to-date — the restriction that makes a quorum-acked entry present on
+// every electable node.
+func (n *Node) handleVote(m wire.Msg) wire.Msg {
+	re := m.Repl
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if re == nil || n.closed || n.failed != nil {
+		return n.ackLocked(false, 0, 0)
+	}
+	if re.Term < n.term {
+		return n.ackLocked(false, 0, 0)
+	}
+	if re.Term > n.term {
+		n.term = re.Term
+		n.votedFor = ""
+		n.persistLocked()
+		n.stepToFollowerLocked()
+	}
+	lastTerm := n.lastTermLocked()
+	upToDate := re.PrevTerm > lastTerm || (re.PrevTerm == lastTerm && re.PrevLSN >= n.lastLSN)
+	if (n.votedFor == "" || n.votedFor == re.From) && upToDate {
+		n.votedFor = re.From
+		n.persistLocked()
+		n.resetElectionTimerLocked()
+		n.logf("repl: %s: vote for %s in term %d", n.cfg.ID, re.From, n.term)
+		return n.ackLocked(true, 0, 0)
+	}
+	return n.ackLocked(false, 0, 0)
+}
+
+// handleAppend implements AppendEntries: term and log-consistency checks,
+// conflict truncation of a divergent suffix, durable append (fsync before
+// ack — Match is a durability promise, not a buffer position), and commit
+// advance into the warm standby.
+func (n *Node) handleAppend(m wire.Msg) wire.Msg {
+	re := m.Repl
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if re == nil || n.closed || n.failed != nil {
+		return n.ackLocked(false, 0, 0)
+	}
+	if err := fpReplAppend.Inject(); err != nil {
+		return n.ackLocked(false, 0, 0)
+	}
+	if re.Term < n.term {
+		return n.ackLocked(false, 0, 0)
+	}
+	if re.Term > n.term {
+		n.term = re.Term
+		n.votedFor = ""
+		n.persistLocked()
+	}
+	if n.role != RoleFollower {
+		// A candidate (or a stale leader that somehow shares the term)
+		// concedes to the live leader.
+		n.stepToFollowerLocked()
+	}
+	n.leaderID = re.From
+	n.leaderAddr = re.Addr
+	n.resetElectionTimerLocked()
+	if n.rebuilding || n.fw == nil {
+		// Mid-demotion: the log is being re-read; ask the leader to retry
+		// the same position later.
+		return n.ackLocked(false, 0, re.PrevLSN+1)
+	}
+
+	// Log consistency.
+	switch {
+	case re.PrevLSN > n.lastLSN:
+		return n.ackLocked(false, 0, n.lastLSN+1)
+	case re.PrevLSN < n.snapLSN:
+		// Everything at or below the snapshot barrier is committed and
+		// immutable, so it agrees with the leader by construction; report
+		// that position and let the leader realign. (Not lastLSN — the
+		// suffix beyond the barrier is unverified against this leader.)
+		return n.ackLocked(true, n.snapLSN, 0)
+	case re.PrevLSN > 0 && n.termOfLocked(re.PrevLSN) != re.PrevTerm:
+		hint := re.PrevLSN
+		if hint <= n.snapLSN {
+			hint = n.snapLSN + 1
+		}
+		return n.ackLocked(false, 0, hint)
+	}
+
+	// Decode and sanity-check the batch: contiguous from PrevLSN+1.
+	recs := make([]storage.Record, 0, len(m.Params))
+	for i, p := range m.Params {
+		rec, _, err := storage.DecodeRecordFrame([]byte(p))
+		if err != nil || rec.LSN != re.PrevLSN+1+uint64(i) {
+			return n.ackLocked(false, 0, 0)
+		}
+		recs = append(recs, rec)
+	}
+
+	// Skip duplicates; truncate on the first term conflict (never past the
+	// commit index — a committed entry conflicting is a protocol violation
+	// we latch as node failure rather than corrupt the log).
+	appendFrom := len(recs)
+	for i, rec := range recs {
+		if rec.LSN > n.lastLSN {
+			appendFrom = i
+			break
+		}
+		if n.termOfLocked(rec.LSN) != re.EntryTerm {
+			if err := n.truncateSuffixLocked(rec.LSN - 1); err != nil {
+				n.failLocked(err)
+				return n.ackLocked(false, 0, 0)
+			}
+			appendFrom = i
+			break
+		}
+	}
+	if newRecs := recs[appendFrom:]; len(newRecs) > 0 {
+		first := newRecs[0].LSN
+		if n.termOfLocked(first) != re.EntryTerm {
+			n.addFenceLocked(re.EntryTerm, first)
+			n.persistLocked()
+		}
+		for _, rec := range newRecs {
+			n.fw.Append(rec)
+			n.entries[rec.LSN] = entry{term: re.EntryTerm, rec: rec}
+		}
+		n.lastLSN = newRecs[len(newRecs)-1].LSN
+		// Fsync before acking: Match is the durability promise quorum
+		// commits are built on.
+		if err := n.fw.WaitDurable(n.lastLSN); err != nil {
+			n.logf("repl: %s: follower fsync failed: %v", n.cfg.ID, err)
+			return n.ackLocked(false, 0, 0)
+		}
+	}
+
+	// Match covers exactly the verified prefix: PrevLSN plus this batch.
+	// Never lastLSN — an untruncated suffix beyond the batch may still
+	// diverge from this leader and must not count toward its quorum.
+	match := re.PrevLSN + uint64(len(recs))
+	if c := min(re.Commit, match); c > n.commitIndex {
+		n.commitIndex = c
+		n.applyCommittedLocked()
+		n.cond.Broadcast()
+	}
+	return n.ackLocked(true, match, 0)
+}
+
+// truncateSuffixLocked discards every log record above keep — the
+// follower's conflict resolution when its unreplicated suffix diverges
+// from the new leader's history.
+func (n *Node) truncateSuffixLocked(keep uint64) error {
+	if keep < n.commitIndex {
+		return errors.New("repl: leader demands truncation below the commit index")
+	}
+	_ = n.fw.Close()
+	n.fw = nil
+	if err := storage.TruncateWALAbove(n.cfg.Dir, keep); err != nil {
+		return err
+	}
+	for len(n.fences) > 0 && n.fences[len(n.fences)-1].First > keep {
+		n.fences = n.fences[:len(n.fences)-1]
+	}
+	n.persistLocked()
+	for lsn := keep + 1; lsn <= n.lastLSN; lsn++ {
+		delete(n.entries, lsn)
+	}
+	n.lastLSN = keep
+	fw, _, err := storage.OpenFileWAL(n.cfg.Dir, n.fwOptions())
+	if err != nil {
+		return err
+	}
+	n.fw = fw
+	n.logf("repl: %s: truncated divergent suffix above %d", n.cfg.ID, keep)
+	return nil
+}
+
+// handleSnapshot implements InstallSnapshot: replace the whole local log
+// with the leader's checkpoint file — the catch-up path for a follower
+// whose log trails the leader's entry cache floor.
+func (n *Node) handleSnapshot(m wire.Msg) wire.Msg {
+	re := m.Repl
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if re == nil || n.closed || n.failed != nil || len(m.Params) != 1 {
+		return n.ackLocked(false, 0, 0)
+	}
+	if re.Term < n.term {
+		return n.ackLocked(false, 0, 0)
+	}
+	if re.Term > n.term {
+		n.term = re.Term
+		n.votedFor = ""
+		n.persistLocked()
+	}
+	if n.role != RoleFollower {
+		n.stepToFollowerLocked()
+	}
+	n.leaderID = re.From
+	n.leaderAddr = re.Addr
+	n.resetElectionTimerLocked()
+	if n.rebuilding || n.fw == nil {
+		return n.ackLocked(false, 0, 0)
+	}
+	if re.PrevLSN <= n.lastLSN {
+		// Already covered; report the committed prefix (the only part of
+		// the local log known to agree with any leader).
+		return n.ackLocked(true, n.commitIndex, 0)
+	}
+
+	// Validate before destroying anything: write to a temp name and prove
+	// it loads as a checkpoint.
+	raw := []byte(m.Params[0])
+	tmp := filepath.Join(n.cfg.Dir, "repl-snapshot.tmp")
+	if err := writeFileSync(tmp, raw); err != nil {
+		n.failLocked(err)
+		return n.ackLocked(false, 0, 0)
+	}
+	snap, err := checkpoint.Load(tmp)
+	if err != nil || snap.LSN != re.PrevLSN {
+		os.Remove(tmp)
+		n.logf("repl: %s: rejected snapshot install: %v", n.cfg.ID, err)
+		return n.ackLocked(false, 0, 0)
+	}
+
+	// Install: drop the old log wholesale, land the checkpoint under its
+	// real name, and restart the log just past the barrier.
+	_ = n.fw.Close()
+	n.fw = nil
+	segs, err := storage.WALSegments(n.cfg.Dir)
+	if err != nil {
+		n.failLocked(err)
+		return n.ackLocked(false, 0, 0)
+	}
+	for _, seg := range segs {
+		if err := os.Remove(filepath.Join(n.cfg.Dir, seg.Name)); err != nil {
+			n.failLocked(err)
+			return n.ackLocked(false, 0, 0)
+		}
+	}
+	final := filepath.Join(n.cfg.Dir, checkpoint.FileName(snap.LSN))
+	if err := os.Rename(tmp, final); err != nil {
+		n.failLocked(err)
+		return n.ackLocked(false, 0, 0)
+	}
+	if err := syncDir(n.cfg.Dir); err != nil {
+		n.failLocked(err)
+		return n.ackLocked(false, 0, 0)
+	}
+	n.snapLSN, n.snapTerm = snap.LSN, re.PrevTerm
+	if re.PrevTerm == 0 {
+		n.fences = nil
+	} else {
+		n.fences = []fence{{Term: re.PrevTerm, First: snap.LSN}}
+	}
+	n.persistLocked()
+	n.entries = make(map[uint64]entry)
+	n.firstLSN = snap.LSN + 1
+	n.lastLSN = snap.LSN
+	if n.commitIndex < snap.LSN {
+		n.commitIndex = snap.LSN
+	}
+	n.standby = storage.NewMemStoreFromSnapshot(snap.Pages, snap.NextPage, snap.PageSize)
+	n.applied = snap.LSN
+	fw, _, err := storage.OpenFileWAL(n.cfg.Dir, n.fwOptions())
+	if err != nil {
+		n.failLocked(err)
+		return n.ackLocked(false, 0, 0)
+	}
+	n.fw = fw
+	n.logf("repl: %s: installed snapshot at %d/t%d", n.cfg.ID, n.snapLSN, n.snapTerm)
+	return n.ackLocked(true, n.lastLSN, 0)
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/repl"
 	"repro/internal/span"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -68,10 +69,31 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Replicated is the replication gate a Server consults when it fronts a
+// replica instead of owning an engine: whether this node currently leads
+// (and over which cluster), where the leader is otherwise, and the warm
+// standby image read-only sessions serve from. *repl.Node implements it.
+type Replicated interface {
+	// LeaderCluster returns the cluster to run write sessions on, false
+	// while this node is not a fully promoted leader.
+	LeaderCluster() (*partition.Cluster, bool)
+	// LeaderHint is the best-known leader client address ("" mid-election);
+	// it rides CodeNotLeader rejections so clients redirect.
+	LeaderHint() string
+	// StandbyRead serves a committed page from the follower's standby image.
+	StandbyRead(page uint64) (string, bool)
+	// Status is the replication state /healthz reports.
+	Status() repl.Status
+}
+
 // Server serves a partitioned cluster (possibly of one) over TCP.
 type Server struct {
 	cluster *partition.Cluster
-	opts    Options
+	// gate, when set, replaces the static cluster: sessions resolve the
+	// engine through it at BEGIN, follower sessions run read-only, and
+	// Shutdown leaves engine lifecycle to the gate's owner.
+	gate Replicated
+	opts Options
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -111,10 +133,23 @@ func New(db *core.DB, opts Options) *Server {
 // cluster. The cluster's observability registry (if any) gets the server's
 // counters; nil registries degrade to no-ops.
 func NewCluster(c *partition.Cluster, opts Options) *Server {
+	return newServer(c, nil, c.Obs(), opts)
+}
+
+// NewReplicated builds a server fronting a replication gate instead of a
+// caller-owned cluster: BEGIN resolves the engine through the gate, writes
+// on a non-leader are refused with CodeNotLeader (carrying the leader
+// hint), PAGE_READ on a non-leader serves the warm standby, and Shutdown
+// does NOT close the engine — the gate's owner (the repl.Node) does.
+func NewReplicated(gate Replicated, reg *obs.Registry, opts Options) *Server {
+	return newServer(nil, gate, reg, opts)
+}
+
+func newServer(c *partition.Cluster, gate Replicated, reg *obs.Registry, opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	reg := c.Obs()
 	s := &Server{
 		cluster:   c,
+		gate:      gate,
 		opts:      opts.withDefaults(),
 		baseCtx:   ctx,
 		cancel:    cancel,
@@ -177,10 +212,17 @@ func (s *Server) Addr() string {
 }
 
 // DB returns the served engine's first partition — the whole engine for a
-// single-partition server.
-func (s *Server) DB() *core.DB { return s.cluster.Part(0) }
+// single-partition server; nil on a replicated server (the engine belongs
+// to the gate, and only exists while this node leads).
+func (s *Server) DB() *core.DB {
+	if s.cluster == nil {
+		return nil
+	}
+	return s.cluster.Part(0)
+}
 
-// Cluster returns the served partition cluster.
+// Cluster returns the served partition cluster (nil on a replicated
+// server).
 func (s *Server) Cluster() *partition.Cluster { return s.cluster }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -236,16 +278,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		for _, c := range conns {
 			_ = c.Close() // unblock session readers; cleanup aborts their txns
 		}
+		// A replicated server never owns the engine — the repl.Node opened
+		// it and closes it (possibly long after this server is gone, if the
+		// node keeps replicating); closing it here would double-close.
+		closeEngine := func() error {
+			if s.cluster == nil {
+				return nil
+			}
+			return s.cluster.Close()
+		}
 		done := make(chan struct{})
 		go func() { s.wg.Wait(); close(done) }()
 		select {
 		case <-done:
-			s.shutErr = s.cluster.Close()
+			s.shutErr = closeEngine()
 		case <-ctx.Done():
 			// Sessions still running at the deadline: close the engine
 			// anyway (Close drains admitted transactions itself) and report
 			// the bounded wait's failure.
-			closeErr := s.cluster.Close()
+			closeErr := closeEngine()
 			s.shutErr = errors.Join(fmt.Errorf("server: shutdown wait: %w", ctx.Err()), closeErr)
 		}
 		close(s.shutDone)
@@ -260,6 +311,14 @@ type session struct {
 	peer    string
 	txn     *core.Txn
 	release func()
+	// cluster is the engine this session runs on, pinned at BEGIN. On a
+	// static server it is always Server.cluster; on a replicated server it
+	// is the leader cluster as of BEGIN — a deposal mid-transaction fails
+	// the commit typed (CodeNotLeader) rather than silently rebinding.
+	cluster *partition.Cluster
+	// ro marks a read-only session on a replicated non-leader: PAGE_READ
+	// serves the standby image, writes are refused with CodeNotLeader.
+	ro bool
 	// pending marks a BEGIN received on a multi-partition cluster whose
 	// admission and engine Begin are deferred to the first object access —
 	// that access decides the partition. part is the pinned partition index
@@ -282,8 +341,9 @@ type session struct {
 }
 
 // open reports whether the session has a transaction open from the
-// client's point of view (started, or pending a partition pin).
-func (ss *session) open() bool { return ss.txn != nil || ss.pending }
+// client's point of view (started, pending a partition pin, or a
+// read-only transaction on a replica).
+func (ss *session) open() bool { return ss.txn != nil || ss.pending || ss.ro }
 
 // openSpan grafts the KSession span onto the engine transaction's trace:
 // the span carries the peer, the partition route, and — via SetRemote —
@@ -315,6 +375,8 @@ func (ss *session) finish(err error) {
 	}
 	ss.txn = nil
 	ss.pending = false
+	ss.ro = false
+	ss.cluster = nil
 	ss.remoteID, ss.remoteAttempt = "", 0
 	ss.admitWait, ss.execTime, ss.frames = 0, 0, 0
 	if ss.release != nil {
@@ -428,6 +490,13 @@ func errResp(err error) wire.Msg {
 	return wire.Msg{Type: wire.MsgError, Code: wire.CodeFor(err), Result: err.Error()}
 }
 
+// notLeaderResp is the typed write-refusal a replica answers with: the
+// detail carries the leader's client address when known, which the client
+// parses (wire.LeaderHint) to redirect.
+func (s *Server) notLeaderResp() wire.Msg {
+	return errRespCode(wire.CodeNotLeader, wire.NotLeaderDetail(s.gate.LeaderHint()))
+}
+
 func errRespCode(code wire.ErrCode, detail string) wire.Msg {
 	return wire.Msg{Type: wire.MsgError, Code: code, Result: detail}
 }
@@ -458,9 +527,12 @@ func (s *Server) Draining() bool {
 
 // healthzReply is the /healthz JSON body.
 type healthzReply struct {
-	Status     string             `json:"status"` // ready | degraded | draining
-	Sessions   int64              `json:"sessions"`
-	Partitions []healthzPartition `json:"partitions"`
+	Status   string `json:"status"` // ready | replica | degraded | draining
+	Sessions int64  `json:"sessions"`
+	// Repl is the node's replication state (role, term, commit index, lag)
+	// on a replicated server; absent otherwise.
+	Repl       *repl.Status       `json:"repl,omitempty"`
+	Partitions []healthzPartition `json:"partitions,omitempty"`
 }
 
 type healthzPartition struct {
@@ -473,26 +545,40 @@ type healthzPartition struct {
 
 // HealthzHandler serves readiness: 200 {"status":"ready"} while serving,
 // 503 "draining" once Shutdown begins, 503 "degraded" when any partition
-// engine has gone read-only — with per-partition detail either way.
+// engine has gone read-only — with per-partition detail either way. A
+// replicated non-leader answers 503 {"status":"replica"} with the node's
+// role/term/commit-index in "repl", so load balancers route writes to the
+// leader while operators still see every replica's position.
 func (s *Server) HealthzHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		reply := healthzReply{Status: "ready", Sessions: s.sessions.Load()}
+		cl := s.cluster
+		leading := true
+		if s.gate != nil {
+			st := s.gate.Status()
+			reply.Repl = &st
+			cl, leading = s.gate.LeaderCluster()
+		}
 		degraded := false
-		for i := 0; i < s.cluster.N(); i++ {
-			h := s.cluster.Part(i).Health()
-			degraded = degraded || h.Degraded
-			reply.Partitions = append(reply.Partitions, healthzPartition{
-				Partition: fmt.Sprintf("p%d", i),
-				Degraded:  h.Degraded,
-				Cause:     h.DegradedCause,
-				Inflight:  h.Inflight,
-				Max:       h.MaxInflight,
-			})
+		if cl != nil {
+			for i := 0; i < cl.N(); i++ {
+				h := cl.Part(i).Health()
+				degraded = degraded || h.Degraded
+				reply.Partitions = append(reply.Partitions, healthzPartition{
+					Partition: fmt.Sprintf("p%d", i),
+					Degraded:  h.Degraded,
+					Cause:     h.DegradedCause,
+					Inflight:  h.Inflight,
+					Max:       h.MaxInflight,
+				})
+			}
 		}
 		code := http.StatusOK
 		switch {
 		case s.Draining():
 			reply.Status, code = "draining", http.StatusServiceUnavailable
+		case !leading:
+			reply.Status, code = "replica", http.StatusServiceUnavailable
 		case degraded:
 			reply.Status, code = "degraded", http.StatusServiceUnavailable
 		}
@@ -512,14 +598,14 @@ func (s *Server) HealthzHandler() http.Handler {
 // transaction is left untouched on its partition.
 func (s *Server) txnFor(ctx context.Context, ss *session, name string) (*core.Txn, error) {
 	if ss.txn != nil {
-		if p := s.cluster.Route(name); p != ss.part {
+		if p := ss.cluster.Route(name); p != ss.part {
 			return nil, fmt.Errorf("%w: %q is on p%d, transaction pinned to p%d",
 				partition.ErrWrongPartition, name, p, ss.part)
 		}
 		return ss.txn, nil
 	}
-	p := s.cluster.Route(name)
-	db := s.cluster.Part(p)
+	p := ss.cluster.Route(name)
+	db := ss.cluster.Part(p)
 	admitStart := time.Now()
 	release, err := db.AdmitCtx(ctx)
 	if err != nil {
@@ -544,12 +630,20 @@ func (s *Server) handle(ctx context.Context, ss *session, in inbound) wire.Msg {
 		return okResp(m.Result)
 
 	case wire.MsgStats:
+		cl := s.cluster
+		if s.gate != nil {
+			lc, ok := s.gate.LeaderCluster()
+			if !ok {
+				return s.notLeaderResp()
+			}
+			cl = lc
+		}
 		reply := StatsReply{
-			Protocol:   s.cluster.Protocol().String(),
-			Engine:     s.cluster.Stats(),
-			Health:     s.cluster.Health(),
-			Pages:      s.cluster.NumPages(),
-			Partitions: s.cluster.N(),
+			Protocol:   cl.Protocol().String(),
+			Engine:     cl.Stats(),
+			Health:     cl.Health(),
+			Pages:      cl.NumPages(),
+			Partitions: cl.N(),
 		}
 		data, err := json.Marshal(reply)
 		if err != nil {
@@ -567,7 +661,20 @@ func (s *Server) handle(ctx context.Context, ss *session, in inbound) wire.Msg {
 		}
 		ss.beganAt = in.at
 		ss.remoteID, ss.remoteAttempt = m.TraceID, m.TraceAttempt
-		if s.cluster.N() > 1 {
+		cl := s.cluster
+		if s.gate != nil {
+			lc, ok := s.gate.LeaderCluster()
+			if !ok {
+				// Not the leader: open a read-only session over the standby
+				// image. Writes inside it are refused with the redirect hint;
+				// BEGIN itself succeeds so read-only clients need no routing.
+				ss.ro = true
+				return okResp("ro")
+			}
+			cl = lc
+		}
+		ss.cluster = cl
+		if cl.N() > 1 {
 			// Multi-partition: the first object access decides the partition
 			// (and takes that partition's admission slot). Deferring keeps a
 			// never-used transaction from pinning an arbitrary partition.
@@ -575,12 +682,12 @@ func (s *Server) handle(ctx context.Context, ss *session, in inbound) wire.Msg {
 			return okResp("pending")
 		}
 		admitStart := time.Now()
-		release, err := s.cluster.Part(0).AdmitCtx(ctx)
+		release, err := cl.Part(0).AdmitCtx(ctx)
 		if err != nil {
 			return errResp(err)
 		}
 		ss.admitWait = time.Since(admitStart)
-		ss.txn = s.cluster.Part(0).Begin()
+		ss.txn = cl.Part(0).Begin()
 		ss.release = release
 		ss.openSpan(0)
 		return okResp(ss.txn.ID())
@@ -588,6 +695,9 @@ func (s *Server) handle(ctx context.Context, ss *session, in inbound) wire.Msg {
 	case wire.MsgInvoke:
 		if !ss.open() {
 			return errRespCode(wire.CodeNoTxn, m.Type.String()+" outside a transaction")
+		}
+		if ss.ro {
+			return s.notLeaderResp()
 		}
 		if m.ObjType == "" || m.Method == "" {
 			return errRespCode(wire.CodeBadRequest, "INVOKE needs object type and method")
@@ -606,6 +716,16 @@ func (s *Server) handle(ctx context.Context, ss *session, in inbound) wire.Msg {
 		if !ss.open() {
 			return errRespCode(wire.CodeNoTxn, m.Type.String()+" outside a transaction")
 		}
+		if ss.ro {
+			// Replica read: the warm standby image holds committed state
+			// only, exactly what a post-crash recovery would serve.
+			data, ok := s.gate.StandbyRead(m.Page)
+			if !ok {
+				return errRespCode(wire.CodeBadRequest,
+					fmt.Sprintf("page %d not in the standby image", m.Page))
+			}
+			return okResp(data)
+		}
 		oid := core.PageOID(storage.PageID(m.Page))
 		tx, err := s.txnFor(ctx, ss, oid.Name)
 		if err != nil {
@@ -620,6 +740,9 @@ func (s *Server) handle(ctx context.Context, ss *session, in inbound) wire.Msg {
 	case wire.MsgPageWrite:
 		if !ss.open() {
 			return errRespCode(wire.CodeNoTxn, m.Type.String()+" outside a transaction")
+		}
+		if ss.ro {
+			return s.notLeaderResp()
 		}
 		if len(m.Params) != 1 {
 			return errRespCode(wire.CodeBadRequest, "PAGE_WRITE needs exactly one data parameter")

@@ -44,6 +44,7 @@ const (
 	KRecovery             // one restart-recovery phase (engine track)
 	KPool                 // one buffer-pool write-back (engine track)
 	KSession              // one server session's handling of the transaction
+	KRepl                 // one replication role transition (engine track)
 )
 
 func (k Kind) String() string {
@@ -62,6 +63,8 @@ func (k Kind) String() string {
 		return "pool"
 	case KSession:
 		return "session"
+	case KRepl:
+		return "repl"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -77,7 +80,7 @@ func (k *Kind) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return err
 	}
-	for c := KTxn; c <= KSession; c++ {
+	for c := KTxn; c <= KRepl; c++ {
 		if c.String() == s {
 			*k = c
 			return nil

@@ -200,6 +200,16 @@ func (w *WAL) SetSink(s DurableSink) {
 	w.mu.Unlock()
 }
 
+// WrapSink swaps the attached sink for wrap(current) under the WAL mutex —
+// the seam a replicator uses to interpose on an already-attached FileWAL
+// (quorum-gate its WaitDurable) without racing concurrent appends. wrap
+// may receive nil when no sink is attached.
+func (w *WAL) WrapSink(wrap func(DurableSink) DurableSink) {
+	w.mu.Lock()
+	w.sink = wrap(w.sink)
+	w.mu.Unlock()
+}
+
 // WaitDurable blocks until the record with the given LSN is on stable
 // storage. Without a sink (mem-only durability) it returns immediately.
 func (w *WAL) WaitDurable(lsn uint64) error {

@@ -71,6 +71,38 @@ func appendRecordFrame(dst []byte, rec Record) []byte {
 	return append(dst, payload...)
 }
 
+// EncodeRecordFrame encodes rec as one framed record appended to dst —
+// the exact bytes a FileWAL segment holds. Replication ships these frames
+// verbatim, so a follower's segment files are byte-identical to the
+// leader's (waldump -compare relies on this).
+func EncodeRecordFrame(dst []byte, rec Record) []byte {
+	return appendRecordFrame(dst, rec)
+}
+
+// DecodeRecordFrame parses the first framed record in buf, returning the
+// record and the number of bytes consumed. A buffer ending mid-frame or a
+// checksum mismatch returns ErrRecordCorrupt (the transport already
+// guarantees integrity; a bad frame here is a bug, not a torn write).
+func DecodeRecordFrame(buf []byte) (Record, int, error) {
+	if len(buf) < frameHeaderSize {
+		return Record{}, 0, fmt.Errorf("%w: %d header bytes", ErrRecordCorrupt, len(buf))
+	}
+	length := int(binary.LittleEndian.Uint32(buf[0:4]))
+	sum := binary.LittleEndian.Uint32(buf[4:8])
+	if length < recPayloadMin || length > maxWALRecordSize || length > len(buf)-frameHeaderSize {
+		return Record{}, 0, fmt.Errorf("%w: impossible frame length %d", ErrRecordCorrupt, length)
+	}
+	payload := buf[frameHeaderSize : frameHeaderSize+length]
+	if crc32.Checksum(payload, castagnoliTable) != sum {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", ErrRecordCorrupt)
+	}
+	rec, err := decodeRecordPayload(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, frameHeaderSize + length, nil
+}
+
 // decodeRecordPayload parses a checksum-verified payload back into a
 // Record. Errors wrap ErrRecordCorrupt: the frame was intact on disk but
 // its contents are not a record.

@@ -752,3 +752,68 @@ func WALSegments(dir string) ([]SegmentInfo, error) {
 	}
 	return infos, nil
 }
+
+// TruncateWALAbove rewrites the segment directory so no record with
+// LSN > keep survives: segments wholly above the boundary are deleted,
+// and the segment containing it is cut at the frame boundary after record
+// keep. This is the conflict-resolution primitive of log replication — a
+// follower whose unreplicated suffix diverges from the new leader's log
+// discards that suffix before accepting the leader's version. It must be
+// called with no FileWAL open on dir; reopen with OpenFileWAL afterwards.
+func TruncateWALAbove(dir string, keep uint64) error {
+	names, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	prevLSN := uint64(0)
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		// Walk frames to the byte offset just past record keep. Frames past
+		// a torn tail don't exist; a torn tail below keep simply means the
+		// whole remainder survives as-is.
+		cut := int64(-1)
+		off := 0
+		for off < len(data) {
+			if len(data)-off < frameHeaderSize {
+				break
+			}
+			length := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+			if length < recPayloadMin || length > maxWALRecordSize || length > len(data)-off-frameHeaderSize {
+				break
+			}
+			rec, derr := decodeRecordPayload(data[off+frameHeaderSize : off+frameHeaderSize+length])
+			if derr != nil {
+				return fmt.Errorf("%w: %s offset %d: %v", ErrWALCorrupt, path, off, derr)
+			}
+			if prevLSN != 0 && rec.LSN != prevLSN+1 {
+				return fmt.Errorf("%w: %s offset %d: lsn %d after %d", ErrWALCorrupt, path, off, rec.LSN, prevLSN)
+			}
+			prevLSN = rec.LSN
+			if rec.LSN > keep {
+				cut = int64(off)
+				break
+			}
+			off += frameHeaderSize + length
+		}
+		if cut < 0 {
+			continue // every record in this segment is at or below keep
+		}
+		if cut == 0 {
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+		} else if err := truncateSegment(path, cut); err != nil {
+			return err
+		}
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

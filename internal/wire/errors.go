@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/cc"
 	"repro/internal/core"
@@ -37,6 +38,11 @@ const (
 	// the retry loop — routing is deterministic, so the replay would route
 	// identically; the client must restructure the transaction instead.
 	CodeWrongPartition ErrCode = 13
+	// CodeNotLeader: the node is a replica follower (or a deposed/still-
+	// promoting leader) and cannot take writes. The detail carries the
+	// current leader's client address as "leader=<addr>" when known; the
+	// client treats this as a redirect, not a failure.
+	CodeNotLeader ErrCode = 14
 )
 
 func (c ErrCode) String() string {
@@ -69,6 +75,8 @@ func (c ErrCode) String() string {
 		return "internal"
 	case CodeWrongPartition:
 		return "wrong-partition"
+	case CodeNotLeader:
+		return "not-leader"
 	}
 	return fmt.Sprintf("code(%d)", uint8(c))
 }
@@ -91,6 +99,10 @@ var (
 	// ErrWrongPartition mirrors partition.ErrWrongPartition on the client
 	// side of the wire.
 	ErrWrongPartition = errors.New("wire: object routes to a different partition than the transaction is pinned to")
+	// ErrNotLeader marks a write sent to a replica that is not the cluster
+	// leader. Defined here (not in internal/repl) so both sides of the wire
+	// and the replicator share one sentinel without an import cycle.
+	ErrNotLeader = errors.New("wire: not the leader")
 )
 
 // sentinelFor maps a code to its client-side sentinel.
@@ -120,6 +132,8 @@ func sentinelFor(c ErrCode) error {
 		return ErrBadRequest
 	case CodeWrongPartition:
 		return ErrWrongPartition
+	case CodeNotLeader:
+		return ErrNotLeader
 	}
 	return ErrInternal
 }
@@ -158,6 +172,11 @@ func CodeFor(err error) ErrCode {
 		return CodeOK
 	case errors.Is(err, core.ErrOverloaded):
 		return CodeOverloaded
+	// NotLeader must outrank Degraded: a deposed leader's quorum sink fails
+	// parked committers with an error wrapping BOTH sentinels (poisoned so
+	// the engine degrades locally, not-leader so the client redirects).
+	case errors.Is(err, ErrNotLeader):
+		return CodeNotLeader
 	case errors.Is(err, storage.ErrWALPoisoned):
 		return CodeDegraded
 	case errors.Is(err, cc.ErrTimeout):
@@ -187,4 +206,36 @@ func Retryable(err error) bool {
 	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrLockTimeout) ||
 		errors.Is(err, cc.ErrDeadlock) || errors.Is(err, cc.ErrDoomed) ||
 		errors.Is(err, cc.ErrTimeout)
+}
+
+// leaderHintPrefix is the machine-parseable part of a CodeNotLeader
+// detail; everything after it up to the first space is the address.
+const leaderHintPrefix = "leader="
+
+// NotLeaderDetail renders the detail string for a CodeNotLeader response.
+// An empty addr (leader unknown — mid-election) yields an empty hint the
+// client falls back from by rotating through its configured fallbacks.
+func NotLeaderDetail(addr string) string {
+	if addr == "" {
+		return "no leader elected"
+	}
+	return leaderHintPrefix + addr
+}
+
+// LeaderHint extracts the leader address a CodeNotLeader error carries
+// ("" when the error is not a NotLeader redirect or names no leader).
+func LeaderHint(err error) string {
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeNotLeader {
+		return ""
+	}
+	i := strings.Index(re.Detail, leaderHintPrefix)
+	if i < 0 {
+		return ""
+	}
+	addr := re.Detail[i+len(leaderHintPrefix):]
+	if j := strings.IndexByte(addr, ' '); j >= 0 {
+		addr = addr[:j]
+	}
+	return addr
 }

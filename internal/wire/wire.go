@@ -69,6 +69,18 @@ const (
 	MsgStats     MsgType = 8 // -> MsgResult carrying a JSON stats snapshot
 )
 
+// Replication message types. internal/repl speaks the same frame codec on
+// its own listener; these never appear on a client session (Request() is
+// false for all of them). State rides the extRepl extension block; log
+// entries ride Params as encoded WAL record frames
+// (storage.EncodeRecordFrame), so replicas persist byte-identical frames.
+const (
+	MsgReplVote     MsgType = 0x20 // RequestVote -> MsgReplAck
+	MsgReplAppend   MsgType = 0x21 // AppendEntries/heartbeat -> MsgReplAck
+	MsgReplSnapshot MsgType = 0x22 // InstallSnapshot (Params[0]=checkpoint file) -> MsgReplAck
+	MsgReplAck      MsgType = 0x23 // reply; Flags bit0 = granted/success
+)
+
 // Response types.
 const (
 	MsgResult MsgType = 0x40 // success; Result carries the value
@@ -93,6 +105,14 @@ func (t MsgType) String() string {
 		return "PING"
 	case MsgStats:
 		return "STATS"
+	case MsgReplVote:
+		return "REPL_VOTE"
+	case MsgReplAppend:
+		return "REPL_APPEND"
+	case MsgReplSnapshot:
+		return "REPL_SNAPSHOT"
+	case MsgReplAck:
+		return "REPL_ACK"
 	case MsgResult:
 		return "RESULT"
 	case MsgError:
@@ -134,10 +154,48 @@ type Msg struct {
 	TraceID string
 	// TraceAttempt is the 1-based retry attempt the frame belongs to.
 	TraceAttempt uint32
+	// Repl is the replication state block on MsgRepl* messages (nil
+	// otherwise). It rides the extRepl extension, so stamping it never
+	// changes the encoding of ordinary session frames.
+	Repl *ReplExt
 }
 
 // Traced reports whether the message carries trace context.
 func (m Msg) Traced() bool { return m.TraceID != "" || m.TraceAttempt != 0 }
+
+// ReplExt is the consensus state attached to replication messages. Field
+// meaning depends on the message type (Raft's RPC arguments flattened into
+// one block):
+//
+//   - MsgReplVote: Term/From the candidate, PrevLSN/PrevTerm its last log
+//     entry (the election restriction compares these).
+//   - MsgReplAppend: PrevLSN/PrevTerm the entry preceding the batch,
+//     EntryTerm the term of every entry in the batch (batches never span a
+//     term boundary), Commit the leader's commit index, Addr the leader's
+//     advertised client address (the redirect hint followers hand out).
+//   - MsgReplSnapshot: PrevLSN/PrevTerm the snapshot's last included
+//     LSN/term.
+//   - MsgReplAck: Flags bit0 = granted/success, Match the follower's last
+//     durable LSN on success, Hint the nextIndex the leader should retry
+//     from on log-mismatch rejection.
+type ReplExt struct {
+	Term      uint64
+	PrevLSN   uint64
+	PrevTerm  uint64
+	EntryTerm uint64
+	Commit    uint64
+	Match     uint64
+	Hint      uint64
+	Flags     uint64
+	From      string // sender node id
+	Addr      string // leader's advertised client address ("" when unknown)
+}
+
+// ReplFlagOK is the granted/success bit on MsgReplAck.
+const ReplFlagOK = 1 << 0
+
+// OK reports whether the ack's success bit is set.
+func (re *ReplExt) OK() bool { return re != nil && re.Flags&ReplFlagOK != 0 }
 
 const (
 	// frameHeaderSize is the length + checksum prefix of every frame.
@@ -152,6 +210,10 @@ const (
 	// `attempt uvarint | trace-id bytes`. Tag 0 is reserved invalid so a
 	// zero-filled tail can never parse as an extension.
 	extTrace = 1
+	// extRepl is the replication-state extension tag: body is the eight
+	// ReplExt counters as uvarints followed by From and Addr as
+	// uvarint-length-prefixed strings.
+	extRepl = 2
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -174,6 +236,9 @@ func AppendMsg(dst []byte, m Msg) []byte {
 	if m.Traced() {
 		n += len(m.TraceID) + 12
 	}
+	if m.Repl != nil {
+		n += 96 + len(m.Repl.From) + len(m.Repl.Addr)
+	}
 	payload := make([]byte, 0, n)
 	payload = binary.LittleEndian.AppendUint64(payload, m.Seq)
 	payload = append(payload, byte(m.Type), byte(m.Code))
@@ -192,6 +257,19 @@ func AppendMsg(dst []byte, m Msg) []byte {
 		body = binary.AppendUvarint(body, uint64(m.TraceAttempt))
 		body = append(body, m.TraceID...)
 		payload = binary.AppendUvarint(payload, extTrace)
+		payload = binary.AppendUvarint(payload, uint64(len(body)))
+		payload = append(payload, body...)
+	}
+	if re := m.Repl; re != nil {
+		body := make([]byte, 0, 80+len(re.From)+len(re.Addr))
+		for _, v := range []uint64{re.Term, re.PrevLSN, re.PrevTerm, re.EntryTerm, re.Commit, re.Match, re.Hint, re.Flags} {
+			body = binary.AppendUvarint(body, v)
+		}
+		for _, s := range []string{re.From, re.Addr} {
+			body = binary.AppendUvarint(body, uint64(len(s)))
+			body = append(body, s...)
+		}
+		payload = binary.AppendUvarint(payload, extRepl)
 		payload = binary.AppendUvarint(payload, uint64(len(body)))
 		payload = append(payload, body...)
 	}
@@ -327,17 +405,49 @@ func decodePayload(payload []byte) (Msg, error) {
 		off += w
 		body := payload[off : off+int(n)]
 		off += int(n)
-		if tag != extTrace {
-			continue
+		switch tag {
+		case extTrace:
+			attempt, w := binary.Uvarint(body)
+			if w <= 0 || attempt > math.MaxUint32 {
+				return m, fmt.Errorf("%w: bad trace attempt", ErrFrameCorrupt)
+			}
+			m.TraceAttempt = uint32(attempt)
+			m.TraceID = string(body[w:])
+		case extRepl:
+			re, err := decodeReplExt(body)
+			if err != nil {
+				return m, err
+			}
+			m.Repl = re
 		}
-		attempt, w := binary.Uvarint(body)
-		if w <= 0 || attempt > math.MaxUint32 {
-			return m, fmt.Errorf("%w: bad trace attempt", ErrFrameCorrupt)
-		}
-		m.TraceAttempt = uint32(attempt)
-		m.TraceID = string(body[w:])
 	}
 	return m, nil
+}
+
+// decodeReplExt parses an extRepl body.
+func decodeReplExt(body []byte) (*ReplExt, error) {
+	var re ReplExt
+	off := 0
+	for _, dst := range []*uint64{&re.Term, &re.PrevLSN, &re.PrevTerm, &re.EntryTerm, &re.Commit, &re.Match, &re.Hint, &re.Flags} {
+		v, w := binary.Uvarint(body[off:])
+		if w <= 0 {
+			return nil, fmt.Errorf("%w: bad repl counter at offset %d", ErrFrameCorrupt, off)
+		}
+		*dst = v
+		off += w
+	}
+	for _, dst := range []*string{&re.From, &re.Addr} {
+		s, w, err := readString(body, off)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad repl string at offset %d", ErrFrameCorrupt, off)
+		}
+		*dst = s
+		off = w
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing repl ext bytes", ErrFrameCorrupt, len(body)-off)
+	}
+	return &re, nil
 }
 
 // readString decodes one uvarint-length-prefixed string at off, returning

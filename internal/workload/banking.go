@@ -100,10 +100,19 @@ func InstallBanking(db *core.DB, n int, initial int64) ([]txn.OID, error) {
 // recovery register hook must have (recovery.RegisterTypes, or
 // partition.Options.Register on the Recover path), where the balances come
 // back from the log, not from a fresh funding transaction.
+//
+// Account i lives on the fixed page i+1, and allocation only tops the
+// store up to n pages: on a recovered engine the redo pass has already
+// materialized those pages, so the hook must re-derive the same mapping
+// rather than allocate fresh (higher) ids that would strand the logged
+// balances.
 func RegisterBanking(db *core.DB, n int) ([]txn.OID, error) {
+	for db.NumPages() < n {
+		db.AllocPage()
+	}
 	pages := make([]txn.OID, n)
 	for i := range pages {
-		pages[i] = db.AllocPage()
+		pages[i] = core.PageOID(storage.PageID(i + 1))
 	}
 	pageFor := func(self txn.OID) (txn.OID, error) {
 		var idx int

@@ -1,0 +1,305 @@
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/recovery"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// replBenchRow is one BENCH_repl.json series point.
+type replBenchRow struct {
+	Series      string  `json:"series"` // baseline-1node | repl-1node | repl-3node
+	Nodes       int     `json:"nodes"`
+	Conns       int     `json:"conns"`
+	Committed   int64   `json:"committed"`
+	Seconds     float64 `json:"seconds"`
+	TxnPerSec   float64 `json:"txn_per_sec"`
+	P50us       int64   `json:"p50_us"`
+	P99us       int64   `json:"p99_us"`
+	OverheadPct float64 `json:"overhead_pct,omitempty"` // vs baseline-1node throughput
+}
+
+const replBenchAccounts = 64
+
+// replBenchEngine is the OpenEngine closure every benchmark node shares:
+// a durable banking engine whose WAL lives in the node's replication dir.
+func replBenchEngine(conns int) func(dir string, fresh bool) (*core.DB, error) {
+	return func(dir string, fresh bool) (*core.DB, error) {
+		opts := core.Options{
+			Durability: storage.GroupCommit, WALDir: dir,
+			MaxInflight: 2 * conns, AdmissionTimeout: 5 * time.Second,
+			LockTimeout: 5 * time.Second, DisableTrace: true,
+		}
+		if fresh {
+			db, err := core.OpenDurable(opts)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := workload.InstallBanking(db, replBenchAccounts, 0); err != nil {
+				db.Close()
+				return nil, err
+			}
+			return db, nil
+		}
+		db, _, err := recovery.RecoverDir(dir, opts, func(db *core.DB) error {
+			_, rerr := workload.RegisterBanking(db, replBenchAccounts)
+			return rerr
+		})
+		return db, err
+	}
+}
+
+// replBenchCluster boots k replicated nodes on loopback and returns a
+// pooled client dialed at the leader with the rest as fallbacks.
+func replBenchCluster(b *testing.B, k, conns int) (*client.Client, func()) {
+	b.Helper()
+	reserve := func(n int) []string {
+		addrs := make([]string, n)
+		for i := range addrs {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			addrs[i] = ln.Addr().String()
+			ln.Close()
+		}
+		return addrs
+	}
+	replAddrs, clientAddrs := reserve(k), reserve(k)
+	var nodes []*repl.Node
+	var servers []*server.Server
+	for i := 0; i < k; i++ {
+		cfg := repl.Config{
+			ID:              fmt.Sprintf("n%d", i),
+			Addr:            replAddrs[i],
+			Advertise:       clientAddrs[i],
+			Dir:             b.TempDir(),
+			OpenEngine:      replBenchEngine(conns),
+			ElectionTimeout: 150 * time.Millisecond,
+			Heartbeat:       40 * time.Millisecond,
+			AckTimeout:      5 * time.Second,
+			Durability:      storage.GroupCommit,
+		}
+		for j := 0; j < k; j++ {
+			if j != i {
+				cfg.Peers = append(cfg.Peers, repl.Peer{ID: fmt.Sprintf("n%d", j), Addr: replAddrs[j]})
+			}
+		}
+		n, err := repl.Open(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		srv := server.NewReplicated(n, nil, server.Options{})
+		if _, err := srv.Start(clientAddrs[i]); err != nil {
+			b.Fatal(err)
+		}
+		servers = append(servers, srv)
+	}
+	lead := -1
+	deadline := time.Now().Add(10 * time.Second)
+	for lead < 0 && time.Now().Before(deadline) {
+		for i, n := range nodes {
+			if _, ok := n.LeaderCluster(); ok {
+				lead = i
+				break
+			}
+		}
+		if lead < 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if lead < 0 {
+		b.Fatal("no leader elected")
+	}
+	var fallbacks []string
+	for i, a := range clientAddrs {
+		if i != lead {
+			fallbacks = append(fallbacks, a)
+		}
+	}
+	cl, err := client.Dial(clientAddrs[lead], client.Options{PoolSize: conns, Fallbacks: fallbacks, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl, func() {
+		cl.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, srv := range servers {
+			_ = srv.Shutdown(ctx)
+		}
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}
+}
+
+// replBenchBaseline is the unhooked control: the same durable banking
+// engine behind the same session layer, no replication layer at all.
+func replBenchBaseline(b *testing.B, conns int) (*client.Client, func()) {
+	b.Helper()
+	db, err := replBenchEngine(conns)(b.TempDir(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(db, server.Options{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := client.Dial(addr, client.Options{PoolSize: conns})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl, func() {
+		cl.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+}
+
+// replBenchDrive runs conns workers × txnsPerConn single-credit commits
+// (the quorum-latency shape: one write, one group-commit flush, one ack
+// round) and returns the best iteration's row — short iterations make the
+// per-iteration numbers noisy, and the overhead comparison wants the
+// steady-state ceiling of each configuration, not its worst scheduling
+// wobble.
+func replBenchDrive(b *testing.B, cl *client.Client, series string, nodes, conns int) replBenchRow {
+	b.Helper()
+	const txnsPerConn = 24
+	var best replBenchRow
+	for iter := 0; iter < b.N; iter++ {
+		lats := make([]time.Duration, 0, conns*txnsPerConn)
+		var latMu sync.Mutex
+		var wg sync.WaitGroup
+		errCh := make(chan error, conns)
+		start := time.Now()
+		for c := 0; c < conns; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				acct := "Acct" + strconv.Itoa(c%replBenchAccounts)
+				local := make([]time.Duration, 0, txnsPerConn)
+				for i := 0; i < txnsPerConn; i++ {
+					t0 := time.Now()
+					err := cl.RunWithRetry(client.RetryPolicy{MaxAttempts: 100, RetryOverload: true}, func(tx *client.Tx) error {
+						_, err := tx.Invoke(workload.AccountType, acct, "credit", "1")
+						return err
+					})
+					if err != nil {
+						errCh <- fmt.Errorf("conn %d: %w", c, err)
+						return
+					}
+					local = append(local, time.Since(t0))
+				}
+				latMu.Lock()
+				lats = append(lats, local...)
+				latMu.Unlock()
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errCh)
+		if err := <-errCh; err != nil {
+			b.Fatal(err)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) int64 {
+			if len(lats) == 0 {
+				return 0
+			}
+			return lats[int(p*float64(len(lats)-1))].Microseconds()
+		}
+		row := replBenchRow{
+			Series: series, Nodes: nodes, Conns: conns,
+			Committed: int64(len(lats)), Seconds: elapsed.Seconds(),
+			TxnPerSec: float64(len(lats)) / elapsed.Seconds(),
+			P50us:     pct(0.50), P99us: pct(0.99),
+		}
+		b.ReportMetric(row.TxnPerSec, "txn/s")
+		b.ReportMetric(float64(row.P99us), "p99µs")
+		if row.TxnPerSec > best.TxnPerSec {
+			best = row
+		}
+	}
+	return best
+}
+
+// BenchmarkN2ReplicatedCommit prices replication. Three series, same
+// durable engine, same session layer, same workload:
+//
+//   - baseline-1node: no replication layer at all — the control.
+//   - repl-1node: the quorum sink installed but disarmed (single-node
+//     cluster, quorum 1, no peers): commit still routes through the
+//     replicator, which must cost ≤5% against the control.
+//   - repl-3node: the real thing — every commit waits for a majority
+//     fsync ack over loopback TCP.
+//
+// The last iteration of each series lands in BENCH_repl.json.
+func BenchmarkN2ReplicatedCommit(b *testing.B) {
+	const conns = 32
+	// Each sub-benchmark body runs more than once (the b.N=1 sizing probe,
+	// then the timed run); keep only the final, longest-run row per series.
+	bySeries := map[string]replBenchRow{}
+
+	b.Run("baseline/nodes=1", func(b *testing.B) {
+		cl, stop := replBenchBaseline(b, conns)
+		defer stop()
+		bySeries["baseline-1node"] = replBenchDrive(b, cl, "baseline-1node", 1, conns)
+	})
+	b.Run("repl-disarmed/nodes=1", func(b *testing.B) {
+		cl, stop := replBenchCluster(b, 1, conns)
+		defer stop()
+		bySeries["repl-1node"] = replBenchDrive(b, cl, "repl-1node", 1, conns)
+	})
+	b.Run("repl/nodes=3", func(b *testing.B) {
+		cl, stop := replBenchCluster(b, 3, conns)
+		defer stop()
+		bySeries["repl-3node"] = replBenchDrive(b, cl, "repl-3node", 3, conns)
+	})
+
+	var rows []replBenchRow
+	for _, s := range []string{"baseline-1node", "repl-1node", "repl-3node"} {
+		if r, ok := bySeries[s]; ok {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	var base float64
+	for _, r := range rows {
+		if r.Series == "baseline-1node" {
+			base = r.TxnPerSec
+		}
+	}
+	for i := range rows {
+		if base > 0 && rows[i].Series != "baseline-1node" {
+			rows[i].OverheadPct = 100 * (base - rows[i].TxnPerSec) / base
+		}
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_repl.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
